@@ -1,0 +1,87 @@
+//! # themis-baselines
+//!
+//! Reference implementations of the I/O arbitration algorithms ThemisIO is
+//! compared against in §5.4 of the paper:
+//!
+//! * [`FifoScheduler`] — first-in-first-out, the behaviour of unmanaged
+//!   production systems;
+//! * [`GiftScheduler`] — GIFT's BSIP equal-share allocation with
+//!   coupon-based throttle-and-reward (FAST '20);
+//! * [`TbfScheduler`] — the Lustre NRS token bucket filter with HTC and PSSB
+//!   (SC '17).
+//!
+//! All three implement [`themis_core::sched::Scheduler`], so they can be
+//! dropped into the server runtime or the simulator exactly where the
+//! ThemisIO statistical-token scheduler goes — the same integration strategy
+//! the paper used for its comparison study.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fifo;
+pub mod gift;
+pub mod tbf;
+
+pub use fifo::FifoScheduler;
+pub use gift::{GiftConfig, GiftScheduler};
+pub use tbf::{TbfConfig, TbfScheduler};
+
+use themis_core::policy::Policy;
+use themis_core::sched::{Scheduler, ThemisScheduler};
+
+/// The arbitration algorithms available to servers and experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Algorithm {
+    /// ThemisIO statistical tokens under the given policy.
+    Themis(Policy),
+    /// First-in-first-out.
+    Fifo,
+    /// GIFT (job-fair only).
+    Gift(GiftConfig),
+    /// TBF (job-fair only).
+    Tbf(TbfConfig),
+}
+
+impl Algorithm {
+    /// Builds a boxed scheduler for this algorithm.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            Algorithm::Themis(policy) => Box::new(ThemisScheduler::new(policy.clone())),
+            Algorithm::Fifo => Box::new(FifoScheduler::new()),
+            Algorithm::Gift(cfg) => Box::new(GiftScheduler::with_config(*cfg)),
+            Algorithm::Tbf(cfg) => Box::new(TbfScheduler::with_config(*cfg)),
+        }
+    }
+
+    /// The short name of the algorithm, matching `Scheduler::name`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Themis(_) => "themis",
+            Algorithm::Fifo => "fifo",
+            Algorithm::Gift(_) => "gift",
+            Algorithm::Tbf(_) => "tbf",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_matching_names() {
+        assert_eq!(Algorithm::Fifo.build().name(), "fifo");
+        assert_eq!(
+            Algorithm::Themis(Policy::size_fair()).build().name(),
+            "themis"
+        );
+        assert_eq!(Algorithm::Gift(GiftConfig::default()).build().name(), "gift");
+        assert_eq!(Algorithm::Tbf(TbfConfig::default()).build().name(), "tbf");
+    }
+
+    #[test]
+    fn algorithm_names_match_enum() {
+        assert_eq!(Algorithm::Fifo.name(), "fifo");
+        assert_eq!(Algorithm::Themis(Policy::job_fair()).name(), "themis");
+    }
+}

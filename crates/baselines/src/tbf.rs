@@ -1,0 +1,407 @@
+//! The TBF baseline (Qian et al., SC '17): a classful token bucket filter as
+//! deployed in Lustre's NRS, re-implemented per §5.4 with its HTC (Hard Token
+//! Compensation) and PSSB (Proportional Sharing of Spare Bandwidth)
+//! strategies on top of ThemisIO's request queues.
+//!
+//! Each job owns a token bucket refilled at a *user-supplied* rate (the
+//! paper's criticism: the rate must be known in advance and is usually
+//! wrong). A request is served when its job's bucket holds enough tokens.
+//! HTC compensates a job whose bucket sat full while it had no work (hard
+//! token compensation), and PSSB hands bandwidth that no bucket can use to
+//! backlogged jobs in proportion to their configured rates, so the device
+//! does not idle while work is queued.
+
+use rand::RngCore;
+use std::collections::BTreeMap;
+use themis_core::entity::JobId;
+use themis_core::job_table::JobTable;
+use themis_core::policy::Policy;
+use themis_core::request::{Completion, IoRequest};
+use themis_core::sched::{JobQueues, Scheduler};
+use themis_core::shares::ShareMap;
+
+/// Configuration of the TBF reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TbfConfig {
+    /// Default token rate per job in bytes/second — the stand-in for the
+    /// user-supplied I/O request rate TBF requires.
+    pub default_rate_bytes_per_sec: f64,
+    /// Bucket depth in seconds of rate (burst allowance).
+    pub burst_seconds: f64,
+    /// Whether HTC (hard token compensation) is enabled.
+    pub htc: bool,
+    /// Whether PSSB (proportional sharing of spare bandwidth) is enabled.
+    pub pssb: bool,
+}
+
+impl Default for TbfConfig {
+    fn default() -> Self {
+        TbfConfig {
+            // Half of a 22 GB/s server: what an operator would configure for
+            // "two jobs sharing one server".
+            default_rate_bytes_per_sec: 11.0e9,
+            burst_seconds: 0.05,
+            htc: true,
+            pssb: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    rate: f64,
+    tokens: f64,
+    capacity: f64,
+    last_refill_ns: u64,
+    /// HTC credit in bytes accumulated while the bucket overflowed with no
+    /// pending work.
+    compensation: f64,
+}
+
+impl Bucket {
+    fn new(rate: f64, burst_seconds: f64, now_ns: u64) -> Self {
+        let capacity = (rate * burst_seconds).max(1.0);
+        Bucket {
+            rate,
+            tokens: capacity,
+            capacity,
+            last_refill_ns: now_ns,
+            compensation: 0.0,
+        }
+    }
+
+    fn refill(&mut self, now_ns: u64, backlogged: bool, htc: bool) {
+        let dt = now_ns.saturating_sub(self.last_refill_ns) as f64 / 1e9;
+        self.last_refill_ns = now_ns;
+        let earned = self.rate * dt;
+        let headroom = self.capacity - self.tokens;
+        if earned <= headroom {
+            self.tokens += earned;
+        } else {
+            self.tokens = self.capacity;
+            if htc && !backlogged {
+                // Tokens lost to overflow while the job had no work are
+                // remembered as compensation (capped at one bucket).
+                self.compensation = (self.compensation + (earned - headroom)).min(self.capacity);
+            }
+        }
+    }
+
+    fn try_consume(&mut self, amount: f64) -> bool {
+        if self.tokens + self.compensation >= amount {
+            let from_tokens = amount.min(self.tokens);
+            self.tokens -= from_tokens;
+            self.compensation -= amount - from_tokens;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Token-bucket-filter scheduler with HTC and PSSB.
+#[derive(Debug)]
+pub struct TbfScheduler {
+    config: TbfConfig,
+    queues: JobQueues,
+    buckets: BTreeMap<JobId, Bucket>,
+    rates: BTreeMap<JobId, f64>,
+    shares: ShareMap,
+}
+
+impl TbfScheduler {
+    /// Creates a TBF scheduler with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(TbfConfig::default())
+    }
+
+    /// Creates a TBF scheduler with an explicit configuration.
+    pub fn with_config(config: TbfConfig) -> Self {
+        TbfScheduler {
+            config,
+            queues: JobQueues::new(),
+            buckets: BTreeMap::new(),
+            rates: BTreeMap::new(),
+            shares: ShareMap::empty(),
+        }
+    }
+
+    /// Sets the user-supplied token rate of one job (bytes/second), the
+    /// per-class rule of Lustre's TBF.
+    pub fn set_rate(&mut self, job: JobId, rate_bytes_per_sec: f64) {
+        let rate = if rate_bytes_per_sec.is_finite() && rate_bytes_per_sec > 0.0 {
+            rate_bytes_per_sec
+        } else {
+            self.config.default_rate_bytes_per_sec
+        };
+        self.rates.insert(job, rate);
+        if let Some(b) = self.buckets.get_mut(&job) {
+            b.rate = rate;
+            b.capacity = (rate * self.config.burst_seconds).max(1.0);
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TbfConfig {
+        &self.config
+    }
+
+    /// Current token balance of a job's bucket, for tests and telemetry.
+    pub fn tokens(&self, job: JobId) -> f64 {
+        self.buckets.get(&job).map_or(0.0, |b| b.tokens)
+    }
+
+    fn bucket_for(&mut self, job: JobId, now_ns: u64) -> &mut Bucket {
+        let rate = self
+            .rates
+            .get(&job)
+            .copied()
+            .unwrap_or(self.config.default_rate_bytes_per_sec);
+        let burst = self.config.burst_seconds;
+        self.buckets
+            .entry(job)
+            .or_insert_with(|| Bucket::new(rate, burst, now_ns))
+    }
+}
+
+impl Default for TbfScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for TbfScheduler {
+    fn name(&self) -> &'static str {
+        "tbf"
+    }
+
+    fn enqueue(&mut self, request: IoRequest) {
+        // Refill on arrival so a bucket that sat full while the job was idle
+        // accrues its HTC credit before the job becomes backlogged again.
+        let was_backlogged = self.queues.len_for(request.meta.job) > 0;
+        let htc = self.config.htc;
+        let bucket = self.bucket_for(request.meta.job, request.arrival_ns);
+        bucket.refill(request.arrival_ns, was_backlogged, htc);
+        self.queues.push(request);
+    }
+
+    fn next(&mut self, now_ns: u64, _rng: &mut dyn RngCore) -> Option<IoRequest> {
+        if self.queues.is_empty() {
+            return None;
+        }
+        let backlogged = self.queues.backlogged();
+        // Refill every bucket first (buckets of idle jobs accrue HTC credit).
+        let htc = self.config.htc;
+        for (job, bucket) in self.buckets.iter_mut() {
+            bucket.refill(now_ns, backlogged.contains(job), htc);
+        }
+        // Pass 1: serve the backlogged job with the most tokens relative to
+        // the cost of its head request.
+        let mut best: Option<(JobId, f64)> = None;
+        for job in &backlogged {
+            let head_cost = self.queues.front(*job).map_or(0.0, |r| r.bytes.max(1) as f64);
+            if let Some(bucket) = self.buckets.get(job) {
+                let slack = bucket.tokens + bucket.compensation - head_cost;
+                if slack >= 0.0 && best.map_or(true, |(_, s)| slack > s) {
+                    best = Some((*job, slack));
+                }
+            }
+        }
+        if let Some((job, _)) = best {
+            let cost = self.queues.front(job).map_or(0.0, |r| r.bytes.max(1) as f64);
+            let consumed = self
+                .buckets
+                .get_mut(&job)
+                .map(|b| b.try_consume(cost))
+                .unwrap_or(false);
+            if consumed {
+                return self.queues.pop(job);
+            }
+        }
+        // Pass 2 (PSSB): no bucket can pay for its head request, but work is
+        // queued — hand the spare bandwidth to the backlogged job with the
+        // highest configured rate (proportional sharing realised one request
+        // at a time).
+        if self.config.pssb {
+            let job = backlogged.into_iter().max_by(|a, b| {
+                let ra = self.rates.get(a).copied().unwrap_or(self.config.default_rate_bytes_per_sec);
+                let rb = self.rates.get(b).copied().unwrap_or(self.config.default_rate_bytes_per_sec);
+                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal).then(b.cmp(a))
+            })?;
+            // Spare-bandwidth service still drains the bucket into debt so
+            // the job does not double-dip when tokens arrive.
+            if let Some(b) = self.buckets.get_mut(&job) {
+                let cost = self.queues.front(job).map_or(0.0, |r| r.bytes.max(1) as f64);
+                b.tokens -= cost;
+            }
+            return self.queues.pop(job);
+        }
+        None
+    }
+
+    fn next_eligible_ns(&self, now_ns: u64) -> Option<u64> {
+        if self.queues.is_empty() || self.config.pssb {
+            return None;
+        }
+        // Without PSSB the earliest eligibility is when the poorest bucket
+        // has refilled enough for its head request.
+        let mut earliest: Option<u64> = None;
+        for job in self.queues.backlogged() {
+            let cost = self.queues.front(job).map_or(0.0, |r| r.bytes.max(1) as f64);
+            if let Some(b) = self.buckets.get(&job) {
+                let deficit = (cost - b.tokens - b.compensation).max(0.0);
+                let wait_ns = (deficit / b.rate * 1e9).ceil() as u64;
+                let t = now_ns + wait_ns;
+                earliest = Some(earliest.map_or(t, |e: u64| e.min(t)));
+            }
+        }
+        earliest
+    }
+
+    fn on_complete(&mut self, _completion: &Completion) {}
+
+    fn refresh(&mut self, table: &JobTable, _policy: &Policy) {
+        // TBF only supports job-level token rules (§5.4); the policy argument
+        // is ignored. Jobs without an explicit rate share the configured
+        // default. Buckets of departed jobs are dropped.
+        let active: Vec<JobId> = table.active_jobs().iter().map(|m| m.job).collect();
+        self.buckets
+            .retain(|job, _| active.contains(job) || self.queues.len_for(*job) > 0);
+        self.shares = ShareMap::from_pairs(active.iter().map(|j| {
+            (
+                *j,
+                self.rates
+                    .get(j)
+                    .copied()
+                    .unwrap_or(self.config.default_rate_bytes_per_sec),
+            )
+        }));
+    }
+
+    fn queued(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn queued_for(&self, job: JobId) -> usize {
+        self.queues.len_for(job)
+    }
+
+    fn backlogged_jobs(&self) -> Vec<JobId> {
+        self.queues.backlogged()
+    }
+
+    fn shares(&self) -> ShareMap {
+        self.shares.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use themis_core::entity::JobMeta;
+
+    fn meta(job: u64) -> JobMeta {
+        JobMeta::new(job, job as u32, 1u32, 1)
+    }
+
+    fn small_config() -> TbfConfig {
+        TbfConfig {
+            default_rate_bytes_per_sec: 1_000_000.0, // 1 MB/s
+            burst_seconds: 0.001,                    // 1 KB bucket
+            htc: true,
+            pssb: false,
+        }
+    }
+
+    #[test]
+    fn requests_wait_for_tokens_without_pssb() {
+        let mut t = TbfScheduler::with_config(small_config());
+        for s in 0..4 {
+            t.enqueue(IoRequest::write(s, meta(1), 1_000, 0));
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        // Bucket starts full (1 KB): exactly one request can go at t=0.
+        assert!(t.next(0, &mut rng).is_some());
+        assert!(t.next(0, &mut rng).is_none());
+        let eligible = t.next_eligible_ns(0).unwrap();
+        assert!(eligible > 0);
+        // After one more millisecond of refill the next request clears.
+        assert!(t.next(1_000_000, &mut rng).is_some());
+    }
+
+    #[test]
+    fn pssb_keeps_device_busy_when_buckets_are_empty() {
+        let mut cfg = small_config();
+        cfg.pssb = true;
+        let mut t = TbfScheduler::with_config(cfg);
+        for s in 0..4 {
+            t.enqueue(IoRequest::write(s, meta(1), 1_000, 0));
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        // All four are served immediately: one paid by the bucket, the rest
+        // through spare-bandwidth sharing.
+        for _ in 0..4 {
+            assert!(t.next(0, &mut rng).is_some());
+        }
+        assert!(t.next(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn rates_bias_pssb_towards_the_higher_rate_job() {
+        let mut cfg = small_config();
+        cfg.pssb = true;
+        let mut t = TbfScheduler::with_config(cfg);
+        t.set_rate(JobId(1), 4_000_000.0);
+        t.set_rate(JobId(2), 1_000_000.0);
+        let mut seq = 0;
+        for _ in 0..50 {
+            for j in [1u64, 2] {
+                t.enqueue(IoRequest::write(seq, meta(j), 10_000, 0));
+                seq += 1;
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut counts = BTreeMap::new();
+        for _ in 0..40 {
+            if let Some(r) = t.next(0, &mut rng) {
+                *counts.entry(r.meta.job).or_insert(0u32) += 1;
+            }
+        }
+        assert!(counts[&JobId(1)] > counts.get(&JobId(2)).copied().unwrap_or(0));
+    }
+
+    #[test]
+    fn htc_compensates_idle_full_buckets() {
+        let mut cfg = small_config();
+        cfg.pssb = false;
+        let mut t = TbfScheduler::with_config(cfg);
+        // Create the bucket at t=0 with no work; let it sit full for 10 ms.
+        t.enqueue(IoRequest::write(0, meta(1), 1_000, 0));
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(t.next(0, &mut rng).is_some()); // drains the initial burst
+        // Idle period: refills happen on the next call; compensation accrues
+        // because the bucket overflows while not backlogged.
+        t.enqueue(IoRequest::write(1, meta(1), 1_000, 20_000_000));
+        t.enqueue(IoRequest::write(2, meta(1), 1_000, 20_000_000));
+        // At 20 ms the bucket refilled to capacity (1 KB) and holds ~1 KB of
+        // HTC credit, so two requests clear back to back.
+        assert!(t.next(20_000_000, &mut rng).is_some());
+        assert!(t.next(20_000_000, &mut rng).is_some());
+    }
+
+    #[test]
+    fn refresh_reports_rate_proportional_shares() {
+        let mut t = TbfScheduler::new();
+        t.set_rate(JobId(1), 3.0e9);
+        t.set_rate(JobId(2), 1.0e9);
+        let mut table = JobTable::new();
+        table.heartbeat(meta(1), 0);
+        table.heartbeat(meta(2), 0);
+        t.refresh(&table, &Policy::job_fair());
+        let s = t.shares();
+        assert!((s.share(JobId(1)) - 0.75).abs() < 1e-9);
+        assert!((s.share(JobId(2)) - 0.25).abs() < 1e-9);
+    }
+}

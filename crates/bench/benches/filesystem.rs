@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the user-space file system: consistent-hash
+//! lookup, write/read round trips, and metadata operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use themis_fs::{BurstBufferFs, HashRing, StripeConfig};
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_ring");
+    group.sample_size(20);
+    for servers in [4usize, 64] {
+        let ring = HashRing::new(servers);
+        group.bench_with_input(BenchmarkId::new("owner", servers), &ring, |b, ring| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                ring.owner(&format!("/data/file-{i}"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fs_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_io");
+    group.sample_size(20);
+    let fs = BurstBufferFs::with_stripe_config(4, StripeConfig::new(1 << 20, 4));
+    fs.create("/bench", 0).unwrap();
+    let block = vec![7u8; 1 << 20];
+    group.bench_function("write_1MiB", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            fs.write_at("/bench", off % (64 << 20), &block, 1).unwrap();
+            off += 1 << 20;
+        })
+    });
+    fs.write_at("/bench", 0, &vec![1u8; 8 << 20], 2).unwrap();
+    group.bench_function("read_1MiB", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            let d = fs.read_at("/bench", off % (8 << 20), 1 << 20).unwrap();
+            off += 1 << 20;
+            d
+        })
+    });
+    group.bench_function("stat", |b| b.iter(|| fs.stat("/bench").unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_fs_io);
+criterion_main!(benches);

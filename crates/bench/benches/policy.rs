@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the policy engine: share computation and
+//! transition-matrix chain evaluation as the number of active jobs grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use themis_core::entity::JobMeta;
+use themis_core::policy::Policy;
+use themis_core::sampler::TokenSampler;
+use themis_core::shares::{build_level_matrices, compute_shares};
+
+fn jobs(n: usize) -> Vec<JobMeta> {
+    (0..n)
+        .map(|i| JobMeta::new(i as u64, (i % 16) as u32, (i % 4) as u32, 1 + (i % 64) as u32))
+        .collect()
+}
+
+fn bench_share_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_shares");
+    group.sample_size(20);
+    for n in [4usize, 64, 512] {
+        let js = jobs(n);
+        for policy in [
+            Policy::size_fair(),
+            Policy::user_fair(),
+            Policy::group_user_size_fair(),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.canonical_name(), n),
+                &js,
+                |b, js| b.iter(|| compute_shares(&policy, js)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_matrix_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_chain");
+    group.sample_size(20);
+    for n in [64usize, 512] {
+        let js = jobs(n);
+        let levels = Policy::group_user_size_fair();
+        group.bench_with_input(BenchmarkId::new("group-user-size", n), &js, |b, js| {
+            b.iter(|| build_level_matrices(levels.levels(), js))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("token_sampler");
+    group.sample_size(20);
+    for n in [16usize, 1024] {
+        let js = jobs(n);
+        let shares = compute_shares(&Policy::size_fair(), &js);
+        let sampler = TokenSampler::from_shares(&shares);
+        let mut rng = SmallRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("draw", n), &sampler, |b, s| {
+            b.iter(|| s.draw(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_share_computation, bench_matrix_chain, bench_sampler);
+criterion_main!(benches);

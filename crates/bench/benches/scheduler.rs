@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the arbitration algorithms: enqueue +
+//! next() throughput for ThemisIO, FIFO, GIFT and TBF under a saturated
+//! two-job workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_baselines::{Algorithm, GiftConfig, TbfConfig};
+use themis_core::entity::JobMeta;
+use themis_core::job_table::JobTable;
+use themis_core::policy::Policy;
+use themis_core::request::IoRequest;
+
+fn drive(algorithm: &Algorithm, ops: u64) {
+    let mut sched = algorithm.build();
+    let metas = [
+        JobMeta::new(1u64, 1u32, 1u32, 4),
+        JobMeta::new(2u64, 2u32, 1u32, 1),
+    ];
+    let mut table = JobTable::new();
+    for m in &metas {
+        table.heartbeat(*m, 0);
+    }
+    sched.refresh(&table, &Policy::size_fair());
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut seq = 0;
+    for i in 0..ops {
+        for m in &metas {
+            sched.enqueue(IoRequest::write(seq, *m, 1 << 20, i * 1_000));
+            seq += 1;
+        }
+        let _ = sched.next(i * 1_000, &mut rng);
+        let _ = sched.next(i * 1_000, &mut rng);
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(20);
+    let algorithms = [
+        ("themis", Algorithm::Themis(Policy::size_fair())),
+        ("fifo", Algorithm::Fifo),
+        ("gift", Algorithm::Gift(GiftConfig::default())),
+        ("tbf", Algorithm::Tbf(TbfConfig::default())),
+    ];
+    for (name, alg) in algorithms {
+        group.bench_with_input(BenchmarkId::new(name, 1000u64), &alg, |b, alg| {
+            b.iter(|| drive(alg, 1000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

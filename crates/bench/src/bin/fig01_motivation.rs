@@ -1,0 +1,36 @@
+//! Figure 1 (motivation): time-to-solution of five applications with
+//! exclusive burst-buffer access vs. sharing it with a background I/O
+//! benchmark under FIFO.
+
+use themis_baselines::Algorithm;
+use themis_core::entity::{JobId, JobMeta};
+use themis_sim::metrics::slowdown;
+use themis_sim::{App, SimConfig, SimJob, Simulation};
+
+fn tts(app: App, with_background: bool) -> f64 {
+    let meta = JobMeta::new(1u64, 10u32, 1u32, app.nodes());
+    let mut jobs = vec![app.job(meta)];
+    if with_background {
+        jobs.push(SimJob::background_hog(JobMeta::new(99u64, 99u32, 2u32, 1)));
+    }
+    Simulation::new(SimConfig::new(2, Algorithm::Fifo), jobs)
+        .run()
+        .time_to_solution_secs(JobId(1))
+}
+
+fn main() {
+    println!("Figure 1: baseline vs shared (FIFO) time-to-solution");
+    println!("{:<22} {:>12} {:>12} {:>10}", "application", "baseline (s)", "shared (s)", "slowdown");
+    for app in App::all() {
+        let base = tts(app, false);
+        let shared = tts(app, true);
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>9.1}%",
+            app.name(),
+            base,
+            shared,
+            100.0 * slowdown(base, shared)
+        );
+    }
+    println!("\nPaper: shared runs are 3%-173% longer than baseline (Fig. 1).");
+}

@@ -1,0 +1,51 @@
+//! Figures 10 and 11: the three-tier group-user-size-fair policy with two
+//! groups, four users and eight jobs, printed both as per-job throughput and
+//! as the share tree of Fig. 11.
+
+use themis_baselines::Algorithm;
+use themis_bench::one_second_series;
+use themis_core::entity::JobMeta;
+use themis_core::policy::Policy;
+use themis_core::shares::{compute_shares, ShareBreakdown};
+use themis_sim::{SimConfig, SimJob, Simulation};
+
+const SEC: u64 = 1_000_000_000;
+
+fn main() {
+    println!("Figures 10/11: group-user-size-fair, 2 groups / 4 users / 8 jobs");
+    // The job mix of Fig. 10: g1u1 n=1; g2u2 n=2,3,2; g2u3 n=3,2; g2u4 n=1,2.
+    let metas = [
+        JobMeta::new(1u64, 1u32, 1u32, 1),
+        JobMeta::new(2u64, 2u32, 2u32, 2),
+        JobMeta::new(3u64, 2u32, 2u32, 3),
+        JobMeta::new(4u64, 2u32, 2u32, 2),
+        JobMeta::new(5u64, 3u32, 2u32, 3),
+        JobMeta::new(6u64, 3u32, 2u32, 2),
+        JobMeta::new(7u64, 4u32, 2u32, 1),
+        JobMeta::new(8u64, 4u32, 2u32, 2),
+    ];
+    let jobs: Vec<SimJob> = metas
+        .iter()
+        .map(|m| SimJob::write_read_cycle(*m, 28 * m.nodes as usize).running_for(30 * SEC))
+        .collect();
+    let policy = Policy::group_user_size_fair();
+    let result = Simulation::new(SimConfig::new(1, Algorithm::Themis(policy.clone())), jobs).run();
+    let series = one_second_series(&result);
+    let total: f64 = metas
+        .iter()
+        .map(|m| series.median_active_mb_per_sec(m.job))
+        .sum();
+    println!("\nMeasured throughput tree (percent of total {:.1} GB/s):", total / 1000.0);
+    for m in &metas {
+        let tp = series.median_active_mb_per_sec(m.job);
+        println!(
+            "  group {} / user {} / job {} (size {}): {:>7.0} MB/s ({:.1}%)",
+            m.group.0, m.user.0, m.job, m.nodes, tp, 100.0 * tp / total
+        );
+    }
+    let shares = compute_shares(&policy, &metas);
+    let b = ShareBreakdown::new(&shares, &metas);
+    println!("\nNominal shares: per-group {:?}", b.per_group);
+    println!("                per-user  {:?}", b.per_user);
+    println!("\nPaper (Fig. 11): group 1 46%, group 2 54%; users in group 2 ~18% each; jobs split by size.");
+}

@@ -1,0 +1,46 @@
+//! Figure 13: relative time-to-solution of the five applications under FIFO
+//! and under ThemisIO size-fair, both with a one-node background I/O job,
+//! normalised to exclusive access.
+
+use themis_baselines::Algorithm;
+use themis_core::entity::{JobId, JobMeta};
+use themis_core::policy::Policy;
+use themis_sim::metrics::slowdown;
+use themis_sim::{App, SimConfig, SimJob, Simulation};
+
+fn tts(app: App, algorithm: Algorithm, with_background: bool) -> f64 {
+    let meta = JobMeta::new(1u64, 10u32, 1u32, app.nodes());
+    let mut jobs = vec![app.job(meta)];
+    if with_background {
+        jobs.push(SimJob::background_hog(JobMeta::new(99u64, 99u32, 2u32, 1)));
+    }
+    Simulation::new(SimConfig::new(1, algorithm), jobs)
+        .run()
+        .time_to_solution_secs(JobId(1))
+}
+
+fn main() {
+    println!("Figure 13: FIFO vs size-fair slowdown relative to exclusive access");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "application", "baseline s", "fifo s", "fifo slow%", "sizefair s", "fair slow%"
+    );
+    let mut apps = App::all();
+    apps.push(App::ResNet50 { asynchronous: false });
+    for app in apps {
+        let base = tts(app, Algorithm::Fifo, false);
+        let fifo = tts(app, Algorithm::Fifo, true);
+        let fair = tts(app, Algorithm::Themis(Policy::size_fair()), true);
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>11.1}% {:>12.2} {:>11.1}%",
+            app.name(),
+            base,
+            fifo,
+            100.0 * slowdown(base, fifo),
+            fair,
+            100.0 * slowdown(base, fair),
+        );
+    }
+    println!("\nPaper: FIFO slowdowns 60.6% (NAMD), 45.3% (WRF), 3.8% (BERT), 3.0% (SPECFEM3D), 2.7x (async ResNet-50);");
+    println!("       size-fair slowdowns 0.1%, 4.6%, 1.6%, 0.0%, 12.9%; slowdown reduced 59.1-99.8%.");
+}

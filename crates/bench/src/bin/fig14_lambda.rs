@@ -1,0 +1,48 @@
+//! Figure 14: λ-delayed global fairness. Three jobs whose files live on two
+//! servers in a disjoint layout; the share of I/O each job receives is
+//! plotted over time for λ ∈ {10, 50, 200, 500} ms.
+
+use themis_baselines::Algorithm;
+use themis_core::entity::{JobId, JobMeta};
+use themis_core::policy::Policy;
+use themis_core::sync::SyncConfig;
+use themis_sim::{SimConfig, SimJob, Simulation};
+
+const SEC: u64 = 1_000_000_000;
+
+fn main() {
+    println!("Figure 14: share of I/O per job vs time for various lambda");
+    for lambda_ms in [10u64, 50, 200, 500] {
+        // Job 1 (16 nodes) stripes over both servers; jobs 2 and 3 (8 nodes)
+        // land on disjoint servers, so each server starts with a local view.
+        let jobs = vec![
+            SimJob::write_read_cycle(JobMeta::new(1u64, 1u32, 1u32, 16), 64)
+                .running_for(4 * SEC)
+                .on_servers(vec![0, 1]),
+            SimJob::write_read_cycle(JobMeta::new(2u64, 2u32, 1u32, 8), 32)
+                .running_for(4 * SEC)
+                .on_servers(vec![0]),
+            SimJob::write_read_cycle(JobMeta::new(3u64, 3u32, 1u32, 8), 32)
+                .running_for(4 * SEC)
+                .on_servers(vec![1]),
+        ];
+        let config = SimConfig {
+            lambda: SyncConfig::from_millis(lambda_ms),
+            ..SimConfig::new(2, Algorithm::Themis(Policy::size_fair()))
+        };
+        let result = Simulation::new(config, jobs).run();
+        // Sample shares in 100 ms windows to see convergence.
+        let series = result.metrics.throughput_series(100_000_000);
+        println!("\n  lambda = {lambda_ms} ms (share of I/O per 100 ms window, target 50/25/25):");
+        for job in [1u64, 2, 3] {
+            let shares: Vec<u64> = series
+                .share_series(JobId(job))
+                .iter()
+                .map(|v| (v * 100.0).round() as u64)
+                .collect();
+            println!("    job {job}: {shares:?}");
+        }
+    }
+    println!("\nPaper: global fairness reached by the second interval for lambda >= 50 ms; ~5 intervals at 10 ms;");
+    println!("       shorter intervals show higher variance; 500 ms is adequate for real applications.");
+}

@@ -1,0 +1,59 @@
+//! # themis-bench
+//!
+//! The experiment harness of ThemisIO-RS: one binary per figure of the
+//! paper's evaluation (run them with `cargo run --release -p themis-bench
+//! --bin figNN_...`) plus Criterion micro-benchmarks of the policy engine,
+//! the schedulers and the file system (run with `cargo bench`).
+//!
+//! Each experiment prints a human-readable table with the series the paper's
+//! figure plots, so paper-vs-measured comparisons can be recorded in
+//! `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use themis_core::entity::JobId;
+use themis_sim::metrics::NS_PER_SEC;
+use themis_sim::{SimResult, ThroughputSeries};
+
+/// Formats bytes/sec as GB/s with one decimal.
+pub fn gbps(bytes_per_sec: f64) -> String {
+    format!("{:.1} GB/s", bytes_per_sec / 1e9)
+}
+
+/// Aggregate throughput (bytes/second) of a finished simulation over its
+/// whole makespan.
+pub fn aggregate_throughput(result: &SimResult) -> f64 {
+    let secs = result.metrics.makespan_ns() as f64 / 1e9;
+    if secs <= 0.0 {
+        0.0
+    } else {
+        result.metrics.total_bytes_all() as f64 / secs
+    }
+}
+
+/// Builds the 1-second throughput series the paper's figures plot.
+pub fn one_second_series(result: &SimResult) -> ThroughputSeries {
+    result.metrics.throughput_series(NS_PER_SEC)
+}
+
+/// Prints one job's per-second throughput as a compact row.
+pub fn print_job_series(label: &str, series: &ThroughputSeries, job: JobId) {
+    let mb: Vec<u64> = series.mb_per_sec(job).iter().map(|v| *v as u64).collect();
+    println!(
+        "  {label:<28} median {:>8.0} MB/s  stddev {:>6.0} MB/s  per-second {:?}",
+        series.median_active_mb_per_sec(job),
+        series.stddev_active_mb_per_sec(job),
+        mb
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_formats() {
+        assert_eq!(gbps(11.7e9), "11.7 GB/s");
+    }
+}

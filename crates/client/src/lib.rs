@@ -1,0 +1,460 @@
+//! # themis-client
+//!
+//! The client side of ThemisIO (§4.4): a POSIX-flavoured API that embeds job
+//! metadata in every request, routes each path to the burst-buffer server
+//! that owns it, and keeps the job alive with heartbeats.
+//!
+//! On the paper's testbed the client is injected into unmodified applications
+//! by intercepting glibc I/O functions (override / trampoline). A Rust
+//! reproduction cannot ship a glibc shim, so the interception layer is
+//! represented by [`Namespace`]: callers route any path under the ThemisIO
+//! prefix (`/fs/...` by default) through [`ThemisClient`], and everything
+//! else goes to the host file system untouched — the same decision the
+//! interception shim makes, one call earlier.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use themis_core::entity::JobMeta;
+use themis_fs::ring::stable_hash;
+use themis_fs::store::StatInfo;
+use themis_fs::{FsError, FsResult, StripeConfig};
+use themis_net::message::{ClientMessage, FsOp, FsReply, ServerMessage};
+
+/// The ThemisIO namespace decision: which paths are intercepted.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    prefix: String,
+}
+
+impl Namespace {
+    /// Creates a namespace with the given prefix (e.g. `/fs`).
+    pub fn new(prefix: impl Into<String>) -> Self {
+        Namespace {
+            prefix: prefix.into(),
+        }
+    }
+
+    /// The default `/fs` namespace.
+    pub fn default_fs() -> Self {
+        Namespace::new(themis_fs::path::DEFAULT_NAMESPACE)
+    }
+
+    /// Whether a path would be intercepted.
+    pub fn intercepts(&self, path: &str) -> bool {
+        themis_fs::path::in_namespace(path, &self.prefix)
+    }
+
+    /// Translates an application path into the burst-buffer path, or `None`
+    /// when the path is outside the namespace (pass through to the host FS).
+    pub fn translate(&self, path: &str) -> Option<String> {
+        themis_fs::path::strip_namespace(path, &self.prefix)
+    }
+}
+
+/// A connection to one server, as required by the client: send a message,
+/// receive the next reply. The server crate's `ClientConnection` satisfies
+/// this; tests can provide mocks.
+pub trait ServerLink: Send {
+    /// Sends one message to the server.
+    fn send(&self, msg: ClientMessage);
+    /// Waits for the next server message (None when the server went away).
+    fn recv(&self, timeout: Duration) -> Option<ServerMessage>;
+}
+
+/// The ThemisIO client: one per application process (§4.2), holding one link
+/// per burst-buffer server.
+pub struct ThemisClient<L: ServerLink> {
+    meta: JobMeta,
+    namespace: Namespace,
+    links: Vec<L>,
+    next_request: AtomicU64,
+    /// fd → (server index, remote fd): descriptor state lives on the server
+    /// that opened the file, so follow-up calls must go back to it.
+    fds: parking_lot::Mutex<HashMap<u64, (usize, u64)>>,
+    next_local_fd: AtomicU64,
+    timeout: Duration,
+}
+
+impl<L: ServerLink> ThemisClient<L> {
+    /// Creates a client for job `meta` over the given per-server links.
+    pub fn new(meta: JobMeta, links: Vec<L>, namespace: Namespace) -> Self {
+        assert!(!links.is_empty(), "client needs at least one server link");
+        ThemisClient {
+            meta,
+            namespace,
+            links,
+            next_request: AtomicU64::new(1),
+            fds: parking_lot::Mutex::new(HashMap::new()),
+            next_local_fd: AtomicU64::new(3),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// The job metadata this client embeds in every request.
+    pub fn meta(&self) -> JobMeta {
+        self.meta
+    }
+
+    /// Number of server links.
+    pub fn server_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Announces the client to every server and returns the policy names the
+    /// servers report (§4.2 connection establishment).
+    pub fn hello(&self) -> Vec<String> {
+        let mut policies = Vec::new();
+        for link in &self.links {
+            link.send(ClientMessage::Hello { meta: self.meta });
+            if let Some(ServerMessage::Ack { policy }) = link.recv(self.timeout) {
+                policies.push(policy);
+            }
+        }
+        policies
+    }
+
+    /// Sends one heartbeat to every server so the job monitor keeps the job
+    /// active.
+    pub fn heartbeat(&self, now_ns: u64) {
+        for link in &self.links {
+            link.send(ClientMessage::Heartbeat {
+                meta: self.meta,
+                sent_ns: now_ns,
+            });
+            let _ = link.recv(self.timeout);
+        }
+    }
+
+    /// Notifies every server that the client is going away.
+    pub fn bye(&self) {
+        for link in &self.links {
+            link.send(ClientMessage::Bye { meta: self.meta });
+        }
+    }
+
+    fn server_for_path(&self, path: &str) -> usize {
+        (stable_hash(path) % self.links.len() as u64) as usize
+    }
+
+    fn roundtrip(&self, server: usize, op: FsOp) -> FsResult<FsReply> {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::Io {
+            request_id,
+            meta: self.meta,
+            op,
+        });
+        loop {
+            match self.links[server].recv(self.timeout) {
+                Some(ServerMessage::IoReply {
+                    request_id: rid,
+                    reply,
+                }) if rid == request_id => {
+                    return match reply {
+                        FsReply::Error(e) => Err(FsError::InvalidArgument(e)),
+                        ok => Ok(ok),
+                    };
+                }
+                Some(_) => continue,
+                None => {
+                    return Err(FsError::InvalidArgument(
+                        "server connection lost".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn translate(&self, path: &str) -> FsResult<String> {
+        self.namespace
+            .translate(path)
+            .ok_or_else(|| FsError::InvalidPath(format!("{path} is outside the ThemisIO namespace")))
+    }
+
+    // ------------------------------------------------------ POSIX-style API
+
+    /// `open(path, flags)` — returns a client-local descriptor.
+    pub fn open(&self, path: &str, create: bool, truncate: bool, append: bool) -> FsResult<u64> {
+        let bb_path = self.translate(path)?;
+        let server = self.server_for_path(&bb_path);
+        match self.roundtrip(
+            server,
+            FsOp::Open {
+                path: bb_path,
+                create,
+                truncate,
+                append,
+            },
+        )? {
+            FsReply::Fd(remote) => {
+                let local = self.next_local_fd.fetch_add(1, Ordering::Relaxed);
+                self.fds.lock().insert(local, (server, remote));
+                Ok(local)
+            }
+            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    fn lookup_fd(&self, fd: u64) -> FsResult<(usize, u64)> {
+        self.fds
+            .lock()
+            .get(&fd)
+            .copied()
+            .ok_or(FsError::BadDescriptor(fd))
+    }
+
+    /// `close(fd)`.
+    pub fn close(&self, fd: u64) -> FsResult<()> {
+        let (server, remote) = self.lookup_fd(fd)?;
+        self.roundtrip(server, FsOp::Close { fd: remote })?;
+        self.fds.lock().remove(&fd);
+        Ok(())
+    }
+
+    /// `write(fd, data)` at the descriptor cursor.
+    pub fn write(&self, fd: u64, data: &[u8]) -> FsResult<u64> {
+        let (server, remote) = self.lookup_fd(fd)?;
+        match self.roundtrip(
+            server,
+            FsOp::Write {
+                fd: remote,
+                data: data.to_vec(),
+            },
+        )? {
+            FsReply::Count(n) => Ok(n),
+            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `read(fd, len)` at the descriptor cursor.
+    pub fn read(&self, fd: u64, len: u64) -> FsResult<Vec<u8>> {
+        let (server, remote) = self.lookup_fd(fd)?;
+        match self.roundtrip(server, FsOp::Read { fd: remote, len })? {
+            FsReply::Data(d) => Ok(d),
+            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `lseek(fd, offset, whence)` with whence 0=SET, 1=CUR, 2=END.
+    pub fn lseek(&self, fd: u64, offset: i64, whence: u8) -> FsResult<u64> {
+        let (server, remote) = self.lookup_fd(fd)?;
+        match self.roundtrip(
+            server,
+            FsOp::Seek {
+                fd: remote,
+                offset,
+                whence,
+            },
+        )? {
+            FsReply::Count(n) => Ok(n),
+            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Positional write that does not need an open descriptor.
+    pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<u64> {
+        let bb_path = self.translate(path)?;
+        let server = self.server_for_path(&bb_path);
+        match self.roundtrip(
+            server,
+            FsOp::WriteAt {
+                path: bb_path,
+                offset,
+                data: data.to_vec(),
+            },
+        )? {
+            FsReply::Count(n) => Ok(n),
+            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Positional read that does not need an open descriptor.
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> FsResult<Vec<u8>> {
+        let bb_path = self.translate(path)?;
+        let server = self.server_for_path(&bb_path);
+        match self.roundtrip(
+            server,
+            FsOp::ReadAt {
+                path: bb_path,
+                offset,
+                len,
+            },
+        )? {
+            FsReply::Data(d) => Ok(d),
+            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `stat(path)`.
+    pub fn stat(&self, path: &str) -> FsResult<StatInfo> {
+        let bb_path = self.translate(path)?;
+        let server = self.server_for_path(&bb_path);
+        match self.roundtrip(server, FsOp::Stat { path: bb_path })? {
+            FsReply::Stat(s) => Ok(s),
+            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `mkdir -p path`.
+    pub fn mkdir_all(&self, path: &str) -> FsResult<()> {
+        let bb_path = self.translate(path)?;
+        let server = self.server_for_path(&bb_path);
+        self.roundtrip(server, FsOp::Mkdir { path: bb_path })
+            .map(|_| ())
+    }
+
+    /// `opendir` + `readdir` in one call.
+    pub fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        let bb_path = self.translate(path)?;
+        let server = self.server_for_path(&bb_path);
+        match self.roundtrip(server, FsOp::Readdir { path: bb_path })? {
+            FsReply::Entries(e) => Ok(e),
+            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `unlink(path)` / `rmdir(path)`.
+    pub fn unlink(&self, path: &str) -> FsResult<()> {
+        let bb_path = self.translate(path)?;
+        let server = self.server_for_path(&bb_path);
+        self.roundtrip(server, FsOp::Unlink { path: bb_path })
+            .map(|_| ())
+    }
+
+    /// Creates a file striped over `stripe_count` servers.
+    pub fn create_striped(&self, path: &str, stripe_size: u64, stripe_count: usize) -> FsResult<()> {
+        let bb_path = self.translate(path)?;
+        let server = self.server_for_path(&bb_path);
+        self.roundtrip(
+            server,
+            FsOp::CreateStriped {
+                path: bb_path,
+                stripe: StripeConfig::new(stripe_size, stripe_count),
+            },
+        )
+        .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn namespace_translation() {
+        let ns = Namespace::default_fs();
+        assert!(ns.intercepts("/fs/run1/out.dat"));
+        assert!(!ns.intercepts("/home/user/out.dat"));
+        assert_eq!(ns.translate("/fs/run1/out.dat").unwrap(), "/run1/out.dat");
+        assert_eq!(ns.translate("/scratch/x"), None);
+        let custom = Namespace::new("/bb");
+        assert!(custom.intercepts("/bb/x"));
+        assert!(!custom.intercepts("/fs/x"));
+    }
+
+    /// A loopback link that records messages and replies with canned answers,
+    /// enough to test routing and request/response matching.
+    struct MockLink {
+        inbox: Mutex<VecDeque<ServerMessage>>,
+        sent: Mutex<Vec<ClientMessage>>,
+    }
+
+    impl MockLink {
+        fn new() -> Self {
+            MockLink {
+                inbox: Mutex::new(VecDeque::new()),
+                sent: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl ServerLink for MockLink {
+        fn send(&self, msg: ClientMessage) {
+            // Auto-reply to IO with a canned response echoing the request id.
+            let reply = match &msg {
+                ClientMessage::Io { request_id, op, .. } => Some(ServerMessage::IoReply {
+                    request_id: *request_id,
+                    reply: match op {
+                        FsOp::Open { .. } => FsReply::Fd(77),
+                        FsOp::Write { data, .. } => FsReply::Count(data.len() as u64),
+                        FsOp::Read { len, .. } => FsReply::Data(vec![0u8; *len as usize]),
+                        FsOp::Stat { .. } => FsReply::Error("no such file".into()),
+                        _ => FsReply::Ok,
+                    },
+                }),
+                ClientMessage::Hello { .. } | ClientMessage::Heartbeat { .. } => {
+                    Some(ServerMessage::Ack {
+                        policy: "size-fair".into(),
+                    })
+                }
+                ClientMessage::Bye { .. } => None,
+            };
+            self.sent.lock().push(msg);
+            if let Some(r) = reply {
+                self.inbox.lock().push_back(r);
+            }
+        }
+
+        fn recv(&self, _timeout: Duration) -> Option<ServerMessage> {
+            self.inbox.lock().pop_front()
+        }
+    }
+
+    fn client(n_links: usize) -> ThemisClient<MockLink> {
+        let links = (0..n_links).map(|_| MockLink::new()).collect();
+        ThemisClient::new(
+            JobMeta::new(1u64, 2u32, 3u32, 4),
+            links,
+            Namespace::default_fs(),
+        )
+    }
+
+    #[test]
+    fn hello_reports_policies_from_all_servers() {
+        let c = client(3);
+        assert_eq!(c.hello(), vec!["size-fair"; 3]);
+        assert_eq!(c.server_count(), 3);
+    }
+
+    #[test]
+    fn descriptor_ops_stick_to_the_opening_server() {
+        let c = client(4);
+        let fd = c.open("/fs/data/file", true, true, false).unwrap();
+        assert_eq!(c.write(fd, &[1, 2, 3]).unwrap(), 3);
+        assert_eq!(c.read(fd, 8).unwrap().len(), 8);
+        c.close(fd).unwrap();
+        // All four messages (open/write/read/close) went to the same link.
+        let busy: Vec<usize> = (0..4)
+            .filter(|i| !c.links[*i].sent.lock().is_empty())
+            .collect();
+        assert_eq!(busy.len(), 1);
+        assert_eq!(c.links[busy[0]].sent.lock().len(), 4);
+    }
+
+    #[test]
+    fn paths_outside_namespace_are_rejected() {
+        let c = client(2);
+        assert!(matches!(
+            c.open("/home/user/x", true, false, false),
+            Err(FsError::InvalidPath(_))
+        ));
+    }
+
+    #[test]
+    fn errors_are_surfaced() {
+        let c = client(2);
+        assert!(c.stat("/fs/missing").is_err());
+    }
+
+    #[test]
+    fn bad_descriptor_is_detected_client_side() {
+        let c = client(1);
+        assert!(matches!(c.write(99, &[0]), Err(FsError::BadDescriptor(99))));
+        assert!(matches!(c.close(99), Err(FsError::BadDescriptor(99))));
+    }
+}

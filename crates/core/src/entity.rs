@@ -1,0 +1,211 @@
+//! Sharing entities: jobs, users, groups, and the metadata ThemisIO embeds in
+//! every I/O request.
+//!
+//! The paper (§2.2.2, §3) arbitrates I/O cycles between *sharing entities*:
+//! jobs, users, groups, and job sizes/priorities. Clients embed this metadata
+//! in each request so servers can attribute traffic without any offline
+//! profiling or user-supplied hints.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a batch job (what the resource manager would call a job id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Identifier of a user owning one or more jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Identifier of an accounting group / allocation containing one or more users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group{}", self.0)
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(v: u64) -> Self {
+        JobId(v)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(v: u32) -> Self {
+        GroupId(v)
+    }
+}
+
+/// Whether a job is currently considered I/O-active by a server's job monitor.
+///
+/// A job is `Active` while heartbeats arrive; the monitor flips it to
+/// `Inactive` when no heartbeat has been received for the configured timeout
+/// (§4.1) and its statistical token share is reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// The job has recently sent heartbeats (or I/O) and participates in
+    /// share allocation.
+    Active,
+    /// The job has not been heard from within the heartbeat timeout; it keeps
+    /// its table entry but receives no share until it becomes active again.
+    Inactive,
+}
+
+impl JobStatus {
+    /// Returns `true` for [`JobStatus::Active`].
+    pub fn is_active(self) -> bool {
+        matches!(self, JobStatus::Active)
+    }
+}
+
+/// Job metadata carried by every I/O request and heartbeat (§1, §4.1).
+///
+/// This is the information ThemisIO needs to enforce any of its sharing
+/// policies purely from real-time traffic: the job id, the owning user and
+/// group, the job size in compute nodes, and an optional priority weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobMeta {
+    /// Batch job identifier.
+    pub job: JobId,
+    /// Owning user.
+    pub user: UserId,
+    /// Accounting group of the owning user.
+    pub group: GroupId,
+    /// Number of compute nodes allocated to the job (the "size" in
+    /// size-fair).
+    pub nodes: u32,
+    /// Scheduling priority weight used by the priority-fair policy. A plain
+    /// weight: a job with priority 2.0 receives twice the share of a job with
+    /// priority 1.0 under priority-fair.
+    pub priority: f64,
+}
+
+impl JobMeta {
+    /// Creates metadata for a job with default priority 1.0.
+    pub fn new(job: impl Into<JobId>, user: impl Into<UserId>, group: impl Into<GroupId>, nodes: u32) -> Self {
+        JobMeta {
+            job: job.into(),
+            user: user.into(),
+            group: group.into(),
+            nodes: nodes.max(1),
+            priority: 1.0,
+        }
+    }
+
+    /// Sets the priority weight used by priority-fair policies.
+    pub fn with_priority(mut self, priority: f64) -> Self {
+        self.priority = if priority.is_finite() && priority > 0.0 {
+            priority
+        } else {
+            1.0
+        };
+        self
+    }
+}
+
+/// An entry of the job status table maintained by each server's job monitor
+/// (§4.1) and exchanged between servers for λ-delayed fairness (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobEntry {
+    /// Static job metadata.
+    pub meta: JobMeta,
+    /// Active/inactive as seen by the owning server.
+    pub status: JobStatus,
+    /// Virtual or wall-clock time (nanoseconds) of the last heartbeat or I/O
+    /// request observed for this job.
+    pub last_heartbeat_ns: u64,
+    /// Number of I/O requests observed for this job since it was added;
+    /// exported so operators can audit how shares map onto demand.
+    pub requests_seen: u64,
+    /// Bitmask of server indices (bit `i` = server `i`, up to 128 servers) on
+    /// which this job has been observed issuing I/O. Exchanged during λ-sync
+    /// so every controller knows how many servers a job spreads its I/O over.
+    pub presence_mask: u128,
+}
+
+impl JobEntry {
+    /// Creates a new active entry first observed at `now_ns`.
+    pub fn new(meta: JobMeta, now_ns: u64) -> Self {
+        JobEntry {
+            meta,
+            status: JobStatus::Active,
+            last_heartbeat_ns: now_ns,
+            requests_seen: 0,
+            presence_mask: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_meta_clamps_zero_nodes() {
+        let m = JobMeta::new(1u64, 2u32, 3u32, 0);
+        assert_eq!(m.nodes, 1);
+    }
+
+    #[test]
+    fn job_meta_priority_rejects_nonpositive() {
+        let m = JobMeta::new(1u64, 2u32, 3u32, 4).with_priority(0.0);
+        assert_eq!(m.priority, 1.0);
+        let m = JobMeta::new(1u64, 2u32, 3u32, 4).with_priority(f64::NAN);
+        assert_eq!(m.priority, 1.0);
+        let m = JobMeta::new(1u64, 2u32, 3u32, 4).with_priority(2.5);
+        assert_eq!(m.priority, 2.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(JobId(7).to_string(), "job7");
+        assert_eq!(UserId(3).to_string(), "user3");
+        assert_eq!(GroupId(9).to_string(), "group9");
+    }
+
+    #[test]
+    fn status_is_active() {
+        assert!(JobStatus::Active.is_active());
+        assert!(!JobStatus::Inactive.is_active());
+    }
+
+    #[test]
+    fn entry_starts_active() {
+        let e = JobEntry::new(JobMeta::new(1u64, 1u32, 1u32, 8), 42);
+        assert_eq!(e.status, JobStatus::Active);
+        assert_eq!(e.last_heartbeat_ns, 42);
+        assert_eq!(e.requests_seen, 0);
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(JobId(1));
+        s.insert(JobId(1));
+        s.insert(JobId(2));
+        assert_eq!(s.len(), 2);
+        assert!(JobId(1) < JobId(2));
+    }
+}

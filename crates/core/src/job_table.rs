@@ -1,0 +1,337 @@
+//! The job status table maintained by every server's job monitor (§4.1) and
+//! synchronised across servers for λ-delayed global fairness (§3.1).
+
+use crate::entity::{GroupId, JobEntry, JobId, JobMeta, JobStatus, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-server table of all jobs the server has heard about.
+///
+/// The table records, for each job, its metadata (user, group, node count,
+/// priority), its activity status, and when it was last heard from. Entries
+/// come from three places:
+///
+/// * heartbeats sent by clients,
+/// * the job metadata embedded in each I/O request,
+/// * table merges received from peer servers during λ-synchronisation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobTable {
+    entries: BTreeMap<JobId, JobEntry>,
+    /// Heartbeat timeout: a job becomes inactive when `now - last_heartbeat`
+    /// exceeds this value. Defaults to 5 s, matching the "predefined period of
+    /// time" in §4.1.
+    heartbeat_timeout_ns: u64,
+    /// The index of the server this table belongs to, when the table is one
+    /// server's local view in a multi-server deployment. Used to record which
+    /// servers each job issues I/O on (the "token counts" exchanged during
+    /// λ-sync, Fig. 5) and to localise globally fair shares.
+    viewpoint: Option<u32>,
+}
+
+/// Default heartbeat timeout (5 seconds, in nanoseconds).
+pub const DEFAULT_HEARTBEAT_TIMEOUT_NS: u64 = 5_000_000_000;
+
+impl JobTable {
+    /// Creates an empty table with the default heartbeat timeout.
+    pub fn new() -> Self {
+        JobTable {
+            entries: BTreeMap::new(),
+            heartbeat_timeout_ns: DEFAULT_HEARTBEAT_TIMEOUT_NS,
+            viewpoint: None,
+        }
+    }
+
+    /// Creates an empty table with an explicit heartbeat timeout.
+    pub fn with_heartbeat_timeout(timeout_ns: u64) -> Self {
+        JobTable {
+            entries: BTreeMap::new(),
+            heartbeat_timeout_ns: timeout_ns,
+            viewpoint: None,
+        }
+    }
+
+    /// Marks this table as the local view of server `index` so that observed
+    /// requests are attributed to that server in each job's presence mask.
+    pub fn set_viewpoint(&mut self, index: usize) {
+        self.viewpoint = Some(index.min(127) as u32);
+    }
+
+    /// The server index this table is the local view of, if any.
+    pub fn viewpoint(&self) -> Option<u32> {
+        self.viewpoint
+    }
+
+    /// The number of servers a job has been observed issuing I/O on (0 when
+    /// the job has only ever been seen through heartbeats).
+    pub fn server_span(&self, job: JobId) -> u32 {
+        self.entries
+            .get(&job)
+            .map_or(0, |e| e.presence_mask.count_ones())
+    }
+
+    /// Whether `job` has been observed issuing I/O on server `index`.
+    pub fn present_on(&self, job: JobId, index: u32) -> bool {
+        self.entries
+            .get(&job)
+            .map_or(false, |e| e.presence_mask & (1u128 << index.min(127)) != 0)
+    }
+
+    /// The configured heartbeat timeout in nanoseconds.
+    pub fn heartbeat_timeout_ns(&self) -> u64 {
+        self.heartbeat_timeout_ns
+    }
+
+    /// Number of jobs (active or inactive) known to this table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the table has no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a heartbeat (or any sign of life) from a job at time `now_ns`.
+    ///
+    /// Unknown jobs are inserted as new active entries — this is how a server
+    /// learns about a job the first time one of its clients connects.
+    pub fn heartbeat(&mut self, meta: JobMeta, now_ns: u64) {
+        let entry = self
+            .entries
+            .entry(meta.job)
+            .or_insert_with(|| JobEntry::new(meta, now_ns));
+        entry.meta = meta;
+        entry.status = JobStatus::Active;
+        entry.last_heartbeat_ns = entry.last_heartbeat_ns.max(now_ns);
+    }
+
+    /// Records that an I/O request from `meta.job` was observed at `now_ns`.
+    ///
+    /// Requests count as heartbeats: a job that is actively issuing I/O never
+    /// times out even if its dedicated heartbeat thread stalls.
+    pub fn observe_request(&mut self, meta: JobMeta, now_ns: u64) {
+        self.heartbeat(meta, now_ns);
+        let viewpoint = self.viewpoint;
+        if let Some(e) = self.entries.get_mut(&meta.job) {
+            e.requests_seen += 1;
+            if let Some(v) = viewpoint {
+                e.presence_mask |= 1u128 << v.min(127);
+            }
+        }
+    }
+
+    /// Explicitly removes a job, e.g. when its client disconnects cleanly
+    /// (§4.2: "When a client exits, it notifies the ThemisIO servers to
+    /// destroy the corresponding mapping entry").
+    pub fn remove(&mut self, job: JobId) -> Option<JobEntry> {
+        self.entries.remove(&job)
+    }
+
+    /// Marks jobs whose last heartbeat is older than the timeout as inactive
+    /// and returns how many transitions happened.
+    pub fn expire(&mut self, now_ns: u64) -> usize {
+        let timeout = self.heartbeat_timeout_ns;
+        let mut flipped = 0;
+        for entry in self.entries.values_mut() {
+            if entry.status == JobStatus::Active
+                && now_ns.saturating_sub(entry.last_heartbeat_ns) > timeout
+            {
+                entry.status = JobStatus::Inactive;
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Looks up a single entry.
+    pub fn get(&self, job: JobId) -> Option<&JobEntry> {
+        self.entries.get(&job)
+    }
+
+    /// Iterates over all entries in job-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&JobId, &JobEntry)> {
+        self.entries.iter()
+    }
+
+    /// Returns the metadata of all *active* jobs, in job-id order.
+    ///
+    /// This is the input to share computation: only active jobs receive
+    /// statistical tokens.
+    pub fn active_jobs(&self) -> Vec<JobMeta> {
+        self.entries
+            .values()
+            .filter(|e| e.status.is_active())
+            .map(|e| e.meta)
+            .collect()
+    }
+
+    /// Number of active jobs.
+    pub fn active_count(&self) -> usize {
+        self.entries.values().filter(|e| e.status.is_active()).count()
+    }
+
+    /// Distinct users that own at least one active job.
+    pub fn active_users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self
+            .entries
+            .values()
+            .filter(|e| e.status.is_active())
+            .map(|e| e.meta.user)
+            .collect();
+        users.sort_unstable();
+        users.dedup();
+        users
+    }
+
+    /// Distinct groups that own at least one active job.
+    pub fn active_groups(&self) -> Vec<GroupId> {
+        let mut groups: Vec<GroupId> = self
+            .entries
+            .values()
+            .filter(|e| e.status.is_active())
+            .map(|e| e.meta.group)
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups
+    }
+
+    /// Merges a peer server's table into this one (the all-gather step of
+    /// λ-delayed fairness, §3.1 / Fig. 5).
+    ///
+    /// For a job present in both tables the entry with the most recent
+    /// heartbeat wins; a job that either side considers active stays active
+    /// (the job clearly exists somewhere in the system). Request counters are
+    /// *not* summed — they are per-server observations — the maximum is kept
+    /// as a conservative indicator.
+    pub fn merge_from(&mut self, other: &JobTable) {
+        for (job, remote) in other.entries.iter() {
+            match self.entries.get_mut(job) {
+                None => {
+                    self.entries.insert(*job, *remote);
+                }
+                Some(local) => {
+                    if remote.last_heartbeat_ns > local.last_heartbeat_ns {
+                        local.meta = remote.meta;
+                        local.last_heartbeat_ns = remote.last_heartbeat_ns;
+                    }
+                    if remote.status.is_active() {
+                        local.status = JobStatus::Active;
+                    }
+                    local.requests_seen = local.requests_seen.max(remote.requests_seen);
+                    local.presence_mask |= remote.presence_mask;
+                }
+            }
+        }
+    }
+
+    /// Produces the globally-merged table of a set of per-server tables, the
+    /// result every controller holds after one complete all-gather round.
+    pub fn all_gather<'a>(tables: impl IntoIterator<Item = &'a JobTable>) -> JobTable {
+        let mut merged = JobTable::new();
+        for t in tables {
+            merged.heartbeat_timeout_ns = t.heartbeat_timeout_ns;
+            merged.merge_from(t);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(job: u64, user: u32, group: u32, nodes: u32) -> JobMeta {
+        JobMeta::new(job, user, group, nodes)
+    }
+
+    #[test]
+    fn heartbeat_inserts_and_refreshes() {
+        let mut t = JobTable::new();
+        t.heartbeat(meta(1, 10, 100, 4), 1_000);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.active_count(), 1);
+        t.heartbeat(meta(1, 10, 100, 4), 2_000);
+        assert_eq!(t.get(JobId(1)).unwrap().last_heartbeat_ns, 2_000);
+    }
+
+    #[test]
+    fn stale_heartbeat_does_not_rewind_clock() {
+        let mut t = JobTable::new();
+        t.heartbeat(meta(1, 10, 100, 4), 5_000);
+        t.heartbeat(meta(1, 10, 100, 4), 3_000);
+        assert_eq!(t.get(JobId(1)).unwrap().last_heartbeat_ns, 5_000);
+    }
+
+    #[test]
+    fn expire_marks_inactive_and_heartbeat_revives() {
+        let mut t = JobTable::with_heartbeat_timeout(1_000);
+        t.heartbeat(meta(1, 10, 100, 4), 0);
+        assert_eq!(t.expire(500), 0);
+        assert_eq!(t.expire(2_000), 1);
+        assert_eq!(t.active_count(), 0);
+        assert_eq!(t.len(), 1);
+        t.heartbeat(meta(1, 10, 100, 4), 2_500);
+        assert_eq!(t.active_count(), 1);
+    }
+
+    #[test]
+    fn observe_request_counts() {
+        let mut t = JobTable::new();
+        for i in 0..5 {
+            t.observe_request(meta(1, 10, 100, 4), i * 100);
+        }
+        assert_eq!(t.get(JobId(1)).unwrap().requests_seen, 5);
+    }
+
+    #[test]
+    fn active_users_and_groups_dedup() {
+        let mut t = JobTable::new();
+        t.heartbeat(meta(1, 10, 100, 4), 0);
+        t.heartbeat(meta(2, 10, 100, 2), 0);
+        t.heartbeat(meta(3, 20, 100, 2), 0);
+        assert_eq!(t.active_users(), vec![UserId(10), UserId(20)]);
+        assert_eq!(t.active_groups(), vec![GroupId(100)]);
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let mut t = JobTable::new();
+        t.heartbeat(meta(1, 10, 100, 4), 0);
+        assert!(t.remove(JobId(1)).is_some());
+        assert!(t.is_empty());
+        assert!(t.remove(JobId(1)).is_none());
+    }
+
+    #[test]
+    fn merge_prefers_latest_and_keeps_active() {
+        let mut a = JobTable::new();
+        let mut b = JobTable::new();
+        a.heartbeat(meta(1, 10, 100, 16), 1_000);
+        b.heartbeat(meta(1, 10, 100, 16), 9_000);
+        b.heartbeat(meta(2, 20, 100, 8), 5_000);
+        // Job 1 inactive on a, active on b.
+        a.expire(u64::MAX);
+        a.merge_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(JobId(1)).unwrap().last_heartbeat_ns, 9_000);
+        assert!(a.get(JobId(1)).unwrap().status.is_active());
+    }
+
+    #[test]
+    fn all_gather_reproduces_fig5_union() {
+        // Fig. 5: server 1 sees jobs {1 (16 nodes), 2 (8 nodes)}, server 2
+        // sees {1 (16 nodes), 3 (8 nodes)}. After the all-gather both see all
+        // three jobs, so size-fair converges to 16:8:8 = 50%/25%/25%.
+        let mut s1 = JobTable::new();
+        s1.heartbeat(meta(1, 1, 1, 16), 0);
+        s1.heartbeat(meta(2, 2, 1, 8), 0);
+        let mut s2 = JobTable::new();
+        s2.heartbeat(meta(1, 1, 1, 16), 0);
+        s2.heartbeat(meta(3, 3, 1, 8), 0);
+        let merged = JobTable::all_gather([&s1, &s2]);
+        assert_eq!(merged.len(), 3);
+        let total_nodes: u32 = merged.active_jobs().iter().map(|m| m.nodes).sum();
+        assert_eq!(total_nodes, 32);
+    }
+}

@@ -1,0 +1,74 @@
+//! # themis-core
+//!
+//! The policy engine of ThemisIO-RS, a Rust reproduction of
+//! *"Fine-grained Policy-driven I/O Sharing for Burst Buffers"* (SC 2023).
+//!
+//! This crate contains everything needed to decide *which job's I/O request a
+//! burst-buffer worker should serve next*:
+//!
+//! * [`entity`] — jobs, users, groups, and the metadata embedded in requests;
+//! * [`job_table`] — the per-server job status table and its merge rules;
+//! * [`policy`] — primitive and composite sharing policies and their parser;
+//! * [`matrix`] — transition matrices and the chain product of Eq. 1;
+//! * [`shares`] — per-job statistical token (share) computation;
+//! * [`sampler`] — the `[0,1]` segment table sampled by I/O workers;
+//! * [`request`] — scheduler-visible request and completion descriptors;
+//! * [`sched`] — the [`Scheduler`](sched::Scheduler) trait and the ThemisIO
+//!   statistical-token scheduler;
+//! * [`sync`] — λ-delayed global fairness helpers.
+//!
+//! The data path (file system, device model, transport, server runtime,
+//! simulator) lives in the sibling crates of the workspace and all of them
+//! arbitrate through this crate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use themis_core::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Two jobs: 4 nodes vs 1 node, arbitrated size-fair.
+//! let policy: Policy = "size-fair".parse().unwrap();
+//! let mut table = JobTable::new();
+//! let big = JobMeta::new(1u64, 100u32, 10u32, 4);
+//! let small = JobMeta::new(2u64, 200u32, 10u32, 1);
+//! table.heartbeat(big, 0);
+//! table.heartbeat(small, 0);
+//!
+//! let mut sched = ThemisScheduler::new(policy.clone());
+//! sched.refresh(&table, &policy);
+//! for seq in 0..100 {
+//!     sched.enqueue(IoRequest::write(seq, big, 1 << 20, 0));
+//!     sched.enqueue(IoRequest::write(seq + 100, small, 1 << 20, 0));
+//! }
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let req = sched.next(0, &mut rng).unwrap();
+//! assert!(req.bytes == 1 << 20);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod entity;
+pub mod job_table;
+pub mod matrix;
+pub mod policy;
+pub mod request;
+pub mod sampler;
+pub mod sched;
+pub mod shares;
+pub mod sync;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::entity::{GroupId, JobId, JobMeta, JobStatus, UserId};
+    pub use crate::job_table::JobTable;
+    pub use crate::policy::{Level, Policy, PolicyError};
+    pub use crate::request::{Completion, IoRequest, OpKind};
+    pub use crate::sampler::TokenSampler;
+    pub use crate::sched::{JobQueues, Scheduler, ThemisScheduler};
+    pub use crate::shares::{compute_shares, ShareBreakdown, ShareMap};
+    pub use crate::sync::{LambdaClock, SyncConfig};
+}
+
+pub use prelude::*;

@@ -1,0 +1,254 @@
+//! Transition matrices and the statistical token assignment of §3 (Eq. 1).
+//!
+//! Every level of a composite policy is expressed as a *transition matrix*:
+//! rows are the token queues (scopes) of the previous level, columns are the
+//! sharing entities at the current level, and entry `(j, k)` is the fair
+//! share of entity `k` *within* scope `j`. Each row sums to one and each
+//! column has at most one non-zero entry (an entity belongs to exactly one
+//! parent scope). The statistical token assignment of the whole policy is the
+//! product of the per-level matrices, a `1 × num_jobs` row vector of shares.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major transition matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl TransitionMatrix {
+    /// Creates a zero matrix with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        TransitionMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data. Panics if the data length does
+    /// not match the shape (a programming error, not a runtime condition).
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "transition matrix data length must equal rows*cols"
+        );
+        TransitionMatrix { rows, cols, data }
+    }
+
+    /// Number of rows (parent scopes).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (entities at this level).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads one entry.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Writes one entry.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Builds the matrix for one policy level from a membership map:
+    /// `parent_of[k]` is the row index of entity `k`'s scope, `weight[k]` is
+    /// its weight within that scope (1.0 for even splits, node count for
+    /// size-fair, priority for priority-fair).
+    ///
+    /// Weights are normalised per row so every non-empty row sums to one.
+    pub fn from_membership(rows: usize, parent_of: &[usize], weights: &[f64]) -> Self {
+        assert_eq!(parent_of.len(), weights.len());
+        let cols = parent_of.len();
+        let mut m = TransitionMatrix::zeros(rows, cols);
+        let mut row_totals = vec![0.0f64; rows];
+        for (k, (&p, &w)) in parent_of.iter().zip(weights).enumerate() {
+            assert!(p < rows, "parent index out of range");
+            let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };
+            m.set(p, k, w);
+            row_totals[p] += w;
+        }
+        for row in 0..rows {
+            let total = row_totals[row];
+            if total > 0.0 {
+                for col in 0..cols {
+                    let v = m.get(row, col);
+                    if v > 0.0 {
+                        m.set(row, col, v / total);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix product `self × rhs`. Panics when the inner dimensions differ
+    /// (a policy construction bug).
+    pub fn multiply(&self, rhs: &TransitionMatrix) -> TransitionMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree for matrix chain evaluation"
+        );
+        let mut out = TransitionMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let b = rhs.get(k, j);
+                    if b != 0.0 {
+                        out.set(i, j, out.get(i, j) + a * b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates a chain of matrices `T^0 × T^1 × … × T^{N-1}` (Eq. 1).
+    ///
+    /// Returns `None` when the chain is empty.
+    pub fn chain(matrices: &[TransitionMatrix]) -> Option<TransitionMatrix> {
+        let mut it = matrices.iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, m| acc.multiply(m)))
+    }
+
+    /// Returns the sums of every row.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c)).sum())
+            .collect()
+    }
+
+    /// Checks the structural invariants of a policy-level matrix: entries in
+    /// `[0, 1]`, rows sum to 1 (or 0 for empty scopes), and each column has at
+    /// most one non-zero entry.
+    pub fn is_valid_level(&self) -> bool {
+        for &v in &self.data {
+            if !(0.0..=1.0 + 1e-9).contains(&v) {
+                return false;
+            }
+        }
+        for s in self.row_sums() {
+            if s > 1e-12 && (s - 1.0).abs() > 1e-9 {
+                return false;
+            }
+        }
+        for col in 0..self.cols {
+            let nonzero = (0..self.rows).filter(|&r| self.get(r, col) > 0.0).count();
+            if nonzero > 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Interprets a single-row matrix as a share vector.
+    pub fn as_share_row(&self) -> Option<&[f64]> {
+        if self.rows == 1 {
+            Some(&self.data)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_normalises_rows() {
+        // Two scopes: scope 0 has entities {0,1} with weights 1,3; scope 1 has
+        // entity {2} with weight 5.
+        let m = TransitionMatrix::from_membership(2, &[0, 0, 1], &[1.0, 3.0, 5.0]);
+        assert!((m.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!((m.get(0, 1) - 0.75).abs() < 1e-12);
+        assert!((m.get(1, 2) - 1.0).abs() < 1e-12);
+        assert!(m.is_valid_level());
+    }
+
+    #[test]
+    fn membership_ignores_nonpositive_weights() {
+        let m = TransitionMatrix::from_membership(1, &[0, 0], &[f64::NAN, 2.0]);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert!((m.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig4_user_then_job_fair() {
+        // Fig. 4: two users (even split at the top level); user 1 runs 2 jobs,
+        // user 2 runs 4 jobs. Expected job shares: 1/4,1/4, then 1/8 ×4.
+        let user = TransitionMatrix::from_membership(1, &[0, 0], &[1.0, 1.0]);
+        let job = TransitionMatrix::from_membership(
+            2,
+            &[0, 0, 1, 1, 1, 1],
+            &[1.0; 6],
+        );
+        let result = TransitionMatrix::chain(&[user, job]).unwrap();
+        let shares = result.as_share_row().unwrap();
+        assert_eq!(shares.len(), 6);
+        assert!((shares[0] - 0.25).abs() < 1e-12);
+        assert!((shares[1] - 0.25).abs() < 1e-12);
+        for s in &shares[2..] {
+            assert!((s - 0.125).abs() < 1e-12);
+        }
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiply_shapes_and_values() {
+        let a = TransitionMatrix::from_rows(1, 2, vec![0.5, 0.5]);
+        let b = TransitionMatrix::from_rows(2, 3, vec![1.0, 0.0, 0.0, 0.0, 0.5, 0.5]);
+        let c = a.multiply(&b);
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.as_share_row().unwrap(), &[0.5, 0.25, 0.25]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn multiply_panics_on_shape_mismatch() {
+        let a = TransitionMatrix::zeros(1, 2);
+        let b = TransitionMatrix::zeros(3, 1);
+        let _ = a.multiply(&b);
+    }
+
+    #[test]
+    fn chain_of_empty_is_none() {
+        assert!(TransitionMatrix::chain(&[]).is_none());
+    }
+
+    #[test]
+    fn validity_detects_bad_rows_and_columns() {
+        let mut m = TransitionMatrix::zeros(2, 2);
+        m.set(0, 0, 0.7);
+        m.set(0, 1, 0.7);
+        assert!(!m.is_valid_level());
+        let mut m = TransitionMatrix::zeros(2, 1);
+        m.set(0, 0, 0.5);
+        m.set(1, 0, 0.5);
+        // column with two parents is invalid even though rows are fine
+        assert!(!m.is_valid_level());
+    }
+
+    #[test]
+    fn empty_scope_rows_allowed() {
+        // A scope with no entities yields an all-zero row, which is valid.
+        let m = TransitionMatrix::from_membership(2, &[1], &[1.0]);
+        assert!(m.is_valid_level());
+        assert_eq!(m.row_sums()[0], 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Sharing policies: primitive (job-, size-, user-, priority-fair) and
+//! composite (e.g. user-then-size-fair, group-then-user-then-size-fair).
+//!
+//! A policy is an ordered list of [`Level`]s. Each level splits the I/O
+//! resource of its enclosing scope between the sharing entities at that level
+//! (§2.2.2). The last level always resolves down to jobs: `Job` splits evenly
+//! between jobs, `Size` splits in proportion to the node count, `Priority` in
+//! proportion to the priority weight.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One tier of a sharing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Split evenly across accounting groups.
+    Group,
+    /// Split evenly across users (within the enclosing scope).
+    User,
+    /// Split evenly across jobs (within the enclosing scope).
+    Job,
+    /// Split across jobs in proportion to their node counts.
+    Size,
+    /// Split across jobs in proportion to their priority weights.
+    Priority,
+}
+
+impl Level {
+    /// Whether this level distributes shares directly onto jobs (and must
+    /// therefore be the innermost level of a policy).
+    pub fn is_job_level(self) -> bool {
+        matches!(self, Level::Job | Level::Size | Level::Priority)
+    }
+
+    /// The canonical name used in policy strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Group => "group",
+            Level::User => "user",
+            Level::Job => "job",
+            Level::Size => "size",
+            Level::Priority => "priority",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sharing policy: either plain FIFO (no arbitration) or a fair-sharing
+/// hierarchy of one or more levels ending in a job-level split.
+///
+/// `Policy` is the "single parameter" a system administrator supplies when
+/// starting ThemisIO (§2.2.2). It parses from strings such as `"fifo"`,
+/// `"size-fair"`, `"user-then-job-fair"` or `"group-user-size-fair"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// First-in-first-out: requests are served in arrival order with no
+    /// fairness enforcement. This is the baseline behaviour of production
+    /// burst buffers the paper argues against.
+    Fifo,
+    /// Fair sharing through the ordered list of levels. The final level must
+    /// be a job-level split ([`Level::is_job_level`]).
+    Fair(Vec<Level>),
+}
+
+impl Policy {
+    /// The job-fair primitive policy.
+    pub fn job_fair() -> Self {
+        Policy::Fair(vec![Level::Job])
+    }
+
+    /// The size-fair primitive policy (share ∝ node count).
+    pub fn size_fair() -> Self {
+        Policy::Fair(vec![Level::Size])
+    }
+
+    /// The user-fair primitive policy.
+    pub fn user_fair() -> Self {
+        Policy::Fair(vec![Level::User, Level::Job])
+    }
+
+    /// The priority-fair primitive policy (share ∝ priority weight).
+    pub fn priority_fair() -> Self {
+        Policy::Fair(vec![Level::Priority])
+    }
+
+    /// The user-then-size-fair composite policy of §5.3.2 / Fig. 9.
+    pub fn user_then_size_fair() -> Self {
+        Policy::Fair(vec![Level::User, Level::Size])
+    }
+
+    /// The group-then-user-then-size-fair composite policy of Fig. 10/11.
+    pub fn group_user_size_fair() -> Self {
+        Policy::Fair(vec![Level::Group, Level::User, Level::Size])
+    }
+
+    /// Builds a composite policy from explicit levels, validating the shape.
+    pub fn composite(levels: Vec<Level>) -> Result<Self, PolicyError> {
+        let p = Policy::Fair(levels);
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// The ordered levels of a fair policy; empty for FIFO.
+    pub fn levels(&self) -> &[Level] {
+        match self {
+            Policy::Fifo => &[],
+            Policy::Fair(levels) => levels,
+        }
+    }
+
+    /// Depth (number of levels); FIFO has depth 0.
+    pub fn depth(&self) -> usize {
+        self.levels().len()
+    }
+
+    /// Whether this policy performs any fairness arbitration at all.
+    pub fn is_fair(&self) -> bool {
+        matches!(self, Policy::Fair(_))
+    }
+
+    /// Checks structural invariants:
+    ///
+    /// * a fair policy has at least one level,
+    /// * only the final level is a job-level split,
+    /// * levels above it follow the scope order group ⊇ user,
+    /// * no level repeats.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        let levels = match self {
+            Policy::Fifo => return Ok(()),
+            Policy::Fair(levels) => levels,
+        };
+        if levels.is_empty() {
+            return Err(PolicyError::Empty);
+        }
+        let last = *levels.last().expect("non-empty");
+        if !last.is_job_level() {
+            return Err(PolicyError::MissingJobLevel(last));
+        }
+        for (i, lvl) in levels.iter().enumerate() {
+            if lvl.is_job_level() && i + 1 != levels.len() {
+                return Err(PolicyError::JobLevelNotLast(*lvl));
+            }
+        }
+        for w in levels.windows(2) {
+            if w[0] == w[1] {
+                return Err(PolicyError::DuplicateLevel(w[0]));
+            }
+            // Group must enclose user: "user-then-group" is meaningless.
+            if w[0] == Level::User && w[1] == Level::Group {
+                return Err(PolicyError::BadNesting);
+            }
+        }
+        if levels.iter().filter(|l| **l == Level::Group).count() > 1
+            || levels.iter().filter(|l| **l == Level::User).count() > 1
+        {
+            return Err(PolicyError::DuplicateLevel(Level::User));
+        }
+        Ok(())
+    }
+
+    /// Canonical policy-string form, e.g. `"group-user-size-fair"`.
+    pub fn canonical_name(&self) -> String {
+        match self {
+            Policy::Fifo => "fifo".to_string(),
+            Policy::Fair(levels) => {
+                let mut s = String::new();
+                for l in levels {
+                    s.push_str(l.name());
+                    s.push('-');
+                }
+                s.push_str("fair");
+                s
+            }
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical_name())
+    }
+}
+
+/// Errors produced when constructing or parsing a [`Policy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// A fair policy with no levels.
+    Empty,
+    /// The final level does not resolve to jobs.
+    MissingJobLevel(Level),
+    /// A job-level split appears before the final position.
+    JobLevelNotLast(Level),
+    /// The same level appears twice.
+    DuplicateLevel(Level),
+    /// Scopes are nested inside-out (e.g. user before group).
+    BadNesting,
+    /// The policy string could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Empty => write!(f, "fair policy must have at least one level"),
+            PolicyError::MissingJobLevel(l) => write!(
+                f,
+                "last policy level must split onto jobs (job/size/priority), got '{l}'"
+            ),
+            PolicyError::JobLevelNotLast(l) => {
+                write!(f, "job-level split '{l}' must be the last policy level")
+            }
+            PolicyError::DuplicateLevel(l) => write!(f, "policy level '{l}' appears more than once"),
+            PolicyError::BadNesting => write!(f, "group must enclose user, not the other way round"),
+            PolicyError::Parse(s) => write!(f, "cannot parse policy string '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl FromStr for Policy {
+    type Err = PolicyError;
+
+    /// Parses administrator-facing policy strings.
+    ///
+    /// Accepted forms (case-insensitive):
+    ///
+    /// * `fifo`
+    /// * `<level>-fair` for primitives: `job-fair`, `size-fair`, `user-fair`,
+    ///   `priority-fair`
+    /// * chained levels with optional `then` separators:
+    ///   `user-then-size-fair`, `user-size-fair`, `group-user-size-fair`,
+    ///   `group-then-user-then-job-fair`
+    ///
+    /// A trailing `-fair` is required for all fair policies. A policy that
+    /// does not end in a job-level split gets an implicit even `job` split
+    /// appended (so `user-fair` means "split across users, then evenly across
+    /// each user's jobs", as in §5.3.1).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        if norm == "fifo" {
+            return Ok(Policy::Fifo);
+        }
+        let stripped = norm
+            .strip_suffix("-fair")
+            .or_else(|| norm.strip_suffix("fair").filter(|r| r.is_empty()))
+            .ok_or_else(|| PolicyError::Parse(s.to_string()))?;
+        if stripped.is_empty() {
+            return Err(PolicyError::Parse(s.to_string()));
+        }
+        let mut levels = Vec::new();
+        for tok in stripped.split('-') {
+            if tok.is_empty() || tok == "then" {
+                continue;
+            }
+            let lvl = match tok {
+                "group" => Level::Group,
+                "user" => Level::User,
+                "job" => Level::Job,
+                "size" => Level::Size,
+                "priority" | "prio" => Level::Priority,
+                _ => return Err(PolicyError::Parse(s.to_string())),
+            };
+            levels.push(lvl);
+        }
+        if levels.is_empty() {
+            return Err(PolicyError::Parse(s.to_string()));
+        }
+        if !levels.last().expect("non-empty").is_job_level() {
+            levels.push(Level::Job);
+        }
+        let p = Policy::Fair(levels);
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_primitives() {
+        assert_eq!("fifo".parse::<Policy>().unwrap(), Policy::Fifo);
+        assert_eq!("job-fair".parse::<Policy>().unwrap(), Policy::job_fair());
+        assert_eq!("size-fair".parse::<Policy>().unwrap(), Policy::size_fair());
+        assert_eq!("user-fair".parse::<Policy>().unwrap(), Policy::user_fair());
+        assert_eq!(
+            "priority-fair".parse::<Policy>().unwrap(),
+            Policy::priority_fair()
+        );
+    }
+
+    #[test]
+    fn parse_composites_with_and_without_then() {
+        assert_eq!(
+            "user-then-size-fair".parse::<Policy>().unwrap(),
+            Policy::user_then_size_fair()
+        );
+        assert_eq!(
+            "user-size-fair".parse::<Policy>().unwrap(),
+            Policy::user_then_size_fair()
+        );
+        assert_eq!(
+            "group-user-size-fair".parse::<Policy>().unwrap(),
+            Policy::group_user_size_fair()
+        );
+        assert_eq!(
+            "group-then-user-then-job-fair".parse::<Policy>().unwrap(),
+            Policy::Fair(vec![Level::Group, Level::User, Level::Job])
+        );
+    }
+
+    #[test]
+    fn parse_case_insensitive_and_trimmed() {
+        assert_eq!(
+            "  User-Then-Job-Fair  ".parse::<Policy>().unwrap(),
+            Policy::Fair(vec![Level::User, Level::Job])
+        );
+    }
+
+    #[test]
+    fn parse_appends_job_split_when_outer_scope_last() {
+        // "group-user-fair" means evenly across groups, users, then jobs.
+        assert_eq!(
+            "group-user-fair".parse::<Policy>().unwrap(),
+            Policy::Fair(vec![Level::Group, Level::User, Level::Job])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Policy>().is_err());
+        assert!("fair".parse::<Policy>().is_err());
+        assert!("banana-fair".parse::<Policy>().is_err());
+        assert!("job".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_job_level_in_middle() {
+        let p = Policy::Fair(vec![Level::Size, Level::User, Level::Job]);
+        assert!(matches!(p.validate(), Err(PolicyError::JobLevelNotLast(Level::Size))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_nesting() {
+        let p = Policy::Fair(vec![Level::User, Level::Group, Level::Job]);
+        assert!(matches!(p.validate(), Err(PolicyError::BadNesting)));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_empty() {
+        assert!(Policy::Fair(vec![]).validate().is_err());
+        assert!(Policy::Fair(vec![Level::User, Level::User, Level::Job])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn canonical_names_round_trip() {
+        for p in [
+            Policy::Fifo,
+            Policy::job_fair(),
+            Policy::size_fair(),
+            Policy::user_fair(),
+            Policy::user_then_size_fair(),
+            Policy::group_user_size_fair(),
+        ] {
+            let name = p.canonical_name();
+            assert_eq!(name.parse::<Policy>().unwrap(), p, "round trip of {name}");
+        }
+    }
+
+    #[test]
+    fn display_matches_canonical() {
+        assert_eq!(Policy::group_user_size_fair().to_string(), "group-user-size-fair");
+        assert_eq!(Policy::Fifo.to_string(), "fifo");
+    }
+}

@@ -1,0 +1,153 @@
+//! I/O request descriptors as seen by the arbitration layer.
+//!
+//! ThemisIO disassociates I/O *control* from I/O *processing* (§2.2.1): the
+//! scheduler only needs to know which job a request belongs to and roughly
+//! how expensive it is; the actual data path is handled by the file system
+//! and device layers.
+
+use crate::entity::JobMeta;
+use serde::{Deserialize, Serialize};
+
+/// The kind of I/O operation a request performs.
+///
+/// The variants mirror the intercepted POSIX calls of Listing 1: data
+/// operations (read/write) and metadata operations (open, stat, readdir, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `read()` of a byte range.
+    Read,
+    /// `write()` of a byte range.
+    Write,
+    /// `open()/close()` and other cheap metadata updates.
+    Open,
+    /// `stat()`-style metadata query.
+    Stat,
+    /// Directory creation / file creation.
+    Create,
+    /// `readdir()` listing.
+    Readdir,
+    /// File or directory removal.
+    Remove,
+}
+
+impl OpKind {
+    /// Whether the operation moves bulk data (as opposed to metadata only).
+    pub fn is_data(self) -> bool {
+        matches!(self, OpKind::Read | OpKind::Write)
+    }
+
+    /// Whether the operation only touches metadata.
+    pub fn is_metadata(self) -> bool {
+        !self.is_data()
+    }
+}
+
+/// A scheduler-visible I/O request.
+///
+/// `bytes` is the payload size for data operations and 0 for pure metadata
+/// operations; the device model charges metadata operations a fixed per-op
+/// cost instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Monotonically increasing id assigned at enqueue time; used to keep
+    /// FIFO order within a job and for tracing.
+    pub seq: u64,
+    /// Job metadata embedded by the client (§1: job id, user id, job size).
+    pub meta: JobMeta,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Payload size in bytes (0 for metadata operations).
+    pub bytes: u64,
+    /// Virtual or wall-clock arrival time in nanoseconds, set by the server
+    /// communicator when the request is queued.
+    pub arrival_ns: u64,
+}
+
+impl IoRequest {
+    /// Creates a new request descriptor.
+    pub fn new(seq: u64, meta: JobMeta, kind: OpKind, bytes: u64, arrival_ns: u64) -> Self {
+        IoRequest {
+            seq,
+            meta,
+            kind,
+            bytes,
+            arrival_ns,
+        }
+    }
+
+    /// Convenience constructor for a data write.
+    pub fn write(seq: u64, meta: JobMeta, bytes: u64, arrival_ns: u64) -> Self {
+        Self::new(seq, meta, OpKind::Write, bytes, arrival_ns)
+    }
+
+    /// Convenience constructor for a data read.
+    pub fn read(seq: u64, meta: JobMeta, bytes: u64, arrival_ns: u64) -> Self {
+        Self::new(seq, meta, OpKind::Read, bytes, arrival_ns)
+    }
+}
+
+/// Completion record handed back to the scheduler so baselines that meter
+/// consumed bandwidth (GIFT, TBF) can account for actual service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request that finished.
+    pub request: IoRequest,
+    /// Time at which service started (ns).
+    pub start_ns: u64,
+    /// Time at which service finished (ns).
+    pub finish_ns: u64,
+}
+
+impl Completion {
+    /// Service duration in nanoseconds.
+    pub fn service_ns(&self) -> u64 {
+        self.finish_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Queueing delay (arrival → start of service) in nanoseconds.
+    pub fn queue_delay_ns(&self) -> u64 {
+        self.start_ns.saturating_sub(self.request.arrival_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::JobMeta;
+
+    #[test]
+    fn op_kind_classification() {
+        assert!(OpKind::Read.is_data());
+        assert!(OpKind::Write.is_data());
+        for k in [OpKind::Open, OpKind::Stat, OpKind::Create, OpKind::Readdir, OpKind::Remove] {
+            assert!(k.is_metadata());
+            assert!(!k.is_data());
+        }
+    }
+
+    #[test]
+    fn completion_durations() {
+        let meta = JobMeta::new(1u64, 1u32, 1u32, 1);
+        let req = IoRequest::write(0, meta, 1024, 100);
+        let c = Completion {
+            request: req,
+            start_ns: 150,
+            finish_ns: 400,
+        };
+        assert_eq!(c.service_ns(), 250);
+        assert_eq!(c.queue_delay_ns(), 50);
+    }
+
+    #[test]
+    fn completion_saturates_on_clock_skew() {
+        let meta = JobMeta::new(1u64, 1u32, 1u32, 1);
+        let req = IoRequest::read(0, meta, 1024, 500);
+        let c = Completion {
+            request: req,
+            start_ns: 400,
+            finish_ns: 300,
+        };
+        assert_eq!(c.service_ns(), 0);
+        assert_eq!(c.queue_delay_ns(), 0);
+    }
+}

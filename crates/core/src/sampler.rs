@@ -1,0 +1,192 @@
+//! The statistical token sampler: one uniform draw in `[0, 1]` selects the
+//! job whose segment the draw falls into (§3, Fig. 3).
+//!
+//! The sampler is rebuilt whenever shares change (policy update, job
+//! arrival/departure, λ-sync) and is otherwise read-only, so workers never
+//! need locks on the hot path — exactly the lock-freedom argument of §3.
+
+use crate::entity::JobId;
+use crate::shares::ShareMap;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An immutable cumulative-distribution table over job segments.
+///
+/// Sampling is a binary search over the cumulative bounds: `O(log n)` per
+/// draw for `n` active jobs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TokenSampler {
+    jobs: Vec<JobId>,
+    /// `cumulative[i]` is the upper bound of job `i`'s segment; the last
+    /// entry is 1.0 (up to rounding).
+    cumulative: Vec<f64>,
+}
+
+impl TokenSampler {
+    /// Builds the segment table from a share map. Jobs with zero share get no
+    /// segment.
+    pub fn from_shares(shares: &ShareMap) -> Self {
+        let mut jobs = Vec::with_capacity(shares.len());
+        let mut cumulative = Vec::with_capacity(shares.len());
+        let mut acc = 0.0;
+        for (job, share) in shares.iter() {
+            if share <= 0.0 {
+                continue;
+            }
+            acc += share;
+            jobs.push(job);
+            cumulative.push(acc);
+        }
+        // Guard against floating point drift so the final segment always
+        // covers 1.0.
+        if let Some(last) = cumulative.last_mut() {
+            *last = last.max(1.0);
+        }
+        TokenSampler { jobs, cumulative }
+    }
+
+    /// Number of jobs with a segment.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the sampler has no segments (nothing active).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The segment `[lo, hi)` assigned to `job`, if any.
+    pub fn segment(&self, job: JobId) -> Option<(f64, f64)> {
+        let idx = self.jobs.iter().position(|j| *j == job)?;
+        let lo = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+        Some((lo, self.cumulative[idx]))
+    }
+
+    /// Maps a point in `[0, 1]` onto the owning job.
+    pub fn select(&self, point: f64) -> Option<JobId> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let p = point.clamp(0.0, 1.0);
+        let idx = self.cumulative.partition_point(|&upper| upper < p);
+        let idx = idx.min(self.jobs.len() - 1);
+        Some(self.jobs[idx])
+    }
+
+    /// Draws one statistical token: a uniform sample mapped onto a job.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<JobId> {
+        if self.jobs.is_empty() {
+            None
+        } else {
+            self.select(rng.gen::<f64>())
+        }
+    }
+
+    /// Iterates over `(job, segment_length)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, f64)> + '_ {
+        self.jobs.iter().enumerate().map(|(i, j)| {
+            let lo = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+            (*j, self.cumulative[i] - lo)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::JobMeta;
+    use crate::policy::Policy;
+    use crate::shares::compute_shares;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn sampler_for(policy: &Policy, jobs: &[JobMeta]) -> TokenSampler {
+        TokenSampler::from_shares(&compute_shares(policy, jobs))
+    }
+
+    #[test]
+    fn empty_sampler_returns_none() {
+        let s = TokenSampler::default();
+        assert!(s.is_empty());
+        assert_eq!(s.select(0.5), None);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(s.draw(&mut rng), None);
+    }
+
+    #[test]
+    fn segments_partition_unit_interval() {
+        let jobs = [
+            JobMeta::new(1u64, 1u32, 1u32, 4),
+            JobMeta::new(2u64, 2u32, 1u32, 1),
+        ];
+        let s = sampler_for(&Policy::size_fair(), &jobs);
+        let (lo1, hi1) = s.segment(JobId(1)).unwrap();
+        let (lo2, hi2) = s.segment(JobId(2)).unwrap();
+        assert_eq!(lo1, 0.0);
+        assert!((hi1 - 0.8).abs() < 1e-9);
+        assert!((lo2 - 0.8).abs() < 1e-9);
+        assert!((hi2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_maps_boundaries_sensibly() {
+        let jobs = [
+            JobMeta::new(1u64, 1u32, 1u32, 1),
+            JobMeta::new(2u64, 2u32, 1u32, 1),
+        ];
+        let s = sampler_for(&Policy::job_fair(), &jobs);
+        assert_eq!(s.select(0.0), Some(JobId(1)));
+        assert_eq!(s.select(0.49), Some(JobId(1)));
+        assert_eq!(s.select(0.51), Some(JobId(2)));
+        assert_eq!(s.select(1.0), Some(JobId(2)));
+        // Out-of-range points clamp instead of panicking.
+        assert_eq!(s.select(-3.0), Some(JobId(1)));
+        assert_eq!(s.select(7.0), Some(JobId(2)));
+    }
+
+    #[test]
+    fn draw_frequencies_converge_to_shares() {
+        // The statistical token design relies on sampling frequencies
+        // converging to assigned segment lengths for sufficiently large I/O
+        // workloads (§3).
+        let jobs = [
+            JobMeta::new(1u64, 1u32, 1u32, 16),
+            JobMeta::new(2u64, 1u32, 1u32, 8),
+            JobMeta::new(3u64, 2u32, 1u32, 8),
+        ];
+        let s = sampler_for(&Policy::size_fair(), &jobs);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts: HashMap<JobId, u64> = HashMap::new();
+        let draws = 200_000;
+        for _ in 0..draws {
+            *counts.entry(s.draw(&mut rng).unwrap()).or_insert(0) += 1;
+        }
+        let f1 = counts[&JobId(1)] as f64 / draws as f64;
+        let f2 = counts[&JobId(2)] as f64 / draws as f64;
+        let f3 = counts[&JobId(3)] as f64 / draws as f64;
+        assert!((f1 - 0.5).abs() < 0.01, "job1 frequency {f1}");
+        assert!((f2 - 0.25).abs() < 0.01, "job2 frequency {f2}");
+        assert!((f3 - 0.25).abs() < 0.01, "job3 frequency {f3}");
+    }
+
+    #[test]
+    fn zero_share_jobs_get_no_segment() {
+        let shares = ShareMap::from_pairs([(JobId(1), 1.0), (JobId(2), 0.0)]);
+        let s = TokenSampler::from_shares(&shares);
+        assert_eq!(s.len(), 1);
+        assert!(s.segment(JobId(2)).is_none());
+    }
+
+    #[test]
+    fn iter_reports_segment_lengths() {
+        let jobs = [
+            JobMeta::new(1u64, 1u32, 1u32, 3),
+            JobMeta::new(2u64, 2u32, 1u32, 1),
+        ];
+        let s = sampler_for(&Policy::size_fair(), &jobs);
+        let lengths: HashMap<JobId, f64> = s.iter().collect();
+        assert!((lengths[&JobId(1)] - 0.75).abs() < 1e-9);
+        assert!((lengths[&JobId(2)] - 0.25).abs() < 1e-9);
+    }
+}

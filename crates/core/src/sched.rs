@@ -1,0 +1,428 @@
+//! The arbitration interface shared by ThemisIO and all baseline algorithms,
+//! plus the ThemisIO statistical-token scheduler itself.
+//!
+//! The paper integrates GIFT's and TBF's core algorithms "into ThemisIO"
+//! (§5.4) by swapping only the request-selection logic while keeping the rest
+//! of the server identical. [`Scheduler`] is that seam: the server's workers
+//! call [`Scheduler::next`] to decide which queued request to service next,
+//! and the controller calls [`Scheduler::refresh`] whenever the job table or
+//! policy changes.
+
+use crate::entity::{JobId, JobMeta};
+use crate::job_table::JobTable;
+use crate::policy::Policy;
+use crate::request::{Completion, IoRequest};
+use crate::sampler::TokenSampler;
+use crate::shares::{compute_shares, localize_shares, ShareMap};
+use rand::RngCore;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A pluggable I/O arbitration algorithm.
+///
+/// Implementations must be deterministic given the same sequence of calls and
+/// the same random numbers, so that simulated experiments are reproducible.
+pub trait Scheduler: Send {
+    /// Short algorithm name used in logs and experiment output
+    /// (e.g. `"themis"`, `"fifo"`, `"gift"`, `"tbf"`).
+    fn name(&self) -> &'static str;
+
+    /// Queues an incoming request.
+    fn enqueue(&mut self, request: IoRequest);
+
+    /// Selects the next request to service at time `now_ns`.
+    ///
+    /// Returns `None` when no request is queued (or, for throttling
+    /// schedulers such as TBF, when every queued job is currently rate
+    /// limited — in which case the caller should retry after
+    /// [`Scheduler::next_eligible_ns`]).
+    fn next(&mut self, now_ns: u64, rng: &mut dyn RngCore) -> Option<IoRequest>;
+
+    /// Earliest time at which a currently-queued request may become eligible,
+    /// when [`Scheduler::next`] returned `None` despite queued work.
+    /// `None` means "whenever new work arrives".
+    fn next_eligible_ns(&self, _now_ns: u64) -> Option<u64> {
+        None
+    }
+
+    /// Notifies the scheduler that a request it handed out has completed, so
+    /// bandwidth-metering algorithms can account for actual service.
+    fn on_complete(&mut self, completion: &Completion);
+
+    /// Re-derives internal allocation state from the job table (possibly the
+    /// λ-merged global table) and the sharing policy.
+    fn refresh(&mut self, table: &JobTable, policy: &Policy);
+
+    /// Total number of queued requests.
+    fn queued(&self) -> usize;
+
+    /// Number of queued requests belonging to `job`.
+    fn queued_for(&self, job: JobId) -> usize;
+
+    /// Jobs that currently have at least one queued request.
+    fn backlogged_jobs(&self) -> Vec<JobId>;
+
+    /// The scheduler's current nominal share assignment, for telemetry.
+    fn shares(&self) -> ShareMap {
+        ShareMap::empty()
+    }
+}
+
+/// Per-job FIFO queues used by every scheduler implementation in this
+/// workspace: arbitration picks a *job*, then requests of that job are served
+/// in arrival order (the paper's communicator groups requests "into queues
+/// based on the fair sharing policy", §4.1).
+#[derive(Debug, Default, Clone)]
+pub struct JobQueues {
+    queues: BTreeMap<JobId, VecDeque<IoRequest>>,
+    total: usize,
+}
+
+impl JobQueues {
+    /// Creates an empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a request to its job's queue.
+    pub fn push(&mut self, request: IoRequest) {
+        self.queues
+            .entry(request.meta.job)
+            .or_default()
+            .push_back(request);
+        self.total += 1;
+    }
+
+    /// Pops the oldest request of `job`.
+    pub fn pop(&mut self, job: JobId) -> Option<IoRequest> {
+        let q = self.queues.get_mut(&job)?;
+        let req = q.pop_front();
+        if req.is_some() {
+            self.total -= 1;
+            if q.is_empty() {
+                self.queues.remove(&job);
+            }
+        }
+        req
+    }
+
+    /// Pops the globally oldest request (FIFO across all jobs).
+    pub fn pop_oldest(&mut self) -> Option<IoRequest> {
+        let job = self
+            .queues
+            .iter()
+            .min_by_key(|(_, q)| q.front().map(|r| (r.arrival_ns, r.seq)))?
+            .0;
+        let job = *job;
+        self.pop(job)
+    }
+
+    /// Total queued requests.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no request is queued.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Queue depth of one job.
+    pub fn len_for(&self, job: JobId) -> usize {
+        self.queues.get(&job).map_or(0, VecDeque::len)
+    }
+
+    /// Jobs with at least one queued request, in id order.
+    pub fn backlogged(&self) -> Vec<JobId> {
+        self.queues.keys().copied().collect()
+    }
+
+    /// Peek at the oldest request of one job.
+    pub fn front(&self, job: JobId) -> Option<&IoRequest> {
+        self.queues.get(&job).and_then(VecDeque::front)
+    }
+
+    /// Sum of queued bytes per job (used by GIFT's progress estimation).
+    pub fn queued_bytes(&self, job: JobId) -> u64 {
+        self.queues
+            .get(&job)
+            .map_or(0, |q| q.iter().map(|r| r.bytes).sum())
+    }
+
+    /// Iterates over all queued requests of all jobs.
+    pub fn iter(&self) -> impl Iterator<Item = &IoRequest> {
+        self.queues.values().flat_map(|q| q.iter())
+    }
+}
+
+/// The ThemisIO scheduler: statistical token time-slicing with opportunity
+/// fairness (§3).
+///
+/// * [`refresh`](Scheduler::refresh) recomputes the per-job share map from the
+///   policy's transition-matrix chain and rebuilds the `[0,1]` segment table.
+/// * [`next`](Scheduler::next) draws one uniform number per service slot. If
+///   the drawn job has queued work its oldest request is served; otherwise the
+///   draw is retried against a sampler restricted to backlogged jobs
+///   (renormalised shares), which is exactly the opportunity-fairness rule:
+///   idle segments are redistributed so the device never idles while any job
+///   has work.
+/// * Jobs that appear in the traffic before the next refresh (unknown to the
+///   share map) are still served — they fall back to a FIFO pick — so no
+///   request can be starved by bootstrap races.
+#[derive(Debug)]
+pub struct ThemisScheduler {
+    queues: JobQueues,
+    shares: ShareMap,
+    sampler: TokenSampler,
+    /// Sampler restricted to backlogged jobs; rebuilt lazily.
+    active_sampler: TokenSampler,
+    active_dirty: bool,
+    policy: Policy,
+}
+
+impl ThemisScheduler {
+    /// Creates a scheduler with the given policy and no known jobs yet.
+    pub fn new(policy: Policy) -> Self {
+        ThemisScheduler {
+            queues: JobQueues::new(),
+            shares: ShareMap::empty(),
+            sampler: TokenSampler::default(),
+            active_sampler: TokenSampler::default(),
+            active_dirty: true,
+            policy,
+        }
+    }
+
+    /// The policy currently in force.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Replaces the sharing policy; shares are recomputed on the next
+    /// [`refresh`](Scheduler::refresh).
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+    }
+
+    fn rebuild_active_sampler(&mut self) {
+        let backlogged = self.queues.backlogged();
+        let restricted = self
+            .shares
+            .restricted_to(|j| backlogged.contains(&j));
+        self.active_sampler = TokenSampler::from_shares(&restricted);
+        self.active_dirty = false;
+    }
+}
+
+impl Scheduler for ThemisScheduler {
+    fn name(&self) -> &'static str {
+        "themis"
+    }
+
+    fn enqueue(&mut self, request: IoRequest) {
+        let was_empty = self.queues.len_for(request.meta.job) == 0;
+        self.queues.push(request);
+        if was_empty {
+            self.active_dirty = true;
+        }
+    }
+
+    fn next(&mut self, _now_ns: u64, rng: &mut dyn RngCore) -> Option<IoRequest> {
+        if self.queues.is_empty() {
+            return None;
+        }
+        // Fast path: draw over the full assignment; serve if the drawn job
+        // has work.
+        if let Some(job) = self.sampler.draw(rng) {
+            if self.queues.len_for(job) > 0 {
+                let req = self.queues.pop(job);
+                if self.queues.len_for(job) == 0 {
+                    self.active_dirty = true;
+                }
+                return req;
+            }
+        }
+        // Opportunity fairness: redistribute idle segments over backlogged
+        // jobs and draw again.
+        if self.active_dirty {
+            self.rebuild_active_sampler();
+        }
+        if let Some(job) = self.active_sampler.draw(rng) {
+            if self.queues.len_for(job) > 0 {
+                let req = self.queues.pop(job);
+                if self.queues.len_for(job) == 0 {
+                    self.active_dirty = true;
+                }
+                return req;
+            }
+        }
+        // Backlogged jobs that have no share yet (seen before the first
+        // refresh): serve them FIFO so nothing is starved.
+        let req = self.queues.pop_oldest();
+        self.active_dirty = true;
+        req
+    }
+
+    fn on_complete(&mut self, _completion: &Completion) {
+        // Statistical tokens are recycled implicitly: each service slot draws
+        // a fresh token, so nothing to do here.
+    }
+
+    fn refresh(&mut self, table: &JobTable, policy: &Policy) {
+        self.policy = policy.clone();
+        let jobs: Vec<JobMeta> = table.active_jobs();
+        let global = compute_shares(&self.policy, &jobs);
+        // Scale each job's globally fair share by the number of servers it
+        // spreads its I/O over, so that multi-server deployments converge on
+        // global (not merely per-server) fairness after a λ-sync (§3.1).
+        self.shares = localize_shares(&global, table);
+        self.sampler = TokenSampler::from_shares(&self.shares);
+        self.active_dirty = true;
+    }
+
+    fn queued(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn queued_for(&self, job: JobId) -> usize {
+        self.queues.len_for(job)
+    }
+
+    fn backlogged_jobs(&self) -> Vec<JobId> {
+        self.queues.backlogged()
+    }
+
+    fn shares(&self) -> ShareMap {
+        self.shares.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::JobMeta;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn meta(job: u64, user: u32, nodes: u32) -> JobMeta {
+        JobMeta::new(job, user, 1u32, nodes)
+    }
+
+    fn table_with(jobs: &[JobMeta]) -> JobTable {
+        let mut t = JobTable::new();
+        for m in jobs {
+            t.heartbeat(*m, 0);
+        }
+        t
+    }
+
+    #[test]
+    fn job_queues_fifo_within_job() {
+        let mut q = JobQueues::new();
+        let m = meta(1, 1, 1);
+        q.push(IoRequest::write(0, m, 10, 100));
+        q.push(IoRequest::write(1, m, 10, 200));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(JobId(1)).unwrap().seq, 0);
+        assert_eq!(q.pop(JobId(1)).unwrap().seq, 1);
+        assert!(q.pop(JobId(1)).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn job_queues_pop_oldest_across_jobs() {
+        let mut q = JobQueues::new();
+        q.push(IoRequest::write(0, meta(2, 1, 1), 10, 300));
+        q.push(IoRequest::write(1, meta(1, 1, 1), 10, 100));
+        q.push(IoRequest::write(2, meta(3, 1, 1), 10, 200));
+        assert_eq!(q.pop_oldest().unwrap().meta.job, JobId(1));
+        assert_eq!(q.pop_oldest().unwrap().meta.job, JobId(3));
+        assert_eq!(q.pop_oldest().unwrap().meta.job, JobId(2));
+    }
+
+    #[test]
+    fn job_queues_bytes_and_backlog() {
+        let mut q = JobQueues::new();
+        q.push(IoRequest::write(0, meta(1, 1, 1), 10, 0));
+        q.push(IoRequest::write(1, meta(1, 1, 1), 30, 0));
+        q.push(IoRequest::read(2, meta(2, 1, 1), 5, 0));
+        assert_eq!(q.queued_bytes(JobId(1)), 40);
+        assert_eq!(q.queued_bytes(JobId(2)), 5);
+        assert_eq!(q.backlogged(), vec![JobId(1), JobId(2)]);
+        assert_eq!(q.iter().count(), 3);
+    }
+
+    #[test]
+    fn themis_serves_in_share_proportion_when_saturated() {
+        // Two jobs, size-fair 4:1; both have deep backlogs. Service counts
+        // should approach 80/20.
+        let jobs = [meta(1, 1, 4), meta(2, 2, 1)];
+        let mut sched = ThemisScheduler::new(Policy::size_fair());
+        sched.refresh(&table_with(&jobs), &Policy::size_fair());
+        let mut seq = 0;
+        for _ in 0..5_000 {
+            for m in &jobs {
+                sched.enqueue(IoRequest::write(seq, *m, 1 << 20, 0));
+                seq += 1;
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut served: HashMap<JobId, u64> = HashMap::new();
+        for _ in 0..5_000 {
+            let req = sched.next(0, &mut rng).expect("backlogged");
+            *served.entry(req.meta.job).or_insert(0) += 1;
+        }
+        let f1 = served[&JobId(1)] as f64 / 5_000.0;
+        assert!((f1 - 0.8).abs() < 0.03, "job1 service fraction {f1}");
+    }
+
+    #[test]
+    fn themis_opportunity_fairness_gives_idle_share_away() {
+        // Job 1 holds an 80% share but has no queued work; job 2 must receive
+        // every service slot (full utilisation, §1).
+        let jobs = [meta(1, 1, 4), meta(2, 2, 1)];
+        let mut sched = ThemisScheduler::new(Policy::size_fair());
+        sched.refresh(&table_with(&jobs), &Policy::size_fair());
+        for s in 0..100 {
+            sched.enqueue(IoRequest::write(s, jobs[1], 1 << 20, 0));
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let req = sched.next(0, &mut rng).expect("job 2 has work");
+            assert_eq!(req.meta.job, JobId(2));
+        }
+        assert_eq!(sched.next(0, &mut rng), None);
+    }
+
+    #[test]
+    fn themis_serves_unknown_jobs_before_first_refresh() {
+        let mut sched = ThemisScheduler::new(Policy::job_fair());
+        sched.enqueue(IoRequest::write(0, meta(42, 9, 2), 4096, 5));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let req = sched.next(0, &mut rng).expect("unknown job still served");
+        assert_eq!(req.meta.job, JobId(42));
+    }
+
+    #[test]
+    fn themis_refresh_tracks_policy_change() {
+        let jobs = [meta(1, 1, 4), meta(2, 2, 1)];
+        let table = table_with(&jobs);
+        let mut sched = ThemisScheduler::new(Policy::size_fair());
+        sched.refresh(&table, &Policy::size_fair());
+        assert!((sched.shares().share(JobId(1)) - 0.8).abs() < 1e-9);
+        sched.refresh(&table, &Policy::job_fair());
+        assert!((sched.shares().share(JobId(1)) - 0.5).abs() < 1e-9);
+        assert_eq!(sched.policy(), &Policy::job_fair());
+    }
+
+    #[test]
+    fn themis_queue_accounting() {
+        let mut sched = ThemisScheduler::new(Policy::job_fair());
+        sched.enqueue(IoRequest::write(0, meta(1, 1, 1), 10, 0));
+        sched.enqueue(IoRequest::write(1, meta(2, 1, 1), 10, 0));
+        sched.enqueue(IoRequest::write(2, meta(2, 1, 1), 10, 0));
+        assert_eq!(sched.queued(), 3);
+        assert_eq!(sched.queued_for(JobId(2)), 2);
+        assert_eq!(sched.backlogged_jobs(), vec![JobId(1), JobId(2)]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Share computation: turning a [`Policy`](crate::policy::Policy) and the set
+//! of active jobs into a per-job statistical token assignment (§3).
+
+use crate::entity::{GroupId, JobId, JobMeta, UserId};
+use crate::matrix::TransitionMatrix;
+use crate::policy::{Level, Policy};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A normalised per-job share assignment: the segment lengths of the `[0,1]`
+/// statistical token range (§3, Fig. 3).
+///
+/// Shares are non-negative and sum to 1 whenever at least one job is present.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShareMap {
+    shares: BTreeMap<JobId, f64>,
+}
+
+impl ShareMap {
+    /// Creates an empty assignment (no active jobs).
+    pub fn empty() -> Self {
+        ShareMap::default()
+    }
+
+    /// Builds a share map directly from `(job, share)` pairs, normalising so
+    /// that the shares sum to one.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (JobId, f64)>) -> Self {
+        let mut shares: BTreeMap<JobId, f64> = BTreeMap::new();
+        for (job, s) in pairs {
+            if s.is_finite() && s > 0.0 {
+                *shares.entry(job).or_insert(0.0) += s;
+            }
+        }
+        let total: f64 = shares.values().sum();
+        if total > 0.0 {
+            for v in shares.values_mut() {
+                *v /= total;
+            }
+        }
+        ShareMap { shares }
+    }
+
+    /// Number of jobs with a share.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Whether no job has a share.
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// The share of one job (0 when the job is unknown).
+    pub fn share(&self, job: JobId) -> f64 {
+        self.shares.get(&job).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(job, share)` in job-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, f64)> + '_ {
+        self.shares.iter().map(|(j, s)| (*j, *s))
+    }
+
+    /// All job ids with a positive share, in id order.
+    pub fn jobs(&self) -> Vec<JobId> {
+        self.shares.keys().copied().collect()
+    }
+
+    /// Sum of all shares (1.0 or 0.0 up to rounding).
+    pub fn total(&self) -> f64 {
+        self.shares.values().sum()
+    }
+
+    /// Restricts the assignment to `keep` and renormalises — the
+    /// *opportunity fairness* step: jobs with no queued work give their
+    /// segment up and the remaining jobs split the whole range in proportion
+    /// to their original shares (§1, §3).
+    pub fn restricted_to(&self, keep: impl Fn(JobId) -> bool) -> ShareMap {
+        ShareMap::from_pairs(self.iter().filter(|(j, _)| keep(*j)))
+    }
+}
+
+/// Computes the statistical token assignment for `policy` over `jobs`.
+///
+/// For [`Policy::Fifo`] every job receives an equal nominal share — FIFO does
+/// not consult shares at all, but reporting a uniform assignment keeps
+/// telemetry meaningful.
+///
+/// For fair policies this evaluates the transition-matrix chain of Eq. 1 via
+/// [`build_level_matrices`] and [`TransitionMatrix::chain`].
+pub fn compute_shares(policy: &Policy, jobs: &[JobMeta]) -> ShareMap {
+    if jobs.is_empty() {
+        return ShareMap::empty();
+    }
+    match policy {
+        Policy::Fifo => ShareMap::from_pairs(jobs.iter().map(|m| (m.job, 1.0))),
+        Policy::Fair(levels) => {
+            let matrices = build_level_matrices(levels, jobs);
+            let product = TransitionMatrix::chain(&matrices)
+                .expect("fair policy always yields at least one level matrix");
+            let row = product
+                .as_share_row()
+                .expect("chain of level matrices starts from a single root scope");
+            ShareMap::from_pairs(jobs.iter().zip(row).map(|(m, s)| (m.job, *s)))
+        }
+    }
+}
+
+/// Builds the per-level transition matrices for a policy over a fixed job
+/// list (columns of the final matrix are `jobs` in the given order).
+///
+/// The matrices returned satisfy [`TransitionMatrix::is_valid_level`] and the
+/// chain shape is `1 × |scopes₁| × … × |jobs|`.
+pub fn build_level_matrices(levels: &[Level], jobs: &[JobMeta]) -> Vec<TransitionMatrix> {
+    // Scope keys at the level above the current one. Root is a single scope.
+    #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    enum Scope {
+        Root,
+        Group(GroupId),
+        User(UserId),
+    }
+
+    let mut parent_scopes = vec![Scope::Root];
+    let mut matrices = Vec::with_capacity(levels.len());
+
+    for (idx, level) in levels.iter().enumerate() {
+        let is_last = idx + 1 == levels.len();
+        match level {
+            Level::Group | Level::User if !is_last => {
+                // Entities at this level: distinct groups/users, each owned by
+                // the scope of the previous level.
+                let mut entities: Vec<(Scope, Scope)> = Vec::new(); // (entity, parent)
+                for m in jobs {
+                    let entity = match level {
+                        Level::Group => Scope::Group(m.group),
+                        Level::User => Scope::User(m.user),
+                        _ => unreachable!(),
+                    };
+                    let parent = parent_of(&parent_scopes, m);
+                    if !entities.iter().any(|(e, _)| *e == entity) {
+                        entities.push((entity, parent));
+                    }
+                }
+                entities.sort_by(|a, b| a.0.cmp(&b.0));
+                let parent_idx: Vec<usize> = entities
+                    .iter()
+                    .map(|(_, p)| {
+                        parent_scopes
+                            .iter()
+                            .position(|s| s == p)
+                            .expect("parent scope present")
+                    })
+                    .collect();
+                let weights = vec![1.0; entities.len()];
+                matrices.push(TransitionMatrix::from_membership(
+                    parent_scopes.len(),
+                    &parent_idx,
+                    &weights,
+                ));
+                parent_scopes = entities.into_iter().map(|(e, _)| e).collect();
+            }
+            _ => {
+                // Innermost level: distribute onto jobs.
+                let parent_idx: Vec<usize> = jobs
+                    .iter()
+                    .map(|m| {
+                        let p = parent_of(&parent_scopes, m);
+                        parent_scopes
+                            .iter()
+                            .position(|s| s == &p)
+                            .expect("parent scope present")
+                    })
+                    .collect();
+                let weights: Vec<f64> = jobs
+                    .iter()
+                    .map(|m| match level {
+                        Level::Size => f64::from(m.nodes),
+                        Level::Priority => m.priority,
+                        _ => 1.0,
+                    })
+                    .collect();
+                matrices.push(TransitionMatrix::from_membership(
+                    parent_scopes.len(),
+                    &parent_idx,
+                    &weights,
+                ));
+                // Any further levels would be nonsensical (validated by
+                // Policy::validate), so stop here.
+                break;
+            }
+        }
+    }
+
+    return matrices;
+
+    fn parent_of(
+        parent_scopes: &[Scope],
+        m: &JobMeta,
+    ) -> Scope {
+        // A job's parent at the current level is whichever scope in the
+        // previous level contains it. Scopes are disjoint by construction.
+        for s in parent_scopes {
+            match s {
+                Scope::Root => return Scope::Root,
+                Scope::Group(g) if *g == m.group => return Scope::Group(*g),
+                Scope::User(u) if *u == m.user => return Scope::User(*u),
+                _ => {}
+            }
+        }
+        // A job whose scope was not materialised (cannot happen when scopes
+        // were built from the same job list); fall back to the first scope to
+        // stay total.
+        parent_scopes[0].clone()
+    }
+}
+
+/// Localises a globally fair share assignment onto one server's view.
+///
+/// After a λ-sync all-gather every server knows every active job, but a job
+/// only consumes I/O cycles on the servers its files actually live on. The
+/// globally fair outcome (Fig. 5) is that job `j`, whose global share is
+/// `s_j` and whose I/O spreads over `k_j` servers, receives `s_j / k_j` of
+/// the *total* capacity on each of those servers; per-server assignments are
+/// then renormalised so every server's segments cover `[0, 1]`.
+///
+/// Jobs that have never been observed issuing I/O anywhere (span 0 — known
+/// only through heartbeats) are treated as local with span 1, so a freshly
+/// connected job is never locked out before its first request.
+pub fn localize_shares(global: &ShareMap, table: &crate::job_table::JobTable) -> ShareMap {
+    let Some(viewpoint) = table.viewpoint() else {
+        return global.clone();
+    };
+    ShareMap::from_pairs(global.iter().filter_map(|(job, share)| {
+        let span = table.server_span(job);
+        if span == 0 {
+            // Unknown placement: keep the job locally eligible.
+            Some((job, share))
+        } else if table.present_on(job, viewpoint) {
+            Some((job, share / f64::from(span)))
+        } else {
+            None
+        }
+    }))
+}
+
+/// Aggregates a [`ShareMap`] upward: total share per user and per group.
+/// Used for reporting (Fig. 11's share tree) and for tests.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShareBreakdown {
+    /// Share of each job.
+    pub per_job: BTreeMap<JobId, f64>,
+    /// Sum of shares of each user's jobs.
+    pub per_user: BTreeMap<UserId, f64>,
+    /// Sum of shares of each group's jobs.
+    pub per_group: BTreeMap<GroupId, f64>,
+}
+
+impl ShareBreakdown {
+    /// Builds the breakdown from a share map and the metadata of the jobs it
+    /// covers.
+    pub fn new(shares: &ShareMap, jobs: &[JobMeta]) -> Self {
+        let mut b = ShareBreakdown::default();
+        for m in jobs {
+            let s = shares.share(m.job);
+            if s <= 0.0 {
+                continue;
+            }
+            *b.per_job.entry(m.job).or_insert(0.0) += s;
+            *b.per_user.entry(m.user).or_insert(0.0) += s;
+            *b.per_group.entry(m.group).or_insert(0.0) += s;
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(job: u64, user: u32, group: u32, nodes: u32) -> JobMeta {
+        JobMeta::new(job, user, group, nodes)
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_job_list_gives_empty_shares() {
+        assert!(compute_shares(&Policy::size_fair(), &[]).is_empty());
+    }
+
+    #[test]
+    fn job_fair_splits_evenly() {
+        let jobs = [meta(1, 1, 1, 4), meta(2, 2, 1, 1)];
+        let s = compute_shares(&Policy::job_fair(), &jobs);
+        assert!(close(s.share(JobId(1)), 0.5));
+        assert!(close(s.share(JobId(2)), 0.5));
+    }
+
+    #[test]
+    fn size_fair_proportional_to_nodes() {
+        // Fig. 8a: a 4-node job against a 1-node job → 80% / 20%.
+        let jobs = [meta(1, 1, 1, 4), meta(2, 2, 1, 1)];
+        let s = compute_shares(&Policy::size_fair(), &jobs);
+        assert!(close(s.share(JobId(1)), 0.8));
+        assert!(close(s.share(JobId(2)), 0.2));
+    }
+
+    #[test]
+    fn user_fair_splits_across_users_then_jobs() {
+        // Fig. 8c: user A runs two 2-node jobs, user B runs one 1-node job.
+        // User level: 50/50; then A's jobs get 25% each.
+        let jobs = [meta(1, 1, 1, 2), meta(2, 1, 1, 2), meta(3, 2, 1, 1)];
+        let s = compute_shares(&Policy::user_fair(), &jobs);
+        assert!(close(s.share(JobId(1)), 0.25));
+        assert!(close(s.share(JobId(2)), 0.25));
+        assert!(close(s.share(JobId(3)), 0.5));
+    }
+
+    #[test]
+    fn priority_fair_uses_weights() {
+        let jobs = [
+            meta(1, 1, 1, 1).with_priority(3.0),
+            meta(2, 2, 1, 1).with_priority(1.0),
+        ];
+        let s = compute_shares(&Policy::priority_fair(), &jobs);
+        assert!(close(s.share(JobId(1)), 0.75));
+        assert!(close(s.share(JobId(2)), 0.25));
+    }
+
+    #[test]
+    fn user_then_size_fair_matches_fig9() {
+        // Fig. 9: user 1 runs jobs of 1 and 2 nodes, user 2 runs jobs of 4 and
+        // 6 nodes. Users split 50/50; within user 1 the ratio is 1:2, within
+        // user 2 it is 4:6.
+        let jobs = [
+            meta(1, 1, 1, 1),
+            meta(2, 1, 1, 2),
+            meta(3, 2, 1, 4),
+            meta(4, 2, 1, 6),
+        ];
+        let s = compute_shares(&Policy::user_then_size_fair(), &jobs);
+        assert!(close(s.share(JobId(1)), 0.5 / 3.0));
+        assert!(close(s.share(JobId(2)), 1.0 / 3.0));
+        assert!(close(s.share(JobId(3)), 0.2));
+        assert!(close(s.share(JobId(4)), 0.3));
+        assert!(close(s.total(), 1.0));
+    }
+
+    #[test]
+    fn group_user_size_fair_matches_fig10() {
+        // Fig. 10/11: group 1 has one user with one 1-node job (46% ≈ 50%),
+        // group 2 has three users; user 2 runs jobs of 2,3,2 nodes; user 3
+        // runs 3,2; user 4 runs 1,2. Groups split evenly, users within group 2
+        // split evenly (1/6 of total each), jobs within a user split by size.
+        let jobs = [
+            meta(1, 1, 1, 1),
+            meta(2, 2, 2, 2),
+            meta(3, 2, 2, 3),
+            meta(4, 2, 2, 2),
+            meta(5, 3, 2, 3),
+            meta(6, 3, 2, 2),
+            meta(7, 4, 2, 1),
+            meta(8, 4, 2, 2),
+        ];
+        let s = compute_shares(&Policy::group_user_size_fair(), &jobs);
+        assert!(close(s.share(JobId(1)), 0.5));
+        // user 2 share = 1/6, its jobs 2:3:2.
+        assert!(close(s.share(JobId(2)), (1.0 / 6.0) * (2.0 / 7.0)));
+        assert!(close(s.share(JobId(3)), (1.0 / 6.0) * (3.0 / 7.0)));
+        assert!(close(s.share(JobId(5)), (1.0 / 6.0) * (3.0 / 5.0)));
+        assert!(close(s.share(JobId(7)), (1.0 / 6.0) * (1.0 / 3.0)));
+        assert!(close(s.total(), 1.0));
+        let breakdown = ShareBreakdown::new(&s, &jobs);
+        assert!(close(breakdown.per_group[&GroupId(1)], 0.5));
+        assert!(close(breakdown.per_group[&GroupId(2)], 0.5));
+        assert!(close(breakdown.per_user[&UserId(2)], 1.0 / 6.0));
+    }
+
+    #[test]
+    fn fifo_reports_uniform_nominal_shares() {
+        let jobs = [meta(1, 1, 1, 7), meta(2, 2, 2, 1)];
+        let s = compute_shares(&Policy::Fifo, &jobs);
+        assert!(close(s.share(JobId(1)), 0.5));
+        assert!(close(s.share(JobId(2)), 0.5));
+    }
+
+    #[test]
+    fn single_job_gets_everything_under_any_policy() {
+        let jobs = [meta(9, 3, 2, 128)];
+        for p in [
+            Policy::Fifo,
+            Policy::job_fair(),
+            Policy::size_fair(),
+            Policy::user_fair(),
+            Policy::user_then_size_fair(),
+            Policy::group_user_size_fair(),
+        ] {
+            let s = compute_shares(&p, &jobs);
+            assert!(close(s.share(JobId(9)), 1.0), "policy {p}");
+        }
+    }
+
+    #[test]
+    fn restricted_to_renormalises() {
+        let jobs = [meta(1, 1, 1, 4), meta(2, 2, 1, 1), meta(3, 3, 1, 5)];
+        let s = compute_shares(&Policy::size_fair(), &jobs);
+        let r = s.restricted_to(|j| j != JobId(3));
+        assert!(close(r.share(JobId(1)), 0.8));
+        assert!(close(r.share(JobId(2)), 0.2));
+        assert!(close(r.share(JobId(3)), 0.0));
+        assert!(close(r.total(), 1.0));
+    }
+
+    #[test]
+    fn level_matrices_are_structurally_valid() {
+        let jobs = [
+            meta(1, 1, 1, 1),
+            meta(2, 2, 2, 2),
+            meta(3, 2, 2, 3),
+            meta(4, 3, 2, 2),
+        ];
+        for p in [
+            Policy::job_fair(),
+            Policy::user_fair(),
+            Policy::user_then_size_fair(),
+            Policy::group_user_size_fair(),
+        ] {
+            let mats = build_level_matrices(p.levels(), &jobs);
+            assert_eq!(mats.len(), p.depth(), "policy {p}");
+            for m in &mats {
+                assert!(m.is_valid_level(), "invalid level matrix for {p}");
+            }
+            assert_eq!(mats.first().unwrap().rows(), 1);
+            assert_eq!(mats.last().unwrap().cols(), jobs.len());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! λ-delayed global fairness (§3.1, §5.6).
+//!
+//! With several burst-buffer servers and files striped onto disjoint server
+//! subsets, each server initially sees only the jobs whose files land on it.
+//! Controllers therefore all-gather their job status tables every λ time
+//! units; a globally unfair share assignment can persist for at most λ.
+
+use crate::job_table::JobTable;
+use serde::{Deserialize, Serialize};
+
+/// Default synchronisation interval: 500 ms, the value §5.6 recommends for
+/// production use ("we find the 500 ms communication interval is a reasonable
+/// value for real applications and benchmarks").
+pub const DEFAULT_LAMBDA_NS: u64 = 500_000_000;
+
+/// Configuration of the λ-sync mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncConfig {
+    /// Interval between all-gather rounds, in nanoseconds.
+    pub interval_ns: u64,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            interval_ns: DEFAULT_LAMBDA_NS,
+        }
+    }
+}
+
+impl SyncConfig {
+    /// Creates a config from an interval in milliseconds (how §5.6 states its
+    /// sweep values: {10, 50, 200, 500} ms).
+    pub fn from_millis(ms: u64) -> Self {
+        SyncConfig {
+            interval_ns: ms * 1_000_000,
+        }
+    }
+}
+
+/// Tracks when the next λ round is due on a single controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LambdaClock {
+    config: SyncConfig,
+    last_sync_ns: u64,
+    rounds: u64,
+}
+
+impl LambdaClock {
+    /// Creates a clock that considers itself synced at time 0.
+    pub fn new(config: SyncConfig) -> Self {
+        LambdaClock {
+            config,
+            last_sync_ns: 0,
+            rounds: 0,
+        }
+    }
+
+    /// The configured interval in nanoseconds.
+    pub fn interval_ns(&self) -> u64 {
+        self.config.interval_ns
+    }
+
+    /// Whether a sync round is due at `now_ns`.
+    pub fn due(&self, now_ns: u64) -> bool {
+        now_ns.saturating_sub(self.last_sync_ns) >= self.config.interval_ns
+    }
+
+    /// Time of the next scheduled round.
+    pub fn next_round_ns(&self) -> u64 {
+        self.last_sync_ns.saturating_add(self.config.interval_ns)
+    }
+
+    /// Records that a round completed at `now_ns`.
+    pub fn mark(&mut self, now_ns: u64) {
+        self.last_sync_ns = now_ns;
+        self.rounds += 1;
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// Outcome of one all-gather round over a set of server-local tables: the
+/// merged global table every participating controller adopts.
+///
+/// This is the pure-data core of the controller synchronisation in §4.2; the
+/// transport that moves the tables between servers lives in `themis-net`.
+pub fn all_gather_round(local_tables: &[JobTable]) -> JobTable {
+    JobTable::all_gather(local_tables.iter())
+}
+
+/// Measures how far a share assignment is from the globally fair one: the
+/// maximum absolute per-job deviation between two share maps. Used by the
+/// Fig. 14 experiment to detect when global fairness has been reached.
+pub fn max_share_deviation(a: &crate::shares::ShareMap, b: &crate::shares::ShareMap) -> f64 {
+    let mut jobs: Vec<_> = a.jobs();
+    for j in b.jobs() {
+        if !jobs.contains(&j) {
+            jobs.push(j);
+        }
+    }
+    jobs.into_iter()
+        .map(|j| (a.share(j) - b.share(j)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::JobMeta;
+    use crate::policy::Policy;
+    use crate::shares::compute_shares;
+
+    #[test]
+    fn sync_config_from_millis() {
+        assert_eq!(SyncConfig::from_millis(500).interval_ns, DEFAULT_LAMBDA_NS);
+        assert_eq!(SyncConfig::from_millis(10).interval_ns, 10_000_000);
+    }
+
+    #[test]
+    fn lambda_clock_due_and_mark() {
+        let mut c = LambdaClock::new(SyncConfig::from_millis(50));
+        assert!(!c.due(10_000_000));
+        assert!(c.due(50_000_000));
+        c.mark(50_000_000);
+        assert_eq!(c.rounds(), 1);
+        assert!(!c.due(80_000_000));
+        assert!(c.due(100_000_000));
+        assert_eq!(c.next_round_ns(), 100_000_000);
+    }
+
+    #[test]
+    fn fig5_sync_converges_to_global_size_fair() {
+        // Before sync: server 1 sees jobs {1:16, 2:8} → job 1 gets 2/3;
+        // server 2 sees {1:16, 3:8} → job 1 gets 2/3. Globally job 1 should
+        // get 1/2 (16 of 32 nodes). After the all-gather both servers compute
+        // identical, globally fair shares.
+        let mut s1 = JobTable::new();
+        s1.heartbeat(JobMeta::new(1u64, 1u32, 1u32, 16), 0);
+        s1.heartbeat(JobMeta::new(2u64, 2u32, 1u32, 8), 0);
+        let mut s2 = JobTable::new();
+        s2.heartbeat(JobMeta::new(1u64, 1u32, 1u32, 16), 0);
+        s2.heartbeat(JobMeta::new(3u64, 3u32, 1u32, 8), 0);
+
+        let local1 = compute_shares(&Policy::size_fair(), &s1.active_jobs());
+        assert!((local1.share(crate::entity::JobId(1)) - 2.0 / 3.0).abs() < 1e-9);
+
+        let merged = all_gather_round(&[s1, s2]);
+        let global = compute_shares(&Policy::size_fair(), &merged.active_jobs());
+        assert!((global.share(crate::entity::JobId(1)) - 0.5).abs() < 1e-9);
+        assert!((global.share(crate::entity::JobId(2)) - 0.25).abs() < 1e-9);
+        assert!((global.share(crate::entity::JobId(3)) - 0.25).abs() < 1e-9);
+        assert!(max_share_deviation(&local1, &global) > 0.1);
+        assert_eq!(max_share_deviation(&global, &global), 0.0);
+    }
+}

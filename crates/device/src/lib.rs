@@ -1,0 +1,350 @@
+//! # themis-device
+//!
+//! A parameterised storage-device model standing in for the Intel Optane /
+//! NVMe devices of the paper's burst-buffer nodes.
+//!
+//! The paper's experiments arbitrate a *fixed per-server I/O capacity*
+//! (~22 GB/s combined read+write per server, §1/§5.2); what matters for the
+//! reproduction is that serving one request consumes a predictable amount of
+//! device time so the scheduler's choice of *which* request to serve
+//! determines per-job throughput. [`DeviceModel`] converts a request into a
+//! service duration, and [`DeviceTimeline`] tracks when a server's device is
+//! next free, which is all the simulator needs to replay the paper's
+//! experiments and all the threaded runtime needs to pace a real deployment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use themis_core::request::{IoRequest, OpKind};
+
+/// Nanoseconds per second, used in conversions.
+pub const NS_PER_SEC: f64 = 1e9;
+
+/// Device/service parameters of one burst-buffer server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Sustained write bandwidth in bytes/second.
+    pub write_bw_bytes_per_sec: f64,
+    /// Sustained read bandwidth in bytes/second.
+    pub read_bw_bytes_per_sec: f64,
+    /// Fixed per-request overhead in nanoseconds (submission, protocol
+    /// handling, interrupt) charged to every operation.
+    pub per_op_overhead_ns: u64,
+    /// Service time of a pure metadata operation (open/stat/readdir/...)
+    /// in nanoseconds.
+    pub metadata_op_ns: u64,
+    /// Number of I/O workers the server runs (§4.1: "There can be multiple
+    /// workers for higher I/O throughput"). Workers share the device
+    /// bandwidth but allow request overheads to overlap.
+    pub workers: usize,
+}
+
+impl Default for DeviceConfig {
+    /// Defaults calibrated to the paper's testbed: one ThemisIO server
+    /// sustains ≈11.7 GB/s unidirectional (Fig. 7) and ≈22 GB/s combined
+    /// read+write (§1), with microsecond-scale per-request latency (§5.3.1:
+    /// "The actual response time of each I/O operation is on the order of
+    /// 1 microsecond").
+    fn default() -> Self {
+        DeviceConfig {
+            write_bw_bytes_per_sec: 11.7e9,
+            read_bw_bytes_per_sec: 11.7e9,
+            per_op_overhead_ns: 1_000,
+            metadata_op_ns: 3_000,
+            workers: 4,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A slower device profile (useful for tests and for modelling an
+    /// HDD-backed or saturated external file system).
+    pub fn slow() -> Self {
+        DeviceConfig {
+            write_bw_bytes_per_sec: 1.0e9,
+            read_bw_bytes_per_sec: 1.0e9,
+            per_op_overhead_ns: 10_000,
+            metadata_op_ns: 50_000,
+            workers: 1,
+        }
+    }
+
+    /// Scales both bandwidths by `factor` (used for heterogeneity studies).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let f = if factor.is_finite() && factor > 0.0 { factor } else { 1.0 };
+        self.write_bw_bytes_per_sec *= f;
+        self.read_bw_bytes_per_sec *= f;
+        self
+    }
+
+    /// Combined (read+write) nominal bandwidth in bytes/second.
+    pub fn combined_bw(&self) -> f64 {
+        self.read_bw_bytes_per_sec + self.write_bw_bytes_per_sec
+    }
+}
+
+/// Converts requests into service durations for one server's device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    config: DeviceConfig,
+}
+
+impl DeviceModel {
+    /// Creates a model from a configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        DeviceModel { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Service duration of `request` in nanoseconds, excluding queueing.
+    ///
+    /// Workers share the device: each of the `workers` streams sustains
+    /// `bandwidth / workers`, so the aggregate across all busy workers never
+    /// exceeds the device bandwidth.
+    pub fn service_ns(&self, request: &IoRequest) -> u64 {
+        let share = self.config.workers.max(1) as f64;
+        let transfer_ns = match request.kind {
+            OpKind::Write => {
+                request.bytes as f64 / (self.config.write_bw_bytes_per_sec / share) * NS_PER_SEC
+            }
+            OpKind::Read => {
+                request.bytes as f64 / (self.config.read_bw_bytes_per_sec / share) * NS_PER_SEC
+            }
+            _ => self.config.metadata_op_ns as f64,
+        };
+        let transfer_ns = if transfer_ns.is_finite() && transfer_ns > 0.0 {
+            transfer_ns as u64
+        } else {
+            0
+        };
+        self.config.per_op_overhead_ns + transfer_ns
+    }
+
+    /// The theoretical maximum throughput (bytes/second) for a stream of
+    /// same-kind requests of `bytes` payload each — useful for calibrating
+    /// experiment expectations.
+    pub fn peak_throughput(&self, kind: OpKind, bytes: u64) -> f64 {
+        let bw = match kind {
+            OpKind::Write => self.config.write_bw_bytes_per_sec,
+            OpKind::Read => self.config.read_bw_bytes_per_sec,
+            _ => return 0.0,
+        };
+        let share = self.config.workers.max(1) as f64;
+        let per_req_ns =
+            bytes as f64 / (bw / share) * NS_PER_SEC + self.config.per_op_overhead_ns as f64;
+        share * bytes as f64 / (per_req_ns / NS_PER_SEC)
+    }
+}
+
+/// Tracks the busy/idle timeline of one server's device across its workers.
+///
+/// The timeline is the minimal state a discrete-event simulation needs: for
+/// each worker, the time at which it becomes free. Dispatching a request
+/// assigns it to the earliest-free worker and returns the `(start, finish)`
+/// service interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTimeline {
+    model: DeviceModel,
+    worker_free_at: Vec<u64>,
+    busy_ns_total: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+    ops: u64,
+}
+
+impl DeviceTimeline {
+    /// Creates an idle timeline for a device with the given model.
+    pub fn new(model: DeviceModel) -> Self {
+        let workers = model.config().workers.max(1);
+        DeviceTimeline {
+            model,
+            worker_free_at: vec![0; workers],
+            busy_ns_total: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+            ops: 0,
+        }
+    }
+
+    /// The device model in use.
+    pub fn model(&self) -> &DeviceModel {
+        &self.model
+    }
+
+    /// The earliest time any worker is free.
+    pub fn next_free_ns(&self) -> u64 {
+        self.worker_free_at.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Whether at least one worker is idle at `now_ns`.
+    pub fn has_idle_worker(&self, now_ns: u64) -> bool {
+        self.worker_free_at.iter().any(|&t| t <= now_ns)
+    }
+
+    /// Number of workers currently busy at `now_ns`.
+    pub fn busy_workers(&self, now_ns: u64) -> usize {
+        self.worker_free_at.iter().filter(|&&t| t > now_ns).count()
+    }
+
+    /// Dispatches `request` at `now_ns`: the earliest-free worker starts the
+    /// request as soon as it is both free and the request has arrived, and
+    /// the service interval `(start_ns, finish_ns)` is returned.
+    pub fn dispatch(&mut self, request: &IoRequest, now_ns: u64) -> (u64, u64) {
+        let service = self.model.service_ns(request);
+        let idx = self
+            .worker_free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        let start = self.worker_free_at[idx].max(now_ns);
+        let finish = start + service;
+        self.worker_free_at[idx] = finish;
+        self.busy_ns_total += service;
+        self.ops += 1;
+        match request.kind {
+            OpKind::Write => self.bytes_written += request.bytes,
+            OpKind::Read => self.bytes_read += request.bytes,
+            _ => {}
+        }
+        (start, finish)
+    }
+
+    /// Total bytes written through this device.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read through this device.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total operations dispatched.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Device utilisation over `[0, horizon_ns]`: busy time divided by
+    /// available worker time.
+    pub fn utilisation(&self, horizon_ns: u64) -> f64 {
+        if horizon_ns == 0 {
+            return 0.0;
+        }
+        let capacity = horizon_ns as f64 * self.worker_free_at.len() as f64;
+        (self.busy_ns_total as f64 / capacity).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::entity::JobMeta;
+
+    fn req(kind: OpKind, bytes: u64) -> IoRequest {
+        IoRequest::new(0, JobMeta::new(1u64, 1u32, 1u32, 1), kind, bytes, 0)
+    }
+
+    #[test]
+    fn default_config_matches_paper_scale() {
+        let c = DeviceConfig::default();
+        assert!((c.combined_bw() - 23.4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn service_time_scales_with_size_and_kind() {
+        let m = DeviceModel::new(DeviceConfig {
+            write_bw_bytes_per_sec: 1e9,
+            read_bw_bytes_per_sec: 2e9,
+            per_op_overhead_ns: 100,
+            metadata_op_ns: 500,
+            workers: 1,
+        });
+        // 1 MB write at 1 GB/s = 1 ms.
+        assert_eq!(m.service_ns(&req(OpKind::Write, 1_000_000)), 1_000_100);
+        // Same read at 2 GB/s = 0.5 ms.
+        assert_eq!(m.service_ns(&req(OpKind::Read, 1_000_000)), 500_100);
+        // Metadata op charged the fixed cost.
+        assert_eq!(m.service_ns(&req(OpKind::Stat, 0)), 600);
+        // Zero-byte data op still pays the overhead.
+        assert_eq!(m.service_ns(&req(OpKind::Write, 0)), 100);
+    }
+
+    #[test]
+    fn peak_throughput_approaches_bandwidth_for_large_blocks() {
+        let m = DeviceModel::new(DeviceConfig::default());
+        let tp = m.peak_throughput(OpKind::Write, 1 << 20);
+        assert!(tp > 0.9 * 11.7e9 && tp <= 11.7e9, "throughput {tp}");
+        assert_eq!(m.peak_throughput(OpKind::Stat, 0), 0.0);
+    }
+
+    #[test]
+    fn scaled_config_multiplies_bandwidth() {
+        let c = DeviceConfig::default().scaled(2.0);
+        assert!((c.write_bw_bytes_per_sec - 23.4e9).abs() < 1e6);
+        let unchanged = DeviceConfig::default().scaled(f64::NAN);
+        assert_eq!(unchanged.write_bw_bytes_per_sec, 11.7e9);
+    }
+
+    #[test]
+    fn timeline_serialises_requests_on_one_worker() {
+        let cfg = DeviceConfig {
+            write_bw_bytes_per_sec: 1e9,
+            read_bw_bytes_per_sec: 1e9,
+            per_op_overhead_ns: 0,
+            metadata_op_ns: 0,
+            workers: 1,
+        };
+        let mut t = DeviceTimeline::new(DeviceModel::new(cfg));
+        let (s1, f1) = t.dispatch(&req(OpKind::Write, 1_000_000), 0);
+        let (s2, f2) = t.dispatch(&req(OpKind::Write, 1_000_000), 0);
+        assert_eq!((s1, f1), (0, 1_000_000));
+        assert_eq!((s2, f2), (1_000_000, 2_000_000));
+        assert_eq!(t.next_free_ns(), 2_000_000);
+        assert_eq!(t.bytes_written(), 2_000_000);
+        assert_eq!(t.ops(), 2);
+        assert!((t.utilisation(2_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_overlaps_across_workers() {
+        let cfg = DeviceConfig {
+            write_bw_bytes_per_sec: 1e9,
+            read_bw_bytes_per_sec: 1e9,
+            per_op_overhead_ns: 0,
+            metadata_op_ns: 0,
+            workers: 2,
+        };
+        let mut t = DeviceTimeline::new(DeviceModel::new(cfg));
+        // Two workers each sustain half the device bandwidth: a 1 MB write
+        // takes 2 ms per stream, but two run concurrently, so the aggregate
+        // is still 1 GB/s.
+        let (_, f1) = t.dispatch(&req(OpKind::Write, 1_000_000), 0);
+        let (s2, f2) = t.dispatch(&req(OpKind::Write, 1_000_000), 0);
+        assert_eq!(f1, 2_000_000);
+        assert_eq!(s2, 0);
+        assert_eq!(f2, 2_000_000);
+        assert!(t.has_idle_worker(2_000_000));
+        assert_eq!(t.busy_workers(500_000), 2);
+        assert!((t.utilisation(2_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispatch_waits_for_arrival_time() {
+        let mut t = DeviceTimeline::new(DeviceModel::new(DeviceConfig {
+            write_bw_bytes_per_sec: 1e9,
+            read_bw_bytes_per_sec: 1e9,
+            per_op_overhead_ns: 0,
+            metadata_op_ns: 0,
+            workers: 1,
+        }));
+        let (s, _) = t.dispatch(&req(OpKind::Write, 1_000), 5_000);
+        assert_eq!(s, 5_000);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the ThemisIO user-space file system.
+
+use std::fmt;
+
+/// Errors returned by file system operations, mirroring the POSIX error
+/// conditions the intercepted calls of Listing 1 can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The path (or one of its ancestors) does not exist (`ENOENT`).
+    NotFound(String),
+    /// A path component that must be a directory is a regular file
+    /// (`ENOTDIR`).
+    NotADirectory(String),
+    /// The operation targets a regular file but the path is a directory
+    /// (`EISDIR`).
+    IsADirectory(String),
+    /// Creation of something that already exists (`EEXIST`).
+    AlreadyExists(String),
+    /// A malformed path: empty, not absolute, or containing empty components
+    /// (`EINVAL`).
+    InvalidPath(String),
+    /// A file descriptor that is not open (`EBADF`).
+    BadDescriptor(u64),
+    /// Removal of a directory that still has entries (`ENOTEMPTY`).
+    DirectoryNotEmpty(String),
+    /// A read/write/seek with an invalid offset or length (`EINVAL`).
+    InvalidArgument(String),
+    /// The file is not striped onto the server that received the request —
+    /// indicates a routing bug or a stale ring view.
+    WrongServer {
+        /// Path of the file.
+        path: String,
+        /// Server that received the request.
+        got: usize,
+        /// Server that owns the stripe.
+        want: usize,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            FsError::BadDescriptor(fd) => write!(f, "bad file descriptor: {fd}"),
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            FsError::WrongServer { path, got, want } => write!(
+                f,
+                "stripe of {path} routed to server {got} but belongs to server {want}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias used throughout the file system crate.
+pub type FsResult<T> = Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        assert!(FsError::NotFound("/fs/a".into()).to_string().contains("/fs/a"));
+        assert!(FsError::BadDescriptor(9).to_string().contains('9'));
+        let e = FsError::WrongServer {
+            path: "/fs/x".into(),
+            got: 1,
+            want: 2,
+        };
+        assert!(e.to_string().contains("server 1"));
+    }
+}

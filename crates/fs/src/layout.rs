@@ -1,0 +1,189 @@
+//! File striping across burst-buffer servers (§4.3: "Striping is supported
+//! with corresponding records in file metadata").
+
+use crate::ring::{HashRing, ServerId};
+use serde::{Deserialize, Serialize};
+
+/// Default stripe size: 1 MiB, matching the block size used throughout the
+/// paper's IOR experiments.
+pub const DEFAULT_STRIPE_SIZE: u64 = 1 << 20;
+
+/// Striping parameters recorded in a file's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeConfig {
+    /// Bytes per stripe unit.
+    pub stripe_size: u64,
+    /// Number of servers the file is striped across.
+    pub stripe_count: usize,
+}
+
+impl Default for StripeConfig {
+    fn default() -> Self {
+        StripeConfig {
+            stripe_size: DEFAULT_STRIPE_SIZE,
+            stripe_count: 1,
+        }
+    }
+}
+
+impl StripeConfig {
+    /// Creates a config, clamping degenerate values.
+    pub fn new(stripe_size: u64, stripe_count: usize) -> Self {
+        StripeConfig {
+            stripe_size: stripe_size.max(1),
+            stripe_count: stripe_count.max(1),
+        }
+    }
+
+    /// A config that stripes a file over every server of a ring — the
+    /// "sufficiently large stripe number" case of §3.1 where every server
+    /// sees every job without synchronisation.
+    pub fn spanning(ring: &HashRing) -> Self {
+        StripeConfig::new(DEFAULT_STRIPE_SIZE, ring.len().max(1))
+    }
+}
+
+/// The placement of one file: its stripe parameters plus the ordered list of
+/// servers holding stripe `0, 1, …, stripe_count-1` (stripe `i` of byte range
+/// `[i*stripe_size, (i+1)*stripe_size)` modulo `stripe_count`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileLayout {
+    /// Striping parameters.
+    pub config: StripeConfig,
+    /// Servers in stripe order.
+    pub servers: Vec<ServerId>,
+}
+
+impl FileLayout {
+    /// Computes the layout of `path` on `ring` under `config`: the stripe
+    /// servers are the `stripe_count` distinct ring owners of the path.
+    pub fn place(path: &str, config: StripeConfig, ring: &HashRing) -> Self {
+        let servers = ring.owners(path, config.stripe_count);
+        FileLayout { config, servers }
+    }
+
+    /// The server holding the stripe that contains file offset `offset`.
+    pub fn server_for_offset(&self, offset: u64) -> Option<ServerId> {
+        if self.servers.is_empty() {
+            return None;
+        }
+        let stripe = (offset / self.config.stripe_size) as usize % self.servers.len();
+        Some(self.servers[stripe])
+    }
+
+    /// Splits the byte range `[offset, offset+len)` into per-server chunks,
+    /// each fully contained in one stripe unit.
+    pub fn chunks(&self, offset: u64, len: u64) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        if len == 0 || self.servers.is_empty() {
+            return out;
+        }
+        let ss = self.config.stripe_size;
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let stripe_index = cur / ss;
+            let stripe_end = (stripe_index + 1) * ss;
+            let chunk_end = stripe_end.min(end);
+            let server = self.servers[(stripe_index as usize) % self.servers.len()];
+            out.push(Chunk {
+                server,
+                offset: cur,
+                len: chunk_end - cur,
+            });
+            cur = chunk_end;
+        }
+        out
+    }
+}
+
+/// One per-server piece of a striped byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Server holding this piece.
+    pub server: ServerId,
+    /// Absolute file offset of the piece.
+    pub offset: u64,
+    /// Length of the piece in bytes.
+    pub len: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n_servers: usize, stripe_size: u64, stripe_count: usize) -> FileLayout {
+        let ring = HashRing::new(n_servers);
+        FileLayout::place("/data/file", StripeConfig::new(stripe_size, stripe_count), &ring)
+    }
+
+    #[test]
+    fn default_config_is_single_stripe_1mib() {
+        let c = StripeConfig::default();
+        assert_eq!(c.stripe_size, 1 << 20);
+        assert_eq!(c.stripe_count, 1);
+    }
+
+    #[test]
+    fn config_clamps_degenerate_values() {
+        let c = StripeConfig::new(0, 0);
+        assert_eq!(c.stripe_size, 1);
+        assert_eq!(c.stripe_count, 1);
+    }
+
+    #[test]
+    fn spanning_covers_all_servers() {
+        let ring = HashRing::new(7);
+        assert_eq!(StripeConfig::spanning(&ring).stripe_count, 7);
+    }
+
+    #[test]
+    fn placement_respects_stripe_count() {
+        let l = layout(8, 1024, 4);
+        assert_eq!(l.servers.len(), 4);
+    }
+
+    #[test]
+    fn single_stripe_chunks_stay_on_one_server() {
+        let l = layout(4, 1024, 1);
+        let chunks = l.chunks(0, 10_000);
+        assert!(chunks.iter().all(|c| c.server == l.servers[0]));
+        let total: u64 = chunks.iter().map(|c| c.len).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn chunks_cover_range_exactly_and_split_on_stripe_boundaries() {
+        let l = layout(4, 1000, 3);
+        let chunks = l.chunks(500, 2_600);
+        let total: u64 = chunks.iter().map(|c| c.len).sum();
+        assert_eq!(total, 2_600);
+        // First chunk ends at the first stripe boundary (offset 1000).
+        assert_eq!(chunks[0].offset, 500);
+        assert_eq!(chunks[0].len, 500);
+        assert_eq!(chunks[1].offset, 1000);
+        assert_eq!(chunks[1].len, 1000);
+        // Contiguous coverage.
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].offset + w[0].len, w[1].offset);
+        }
+        // Round-robin server assignment across stripes.
+        assert_eq!(chunks[0].server, l.servers[0]);
+        assert_eq!(chunks[1].server, l.servers[1]);
+        assert_eq!(chunks[2].server, l.servers[2]);
+    }
+
+    #[test]
+    fn server_for_offset_wraps_round_robin() {
+        let l = layout(4, 100, 2);
+        assert_eq!(l.server_for_offset(0).unwrap(), l.servers[0]);
+        assert_eq!(l.server_for_offset(150).unwrap(), l.servers[1]);
+        assert_eq!(l.server_for_offset(250).unwrap(), l.servers[0]);
+    }
+
+    #[test]
+    fn zero_length_range_has_no_chunks() {
+        let l = layout(2, 100, 2);
+        assert!(l.chunks(42, 0).is_empty());
+    }
+}

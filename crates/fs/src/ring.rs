@@ -1,0 +1,233 @@
+//! Consistent hashing of files and metadata onto burst-buffer servers (§4.3:
+//! "files and metadata are spread across ThemisIO servers using a consistent
+//! hash function").
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a burst-buffer server (I/O node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub usize);
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Each physical server is mapped onto `vnodes` points of a 64-bit ring; a
+/// key is owned by the first server point at or after the key's hash. Adding
+/// or removing a server only remaps the keys adjacent to its points
+/// (≈ 1/n of the keyspace), which keeps file placement stable as the burst
+/// buffer pool is resized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashRing {
+    /// Sorted `(point, server)` pairs.
+    points: Vec<(u64, ServerId)>,
+    servers: Vec<ServerId>,
+    vnodes: usize,
+}
+
+/// Default number of virtual nodes per server.
+pub const DEFAULT_VNODES: usize = 128;
+
+/// A stable 64-bit string hash (FNV-1a followed by a 64-bit avalanche
+/// finaliser). The file system needs placement to be identical across
+/// processes and runs, which rules out `DefaultHasher` (randomly seeded per
+/// process); the finaliser spreads the similar short keys used for virtual
+/// nodes evenly around the ring.
+pub fn stable_hash(key: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    // MurmurHash3 fmix64 avalanche.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+impl HashRing {
+    /// Builds a ring over servers `0..n` with the default virtual-node count.
+    pub fn new(n_servers: usize) -> Self {
+        Self::with_vnodes(n_servers, DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit virtual-node count (≥ 1).
+    pub fn with_vnodes(n_servers: usize, vnodes: usize) -> Self {
+        let servers: Vec<ServerId> = (0..n_servers).map(ServerId).collect();
+        let mut ring = HashRing {
+            points: Vec::new(),
+            servers: Vec::new(),
+            vnodes: vnodes.max(1),
+        };
+        for s in servers {
+            ring.add_server(s);
+        }
+        ring
+    }
+
+    /// Number of physical servers on the ring.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the ring has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The servers currently on the ring, in id order.
+    pub fn servers(&self) -> &[ServerId] {
+        &self.servers
+    }
+
+    /// Adds a server (no-op if already present).
+    pub fn add_server(&mut self, server: ServerId) {
+        if self.servers.contains(&server) {
+            return;
+        }
+        self.servers.push(server);
+        self.servers.sort_unstable();
+        for v in 0..self.vnodes {
+            let point = stable_hash(&format!("server-{}-vnode-{v}", server.0));
+            self.points.push((point, server));
+        }
+        self.points.sort_unstable_by_key(|(p, s)| (*p, s.0));
+    }
+
+    /// Removes a server and its virtual nodes.
+    pub fn remove_server(&mut self, server: ServerId) {
+        self.servers.retain(|s| *s != server);
+        self.points.retain(|(_, s)| *s != server);
+    }
+
+    /// The server owning `key` (e.g. a file path, or `path#stripe` for one
+    /// stripe of a striped file). `None` on an empty ring.
+    pub fn owner(&self, key: &str) -> Option<ServerId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = stable_hash(key);
+        let idx = self.points.partition_point(|(p, _)| *p < h);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        Some(self.points[idx].1)
+    }
+
+    /// The `count` distinct servers that hold the stripes of `key`, walking
+    /// the ring clockwise from the key's primary owner. Used for striped file
+    /// placement and (in a fault-tolerant deployment) replica placement.
+    pub fn owners(&self, key: &str, count: usize) -> Vec<ServerId> {
+        if self.points.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let want = count.min(self.servers.len());
+        let h = stable_hash(key);
+        let start = self.points.partition_point(|(p, _)| *p < h);
+        let mut out = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, s) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&s) {
+                out.push(s);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn stable_hash_is_deterministic_and_spreads() {
+        assert_eq!(stable_hash("abc"), stable_hash("abc"));
+        assert_ne!(stable_hash("abc"), stable_hash("abd"));
+    }
+
+    #[test]
+    fn owner_is_deterministic() {
+        let ring = HashRing::new(8);
+        let a = ring.owner("/data/file-1").unwrap();
+        let b = ring.owner("/data/file-1").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner("/x"), None);
+        assert!(ring.owners("/x", 3).is_empty());
+    }
+
+    #[test]
+    fn keys_spread_roughly_evenly() {
+        let ring = HashRing::new(4);
+        let mut counts: HashMap<ServerId, usize> = HashMap::new();
+        let total = 10_000;
+        for i in 0..total {
+            let s = ring.owner(&format!("/data/file-{i}")).unwrap();
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (_, c) in counts {
+            let frac = c as f64 / total as f64;
+            assert!((frac - 0.25).abs() < 0.12, "load fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn removing_a_server_only_moves_its_keys() {
+        let ring_before = HashRing::new(5);
+        let mut ring_after = ring_before.clone();
+        ring_after.remove_server(ServerId(4));
+        let total = 5_000;
+        let mut moved = 0;
+        for i in 0..total {
+            let key = format!("/data/file-{i}");
+            let before = ring_before.owner(&key).unwrap();
+            let after = ring_after.owner(&key).unwrap();
+            if before != after {
+                // Only keys previously owned by the removed server may move.
+                assert_eq!(before, ServerId(4));
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / total as f64;
+        assert!(frac < 0.35, "too many keys moved: {frac}");
+    }
+
+    #[test]
+    fn owners_returns_distinct_servers() {
+        let ring = HashRing::new(6);
+        let owners = ring.owners("/data/file-big", 4);
+        assert_eq!(owners.len(), 4);
+        let mut dedup = owners.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+        // First owner matches `owner()`.
+        assert_eq!(owners[0], ring.owner("/data/file-big").unwrap());
+    }
+
+    #[test]
+    fn owners_caps_at_server_count() {
+        let ring = HashRing::new(2);
+        assert_eq!(ring.owners("/x", 10).len(), 2);
+    }
+
+    #[test]
+    fn add_server_is_idempotent() {
+        let mut ring = HashRing::new(3);
+        let points_before = ring.owners("/k", 3);
+        ring.add_server(ServerId(1));
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.owners("/k", 3), points_before);
+    }
+}

@@ -1,0 +1,378 @@
+//! Per-server storage shard: metadata and stripe data owned by one
+//! burst-buffer server.
+//!
+//! §4.3: "both directories and files are stored as files, and files and
+//! metadata are spread across ThemisIO servers using a consistent hash
+//! function … an index specifies the NVMe region of the file's contents."
+//! The shard plays the role of that NVMe region plus its index: stripe
+//! contents live in byte-addressable extents keyed by `(path, stripe)`.
+
+use crate::error::{FsError, FsResult};
+use crate::layout::FileLayout;
+use crate::ring::ServerId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Metadata of a file or directory, owned by the server to which the path
+/// hashes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// Normalised path.
+    pub path: String,
+    /// Whether this entry is a directory.
+    pub is_dir: bool,
+    /// Logical file size in bytes (0 for directories).
+    pub size: u64,
+    /// Stripe placement (meaningless for directories).
+    pub layout: FileLayout,
+    /// Creation time (ns, virtual or wall clock).
+    pub created_ns: u64,
+    /// Last data or metadata modification time (ns).
+    pub modified_ns: u64,
+}
+
+/// The result of a `stat()` call, the subset of [`FileMeta`] exposed to
+/// clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatInfo {
+    /// Whether the path is a directory.
+    pub is_dir: bool,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// Creation time (ns).
+    pub created_ns: u64,
+    /// Last modification time (ns).
+    pub modified_ns: u64,
+    /// Number of stripes.
+    pub stripe_count: usize,
+}
+
+impl From<&FileMeta> for StatInfo {
+    fn from(m: &FileMeta) -> Self {
+        StatInfo {
+            is_dir: m.is_dir,
+            size: m.size,
+            created_ns: m.created_ns,
+            modified_ns: m.modified_ns,
+            stripe_count: m.layout.servers.len(),
+        }
+    }
+}
+
+/// One server's slice of the file system: the metadata of paths that hash to
+/// it, the directory entries of directories that hash to it, and the stripe
+/// extents placed on it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Shard {
+    server: usize,
+    /// Metadata keyed by path.
+    meta: BTreeMap<String, FileMeta>,
+    /// Directory entries (child names) keyed by directory path.
+    dirents: BTreeMap<String, BTreeSet<String>>,
+    /// Stripe extents keyed by `(path, stripe_index)`.
+    extents: BTreeMap<(String, u64), Vec<u8>>,
+    /// Bytes stored in extents on this shard.
+    bytes_stored: u64,
+}
+
+impl Shard {
+    /// Creates the shard belonging to `server`.
+    pub fn new(server: ServerId) -> Self {
+        Shard {
+            server: server.0,
+            ..Shard::default()
+        }
+    }
+
+    /// The server this shard belongs to.
+    pub fn server(&self) -> ServerId {
+        ServerId(self.server)
+    }
+
+    /// Number of metadata entries owned by this shard.
+    pub fn meta_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Total stripe bytes stored on this shard.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    // ---- metadata operations (path hashes to this server) ----
+
+    /// Inserts metadata for a newly created file or directory.
+    pub fn insert_meta(&mut self, meta: FileMeta) -> FsResult<()> {
+        if self.meta.contains_key(&meta.path) {
+            return Err(FsError::AlreadyExists(meta.path));
+        }
+        if meta.is_dir {
+            self.dirents.entry(meta.path.clone()).or_default();
+        }
+        self.meta.insert(meta.path.clone(), meta);
+        Ok(())
+    }
+
+    /// Looks up metadata.
+    pub fn get_meta(&self, path: &str) -> Option<&FileMeta> {
+        self.meta.get(path)
+    }
+
+    /// Stats a path owned by this shard.
+    pub fn stat(&self, path: &str) -> FsResult<StatInfo> {
+        self.meta
+            .get(path)
+            .map(StatInfo::from)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    /// Updates the size/mtime of a file after a write. The new size is the
+    /// maximum of the current size and `end_offset` (writes never shrink).
+    pub fn update_size(&mut self, path: &str, end_offset: u64, now_ns: u64) -> FsResult<u64> {
+        let meta = self
+            .meta
+            .get_mut(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        if meta.is_dir {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        meta.size = meta.size.max(end_offset);
+        meta.modified_ns = now_ns;
+        Ok(meta.size)
+    }
+
+    /// Removes metadata, returning it. The caller is responsible for checking
+    /// directory emptiness and removing stripe extents on the data shards.
+    pub fn remove_meta(&mut self, path: &str) -> FsResult<FileMeta> {
+        if let Some(children) = self.dirents.get(path) {
+            if !children.is_empty() {
+                return Err(FsError::DirectoryNotEmpty(path.to_string()));
+            }
+        }
+        self.dirents.remove(path);
+        self.meta
+            .remove(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    // ---- directory entry operations (parent dir hashes to this server) ----
+
+    /// Registers `child_name` under directory `dir` ("Directory and file
+    /// creation updates the content of the parent directory").
+    pub fn add_dirent(&mut self, dir: &str, child_name: &str) -> FsResult<()> {
+        let set = self
+            .dirents
+            .get_mut(dir)
+            .ok_or_else(|| FsError::NotFound(dir.to_string()))?;
+        set.insert(child_name.to_string());
+        Ok(())
+    }
+
+    /// Unregisters `child_name` from directory `dir`.
+    pub fn remove_dirent(&mut self, dir: &str, child_name: &str) -> FsResult<()> {
+        let set = self
+            .dirents
+            .get_mut(dir)
+            .ok_or_else(|| FsError::NotFound(dir.to_string()))?;
+        set.remove(child_name);
+        Ok(())
+    }
+
+    /// Ensures a directory-entry set exists for `dir` (used when creating the
+    /// root of a shard).
+    pub fn ensure_dir_set(&mut self, dir: &str) {
+        self.dirents.entry(dir.to_string()).or_default();
+    }
+
+    /// Lists the entries of a directory owned by this shard.
+    pub fn read_dir(&self, dir: &str) -> FsResult<Vec<String>> {
+        match self.dirents.get(dir) {
+            Some(set) => Ok(set.iter().cloned().collect()),
+            None => {
+                if self.meta.contains_key(dir) {
+                    Err(FsError::NotADirectory(dir.to_string()))
+                } else {
+                    Err(FsError::NotFound(dir.to_string()))
+                }
+            }
+        }
+    }
+
+    // ---- stripe data operations (stripe hashes to this server) ----
+
+    /// Writes `data` into the extent of stripe `stripe` of `path`, starting
+    /// at `offset_in_stripe`. Extents grow on demand (byte-addressable
+    /// allocation).
+    pub fn write_extent(
+        &mut self,
+        path: &str,
+        stripe: u64,
+        offset_in_stripe: u64,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let key = (path.to_string(), stripe);
+        let extent = self.extents.entry(key).or_default();
+        let end = offset_in_stripe as usize + data.len();
+        if extent.len() < end {
+            self.bytes_stored += (end - extent.len()) as u64;
+            extent.resize(end, 0);
+        }
+        extent[offset_in_stripe as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes from stripe `stripe` of `path` starting at
+    /// `offset_in_stripe`. Missing or short extents read as a short (possibly
+    /// empty) buffer — the distributed layer clamps reads to the file size.
+    pub fn read_extent(
+        &self,
+        path: &str,
+        stripe: u64,
+        offset_in_stripe: u64,
+        len: u64,
+    ) -> Vec<u8> {
+        match self.extents.get(&(path.to_string(), stripe)) {
+            None => Vec::new(),
+            Some(extent) => {
+                let start = offset_in_stripe.min(extent.len() as u64) as usize;
+                let end = (offset_in_stripe + len).min(extent.len() as u64) as usize;
+                extent[start..end].to_vec()
+            }
+        }
+    }
+
+    /// Drops every extent of `path` stored on this shard, returning the
+    /// number of bytes freed.
+    pub fn remove_extents(&mut self, path: &str) -> u64 {
+        let keys: Vec<(String, u64)> = self
+            .extents
+            .range((path.to_string(), 0)..=(path.to_string(), u64::MAX))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut freed = 0;
+        for k in keys {
+            if let Some(e) = self.extents.remove(&k) {
+                freed += e.len() as u64;
+            }
+        }
+        self.bytes_stored = self.bytes_stored.saturating_sub(freed);
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::StripeConfig;
+    use crate::ring::HashRing;
+
+    fn meta(path: &str, is_dir: bool) -> FileMeta {
+        let ring = HashRing::new(2);
+        FileMeta {
+            path: path.to_string(),
+            is_dir,
+            size: 0,
+            layout: FileLayout::place(path, StripeConfig::default(), &ring),
+            created_ns: 1,
+            modified_ns: 1,
+        }
+    }
+
+    #[test]
+    fn insert_and_stat_meta() {
+        let mut s = Shard::new(ServerId(0));
+        s.insert_meta(meta("/a", false)).unwrap();
+        let st = s.stat("/a").unwrap();
+        assert!(!st.is_dir);
+        assert_eq!(st.size, 0);
+        assert!(matches!(s.stat("/missing"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            s.insert_meta(meta("/a", false)),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn update_size_grows_never_shrinks() {
+        let mut s = Shard::new(ServerId(0));
+        s.insert_meta(meta("/a", false)).unwrap();
+        assert_eq!(s.update_size("/a", 100, 5).unwrap(), 100);
+        assert_eq!(s.update_size("/a", 40, 6).unwrap(), 100);
+        assert_eq!(s.get_meta("/a").unwrap().modified_ns, 6);
+    }
+
+    #[test]
+    fn update_size_rejects_directories() {
+        let mut s = Shard::new(ServerId(0));
+        s.insert_meta(meta("/d", true)).unwrap();
+        assert!(matches!(
+            s.update_size("/d", 10, 1),
+            Err(FsError::IsADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn dirents_add_list_remove() {
+        let mut s = Shard::new(ServerId(0));
+        s.insert_meta(meta("/d", true)).unwrap();
+        s.add_dirent("/d", "x").unwrap();
+        s.add_dirent("/d", "y").unwrap();
+        assert_eq!(s.read_dir("/d").unwrap(), vec!["x", "y"]);
+        s.remove_dirent("/d", "x").unwrap();
+        assert_eq!(s.read_dir("/d").unwrap(), vec!["y"]);
+        assert!(matches!(s.read_dir("/nope"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn read_dir_on_file_is_not_a_directory() {
+        let mut s = Shard::new(ServerId(0));
+        s.insert_meta(meta("/f", false)).unwrap();
+        assert!(matches!(s.read_dir("/f"), Err(FsError::NotADirectory(_))));
+    }
+
+    #[test]
+    fn remove_meta_refuses_nonempty_dir() {
+        let mut s = Shard::new(ServerId(0));
+        s.insert_meta(meta("/d", true)).unwrap();
+        s.add_dirent("/d", "x").unwrap();
+        assert!(matches!(
+            s.remove_meta("/d"),
+            Err(FsError::DirectoryNotEmpty(_))
+        ));
+        s.remove_dirent("/d", "x").unwrap();
+        assert!(s.remove_meta("/d").is_ok());
+    }
+
+    #[test]
+    fn extent_write_read_roundtrip_and_growth() {
+        let mut s = Shard::new(ServerId(1));
+        s.write_extent("/a", 0, 10, b"hello").unwrap();
+        assert_eq!(s.read_extent("/a", 0, 10, 5), b"hello");
+        // Bytes before the written region read as zeros.
+        assert_eq!(s.read_extent("/a", 0, 0, 3), vec![0, 0, 0]);
+        // Reads past the extent are short.
+        assert_eq!(s.read_extent("/a", 0, 13, 100), b"lo");
+        assert_eq!(s.read_extent("/a", 7, 0, 10), Vec::<u8>::new());
+        assert_eq!(s.bytes_stored(), 15);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow_storage() {
+        let mut s = Shard::new(ServerId(1));
+        s.write_extent("/a", 0, 0, &[1u8; 100]).unwrap();
+        s.write_extent("/a", 0, 20, &[2u8; 30]).unwrap();
+        assert_eq!(s.bytes_stored(), 100);
+        assert_eq!(s.read_extent("/a", 0, 20, 1), vec![2]);
+    }
+
+    #[test]
+    fn remove_extents_frees_bytes_for_that_path_only() {
+        let mut s = Shard::new(ServerId(1));
+        s.write_extent("/a", 0, 0, &[1u8; 50]).unwrap();
+        s.write_extent("/a", 3, 0, &[1u8; 25]).unwrap();
+        s.write_extent("/b", 0, 0, &[1u8; 10]).unwrap();
+        assert_eq!(s.remove_extents("/a"), 75);
+        assert_eq!(s.bytes_stored(), 10);
+        assert_eq!(s.read_extent("/b", 0, 0, 10).len(), 10);
+    }
+}

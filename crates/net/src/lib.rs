@@ -1,0 +1,16 @@
+//! # themis-net
+//!
+//! The communication substrate of ThemisIO-RS, standing in for the UCX layer
+//! of the paper (§4.2): typed wire messages that embed job metadata in every
+//! I/O request, in-process endpoints for client↔server traffic, a full-mesh
+//! peer fabric for the server↔server λ-sync all-gather, and a link model for
+//! charging network latency/bandwidth in simulations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod message;
+pub mod transport;
+
+pub use message::{ClientMessage, FsOp, FsReply, PeerMessage, ServerMessage};
+pub use transport::{channel_pair, Disconnected, Endpoint, LinkModel, PeerFabric};

@@ -1,0 +1,265 @@
+//! Wire messages exchanged between ThemisIO clients and servers and between
+//! servers (§4.2).
+//!
+//! Every client→server message carries the full [`JobMeta`] so servers can
+//! attribute traffic to jobs/users/groups without any out-of-band
+//! registration — the paper's "embed job-related information, such as job id,
+//! user id, and job size, in the I/O request".
+
+use serde::{Deserialize, Serialize};
+use themis_core::entity::JobMeta;
+use themis_core::job_table::JobTable;
+use themis_fs::layout::StripeConfig;
+use themis_fs::store::StatInfo;
+
+/// A POSIX-flavoured file system operation as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FsOp {
+    /// `open(path, flags)`; returns a descriptor.
+    Open {
+        /// Path inside the burst-buffer namespace.
+        path: String,
+        /// Create the file if missing.
+        create: bool,
+        /// Truncate on open.
+        truncate: bool,
+        /// Start the cursor at EOF.
+        append: bool,
+    },
+    /// `close(fd)`.
+    Close {
+        /// Descriptor returned by a previous open.
+        fd: u64,
+    },
+    /// `write(fd, data)` at the descriptor cursor.
+    Write {
+        /// Descriptor.
+        fd: u64,
+        /// Payload bytes.
+        data: Vec<u8>,
+    },
+    /// `pwrite(path, offset, data)` positional write.
+    WriteAt {
+        /// Path.
+        path: String,
+        /// Absolute offset.
+        offset: u64,
+        /// Payload bytes.
+        data: Vec<u8>,
+    },
+    /// `read(fd, len)` at the descriptor cursor.
+    Read {
+        /// Descriptor.
+        fd: u64,
+        /// Maximum bytes to read.
+        len: u64,
+    },
+    /// `pread(path, offset, len)` positional read.
+    ReadAt {
+        /// Path.
+        path: String,
+        /// Absolute offset.
+        offset: u64,
+        /// Maximum bytes to read.
+        len: u64,
+    },
+    /// `lseek(fd, offset, whence)`.
+    Seek {
+        /// Descriptor.
+        fd: u64,
+        /// Signed offset.
+        offset: i64,
+        /// 0 = SET, 1 = CUR, 2 = END.
+        whence: u8,
+    },
+    /// `stat(path)`.
+    Stat {
+        /// Path.
+        path: String,
+    },
+    /// `mkdir(path)`.
+    Mkdir {
+        /// Path.
+        path: String,
+    },
+    /// `opendir`/`readdir` combined listing.
+    Readdir {
+        /// Path.
+        path: String,
+    },
+    /// `unlink(path)` / `rmdir(path)`.
+    Unlink {
+        /// Path.
+        path: String,
+    },
+    /// Create a file with explicit striping.
+    CreateStriped {
+        /// Path.
+        path: String,
+        /// Stripe configuration.
+        stripe: StripeConfig,
+    },
+}
+
+impl FsOp {
+    /// The payload size this operation moves, used for request costing.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            FsOp::Write { data, .. } | FsOp::WriteAt { data, .. } => data.len() as u64,
+            FsOp::Read { len, .. } | FsOp::ReadAt { len, .. } => *len,
+            _ => 0,
+        }
+    }
+
+    /// Whether the operation is a bulk-data operation.
+    pub fn is_data(&self) -> bool {
+        matches!(
+            self,
+            FsOp::Write { .. } | FsOp::WriteAt { .. } | FsOp::Read { .. } | FsOp::ReadAt { .. }
+        )
+    }
+
+    /// Maps the op to the scheduler-visible [`themis_core::request::OpKind`].
+    pub fn op_kind(&self) -> themis_core::request::OpKind {
+        use themis_core::request::OpKind;
+        match self {
+            FsOp::Write { .. } | FsOp::WriteAt { .. } => OpKind::Write,
+            FsOp::Read { .. } | FsOp::ReadAt { .. } => OpKind::Read,
+            FsOp::Open { .. } | FsOp::Close { .. } | FsOp::Seek { .. } => OpKind::Open,
+            FsOp::Stat { .. } => OpKind::Stat,
+            FsOp::Mkdir { .. } | FsOp::CreateStriped { .. } => OpKind::Create,
+            FsOp::Readdir { .. } => OpKind::Readdir,
+            FsOp::Unlink { .. } => OpKind::Remove,
+        }
+    }
+}
+
+/// The reply to an [`FsOp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FsReply {
+    /// Generic success with no payload.
+    Ok,
+    /// Descriptor returned by open.
+    Fd(u64),
+    /// Bytes written / new offset for seek.
+    Count(u64),
+    /// Data returned by a read.
+    Data(Vec<u8>),
+    /// Metadata returned by stat.
+    Stat(StatInfo),
+    /// Directory listing.
+    Entries(Vec<String>),
+    /// Error string (the client converts it back into an `FsError`).
+    Error(String),
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientMessage {
+    /// A new client announces itself and its job metadata (connection setup
+    /// of §4.2: "job metadata is transferred to the servers").
+    Hello {
+        /// The job this client belongs to.
+        meta: JobMeta,
+    },
+    /// Periodic heartbeat keeping the job marked active.
+    Heartbeat {
+        /// The job this client belongs to.
+        meta: JobMeta,
+        /// Client-side send time (ns).
+        sent_ns: u64,
+    },
+    /// An I/O request.
+    Io {
+        /// Request id chosen by the client, echoed in the response.
+        request_id: u64,
+        /// Job metadata embedded in the request.
+        meta: JobMeta,
+        /// The operation.
+        op: FsOp,
+    },
+    /// Clean disconnect; the server drops the client's state.
+    Bye {
+        /// The job this client belongs to.
+        meta: JobMeta,
+    },
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerMessage {
+    /// Response to an [`ClientMessage::Io`] request.
+    IoReply {
+        /// Echoed request id.
+        request_id: u64,
+        /// The reply payload.
+        reply: FsReply,
+    },
+    /// Acknowledgement of a hello/heartbeat (carries the server's policy so
+    /// clients can log it).
+    Ack {
+        /// Human-readable policy name in force on the server.
+        policy: String,
+    },
+}
+
+/// A server→server message used by the λ-sync all-gather.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PeerMessage {
+    /// One server's local job status table, broadcast every λ interval.
+    JobTable {
+        /// Index of the sending server.
+        from_server: usize,
+        /// The sender's current local table.
+        table: JobTable,
+        /// Send time (ns).
+        sent_ns: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_bytes_and_kinds() {
+        let w = FsOp::WriteAt {
+            path: "/f".into(),
+            offset: 0,
+            data: vec![0; 123],
+        };
+        assert_eq!(w.payload_bytes(), 123);
+        assert!(w.is_data());
+        let r = FsOp::Read { fd: 3, len: 456 };
+        assert_eq!(r.payload_bytes(), 456);
+        let s = FsOp::Stat { path: "/f".into() };
+        assert_eq!(s.payload_bytes(), 0);
+        assert!(!s.is_data());
+        assert_eq!(s.op_kind(), themis_core::request::OpKind::Stat);
+    }
+
+    #[test]
+    fn messages_roundtrip_through_serde_json() {
+        let meta = JobMeta::new(1u64, 2u32, 3u32, 4);
+        let msg = ClientMessage::Io {
+            request_id: 99,
+            meta,
+            op: FsOp::WriteAt {
+                path: "/fs/x".into(),
+                offset: 10,
+                data: vec![1, 2, 3],
+            },
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: ClientMessage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+
+        let reply = ServerMessage::IoReply {
+            request_id: 99,
+            reply: FsReply::Count(3),
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        let back: ServerMessage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reply);
+    }
+}

@@ -1,0 +1,273 @@
+//! In-process transport substituting for the UCX layer of the paper (§4.2).
+//!
+//! The paper uses UCP workers over InfiniBand; all ThemisIO needs from the
+//! transport is ordered, reliable delivery of typed messages between client
+//! and server endpoints plus server↔server exchange for the λ-sync. This
+//! module provides exactly that over crossbeam channels, with an optional
+//! [`LinkModel`] that charges per-message latency and bandwidth so the
+//! threaded runtime sees realistic timing.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Latency/bandwidth model of one link, applied on `send` by the caller
+/// (virtual time) or by sleeping (real time), depending on the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Link bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl Default for LinkModel {
+    /// HDR InfiniBand-like defaults: ~2 µs one-way latency, 25 GB/s.
+    fn default() -> Self {
+        LinkModel {
+            latency_ns: 2_000,
+            bandwidth_bytes_per_sec: 25.0e9,
+        }
+    }
+}
+
+impl LinkModel {
+    /// An ideal zero-cost link (useful in unit tests).
+    pub fn ideal() -> Self {
+        LinkModel {
+            latency_ns: 0,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// Transfer time of a `bytes`-sized message over this link, in ns.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        let serialisation = if self.bandwidth_bytes_per_sec.is_finite()
+            && self.bandwidth_bytes_per_sec > 0.0
+        {
+            (bytes as f64 / self.bandwidth_bytes_per_sec * 1e9) as u64
+        } else {
+            0
+        };
+        self.latency_ns + serialisation
+    }
+}
+
+/// One direction of a typed, ordered, reliable message pipe.
+#[derive(Debug, Clone)]
+pub struct Endpoint<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+}
+
+/// Creates a bidirectional channel pair `(a, b)`: messages sent on `a` arrive
+/// at `b` and vice versa, in order.
+pub fn channel_pair<T>() -> (Endpoint<T>, Endpoint<T>) {
+    let (tx_ab, rx_ab) = unbounded();
+    let (tx_ba, rx_ba) = unbounded();
+    (
+        Endpoint { tx: tx_ab, rx: rx_ba },
+        Endpoint { tx: tx_ba, rx: rx_ab },
+    )
+}
+
+/// Error returned when the peer endpoint has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer endpoint disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+impl<T> Endpoint<T> {
+    /// Sends a message to the peer.
+    pub fn send(&self, msg: T) -> Result<(), Disconnected> {
+        self.tx.send(msg).map_err(|_| Disconnected)
+    }
+
+    /// Receives the next message, blocking until one arrives.
+    pub fn recv(&self) -> Result<T, Disconnected> {
+        self.rx.recv().map_err(|_| Disconnected)
+    }
+
+    /// Receives with a timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<T>, Disconnected> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no message is waiting.
+    pub fn try_recv(&self) -> Result<Option<T>, Disconnected> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(Disconnected),
+        }
+    }
+
+    /// Drains every message currently waiting.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Ok(Some(m)) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Number of messages waiting to be received.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// A full-mesh fabric connecting `n` servers for the λ-sync all-gather: every
+/// server can broadcast to all peers and drain what peers sent to it.
+#[derive(Debug)]
+pub struct PeerFabric<T> {
+    /// `links[i][j]` is the sender from server `i` to server `j` (None on the
+    /// diagonal).
+    senders: Vec<Vec<Option<Sender<T>>>>,
+    receivers: Vec<Receiver<T>>,
+}
+
+impl<T: Clone> PeerFabric<T> {
+    /// Builds a fabric over `n` servers.
+    pub fn new(n: usize) -> Self {
+        let mut senders: Vec<Vec<Option<Sender<T>>>> = vec![Vec::new(); n];
+        let mut receivers = Vec::with_capacity(n);
+        let mut incoming: Vec<Vec<Sender<T>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            incoming.push(Vec::new());
+        }
+        for j in 0..n {
+            let (tx, rx) = unbounded();
+            receivers.push(rx);
+            for _i in 0..n {
+                incoming[j].push(tx.clone());
+            }
+        }
+        for (i, row) in senders.iter_mut().enumerate() {
+            for (j, incoming_row) in incoming.iter().enumerate() {
+                if i == j {
+                    row.push(None);
+                } else {
+                    row.push(Some(incoming_row[i].clone()));
+                }
+            }
+        }
+        PeerFabric { senders, receivers }
+    }
+
+    /// Number of servers in the fabric.
+    pub fn len(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// Whether the fabric is empty.
+    pub fn is_empty(&self) -> bool {
+        self.receivers.is_empty()
+    }
+
+    /// Broadcasts `msg` from server `from` to every other server.
+    pub fn broadcast(&self, from: usize, msg: T) {
+        for (j, slot) in self.senders[from].iter().enumerate() {
+            if j != from {
+                if let Some(tx) = slot {
+                    let _ = tx.send(msg.clone());
+                }
+            }
+        }
+    }
+
+    /// Drains every message delivered to server `to`.
+    pub fn drain(&self, to: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.receivers[to].try_recv() {
+            out.push(m);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_model_transfer_times() {
+        let l = LinkModel {
+            latency_ns: 1_000,
+            bandwidth_bytes_per_sec: 1e9,
+        };
+        assert_eq!(l.transfer_ns(0), 1_000);
+        assert_eq!(l.transfer_ns(1_000_000), 1_001_000);
+        assert_eq!(LinkModel::ideal().transfer_ns(1 << 30), 0);
+    }
+
+    #[test]
+    fn channel_pair_is_bidirectional_and_ordered() {
+        let (a, b) = channel_pair::<u32>();
+        a.send(1).unwrap();
+        a.send(2).unwrap();
+        b.send(10).unwrap();
+        assert_eq!(b.recv().unwrap(), 1);
+        assert_eq!(b.recv().unwrap(), 2);
+        assert_eq!(a.recv().unwrap(), 10);
+        assert_eq!(a.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn drain_and_pending() {
+        let (a, b) = channel_pair::<u32>();
+        for i in 0..5 {
+            a.send(i).unwrap();
+        }
+        assert_eq!(b.pending(), 5);
+        assert_eq!(b.drain(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let (a, b) = channel_pair::<u32>();
+        drop(b);
+        assert_eq!(a.send(1), Err(Disconnected));
+        let (a, b) = channel_pair::<u32>();
+        drop(a);
+        assert_eq!(b.recv(), Err(Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_quiet() {
+        let (a, b) = channel_pair::<u32>();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(1)).unwrap(),
+            None
+        );
+        a.send(7).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn peer_fabric_broadcast_reaches_everyone_but_sender() {
+        let fabric = PeerFabric::new(3);
+        fabric.broadcast(0, "table-from-0");
+        fabric.broadcast(2, "table-from-2");
+        assert_eq!(fabric.drain(0), vec!["table-from-2"]);
+        assert_eq!(fabric.drain(1), vec!["table-from-0", "table-from-2"]);
+        assert_eq!(fabric.drain(2), vec!["table-from-0"]);
+        // Draining again yields nothing.
+        assert!(fabric.drain(1).is_empty());
+        assert_eq!(fabric.len(), 3);
+    }
+}

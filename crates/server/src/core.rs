@@ -1,0 +1,457 @@
+//! The steppable server core: job monitor, communicator, controller and
+//! worker logic of one ThemisIO server (§4.1), independent of any thread or
+//! transport so it can be driven by the threaded runtime, by tests, or by a
+//! virtual clock.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use themis_baselines::Algorithm;
+use themis_core::entity::JobMeta;
+use themis_core::job_table::JobTable;
+use themis_core::policy::Policy;
+use themis_core::request::{Completion, IoRequest};
+use themis_core::sched::Scheduler;
+use themis_core::shares::ShareMap;
+use themis_core::sync::{LambdaClock, SyncConfig};
+use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
+use themis_fs::{BurstBufferFs, FsError, OpenFlags, Whence};
+use themis_net::message::{FsOp, FsReply};
+
+/// Configuration of one server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Arbitration algorithm (ThemisIO with a policy, FIFO, GIFT or TBF).
+    pub algorithm: Algorithm,
+    /// Device model of this server's storage.
+    pub device: DeviceConfig,
+    /// λ-sync configuration.
+    pub sync: SyncConfig,
+    /// Heartbeat timeout after which a silent job is marked inactive (ns).
+    pub heartbeat_timeout_ns: u64,
+    /// Seed for the statistical-token draws, so runs are reproducible.
+    pub rng_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            algorithm: Algorithm::Themis(Policy::size_fair()),
+            device: DeviceConfig::default(),
+            sync: SyncConfig::default(),
+            heartbeat_timeout_ns: 5_000_000_000,
+            rng_seed: 0x7e11_05,
+        }
+    }
+}
+
+/// A reply that became ready during a [`ServerCore::poll`] call, tagged with
+/// the service interval so callers can deliver it at the right (virtual or
+/// real) time.
+#[derive(Debug, Clone)]
+pub struct ReadyReply {
+    /// Client-chosen request id.
+    pub request_id: u64,
+    /// The reply payload.
+    pub reply: FsReply,
+    /// The completion record (job, timings) for accounting.
+    pub completion: Completion,
+}
+
+/// One ThemisIO server: job monitor + request queues + controller + workers,
+/// operating on a shared [`BurstBufferFs`].
+pub struct ServerCore {
+    /// Index of this server within the deployment.
+    server_index: usize,
+    config: ServerConfig,
+    policy: Policy,
+    scheduler: Box<dyn Scheduler>,
+    jobs: JobTable,
+    lambda: LambdaClock,
+    device: DeviceTimeline,
+    fs: BurstBufferFs,
+    rng: SmallRng,
+    /// Operations queued with the scheduler but not yet executed, keyed by
+    /// request sequence number.
+    pending: HashMap<u64, (u64, FsOp)>,
+    next_seq: u64,
+    completions: u64,
+}
+
+impl ServerCore {
+    /// Creates a server operating on `fs`.
+    pub fn new(server_index: usize, fs: BurstBufferFs, config: ServerConfig) -> Self {
+        let policy = match &config.algorithm {
+            Algorithm::Themis(p) => p.clone(),
+            _ => Policy::job_fair(),
+        };
+        let scheduler = config.algorithm.build();
+        let mut jobs = JobTable::with_heartbeat_timeout(config.heartbeat_timeout_ns);
+        jobs.set_viewpoint(server_index);
+        ServerCore {
+            server_index,
+            policy,
+            scheduler,
+            jobs,
+            lambda: LambdaClock::new(config.sync),
+            device: DeviceTimeline::new(DeviceModel::new(config.device)),
+            fs,
+            rng: SmallRng::seed_from_u64(config.rng_seed ^ server_index as u64),
+            pending: HashMap::new(),
+            next_seq: 0,
+            config,
+            completions: 0,
+        }
+    }
+
+    /// This server's index.
+    pub fn server_index(&self) -> usize {
+        self.server_index
+    }
+
+    /// The configuration this server was created with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The sharing policy in force.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Changes the sharing policy at runtime; shares are recomputed
+    /// immediately.
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+        self.scheduler.refresh(&self.jobs, &self.policy);
+    }
+
+    /// The configured λ interval.
+    pub fn lambda_interval_ns(&self) -> u64 {
+        self.lambda.interval_ns()
+    }
+
+    /// Number of requests queued and not yet served.
+    pub fn queued(&self) -> usize {
+        self.scheduler.queued()
+    }
+
+    /// Number of completed requests.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// The scheduler's current nominal share assignment.
+    pub fn shares(&self) -> ShareMap {
+        self.scheduler.shares()
+    }
+
+    /// The shared file system this server operates on.
+    pub fn fs(&self) -> &BurstBufferFs {
+        &self.fs
+    }
+
+    // ------------------------------------------------------------ job admin
+
+    /// Handles a client hello or heartbeat (§4.1 job monitor).
+    pub fn heartbeat(&mut self, meta: JobMeta, now_ns: u64) {
+        self.jobs.heartbeat(meta, now_ns);
+        self.scheduler.refresh(&self.jobs, &self.policy);
+    }
+
+    /// Handles a clean client disconnect.
+    pub fn client_bye(&mut self, meta: JobMeta, _now_ns: u64) {
+        self.jobs.remove(meta.job);
+        self.scheduler.refresh(&self.jobs, &self.policy);
+    }
+
+    /// Expires silent jobs and refreshes shares if anything changed.
+    pub fn expire_jobs(&mut self, now_ns: u64) {
+        if self.jobs.expire(now_ns) > 0 {
+            self.scheduler.refresh(&self.jobs, &self.policy);
+        }
+    }
+
+    /// The server's local job status table (what it broadcasts at λ-sync).
+    pub fn local_table(&self) -> JobTable {
+        self.jobs.clone()
+    }
+
+    /// Whether a λ-sync round is due at `now_ns`.
+    pub fn sync_due(&self, now_ns: u64) -> bool {
+        self.lambda.due(now_ns)
+    }
+
+    /// Absorbs peer tables received in an all-gather round and marks the
+    /// round complete (§3.1).
+    pub fn absorb_peer_tables<'a>(
+        &mut self,
+        tables: impl IntoIterator<Item = &'a JobTable>,
+        now_ns: u64,
+    ) {
+        for t in tables {
+            self.jobs.merge_from(t);
+        }
+        self.lambda.mark(now_ns);
+        self.scheduler.refresh(&self.jobs, &self.policy);
+    }
+
+    // --------------------------------------------------------------- the IO path
+
+    /// Accepts an I/O request from a client: the communicator records the
+    /// job, assigns a sequence number, and queues the request with the
+    /// arbitration algorithm.
+    pub fn submit(&mut self, request_id: u64, meta: JobMeta, op: FsOp, now_ns: u64) {
+        self.jobs.observe_request(meta, now_ns);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let request = IoRequest::new(seq, meta, op.op_kind(), op.payload_bytes(), now_ns);
+        self.pending.insert(seq, (request_id, op));
+        self.scheduler.enqueue(request);
+    }
+
+    /// Runs the worker loop at `now_ns`: while the device has an idle worker
+    /// and the scheduler releases a request, execute it against the file
+    /// system and record its service interval. Returns the replies that
+    /// became ready, in completion order.
+    pub fn poll(&mut self, now_ns: u64) -> Vec<ReadyReply> {
+        let mut ready = Vec::new();
+        while self.device.has_idle_worker(now_ns) {
+            let Some(request) = self.scheduler.next(now_ns, &mut self.rng) else {
+                break;
+            };
+            let (request_id, op) = self
+                .pending
+                .remove(&request.seq)
+                .expect("every queued request has a pending op");
+            let (start_ns, finish_ns) = self.device.dispatch(&request, now_ns);
+            let reply = self.execute(&op, finish_ns);
+            let completion = Completion {
+                request: request,
+                start_ns,
+                finish_ns,
+            };
+            self.scheduler.on_complete(&completion);
+            self.completions += 1;
+            ready.push(ReadyReply {
+                request_id,
+                reply,
+                completion,
+            });
+        }
+        ready
+    }
+
+    /// Executes one file system operation (the data path of §4.3).
+    fn execute(&self, op: &FsOp, now_ns: u64) -> FsReply {
+        fn from_res<T>(r: Result<T, FsError>, f: impl FnOnce(T) -> FsReply) -> FsReply {
+            match r {
+                Ok(v) => f(v),
+                Err(e) => FsReply::Error(e.to_string()),
+            }
+        }
+        match op {
+            FsOp::Open {
+                path,
+                create,
+                truncate,
+                append,
+            } => from_res(
+                self.fs.open(
+                    path,
+                    OpenFlags {
+                        create: *create,
+                        truncate: *truncate,
+                        append: *append,
+                    },
+                    now_ns,
+                ),
+                FsReply::Fd,
+            ),
+            FsOp::Close { fd } => from_res(self.fs.close(*fd), |_| FsReply::Ok),
+            FsOp::Write { fd, data } => from_res(self.fs.write(*fd, data, now_ns), FsReply::Count),
+            FsOp::WriteAt { path, offset, data } => {
+                from_res(self.fs.write_at(path, *offset, data, now_ns), FsReply::Count)
+            }
+            FsOp::Read { fd, len } => from_res(self.fs.read(*fd, *len), FsReply::Data),
+            FsOp::ReadAt { path, offset, len } => {
+                from_res(self.fs.read_at(path, *offset, *len), FsReply::Data)
+            }
+            FsOp::Seek { fd, offset, whence } => {
+                let whence = match whence {
+                    0 => Whence::Set,
+                    1 => Whence::Cur,
+                    _ => Whence::End,
+                };
+                from_res(self.fs.lseek(*fd, *offset, whence), FsReply::Count)
+            }
+            FsOp::Stat { path } => from_res(self.fs.stat(path), FsReply::Stat),
+            FsOp::Mkdir { path } => from_res(self.fs.mkdir_all(path, now_ns), |_| FsReply::Ok),
+            FsOp::Readdir { path } => from_res(self.fs.readdir(path), FsReply::Entries),
+            FsOp::Unlink { path } => from_res(self.fs.unlink(path, now_ns), |_| FsReply::Ok),
+            FsOp::CreateStriped { path, stripe } => {
+                from_res(self.fs.create_striped(path, *stripe, now_ns), |_| FsReply::Ok)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::entity::JobId;
+
+    fn server(policy: Policy) -> ServerCore {
+        let fs = BurstBufferFs::new(1);
+        ServerCore::new(
+            0,
+            fs,
+            ServerConfig {
+                algorithm: Algorithm::Themis(policy),
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    fn meta(job: u64, nodes: u32) -> JobMeta {
+        JobMeta::new(job, job as u32, 1u32, nodes)
+    }
+
+    #[test]
+    fn submit_poll_executes_against_fs() {
+        let mut s = server(Policy::size_fair());
+        let m = meta(1, 4);
+        s.heartbeat(m, 0);
+        s.submit(
+            1,
+            m,
+            FsOp::Open {
+                path: "/out".into(),
+                create: true,
+                truncate: true,
+                append: false,
+            },
+            0,
+        );
+        let replies = s.poll(0);
+        assert_eq!(replies.len(), 1);
+        let fd = match replies[0].reply {
+            FsReply::Fd(fd) => fd,
+            ref other => panic!("unexpected reply {other:?}"),
+        };
+        s.submit(2, m, FsOp::Write { fd, data: vec![7u8; 4096] }, 1_000);
+        s.submit(3, m, FsOp::Read { fd, len: 4096 }, 1_000);
+        s.submit(4, m, FsOp::Seek { fd, offset: 0, whence: 0 }, 1_000);
+        s.submit(5, m, FsOp::Read { fd, len: 4096 }, 1_000);
+        let mut replies = s.poll(1_000);
+        // Workers may still be busy with earlier requests at t=1 µs; keep
+        // polling as (virtual) time advances until all four complete.
+        let mut t = 1_000;
+        while replies.len() < 4 {
+            t += 10_000;
+            replies.extend(s.poll(t));
+            assert!(t < 1_000_000_000, "requests never completed");
+        }
+        assert_eq!(replies.len(), 4);
+        match &replies[3].reply {
+            FsReply::Data(d) => assert_eq!(d, &vec![7u8; 4096]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(s.completions(), 5);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn errors_travel_back_as_replies() {
+        let mut s = server(Policy::job_fair());
+        let m = meta(1, 1);
+        s.submit(9, m, FsOp::Stat { path: "/missing".into() }, 0);
+        let replies = s.poll(0);
+        assert!(matches!(replies[0].reply, FsReply::Error(_)));
+    }
+
+    #[test]
+    fn size_fair_shares_follow_heartbeats() {
+        let mut s = server(Policy::size_fair());
+        s.heartbeat(meta(1, 3), 0);
+        s.heartbeat(meta(2, 1), 0);
+        let shares = s.shares();
+        assert!((shares.share(JobId(1)) - 0.75).abs() < 1e-9);
+        s.client_bye(meta(1, 3), 10);
+        assert!((s.shares().share(JobId(2)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expire_marks_silent_jobs_inactive() {
+        let fs = BurstBufferFs::new(1);
+        let mut s = ServerCore::new(
+            0,
+            fs,
+            ServerConfig {
+                heartbeat_timeout_ns: 1_000,
+                ..ServerConfig::default()
+            },
+        );
+        s.heartbeat(meta(1, 2), 0);
+        s.heartbeat(meta(2, 2), 0);
+        // Job 2 keeps beating, job 1 goes silent.
+        s.heartbeat(meta(2, 2), 10_000);
+        s.expire_jobs(10_000);
+        let shares = s.shares();
+        assert_eq!(shares.share(JobId(1)), 0.0);
+        assert!((shares.share(JobId(2)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lambda_sync_merges_peer_views() {
+        let mut a = server(Policy::size_fair());
+        let mut b = server(Policy::size_fair());
+        a.heartbeat(meta(1, 16), 0);
+        a.heartbeat(meta(2, 8), 0);
+        b.heartbeat(meta(1, 16), 0);
+        b.heartbeat(meta(3, 8), 0);
+        assert!((a.shares().share(JobId(1)) - 2.0 / 3.0).abs() < 1e-9);
+        assert!(a.sync_due(a.lambda_interval_ns()));
+        let tb = b.local_table();
+        let ta = a.local_table();
+        a.absorb_peer_tables([&tb], 500_000_000);
+        b.absorb_peer_tables([&ta], 500_000_000);
+        assert!((a.shares().share(JobId(1)) - 0.5).abs() < 1e-9);
+        assert!((b.shares().share(JobId(1)) - 0.5).abs() < 1e-9);
+        assert!(!a.sync_due(600_000_000));
+    }
+
+    #[test]
+    fn policy_change_applies_immediately() {
+        let mut s = server(Policy::size_fair());
+        s.heartbeat(meta(1, 4), 0);
+        s.heartbeat(meta(2, 1), 0);
+        assert!((s.shares().share(JobId(1)) - 0.8).abs() < 1e-9);
+        s.set_policy(Policy::job_fair());
+        assert!((s.shares().share(JobId(1)) - 0.5).abs() < 1e-9);
+        assert_eq!(s.policy(), &Policy::job_fair());
+    }
+
+    #[test]
+    fn fifo_server_works_through_same_interface() {
+        let fs = BurstBufferFs::new(1);
+        let mut s = ServerCore::new(
+            0,
+            fs,
+            ServerConfig {
+                algorithm: Algorithm::Fifo,
+                ..ServerConfig::default()
+            },
+        );
+        let m = meta(5, 1);
+        s.submit(
+            1,
+            m,
+            FsOp::Mkdir { path: "/d".into() },
+            0,
+        );
+        let replies = s.poll(0);
+        assert!(matches!(replies[0].reply, FsReply::Ok));
+        assert!(s.fs().exists("/d"));
+    }
+}

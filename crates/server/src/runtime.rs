@@ -1,0 +1,331 @@
+//! The threaded server runtime: runs one or more [`ServerCore`]s on real
+//! threads, accepts client connections over in-process endpoints, and
+//! performs the λ-sync all-gather over a peer fabric.
+//!
+//! This is the "live" deployment path used by the examples and integration
+//! tests; the large-scale experiments of the paper are replayed on a virtual
+//! clock by `themis-sim` using the same scheduler, device and policy code.
+
+use crate::core::{ServerConfig, ServerCore};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use themis_fs::BurstBufferFs;
+use themis_net::message::{ClientMessage, ServerMessage};
+use themis_net::transport::{channel_pair, Endpoint, PeerFabric};
+use themis_net::PeerMessage;
+
+/// A deployment of one or more ThemisIO servers over a shared burst-buffer
+/// file system.
+pub struct Deployment {
+    fs: BurstBufferFs,
+    registrars: Vec<Sender<(usize, Endpoint<ServerMessage>)>>,
+    /// Paired with `registrars`: the client-facing endpoints handed to the
+    /// registrar are created by `connect`.
+    inboxes: Vec<Sender<(usize, ClientMessage)>>,
+    stop: Arc<AtomicBool>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    n_servers: usize,
+}
+
+struct ClientSlot {
+    endpoint: Endpoint<ServerMessage>,
+}
+
+impl Deployment {
+    /// Starts `n_servers` server threads sharing one in-memory burst buffer.
+    ///
+    /// `config_for` produces the configuration of each server (so tests can
+    /// give different servers different algorithms or seeds).
+    pub fn start(n_servers: usize, config_for: impl Fn(usize) -> ServerConfig) -> Self {
+        let n = n_servers.max(1);
+        let fs = BurstBufferFs::new(n);
+        let fabric = Arc::new(PeerFabric::<PeerMessage>::new(n));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut registrars = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+
+        for idx in 0..n {
+            let (reg_tx, reg_rx): (
+                Sender<(usize, Endpoint<ServerMessage>)>,
+                Receiver<(usize, Endpoint<ServerMessage>)>,
+            ) = unbounded();
+            let (in_tx, in_rx): (Sender<(usize, ClientMessage)>, Receiver<(usize, ClientMessage)>) =
+                unbounded();
+            registrars.push(reg_tx);
+            inboxes.push(in_tx);
+            let core = ServerCore::new(idx, fs.clone(), config_for(idx));
+            let fabric = Arc::clone(&fabric);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                server_loop(core, reg_rx, in_rx, fabric, stop);
+            }));
+        }
+
+        Deployment {
+            fs,
+            registrars,
+            inboxes,
+            stop,
+            threads: Mutex::new(threads),
+            n_servers: n,
+        }
+    }
+
+    /// Number of servers in the deployment.
+    pub fn server_count(&self) -> usize {
+        self.n_servers
+    }
+
+    /// The shared burst-buffer file system (for out-of-band inspection in
+    /// tests and examples).
+    pub fn fs(&self) -> &BurstBufferFs {
+        &self.fs
+    }
+
+    /// Opens a connection to server `server_index` and returns the
+    /// client-side endpoint plus a message sender tagged with the connection
+    /// id expected by that server.
+    pub fn connect(&self, server_index: usize) -> ClientConnection {
+        let idx = server_index % self.n_servers;
+        let (client_end, server_end) = channel_pair::<ServerMessage>();
+        // The server thread learns about the new client and its reply
+        // endpoint through the registrar channel; requests flow through the
+        // shared inbox, tagged with the connection id.
+        static NEXT_CONN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+        let conn_id = NEXT_CONN.fetch_add(1, Ordering::Relaxed);
+        self.registrars[idx]
+            .send((conn_id, server_end))
+            .expect("server thread alive");
+        ClientConnection {
+            server_index: idx,
+            conn_id,
+            to_server: self.inboxes[idx].clone(),
+            from_server: client_end,
+        }
+    }
+
+    /// Stops every server thread and waits for them to exit.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A client's connection to one server of a [`Deployment`].
+pub struct ClientConnection {
+    /// Index of the server this connection talks to.
+    pub server_index: usize,
+    conn_id: usize,
+    to_server: Sender<(usize, ClientMessage)>,
+    from_server: Endpoint<ServerMessage>,
+}
+
+impl ClientConnection {
+    /// Sends a message to the server.
+    pub fn send(&self, msg: ClientMessage) {
+        let _ = self.to_server.send((self.conn_id, msg));
+    }
+
+    /// Blocks until the next message from the server arrives (or the server
+    /// shuts down, in which case `None`).
+    pub fn recv(&self) -> Option<ServerMessage> {
+        self.from_server.recv().ok()
+    }
+
+    /// Receives with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<ServerMessage> {
+        self.from_server.recv_timeout(timeout).ok().flatten()
+    }
+}
+
+fn now_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
+fn server_loop(
+    mut core: ServerCore,
+    registrar: Receiver<(usize, Endpoint<ServerMessage>)>,
+    inbox: Receiver<(usize, ClientMessage)>,
+    fabric: Arc<PeerFabric<PeerMessage>>,
+    stop: Arc<AtomicBool>,
+) {
+    let epoch = Instant::now();
+    let mut clients: std::collections::HashMap<usize, ClientSlot> = std::collections::HashMap::new();
+    // Map request-id → connection id, so replies go back to the right
+    // connection. Request ids are made unique per connection by the client.
+    let mut reply_route: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let my_index = core.server_index();
+
+    while !stop.load(Ordering::SeqCst) {
+        let now = now_ns(epoch);
+        let mut did_work = false;
+
+        // Accept new connections.
+        while let Ok((conn_id, endpoint)) = registrar.try_recv() {
+            clients.insert(conn_id, ClientSlot { endpoint });
+            did_work = true;
+        }
+
+        // Drain client messages.
+        while let Ok((conn_id, msg)) = inbox.try_recv() {
+            did_work = true;
+            match msg {
+                ClientMessage::Hello { meta } | ClientMessage::Heartbeat { meta, .. } => {
+                    core.heartbeat(meta, now);
+                    if let Some(c) = clients.get(&conn_id) {
+                        let _ = c.endpoint.send(ServerMessage::Ack {
+                            policy: core.policy().to_string(),
+                        });
+                    }
+                }
+                ClientMessage::Bye { meta } => {
+                    core.client_bye(meta, now);
+                }
+                ClientMessage::Io {
+                    request_id,
+                    meta,
+                    op,
+                } => {
+                    reply_route.insert(request_id, conn_id);
+                    core.submit(request_id, meta, op, now);
+                }
+            }
+        }
+
+        // Worker loop: serve whatever the scheduler releases.
+        for ready in core.poll(now) {
+            did_work = true;
+            if let Some(conn_id) = reply_route.remove(&ready.request_id) {
+                if let Some(c) = clients.get(&conn_id) {
+                    let _ = c.endpoint.send(ServerMessage::IoReply {
+                        request_id: ready.request_id,
+                        reply: ready.reply,
+                    });
+                }
+            }
+        }
+
+        // Job monitor timeout scan + λ-sync.
+        core.expire_jobs(now);
+        if core.sync_due(now) {
+            fabric.broadcast(
+                my_index,
+                PeerMessage::JobTable {
+                    from_server: my_index,
+                    table: core.local_table(),
+                    sent_ns: now,
+                },
+            );
+            let peer_tables: Vec<_> = fabric
+                .drain(my_index)
+                .into_iter()
+                .map(|PeerMessage::JobTable { table, .. }| table)
+                .collect();
+            core.absorb_peer_tables(peer_tables.iter(), now);
+        }
+
+        if !did_work {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::entity::JobMeta;
+    use themis_net::message::{FsOp, FsReply};
+
+    #[test]
+    fn deployment_serves_io_end_to_end() {
+        let dep = Deployment::start(2, |_| ServerConfig::default());
+        let conn = dep.connect(0);
+        let meta = JobMeta::new(1u64, 1u32, 1u32, 4);
+        conn.send(ClientMessage::Hello { meta });
+        assert!(matches!(
+            conn.recv_timeout(Duration::from_secs(5)),
+            Some(ServerMessage::Ack { .. })
+        ));
+        conn.send(ClientMessage::Io {
+            request_id: 1,
+            meta,
+            op: FsOp::Mkdir { path: "/out".into() },
+        });
+        let reply = conn.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            reply,
+            ServerMessage::IoReply {
+                request_id: 1,
+                reply: FsReply::Ok
+            }
+        ));
+        conn.send(ClientMessage::Io {
+            request_id: 2,
+            meta,
+            op: FsOp::WriteAt {
+                path: "/out/x".into(),
+                offset: 0,
+                data: vec![5u8; 1024],
+            },
+        });
+        // WriteAt on a missing file is an error; create it first via open.
+        let reply = conn.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            reply,
+            ServerMessage::IoReply {
+                request_id: 2,
+                reply: FsReply::Error(_)
+            }
+        ));
+        conn.send(ClientMessage::Io {
+            request_id: 3,
+            meta,
+            op: FsOp::Open {
+                path: "/out/x".into(),
+                create: true,
+                truncate: false,
+                append: false,
+            },
+        });
+        let fd = match conn.recv_timeout(Duration::from_secs(5)).unwrap() {
+            ServerMessage::IoReply {
+                reply: FsReply::Fd(fd),
+                ..
+            } => fd,
+            other => panic!("unexpected {other:?}"),
+        };
+        conn.send(ClientMessage::Io {
+            request_id: 4,
+            meta,
+            op: FsOp::Write {
+                fd,
+                data: vec![5u8; 1024],
+            },
+        });
+        match conn.recv_timeout(Duration::from_secs(5)).unwrap() {
+            ServerMessage::IoReply {
+                reply: FsReply::Count(n),
+                ..
+            } => assert_eq!(n, 1024),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The data is visible through the shared fs from the test side.
+        assert_eq!(dep.fs().stat("/out/x").unwrap().size, 1024);
+        conn.send(ClientMessage::Bye { meta });
+        dep.shutdown();
+    }
+}

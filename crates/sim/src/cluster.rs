@@ -1,0 +1,523 @@
+//! The discrete-event burst-buffer simulator: the paper's experiments
+//! replayed on a virtual clock against the *production* arbitration code
+//! (schedulers from `themis-core`/`themis-baselines`, device model from
+//! `themis-device`, λ-sync from `themis-core::sync`).
+//!
+//! Ranks issue I/O in a closed loop (at most `queue_depth` operations in
+//! flight each), servers arbitrate queued requests with the configured
+//! algorithm and serve them on a modelled device, and servers exchange job
+//! tables every λ to converge on global fairness. Everything is driven by a
+//! deterministic event loop, so a 60-second, 128-server experiment runs in
+//! milliseconds and reproduces bit-identically for a fixed seed.
+
+use crate::metrics::{Metrics, ServiceRecord};
+use crate::workload::SimJob;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use themis_baselines::Algorithm;
+use themis_core::entity::JobId;
+use themis_core::job_table::JobTable;
+use themis_core::policy::Policy;
+use themis_core::request::IoRequest;
+use themis_core::sched::Scheduler;
+use themis_core::sync::SyncConfig;
+use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of burst-buffer servers.
+    pub n_servers: usize,
+    /// Device model of each server.
+    pub device: DeviceConfig,
+    /// Arbitration algorithm run by every server.
+    pub algorithm: Algorithm,
+    /// λ-sync configuration (job-table all-gather interval).
+    pub lambda: SyncConfig,
+    /// Seed for the statistical-token draws.
+    pub seed: u64,
+    /// Safety cap on simulated time.
+    pub max_sim_ns: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_servers: 1,
+            device: DeviceConfig::default(),
+            algorithm: Algorithm::Themis(Policy::size_fair()),
+            lambda: SyncConfig::default(),
+            seed: 0xbeef,
+            max_sim_ns: 3_600 * 1_000_000_000, // one simulated hour
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience constructor: `n` servers running `algorithm`.
+    pub fn new(n_servers: usize, algorithm: Algorithm) -> Self {
+        SimConfig {
+            n_servers: n_servers.max(1),
+            algorithm,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// All service records (per-request completion data).
+    pub metrics: Metrics,
+    /// Completion time of the last operation of each job — the job's
+    /// time-to-solution for fixed-work jobs.
+    pub job_finish_ns: BTreeMap<JobId, u64>,
+    /// Virtual time at which the simulation stopped.
+    pub sim_end_ns: u64,
+}
+
+impl SimResult {
+    /// Time-to-solution of one job in seconds (0 when the job served
+    /// nothing).
+    pub fn time_to_solution_secs(&self, job: JobId) -> f64 {
+        self.job_finish_ns.get(&job).copied().unwrap_or(0) as f64 / 1e9
+    }
+}
+
+struct SimServer {
+    scheduler: Box<dyn Scheduler>,
+    table: JobTable,
+    device: DeviceTimeline,
+    policy: Policy,
+}
+
+impl SimServer {
+    fn new(config: &SimConfig) -> Self {
+        let policy = match &config.algorithm {
+            Algorithm::Themis(p) => p.clone(),
+            _ => Policy::job_fair(),
+        };
+        SimServer {
+            scheduler: config.algorithm.build(),
+            table: JobTable::new(),
+            device: DeviceTimeline::new(DeviceModel::new(config.device)),
+            policy,
+        }
+    }
+}
+
+struct RankState {
+    job_idx: usize,
+    rank_id: usize,
+    ops_issued: u64,
+    inflight: usize,
+    next_ready_ns: u64,
+}
+
+/// The simulator itself. Build it with jobs, then call [`Simulation::run`].
+pub struct Simulation {
+    config: SimConfig,
+    jobs: Vec<SimJob>,
+}
+
+impl Simulation {
+    /// Creates a simulation of `jobs` under `config`.
+    pub fn new(config: SimConfig, jobs: Vec<SimJob>) -> Self {
+        Simulation { config, jobs }
+    }
+
+    /// Runs the simulation to completion and returns the collected metrics.
+    pub fn run(self) -> SimResult {
+        let n_servers = self.config.n_servers.max(1);
+        let mut servers: Vec<SimServer> = (0..n_servers)
+            .map(|i| {
+                let mut s = SimServer::new(&self.config);
+                s.table.set_viewpoint(i);
+                s
+            })
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut metrics = Metrics::new();
+
+        // Per-rank closed-loop state.
+        let mut ranks: Vec<RankState> = Vec::new();
+        for (job_idx, job) in self.jobs.iter().enumerate() {
+            for rank_id in 0..job.ranks {
+                ranks.push(RankState {
+                    job_idx,
+                    rank_id,
+                    ops_issued: 0,
+                    inflight: 0,
+                    next_ready_ns: job.start_ns,
+                });
+            }
+        }
+
+        // Jobs with a bounded amount of work (fixed op count or a time
+        // window). The simulation ends once every such job has finished, even
+        // if unbounded background jobs could keep issuing I/O forever.
+        let finite_job: Vec<bool> = self
+            .jobs
+            .iter()
+            .map(|j| j.max_ops_per_rank.is_some() || j.end_ns.is_some())
+            .collect();
+        let any_finite = finite_job.iter().any(|f| *f);
+
+        // Completion events: (finish_ns, rank index).
+        let mut completions: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // Request sequence → issuing rank.
+        let mut seq_to_rank: HashMap<u64, usize> = HashMap::new();
+        let mut next_seq: u64 = 0;
+        let mut lambda = themis_core::sync::LambdaClock::new(self.config.lambda);
+        let mut now: u64 = 0;
+        let mut job_finish: BTreeMap<JobId, u64> = BTreeMap::new();
+
+        loop {
+            // 1. Apply completions that have happened by `now`.
+            while let Some(Reverse((finish, rank_idx))) = completions.peek().copied() {
+                if finish > now {
+                    break;
+                }
+                completions.pop();
+                let think = self.jobs[ranks[rank_idx].job_idx].think_ns;
+                let r = &mut ranks[rank_idx];
+                r.inflight = r.inflight.saturating_sub(1);
+                r.next_ready_ns = r.next_ready_ns.max(finish + think);
+            }
+
+            // 1b. Stop once every bounded job has completed all of its work;
+            // unbounded background jobs do not keep the simulation alive.
+            if any_finite {
+                let all_finite_done = ranks.iter().all(|rank| {
+                    let job = &self.jobs[rank.job_idx];
+                    if !finite_job[rank.job_idx] {
+                        return true;
+                    }
+                    let exhausted = job
+                        .max_ops_per_rank
+                        .map_or(false, |max| rank.ops_issued >= max)
+                        || job.end_ns.map_or(false, |end| now >= end);
+                    exhausted && rank.inflight == 0
+                });
+                if all_finite_done && now > 0 {
+                    break;
+                }
+            }
+
+            // 2. Issue new operations from every rank that is ready.
+            for (rank_idx, rank) in ranks.iter_mut().enumerate() {
+                let job = &self.jobs[rank.job_idx];
+                loop {
+                    if rank.next_ready_ns > now || rank.inflight >= job.queue_depth {
+                        break;
+                    }
+                    if let Some(max) = job.max_ops_per_rank {
+                        if rank.ops_issued >= max {
+                            break;
+                        }
+                    }
+                    if let Some(end) = job.end_ns {
+                        if now >= end {
+                            break;
+                        }
+                    }
+                    let (kind, bytes) = job.pattern.op(rank.ops_issued);
+                    let server_idx = match &job.server_affinity {
+                        Some(list) if !list.is_empty() => {
+                            list[(rank.rank_id + rank.ops_issued as usize) % list.len()]
+                                % n_servers
+                        }
+                        _ => (rank.rank_id + rank.ops_issued as usize) % n_servers,
+                    };
+                    let server = &mut servers[server_idx];
+                    let newly_seen = server.table.get(job.meta.job).is_none();
+                    server.table.observe_request(job.meta, now);
+                    if newly_seen {
+                        let policy = server.policy.clone();
+                        server.scheduler.refresh(&server.table, &policy);
+                    }
+                    let req = IoRequest::new(next_seq, job.meta, kind, bytes, now);
+                    seq_to_rank.insert(next_seq, rank_idx);
+                    next_seq += 1;
+                    server.scheduler.enqueue(req);
+                    rank.ops_issued += 1;
+                    rank.inflight += 1;
+                }
+            }
+
+            // 3. Dispatch queued work on every server with an idle worker.
+            for server in servers.iter_mut() {
+                while server.device.has_idle_worker(now) {
+                    let Some(req) = server.scheduler.next(now, &mut rng) else {
+                        break;
+                    };
+                    let (start, finish) = server.device.dispatch(&req, now);
+                    let completion = themis_core::request::Completion {
+                        request: req,
+                        start_ns: start,
+                        finish_ns: finish,
+                    };
+                    server.scheduler.on_complete(&completion);
+                    metrics.record(ServiceRecord {
+                        job: req.meta.job,
+                        bytes: req.bytes,
+                        finish_ns: finish,
+                        queue_delay_ns: start.saturating_sub(req.arrival_ns),
+                    });
+                    let e = job_finish.entry(req.meta.job).or_insert(0);
+                    *e = (*e).max(finish);
+                    if let Some(rank_idx) = seq_to_rank.remove(&req.seq) {
+                        completions.push(Reverse((finish, rank_idx)));
+                    }
+                }
+            }
+
+            // 4. λ-sync all-gather when due (only meaningful with >1 server).
+            if n_servers > 1 && lambda.due(now) {
+                let merged = JobTable::all_gather(servers.iter().map(|s| &s.table));
+                for server in servers.iter_mut() {
+                    server.table.merge_from(&merged);
+                    let policy = server.policy.clone();
+                    server.scheduler.refresh(&server.table, &policy);
+                }
+                lambda.mark(now);
+            }
+
+            // 5. Find the next event time.
+            let mut next = u64::MAX;
+            if let Some(Reverse((finish, _))) = completions.peek() {
+                next = next.min(*finish);
+            }
+            for (rank_idx, rank) in ranks.iter().enumerate() {
+                let job = &self.jobs[ranks[rank_idx].job_idx];
+                let exhausted = job
+                    .max_ops_per_rank
+                    .map_or(false, |max| rank.ops_issued >= max)
+                    || job.end_ns.map_or(false, |end| now >= end);
+                if !exhausted && rank.inflight < job.queue_depth && rank.next_ready_ns > now {
+                    next = next.min(rank.next_ready_ns);
+                }
+            }
+            for server in servers.iter() {
+                if server.scheduler.queued() > 0 {
+                    if server.device.has_idle_worker(now) {
+                        // Scheduler declined to release work (throttling):
+                        // wake up when it says something becomes eligible, or
+                        // at the next λ round as a fallback.
+                        let eligible = server
+                            .scheduler
+                            .next_eligible_ns(now)
+                            .unwrap_or(now + 1_000_000);
+                        next = next.min(eligible.max(now + 1));
+                    } else {
+                        next = next.min(server.device.next_free_ns());
+                    }
+                }
+            }
+            if n_servers > 1
+                && (completions.peek().is_some()
+                    || servers.iter().any(|s| s.scheduler.queued() > 0))
+            {
+                next = next.min(lambda.next_round_ns());
+            }
+
+            if next == u64::MAX {
+                break;
+            }
+            now = next.max(now + 1);
+            if now > self.config.max_sim_ns {
+                break;
+            }
+        }
+
+        SimResult {
+            metrics,
+            job_finish_ns: job_finish,
+            sim_end_ns: now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::NS_PER_SEC;
+    use crate::workload::{OpPattern, SimJob};
+    use themis_core::entity::JobMeta;
+
+    fn fast_device() -> DeviceConfig {
+        DeviceConfig {
+            write_bw_bytes_per_sec: 10.0e9,
+            read_bw_bytes_per_sec: 10.0e9,
+            per_op_overhead_ns: 1_000,
+            metadata_op_ns: 3_000,
+            workers: 4,
+        }
+    }
+
+    fn meta(job: u64, user: u32, nodes: u32) -> JobMeta {
+        JobMeta::new(job, user, 1u32, nodes)
+    }
+
+    #[test]
+    fn single_job_achieves_near_device_bandwidth() {
+        // One job writing flat out for 2 simulated seconds on one server
+        // should sustain close to the device's write bandwidth (opportunity
+        // fairness / efficiency, §5.3.1).
+        let job = SimJob::new(
+            meta(1, 1, 4),
+            32,
+            OpPattern::WriteOnly {
+                bytes_per_op: 1 << 20,
+            },
+        )
+        .running_for(2 * NS_PER_SEC);
+        let config = SimConfig {
+            device: fast_device(),
+            ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
+        };
+        let result = Simulation::new(config, vec![job]).run();
+        let total = result.metrics.total_bytes(JobId(1)) as f64;
+        let secs = result.sim_end_ns as f64 / 1e9;
+        let gbps = total / secs / 1e9;
+        assert!(gbps > 8.5, "throughput {gbps} GB/s too far below device limit");
+        assert!(gbps <= 10.5, "throughput {gbps} GB/s exceeds device limit");
+    }
+
+    #[test]
+    fn size_fair_splits_throughput_by_node_count() {
+        // Fig. 8(a): a 4-node job and a 1-node job saturating one server under
+        // size-fair should see ≈4:1 throughput.
+        let big = SimJob::write_read_cycle(meta(1, 1, 4), 64).running_for(2 * NS_PER_SEC);
+        let small = SimJob::write_read_cycle(meta(2, 2, 1), 16).running_for(2 * NS_PER_SEC);
+        let config = SimConfig {
+            device: fast_device(),
+            ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
+        };
+        let result = Simulation::new(config, vec![big, small]).run();
+        let b1 = result.metrics.total_bytes(JobId(1)) as f64;
+        let b2 = result.metrics.total_bytes(JobId(2)) as f64;
+        let ratio = b1 / b2;
+        assert!(
+            (ratio - 4.0).abs() < 0.8,
+            "size-fair ratio {ratio} should be close to 4"
+        );
+    }
+
+    #[test]
+    fn fifo_lets_the_bursty_job_dominate() {
+        // Under FIFO a job with many more ranks (deeper queue presence) takes
+        // a proportionally larger throughput share; job-fair equalises it.
+        let hog = SimJob::write_read_cycle(meta(1, 1, 1), 112).running_for(NS_PER_SEC);
+        let victim = SimJob::write_read_cycle(meta(2, 2, 1), 8).running_for(NS_PER_SEC);
+        let mk = |alg| SimConfig {
+            device: fast_device(),
+            ..SimConfig::new(1, alg)
+        };
+        let fifo = Simulation::new(mk(Algorithm::Fifo), vec![hog.clone(), victim.clone()]).run();
+        let fair = Simulation::new(
+            mk(Algorithm::Themis(Policy::job_fair())),
+            vec![hog, victim],
+        )
+        .run();
+        let fifo_ratio = fifo.metrics.total_bytes(JobId(1)) as f64
+            / fifo.metrics.total_bytes(JobId(2)).max(1) as f64;
+        let fair_ratio = fair.metrics.total_bytes(JobId(1)) as f64
+            / fair.metrics.total_bytes(JobId(2)).max(1) as f64;
+        assert!(fifo_ratio > 5.0, "FIFO ratio {fifo_ratio} should reflect queue dominance");
+        assert!(fair_ratio < 2.0, "job-fair ratio {fair_ratio} should be near 1");
+    }
+
+    #[test]
+    fn late_arriving_job_gets_served_promptly_under_fairness() {
+        // Job 2 arrives at t=0.5 s against an entrenched hog; under job-fair
+        // its first completion should not be delayed by the whole backlog.
+        let hog = SimJob::write_read_cycle(meta(1, 1, 1), 64).running_for(2 * NS_PER_SEC);
+        let late = SimJob::write_read_cycle(meta(2, 2, 1), 8)
+            .starting_at(NS_PER_SEC / 2)
+            .running_for(NS_PER_SEC);
+        let config = SimConfig {
+            device: fast_device(),
+            ..SimConfig::new(1, Algorithm::Themis(Policy::job_fair()))
+        };
+        let result = Simulation::new(config, vec![hog, late]).run();
+        let first_late = result
+            .metrics
+            .records()
+            .iter()
+            .filter(|r| r.job == JobId(2))
+            .map(|r| r.finish_ns)
+            .min()
+            .unwrap();
+        assert!(
+            first_late < NS_PER_SEC / 2 + 100_000_000,
+            "first completion of the late job at {first_late} ns is too late"
+        );
+    }
+
+    #[test]
+    fn fixed_work_jobs_report_time_to_solution() {
+        let job = SimJob::ior(meta(1, 1, 1), 4, 64 << 20, 1 << 20, false);
+        let config = SimConfig {
+            device: fast_device(),
+            ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
+        };
+        let result = Simulation::new(config, vec![job]).run();
+        // 4 ranks × 64 MiB = 256 MiB at ~10 GB/s ≈ 27 ms.
+        let tts = result.time_to_solution_secs(JobId(1));
+        assert!(tts > 0.01 && tts < 0.2, "time to solution {tts}s out of range");
+        assert_eq!(result.metrics.total_bytes(JobId(1)), 256 << 20);
+    }
+
+    #[test]
+    fn lambda_sync_restores_global_fairness_on_disjoint_placement() {
+        // Fig. 5 / Fig. 14 setup: job 1 (16 nodes) lands on both servers,
+        // jobs 2 and 3 (8 nodes each) land on disjoint servers. With a short
+        // λ the long-run byte split should approach 2:1:1.
+        let j1 = SimJob::write_read_cycle(meta(1, 1, 16), 64)
+            .running_for(2 * NS_PER_SEC)
+            .on_servers(vec![0, 1]);
+        let j2 = SimJob::write_read_cycle(meta(2, 2, 8), 32)
+            .running_for(2 * NS_PER_SEC)
+            .on_servers(vec![0]);
+        let j3 = SimJob::write_read_cycle(meta(3, 3, 8), 32)
+            .running_for(2 * NS_PER_SEC)
+            .on_servers(vec![1]);
+        let config = SimConfig {
+            device: fast_device(),
+            lambda: SyncConfig::from_millis(50),
+            ..SimConfig::new(2, Algorithm::Themis(Policy::size_fair()))
+        };
+        let result = Simulation::new(config, vec![j1, j2, j3]).run();
+        let b1 = result.metrics.total_bytes(JobId(1)) as f64;
+        let b2 = result.metrics.total_bytes(JobId(2)) as f64;
+        let b3 = result.metrics.total_bytes(JobId(3)) as f64;
+        let total = b1 + b2 + b3;
+        assert!((b1 / total - 0.5).abs() < 0.1, "job1 share {}", b1 / total);
+        assert!((b2 / total - 0.25).abs() < 0.1, "job2 share {}", b2 / total);
+        assert!((b3 / total - 0.25).abs() < 0.1, "job3 share {}", b3 / total);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_fixed_seed() {
+        let mk = || {
+            let hog = SimJob::write_read_cycle(meta(1, 1, 1), 16).running_for(NS_PER_SEC / 2);
+            let other = SimJob::write_read_cycle(meta(2, 2, 2), 16).running_for(NS_PER_SEC / 2);
+            let config = SimConfig {
+                device: fast_device(),
+                ..SimConfig::new(2, Algorithm::Themis(Policy::size_fair()))
+            };
+            Simulation::new(config, vec![hog, other]).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.metrics.total_bytes_all(), b.metrics.total_bytes_all());
+        assert_eq!(a.sim_end_ns, b.sim_end_ns);
+        assert_eq!(
+            a.metrics.total_bytes(JobId(1)),
+            b.metrics.total_bytes(JobId(1))
+        );
+    }
+}

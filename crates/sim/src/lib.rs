@@ -1,0 +1,21 @@
+//! # themis-sim
+//!
+//! A deterministic discrete-event simulator that replays the paper's
+//! experiments against the production arbitration code: workload generators
+//! for the IOR and write/read-cycle benchmarks of §5.1, I/O-trace models of
+//! the five real applications, a virtual-clock cluster of burst-buffer
+//! servers, and the metrics (throughput time series, medians, standard
+//! deviations, slowdowns, share fractions) the paper's figures report.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod cluster;
+pub mod metrics;
+pub mod workload;
+
+pub use apps::App;
+pub use cluster::{SimConfig, SimResult, Simulation};
+pub use metrics::{Metrics, ServiceRecord, ThroughputSeries};
+pub use workload::{OpPattern, SimJob};

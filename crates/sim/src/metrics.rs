@@ -1,0 +1,327 @@
+//! Measurement collection for simulated experiments: per-job throughput time
+//! series (1-second samples like the paper's figures), medians, standard
+//! deviations, slowdowns and fairness indices.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use themis_core::entity::JobId;
+
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// One served request, as recorded by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceRecord {
+    /// Job the request belonged to.
+    pub job: JobId,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Completion time (ns, virtual).
+    pub finish_ns: u64,
+    /// Queueing delay experienced (ns).
+    pub queue_delay_ns: u64,
+}
+
+/// Collects service records and turns them into the statistics the paper
+/// reports.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    records: Vec<ServiceRecord>,
+}
+
+/// A per-job throughput time series sampled on fixed intervals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputSeries {
+    /// Sample interval in nanoseconds.
+    pub interval_ns: u64,
+    /// For each job: bytes served in each interval, indexed by interval.
+    pub per_job: BTreeMap<JobId, Vec<u64>>,
+    /// Number of intervals covered.
+    pub intervals: usize,
+}
+
+impl Metrics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one served request.
+    pub fn record(&mut self, record: ServiceRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records (for custom post-processing).
+    pub fn records(&self) -> &[ServiceRecord] {
+        &self.records
+    }
+
+    /// Total bytes served for one job.
+    pub fn total_bytes(&self, job: JobId) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.job == job)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Total bytes served across all jobs.
+    pub fn total_bytes_all(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Completion time of the last request overall (ns), i.e. the makespan.
+    pub fn makespan_ns(&self) -> u64 {
+        self.records.iter().map(|r| r.finish_ns).max().unwrap_or(0)
+    }
+
+    /// Completion time of the last request of one job (ns).
+    pub fn finish_ns(&self, job: JobId) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.job == job)
+            .map(|r| r.finish_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean queueing delay of one job's requests, in nanoseconds.
+    pub fn mean_queue_delay_ns(&self, job: JobId) -> f64 {
+        let delays: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.job == job)
+            .map(|r| r.queue_delay_ns)
+            .collect();
+        if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<u64>() as f64 / delays.len() as f64
+        }
+    }
+
+    /// Builds the per-job throughput time series with the given sample
+    /// interval (the paper samples at 1-second intervals).
+    pub fn throughput_series(&self, interval_ns: u64) -> ThroughputSeries {
+        let interval_ns = interval_ns.max(1);
+        let horizon = self.makespan_ns();
+        let intervals = (horizon / interval_ns + 1) as usize;
+        let mut per_job: BTreeMap<JobId, Vec<u64>> = BTreeMap::new();
+        for r in &self.records {
+            let idx = (r.finish_ns / interval_ns) as usize;
+            let series = per_job.entry(r.job).or_insert_with(|| vec![0; intervals]);
+            if series.len() < intervals {
+                series.resize(intervals, 0);
+            }
+            series[idx] += r.bytes;
+        }
+        ThroughputSeries {
+            interval_ns,
+            per_job,
+            intervals,
+        }
+    }
+}
+
+impl ThroughputSeries {
+    /// Throughput of one job in each interval, in MB/s (the unit of Figs.
+    /// 8–12).
+    pub fn mb_per_sec(&self, job: JobId) -> Vec<f64> {
+        let scale = NS_PER_SEC as f64 / self.interval_ns as f64 / 1.0e6;
+        self.per_job
+            .get(&job)
+            .map(|v| v.iter().map(|b| *b as f64 * scale).collect())
+            .unwrap_or_default()
+    }
+
+    /// Aggregate throughput across all jobs in each interval, in MB/s.
+    pub fn aggregate_mb_per_sec(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.intervals];
+        for job in self.per_job.keys() {
+            for (i, v) in self.mb_per_sec(*job).iter().enumerate() {
+                out[i] += v;
+            }
+        }
+        out
+    }
+
+    /// Median throughput of one job over the intervals where it was active
+    /// (non-zero), in MB/s — the statistic quoted in §5.3.1.
+    pub fn median_active_mb_per_sec(&self, job: JobId) -> f64 {
+        median(
+            &self
+                .mb_per_sec(job)
+                .into_iter()
+                .filter(|v| *v > 0.0)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Standard deviation of one job's throughput over its active intervals,
+    /// in MB/s — the stability statistic of §5.4.
+    pub fn stddev_active_mb_per_sec(&self, job: JobId) -> f64 {
+        stddev(
+            &self
+                .mb_per_sec(job)
+                .into_iter()
+                .filter(|v| *v > 0.0)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The fraction of total bytes served in each interval that went to
+    /// `job` — the "sharing percentage" plotted in Fig. 14.
+    pub fn share_series(&self, job: JobId) -> Vec<f64> {
+        let mine = self.per_job.get(&job);
+        let mut out = vec![0.0; self.intervals];
+        for i in 0..self.intervals {
+            let total: u64 = self.per_job.values().map(|v| v.get(i).copied().unwrap_or(0)).sum();
+            if total > 0 {
+                let m = mine.and_then(|v| v.get(i)).copied().unwrap_or(0);
+                out[i] = m as f64 / total as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Median of a slice (0 when empty).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+/// Arithmetic mean (0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation (0 when fewer than two samples).
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Jain's fairness index over per-entity allocations: 1.0 is perfectly fair,
+/// `1/n` is maximally unfair.
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (values.len() as f64 * sum_sq)
+    }
+}
+
+/// Relative slowdown of `measured` versus `baseline` (e.g. 0.6 = 60% slower).
+pub fn slowdown(baseline: f64, measured: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (measured - baseline) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(job: u64, bytes: u64, finish_ns: u64) -> ServiceRecord {
+        ServiceRecord {
+            job: JobId(job),
+            bytes,
+            finish_ns,
+            queue_delay_ns: 0,
+        }
+    }
+
+    #[test]
+    fn totals_and_makespan() {
+        let mut m = Metrics::new();
+        m.record(rec(1, 100, 10));
+        m.record(rec(1, 200, 30));
+        m.record(rec(2, 50, 20));
+        assert_eq!(m.total_bytes(JobId(1)), 300);
+        assert_eq!(m.total_bytes_all(), 350);
+        assert_eq!(m.makespan_ns(), 30);
+        assert_eq!(m.finish_ns(JobId(2)), 20);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn throughput_series_buckets_by_interval() {
+        let mut m = Metrics::new();
+        // 1 MB in second 0, 2 MB in second 1 for job 1; 1 MB in second 1 for job 2.
+        m.record(rec(1, 1_000_000, 500_000_000));
+        m.record(rec(1, 2_000_000, 1_500_000_000));
+        m.record(rec(2, 1_000_000, 1_200_000_000));
+        let s = m.throughput_series(NS_PER_SEC);
+        let j1 = s.mb_per_sec(JobId(1));
+        assert_eq!(j1.len(), 2);
+        assert!((j1[0] - 1.0).abs() < 1e-9);
+        assert!((j1[1] - 2.0).abs() < 1e-9);
+        let agg = s.aggregate_mb_per_sec();
+        assert!((agg[1] - 3.0).abs() < 1e-9);
+        let share1 = s.share_series(JobId(1));
+        assert!((share1[0] - 1.0).abs() < 1e-9);
+        assert!((share1[1] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_and_stddev() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_active_ignores_idle_intervals() {
+        let mut m = Metrics::new();
+        m.record(rec(1, 4_000_000, 500_000_000));
+        m.record(rec(1, 4_000_000, 5_500_000_000));
+        let s = m.throughput_series(NS_PER_SEC);
+        // Only two active seconds, each 4 MB/s, despite a long idle gap.
+        assert!((s.median_active_mb_per_sec(JobId(1)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_and_slowdown_helpers() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((slowdown(10.0, 16.0) - 0.6).abs() < 1e-12);
+        assert_eq!(slowdown(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Workload descriptions for simulated experiments: the IOR-style benchmark
+//! jobs, the customised write/read-cycle and metadata benchmarks of §5.1, and
+//! the knobs (start time, duration, node count, queue depth) the paper's
+//! experiments vary.
+
+use serde::{Deserialize, Serialize};
+use themis_core::entity::JobMeta;
+use themis_core::request::OpKind;
+
+/// The per-rank I/O pattern a simulated job executes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpPattern {
+    /// Each rank repeatedly writes `ops_per_phase` blocks of `bytes_per_op`,
+    /// then reads the same blocks back — the customised `iops_write_read`
+    /// benchmark of §5.1 and the workload of Figs. 8–12 (10 MiB write/read
+    /// cycles).
+    WriteReadCycle {
+        /// Payload of each operation.
+        bytes_per_op: u64,
+        /// Operations per write phase (and per read phase).
+        ops_per_phase: u64,
+    },
+    /// Pure writes of fixed-size blocks (IOR write phase, Fig. 7).
+    WriteOnly {
+        /// Payload of each operation.
+        bytes_per_op: u64,
+    },
+    /// Pure reads of fixed-size blocks (IOR read phase, Fig. 7).
+    ReadOnly {
+        /// Payload of each operation.
+        bytes_per_op: u64,
+    },
+    /// Repeated `stat()` calls with random names — the `iops_stat` metadata
+    /// benchmark of §5.1.
+    MetadataStat,
+}
+
+impl OpPattern {
+    /// The operation kind and payload of the `i`-th operation of a rank.
+    pub fn op(&self, i: u64) -> (OpKind, u64) {
+        match self {
+            OpPattern::WriteReadCycle {
+                bytes_per_op,
+                ops_per_phase,
+            } => {
+                let phase_len = ops_per_phase.max(&1);
+                let in_cycle = i % (2 * phase_len);
+                if in_cycle < *phase_len {
+                    (OpKind::Write, *bytes_per_op)
+                } else {
+                    (OpKind::Read, *bytes_per_op)
+                }
+            }
+            OpPattern::WriteOnly { bytes_per_op } => (OpKind::Write, *bytes_per_op),
+            OpPattern::ReadOnly { bytes_per_op } => (OpKind::Read, *bytes_per_op),
+            OpPattern::MetadataStat => (OpKind::Stat, 0),
+        }
+    }
+}
+
+/// One simulated job: a set of ranks (processes) issuing I/O in a closed loop
+/// against the burst buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimJob {
+    /// Job metadata (id, user, group, node count, priority) embedded in every
+    /// request.
+    pub meta: JobMeta,
+    /// Number of I/O-issuing processes.
+    pub ranks: usize,
+    /// The per-rank operation pattern.
+    pub pattern: OpPattern,
+    /// Virtual time at which the job starts issuing I/O.
+    pub start_ns: u64,
+    /// Optional wall-clock end: the job stops issuing new operations after
+    /// this time (benchmark jobs of fixed duration, Figs. 8–12).
+    pub end_ns: Option<u64>,
+    /// Optional fixed amount of work: each rank stops after this many
+    /// operations (IOR file-per-process jobs and application models).
+    pub max_ops_per_rank: Option<u64>,
+    /// Compute ("think") time between the completion of one operation and the
+    /// issue of the next, per rank.
+    pub think_ns: u64,
+    /// Number of operations a rank keeps in flight (1 = synchronous I/O;
+    /// larger values model asynchronous I/O such as ResNet-50's data loader).
+    pub queue_depth: usize,
+    /// The servers this job's files live on (`None` = striped over every
+    /// server). Disjoint placements are what make λ-delayed fairness matter
+    /// (Fig. 14).
+    pub server_affinity: Option<Vec<usize>>,
+}
+
+impl SimJob {
+    /// Creates a benchmark job with sensible defaults: starts at 0, runs
+    /// until stopped, synchronous I/O, no think time, files on all servers.
+    pub fn new(meta: JobMeta, ranks: usize, pattern: OpPattern) -> Self {
+        SimJob {
+            meta,
+            ranks: ranks.max(1),
+            pattern,
+            start_ns: 0,
+            end_ns: None,
+            max_ops_per_rank: None,
+            think_ns: 0,
+            queue_depth: 1,
+            server_affinity: None,
+        }
+    }
+
+    /// Sets the start time.
+    pub fn starting_at(mut self, start_ns: u64) -> Self {
+        self.start_ns = start_ns;
+        self
+    }
+
+    /// Sets a fixed run window `[start, start+duration)`.
+    pub fn running_for(mut self, duration_ns: u64) -> Self {
+        self.end_ns = Some(self.start_ns + duration_ns);
+        self
+    }
+
+    /// Sets a fixed amount of work per rank.
+    pub fn with_max_ops(mut self, ops: u64) -> Self {
+        self.max_ops_per_rank = Some(ops);
+        self
+    }
+
+    /// Sets the think time between operations.
+    pub fn with_think_ns(mut self, think_ns: u64) -> Self {
+        self.think_ns = think_ns;
+        self
+    }
+
+    /// Sets the number of in-flight operations per rank.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Pins the job's files to a subset of servers.
+    pub fn on_servers(mut self, servers: Vec<usize>) -> Self {
+        self.server_affinity = Some(servers);
+        self
+    }
+
+    /// The IOR configuration of Fig. 7: `procs` processes each writing (or
+    /// reading) a `file_size` file in `block_size` blocks.
+    pub fn ior(meta: JobMeta, procs: usize, file_size: u64, block_size: u64, read: bool) -> Self {
+        let ops = file_size / block_size.max(1);
+        let pattern = if read {
+            OpPattern::ReadOnly {
+                bytes_per_op: block_size,
+            }
+        } else {
+            OpPattern::WriteOnly {
+                bytes_per_op: block_size,
+            }
+        };
+        SimJob::new(meta, procs, pattern).with_max_ops(ops)
+    }
+
+    /// The benchmark job of §5.3.1: each process writes 10 MB to its own file
+    /// then reads it back, repeating for the length of the run.
+    pub fn write_read_cycle(meta: JobMeta, procs: usize) -> Self {
+        SimJob::new(
+            meta,
+            procs,
+            OpPattern::WriteReadCycle {
+                bytes_per_op: 10 * 1024 * 1024,
+                ops_per_phase: 1,
+            },
+        )
+    }
+
+    /// A one-node background I/O hog: the "background I/O benchmark job"
+    /// used to create interference in Fig. 1 and Fig. 13.
+    pub fn background_hog(meta: JobMeta) -> Self {
+        // One Frontera CLX node runs 56 MPI ranks; the benchmark keeps many
+        // small (1 MB) operations outstanding, which is what lets it pack the
+        // FIFO queue and starve much larger jobs (§2.2.1).
+        SimJob::new(
+            meta,
+            56,
+            OpPattern::WriteReadCycle {
+                bytes_per_op: 1024 * 1024,
+                ops_per_phase: 1,
+            },
+        )
+        .with_queue_depth(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> JobMeta {
+        JobMeta::new(1u64, 1u32, 1u32, 4)
+    }
+
+    #[test]
+    fn write_read_cycle_alternates_phases() {
+        let p = OpPattern::WriteReadCycle {
+            bytes_per_op: 100,
+            ops_per_phase: 2,
+        };
+        let kinds: Vec<OpKind> = (0..6).map(|i| p.op(i).0).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::Write,
+                OpKind::Write,
+                OpKind::Read,
+                OpKind::Read,
+                OpKind::Write,
+                OpKind::Write
+            ]
+        );
+        assert_eq!(p.op(0).1, 100);
+    }
+
+    #[test]
+    fn unidirectional_patterns() {
+        assert_eq!(
+            OpPattern::WriteOnly { bytes_per_op: 7 }.op(123),
+            (OpKind::Write, 7)
+        );
+        assert_eq!(
+            OpPattern::ReadOnly { bytes_per_op: 9 }.op(5),
+            (OpKind::Read, 9)
+        );
+        assert_eq!(OpPattern::MetadataStat.op(0), (OpKind::Stat, 0));
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let j = SimJob::write_read_cycle(meta(), 224)
+            .starting_at(15_000_000_000)
+            .running_for(30_000_000_000)
+            .with_queue_depth(4)
+            .on_servers(vec![0, 1]);
+        assert_eq!(j.ranks, 224);
+        assert_eq!(j.start_ns, 15_000_000_000);
+        assert_eq!(j.end_ns, Some(45_000_000_000));
+        assert_eq!(j.queue_depth, 4);
+        assert_eq!(j.server_affinity, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn ior_computes_ops_from_file_and_block_size() {
+        let j = SimJob::ior(meta(), 8, 1 << 30, 1 << 20, false);
+        assert_eq!(j.max_ops_per_rank, Some(1024));
+        assert_eq!(j.ranks, 8);
+        assert!(matches!(j.pattern, OpPattern::WriteOnly { .. }));
+        let j = SimJob::ior(meta(), 8, 1 << 30, 1 << 20, true);
+        assert!(matches!(j.pattern, OpPattern::ReadOnly { .. }));
+    }
+
+    #[test]
+    fn background_hog_is_one_node() {
+        let j = SimJob::background_hog(JobMeta::new(99u64, 9u32, 9u32, 1));
+        assert_eq!(j.meta.nodes, 1);
+        assert_eq!(j.ranks, 56);
+        assert!(j.end_ns.is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: start a two-server ThemisIO deployment with a size-fair
+//! policy, connect a client, and do some POSIX-style I/O through the burst
+//! buffer.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::time::Duration;
+use themisio::prelude::*;
+
+/// Adapts the deployment's in-process connection to the client crate's
+/// `ServerLink` trait.
+struct Link(themisio::server::ClientConnection);
+
+impl ServerLink for Link {
+    fn send(&self, msg: ClientMessage) {
+        self.0.send(msg);
+    }
+    fn recv(&self, timeout: Duration) -> Option<ServerMessage> {
+        self.0.recv_timeout(timeout)
+    }
+}
+
+fn main() {
+    // 1. Start two burst-buffer servers arbitrating size-fair.
+    let deployment = Deployment::start(2, |_| ServerConfig {
+        algorithm: Algorithm::Themis(Policy::size_fair()),
+        ..ServerConfig::default()
+    });
+    println!("started {} ThemisIO servers (size-fair policy)", deployment.server_count());
+
+    // 2. Create a client for a 4-node job owned by user 1001 / group 42.
+    //    The job metadata travels inside every I/O request, which is all the
+    //    servers need to enforce any sharing policy.
+    let meta = JobMeta::new(12345u64, 1001u32, 42u32, 4);
+    let links: Vec<Link> = (0..deployment.server_count())
+        .map(|i| Link(deployment.connect(i)))
+        .collect();
+    let client = ThemisClient::new(meta, links, Namespace::default_fs());
+    let policies = client.hello();
+    println!("connected; servers report policy: {policies:?}");
+
+    // 3. Ordinary POSIX-ish I/O under the /fs namespace.
+    client.mkdir_all("/fs/run-001").expect("mkdir");
+    let fd = client
+        .open("/fs/run-001/checkpoint.dat", true, true, false)
+        .expect("open");
+    let payload = vec![0xAB_u8; 4 << 20];
+    let written = client.write(fd, &payload).expect("write");
+    client.lseek(fd, 0, 0).expect("seek");
+    let back = client.read(fd, written).expect("read");
+    assert_eq!(back, payload);
+    client.close(fd).expect("close");
+
+    let st = client.stat("/fs/run-001/checkpoint.dat").expect("stat");
+    println!(
+        "checkpoint.dat: {} bytes across {} stripe(s)",
+        st.size, st.stripe_count
+    );
+    println!("directory listing: {:?}", client.readdir("/fs/run-001").unwrap());
+
+    // 4. Paths outside the namespace are not intercepted.
+    assert!(client.stat("/home/user/notes.txt").is_err());
+
+    client.bye();
+    deployment.shutdown();
+    println!("done");
+}

@@ -1,0 +1,60 @@
+//! # ThemisIO-RS
+//!
+//! A from-scratch Rust reproduction of **"Fine-grained Policy-driven I/O
+//! Sharing for Burst Buffers"** (SC 2023): the ThemisIO policy engine
+//! (statistical tokens, primitive and composite sharing policies, λ-delayed
+//! global fairness), a user-space burst-buffer file system, a client with a
+//! POSIX-flavoured API, a threaded multi-server runtime, reference
+//! implementations of the FIFO / GIFT / TBF baselines, and a deterministic
+//! simulator that regenerates every figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace's public API so downstream
+//! users can depend on a single crate:
+//!
+//! ```
+//! use themisio::prelude::*;
+//!
+//! // Parse an administrator-facing policy string and compute shares.
+//! let policy: Policy = "group-user-size-fair".parse().unwrap();
+//! let jobs = [
+//!     JobMeta::new(1u64, 1u32, 1u32, 16),
+//!     JobMeta::new(2u64, 2u32, 1u32, 8),
+//! ];
+//! let shares = compute_shares(&policy, &jobs);
+//! assert!((shares.total() - 1.0).abs() < 1e-9);
+//! ```
+//!
+//! The individual subsystems are available as modules:
+//!
+//! * [`core`] — policies, shares, statistical tokens, schedulers, λ-sync;
+//! * [`fs`] — the user-space burst-buffer file system;
+//! * [`device`] — the storage device model;
+//! * [`net`] — wire messages and in-process transport;
+//! * [`baselines`] — FIFO, GIFT and TBF;
+//! * [`server`] — the server core and threaded deployment runtime;
+//! * [`client`] — the POSIX-flavoured client;
+//! * [`sim`] — the discrete-event simulator and workload/application models.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use themis_baselines as baselines;
+pub use themis_client as client;
+pub use themis_core as core;
+pub use themis_device as device;
+pub use themis_fs as fs;
+pub use themis_net as net;
+pub use themis_server as server;
+pub use themis_sim as sim;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use themis_baselines::{Algorithm, FifoScheduler, GiftScheduler, TbfScheduler};
+    pub use themis_client::{Namespace, ServerLink, ThemisClient};
+    pub use themis_core::prelude::*;
+    pub use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
+    pub use themis_fs::{BurstBufferFs, FsError, HashRing, OpenFlags, ServerId, StripeConfig, Whence};
+    pub use themis_net::{ClientMessage, FsOp, FsReply, ServerMessage};
+    pub use themis_server::{Deployment, ServerConfig, ServerCore};
+    pub use themis_sim::{App, OpPattern, SimConfig, SimJob, SimResult, Simulation};
+}

@@ -1,0 +1,88 @@
+//! Integration test: a full client → server → file system round trip through
+//! the threaded deployment, exercising the public facade API.
+
+use std::time::Duration;
+use themisio::prelude::*;
+
+struct Link(themisio::server::ClientConnection);
+
+impl ServerLink for Link {
+    fn send(&self, msg: ClientMessage) {
+        self.0.send(msg);
+    }
+    fn recv(&self, timeout: Duration) -> Option<ServerMessage> {
+        self.0.recv_timeout(timeout)
+    }
+}
+
+fn client_for(dep: &Deployment, meta: JobMeta) -> ThemisClient<Link> {
+    let links = (0..dep.server_count()).map(|i| Link(dep.connect(i))).collect();
+    ThemisClient::new(meta, links, Namespace::default_fs())
+}
+
+#[test]
+fn two_clients_share_a_deployment() {
+    let dep = Deployment::start(2, |_| ServerConfig {
+        algorithm: Algorithm::Themis(Policy::size_fair()),
+        ..ServerConfig::default()
+    });
+
+    let alice = client_for(&dep, JobMeta::new(1u64, 100u32, 1u32, 16));
+    let bob = client_for(&dep, JobMeta::new(2u64, 200u32, 1u32, 2));
+    assert_eq!(alice.hello().len(), 2);
+    assert_eq!(bob.hello().len(), 2);
+
+    alice.mkdir_all("/fs/alice").unwrap();
+    bob.mkdir_all("/fs/bob").unwrap();
+
+    // Alice writes a striped checkpoint; Bob writes logs via a descriptor.
+    alice.create_striped("/fs/alice/ckpt", 1 << 20, 2).unwrap();
+    let payload: Vec<u8> = (0..3 << 20).map(|i| (i % 251) as u8).collect();
+    alice.write_at("/fs/alice/ckpt", 0, &payload).unwrap();
+    assert_eq!(alice.read_at("/fs/alice/ckpt", 0, payload.len() as u64).unwrap(), payload);
+
+    let fd = bob.open("/fs/bob/log.txt", true, true, false).unwrap();
+    bob.write(fd, b"hello from bob").unwrap();
+    bob.lseek(fd, 0, 0).unwrap();
+    assert_eq!(bob.read(fd, 64).unwrap(), b"hello from bob");
+    bob.close(fd).unwrap();
+
+    // Cross-visibility through the shared burst buffer.
+    let st = bob.stat("/fs/alice/ckpt").unwrap();
+    assert_eq!(st.size, payload.len() as u64);
+    assert_eq!(st.stripe_count, 2);
+    assert_eq!(alice.readdir("/fs/bob").unwrap(), vec!["log.txt"]);
+
+    // Unlink and confirm it is gone for both.
+    alice.unlink("/fs/alice/ckpt").unwrap();
+    assert!(bob.stat("/fs/alice/ckpt").is_err());
+
+    alice.bye();
+    bob.bye();
+    dep.shutdown();
+}
+
+#[test]
+fn deployment_survives_policy_variants() {
+    for policy in ["fifo", "job-fair", "user-then-size-fair"] {
+        let parsed: Policy = policy.parse().unwrap();
+        let algorithm = if parsed == Policy::Fifo {
+            Algorithm::Fifo
+        } else {
+            Algorithm::Themis(parsed)
+        };
+        let dep = Deployment::start(1, move |_| ServerConfig {
+            algorithm: algorithm.clone(),
+            ..ServerConfig::default()
+        });
+        let c = client_for(&dep, JobMeta::new(7u64, 7u32, 7u32, 4));
+        c.hello();
+        c.mkdir_all("/fs/x").unwrap();
+        let fd = c.open("/fs/x/data", true, true, false).unwrap();
+        assert_eq!(c.write(fd, &[1u8; 4096]).unwrap(), 4096);
+        c.close(fd).unwrap();
+        assert_eq!(c.stat("/fs/x/data").unwrap().size, 4096);
+        c.bye();
+        dep.shutdown();
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests (proptest) of the core invariants the ThemisIO design
+//! relies on: shares always form a probability distribution, composite
+//! policies degrade gracefully to primitives, sampling converges to shares,
+//! the file system round-trips arbitrary byte ranges, and consistent hashing
+//! stays stable as the server pool changes.
+
+use proptest::prelude::*;
+use themisio::prelude::*;
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobMeta>> {
+    prop::collection::vec(
+        (1u64..500, 1u32..12, 1u32..4, 1u32..128, 1u32..8),
+        1..24,
+    )
+    .prop_map(|v| {
+        let mut seen = std::collections::HashSet::new();
+        v.into_iter()
+            .filter(|(j, ..)| seen.insert(*j))
+            .map(|(j, u, g, n, p)| JobMeta::new(j, u, g, n).with_priority(f64::from(p)))
+            .collect::<Vec<_>>()
+    })
+    .prop_filter("at least one job", |v| !v.is_empty())
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fifo),
+        Just(Policy::job_fair()),
+        Just(Policy::size_fair()),
+        Just(Policy::user_fair()),
+        Just(Policy::priority_fair()),
+        Just(Policy::user_then_size_fair()),
+        Just(Policy::group_user_size_fair()),
+        Just(Policy::Fair(vec![
+            themisio::core::policy::Level::Group,
+            themisio::core::policy::Level::Job
+        ])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shares are a probability distribution: non-negative, sum to 1, and
+    /// every active job receives a strictly positive share.
+    #[test]
+    fn shares_form_a_distribution(jobs in arb_jobs(), policy in arb_policy()) {
+        let shares = compute_shares(&policy, &jobs);
+        prop_assert_eq!(shares.len(), jobs.len());
+        let mut total = 0.0;
+        for m in &jobs {
+            let s = shares.share(m.job);
+            prop_assert!(s > 0.0, "job {} got zero share under {}", m.job, policy);
+            prop_assert!(s <= 1.0 + 1e-9);
+            total += s;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {} under {}", total, policy);
+    }
+
+    /// Users (and groups) are never starved by a composite policy: every user
+    /// owning an active job receives the sum of its jobs' shares, and under
+    /// user-first policies users split the resource evenly.
+    #[test]
+    fn user_level_fairness_holds(jobs in arb_jobs()) {
+        let policy = Policy::user_then_size_fair();
+        let shares = compute_shares(&policy, &jobs);
+        let breakdown = ShareBreakdown::new(&shares, &jobs);
+        let users: std::collections::HashSet<_> = jobs.iter().map(|m| m.user).collect();
+        let expected = 1.0 / users.len() as f64;
+        for (_, share) in breakdown.per_user {
+            prop_assert!((share - expected).abs() < 1e-6);
+        }
+    }
+
+    /// The statistical sampler's segments partition [0, 1] in proportion to
+    /// the shares.
+    #[test]
+    fn sampler_segments_match_shares(jobs in arb_jobs(), policy in arb_policy()) {
+        let shares = compute_shares(&policy, &jobs);
+        let sampler = TokenSampler::from_shares(&shares);
+        for m in &jobs {
+            let (lo, hi) = sampler.segment(m.job).expect("segment exists");
+            prop_assert!((hi - lo - shares.share(m.job)).abs() < 1e-9);
+        }
+    }
+
+    /// Policy strings round-trip through their canonical names.
+    #[test]
+    fn policy_names_round_trip(policy in arb_policy()) {
+        let name = policy.canonical_name();
+        let parsed: Policy = name.parse().unwrap();
+        prop_assert_eq!(parsed, policy);
+    }
+
+    /// The burst-buffer file system round-trips arbitrary writes at arbitrary
+    /// offsets, across any stripe configuration.
+    #[test]
+    fn fs_write_read_roundtrip(
+        offset in 0u64..200_000,
+        data in prop::collection::vec(any::<u8>(), 1..8192),
+        stripe_size in 512u64..8192,
+        stripe_count in 1usize..5,
+        servers in 1usize..6,
+    ) {
+        let fs = BurstBufferFs::with_stripe_config(servers, StripeConfig::new(stripe_size, stripe_count));
+        fs.create("/prop", 0).unwrap();
+        fs.write_at("/prop", offset, &data, 1).unwrap();
+        let back = fs.read_at("/prop", offset, data.len() as u64).unwrap();
+        prop_assert_eq!(back, data.clone());
+        prop_assert_eq!(fs.stat("/prop").unwrap().size, offset + data.len() as u64);
+    }
+
+    /// Consistent hashing: removing one server never moves a key that it did
+    /// not own.
+    #[test]
+    fn ring_stability(servers in 2usize..10, keys in prop::collection::vec("[a-z]{1,12}", 1..50)) {
+        let before = HashRing::new(servers);
+        let mut after = before.clone();
+        let removed = ServerId(servers - 1);
+        after.remove_server(removed);
+        for k in keys {
+            let path = format!("/{k}");
+            let owner_before = before.owner(&path).unwrap();
+            let owner_after = after.owner(&path).unwrap();
+            if owner_before != owner_after {
+                prop_assert_eq!(owner_before, removed);
+            }
+            prop_assert_ne!(owner_after, removed);
+        }
+    }
+
+    /// FIFO preserves arrival order regardless of job mix.
+    #[test]
+    fn fifo_preserves_order(jobs in prop::collection::vec(1u64..6, 1..64)) {
+        use rand::SeedableRng;
+        let mut sched = FifoScheduler::new();
+        for (i, j) in jobs.iter().enumerate() {
+            let m = JobMeta::new(*j, 1u32, 1u32, 1);
+            sched.enqueue(IoRequest::write(i as u64, m, 1, i as u64));
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut last = None;
+        while let Some(r) = sched.next(0, &mut rng) {
+            if let Some(prev) = last {
+                prop_assert!(r.seq > prev);
+            }
+            last = Some(r.seq);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Integration tests asserting that the simulated experiments reproduce the
+//! qualitative *shapes* of the paper's headline results.
+
+use themisio::prelude::*;
+use themisio::sim::metrics::NS_PER_SEC;
+
+fn meta(job: u64, user: u32, nodes: u32) -> JobMeta {
+    JobMeta::new(job, user, 1u32, nodes)
+}
+
+#[test]
+fn themis_beats_gift_and_tbf_on_sustained_throughput() {
+    // Fig. 12 shape: ThemisIO's job-fair sharing sustains at least as much
+    // aggregate throughput as the GIFT and TBF reference implementations.
+    let run = |alg: Algorithm| {
+        let job1 = SimJob::write_read_cycle(meta(1, 1, 1), 56).running_for(10 * NS_PER_SEC);
+        let job2 = SimJob::write_read_cycle(meta(2, 2, 1), 56)
+            .starting_at(2 * NS_PER_SEC)
+            .running_for(5 * NS_PER_SEC);
+        let r = Simulation::new(SimConfig::new(1, alg), vec![job1, job2]).run();
+        r.metrics.total_bytes_all() as f64 / (r.metrics.makespan_ns() as f64 / 1e9)
+    };
+    let themis = run(Algorithm::Themis(Policy::job_fair()));
+    let gift = run(Algorithm::Gift(Default::default()));
+    let tbf = run(Algorithm::Tbf(Default::default()));
+    assert!(themis >= gift * 0.98, "themis {themis} vs gift {gift}");
+    assert!(themis >= tbf * 0.98, "themis {themis} vs tbf {tbf}");
+}
+
+#[test]
+fn composite_policy_splits_between_users_then_sizes() {
+    // Fig. 9 shape: users split evenly, jobs within a user split by size.
+    let jobs = vec![
+        SimJob::write_read_cycle(meta(1, 1, 1), 28).running_for(4 * NS_PER_SEC),
+        SimJob::write_read_cycle(meta(2, 1, 2), 56).running_for(4 * NS_PER_SEC),
+        SimJob::write_read_cycle(meta(3, 2, 4), 112).running_for(4 * NS_PER_SEC),
+        SimJob::write_read_cycle(meta(4, 2, 6), 168).running_for(4 * NS_PER_SEC),
+    ];
+    let result = Simulation::new(
+        SimConfig::new(1, Algorithm::Themis("user-then-size-fair".parse().unwrap())),
+        jobs,
+    )
+    .run();
+    let b = |j: u64| result.metrics.total_bytes(JobId(j)) as f64;
+    let user1 = b(1) + b(2);
+    let user2 = b(3) + b(4);
+    assert!((user1 / user2 - 1.0).abs() < 0.25, "user split {user1} vs {user2}");
+    assert!((b(2) / b(1) - 2.0).abs() < 0.7, "size split within user 1: {}", b(2) / b(1));
+    assert!((b(4) / b(3) - 1.5).abs() < 0.5, "size split within user 2: {}", b(4) / b(3));
+}
+
+#[test]
+fn opportunity_fairness_keeps_single_job_at_full_speed() {
+    // §5.3.1: with ThemisIO and a partially loaded system, a job gets the
+    // same throughput it would get without arbitration (compare against
+    // FIFO on the identical workload).
+    let job = || SimJob::write_read_cycle(meta(1, 1, 4), 64).running_for(3 * NS_PER_SEC);
+    let fair = Simulation::new(
+        SimConfig::new(1, Algorithm::Themis(Policy::size_fair())),
+        vec![job()],
+    )
+    .run();
+    let fifo = Simulation::new(SimConfig::new(1, Algorithm::Fifo), vec![job()]).run();
+    let tf = fair.metrics.total_bytes_all() as f64;
+    let tn = fifo.metrics.total_bytes_all() as f64;
+    assert!((tf / tn - 1.0).abs() < 0.05, "fair {tf} vs fifo {tn}");
+}
