@@ -4,6 +4,7 @@
 //! against (§1, §2.2.1): a highly concurrent, bursty job packs the queue and
 //! every other job waits behind it.
 
+use rand::RngCore;
 use std::collections::VecDeque;
 use themis_core::entity::JobId;
 use themis_core::job_table::JobTable;
@@ -11,7 +12,6 @@ use themis_core::policy::Policy;
 use themis_core::request::{Completion, IoRequest};
 use themis_core::sched::Scheduler;
 use themis_core::shares::ShareMap;
-use rand::RngCore;
 
 /// First-in-first-out scheduler: one global queue ordered by arrival.
 #[derive(Debug, Default)]

@@ -26,10 +26,18 @@ pub use fifo::FifoScheduler;
 pub use gift::{GiftConfig, GiftScheduler};
 pub use tbf::{TbfConfig, TbfScheduler};
 
-use themis_core::policy::Policy;
-use themis_core::sched::{Scheduler, ThemisScheduler};
+use std::str::FromStr;
+use themis_core::engine::PolicyEngine;
+use themis_core::policy::{Policy, PolicyError};
+use themis_core::sched::ThemisScheduler;
 
 /// The arbitration algorithms available to servers and experiments.
+///
+/// `Algorithm` is a *description* — the configuration-level value an operator
+/// writes down. [`Algorithm::build`] turns it into a live
+/// [`PolicyEngine`](themis_core::engine::PolicyEngine) trait object, which is
+/// the only interface servers and the simulator drive; nothing downstream
+/// matches on this enum.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Algorithm {
     /// ThemisIO statistical tokens under the given policy.
@@ -43,8 +51,8 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// Builds a boxed scheduler for this algorithm.
-    pub fn build(&self) -> Box<dyn Scheduler> {
+    /// Builds a boxed policy engine for this algorithm.
+    pub fn build(&self) -> Box<dyn PolicyEngine> {
         match self {
             Algorithm::Themis(policy) => Box::new(ThemisScheduler::new(policy.clone())),
             Algorithm::Fifo => Box::new(FifoScheduler::new()),
@@ -53,13 +61,40 @@ impl Algorithm {
         }
     }
 
-    /// The short name of the algorithm, matching `Scheduler::name`.
+    /// The sharing [`Policy`] the algorithm starts under: the configured one
+    /// for ThemisIO, [`Policy::Fifo`] for FIFO, and job-fair for the GIFT/TBF
+    /// baselines (both arbitrate per job).
+    pub fn initial_policy(&self) -> Policy {
+        match self {
+            Algorithm::Themis(policy) => policy.clone(),
+            Algorithm::Fifo => Policy::Fifo,
+            Algorithm::Gift(_) | Algorithm::Tbf(_) => Policy::job_fair(),
+        }
+    }
+
+    /// The short name of the algorithm, matching `PolicyEngine::name`.
     pub fn name(&self) -> &'static str {
         match self {
             Algorithm::Themis(_) => "themis",
             Algorithm::Fifo => "fifo",
             Algorithm::Gift(_) => "gift",
             Algorithm::Tbf(_) => "tbf",
+        }
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = PolicyError;
+
+    /// Parses an operator-facing algorithm string: `"fifo"`, `"gift"`,
+    /// `"tbf"`, or any policy-DSL string (which selects the ThemisIO engine
+    /// under that policy, e.g. `"user[2]-then-size-fair"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "gift" => Ok(Algorithm::Gift(GiftConfig::default())),
+            "tbf" => Ok(Algorithm::Tbf(TbfConfig::default())),
+            "fifo" => Ok(Algorithm::Fifo),
+            other => Ok(Algorithm::Themis(other.parse()?)),
         }
     }
 }
@@ -75,7 +110,10 @@ mod tests {
             Algorithm::Themis(Policy::size_fair()).build().name(),
             "themis"
         );
-        assert_eq!(Algorithm::Gift(GiftConfig::default()).build().name(), "gift");
+        assert_eq!(
+            Algorithm::Gift(GiftConfig::default()).build().name(),
+            "gift"
+        );
         assert_eq!(Algorithm::Tbf(TbfConfig::default()).build().name(), "tbf");
     }
 
@@ -83,5 +121,36 @@ mod tests {
     fn algorithm_names_match_enum() {
         assert_eq!(Algorithm::Fifo.name(), "fifo");
         assert_eq!(Algorithm::Themis(Policy::job_fair()).name(), "themis");
+    }
+
+    #[test]
+    fn initial_policy_reflects_algorithm() {
+        assert_eq!(Algorithm::Fifo.initial_policy(), Policy::Fifo);
+        assert_eq!(
+            Algorithm::Themis(Policy::size_fair()).initial_policy(),
+            Policy::size_fair()
+        );
+        assert_eq!(
+            Algorithm::Gift(GiftConfig::default()).initial_policy(),
+            Policy::job_fair()
+        );
+    }
+
+    #[test]
+    fn algorithm_parses_from_strings() {
+        assert_eq!("fifo".parse::<Algorithm>().unwrap(), Algorithm::Fifo);
+        assert_eq!(
+            "gift".parse::<Algorithm>().unwrap(),
+            Algorithm::Gift(GiftConfig::default())
+        );
+        assert_eq!(
+            "tbf".parse::<Algorithm>().unwrap(),
+            Algorithm::Tbf(TbfConfig::default())
+        );
+        assert_eq!(
+            "user[2]-then-size-fair".parse::<Algorithm>().unwrap(),
+            Algorithm::Themis("user[2]-then-size-fair".parse().unwrap())
+        );
+        assert!("banana".parse::<Algorithm>().is_err());
     }
 }

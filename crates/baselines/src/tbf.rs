@@ -199,16 +199,22 @@ impl Scheduler for TbfScheduler {
         // the cost of its head request.
         let mut best: Option<(JobId, f64)> = None;
         for job in &backlogged {
-            let head_cost = self.queues.front(*job).map_or(0.0, |r| r.bytes.max(1) as f64);
+            let head_cost = self
+                .queues
+                .front(*job)
+                .map_or(0.0, |r| r.bytes.max(1) as f64);
             if let Some(bucket) = self.buckets.get(job) {
                 let slack = bucket.tokens + bucket.compensation - head_cost;
-                if slack >= 0.0 && best.map_or(true, |(_, s)| slack > s) {
+                if slack >= 0.0 && best.is_none_or(|(_, s)| slack > s) {
                     best = Some((*job, slack));
                 }
             }
         }
         if let Some((job, _)) = best {
-            let cost = self.queues.front(job).map_or(0.0, |r| r.bytes.max(1) as f64);
+            let cost = self
+                .queues
+                .front(job)
+                .map_or(0.0, |r| r.bytes.max(1) as f64);
             let consumed = self
                 .buckets
                 .get_mut(&job)
@@ -224,14 +230,27 @@ impl Scheduler for TbfScheduler {
         // at a time).
         if self.config.pssb {
             let job = backlogged.into_iter().max_by(|a, b| {
-                let ra = self.rates.get(a).copied().unwrap_or(self.config.default_rate_bytes_per_sec);
-                let rb = self.rates.get(b).copied().unwrap_or(self.config.default_rate_bytes_per_sec);
-                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal).then(b.cmp(a))
+                let ra = self
+                    .rates
+                    .get(a)
+                    .copied()
+                    .unwrap_or(self.config.default_rate_bytes_per_sec);
+                let rb = self
+                    .rates
+                    .get(b)
+                    .copied()
+                    .unwrap_or(self.config.default_rate_bytes_per_sec);
+                ra.partial_cmp(&rb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(a))
             })?;
             // Spare-bandwidth service still drains the bucket into debt so
             // the job does not double-dip when tokens arrive.
             if let Some(b) = self.buckets.get_mut(&job) {
-                let cost = self.queues.front(job).map_or(0.0, |r| r.bytes.max(1) as f64);
+                let cost = self
+                    .queues
+                    .front(job)
+                    .map_or(0.0, |r| r.bytes.max(1) as f64);
                 b.tokens -= cost;
             }
             return self.queues.pop(job);
@@ -247,7 +266,10 @@ impl Scheduler for TbfScheduler {
         // has refilled enough for its head request.
         let mut earliest: Option<u64> = None;
         for job in self.queues.backlogged() {
-            let cost = self.queues.front(job).map_or(0.0, |r| r.bytes.max(1) as f64);
+            let cost = self
+                .queues
+                .front(job)
+                .map_or(0.0, |r| r.bytes.max(1) as f64);
             if let Some(b) = self.buckets.get(&job) {
                 let deficit = (cost - b.tokens - b.compensation).max(0.0);
                 let wait_ns = (deficit / b.rate * 1e9).ceil() as u64;
@@ -381,8 +403,8 @@ mod tests {
         t.enqueue(IoRequest::write(0, meta(1), 1_000, 0));
         let mut rng = SmallRng::seed_from_u64(0);
         assert!(t.next(0, &mut rng).is_some()); // drains the initial burst
-        // Idle period: refills happen on the next call; compensation accrues
-        // because the bucket overflows while not backlogged.
+                                                // Idle period: refills happen on the next call; compensation accrues
+                                                // because the bucket overflows while not backlogged.
         t.enqueue(IoRequest::write(1, meta(1), 1_000, 20_000_000));
         t.enqueue(IoRequest::write(2, meta(1), 1_000, 20_000_000));
         // At 20 ms the bucket refilled to capacity (1 KB) and holds ~1 KB of

@@ -9,7 +9,14 @@ use themis_core::shares::{build_level_matrices, compute_shares};
 
 fn jobs(n: usize) -> Vec<JobMeta> {
     (0..n)
-        .map(|i| JobMeta::new(i as u64, (i % 16) as u32, (i % 4) as u32, 1 + (i % 64) as u32))
+        .map(|i| {
+            JobMeta::new(
+                i as u64,
+                (i % 16) as u32,
+                (i % 4) as u32,
+                1 + (i % 64) as u32,
+            )
+        })
         .collect()
 }
 
@@ -38,10 +45,16 @@ fn bench_matrix_chain(c: &mut Criterion) {
     group.sample_size(20);
     for n in [64usize, 512] {
         let js = jobs(n);
-        let levels = Policy::group_user_size_fair();
+        let policy = Policy::group_user_size_fair();
         group.bench_with_input(BenchmarkId::new("group-user-size", n), &js, |b, js| {
-            b.iter(|| build_level_matrices(levels.levels(), js))
+            b.iter(|| build_level_matrices(policy.tiers(), js))
         });
+        let weighted: Policy = "group[2]-user[3]-size-fair".parse().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("group[2]-user[3]-size", n),
+            &js,
+            |b, js| b.iter(|| build_level_matrices(weighted.tiers(), js)),
+        );
     }
     group.finish();
 }
@@ -63,5 +76,10 @@ fn bench_sampler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_share_computation, bench_matrix_chain, bench_sampler);
+criterion_group!(
+    benches,
+    bench_share_computation,
+    bench_matrix_chain,
+    bench_sampler
+);
 criterion_main!(benches);

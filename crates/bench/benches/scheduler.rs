@@ -1,6 +1,7 @@
-//! Criterion micro-benchmarks of the arbitration algorithms: enqueue +
-//! next() throughput for ThemisIO, FIFO, GIFT and TBF under a saturated
-//! two-job workload.
+//! Criterion micro-benchmarks of the arbitration algorithms: admit +
+//! select() throughput for ThemisIO, FIFO, GIFT and TBF under a saturated
+//! two-job workload, driven through the `PolicyEngine` object API exactly as
+//! the server and simulator drive them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -12,7 +13,7 @@ use themis_core::policy::Policy;
 use themis_core::request::IoRequest;
 
 fn drive(algorithm: &Algorithm, ops: u64) {
-    let mut sched = algorithm.build();
+    let mut engine = algorithm.build();
     let metas = [
         JobMeta::new(1u64, 1u32, 1u32, 4),
         JobMeta::new(2u64, 2u32, 1u32, 1),
@@ -21,16 +22,16 @@ fn drive(algorithm: &Algorithm, ops: u64) {
     for m in &metas {
         table.heartbeat(*m, 0);
     }
-    sched.refresh(&table, &Policy::size_fair());
+    engine.reconfigure(&table, &Policy::size_fair());
     let mut rng = SmallRng::seed_from_u64(7);
     let mut seq = 0;
     for i in 0..ops {
         for m in &metas {
-            sched.enqueue(IoRequest::write(seq, *m, 1 << 20, i * 1_000));
+            engine.admit(IoRequest::write(seq, *m, 1 << 20, i * 1_000));
             seq += 1;
         }
-        let _ = sched.next(i * 1_000, &mut rng);
-        let _ = sched.next(i * 1_000, &mut rng);
+        let _ = engine.select(i * 1_000, &mut rng);
+        let _ = engine.select(i * 1_000, &mut rng);
     }
 }
 

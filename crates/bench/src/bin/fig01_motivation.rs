@@ -20,7 +20,10 @@ fn tts(app: App, with_background: bool) -> f64 {
 
 fn main() {
     println!("Figure 1: baseline vs shared (FIFO) time-to-solution");
-    println!("{:<22} {:>12} {:>12} {:>10}", "application", "baseline (s)", "shared (s)", "slowdown");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "application", "baseline (s)", "shared (s)", "slowdown"
+    );
     for app in App::all() {
         let base = tts(app, false);
         let shared = tts(app, true);

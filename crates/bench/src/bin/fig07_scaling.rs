@@ -19,8 +19,13 @@ fn run(servers: usize, algorithm: Algorithm, read: bool, file_mb: u64) -> f64 {
 }
 
 fn main() {
-    let file_mb: u64 = std::env::var("FIG7_MB").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
-    println!("Figure 7: aggregate throughput vs server count (IOR, {file_mb} MiB/process, 1 MiB blocks)");
+    let file_mb: u64 = std::env::var("FIG7_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    println!(
+        "Figure 7: aggregate throughput vs server count (IOR, {file_mb} MiB/process, 1 MiB blocks)"
+    );
     println!(
         "{:>8} {:>14} {:>14} {:>14} {:>14} {:>8}",
         "servers", "fifo write", "fifo read", "jobfair write", "jobfair read", "eff%"
@@ -29,8 +34,18 @@ fn main() {
     for servers in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let fw = run(servers, Algorithm::Fifo, false, file_mb);
         let fr = run(servers, Algorithm::Fifo, true, file_mb);
-        let jw = run(servers, Algorithm::Themis(Policy::job_fair()), false, file_mb);
-        let jr = run(servers, Algorithm::Themis(Policy::job_fair()), true, file_mb);
+        let jw = run(
+            servers,
+            Algorithm::Themis(Policy::job_fair()),
+            false,
+            file_mb,
+        );
+        let jr = run(
+            servers,
+            Algorithm::Themis(Policy::job_fair()),
+            true,
+            file_mb,
+        );
         if servers == 1 {
             single = fw;
         }
@@ -45,5 +60,7 @@ fn main() {
             eff
         );
     }
-    println!("\nPaper: 11.7 GB/s at 1 server, 77.1 GB/s at 8 (82% efficiency), 1017 GB/s at 128 (68%).");
+    println!(
+        "\nPaper: 11.7 GB/s at 1 server, 77.1 GB/s at 8 (82% efficiency), 1017 GB/s at 128 (68%)."
+    );
 }

@@ -34,7 +34,36 @@ fn main() {
     }
     let shares = themis_core::shares::compute_shares(&policy, &metas);
     let breakdown = ShareBreakdown::new(&shares, &metas);
-    println!("\nNominal share breakdown: per-user {:?}", breakdown.per_user);
+    println!(
+        "\nNominal share breakdown: per-user {:?}",
+        breakdown.per_user
+    );
     println!("Paper: user 1 gets 10.1 GB/s (3.3 + 6.6), user 2 gets 9.9 GB/s (3.9 + 6.0).");
+
+    // Weighted extension: the same scenario under "user[2]-then-size-fair",
+    // where user 1 is the premium tenant and receives a 2:1 user-level split.
+    let weighted: Policy = "user[2]-then-size-fair".parse().expect("valid DSL");
+    let jobs: Vec<SimJob> = metas
+        .iter()
+        .map(|m| SimJob::write_read_cycle(*m, 56 * m.nodes as usize).running_for(30 * SEC))
+        .collect();
+    let result =
+        Simulation::new(SimConfig::new(1, Algorithm::Themis(weighted.clone())), jobs).run();
+    let series = one_second_series(&result);
+    println!("\nWeighted variant: {weighted}");
+    for m in &metas {
+        print_job_series(
+            &format!("user {} job {} ({} nodes)", m.user, m.job, m.nodes),
+            &series,
+            m.job,
+        );
+    }
+    let shares = themis_core::shares::compute_shares(&weighted, &metas);
+    let breakdown = ShareBreakdown::new(&shares, &metas);
+    println!(
+        "\nNominal share breakdown: per-user {:?}",
+        breakdown.per_user
+    );
+    println!("Expected: user 1 receives 2/3 of the bandwidth, user 2 receives 1/3.");
     let _ = JobId(1);
 }

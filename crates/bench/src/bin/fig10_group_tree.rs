@@ -35,12 +35,20 @@ fn main() {
         .iter()
         .map(|m| series.median_active_mb_per_sec(m.job))
         .sum();
-    println!("\nMeasured throughput tree (percent of total {:.1} GB/s):", total / 1000.0);
+    println!(
+        "\nMeasured throughput tree (percent of total {:.1} GB/s):",
+        total / 1000.0
+    );
     for m in &metas {
         let tp = series.median_active_mb_per_sec(m.job);
         println!(
             "  group {} / user {} / job {} (size {}): {:>7.0} MB/s ({:.1}%)",
-            m.group.0, m.user.0, m.job, m.nodes, tp, 100.0 * tp / total
+            m.group.0,
+            m.user.0,
+            m.job,
+            m.nodes,
+            tp,
+            100.0 * tp / total
         );
     }
     let shares = compute_shares(&policy, &metas);

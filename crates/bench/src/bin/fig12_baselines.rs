@@ -11,7 +11,8 @@ use themis_sim::{SimConfig, SimJob, Simulation};
 const SEC: u64 = 1_000_000_000;
 
 fn run(name: &str, algorithm: Algorithm) {
-    let job1 = SimJob::write_read_cycle(JobMeta::new(1u64, 1u32, 1u32, 1), 56).running_for(60 * SEC);
+    let job1 =
+        SimJob::write_read_cycle(JobMeta::new(1u64, 1u32, 1u32, 1), 56).running_for(60 * SEC);
     let job2 = SimJob::write_read_cycle(JobMeta::new(2u64, 2u32, 1u32, 1), 56)
         .starting_at(15 * SEC)
         .running_for(30 * SEC);

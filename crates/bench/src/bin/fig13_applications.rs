@@ -26,7 +26,9 @@ fn main() {
         "application", "baseline s", "fifo s", "fifo slow%", "sizefair s", "fair slow%"
     );
     let mut apps = App::all();
-    apps.push(App::ResNet50 { asynchronous: false });
+    apps.push(App::ResNet50 {
+        asynchronous: false,
+    });
     for app in apps {
         let base = tts(app, Algorithm::Fifo, false);
         let fifo = tts(app, Algorithm::Fifo, true);
@@ -42,5 +44,7 @@ fn main() {
         );
     }
     println!("\nPaper: FIFO slowdowns 60.6% (NAMD), 45.3% (WRF), 3.8% (BERT), 3.0% (SPECFEM3D), 2.7x (async ResNet-50);");
-    println!("       size-fair slowdowns 0.1%, 4.6%, 1.6%, 0.0%, 12.9%; slowdown reduced 59.1-99.8%.");
+    println!(
+        "       size-fair slowdowns 0.1%, 4.6%, 1.6%, 0.0%, 12.9%; slowdown reduced 59.1-99.8%."
+    );
 }

@@ -44,5 +44,7 @@ fn main() {
         }
     }
     println!("\nPaper: global fairness reached by the second interval for lambda >= 50 ms; ~5 intervals at 10 ms;");
-    println!("       shorter intervals show higher variance; 500 ms is adequate for real applications.");
+    println!(
+        "       shorter intervals show higher variance; 500 ms is adequate for real applications."
+    );
 }

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use themis_core::entity::JobMeta;
+use themis_core::policy::Policy;
 use themis_fs::ring::stable_hash;
 use themis_fs::store::StatInfo;
 use themis_fs::{FsError, FsResult, StripeConfig};
@@ -110,11 +111,89 @@ impl<L: ServerLink> ThemisClient<L> {
         let mut policies = Vec::new();
         for link in &self.links {
             link.send(ClientMessage::Hello { meta: self.meta });
-            if let Some(ServerMessage::Ack { policy }) = link.recv(self.timeout) {
+            if let Some(ServerMessage::Ack { policy, .. }) = link.recv(self.timeout) {
                 policies.push(policy);
             }
         }
         policies
+    }
+
+    // ------------------------------------------------------- control plane
+
+    /// Waits for the `PolicyChanged` / `PolicyRejected` acknowledgement
+    /// matching `request_id` on one server link, skipping unrelated traffic.
+    fn recv_policy_ack(&self, server: usize, request_id: u64) -> FsResult<(Policy, u64)> {
+        loop {
+            match self.links[server].recv(self.timeout) {
+                Some(ServerMessage::PolicyChanged {
+                    request_id: rid,
+                    policy,
+                    epoch,
+                }) if rid == request_id => return Ok((policy, epoch)),
+                Some(ServerMessage::PolicyRejected {
+                    request_id: rid,
+                    reason,
+                }) if rid == request_id => return Err(FsError::InvalidArgument(reason)),
+                Some(_) => continue,
+                None => {
+                    return Err(FsError::InvalidArgument(
+                        "no acknowledgement from server (connection lost or timed out)".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Swaps the sharing policy on **every** server of the deployment while
+    /// jobs are running (§2.2.2's "single parameter", now reconfigurable at
+    /// runtime). Returns the new policy epoch reported by each server, in
+    /// server order. In-flight requests are unaffected; the new shares apply
+    /// from each server's next scheduling epoch.
+    ///
+    /// The swap is broadcast to every server first and the acknowledgements
+    /// collected afterwards, so the cross-server policy-skew window is one
+    /// round-trip rather than `n_servers` of them. On failure the error
+    /// names the first failing server and how many servers acknowledged the
+    /// swap — those servers keep the new policy, so the deployment may be on
+    /// mixed policies until a retry succeeds.
+    pub fn set_policy(&self, policy: &Policy) -> FsResult<Vec<u64>> {
+        // Phase 1: broadcast to every server.
+        let request_ids: Vec<u64> = (0..self.links.len())
+            .map(|server| {
+                let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+                self.links[server].send(ClientMessage::SetPolicy {
+                    request_id,
+                    policy: policy.clone(),
+                });
+                request_id
+            })
+            .collect();
+        // Phase 2: collect every acknowledgement before reporting.
+        let acks: Vec<FsResult<(Policy, u64)>> = request_ids
+            .iter()
+            .enumerate()
+            .map(|(server, rid)| self.recv_policy_ack(server, *rid))
+            .collect();
+        let acked = acks.iter().filter(|a| a.is_ok()).count();
+        if let Some((server, Err(e))) = acks.iter().enumerate().find(|(_, a)| a.is_err()) {
+            return Err(FsError::InvalidArgument(format!(
+                "set_policy acknowledged by {acked}/{} servers; server {server} failed: {e}",
+                self.links.len()
+            )));
+        }
+        Ok(acks
+            .into_iter()
+            .map(|a| a.expect("checked above").1)
+            .collect())
+    }
+
+    /// Queries the policy currently in force on one server, together with its
+    /// policy epoch.
+    pub fn get_policy(&self, server: usize) -> FsResult<(Policy, u64)> {
+        let server = server % self.links.len();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::GetPolicy { request_id });
+        self.recv_policy_ack(server, request_id)
     }
 
     /// Sends one heartbeat to every server so the job monitor keeps the job
@@ -169,9 +248,9 @@ impl<L: ServerLink> ThemisClient<L> {
     }
 
     fn translate(&self, path: &str) -> FsResult<String> {
-        self.namespace
-            .translate(path)
-            .ok_or_else(|| FsError::InvalidPath(format!("{path} is outside the ThemisIO namespace")))
+        self.namespace.translate(path).ok_or_else(|| {
+            FsError::InvalidPath(format!("{path} is outside the ThemisIO namespace"))
+        })
     }
 
     // ------------------------------------------------------ POSIX-style API
@@ -194,7 +273,9 @@ impl<L: ServerLink> ThemisClient<L> {
                 self.fds.lock().insert(local, (server, remote));
                 Ok(local)
             }
-            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected reply {other:?}"
+            ))),
         }
     }
 
@@ -225,7 +306,9 @@ impl<L: ServerLink> ThemisClient<L> {
             },
         )? {
             FsReply::Count(n) => Ok(n),
-            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected reply {other:?}"
+            ))),
         }
     }
 
@@ -234,7 +317,9 @@ impl<L: ServerLink> ThemisClient<L> {
         let (server, remote) = self.lookup_fd(fd)?;
         match self.roundtrip(server, FsOp::Read { fd: remote, len })? {
             FsReply::Data(d) => Ok(d),
-            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected reply {other:?}"
+            ))),
         }
     }
 
@@ -250,7 +335,9 @@ impl<L: ServerLink> ThemisClient<L> {
             },
         )? {
             FsReply::Count(n) => Ok(n),
-            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected reply {other:?}"
+            ))),
         }
     }
 
@@ -267,7 +354,9 @@ impl<L: ServerLink> ThemisClient<L> {
             },
         )? {
             FsReply::Count(n) => Ok(n),
-            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected reply {other:?}"
+            ))),
         }
     }
 
@@ -284,7 +373,9 @@ impl<L: ServerLink> ThemisClient<L> {
             },
         )? {
             FsReply::Data(d) => Ok(d),
-            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected reply {other:?}"
+            ))),
         }
     }
 
@@ -294,7 +385,9 @@ impl<L: ServerLink> ThemisClient<L> {
         let server = self.server_for_path(&bb_path);
         match self.roundtrip(server, FsOp::Stat { path: bb_path })? {
             FsReply::Stat(s) => Ok(s),
-            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected reply {other:?}"
+            ))),
         }
     }
 
@@ -312,7 +405,9 @@ impl<L: ServerLink> ThemisClient<L> {
         let server = self.server_for_path(&bb_path);
         match self.roundtrip(server, FsOp::Readdir { path: bb_path })? {
             FsReply::Entries(e) => Ok(e),
-            other => Err(FsError::InvalidArgument(format!("unexpected reply {other:?}"))),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected reply {other:?}"
+            ))),
         }
     }
 
@@ -325,7 +420,12 @@ impl<L: ServerLink> ThemisClient<L> {
     }
 
     /// Creates a file striped over `stripe_count` servers.
-    pub fn create_striped(&self, path: &str, stripe_size: u64, stripe_count: usize) -> FsResult<()> {
+    pub fn create_striped(
+        &self,
+        path: &str,
+        stripe_size: u64,
+        stripe_count: usize,
+    ) -> FsResult<()> {
         let bb_path = self.translate(path)?;
         let server = self.server_for_path(&bb_path);
         self.roundtrip(
@@ -358,10 +458,12 @@ mod tests {
     }
 
     /// A loopback link that records messages and replies with canned answers,
-    /// enough to test routing and request/response matching.
+    /// enough to test routing, request/response matching, and the policy
+    /// control plane.
     struct MockLink {
         inbox: Mutex<VecDeque<ServerMessage>>,
         sent: Mutex<Vec<ClientMessage>>,
+        policy: Mutex<(Policy, u64)>,
     }
 
     impl MockLink {
@@ -369,6 +471,7 @@ mod tests {
             MockLink {
                 inbox: Mutex::new(VecDeque::new()),
                 sent: Mutex::new(Vec::new()),
+                policy: Mutex::new((Policy::size_fair(), 0)),
             }
         }
     }
@@ -388,8 +491,28 @@ mod tests {
                     },
                 }),
                 ClientMessage::Hello { .. } | ClientMessage::Heartbeat { .. } => {
+                    let p = self.policy.lock();
                     Some(ServerMessage::Ack {
-                        policy: "size-fair".into(),
+                        policy: p.0.to_string(),
+                        epoch: p.1,
+                    })
+                }
+                ClientMessage::SetPolicy { request_id, policy } => {
+                    let mut p = self.policy.lock();
+                    p.0 = policy.clone();
+                    p.1 += 1;
+                    Some(ServerMessage::PolicyChanged {
+                        request_id: *request_id,
+                        policy: p.0.clone(),
+                        epoch: p.1,
+                    })
+                }
+                ClientMessage::GetPolicy { request_id } => {
+                    let p = self.policy.lock();
+                    Some(ServerMessage::PolicyChanged {
+                        request_id: *request_id,
+                        policy: p.0.clone(),
+                        epoch: p.1,
                     })
                 }
                 ClientMessage::Bye { .. } => None,
@@ -449,6 +572,24 @@ mod tests {
     fn errors_are_surfaced() {
         let c = client(2);
         assert!(c.stat("/fs/missing").is_err());
+    }
+
+    #[test]
+    fn set_policy_reaches_every_server_and_bumps_epochs() {
+        let c = client(3);
+        let weighted: Policy = "user[2]-then-size-fair".parse().unwrap();
+        let epochs = c.set_policy(&weighted).unwrap();
+        assert_eq!(epochs, vec![1, 1, 1]);
+        for i in 0..3 {
+            let (p, e) = c.get_policy(i).unwrap();
+            assert_eq!(p, weighted);
+            assert_eq!(e, 1);
+        }
+        // A second swap bumps the epoch again and hello reports the new DSL
+        // string.
+        let epochs = c.set_policy(&Policy::job_fair()).unwrap();
+        assert_eq!(epochs, vec![2, 2, 2]);
+        assert_eq!(c.hello(), vec!["job-fair"; 3]);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The object-safe policy-engine API every arbitration algorithm is driven
+//! through.
+//!
+//! # Contract
+//!
+//! [`PolicyEngine`] is the seam between the server/simulator control loop and
+//! the arbitration algorithms (ThemisIO statistical tokens, FIFO, GIFT, TBF,
+//! and anything an operator plugs in). Consumers hold a
+//! `Box<dyn PolicyEngine>` and drive it through three data-path calls and one
+//! control-path call:
+//!
+//! * [`admit`](PolicyEngine::admit) — a request enters the engine's queues.
+//!   Admission is unconditional: engines must never drop an admitted request.
+//! * [`select`](PolicyEngine::select) — the worker loop asks which admitted
+//!   request to serve next. `None` means "nothing eligible right now"; if
+//!   work is queued but throttled, [`next_eligible_ns`](PolicyEngine::next_eligible_ns)
+//!   bounds the retry time.
+//! * [`complete`](PolicyEngine::complete) — a selected request finished on
+//!   the device, so metering engines can account actual service.
+//! * [`reconfigure`](PolicyEngine::reconfigure) — the job table or the active
+//!   [`Policy`] changed. The engine must re-derive its allocation state
+//!   (shares, token segments, rate limits) **without touching admitted
+//!   requests**: queues survive reconfiguration, per-job FIFO order is
+//!   preserved, and the new allocation applies from the next `select` call.
+//!   This is what makes live `SetPolicy` swaps safe: the epoch boundary only
+//!   moves shares, never requests.
+//!
+//! Determinism: given the same call sequence and the same random numbers,
+//! every engine must make the same decisions, so simulated experiments
+//! reproduce bit-identically.
+//!
+//! # Relationship to [`Scheduler`](crate::sched::Scheduler)
+//!
+//! [`Scheduler`](crate::sched::Scheduler) is the implementation-side trait the
+//! in-tree algorithms implement (`enqueue`/`next`/`on_complete`/`refresh`).
+//! Every `Scheduler` automatically implements `PolicyEngine` through a
+//! blanket impl, so the two never drift; new out-of-tree engines are free to
+//! implement `PolicyEngine` directly and skip the legacy names.
+
+use crate::entity::JobId;
+use crate::job_table::JobTable;
+use crate::policy::Policy;
+use crate::request::{Completion, IoRequest};
+use crate::sched::Scheduler;
+use crate::shares::ShareMap;
+use rand::RngCore;
+
+/// An object-safe, pluggable I/O arbitration engine (see the
+/// [module docs](self) for the full contract).
+pub trait PolicyEngine: Send {
+    /// Short algorithm name used in logs and experiment output
+    /// (e.g. `"themis"`, `"fifo"`, `"gift"`, `"tbf"`).
+    fn name(&self) -> &'static str;
+
+    /// Admits an incoming request into the engine's queues. Must not drop or
+    /// reorder previously admitted requests of the same job.
+    fn admit(&mut self, request: IoRequest);
+
+    /// Selects the next request to service at time `now_ns`, or `None` when
+    /// nothing is eligible.
+    fn select(&mut self, now_ns: u64, rng: &mut dyn RngCore) -> Option<IoRequest>;
+
+    /// Earliest time at which a currently-queued request may become eligible,
+    /// when [`select`](PolicyEngine::select) returned `None` despite queued
+    /// work. `None` means "whenever new work arrives".
+    fn next_eligible_ns(&self, _now_ns: u64) -> Option<u64> {
+        None
+    }
+
+    /// Notifies the engine that a request it selected has completed.
+    fn complete(&mut self, completion: &Completion);
+
+    /// Re-derives allocation state from the job table and the sharing policy,
+    /// leaving admitted requests untouched (the epoch-boundary contract).
+    fn reconfigure(&mut self, table: &JobTable, policy: &Policy);
+
+    /// Whether [`reconfigure`](PolicyEngine::reconfigure) actually derives
+    /// arbitration from the supplied [`Policy`]. Fixed-algorithm engines
+    /// (FIFO, GIFT, TBF) return `false`; callers use this to reject a live
+    /// policy swap instead of acknowledging one that would have no effect.
+    fn honors_policy(&self) -> bool;
+
+    /// Total number of admitted, not-yet-selected requests.
+    fn queued(&self) -> usize;
+
+    /// Number of queued requests belonging to `job`.
+    fn queued_for(&self, job: JobId) -> usize;
+
+    /// Jobs that currently have at least one queued request.
+    fn backlogged_jobs(&self) -> Vec<JobId>;
+
+    /// The engine's current nominal share assignment, for telemetry. Engines
+    /// without a share concept (e.g. FIFO) report an empty map.
+    fn shares(&self) -> ShareMap {
+        ShareMap::empty()
+    }
+}
+
+/// Every legacy [`Scheduler`] is a [`PolicyEngine`]; the names map 1:1.
+impl<S: Scheduler> PolicyEngine for S {
+    fn name(&self) -> &'static str {
+        Scheduler::name(self)
+    }
+
+    fn admit(&mut self, request: IoRequest) {
+        self.enqueue(request);
+    }
+
+    fn select(&mut self, now_ns: u64, rng: &mut dyn RngCore) -> Option<IoRequest> {
+        self.next(now_ns, rng)
+    }
+
+    fn next_eligible_ns(&self, now_ns: u64) -> Option<u64> {
+        Scheduler::next_eligible_ns(self, now_ns)
+    }
+
+    fn complete(&mut self, completion: &Completion) {
+        self.on_complete(completion);
+    }
+
+    fn reconfigure(&mut self, table: &JobTable, policy: &Policy) {
+        self.refresh(table, policy);
+    }
+
+    fn honors_policy(&self) -> bool {
+        Scheduler::honors_policy(self)
+    }
+
+    fn queued(&self) -> usize {
+        Scheduler::queued(self)
+    }
+
+    fn queued_for(&self, job: JobId) -> usize {
+        Scheduler::queued_for(self, job)
+    }
+
+    fn backlogged_jobs(&self) -> Vec<JobId> {
+        Scheduler::backlogged_jobs(self)
+    }
+
+    fn shares(&self) -> ShareMap {
+        Scheduler::shares(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::JobMeta;
+    use crate::sched::ThemisScheduler;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scheduler_blanket_impl_is_object_safe_and_delegates() {
+        let mut engine: Box<dyn PolicyEngine> = Box::new(ThemisScheduler::new(Policy::job_fair()));
+        assert_eq!(engine.name(), "themis");
+        let meta = JobMeta::new(1u64, 1u32, 1u32, 2);
+        engine.admit(IoRequest::write(0, meta, 4096, 0));
+        assert_eq!(engine.queued(), 1);
+        assert_eq!(engine.queued_for(meta.job), 1);
+        assert_eq!(engine.backlogged_jobs(), vec![meta.job]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let req = engine.select(0, &mut rng).expect("request available");
+        assert_eq!(req.seq, 0);
+        assert_eq!(engine.queued(), 0);
+    }
+
+    #[test]
+    fn reconfigure_preserves_queues_across_policy_swap() {
+        let mut engine: Box<dyn PolicyEngine> = Box::new(ThemisScheduler::new(Policy::size_fair()));
+        let a = JobMeta::new(1u64, 1u32, 1u32, 4);
+        let b = JobMeta::new(2u64, 2u32, 1u32, 1);
+        let mut table = JobTable::new();
+        table.heartbeat(a, 0);
+        table.heartbeat(b, 0);
+        engine.reconfigure(&table, &Policy::size_fair());
+        for s in 0..10 {
+            engine.admit(IoRequest::write(s, a, 1, 0));
+            engine.admit(IoRequest::write(s + 10, b, 1, 0));
+        }
+        assert_eq!(engine.queued(), 20);
+        // The epoch boundary: swap policy, queues intact, shares moved.
+        engine.reconfigure(&table, &Policy::job_fair());
+        assert_eq!(engine.queued(), 20);
+        assert!((engine.shares().share(a.job) - 0.5).abs() < 1e-9);
+    }
+}

@@ -103,7 +103,12 @@ pub struct JobMeta {
 
 impl JobMeta {
     /// Creates metadata for a job with default priority 1.0.
-    pub fn new(job: impl Into<JobId>, user: impl Into<UserId>, group: impl Into<GroupId>, nodes: u32) -> Self {
+    pub fn new(
+        job: impl Into<JobId>,
+        user: impl Into<UserId>,
+        group: impl Into<GroupId>,
+        nodes: u32,
+    ) -> Self {
         JobMeta {
             job: job.into(),
             user: user.into(),

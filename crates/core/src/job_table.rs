@@ -73,7 +73,7 @@ impl JobTable {
     pub fn present_on(&self, job: JobId, index: u32) -> bool {
         self.entries
             .get(&job)
-            .map_or(false, |e| e.presence_mask & (1u128 << index.min(127)) != 0)
+            .is_some_and(|e| e.presence_mask & (1u128 << index.min(127)) != 0)
     }
 
     /// The configured heartbeat timeout in nanoseconds.
@@ -167,7 +167,10 @@ impl JobTable {
 
     /// Number of active jobs.
     pub fn active_count(&self) -> usize {
-        self.entries.values().filter(|e| e.status.is_active()).count()
+        self.entries
+            .values()
+            .filter(|e| e.status.is_active())
+            .count()
     }
 
     /// Distinct users that own at least one active job.

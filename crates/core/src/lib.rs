@@ -8,13 +8,15 @@
 //!
 //! * [`entity`] — jobs, users, groups, and the metadata embedded in requests;
 //! * [`job_table`] — the per-server job status table and its merge rules;
-//! * [`policy`] — primitive and composite sharing policies and their parser;
+//! * [`policy`] — weighted sharing policies, the policy DSL, and the builder;
+//! * [`engine`] — the object-safe [`PolicyEngine`](engine::PolicyEngine)
+//!   trait every arbitration algorithm is driven through;
 //! * [`matrix`] — transition matrices and the chain product of Eq. 1;
 //! * [`shares`] — per-job statistical token (share) computation;
 //! * [`sampler`] — the `[0,1]` segment table sampled by I/O workers;
 //! * [`request`] — scheduler-visible request and completion descriptors;
-//! * [`sched`] — the [`Scheduler`](sched::Scheduler) trait and the ThemisIO
-//!   statistical-token scheduler;
+//! * [`sched`] — the [`Scheduler`](sched::Scheduler) implementation trait and
+//!   the ThemisIO statistical-token scheduler;
 //! * [`sync`] — λ-delayed global fairness helpers.
 //!
 //! The data path (file system, device model, transport, server runtime,
@@ -49,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod entity;
 pub mod job_table;
 pub mod matrix;
@@ -61,9 +64,10 @@ pub mod sync;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::engine::PolicyEngine;
     pub use crate::entity::{GroupId, JobId, JobMeta, JobStatus, UserId};
     pub use crate::job_table::JobTable;
-    pub use crate::policy::{Level, Policy, PolicyError};
+    pub use crate::policy::{Level, Policy, PolicyBuilder, PolicyError, PolicySpec, WeightedLevel};
     pub use crate::request::{Completion, IoRequest, OpKind};
     pub use crate::sampler::TokenSampler;
     pub use crate::sched::{JobQueues, Scheduler, ThemisScheduler};

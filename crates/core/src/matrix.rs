@@ -76,8 +76,7 @@ impl TransitionMatrix {
             m.set(p, k, w);
             row_totals[p] += w;
         }
-        for row in 0..rows {
-            let total = row_totals[row];
+        for (row, &total) in row_totals.iter().enumerate() {
             if total > 0.0 {
                 for col in 0..cols {
                     let v = m.get(row, col);
@@ -191,11 +190,7 @@ mod tests {
         // Fig. 4: two users (even split at the top level); user 1 runs 2 jobs,
         // user 2 runs 4 jobs. Expected job shares: 1/4,1/4, then 1/8 ×4.
         let user = TransitionMatrix::from_membership(1, &[0, 0], &[1.0, 1.0]);
-        let job = TransitionMatrix::from_membership(
-            2,
-            &[0, 0, 1, 1, 1, 1],
-            &[1.0; 6],
-        );
+        let job = TransitionMatrix::from_membership(2, &[0, 0, 1, 1, 1, 1], &[1.0; 6]);
         let result = TransitionMatrix::chain(&[user, job]).unwrap();
         let shares = result.as_share_row().unwrap();
         assert_eq!(shares.len(), 6);

@@ -1,22 +1,69 @@
-//! Sharing policies: primitive (job-, size-, user-, priority-fair) and
-//! composite (e.g. user-then-size-fair, group-then-user-then-size-fair).
+//! Sharing policies: weighted tiers, the administrator-facing policy DSL, and
+//! the builder API.
 //!
-//! A policy is an ordered list of [`Level`]s. Each level splits the I/O
-//! resource of its enclosing scope between the sharing entities at that level
-//! (§2.2.2). The last level always resolves down to jobs: `Job` splits evenly
-//! between jobs, `Size` splits in proportion to the node count, `Priority` in
-//! proportion to the priority weight.
+//! # Model
+//!
+//! A fair-sharing policy is an ordered list of **tiers** ([`WeightedLevel`]),
+//! wrapped in a validated [`PolicySpec`]. Each tier splits the I/O resource of
+//! its enclosing scope between the sharing entities at that level (§2.2.2 of
+//! the paper). The final tier always resolves down to jobs: [`Level::Job`]
+//! splits evenly between jobs, [`Level::Size`] in proportion to node counts,
+//! [`Level::Priority`] in proportion to priority weights.
+//!
+//! Every tier carries an integer **weight** (default 1). A weight `w > 1`
+//! marks the tier's *premium tenant*: within each enclosing scope, the
+//! entity that sorts first at that tier (the lowest group id, user id, or job
+//! id) receives `w×` the weight of each of its peers when the scope's
+//! resource is divided. `user[2]` therefore schedules 2:1 between two users,
+//! 2:1:1 between three, and degrades to the ordinary even split when `w = 1`.
+//! Weighted job-level tiers multiply the premium job's natural weight (1,
+//! node count, or priority) by `w`.
+//!
+//! # Policy DSL
+//!
+//! The string grammar accepted by [`FromStr`] and produced by
+//! [`Display`](fmt::Display):
+//!
+//! ```text
+//! policy  := "fifo" | tiers "-fair"
+//! tiers   := tier ( ("-" | "-then-") tier )*
+//! tier    := level ( "[" weight "]" )?
+//! level   := "group" | "user" | "job" | "size" | "priority" | "prio"
+//! weight  := non-zero decimal integer
+//! ```
+//!
+//! Examples: `fifo`, `size-fair`, `user-then-size-fair`,
+//! `group-user-size-fair`, `user[2]-then-size-fair`,
+//! `group[3]-user-job[2]-fair`.
+//!
+//! # Canonical form
+//!
+//! Structurally, every fair policy ends in an explicit job-level tier: parsing
+//! and all constructors append an even `job` split when the written form stops
+//! at a scope tier (so `user-fair` *means* `user-then-job-fair`, as in §5.3.1).
+//! [`Display`](fmt::Display) performs the inverse normalisation — a trailing
+//! unweighted `job` tier after at least one scope tier is elided — so policy
+//! strings round-trip: `"user-fair"` parses to `[user, job]` and prints as
+//! `"user-fair"` again. [`Policy::canonical_name`] is the `Display` form.
+//!
+//! # Validation invariants
+//!
+//! * a fair policy has at least one tier and exactly one job-level tier,
+//!   which is last;
+//! * scope tiers follow the nesting order group ⊇ user;
+//! * no level appears twice;
+//! * every tier weight is ≥ 1 ([`PolicyError::ZeroWeight`] otherwise).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
-/// One tier of a sharing policy.
+/// One level of a sharing policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Level {
-    /// Split evenly across accounting groups.
+    /// Split across accounting groups.
     Group,
-    /// Split evenly across users (within the enclosing scope).
+    /// Split across users (within the enclosing scope).
     User,
     /// Split evenly across jobs (within the enclosing scope).
     Job,
@@ -28,7 +75,7 @@ pub enum Level {
 
 impl Level {
     /// Whether this level distributes shares directly onto jobs (and must
-    /// therefore be the innermost level of a policy).
+    /// therefore be the innermost tier of a policy).
     pub fn is_job_level(self) -> bool {
         matches!(self, Level::Job | Level::Size | Level::Priority)
     }
@@ -51,72 +98,260 @@ impl fmt::Display for Level {
     }
 }
 
+/// One tier of a sharing policy: a [`Level`] plus its premium-tenant weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeightedLevel {
+    /// The sharing level this tier splits on.
+    pub level: Level,
+    /// Premium-tenant weight (≥ 1). `1` is the ordinary unweighted split;
+    /// `w > 1` gives the first-sorted entity in each scope `w×` the weight of
+    /// its peers.
+    pub weight: u32,
+}
+
+impl WeightedLevel {
+    /// An unweighted tier (`weight = 1`).
+    pub fn new(level: Level) -> Self {
+        WeightedLevel { level, weight: 1 }
+    }
+
+    /// A weighted tier. `weight` must be ≥ 1 to pass validation.
+    pub fn weighted(level: Level, weight: u32) -> Self {
+        WeightedLevel { level, weight }
+    }
+
+    /// Whether this tier is a plain, unweighted split.
+    pub fn is_unweighted(&self) -> bool {
+        self.weight == 1
+    }
+}
+
+impl From<Level> for WeightedLevel {
+    fn from(level: Level) -> Self {
+        WeightedLevel::new(level)
+    }
+}
+
+impl fmt::Display for WeightedLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.weight == 1 {
+            f.write_str(self.level.name())
+        } else {
+            write!(f, "{}[{}]", self.level.name(), self.weight)
+        }
+    }
+}
+
+/// A validated, canonical fair-sharing hierarchy: ordered [`WeightedLevel`]
+/// tiers ending in exactly one job-level tier.
+///
+/// `PolicySpec` can only be obtained through validating constructors
+/// ([`PolicySpec::new`], [`Policy::builder`], [`FromStr`]), so holders may
+/// rely on the invariants documented at the [module level](self).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PolicySpec {
+    tiers: Vec<WeightedLevel>,
+}
+
+impl PolicySpec {
+    /// Builds a spec from tiers, normalising and validating.
+    ///
+    /// If the last tier is a scope split (group/user) an unweighted `job`
+    /// tier is appended, mirroring the DSL's implicit job split.
+    pub fn new(tiers: impl IntoIterator<Item = WeightedLevel>) -> Result<Self, PolicyError> {
+        let mut tiers: Vec<WeightedLevel> = tiers.into_iter().collect();
+        if matches!(tiers.last(), Some(t) if !t.level.is_job_level()) {
+            tiers.push(WeightedLevel::new(Level::Job));
+        }
+        let spec = PolicySpec { tiers };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Builds a spec from unweighted levels (weight 1 throughout).
+    pub fn from_levels(levels: impl IntoIterator<Item = Level>) -> Result<Self, PolicyError> {
+        PolicySpec::new(levels.into_iter().map(WeightedLevel::new))
+    }
+
+    /// The ordered tiers, innermost (job-level) last.
+    pub fn tiers(&self) -> &[WeightedLevel] {
+        &self.tiers
+    }
+
+    /// The ordered levels, without weights.
+    pub fn levels(&self) -> Vec<Level> {
+        self.tiers.iter().map(|t| t.level).collect()
+    }
+
+    /// Number of tiers.
+    pub fn depth(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The innermost (job-level) tier.
+    pub fn job_tier(&self) -> WeightedLevel {
+        *self.tiers.last().expect("validated spec is non-empty")
+    }
+
+    /// Whether any tier carries a weight above 1.
+    pub fn is_weighted(&self) -> bool {
+        self.tiers.iter().any(|t| !t.is_unweighted())
+    }
+
+    /// Checks the structural invariants listed in the [module docs](self).
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        let tiers = &self.tiers;
+        if tiers.is_empty() {
+            return Err(PolicyError::Empty);
+        }
+        for t in tiers {
+            if t.weight == 0 {
+                return Err(PolicyError::ZeroWeight(t.level));
+            }
+        }
+        let last = tiers.last().expect("non-empty");
+        if !last.level.is_job_level() {
+            return Err(PolicyError::MissingJobLevel(last.level));
+        }
+        for (i, t) in tiers.iter().enumerate() {
+            if t.level.is_job_level() && i + 1 != tiers.len() {
+                return Err(PolicyError::JobLevelNotLast(t.level));
+            }
+        }
+        for w in tiers.windows(2) {
+            // Group must enclose user: "user-then-group" is meaningless.
+            if w[0].level == Level::User && w[1].level == Level::Group {
+                return Err(PolicyError::BadNesting);
+            }
+        }
+        for lvl in [Level::Group, Level::User] {
+            if tiers.iter().filter(|t| t.level == lvl).count() > 1 {
+                return Err(PolicyError::DuplicateLevel(lvl));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    /// Canonical DSL form: tiers joined by `-` with a `-fair` suffix; a
+    /// trailing unweighted `job` tier after a scope tier is elided.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let elide_tail = self.tiers.len() > 1
+            && matches!(
+                self.tiers.last(),
+                Some(t) if t.level == Level::Job && t.is_unweighted()
+            );
+        let visible = if elide_tail {
+            &self.tiers[..self.tiers.len() - 1]
+        } else {
+            &self.tiers[..]
+        };
+        for t in visible {
+            write!(f, "{t}-")?;
+        }
+        f.write_str("fair")
+    }
+}
+
 /// A sharing policy: either plain FIFO (no arbitration) or a fair-sharing
-/// hierarchy of one or more levels ending in a job-level split.
+/// [`PolicySpec`].
 ///
 /// `Policy` is the "single parameter" a system administrator supplies when
-/// starting ThemisIO (§2.2.2). It parses from strings such as `"fifo"`,
-/// `"size-fair"`, `"user-then-job-fair"` or `"group-user-size-fair"`.
+/// starting ThemisIO (§2.2.2) — and, since the control plane grew
+/// `SetPolicy`, the value they can swap on a *live* server. It parses from
+/// strings such as `"fifo"`, `"size-fair"`, `"user-then-size-fair"` or
+/// `"user[2]-then-size-fair"` (grammar in the [module docs](self)).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Policy {
     /// First-in-first-out: requests are served in arrival order with no
     /// fairness enforcement. This is the baseline behaviour of production
     /// burst buffers the paper argues against.
     Fifo,
-    /// Fair sharing through the ordered list of levels. The final level must
-    /// be a job-level split ([`Level::is_job_level`]).
-    Fair(Vec<Level>),
+    /// Fair sharing through the validated tier hierarchy.
+    Fair(PolicySpec),
 }
 
 impl Policy {
+    /// Starts a fluent [`PolicyBuilder`]:
+    ///
+    /// ```
+    /// use themis_core::policy::Policy;
+    /// let p = Policy::builder().group().user_weighted(2).size_fair().unwrap();
+    /// assert_eq!(p.to_string(), "group-user[2]-size-fair");
+    /// ```
+    pub fn builder() -> PolicyBuilder {
+        PolicyBuilder::default()
+    }
+
     /// The job-fair primitive policy.
     pub fn job_fair() -> Self {
-        Policy::Fair(vec![Level::Job])
+        Policy::Fair(PolicySpec::from_levels([Level::Job]).expect("valid primitive"))
     }
 
     /// The size-fair primitive policy (share ∝ node count).
     pub fn size_fair() -> Self {
-        Policy::Fair(vec![Level::Size])
+        Policy::Fair(PolicySpec::from_levels([Level::Size]).expect("valid primitive"))
     }
 
-    /// The user-fair primitive policy.
+    /// The user-fair primitive policy (canonically `[user, job]`).
     pub fn user_fair() -> Self {
-        Policy::Fair(vec![Level::User, Level::Job])
+        Policy::Fair(PolicySpec::from_levels([Level::User]).expect("valid primitive"))
     }
 
     /// The priority-fair primitive policy (share ∝ priority weight).
     pub fn priority_fair() -> Self {
-        Policy::Fair(vec![Level::Priority])
+        Policy::Fair(PolicySpec::from_levels([Level::Priority]).expect("valid primitive"))
     }
 
     /// The user-then-size-fair composite policy of §5.3.2 / Fig. 9.
     pub fn user_then_size_fair() -> Self {
-        Policy::Fair(vec![Level::User, Level::Size])
+        Policy::Fair(PolicySpec::from_levels([Level::User, Level::Size]).expect("valid composite"))
     }
 
     /// The group-then-user-then-size-fair composite policy of Fig. 10/11.
     pub fn group_user_size_fair() -> Self {
-        Policy::Fair(vec![Level::Group, Level::User, Level::Size])
+        Policy::Fair(
+            PolicySpec::from_levels([Level::Group, Level::User, Level::Size])
+                .expect("valid composite"),
+        )
     }
 
-    /// Builds a composite policy from explicit levels, validating the shape.
+    /// Builds a composite policy from explicit unweighted levels, normalising
+    /// (implicit trailing `job` split) and validating the shape.
     pub fn composite(levels: Vec<Level>) -> Result<Self, PolicyError> {
-        let p = Policy::Fair(levels);
-        p.validate()?;
-        Ok(p)
+        Ok(Policy::Fair(PolicySpec::from_levels(levels)?))
     }
 
-    /// The ordered levels of a fair policy; empty for FIFO.
-    pub fn levels(&self) -> &[Level] {
+    /// Builds a composite policy from explicit weighted tiers.
+    pub fn weighted(tiers: Vec<WeightedLevel>) -> Result<Self, PolicyError> {
+        Ok(Policy::Fair(PolicySpec::new(tiers)?))
+    }
+
+    /// The fair-sharing spec, or `None` for FIFO.
+    pub fn spec(&self) -> Option<&PolicySpec> {
         match self {
-            Policy::Fifo => &[],
-            Policy::Fair(levels) => levels,
+            Policy::Fifo => None,
+            Policy::Fair(spec) => Some(spec),
         }
     }
 
-    /// Depth (number of levels); FIFO has depth 0.
+    /// The ordered tiers of a fair policy; empty for FIFO.
+    pub fn tiers(&self) -> &[WeightedLevel] {
+        match self {
+            Policy::Fifo => &[],
+            Policy::Fair(spec) => spec.tiers(),
+        }
+    }
+
+    /// The ordered levels (without weights) of a fair policy; empty for FIFO.
+    pub fn levels(&self) -> Vec<Level> {
+        self.tiers().iter().map(|t| t.level).collect()
+    }
+
+    /// Depth (number of tiers); FIFO has depth 0.
     pub fn depth(&self) -> usize {
-        self.levels().len()
+        self.tiers().len()
     }
 
     /// Whether this policy performs any fairness arbitration at all.
@@ -124,75 +359,100 @@ impl Policy {
         matches!(self, Policy::Fair(_))
     }
 
-    /// Checks structural invariants:
-    ///
-    /// * a fair policy has at least one level,
-    /// * only the final level is a job-level split,
-    /// * levels above it follow the scope order group ⊇ user,
-    /// * no level repeats.
+    /// Checks the structural invariants (always satisfied for specs built
+    /// through the validating constructors; kept for defence in depth on
+    /// deserialized or hand-assembled values).
     pub fn validate(&self) -> Result<(), PolicyError> {
-        let levels = match self {
-            Policy::Fifo => return Ok(()),
-            Policy::Fair(levels) => levels,
-        };
-        if levels.is_empty() {
-            return Err(PolicyError::Empty);
+        match self {
+            Policy::Fifo => Ok(()),
+            Policy::Fair(spec) => spec.validate(),
         }
-        let last = *levels.last().expect("non-empty");
-        if !last.is_job_level() {
-            return Err(PolicyError::MissingJobLevel(last));
-        }
-        for (i, lvl) in levels.iter().enumerate() {
-            if lvl.is_job_level() && i + 1 != levels.len() {
-                return Err(PolicyError::JobLevelNotLast(*lvl));
-            }
-        }
-        for w in levels.windows(2) {
-            if w[0] == w[1] {
-                return Err(PolicyError::DuplicateLevel(w[0]));
-            }
-            // Group must enclose user: "user-then-group" is meaningless.
-            if w[0] == Level::User && w[1] == Level::Group {
-                return Err(PolicyError::BadNesting);
-            }
-        }
-        if levels.iter().filter(|l| **l == Level::Group).count() > 1
-            || levels.iter().filter(|l| **l == Level::User).count() > 1
-        {
-            return Err(PolicyError::DuplicateLevel(Level::User));
-        }
-        Ok(())
     }
 
-    /// Canonical policy-string form, e.g. `"group-user-size-fair"`.
+    /// Canonical policy-string form, e.g. `"group-user[2]-size-fair"`. This
+    /// is the `Display` form and round-trips through [`FromStr`].
     pub fn canonical_name(&self) -> String {
-        match self {
-            Policy::Fifo => "fifo".to_string(),
-            Policy::Fair(levels) => {
-                let mut s = String::new();
-                for l in levels {
-                    s.push_str(l.name());
-                    s.push('-');
-                }
-                s.push_str("fair");
-                s
-            }
-        }
+        self.to_string()
     }
 }
 
 impl fmt::Display for Policy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.canonical_name())
+        match self {
+            Policy::Fifo => f.write_str("fifo"),
+            Policy::Fair(spec) => spec.fmt(f),
+        }
+    }
+}
+
+/// Fluent builder for [`Policy`] values.
+///
+/// Scope methods ([`group`](PolicyBuilder::group), [`user`](PolicyBuilder::user)
+/// and their `_weighted` variants) append outer tiers; the terminal methods
+/// ([`job_fair`](PolicyBuilder::job_fair), [`size_fair`](PolicyBuilder::size_fair),
+/// [`priority_fair`](PolicyBuilder::priority_fair), or a bare
+/// [`build`](PolicyBuilder::build)) close the hierarchy with a job-level split
+/// and validate.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyBuilder {
+    tiers: Vec<WeightedLevel>,
+}
+
+impl PolicyBuilder {
+    /// Appends an arbitrary tier.
+    pub fn tier(mut self, tier: WeightedLevel) -> Self {
+        self.tiers.push(tier);
+        self
+    }
+
+    /// Appends an even group split.
+    pub fn group(self) -> Self {
+        self.tier(WeightedLevel::new(Level::Group))
+    }
+
+    /// Appends a group split whose first group is weighted `weight×`.
+    pub fn group_weighted(self, weight: u32) -> Self {
+        self.tier(WeightedLevel::weighted(Level::Group, weight))
+    }
+
+    /// Appends an even user split.
+    pub fn user(self) -> Self {
+        self.tier(WeightedLevel::new(Level::User))
+    }
+
+    /// Appends a user split whose first user is weighted `weight×`.
+    pub fn user_weighted(self, weight: u32) -> Self {
+        self.tier(WeightedLevel::weighted(Level::User, weight))
+    }
+
+    /// Closes with an even job split and validates.
+    pub fn job_fair(self) -> Result<Policy, PolicyError> {
+        self.tier(WeightedLevel::new(Level::Job)).build()
+    }
+
+    /// Closes with a node-count-proportional job split and validates.
+    pub fn size_fair(self) -> Result<Policy, PolicyError> {
+        self.tier(WeightedLevel::new(Level::Size)).build()
+    }
+
+    /// Closes with a priority-proportional job split and validates.
+    pub fn priority_fair(self) -> Result<Policy, PolicyError> {
+        self.tier(WeightedLevel::new(Level::Priority)).build()
+    }
+
+    /// Finishes the policy. An implicit even `job` split is appended when the
+    /// last tier is a scope split; an empty builder is an error.
+    pub fn build(self) -> Result<Policy, PolicyError> {
+        Ok(Policy::Fair(PolicySpec::new(self.tiers)?))
     }
 }
 
 /// Errors produced when constructing or parsing a [`Policy`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PolicyError {
-    /// A fair policy with no levels.
+    /// A fair policy with no tiers.
     Empty,
-    /// The final level does not resolve to jobs.
+    /// The final tier does not resolve to jobs.
     MissingJobLevel(Level),
     /// A job-level split appears before the final position.
     JobLevelNotLast(Level),
@@ -200,48 +460,96 @@ pub enum PolicyError {
     DuplicateLevel(Level),
     /// Scopes are nested inside-out (e.g. user before group).
     BadNesting,
+    /// A tier carries weight 0, which would starve every tenant in it.
+    ZeroWeight(Level),
     /// The policy string could not be parsed.
     Parse(String),
+    /// The target engine does not derive its arbitration from a [`Policy`]
+    /// (fixed-algorithm baselines), so a live policy swap cannot take effect.
+    UnsupportedEngine(&'static str),
 }
 
 impl fmt::Display for PolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PolicyError::Empty => write!(f, "fair policy must have at least one level"),
+            PolicyError::Empty => write!(f, "fair policy must have at least one tier"),
             PolicyError::MissingJobLevel(l) => write!(
                 f,
-                "last policy level must split onto jobs (job/size/priority), got '{l}'"
+                "last policy tier must split onto jobs (job/size/priority), got '{l}'"
             ),
             PolicyError::JobLevelNotLast(l) => {
-                write!(f, "job-level split '{l}' must be the last policy level")
+                write!(f, "job-level split '{l}' must be the last policy tier")
             }
-            PolicyError::DuplicateLevel(l) => write!(f, "policy level '{l}' appears more than once"),
-            PolicyError::BadNesting => write!(f, "group must enclose user, not the other way round"),
+            PolicyError::DuplicateLevel(l) => {
+                write!(f, "policy level '{l}' appears more than once")
+            }
+            PolicyError::BadNesting => {
+                write!(f, "group must enclose user, not the other way round")
+            }
+            PolicyError::ZeroWeight(l) => {
+                write!(f, "tier '{l}' has weight 0; weights must be at least 1")
+            }
             PolicyError::Parse(s) => write!(f, "cannot parse policy string '{s}'"),
+            PolicyError::UnsupportedEngine(name) => write!(
+                f,
+                "engine '{name}' does not derive arbitration from a policy; restart the server \
+                 with the themis engine to use policy swaps"
+            ),
         }
     }
 }
 
 impl std::error::Error for PolicyError {}
 
+fn parse_tier(token: &str, whole: &str) -> Result<WeightedLevel, PolicyError> {
+    let (name, weight) = match token.find('[') {
+        Some(open) => {
+            let close = token
+                .rfind(']')
+                .filter(|c| *c == token.len() - 1)
+                .ok_or_else(|| PolicyError::Parse(whole.to_string()))?;
+            let digits = &token[open + 1..close];
+            let weight: u32 = digits
+                .parse()
+                .map_err(|_| PolicyError::Parse(whole.to_string()))?;
+            (&token[..open], weight)
+        }
+        None => (token, 1),
+    };
+    let level = match name {
+        "group" => Level::Group,
+        "user" => Level::User,
+        "job" => Level::Job,
+        "size" => Level::Size,
+        "priority" | "prio" => Level::Priority,
+        _ => return Err(PolicyError::Parse(whole.to_string())),
+    };
+    if weight == 0 {
+        return Err(PolicyError::ZeroWeight(level));
+    }
+    Ok(WeightedLevel::weighted(level, weight))
+}
+
 impl FromStr for Policy {
     type Err = PolicyError;
 
-    /// Parses administrator-facing policy strings.
+    /// Parses administrator-facing policy strings; grammar in the
+    /// [module docs](self).
     ///
     /// Accepted forms (case-insensitive):
     ///
     /// * `fifo`
-    /// * `<level>-fair` for primitives: `job-fair`, `size-fair`, `user-fair`,
+    /// * `<tier>-fair` for primitives: `job-fair`, `size-fair`, `user-fair`,
     ///   `priority-fair`
-    /// * chained levels with optional `then` separators:
-    ///   `user-then-size-fair`, `user-size-fair`, `group-user-size-fair`,
-    ///   `group-then-user-then-job-fair`
+    /// * chained tiers with optional `then` separators and optional
+    ///   `[weight]` suffixes: `user-then-size-fair`, `user-size-fair`,
+    ///   `group-user-size-fair`, `user[2]-then-size-fair`,
+    ///   `group[3]-user-job[2]-fair`
     ///
     /// A trailing `-fair` is required for all fair policies. A policy that
     /// does not end in a job-level split gets an implicit even `job` split
     /// appended (so `user-fair` means "split across users, then evenly across
-    /// each user's jobs", as in §5.3.1).
+    /// each user's jobs", §5.3.1).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let norm = s.trim().to_ascii_lowercase();
         if norm == "fifo" {
@@ -249,41 +557,31 @@ impl FromStr for Policy {
         }
         let stripped = norm
             .strip_suffix("-fair")
-            .or_else(|| norm.strip_suffix("fair").filter(|r| r.is_empty()))
             .ok_or_else(|| PolicyError::Parse(s.to_string()))?;
         if stripped.is_empty() {
             return Err(PolicyError::Parse(s.to_string()));
         }
-        let mut levels = Vec::new();
+        let mut tiers = Vec::new();
         for tok in stripped.split('-') {
             if tok.is_empty() || tok == "then" {
                 continue;
             }
-            let lvl = match tok {
-                "group" => Level::Group,
-                "user" => Level::User,
-                "job" => Level::Job,
-                "size" => Level::Size,
-                "priority" | "prio" => Level::Priority,
-                _ => return Err(PolicyError::Parse(s.to_string())),
-            };
-            levels.push(lvl);
+            tiers.push(parse_tier(tok, s)?);
         }
-        if levels.is_empty() {
+        if tiers.is_empty() {
             return Err(PolicyError::Parse(s.to_string()));
         }
-        if !levels.last().expect("non-empty").is_job_level() {
-            levels.push(Level::Job);
-        }
-        let p = Policy::Fair(levels);
-        p.validate()?;
-        Ok(p)
+        Ok(Policy::Fair(PolicySpec::new(tiers)?))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fair(levels: &[Level]) -> Policy {
+        Policy::composite(levels.to_vec()).unwrap()
+    }
 
     #[test]
     fn parse_primitives() {
@@ -313,7 +611,7 @@ mod tests {
         );
         assert_eq!(
             "group-then-user-then-job-fair".parse::<Policy>().unwrap(),
-            Policy::Fair(vec![Level::Group, Level::User, Level::Job])
+            fair(&[Level::Group, Level::User, Level::Job])
         );
     }
 
@@ -321,7 +619,7 @@ mod tests {
     fn parse_case_insensitive_and_trimmed() {
         assert_eq!(
             "  User-Then-Job-Fair  ".parse::<Policy>().unwrap(),
-            Policy::Fair(vec![Level::User, Level::Job])
+            fair(&[Level::User, Level::Job])
         );
     }
 
@@ -330,7 +628,28 @@ mod tests {
         // "group-user-fair" means evenly across groups, users, then jobs.
         assert_eq!(
             "group-user-fair".parse::<Policy>().unwrap(),
-            Policy::Fair(vec![Level::Group, Level::User, Level::Job])
+            fair(&[Level::Group, Level::User, Level::Job])
+        );
+    }
+
+    #[test]
+    fn parse_weighted_tiers() {
+        let p: Policy = "user[2]-then-size-fair".parse().unwrap();
+        assert_eq!(
+            p.tiers(),
+            &[
+                WeightedLevel::weighted(Level::User, 2),
+                WeightedLevel::new(Level::Size)
+            ]
+        );
+        let p: Policy = "group[3]-user-job[2]-fair".parse().unwrap();
+        assert_eq!(
+            p.tiers(),
+            &[
+                WeightedLevel::weighted(Level::Group, 3),
+                WeightedLevel::new(Level::User),
+                WeightedLevel::weighted(Level::Job, 2),
+            ]
         );
     }
 
@@ -340,25 +659,105 @@ mod tests {
         assert!("fair".parse::<Policy>().is_err());
         assert!("banana-fair".parse::<Policy>().is_err());
         assert!("job".parse::<Policy>().is_err());
+        assert!("user[]-fair".parse::<Policy>().is_err());
+        assert!("user[x]-fair".parse::<Policy>().is_err());
+        assert!("user[2-fair".parse::<Policy>().is_err());
+        assert!("user[2]x-fair".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_zero_weight() {
+        assert!(matches!(
+            "user[0]-size-fair".parse::<Policy>(),
+            Err(PolicyError::ZeroWeight(Level::User))
+        ));
+        assert!(matches!(
+            "job[0]-fair".parse::<Policy>(),
+            Err(PolicyError::ZeroWeight(Level::Job))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_tiers() {
+        assert!(matches!(
+            "user-user-fair".parse::<Policy>(),
+            Err(PolicyError::DuplicateLevel(Level::User))
+        ));
+        assert!(matches!(
+            "group[2]-group-size-fair".parse::<Policy>(),
+            Err(PolicyError::DuplicateLevel(Level::Group))
+        ));
     }
 
     #[test]
     fn validate_rejects_job_level_in_middle() {
-        let p = Policy::Fair(vec![Level::Size, Level::User, Level::Job]);
-        assert!(matches!(p.validate(), Err(PolicyError::JobLevelNotLast(Level::Size))));
+        assert!(matches!(
+            PolicySpec::from_levels([Level::Size, Level::User, Level::Job]),
+            Err(PolicyError::JobLevelNotLast(Level::Size))
+        ));
     }
 
     #[test]
     fn validate_rejects_bad_nesting() {
-        let p = Policy::Fair(vec![Level::User, Level::Group, Level::Job]);
-        assert!(matches!(p.validate(), Err(PolicyError::BadNesting)));
+        assert!(matches!(
+            PolicySpec::from_levels([Level::User, Level::Group, Level::Job]),
+            Err(PolicyError::BadNesting)
+        ));
     }
 
     #[test]
     fn validate_rejects_duplicates_and_empty() {
-        assert!(Policy::Fair(vec![]).validate().is_err());
-        assert!(Policy::Fair(vec![Level::User, Level::User, Level::Job])
-            .validate()
+        assert!(PolicySpec::from_levels([]).is_err());
+        assert!(PolicySpec::from_levels([Level::User, Level::User, Level::Job]).is_err());
+    }
+
+    #[test]
+    fn constructors_share_one_canonical_form() {
+        // The normalisation satellite: every constructor ends in an explicit
+        // job-level tier, and parsing agrees with construction.
+        assert_eq!(Policy::user_fair().levels(), vec![Level::User, Level::Job]);
+        assert_eq!(Policy::size_fair().levels(), vec![Level::Size]);
+        assert_eq!(
+            Policy::composite(vec![Level::User]).unwrap(),
+            Policy::user_fair()
+        );
+        assert_eq!(
+            Policy::composite(vec![Level::Group, Level::User])
+                .unwrap()
+                .levels(),
+            vec![Level::Group, Level::User, Level::Job]
+        );
+        for p in [
+            Policy::job_fair(),
+            Policy::size_fair(),
+            Policy::user_fair(),
+            Policy::priority_fair(),
+            Policy::user_then_size_fair(),
+            Policy::group_user_size_fair(),
+        ] {
+            assert!(p.tiers().last().unwrap().level.is_job_level(), "{p}");
+        }
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = Policy::builder()
+            .group()
+            .user_weighted(2)
+            .size_fair()
+            .unwrap();
+        let parsed: Policy = "group-user[2]-size-fair".parse().unwrap();
+        assert_eq!(built, parsed);
+        assert_eq!(
+            Policy::builder().user().build().unwrap(),
+            Policy::user_fair()
+        );
+        assert_eq!(Policy::builder().job_fair().unwrap(), Policy::job_fair());
+        assert!(Policy::builder().build().is_err());
+        // A terminal after an explicit job tier is rejected.
+        assert!(Policy::builder()
+            .tier(WeightedLevel::new(Level::Job))
+            .size_fair()
             .is_err());
     }
 
@@ -371,6 +770,13 @@ mod tests {
             Policy::user_fair(),
             Policy::user_then_size_fair(),
             Policy::group_user_size_fair(),
+            Policy::builder().user_weighted(2).size_fair().unwrap(),
+            Policy::builder()
+                .group_weighted(4)
+                .user()
+                .job_fair()
+                .unwrap(),
+            "group[3]-user-job[2]-fair".parse::<Policy>().unwrap(),
         ] {
             let name = p.canonical_name();
             assert_eq!(name.parse::<Policy>().unwrap(), p, "round trip of {name}");
@@ -379,7 +785,22 @@ mod tests {
 
     #[test]
     fn display_matches_canonical() {
-        assert_eq!(Policy::group_user_size_fair().to_string(), "group-user-size-fair");
+        assert_eq!(
+            Policy::group_user_size_fair().to_string(),
+            "group-user-size-fair"
+        );
         assert_eq!(Policy::Fifo.to_string(), "fifo");
+        // The elided canonical form: explicit [user, job] prints as the
+        // administrator wrote it.
+        assert_eq!(Policy::user_fair().to_string(), "user-fair");
+        assert_eq!(
+            "user-job-fair".parse::<Policy>().unwrap().to_string(),
+            "user-fair"
+        );
+        // A weighted job tail is never elided.
+        assert_eq!(
+            "user-job[2]-fair".parse::<Policy>().unwrap().to_string(),
+            "user-job[2]-fair"
+        );
     }
 }

@@ -119,7 +119,13 @@ mod tests {
     fn op_kind_classification() {
         assert!(OpKind::Read.is_data());
         assert!(OpKind::Write.is_data());
-        for k in [OpKind::Open, OpKind::Stat, OpKind::Create, OpKind::Readdir, OpKind::Remove] {
+        for k in [
+            OpKind::Open,
+            OpKind::Stat,
+            OpKind::Create,
+            OpKind::Readdir,
+            OpKind::Remove,
+        ] {
             assert!(k.is_metadata());
             assert!(!k.is_data());
         }

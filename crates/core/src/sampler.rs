@@ -58,7 +58,11 @@ impl TokenSampler {
     /// The segment `[lo, hi)` assigned to `job`, if any.
     pub fn segment(&self, job: JobId) -> Option<(f64, f64)> {
         let idx = self.jobs.iter().position(|j| *j == job)?;
-        let lo = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+        let lo = if idx == 0 {
+            0.0
+        } else {
+            self.cumulative[idx - 1]
+        };
         Some((lo, self.cumulative[idx]))
     }
 

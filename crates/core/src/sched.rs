@@ -17,10 +17,15 @@ use crate::shares::{compute_shares, localize_shares, ShareMap};
 use rand::RngCore;
 use std::collections::{BTreeMap, VecDeque};
 
-/// A pluggable I/O arbitration algorithm.
+/// A pluggable I/O arbitration algorithm (implementation-side trait).
 ///
 /// Implementations must be deterministic given the same sequence of calls and
 /// the same random numbers, so that simulated experiments are reproducible.
+///
+/// Consumers (server core, simulator) drive algorithms through the
+/// object-safe [`PolicyEngine`](crate::engine::PolicyEngine) facade, which is
+/// blanket-implemented for every `Scheduler`; implement whichever trait reads
+/// better for your algorithm.
 pub trait Scheduler: Send {
     /// Short algorithm name used in logs and experiment output
     /// (e.g. `"themis"`, `"fifo"`, `"gift"`, `"tbf"`).
@@ -51,6 +56,14 @@ pub trait Scheduler: Send {
     /// Re-derives internal allocation state from the job table (possibly the
     /// λ-merged global table) and the sharing policy.
     fn refresh(&mut self, table: &JobTable, policy: &Policy);
+
+    /// Whether this scheduler derives its arbitration from the [`Policy`]
+    /// passed to [`refresh`](Scheduler::refresh). Fixed-algorithm baselines
+    /// (FIFO, GIFT, TBF) ignore the policy and return `false`, so a live
+    /// policy swap can be rejected instead of silently acknowledged.
+    fn honors_policy(&self) -> bool {
+        false
+    }
 
     /// Total number of queued requests.
     fn queued(&self) -> usize;
@@ -205,9 +218,7 @@ impl ThemisScheduler {
 
     fn rebuild_active_sampler(&mut self) {
         let backlogged = self.queues.backlogged();
-        let restricted = self
-            .shares
-            .restricted_to(|j| backlogged.contains(&j));
+        let restricted = self.shares.restricted_to(|j| backlogged.contains(&j));
         self.active_sampler = TokenSampler::from_shares(&restricted);
         self.active_dirty = false;
     }
@@ -229,6 +240,12 @@ impl Scheduler for ThemisScheduler {
     fn next(&mut self, _now_ns: u64, rng: &mut dyn RngCore) -> Option<IoRequest> {
         if self.queues.is_empty() {
             return None;
+        }
+        // A live swap to `fifo` keeps the engine (and its queues) in place
+        // but switches arbitration to strict arrival order.
+        if !self.policy.is_fair() {
+            self.active_dirty = true;
+            return self.queues.pop_oldest();
         }
         // Fast path: draw over the full assignment; serve if the drawn job
         // has work.
@@ -265,6 +282,10 @@ impl Scheduler for ThemisScheduler {
     fn on_complete(&mut self, _completion: &Completion) {
         // Statistical tokens are recycled implicitly: each service slot draws
         // a fresh token, so nothing to do here.
+    }
+
+    fn honors_policy(&self) -> bool {
+        true
     }
 
     fn refresh(&mut self, table: &JobTable, policy: &Policy) {

@@ -3,7 +3,7 @@
 
 use crate::entity::{GroupId, JobId, JobMeta, UserId};
 use crate::matrix::TransitionMatrix;
-use crate::policy::{Level, Policy};
+use crate::policy::{Level, Policy, WeightedLevel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -86,15 +86,17 @@ impl ShareMap {
 /// telemetry meaningful.
 ///
 /// For fair policies this evaluates the transition-matrix chain of Eq. 1 via
-/// [`build_level_matrices`] and [`TransitionMatrix::chain`].
+/// [`build_level_matrices`] and [`TransitionMatrix::chain`]. Weighted tiers
+/// ([`WeightedLevel`]) bias each scope's split toward its premium tenant as
+/// documented in [`crate::policy`].
 pub fn compute_shares(policy: &Policy, jobs: &[JobMeta]) -> ShareMap {
     if jobs.is_empty() {
         return ShareMap::empty();
     }
     match policy {
         Policy::Fifo => ShareMap::from_pairs(jobs.iter().map(|m| (m.job, 1.0))),
-        Policy::Fair(levels) => {
-            let matrices = build_level_matrices(levels, jobs);
+        Policy::Fair(spec) => {
+            let matrices = build_level_matrices(spec.tiers(), jobs);
             let product = TransitionMatrix::chain(&matrices)
                 .expect("fair policy always yields at least one level matrix");
             let row = product
@@ -105,12 +107,17 @@ pub fn compute_shares(policy: &Policy, jobs: &[JobMeta]) -> ShareMap {
     }
 }
 
-/// Builds the per-level transition matrices for a policy over a fixed job
+/// Builds the per-tier transition matrices for a policy over a fixed job
 /// list (columns of the final matrix are `jobs` in the given order).
+///
+/// A tier with weight `w > 1` multiplies the weight of each scope's premium
+/// tenant — the lowest-id entity (or job) within that scope — by `w`, so
+/// `user[2]` splits a scope's resource 2:1(:1…) in the premium user's favour
+/// while `w = 1` reproduces the unweighted split.
 ///
 /// The matrices returned satisfy [`TransitionMatrix::is_valid_level`] and the
 /// chain shape is `1 × |scopes₁| × … × |jobs|`.
-pub fn build_level_matrices(levels: &[Level], jobs: &[JobMeta]) -> Vec<TransitionMatrix> {
+pub fn build_level_matrices(tiers: &[WeightedLevel], jobs: &[JobMeta]) -> Vec<TransitionMatrix> {
     // Scope keys at the level above the current one. Root is a single scope.
     #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
     enum Scope {
@@ -120,17 +127,17 @@ pub fn build_level_matrices(levels: &[Level], jobs: &[JobMeta]) -> Vec<Transitio
     }
 
     let mut parent_scopes = vec![Scope::Root];
-    let mut matrices = Vec::with_capacity(levels.len());
+    let mut matrices = Vec::with_capacity(tiers.len());
 
-    for (idx, level) in levels.iter().enumerate() {
-        let is_last = idx + 1 == levels.len();
-        match level {
+    for (idx, tier) in tiers.iter().enumerate() {
+        let is_last = idx + 1 == tiers.len();
+        match tier.level {
             Level::Group | Level::User if !is_last => {
                 // Entities at this level: distinct groups/users, each owned by
                 // the scope of the previous level.
                 let mut entities: Vec<(Scope, Scope)> = Vec::new(); // (entity, parent)
                 for m in jobs {
-                    let entity = match level {
+                    let entity = match tier.level {
                         Level::Group => Scope::Group(m.group),
                         Level::User => Scope::User(m.user),
                         _ => unreachable!(),
@@ -150,7 +157,18 @@ pub fn build_level_matrices(levels: &[Level], jobs: &[JobMeta]) -> Vec<Transitio
                             .expect("parent scope present")
                     })
                     .collect();
-                let weights = vec![1.0; entities.len()];
+                let mut weights = vec![1.0; entities.len()];
+                if tier.weight > 1 {
+                    // Entities are sorted by id, so the first entity seen for
+                    // each parent scope is that scope's premium tenant.
+                    let mut premium_given = vec![false; parent_scopes.len()];
+                    for (i, p) in parent_idx.iter().enumerate() {
+                        if !premium_given[*p] {
+                            premium_given[*p] = true;
+                            weights[i] = f64::from(tier.weight);
+                        }
+                    }
+                }
                 matrices.push(TransitionMatrix::from_membership(
                     parent_scopes.len(),
                     &parent_idx,
@@ -159,7 +177,7 @@ pub fn build_level_matrices(levels: &[Level], jobs: &[JobMeta]) -> Vec<Transitio
                 parent_scopes = entities.into_iter().map(|(e, _)| e).collect();
             }
             _ => {
-                // Innermost level: distribute onto jobs.
+                // Innermost tier: distribute onto jobs.
                 let parent_idx: Vec<usize> = jobs
                     .iter()
                     .map(|m| {
@@ -170,21 +188,36 @@ pub fn build_level_matrices(levels: &[Level], jobs: &[JobMeta]) -> Vec<Transitio
                             .expect("parent scope present")
                     })
                     .collect();
-                let weights: Vec<f64> = jobs
+                let mut weights: Vec<f64> = jobs
                     .iter()
-                    .map(|m| match level {
+                    .map(|m| match tier.level {
                         Level::Size => f64::from(m.nodes),
                         Level::Priority => m.priority,
                         _ => 1.0,
                     })
                     .collect();
+                if tier.weight > 1 {
+                    // Premium job per parent scope: the lowest job id. The
+                    // job list is not necessarily id-sorted, so search
+                    // explicitly for determinism.
+                    for p in 0..parent_scopes.len() {
+                        let premium = jobs
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| parent_idx[*i] == p)
+                            .min_by_key(|(_, m)| m.job);
+                        if let Some((i, _)) = premium {
+                            weights[i] *= f64::from(tier.weight);
+                        }
+                    }
+                }
                 matrices.push(TransitionMatrix::from_membership(
                     parent_scopes.len(),
                     &parent_idx,
                     &weights,
                 ));
-                // Any further levels would be nonsensical (validated by
-                // Policy::validate), so stop here.
+                // Any further tiers would be nonsensical (validated by
+                // PolicySpec::validate), so stop here.
                 break;
             }
         }
@@ -192,10 +225,7 @@ pub fn build_level_matrices(levels: &[Level], jobs: &[JobMeta]) -> Vec<Transitio
 
     return matrices;
 
-    fn parent_of(
-        parent_scopes: &[Scope],
-        m: &JobMeta,
-    ) -> Scope {
+    fn parent_of(parent_scopes: &[Scope], m: &JobMeta) -> Scope {
         // A job's parent at the current level is whichever scope in the
         // previous level contains it. Scopes are disjoint by construction.
         for s in parent_scopes {
@@ -413,6 +443,73 @@ mod tests {
     }
 
     #[test]
+    fn weighted_user_tier_prefers_premium_user() {
+        // "user[2]-then-size-fair": the lowest-id user gets twice the share
+        // of each peer; within each user, jobs still split by node count.
+        let policy: Policy = "user[2]-then-size-fair".parse().unwrap();
+        let jobs = [meta(1, 1, 1, 1), meta(2, 1, 1, 3), meta(3, 2, 1, 5)];
+        let s = compute_shares(&policy, &jobs);
+        let b = ShareBreakdown::new(&s, &jobs);
+        assert!(close(b.per_user[&UserId(1)], 2.0 / 3.0));
+        assert!(close(b.per_user[&UserId(2)], 1.0 / 3.0));
+        assert!(close(s.share(JobId(1)), (2.0 / 3.0) * 0.25));
+        assert!(close(s.share(JobId(2)), (2.0 / 3.0) * 0.75));
+        assert!(close(s.share(JobId(3)), 1.0 / 3.0));
+        assert!(close(s.total(), 1.0));
+    }
+
+    #[test]
+    fn weighted_user_tier_with_three_users_is_2_1_1() {
+        let policy: Policy = "user[2]-fair".parse().unwrap();
+        let jobs = [meta(1, 1, 1, 1), meta(2, 2, 1, 1), meta(3, 3, 1, 1)];
+        let s = compute_shares(&policy, &jobs);
+        assert!(close(s.share(JobId(1)), 0.5));
+        assert!(close(s.share(JobId(2)), 0.25));
+        assert!(close(s.share(JobId(3)), 0.25));
+    }
+
+    #[test]
+    fn weighted_job_tier_multiplies_natural_weight() {
+        // "size[3]-fair" with nodes 2 and 2: premium job weight 3·2 = 6
+        // against 2 → 75/25.
+        let policy: Policy = "size[3]-fair".parse().unwrap();
+        let jobs = [meta(4, 1, 1, 2), meta(9, 2, 1, 2)];
+        let s = compute_shares(&policy, &jobs);
+        assert!(close(s.share(JobId(4)), 0.75));
+        assert!(close(s.share(JobId(9)), 0.25));
+    }
+
+    #[test]
+    fn weighted_job_tier_premium_is_per_scope() {
+        // Within each user the lowest job id is premium; users still split
+        // evenly, so weighting only rearranges shares inside a scope.
+        let policy: Policy = "user-job[2]-fair".parse().unwrap();
+        let jobs = [
+            meta(1, 1, 1, 1),
+            meta(2, 1, 1, 1),
+            meta(3, 2, 1, 1),
+            meta(4, 2, 1, 1),
+        ];
+        let s = compute_shares(&policy, &jobs);
+        assert!(close(s.share(JobId(1)), 0.5 * 2.0 / 3.0));
+        assert!(close(s.share(JobId(2)), 0.5 / 3.0));
+        assert!(close(s.share(JobId(3)), 0.5 * 2.0 / 3.0));
+        assert!(close(s.share(JobId(4)), 0.5 / 3.0));
+    }
+
+    #[test]
+    fn unit_weight_matches_unweighted_policy() {
+        let jobs = [meta(1, 1, 1, 4), meta(2, 2, 2, 1), meta(3, 2, 2, 3)];
+        let weighted: Policy = "group[1]-user[1]-size[1]-fair".parse().unwrap();
+        let plain = Policy::group_user_size_fair();
+        let a = compute_shares(&weighted, &jobs);
+        let b = compute_shares(&plain, &jobs);
+        for m in &jobs {
+            assert!(close(a.share(m.job), b.share(m.job)));
+        }
+    }
+
+    #[test]
     fn level_matrices_are_structurally_valid() {
         let jobs = [
             meta(1, 1, 1, 1),
@@ -426,7 +523,7 @@ mod tests {
             Policy::user_then_size_fair(),
             Policy::group_user_size_fair(),
         ] {
-            let mats = build_level_matrices(p.levels(), &jobs);
+            let mats = build_level_matrices(p.tiers(), &jobs);
             assert_eq!(mats.len(), p.depth(), "policy {p}");
             for m in &mats {
                 assert!(m.is_valid_level(), "invalid level matrix for {p}");

@@ -72,7 +72,11 @@ impl DeviceConfig {
 
     /// Scales both bandwidths by `factor` (used for heterogeneity studies).
     pub fn scaled(mut self, factor: f64) -> Self {
-        let f = if factor.is_finite() && factor > 0.0 { factor } else { 1.0 };
+        let f = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
         self.write_bw_bytes_per_sec *= f;
         self.read_bw_bytes_per_sec *= f;
         self

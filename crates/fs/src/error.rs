@@ -67,7 +67,9 @@ mod tests {
 
     #[test]
     fn errors_display_meaningfully() {
-        assert!(FsError::NotFound("/fs/a".into()).to_string().contains("/fs/a"));
+        assert!(FsError::NotFound("/fs/a".into())
+            .to_string()
+            .contains("/fs/a"));
         assert!(FsError::BadDescriptor(9).to_string().contains('9'));
         let e = FsError::WrongServer {
             path: "/fs/x".into(),

@@ -93,7 +93,9 @@ impl BurstBufferFs {
     pub fn with_stripe_config(n_servers: usize, default_stripe: StripeConfig) -> Self {
         let n = n_servers.max(1);
         let ring = HashRing::new(n);
-        let shards: Vec<RwLock<Shard>> = (0..n).map(|i| RwLock::new(Shard::new(ServerId(i)))).collect();
+        let shards: Vec<RwLock<Shard>> = (0..n)
+            .map(|i| RwLock::new(Shard::new(ServerId(i))))
+            .collect();
         let fs = BurstBufferFs {
             inner: Arc::new(FsInner {
                 ring,
@@ -144,7 +146,11 @@ impl BurstBufferFs {
 
     /// Total bytes stored across all shards.
     pub fn total_bytes_stored(&self) -> u64 {
-        self.inner.shards.iter().map(|s| s.read().bytes_stored()).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().bytes_stored())
+            .sum()
     }
 
     fn shard(&self, s: ServerId) -> &RwLock<Shard> {
@@ -187,8 +193,12 @@ impl BurstBufferFs {
             })?;
         }
         let parent_owner = self.meta_owner(&parent);
-        let name = path::file_name(&p).expect("non-root path has a name").to_string();
-        self.shard(parent_owner).write().add_dirent(&parent, &name)?;
+        let name = path::file_name(&p)
+            .expect("non-root path has a name")
+            .to_string();
+        self.shard(parent_owner)
+            .write()
+            .add_dirent(&parent, &name)?;
         Ok(())
     }
 
@@ -243,8 +253,12 @@ impl BurstBufferFs {
             })?;
         }
         let parent_owner = self.meta_owner(&parent);
-        let name = path::file_name(&p).expect("non-root path has a name").to_string();
-        self.shard(parent_owner).write().add_dirent(&parent, &name)?;
+        let name = path::file_name(&p)
+            .expect("non-root path has a name")
+            .to_string();
+        self.shard(parent_owner)
+            .write()
+            .add_dirent(&parent, &name)?;
         Ok(())
     }
 
@@ -298,7 +312,9 @@ impl BurstBufferFs {
         let parent = path::parent(&p).expect("non-root path has a parent");
         let name = path::file_name(&p).expect("non-root path has a name");
         let parent_owner = self.meta_owner(&parent);
-        self.shard(parent_owner).write().remove_dirent(&parent, name)?;
+        self.shard(parent_owner)
+            .write()
+            .remove_dirent(&parent, name)?;
         Ok(())
     }
 
@@ -315,12 +331,9 @@ impl BurstBufferFs {
             let within = chunk.offset % layout.config.stripe_size;
             let lo = (chunk.offset - offset) as usize;
             let hi = lo + chunk.len as usize;
-            self.shard(chunk.server).write().write_extent(
-                &p,
-                stripe,
-                within,
-                &data[lo..hi],
-            )?;
+            self.shard(chunk.server)
+                .write()
+                .write_extent(&p, stripe, within, &data[lo..hi])?;
         }
         let owner = self.meta_owner(&p);
         self.shard(owner)
@@ -409,7 +422,10 @@ impl BurstBufferFs {
         }
         let cursor = if flags.append { self.stat(&p)?.size } else { 0 };
         let fd = self.inner.next_fd.fetch_add(1, Ordering::Relaxed);
-        self.inner.fds.lock().insert(fd, OpenFile { path: p, cursor });
+        self.inner
+            .fds
+            .lock()
+            .insert(fd, OpenFile { path: p, cursor });
         Ok(fd)
     }
 
@@ -565,9 +581,7 @@ mod tests {
         assert_eq!(f.read_at("/big", 1000, 3000).unwrap(), payload[1000..4000]);
         // Data actually landed on more than one shard.
         let shards_with_data = (0..4)
-            .filter(|i| {
-                f.inner.shards[*i].read().bytes_stored() > 0
-            })
+            .filter(|i| f.inner.shards[*i].read().bytes_stored() > 0)
             .count();
         assert!(shards_with_data > 1);
     }

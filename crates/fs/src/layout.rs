@@ -114,7 +114,11 @@ mod tests {
 
     fn layout(n_servers: usize, stripe_size: u64, stripe_count: usize) -> FileLayout {
         let ring = HashRing::new(n_servers);
-        FileLayout::place("/data/file", StripeConfig::new(stripe_size, stripe_count), &ring)
+        FileLayout::place(
+            "/data/file",
+            StripeConfig::new(stripe_size, stripe_count),
+            &ring,
+        )
     }
 
     #[test]

@@ -224,13 +224,7 @@ impl Shard {
     /// Reads up to `len` bytes from stripe `stripe` of `path` starting at
     /// `offset_in_stripe`. Missing or short extents read as a short (possibly
     /// empty) buffer — the distributed layer clamps reads to the file size.
-    pub fn read_extent(
-        &self,
-        path: &str,
-        stripe: u64,
-        offset_in_stripe: u64,
-        len: u64,
-    ) -> Vec<u8> {
+    pub fn read_extent(&self, path: &str, stripe: u64, offset_in_stripe: u64, len: u64) -> Vec<u8> {
         match self.extents.get(&(path.to_string(), stripe)) {
             None => Vec::new(),
             Some(extent) => {

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 use themis_core::entity::JobMeta;
 use themis_core::job_table::JobTable;
+use themis_core::policy::Policy;
 use themis_fs::layout::StripeConfig;
 use themis_fs::store::StatInfo;
 
@@ -183,6 +184,23 @@ pub enum ClientMessage {
         /// The job this client belongs to.
         meta: JobMeta,
     },
+    /// Control plane: swap the sharing policy on a *live* server. The server
+    /// reconfigures its engine at the next scheduling epoch — shares move,
+    /// already-admitted requests are neither dropped nor reordered — and
+    /// acknowledges with [`ServerMessage::PolicyChanged`] carrying the new
+    /// epoch.
+    SetPolicy {
+        /// Request id chosen by the client, echoed in the acknowledgement.
+        request_id: u64,
+        /// The policy to switch to.
+        policy: Policy,
+    },
+    /// Control plane: query the policy currently in force; answered with
+    /// [`ServerMessage::PolicyChanged`] carrying the current epoch.
+    GetPolicy {
+        /// Request id chosen by the client, echoed in the reply.
+        request_id: u64,
+    },
 }
 
 /// A server→client message.
@@ -200,6 +218,28 @@ pub enum ServerMessage {
     Ack {
         /// Human-readable policy name in force on the server.
         policy: String,
+        /// Policy epoch in force (0 at boot, +1 per accepted `SetPolicy`).
+        epoch: u64,
+    },
+    /// Acknowledgement of a [`ClientMessage::SetPolicy`] /
+    /// [`ClientMessage::GetPolicy`]: the policy in force and its epoch.
+    PolicyChanged {
+        /// Echoed request id.
+        request_id: u64,
+        /// The policy now (still) in force.
+        policy: Policy,
+        /// Monotonic policy epoch; a `SetPolicy` bumps it by one.
+        epoch: u64,
+    },
+    /// A [`ClientMessage::SetPolicy`] was rejected: the policy failed
+    /// validation, or the server runs a fixed-algorithm engine (FIFO, GIFT,
+    /// TBF) that cannot honour policy swaps. The previously active policy
+    /// and epoch remain in force.
+    PolicyRejected {
+        /// Echoed request id.
+        request_id: u64,
+        /// Why the swap was rejected.
+        reason: String,
     },
 }
 
@@ -239,7 +279,7 @@ mod tests {
     }
 
     #[test]
-    fn messages_roundtrip_through_serde_json() {
+    fn messages_roundtrip_through_typed_endpoints() {
         let meta = JobMeta::new(1u64, 2u32, 3u32, 4);
         let msg = ClientMessage::Io {
             request_id: 99,
@@ -250,16 +290,44 @@ mod tests {
                 data: vec![1, 2, 3],
             },
         };
-        let json = serde_json::to_string(&msg).unwrap();
-        let back: ClientMessage = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, msg);
+        let (client, server) = crate::transport::channel_pair::<ClientMessage>();
+        client.send(msg.clone()).unwrap();
+        assert_eq!(server.recv().unwrap(), msg);
 
+        let (client, server) = crate::transport::channel_pair::<ServerMessage>();
         let reply = ServerMessage::IoReply {
             request_id: 99,
             reply: FsReply::Count(3),
         };
-        let json = serde_json::to_string(&reply).unwrap();
-        let back: ServerMessage = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, reply);
+        server.send(reply.clone()).unwrap();
+        assert_eq!(client.recv().unwrap(), reply);
+    }
+
+    #[test]
+    fn control_plane_messages_carry_policy_and_epoch() {
+        let policy: Policy = "user[2]-then-size-fair".parse().unwrap();
+        let set = ClientMessage::SetPolicy {
+            request_id: 7,
+            policy: policy.clone(),
+        };
+        match &set {
+            ClientMessage::SetPolicy {
+                request_id,
+                policy: p,
+            } => {
+                assert_eq!(*request_id, 7);
+                // Canonical DSL form: "then" separators are sugar.
+                assert_eq!(p.to_string(), "user[2]-size-fair");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let ack = ServerMessage::PolicyChanged {
+            request_id: 7,
+            policy,
+            epoch: 3,
+        };
+        let (client, server) = crate::transport::channel_pair::<ServerMessage>();
+        server.send(ack.clone()).unwrap();
+        assert_eq!(client.recv().unwrap(), ack);
     }
 }

@@ -42,13 +42,12 @@ impl LinkModel {
 
     /// Transfer time of a `bytes`-sized message over this link, in ns.
     pub fn transfer_ns(&self, bytes: u64) -> u64 {
-        let serialisation = if self.bandwidth_bytes_per_sec.is_finite()
-            && self.bandwidth_bytes_per_sec > 0.0
-        {
-            (bytes as f64 / self.bandwidth_bytes_per_sec * 1e9) as u64
-        } else {
-            0
-        };
+        let serialisation =
+            if self.bandwidth_bytes_per_sec.is_finite() && self.bandwidth_bytes_per_sec > 0.0 {
+                (bytes as f64 / self.bandwidth_bytes_per_sec * 1e9) as u64
+            } else {
+                0
+            };
         self.latency_ns + serialisation
     }
 }
@@ -66,8 +65,14 @@ pub fn channel_pair<T>() -> (Endpoint<T>, Endpoint<T>) {
     let (tx_ab, rx_ab) = unbounded();
     let (tx_ba, rx_ba) = unbounded();
     (
-        Endpoint { tx: tx_ab, rx: rx_ba },
-        Endpoint { tx: tx_ba, rx: rx_ab },
+        Endpoint {
+            tx: tx_ab,
+            rx: rx_ba,
+        },
+        Endpoint {
+            tx: tx_ba,
+            rx: rx_ab,
+        },
     )
 }
 
@@ -146,11 +151,11 @@ impl<T: Clone> PeerFabric<T> {
         for _ in 0..n {
             incoming.push(Vec::new());
         }
-        for j in 0..n {
+        for incoming_row in incoming.iter_mut() {
             let (tx, rx) = unbounded();
             receivers.push(rx);
-            for _i in 0..n {
-                incoming[j].push(tx.clone());
+            for _ in 0..n {
+                incoming_row.push(tx.clone());
             }
         }
         for (i, row) in senders.iter_mut().enumerate() {
@@ -247,15 +252,9 @@ mod tests {
     #[test]
     fn recv_timeout_returns_none_when_quiet() {
         let (a, b) = channel_pair::<u32>();
-        assert_eq!(
-            b.recv_timeout(Duration::from_millis(1)).unwrap(),
-            None
-        );
+        assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), None);
         a.send(7).unwrap();
-        assert_eq!(
-            b.recv_timeout(Duration::from_millis(10)).unwrap(),
-            Some(7)
-        );
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap(), Some(7));
     }
 
     #[test]

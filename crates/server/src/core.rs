@@ -7,11 +7,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use themis_baselines::Algorithm;
+use themis_core::engine::PolicyEngine;
 use themis_core::entity::JobMeta;
 use themis_core::job_table::JobTable;
-use themis_core::policy::Policy;
+use themis_core::policy::{Policy, PolicyError};
 use themis_core::request::{Completion, IoRequest};
-use themis_core::sched::Scheduler;
 use themis_core::shares::ShareMap;
 use themis_core::sync::{LambdaClock, SyncConfig};
 use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
@@ -40,7 +40,7 @@ impl Default for ServerConfig {
             device: DeviceConfig::default(),
             sync: SyncConfig::default(),
             heartbeat_timeout_ns: 5_000_000_000,
-            rng_seed: 0x7e11_05,
+            rng_seed: 0x007e_1105,
         }
     }
 }
@@ -65,7 +65,11 @@ pub struct ServerCore {
     server_index: usize,
     config: ServerConfig,
     policy: Policy,
-    scheduler: Box<dyn Scheduler>,
+    /// Monotonic counter bumped by every accepted [`ServerCore::set_policy`];
+    /// reported in control-plane acknowledgements so clients can tell which
+    /// allocation epoch their traffic is arbitrated under.
+    policy_epoch: u64,
+    engine: Box<dyn PolicyEngine>,
     jobs: JobTable,
     lambda: LambdaClock,
     device: DeviceTimeline,
@@ -81,17 +85,15 @@ pub struct ServerCore {
 impl ServerCore {
     /// Creates a server operating on `fs`.
     pub fn new(server_index: usize, fs: BurstBufferFs, config: ServerConfig) -> Self {
-        let policy = match &config.algorithm {
-            Algorithm::Themis(p) => p.clone(),
-            _ => Policy::job_fair(),
-        };
-        let scheduler = config.algorithm.build();
+        let policy = config.algorithm.initial_policy();
+        let engine = config.algorithm.build();
         let mut jobs = JobTable::with_heartbeat_timeout(config.heartbeat_timeout_ns);
         jobs.set_viewpoint(server_index);
         ServerCore {
             server_index,
             policy,
-            scheduler,
+            policy_epoch: 0,
+            engine,
             jobs,
             lambda: LambdaClock::new(config.sync),
             device: DeviceTimeline::new(DeviceModel::new(config.device)),
@@ -119,11 +121,31 @@ impl ServerCore {
         &self.policy
     }
 
-    /// Changes the sharing policy at runtime; shares are recomputed
-    /// immediately.
-    pub fn set_policy(&mut self, policy: Policy) {
+    /// The current policy epoch (0 at boot, +1 per [`ServerCore::set_policy`]).
+    pub fn policy_epoch(&self) -> u64 {
+        self.policy_epoch
+    }
+
+    /// Swaps the sharing policy on the live server and returns the new
+    /// epoch. The engine re-derives shares immediately; requests already
+    /// admitted stay queued in arrival order and are arbitrated under the
+    /// new allocation from the next worker poll — the epoch boundary moves
+    /// shares, never requests.
+    ///
+    /// Rejected (policy, epoch and engine untouched) when the policy fails
+    /// [`Policy::validate`] — defence in depth for values that arrived over
+    /// the wire — or when the running engine is a fixed-algorithm baseline
+    /// that would silently ignore the swap
+    /// ([`PolicyError::UnsupportedEngine`]).
+    pub fn set_policy(&mut self, policy: Policy) -> Result<u64, PolicyError> {
+        policy.validate()?;
+        if !self.engine.honors_policy() {
+            return Err(PolicyError::UnsupportedEngine(self.engine.name()));
+        }
         self.policy = policy;
-        self.scheduler.refresh(&self.jobs, &self.policy);
+        self.policy_epoch += 1;
+        self.engine.reconfigure(&self.jobs, &self.policy);
+        Ok(self.policy_epoch)
     }
 
     /// The configured λ interval.
@@ -133,7 +155,7 @@ impl ServerCore {
 
     /// Number of requests queued and not yet served.
     pub fn queued(&self) -> usize {
-        self.scheduler.queued()
+        self.engine.queued()
     }
 
     /// Number of completed requests.
@@ -143,7 +165,7 @@ impl ServerCore {
 
     /// The scheduler's current nominal share assignment.
     pub fn shares(&self) -> ShareMap {
-        self.scheduler.shares()
+        self.engine.shares()
     }
 
     /// The shared file system this server operates on.
@@ -156,19 +178,19 @@ impl ServerCore {
     /// Handles a client hello or heartbeat (§4.1 job monitor).
     pub fn heartbeat(&mut self, meta: JobMeta, now_ns: u64) {
         self.jobs.heartbeat(meta, now_ns);
-        self.scheduler.refresh(&self.jobs, &self.policy);
+        self.engine.reconfigure(&self.jobs, &self.policy);
     }
 
     /// Handles a clean client disconnect.
     pub fn client_bye(&mut self, meta: JobMeta, _now_ns: u64) {
         self.jobs.remove(meta.job);
-        self.scheduler.refresh(&self.jobs, &self.policy);
+        self.engine.reconfigure(&self.jobs, &self.policy);
     }
 
     /// Expires silent jobs and refreshes shares if anything changed.
     pub fn expire_jobs(&mut self, now_ns: u64) {
         if self.jobs.expire(now_ns) > 0 {
-            self.scheduler.refresh(&self.jobs, &self.policy);
+            self.engine.reconfigure(&self.jobs, &self.policy);
         }
     }
 
@@ -193,7 +215,7 @@ impl ServerCore {
             self.jobs.merge_from(t);
         }
         self.lambda.mark(now_ns);
-        self.scheduler.refresh(&self.jobs, &self.policy);
+        self.engine.reconfigure(&self.jobs, &self.policy);
     }
 
     // --------------------------------------------------------------- the IO path
@@ -207,7 +229,7 @@ impl ServerCore {
         self.next_seq += 1;
         let request = IoRequest::new(seq, meta, op.op_kind(), op.payload_bytes(), now_ns);
         self.pending.insert(seq, (request_id, op));
-        self.scheduler.enqueue(request);
+        self.engine.admit(request);
     }
 
     /// Runs the worker loop at `now_ns`: while the device has an idle worker
@@ -217,7 +239,7 @@ impl ServerCore {
     pub fn poll(&mut self, now_ns: u64) -> Vec<ReadyReply> {
         let mut ready = Vec::new();
         while self.device.has_idle_worker(now_ns) {
-            let Some(request) = self.scheduler.next(now_ns, &mut self.rng) else {
+            let Some(request) = self.engine.select(now_ns, &mut self.rng) else {
                 break;
             };
             let (request_id, op) = self
@@ -227,11 +249,11 @@ impl ServerCore {
             let (start_ns, finish_ns) = self.device.dispatch(&request, now_ns);
             let reply = self.execute(&op, finish_ns);
             let completion = Completion {
-                request: request,
+                request,
                 start_ns,
                 finish_ns,
             };
-            self.scheduler.on_complete(&completion);
+            self.engine.complete(&completion);
             self.completions += 1;
             ready.push(ReadyReply {
                 request_id,
@@ -270,9 +292,10 @@ impl ServerCore {
             ),
             FsOp::Close { fd } => from_res(self.fs.close(*fd), |_| FsReply::Ok),
             FsOp::Write { fd, data } => from_res(self.fs.write(*fd, data, now_ns), FsReply::Count),
-            FsOp::WriteAt { path, offset, data } => {
-                from_res(self.fs.write_at(path, *offset, data, now_ns), FsReply::Count)
-            }
+            FsOp::WriteAt { path, offset, data } => from_res(
+                self.fs.write_at(path, *offset, data, now_ns),
+                FsReply::Count,
+            ),
             FsOp::Read { fd, len } => from_res(self.fs.read(*fd, *len), FsReply::Data),
             FsOp::ReadAt { path, offset, len } => {
                 from_res(self.fs.read_at(path, *offset, *len), FsReply::Data)
@@ -290,7 +313,9 @@ impl ServerCore {
             FsOp::Readdir { path } => from_res(self.fs.readdir(path), FsReply::Entries),
             FsOp::Unlink { path } => from_res(self.fs.unlink(path, now_ns), |_| FsReply::Ok),
             FsOp::CreateStriped { path, stripe } => {
-                from_res(self.fs.create_striped(path, *stripe, now_ns), |_| FsReply::Ok)
+                from_res(self.fs.create_striped(path, *stripe, now_ns), |_| {
+                    FsReply::Ok
+                })
             }
         }
     }
@@ -339,9 +364,26 @@ mod tests {
             FsReply::Fd(fd) => fd,
             ref other => panic!("unexpected reply {other:?}"),
         };
-        s.submit(2, m, FsOp::Write { fd, data: vec![7u8; 4096] }, 1_000);
+        s.submit(
+            2,
+            m,
+            FsOp::Write {
+                fd,
+                data: vec![7u8; 4096],
+            },
+            1_000,
+        );
         s.submit(3, m, FsOp::Read { fd, len: 4096 }, 1_000);
-        s.submit(4, m, FsOp::Seek { fd, offset: 0, whence: 0 }, 1_000);
+        s.submit(
+            4,
+            m,
+            FsOp::Seek {
+                fd,
+                offset: 0,
+                whence: 0,
+            },
+            1_000,
+        );
         s.submit(5, m, FsOp::Read { fd, len: 4096 }, 1_000);
         let mut replies = s.poll(1_000);
         // Workers may still be busy with earlier requests at t=1 µs; keep
@@ -365,7 +407,14 @@ mod tests {
     fn errors_travel_back_as_replies() {
         let mut s = server(Policy::job_fair());
         let m = meta(1, 1);
-        s.submit(9, m, FsOp::Stat { path: "/missing".into() }, 0);
+        s.submit(
+            9,
+            m,
+            FsOp::Stat {
+                path: "/missing".into(),
+            },
+            0,
+        );
         let replies = s.poll(0);
         assert!(matches!(replies[0].reply, FsReply::Error(_)));
     }
@@ -427,9 +476,37 @@ mod tests {
         s.heartbeat(meta(1, 4), 0);
         s.heartbeat(meta(2, 1), 0);
         assert!((s.shares().share(JobId(1)) - 0.8).abs() < 1e-9);
-        s.set_policy(Policy::job_fair());
+        s.set_policy(Policy::job_fair()).unwrap();
         assert!((s.shares().share(JobId(1)) - 0.5).abs() < 1e-9);
         assert_eq!(s.policy(), &Policy::job_fair());
+    }
+
+    #[test]
+    fn set_policy_rejected_on_fixed_algorithm_engines() {
+        for algorithm in [
+            Algorithm::Fifo,
+            Algorithm::Gift(themis_baselines::GiftConfig::default()),
+            Algorithm::Tbf(themis_baselines::TbfConfig::default()),
+        ] {
+            let fs = BurstBufferFs::new(1);
+            let mut s = ServerCore::new(
+                0,
+                fs,
+                ServerConfig {
+                    algorithm: algorithm.clone(),
+                    ..ServerConfig::default()
+                },
+            );
+            let before = s.policy().clone();
+            let err = s.set_policy(Policy::size_fair()).unwrap_err();
+            assert!(
+                matches!(err, PolicyError::UnsupportedEngine(_)),
+                "{algorithm:?}: {err}"
+            );
+            // Nothing changed: epoch still 0, previous policy still in force.
+            assert_eq!(s.policy_epoch(), 0);
+            assert_eq!(s.policy(), &before);
+        }
     }
 
     #[test]
@@ -444,12 +521,7 @@ mod tests {
             },
         );
         let m = meta(5, 1);
-        s.submit(
-            1,
-            m,
-            FsOp::Mkdir { path: "/d".into() },
-            0,
-        );
+        s.submit(1, m, FsOp::Mkdir { path: "/d".into() }, 0);
         let replies = s.poll(0);
         assert!(matches!(replies[0].reply, FsReply::Ok));
         assert!(s.fs().exists("/d"));

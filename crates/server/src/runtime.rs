@@ -18,14 +18,20 @@ use themis_net::message::{ClientMessage, ServerMessage};
 use themis_net::transport::{channel_pair, Endpoint, PeerFabric};
 use themis_net::PeerMessage;
 
+/// A registrar message: a new connection id plus the server-side reply
+/// endpoint for it.
+type Registration = (usize, Endpoint<ServerMessage>);
+/// An inbound client message tagged with its connection id.
+type TaggedMessage = (usize, ClientMessage);
+
 /// A deployment of one or more ThemisIO servers over a shared burst-buffer
 /// file system.
 pub struct Deployment {
     fs: BurstBufferFs,
-    registrars: Vec<Sender<(usize, Endpoint<ServerMessage>)>>,
+    registrars: Vec<Sender<Registration>>,
     /// Paired with `registrars`: the client-facing endpoints handed to the
     /// registrar are created by `connect`.
-    inboxes: Vec<Sender<(usize, ClientMessage)>>,
+    inboxes: Vec<Sender<TaggedMessage>>,
     stop: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     n_servers: usize,
@@ -50,12 +56,8 @@ impl Deployment {
         let mut threads = Vec::with_capacity(n);
 
         for idx in 0..n {
-            let (reg_tx, reg_rx): (
-                Sender<(usize, Endpoint<ServerMessage>)>,
-                Receiver<(usize, Endpoint<ServerMessage>)>,
-            ) = unbounded();
-            let (in_tx, in_rx): (Sender<(usize, ClientMessage)>, Receiver<(usize, ClientMessage)>) =
-                unbounded();
+            let (reg_tx, reg_rx): (Sender<Registration>, Receiver<Registration>) = unbounded();
+            let (in_tx, in_rx): (Sender<TaggedMessage>, Receiver<TaggedMessage>) = unbounded();
             registrars.push(reg_tx);
             inboxes.push(in_tx);
             let core = ServerCore::new(idx, fs.clone(), config_for(idx));
@@ -130,7 +132,7 @@ pub struct ClientConnection {
     /// Index of the server this connection talks to.
     pub server_index: usize,
     conn_id: usize,
-    to_server: Sender<(usize, ClientMessage)>,
+    to_server: Sender<TaggedMessage>,
     from_server: Endpoint<ServerMessage>,
 }
 
@@ -156,15 +158,34 @@ fn now_ns(epoch: Instant) -> u64 {
     epoch.elapsed().as_nanos() as u64
 }
 
+/// Resolves `conn_id` to its reply endpoint, draining any registrations
+/// still queued in the registrar first. A client may register and send its
+/// first message back-to-back; without the re-drain the server could process
+/// the message while the registration is still in flight and silently drop
+/// the reply.
+fn ensure_client<'a>(
+    clients: &'a mut std::collections::HashMap<usize, ClientSlot>,
+    registrar: &Receiver<Registration>,
+    conn_id: usize,
+) -> Option<&'a ClientSlot> {
+    if !clients.contains_key(&conn_id) {
+        while let Ok((id, endpoint)) = registrar.try_recv() {
+            clients.insert(id, ClientSlot { endpoint });
+        }
+    }
+    clients.get(&conn_id)
+}
+
 fn server_loop(
     mut core: ServerCore,
-    registrar: Receiver<(usize, Endpoint<ServerMessage>)>,
-    inbox: Receiver<(usize, ClientMessage)>,
+    registrar: Receiver<Registration>,
+    inbox: Receiver<TaggedMessage>,
     fabric: Arc<PeerFabric<PeerMessage>>,
     stop: Arc<AtomicBool>,
 ) {
     let epoch = Instant::now();
-    let mut clients: std::collections::HashMap<usize, ClientSlot> = std::collections::HashMap::new();
+    let mut clients: std::collections::HashMap<usize, ClientSlot> =
+        std::collections::HashMap::new();
     // Map request-id → connection id, so replies go back to the right
     // connection. Request ids are made unique per connection by the client.
     let mut reply_route: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
@@ -186,14 +207,40 @@ fn server_loop(
             match msg {
                 ClientMessage::Hello { meta } | ClientMessage::Heartbeat { meta, .. } => {
                     core.heartbeat(meta, now);
-                    if let Some(c) = clients.get(&conn_id) {
+                    if let Some(c) = ensure_client(&mut clients, &registrar, conn_id) {
                         let _ = c.endpoint.send(ServerMessage::Ack {
                             policy: core.policy().to_string(),
+                            epoch: core.policy_epoch(),
                         });
                     }
                 }
                 ClientMessage::Bye { meta } => {
                     core.client_bye(meta, now);
+                }
+                ClientMessage::SetPolicy { request_id, policy } => {
+                    let reply = match core.set_policy(policy) {
+                        Ok(epoch) => ServerMessage::PolicyChanged {
+                            request_id,
+                            policy: core.policy().clone(),
+                            epoch,
+                        },
+                        Err(e) => ServerMessage::PolicyRejected {
+                            request_id,
+                            reason: e.to_string(),
+                        },
+                    };
+                    if let Some(c) = ensure_client(&mut clients, &registrar, conn_id) {
+                        let _ = c.endpoint.send(reply);
+                    }
+                }
+                ClientMessage::GetPolicy { request_id } => {
+                    if let Some(c) = ensure_client(&mut clients, &registrar, conn_id) {
+                        let _ = c.endpoint.send(ServerMessage::PolicyChanged {
+                            request_id,
+                            policy: core.policy().clone(),
+                            epoch: core.policy_epoch(),
+                        });
+                    }
                 }
                 ClientMessage::Io {
                     request_id,
@@ -210,7 +257,7 @@ fn server_loop(
         for ready in core.poll(now) {
             did_work = true;
             if let Some(conn_id) = reply_route.remove(&ready.request_id) {
-                if let Some(c) = clients.get(&conn_id) {
+                if let Some(c) = ensure_client(&mut clients, &registrar, conn_id) {
                     let _ = c.endpoint.send(ServerMessage::IoReply {
                         request_id: ready.request_id,
                         reply: ready.reply,
@@ -263,7 +310,9 @@ mod tests {
         conn.send(ClientMessage::Io {
             request_id: 1,
             meta,
-            op: FsOp::Mkdir { path: "/out".into() },
+            op: FsOp::Mkdir {
+                path: "/out".into(),
+            },
         });
         let reply = conn.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(matches!(

@@ -62,7 +62,9 @@ impl App {
             App::Wrf => "WRF",
             App::Specfem3d => "SPECFEM3D",
             App::ResNet50 { asynchronous: true } => "ResNet-50 (async IO)",
-            App::ResNet50 { asynchronous: false } => "ResNet-50 (sync IO)",
+            App::ResNet50 {
+                asynchronous: false,
+            } => "ResNet-50 (sync IO)",
             App::Bert => "BERT",
         }
     }
@@ -129,7 +131,11 @@ impl App {
                         bytes_per_op: 15 << 20, // a 128-image batch of ~116 KB images
                     },
                 )
-                .with_think_ns(if *asynchronous { 110_000_000 } else { 70_000_000 })
+                .with_think_ns(if *asynchronous {
+                    110_000_000
+                } else {
+                    70_000_000
+                })
                 .with_queue_depth(depth)
                 .with_max_ops(48)
             }
@@ -206,8 +212,7 @@ mod tests {
     #[test]
     fn namd_slows_badly_under_fifo_but_not_under_size_fair() {
         let (base_fifo, shared_fifo) = run_pair(App::Namd, Algorithm::Fifo);
-        let (base_fair, shared_fair) =
-            run_pair(App::Namd, Algorithm::Themis(Policy::size_fair()));
+        let (base_fair, shared_fair) = run_pair(App::Namd, Algorithm::Themis(Policy::size_fair()));
         let fifo_slow = slowdown(base_fifo, shared_fifo);
         let fair_slow = slowdown(base_fair, shared_fair);
         assert!(
@@ -218,7 +223,10 @@ mod tests {
             fair_slow < fifo_slow / 2.0,
             "size-fair slowdown {fair_slow} should be far below FIFO's {fifo_slow}"
         );
-        assert!(fair_slow < 0.10, "size-fair slowdown {fair_slow} should be small");
+        assert!(
+            fair_slow < 0.10,
+            "size-fair slowdown {fair_slow} should be small"
+        );
     }
 
     #[test]

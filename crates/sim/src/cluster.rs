@@ -15,13 +15,13 @@ use crate::workload::SimJob;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use themis_baselines::Algorithm;
+use themis_core::engine::PolicyEngine;
 use themis_core::entity::JobId;
 use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
 use themis_core::request::IoRequest;
-use themis_core::sched::Scheduler;
 use themis_core::sync::SyncConfig;
 use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
 
@@ -40,6 +40,22 @@ pub struct SimConfig {
     pub seed: u64,
     /// Safety cap on simulated time.
     pub max_sim_ns: u64,
+    /// Live policy swaps applied mid-run: at each [`PolicyChange::at_ns`]
+    /// every server reconfigures its engine to the new policy — the
+    /// simulated counterpart of the control plane's `SetPolicy`. Engines
+    /// that do not derive arbitration from a policy (FIFO, GIFT, TBF)
+    /// ignore scheduled swaps, mirroring the live control plane's
+    /// rejection.
+    pub policy_schedule: Vec<PolicyChange>,
+}
+
+/// One scheduled live policy swap inside a simulation.
+#[derive(Debug, Clone)]
+pub struct PolicyChange {
+    /// Virtual time at which the new policy takes effect.
+    pub at_ns: u64,
+    /// The policy to switch every server to.
+    pub policy: Policy,
 }
 
 impl Default for SimConfig {
@@ -51,6 +67,7 @@ impl Default for SimConfig {
             lambda: SyncConfig::default(),
             seed: 0xbeef,
             max_sim_ns: 3_600 * 1_000_000_000, // one simulated hour
+            policy_schedule: Vec::new(),
         }
     }
 }
@@ -87,7 +104,7 @@ impl SimResult {
 }
 
 struct SimServer {
-    scheduler: Box<dyn Scheduler>,
+    engine: Box<dyn PolicyEngine>,
     table: JobTable,
     device: DeviceTimeline,
     policy: Policy,
@@ -95,15 +112,11 @@ struct SimServer {
 
 impl SimServer {
     fn new(config: &SimConfig) -> Self {
-        let policy = match &config.algorithm {
-            Algorithm::Themis(p) => p.clone(),
-            _ => Policy::job_fair(),
-        };
         SimServer {
-            scheduler: config.algorithm.build(),
+            engine: config.algorithm.build(),
             table: JobTable::new(),
             device: DeviceTimeline::new(DeviceModel::new(config.device)),
-            policy,
+            policy: config.algorithm.initial_policy(),
         }
     }
 }
@@ -174,7 +187,25 @@ impl Simulation {
         let mut now: u64 = 0;
         let mut job_finish: BTreeMap<JobId, u64> = BTreeMap::new();
 
+        // Scheduled live policy swaps, applied in virtual-time order.
+        let mut policy_schedule = self.config.policy_schedule.clone();
+        policy_schedule.sort_by_key(|c| c.at_ns);
+        let mut next_change = 0usize;
+
         loop {
+            // 0. Apply scheduled policy swaps that are due: every server
+            // reconfigures its engine in place (queues untouched), exactly
+            // like a control-plane SetPolicy at this virtual instant.
+            while next_change < policy_schedule.len() && policy_schedule[next_change].at_ns <= now {
+                let change = &policy_schedule[next_change];
+                for server in servers.iter_mut() {
+                    server.policy = change.policy.clone();
+                    let policy = server.policy.clone();
+                    server.engine.reconfigure(&server.table, &policy);
+                }
+                next_change += 1;
+            }
+
             // 1. Apply completions that have happened by `now`.
             while let Some(Reverse((finish, rank_idx))) = completions.peek().copied() {
                 if finish > now {
@@ -197,8 +228,8 @@ impl Simulation {
                     }
                     let exhausted = job
                         .max_ops_per_rank
-                        .map_or(false, |max| rank.ops_issued >= max)
-                        || job.end_ns.map_or(false, |end| now >= end);
+                        .is_some_and(|max| rank.ops_issued >= max)
+                        || job.end_ns.is_some_and(|end| now >= end);
                     exhausted && rank.inflight == 0
                 });
                 if all_finite_done && now > 0 {
@@ -226,8 +257,7 @@ impl Simulation {
                     let (kind, bytes) = job.pattern.op(rank.ops_issued);
                     let server_idx = match &job.server_affinity {
                         Some(list) if !list.is_empty() => {
-                            list[(rank.rank_id + rank.ops_issued as usize) % list.len()]
-                                % n_servers
+                            list[(rank.rank_id + rank.ops_issued as usize) % list.len()] % n_servers
                         }
                         _ => (rank.rank_id + rank.ops_issued as usize) % n_servers,
                     };
@@ -236,12 +266,12 @@ impl Simulation {
                     server.table.observe_request(job.meta, now);
                     if newly_seen {
                         let policy = server.policy.clone();
-                        server.scheduler.refresh(&server.table, &policy);
+                        server.engine.reconfigure(&server.table, &policy);
                     }
                     let req = IoRequest::new(next_seq, job.meta, kind, bytes, now);
                     seq_to_rank.insert(next_seq, rank_idx);
                     next_seq += 1;
-                    server.scheduler.enqueue(req);
+                    server.engine.admit(req);
                     rank.ops_issued += 1;
                     rank.inflight += 1;
                 }
@@ -250,7 +280,7 @@ impl Simulation {
             // 3. Dispatch queued work on every server with an idle worker.
             for server in servers.iter_mut() {
                 while server.device.has_idle_worker(now) {
-                    let Some(req) = server.scheduler.next(now, &mut rng) else {
+                    let Some(req) = server.engine.select(now, &mut rng) else {
                         break;
                     };
                     let (start, finish) = server.device.dispatch(&req, now);
@@ -259,7 +289,7 @@ impl Simulation {
                         start_ns: start,
                         finish_ns: finish,
                     };
-                    server.scheduler.on_complete(&completion);
+                    server.engine.complete(&completion);
                     metrics.record(ServiceRecord {
                         job: req.meta.job,
                         bytes: req.bytes,
@@ -280,7 +310,7 @@ impl Simulation {
                 for server in servers.iter_mut() {
                     server.table.merge_from(&merged);
                     let policy = server.policy.clone();
-                    server.scheduler.refresh(&server.table, &policy);
+                    server.engine.reconfigure(&server.table, &policy);
                 }
                 lambda.mark(now);
             }
@@ -294,20 +324,20 @@ impl Simulation {
                 let job = &self.jobs[ranks[rank_idx].job_idx];
                 let exhausted = job
                     .max_ops_per_rank
-                    .map_or(false, |max| rank.ops_issued >= max)
-                    || job.end_ns.map_or(false, |end| now >= end);
+                    .is_some_and(|max| rank.ops_issued >= max)
+                    || job.end_ns.is_some_and(|end| now >= end);
                 if !exhausted && rank.inflight < job.queue_depth && rank.next_ready_ns > now {
                     next = next.min(rank.next_ready_ns);
                 }
             }
             for server in servers.iter() {
-                if server.scheduler.queued() > 0 {
+                if server.engine.queued() > 0 {
                     if server.device.has_idle_worker(now) {
                         // Scheduler declined to release work (throttling):
                         // wake up when it says something becomes eligible, or
                         // at the next λ round as a fallback.
                         let eligible = server
-                            .scheduler
+                            .engine
                             .next_eligible_ns(now)
                             .unwrap_or(now + 1_000_000);
                         next = next.min(eligible.max(now + 1));
@@ -317,10 +347,16 @@ impl Simulation {
                 }
             }
             if n_servers > 1
-                && (completions.peek().is_some()
-                    || servers.iter().any(|s| s.scheduler.queued() > 0))
+                && (completions.peek().is_some() || servers.iter().any(|s| s.engine.queued() > 0))
             {
                 next = next.min(lambda.next_round_ns());
+            }
+
+            // A pending policy swap caps the jump so it lands at the right
+            // virtual instant (it never keeps an otherwise-finished
+            // simulation alive).
+            if next != u64::MAX && next_change < policy_schedule.len() {
+                next = next.min(policy_schedule[next_change].at_ns.max(now + 1));
             }
 
             if next == u64::MAX {
@@ -382,7 +418,10 @@ mod tests {
         let total = result.metrics.total_bytes(JobId(1)) as f64;
         let secs = result.sim_end_ns as f64 / 1e9;
         let gbps = total / secs / 1e9;
-        assert!(gbps > 8.5, "throughput {gbps} GB/s too far below device limit");
+        assert!(
+            gbps > 8.5,
+            "throughput {gbps} GB/s too far below device limit"
+        );
         assert!(gbps <= 10.5, "throughput {gbps} GB/s exceeds device limit");
     }
 
@@ -417,17 +456,20 @@ mod tests {
             ..SimConfig::new(1, alg)
         };
         let fifo = Simulation::new(mk(Algorithm::Fifo), vec![hog.clone(), victim.clone()]).run();
-        let fair = Simulation::new(
-            mk(Algorithm::Themis(Policy::job_fair())),
-            vec![hog, victim],
-        )
-        .run();
+        let fair =
+            Simulation::new(mk(Algorithm::Themis(Policy::job_fair())), vec![hog, victim]).run();
         let fifo_ratio = fifo.metrics.total_bytes(JobId(1)) as f64
             / fifo.metrics.total_bytes(JobId(2)).max(1) as f64;
         let fair_ratio = fair.metrics.total_bytes(JobId(1)) as f64
             / fair.metrics.total_bytes(JobId(2)).max(1) as f64;
-        assert!(fifo_ratio > 5.0, "FIFO ratio {fifo_ratio} should reflect queue dominance");
-        assert!(fair_ratio < 2.0, "job-fair ratio {fair_ratio} should be near 1");
+        assert!(
+            fifo_ratio > 5.0,
+            "FIFO ratio {fifo_ratio} should reflect queue dominance"
+        );
+        assert!(
+            fair_ratio < 2.0,
+            "job-fair ratio {fair_ratio} should be near 1"
+        );
     }
 
     #[test]
@@ -467,7 +509,10 @@ mod tests {
         let result = Simulation::new(config, vec![job]).run();
         // 4 ranks × 64 MiB = 256 MiB at ~10 GB/s ≈ 27 ms.
         let tts = result.time_to_solution_secs(JobId(1));
-        assert!(tts > 0.01 && tts < 0.2, "time to solution {tts}s out of range");
+        assert!(
+            tts > 0.01 && tts < 0.2,
+            "time to solution {tts}s out of range"
+        );
         assert_eq!(result.metrics.total_bytes(JobId(1)), 256 << 20);
     }
 
@@ -498,6 +543,36 @@ mod tests {
         assert!((b1 / total - 0.5).abs() < 0.1, "job1 share {}", b1 / total);
         assert!((b2 / total - 0.25).abs() < 0.1, "job2 share {}", b2 / total);
         assert!((b3 / total - 0.25).abs() < 0.1, "job3 share {}", b3 / total);
+    }
+
+    #[test]
+    fn scheduled_policy_swap_shifts_bandwidth_split() {
+        // Live reconfiguration: start job-fair (1:1), swap to size-fair (4:1)
+        // at t = 1 s. The per-second byte split must move from ≈1:1 to ≈4:1
+        // within one sampling interval of the swap.
+        let big = SimJob::write_read_cycle(meta(1, 1, 4), 64).running_for(2 * NS_PER_SEC);
+        let small = SimJob::write_read_cycle(meta(2, 2, 1), 64).running_for(2 * NS_PER_SEC);
+        let mut config = SimConfig {
+            device: fast_device(),
+            ..SimConfig::new(1, Algorithm::Themis(Policy::job_fair()))
+        };
+        config.policy_schedule = vec![PolicyChange {
+            at_ns: NS_PER_SEC,
+            policy: Policy::size_fair(),
+        }];
+        let result = Simulation::new(config, vec![big, small]).run();
+        let series = result.metrics.throughput_series(NS_PER_SEC / 4);
+        let per_quarter =
+            |job: JobId| -> Vec<f64> { series.per_job[&job].iter().map(|b| *b as f64).collect() };
+        let b1 = per_quarter(JobId(1));
+        let b2 = per_quarter(JobId(2));
+        // Before the swap (quarters 0-3): job-fair, ratio near 1.
+        let before: f64 = b1[..4].iter().sum::<f64>() / b2[..4].iter().sum::<f64>().max(1.0);
+        assert!((before - 1.0).abs() < 0.35, "pre-swap ratio {before}");
+        // After the swap, skipping the boundary quarter: size-fair, ratio
+        // near 4.
+        let after: f64 = b1[5..8].iter().sum::<f64>() / b2[5..8].iter().sum::<f64>().max(1.0);
+        assert!((after - 4.0).abs() < 1.0, "post-swap ratio {after}");
     }
 
     #[test]

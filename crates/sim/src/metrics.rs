@@ -184,11 +184,15 @@ impl ThroughputSeries {
     pub fn share_series(&self, job: JobId) -> Vec<f64> {
         let mine = self.per_job.get(&job);
         let mut out = vec![0.0; self.intervals];
-        for i in 0..self.intervals {
-            let total: u64 = self.per_job.values().map(|v| v.get(i).copied().unwrap_or(0)).sum();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let total: u64 = self
+                .per_job
+                .values()
+                .map(|v| v.get(i).copied().unwrap_or(0))
+                .sum();
             if total > 0 {
                 let m = mine.and_then(|v| v.get(i)).copied().unwrap_or(0);
-                out[i] = m as f64 / total as f64;
+                *slot = m as f64 / total as f64;
             }
         }
         out
@@ -203,7 +207,7 @@ pub fn median(values: &[f64]) -> f64 {
     let mut v = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = v.len() / 2;
-    if v.len() % 2 == 0 {
+    if v.len().is_multiple_of(2) {
         (v[mid - 1] + v[mid]) / 2.0
     } else {
         v[mid]

@@ -19,8 +19,10 @@ fn time_to_solution(app: App, algorithm: Algorithm, with_background: bool) -> f6
 }
 
 fn main() {
-    println!("{:<22} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "application", "baseline s", "FIFO s", "FIFO slow%", "size-fair s", "fair slow%");
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "application", "baseline s", "FIFO s", "FIFO slow%", "size-fair s", "fair slow%"
+    );
     for app in App::all() {
         let base = time_to_solution(app, Algorithm::Fifo, false);
         let fifo = time_to_solution(app, Algorithm::Fifo, true);

@@ -18,21 +18,25 @@ fn run_policy(policy: Policy) {
             .starting_at(1_500_000_000)
             .running_for(3_000_000_000),
     ];
-    let result = Simulation::new(
-        SimConfig::new(1, Algorithm::Themis(policy.clone())),
-        jobs,
-    )
-    .run();
+    let result = Simulation::new(SimConfig::new(1, Algorithm::Themis(policy.clone())), jobs).run();
     let series = result.metrics.throughput_series(1_000_000_000);
     println!("\n=== policy: {policy} ===");
-    println!("  4-node job median throughput: {:8.0} MB/s", series.median_active_mb_per_sec(JobId(1)));
-    println!("  1-node job median throughput: {:8.0} MB/s", series.median_active_mb_per_sec(JobId(2)));
-    println!("  second-by-second aggregate  : {:?}",
+    println!(
+        "  4-node job median throughput: {:8.0} MB/s",
+        series.median_active_mb_per_sec(JobId(1))
+    );
+    println!(
+        "  1-node job median throughput: {:8.0} MB/s",
+        series.median_active_mb_per_sec(JobId(2))
+    );
+    println!(
+        "  second-by-second aggregate  : {:?}",
         series
             .aggregate_mb_per_sec()
             .iter()
             .map(|v| *v as u64)
-            .collect::<Vec<_>>());
+            .collect::<Vec<_>>()
+    );
 }
 
 fn main() {
@@ -41,8 +45,46 @@ fn main() {
         Policy::job_fair(),
         Policy::user_fair(),
         "user-then-size-fair".parse().unwrap(),
+        // Weighted tiers: user 1 (the premium tenant) gets 2x user 2's share.
+        "user[2]-then-size-fair".parse().unwrap(),
     ] {
         run_policy(policy);
     }
-    println!("\nUnder size-fair the 4-node job gets ~4x the 1-node job; under job-fair they are equal.");
+    println!(
+        "\nUnder size-fair the 4-node job gets ~4x the 1-node job; under job-fair they are equal."
+    );
+    println!("Under user[2]-then-size-fair, user 1 receives twice user 2's bandwidth.");
+
+    // Live reconfiguration in the simulator: start job-fair, swap to
+    // size-fair mid-run, exactly like a control-plane SetPolicy.
+    let big = JobMeta::new(1u64, 1u32, 1u32, 4);
+    let small = JobMeta::new(2u64, 2u32, 1u32, 1);
+    let jobs = vec![
+        SimJob::write_read_cycle(big, 224).running_for(6_000_000_000),
+        SimJob::write_read_cycle(small, 56).running_for(6_000_000_000),
+    ];
+    let mut config = SimConfig::new(1, Algorithm::Themis(Policy::job_fair()));
+    config.policy_schedule = vec![themisio::sim::PolicyChange {
+        at_ns: 3_000_000_000,
+        policy: Policy::size_fair(),
+    }];
+    let result = Simulation::new(config, jobs).run();
+    let series = result.metrics.throughput_series(1_000_000_000);
+    println!("\n=== live swap: job-fair -> size-fair at t=3s ===");
+    println!(
+        "  4-node job per-second MB/s: {:?}",
+        series
+            .mb_per_sec(JobId(1))
+            .iter()
+            .map(|v| *v as u64)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  1-node job per-second MB/s: {:?}",
+        series
+            .mb_per_sec(JobId(2))
+            .iter()
+            .map(|v| *v as u64)
+            .collect::<Vec<_>>()
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
         algorithm: Algorithm::Themis(Policy::size_fair()),
         ..ServerConfig::default()
     });
-    println!("started {} ThemisIO servers (size-fair policy)", deployment.server_count());
+    println!(
+        "started {} ThemisIO servers (size-fair policy)",
+        deployment.server_count()
+    );
 
     // 2. Create a client for a 4-node job owned by user 1001 / group 42.
     //    The job metadata travels inside every I/O request, which is all the
@@ -56,10 +59,30 @@ fn main() {
         "checkpoint.dat: {} bytes across {} stripe(s)",
         st.size, st.stripe_count
     );
-    println!("directory listing: {:?}", client.readdir("/fs/run-001").unwrap());
+    println!(
+        "directory listing: {:?}",
+        client.readdir("/fs/run-001").unwrap()
+    );
 
     // 4. Paths outside the namespace are not intercepted.
     assert!(client.stat("/home/user/notes.txt").is_err());
+
+    // 5. Live policy reconfiguration: swap the sharing policy on every
+    //    running server without restarting anything. The weighted DSL string
+    //    gives the first user in each scope twice the share of its peers.
+    let weighted: Policy = "user[2]-then-size-fair".parse().expect("valid DSL");
+    let epochs = client.set_policy(&weighted).expect("set policy");
+    println!("switched live to '{weighted}' (per-server epochs {epochs:?})");
+    let (active, epoch) = client.get_policy(0).expect("get policy");
+    println!("server 0 now arbitrates under '{active}' at epoch {epoch}");
+    assert_eq!(active, weighted);
+
+    // The same policy can be built fluently instead of parsed.
+    let built = Policy::builder()
+        .user_weighted(2)
+        .size_fair()
+        .expect("valid policy");
+    assert_eq!(built, weighted);
 
     client.bye();
     deployment.shutdown();

@@ -1,0 +1,179 @@
+//! Offline stand-in for `criterion`: enough API for the workspace's
+//! `cargo bench` targets to compile and produce coarse wall-clock numbers
+//! (median of a fixed number of timed batches). No statistics, plots or
+//! regression tracking — just a smoke-runner so benches stay honest in an
+//! environment without crates.io access.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    batches: u32,
+    iters_per_batch: u32,
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            batches: 7,
+            iters_per_batch: 64,
+            median_ns: 0.0,
+        }
+    }
+
+    /// Times `routine`, storing the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut samples = Vec::with_capacity(self.batches as usize);
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / f64::from(self.iters_per_batch));
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(group: &str, name: &str, median_ns: f64) {
+    if median_ns >= 1_000_000.0 {
+        println!("{group}/{name}: {:.3} ms/iter", median_ns / 1e6);
+    } else if median_ns >= 1_000.0 {
+        println!("{group}/{name}: {:.3} µs/iter", median_ns / 1e3);
+    } else {
+        println!("{group}/{name}: {median_ns:.1} ns/iter");
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count (accepted for API compatibility; the shim uses
+    /// a fixed batch plan).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher, input);
+        report(&self.name, &id.name, bencher.median_ns);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), bencher.median_ns);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report("bench", &name.to_string(), bencher.median_ns);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

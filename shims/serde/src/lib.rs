@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this shim provides just enough of serde's surface for the workspace to
+//! compile: the `Serialize`/`Deserialize` marker traits and the matching
+//! no-op derive macros. Nothing in the workspace performs byte-level
+//! serialization today — wire messages travel through typed in-process
+//! channels — so the derives only have to exist, not generate codecs. If the
+//! workspace is ever built against the real serde, this shim can be deleted
+//! from `[workspace.dependencies]` without touching any other file.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Implemented for every type so
+/// generic bounds written against it keep compiling.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Implemented for every type so
+/// generic bounds written against it keep compiling.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

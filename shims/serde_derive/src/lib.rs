@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The shim's traits are blanket-implemented for every type, so the derive
+//! macros have nothing to generate — they exist purely so that
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace keep
+//! compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Derives the shim's blanket-implemented `Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the shim's blanket-implemented `Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

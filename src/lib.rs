@@ -53,7 +53,9 @@ pub mod prelude {
     pub use themis_client::{Namespace, ServerLink, ThemisClient};
     pub use themis_core::prelude::*;
     pub use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
-    pub use themis_fs::{BurstBufferFs, FsError, HashRing, OpenFlags, ServerId, StripeConfig, Whence};
+    pub use themis_fs::{
+        BurstBufferFs, FsError, HashRing, OpenFlags, ServerId, StripeConfig, Whence,
+    };
     pub use themis_net::{ClientMessage, FsOp, FsReply, ServerMessage};
     pub use themis_server::{Deployment, ServerConfig, ServerCore};
     pub use themis_sim::{App, OpPattern, SimConfig, SimJob, SimResult, Simulation};

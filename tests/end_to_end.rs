@@ -16,7 +16,9 @@ impl ServerLink for Link {
 }
 
 fn client_for(dep: &Deployment, meta: JobMeta) -> ThemisClient<Link> {
-    let links = (0..dep.server_count()).map(|i| Link(dep.connect(i))).collect();
+    let links = (0..dep.server_count())
+        .map(|i| Link(dep.connect(i)))
+        .collect();
     ThemisClient::new(meta, links, Namespace::default_fs())
 }
 
@@ -39,7 +41,12 @@ fn two_clients_share_a_deployment() {
     alice.create_striped("/fs/alice/ckpt", 1 << 20, 2).unwrap();
     let payload: Vec<u8> = (0..3 << 20).map(|i| (i % 251) as u8).collect();
     alice.write_at("/fs/alice/ckpt", 0, &payload).unwrap();
-    assert_eq!(alice.read_at("/fs/alice/ckpt", 0, payload.len() as u64).unwrap(), payload);
+    assert_eq!(
+        alice
+            .read_at("/fs/alice/ckpt", 0, payload.len() as u64)
+            .unwrap(),
+        payload
+    );
 
     let fd = bob.open("/fs/bob/log.txt", true, true, false).unwrap();
     bob.write(fd, b"hello from bob").unwrap();

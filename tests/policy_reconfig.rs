@@ -1,0 +1,340 @@
+//! Integration tests for the redesigned policy API: live `SetPolicy` swaps
+//! on a running server (the epoch-boundary contract), the control-plane
+//! messages end to end through the threaded deployment, and the weighted
+//! policy DSL's scheduling behaviour.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+use themisio::net::{ClientMessage, FsOp, FsReply, ServerMessage};
+use themisio::prelude::*;
+use themisio::sim::metrics::NS_PER_SEC;
+use themisio::sim::PolicyChange;
+
+fn fast_device() -> DeviceConfig {
+    DeviceConfig {
+        write_bw_bytes_per_sec: 10.0e9,
+        read_bw_bytes_per_sec: 10.0e9,
+        per_op_overhead_ns: 1_000,
+        metadata_op_ns: 3_000,
+        workers: 4,
+    }
+}
+
+/// A live `SetPolicy` swap mid-run changes the observed per-job service
+/// split within one scheduling epoch, and no admitted request is dropped or
+/// reordered across the swap.
+#[test]
+fn live_policy_swap_keeps_requests_and_moves_shares() {
+    let fs = BurstBufferFs::new(1);
+    let mut server = ServerCore::new(
+        0,
+        fs,
+        ServerConfig {
+            algorithm: Algorithm::Themis(Policy::job_fair()),
+            device: fast_device(),
+            ..ServerConfig::default()
+        },
+    );
+    let big = JobMeta::new(1u64, 1u32, 1u32, 4);
+    let small = JobMeta::new(2u64, 2u32, 1u32, 1);
+    server.heartbeat(big, 0);
+    server.heartbeat(small, 0);
+
+    // Open one file per job.
+    let mut open_fd = |meta: JobMeta, path: &str, rid: u64| -> u64 {
+        server.submit(
+            rid,
+            meta,
+            FsOp::Open {
+                path: path.into(),
+                create: true,
+                truncate: true,
+                append: false,
+            },
+            0,
+        );
+        let mut t = 0;
+        loop {
+            let replies = server.poll(t);
+            if let Some(r) = replies.into_iter().find(|r| r.request_id == rid) {
+                match r.reply {
+                    FsReply::Fd(fd) => return fd,
+                    ref other => panic!("unexpected open reply {other:?}"),
+                }
+            }
+            t += 10_000;
+            assert!(t < NS_PER_SEC, "open never completed");
+        }
+    };
+    let fd_big = open_fd(big, "/big", 1);
+    let fd_small = open_fd(small, "/small", 2);
+
+    // Deep backlog for both jobs, admitted before the swap: request ids
+    // encode (job, order) so replies can be audited.
+    const PER_JOB: u64 = 300;
+    for i in 0..PER_JOB {
+        server.submit(
+            1_000 + i,
+            big,
+            FsOp::Write {
+                fd: fd_big,
+                data: vec![0xAA; 1 << 20],
+            },
+            1_000,
+        );
+        server.submit(
+            2_000 + i,
+            small,
+            FsOp::Write {
+                fd: fd_small,
+                data: vec![0xBB; 1 << 20],
+            },
+            1_000,
+        );
+    }
+    assert_eq!(server.queued(), 2 * PER_JOB as usize);
+    assert_eq!(server.policy_epoch(), 0);
+
+    // Drain the first half under job-fair, then swap live to size-fair.
+    let mut t = 1_000u64;
+    let mut served: Vec<(bool, JobId, u64)> = Vec::new(); // (after_swap, job, seq)
+    let mut swapped = false;
+    while served.len() < 2 * PER_JOB as usize {
+        for reply in server.poll(t) {
+            if let FsReply::Error(e) = &reply.reply {
+                panic!("write failed: {e}");
+            }
+            served.push((
+                swapped,
+                reply.completion.request.meta.job,
+                reply.completion.request.seq,
+            ));
+        }
+        if !swapped && served.len() >= PER_JOB as usize {
+            // The epoch boundary: shares move immediately, queues are kept.
+            let queued_before = server.queued();
+            let epoch = server.set_policy(Policy::size_fair()).unwrap();
+            assert_eq!(epoch, 1);
+            assert_eq!(server.policy_epoch(), 1);
+            assert_eq!(
+                server.queued(),
+                queued_before,
+                "swap must not drop requests"
+            );
+            assert!(
+                (server.shares().share(JobId(1)) - 0.8).abs() < 1e-9,
+                "shares must be recomputed within the same epoch"
+            );
+            swapped = true;
+        }
+        t += 50_000;
+        assert!(t < 60 * NS_PER_SEC, "backlog never drained");
+    }
+
+    // Nothing dropped: every admitted request completed exactly once.
+    assert_eq!(served.len(), 2 * PER_JOB as usize);
+
+    // Nothing reordered: per-job sequence numbers are strictly increasing
+    // across the swap.
+    let mut last_seq: BTreeMap<JobId, u64> = BTreeMap::new();
+    for (_, job, seq) in &served {
+        if let Some(prev) = last_seq.get(job) {
+            assert!(seq > prev, "job {job} reordered: {seq} after {prev}");
+        }
+        last_seq.insert(*job, *seq);
+    }
+
+    // The service mix shifts from ≈1:1 (job-fair) to ≈4:1 (size-fair).
+    let ratio = |slice: &[(bool, JobId, u64)]| -> f64 {
+        let b = slice.iter().filter(|(_, j, _)| *j == JobId(1)).count() as f64;
+        let s = slice
+            .iter()
+            .filter(|(_, j, _)| *j == JobId(2))
+            .count()
+            .max(1) as f64;
+        b / s
+    };
+    let before: Vec<_> = served.iter().filter(|(a, ..)| !a).cloned().collect();
+    // Over the whole drain both jobs finish all their work, so compare the
+    // window right after the swap (the first 100 post-swap completions),
+    // where the new 4:1 allocation governs the service mix.
+    let after: Vec<_> = served
+        .iter()
+        .filter(|(a, ..)| *a)
+        .take(100)
+        .cloned()
+        .collect();
+    let r_before = ratio(&before);
+    let r_after = ratio(&after);
+    assert!(
+        (r_before - 1.0).abs() < 0.3,
+        "pre-swap ratio {r_before} should be near 1"
+    );
+    assert!(
+        r_after > 2.5,
+        "post-swap ratio {r_after} should move toward 4:1"
+    );
+}
+
+/// The control plane end to end: SetPolicy/GetPolicy over the threaded
+/// deployment, with epochs acknowledged per server.
+#[test]
+fn set_policy_round_trips_through_deployment() {
+    let dep = Deployment::start(2, |_| ServerConfig::default());
+    let conn = dep.connect(0);
+    let meta = JobMeta::new(1u64, 1u32, 1u32, 4);
+    conn.send(ClientMessage::Hello { meta });
+    match conn.recv_timeout(Duration::from_secs(5)) {
+        Some(ServerMessage::Ack { policy, epoch }) => {
+            assert_eq!(policy, "size-fair");
+            assert_eq!(epoch, 0);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let weighted: Policy = "user[2]-then-size-fair".parse().unwrap();
+    conn.send(ClientMessage::SetPolicy {
+        request_id: 10,
+        policy: weighted.clone(),
+    });
+    match conn.recv_timeout(Duration::from_secs(5)) {
+        Some(ServerMessage::PolicyChanged {
+            request_id,
+            policy,
+            epoch,
+        }) => {
+            assert_eq!(request_id, 10);
+            assert_eq!(policy, weighted);
+            assert_eq!(epoch, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    conn.send(ClientMessage::GetPolicy { request_id: 11 });
+    match conn.recv_timeout(Duration::from_secs(5)) {
+        Some(ServerMessage::PolicyChanged { policy, epoch, .. }) => {
+            assert_eq!(policy, weighted);
+            assert_eq!(epoch, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A second swap bumps the epoch monotonically.
+    conn.send(ClientMessage::SetPolicy {
+        request_id: 20,
+        policy: "job-fair".parse().unwrap(),
+    });
+    match conn.recv_timeout(Duration::from_secs(5)) {
+        Some(ServerMessage::PolicyChanged { epoch, .. }) => assert_eq!(epoch, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // I/O still flows under the new policy.
+    conn.send(ClientMessage::Io {
+        request_id: 12,
+        meta,
+        op: FsOp::Mkdir { path: "/d".into() },
+    });
+    match conn.recv_timeout(Duration::from_secs(5)) {
+        Some(ServerMessage::IoReply {
+            request_id: 12,
+            reply: FsReply::Ok,
+        }) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    dep.shutdown();
+}
+
+/// A `SetPolicy` aimed at a fixed-algorithm engine is rejected with a named
+/// reason instead of being silently acknowledged, and the engine's policy
+/// and epoch stay untouched.
+#[test]
+fn set_policy_rejected_on_fifo_deployment() {
+    let dep = Deployment::start(1, |_| ServerConfig {
+        algorithm: Algorithm::Fifo,
+        ..ServerConfig::default()
+    });
+    let conn = dep.connect(0);
+    conn.send(ClientMessage::SetPolicy {
+        request_id: 1,
+        policy: Policy::size_fair(),
+    });
+    match conn.recv_timeout(Duration::from_secs(5)) {
+        Some(ServerMessage::PolicyRejected { request_id, reason }) => {
+            assert_eq!(request_id, 1);
+            assert!(
+                reason.contains("fifo"),
+                "reason should name the engine: {reason}"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    conn.send(ClientMessage::GetPolicy { request_id: 2 });
+    match conn.recv_timeout(Duration::from_secs(5)) {
+        Some(ServerMessage::PolicyChanged { policy, epoch, .. }) => {
+            assert_eq!(policy, Policy::Fifo);
+            assert_eq!(epoch, 0);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    dep.shutdown();
+}
+
+/// Acceptance: `"user[2]-then-size-fair"` parses, schedules 2:1 between the
+/// two users, and round-trips through `Display`.
+#[test]
+fn weighted_dsl_schedules_two_to_one_between_users() {
+    let policy: Policy = "user[2]-then-size-fair".parse().unwrap();
+
+    // Round trip: Display → FromStr → Display is a fixpoint and preserves
+    // the policy.
+    let printed = policy.to_string();
+    let reparsed: Policy = printed.parse().unwrap();
+    assert_eq!(reparsed, policy);
+    assert_eq!(reparsed.to_string(), printed);
+
+    // Two users, one equal-sized saturating job each, one server: the
+    // premium user (lower id) must receive ≈2x the bandwidth.
+    let u1 =
+        SimJob::write_read_cycle(JobMeta::new(1u64, 1u32, 1u32, 2), 64).running_for(2 * NS_PER_SEC);
+    let u2 =
+        SimJob::write_read_cycle(JobMeta::new(2u64, 2u32, 1u32, 2), 64).running_for(2 * NS_PER_SEC);
+    let config = SimConfig {
+        device: fast_device(),
+        ..SimConfig::new(1, Algorithm::Themis(policy))
+    };
+    let result = Simulation::new(config, vec![u1, u2]).run();
+    let b1 = result.metrics.total_bytes(JobId(1)) as f64;
+    let b2 = result.metrics.total_bytes(JobId(2)).max(1) as f64;
+    let ratio = b1 / b2;
+    assert!(
+        (ratio - 2.0).abs() < 0.4,
+        "user[2] ratio {ratio} should be close to 2"
+    );
+}
+
+/// A scheduled swap inside the simulator moves the split within one
+/// sampling interval (the simulator counterpart of the live control plane).
+#[test]
+fn simulated_policy_schedule_applies_at_the_epoch() {
+    let big =
+        SimJob::write_read_cycle(JobMeta::new(1u64, 1u32, 1u32, 4), 64).running_for(2 * NS_PER_SEC);
+    let small =
+        SimJob::write_read_cycle(JobMeta::new(2u64, 2u32, 1u32, 1), 64).running_for(2 * NS_PER_SEC);
+    let mut config = SimConfig {
+        device: fast_device(),
+        ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
+    };
+    config.policy_schedule = vec![PolicyChange {
+        at_ns: NS_PER_SEC,
+        policy: Policy::job_fair(),
+    }];
+    let result = Simulation::new(config, vec![big, small]).run();
+    let series = result.metrics.throughput_series(NS_PER_SEC / 2);
+    let b1 = &series.per_job[&JobId(1)];
+    let b2 = &series.per_job[&JobId(2)];
+    let first = b1[0] as f64 / (b2[0].max(1)) as f64;
+    let last = b1[3] as f64 / (b2[3].max(1)) as f64;
+    assert!((first - 4.0).abs() < 1.2, "pre-swap ratio {first}");
+    assert!((last - 1.0).abs() < 0.35, "post-swap ratio {last}");
+}

@@ -1,150 +1,271 @@
-//! Property-based tests (proptest) of the core invariants the ThemisIO design
-//! relies on: shares always form a probability distribution, composite
-//! policies degrade gracefully to primitives, sampling converges to shares,
-//! the file system round-trips arbitrary byte ranges, and consistent hashing
-//! stays stable as the server pool changes.
+//! Property-based tests of the core invariants the ThemisIO design relies
+//! on: shares always form a probability distribution, composite policies
+//! degrade gracefully to primitives, sampling matches shares, the policy DSL
+//! round-trips, the file system round-trips arbitrary byte ranges, and
+//! consistent hashing stays stable as the server pool changes.
+//!
+//! The build environment has no crates.io access, so instead of proptest the
+//! cases are generated with a small seeded-PRNG harness (`cases` below):
+//! deterministic, reproducible by seed, and loud about the failing case.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use themisio::core::policy::{Level, PolicySpec, WeightedLevel};
 use themisio::prelude::*;
 
-fn arb_jobs() -> impl Strategy<Value = Vec<JobMeta>> {
-    prop::collection::vec(
-        (1u64..500, 1u32..12, 1u32..4, 1u32..128, 1u32..8),
-        1..24,
-    )
-    .prop_map(|v| {
-        let mut seen = std::collections::HashSet::new();
-        v.into_iter()
-            .filter(|(j, ..)| seen.insert(*j))
-            .map(|(j, u, g, n, p)| JobMeta::new(j, u, g, n).with_priority(f64::from(p)))
-            .collect::<Vec<_>>()
-    })
-    .prop_filter("at least one job", |v| !v.is_empty())
+/// Runs `f` over `n` seeded cases; panics include the case index so a
+/// failure reproduces with the same seed.
+fn cases(n: u64, mut f: impl FnMut(&mut SmallRng, u64)) {
+    for case in 0..n {
+        let mut rng = SmallRng::seed_from_u64(0xA11C_E000 ^ case);
+        f(&mut rng, case);
+    }
 }
 
-fn arb_policy() -> impl Strategy<Value = Policy> {
-    prop_oneof![
-        Just(Policy::Fifo),
-        Just(Policy::job_fair()),
-        Just(Policy::size_fair()),
-        Just(Policy::user_fair()),
-        Just(Policy::priority_fair()),
-        Just(Policy::user_then_size_fair()),
-        Just(Policy::group_user_size_fair()),
-        Just(Policy::Fair(vec![
-            themisio::core::policy::Level::Group,
-            themisio::core::policy::Level::Job
-        ])),
-    ]
+fn arb_jobs(rng: &mut SmallRng) -> Vec<JobMeta> {
+    let n = rng.gen_range(1usize..24);
+    let mut seen = std::collections::HashSet::new();
+    let mut jobs = Vec::new();
+    for _ in 0..n {
+        let id = rng.gen_range(1u64..500);
+        if !seen.insert(id) {
+            continue;
+        }
+        let user = rng.gen_range(1u32..12);
+        let group = rng.gen_range(1u32..4);
+        let nodes = rng.gen_range(1u32..128);
+        let prio = rng.gen_range(1u32..8);
+        jobs.push(JobMeta::new(id, user, group, nodes).with_priority(f64::from(prio)));
+    }
+    if jobs.is_empty() {
+        jobs.push(JobMeta::new(1u64, 1u32, 1u32, 1));
+    }
+    jobs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_policy(rng: &mut SmallRng) -> Policy {
+    match rng.gen_range(0u32..8) {
+        0 => Policy::Fifo,
+        1 => Policy::job_fair(),
+        2 => Policy::size_fair(),
+        3 => Policy::user_fair(),
+        4 => Policy::priority_fair(),
+        5 => Policy::user_then_size_fair(),
+        6 => Policy::group_user_size_fair(),
+        _ => Policy::composite(vec![Level::Group, Level::Job]).unwrap(),
+    }
+}
 
-    /// Shares are a probability distribution: non-negative, sum to 1, and
-    /// every active job receives a strictly positive share.
-    #[test]
-    fn shares_form_a_distribution(jobs in arb_jobs(), policy in arb_policy()) {
+/// Any constructible weighted spec: optional group tier, optional user tier,
+/// one job-level tail, random weights in 1..=9.
+fn arb_weighted_spec(rng: &mut SmallRng) -> PolicySpec {
+    let mut tiers = Vec::new();
+    if rng.gen_bool(0.5) {
+        tiers.push(WeightedLevel::weighted(
+            Level::Group,
+            rng.gen_range(1u32..10),
+        ));
+    }
+    if rng.gen_bool(0.7) {
+        tiers.push(WeightedLevel::weighted(
+            Level::User,
+            rng.gen_range(1u32..10),
+        ));
+    }
+    let tail = match rng.gen_range(0u32..4) {
+        0 => Level::Job,
+        1 => Level::Size,
+        2 => Level::Priority,
+        // Sometimes stop at a scope tier to exercise the implicit job tail;
+        // ensure the spec is non-empty first.
+        _ => {
+            if tiers.is_empty() {
+                Level::Size
+            } else {
+                return PolicySpec::new(tiers).expect("scope tiers + implicit job tail");
+            }
+        }
+    };
+    tiers.push(WeightedLevel::weighted(tail, rng.gen_range(1u32..10)));
+    PolicySpec::new(tiers).expect("constructed tiers are valid")
+}
+
+/// Shares are a probability distribution: non-negative, sum to 1, and every
+/// active job receives a strictly positive share — under weighted policies
+/// too.
+#[test]
+fn shares_form_a_distribution() {
+    cases(64, |rng, case| {
+        let jobs = arb_jobs(rng);
+        let policy = if case % 2 == 0 {
+            arb_policy(rng)
+        } else {
+            Policy::Fair(arb_weighted_spec(rng))
+        };
         let shares = compute_shares(&policy, &jobs);
-        prop_assert_eq!(shares.len(), jobs.len());
+        assert_eq!(shares.len(), jobs.len(), "case {case} policy {policy}");
         let mut total = 0.0;
         for m in &jobs {
             let s = shares.share(m.job);
-            prop_assert!(s > 0.0, "job {} got zero share under {}", m.job, policy);
-            prop_assert!(s <= 1.0 + 1e-9);
+            assert!(
+                s > 0.0,
+                "case {case}: job {} got zero share under {policy}",
+                m.job
+            );
+            assert!(s <= 1.0 + 1e-9, "case {case}");
             total += s;
         }
-        prop_assert!((total - 1.0).abs() < 1e-6, "total {} under {}", total, policy);
-    }
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "case {case}: total {total} under {policy}"
+        );
+    });
+}
 
-    /// Users (and groups) are never starved by a composite policy: every user
-    /// owning an active job receives the sum of its jobs' shares, and under
-    /// user-first policies users split the resource evenly.
-    #[test]
-    fn user_level_fairness_holds(jobs in arb_jobs()) {
+/// Users are never starved by a composite policy: under user-first policies
+/// users split the resource evenly.
+#[test]
+fn user_level_fairness_holds() {
+    cases(64, |rng, case| {
+        let jobs = arb_jobs(rng);
         let policy = Policy::user_then_size_fair();
         let shares = compute_shares(&policy, &jobs);
         let breakdown = ShareBreakdown::new(&shares, &jobs);
         let users: std::collections::HashSet<_> = jobs.iter().map(|m| m.user).collect();
         let expected = 1.0 / users.len() as f64;
-        for (_, share) in breakdown.per_user {
-            prop_assert!((share - expected).abs() < 1e-6);
+        for (user, share) in breakdown.per_user {
+            assert!(
+                (share - expected).abs() < 1e-6,
+                "case {case}: user {user} share {share} expected {expected}"
+            );
         }
-    }
+    });
+}
 
-    /// The statistical sampler's segments partition [0, 1] in proportion to
-    /// the shares.
-    #[test]
-    fn sampler_segments_match_shares(jobs in arb_jobs(), policy in arb_policy()) {
+/// The statistical sampler's segments partition [0, 1] in proportion to the
+/// shares.
+#[test]
+fn sampler_segments_match_shares() {
+    cases(64, |rng, case| {
+        let jobs = arb_jobs(rng);
+        let policy = arb_policy(rng);
         let shares = compute_shares(&policy, &jobs);
         let sampler = TokenSampler::from_shares(&shares);
         for m in &jobs {
             let (lo, hi) = sampler.segment(m.job).expect("segment exists");
-            prop_assert!((hi - lo - shares.share(m.job)).abs() < 1e-9);
+            assert!(
+                (hi - lo - shares.share(m.job)).abs() < 1e-9,
+                "case {case} job {}",
+                m.job
+            );
         }
-    }
+    });
+}
 
-    /// Policy strings round-trip through their canonical names.
-    #[test]
-    fn policy_names_round_trip(policy in arb_policy()) {
+/// Every constructible `PolicySpec` round-trips `Display → FromStr → Display`:
+/// the canonical string parses back to the same spec, and printing is a
+/// fixpoint after one round.
+#[test]
+fn policy_dsl_round_trips() {
+    cases(256, |rng, case| {
+        let policy = Policy::Fair(arb_weighted_spec(rng));
+        let text = policy.to_string();
+        let parsed: Policy = text
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: '{text}' failed to parse: {e}"));
+        assert_eq!(parsed, policy, "case {case}: '{text}' parsed to {parsed}");
+        assert_eq!(
+            parsed.to_string(),
+            text,
+            "case {case}: display not canonical"
+        );
+    });
+}
+
+/// Named policies and the FIFO sentinel round-trip too.
+#[test]
+fn named_policy_round_trips() {
+    cases(64, |rng, case| {
+        let policy = arb_policy(rng);
         let name = policy.canonical_name();
         let parsed: Policy = name.parse().unwrap();
-        prop_assert_eq!(parsed, policy);
-    }
+        assert_eq!(parsed, policy, "case {case}: round trip of {name}");
+    });
+}
 
-    /// The burst-buffer file system round-trips arbitrary writes at arbitrary
-    /// offsets, across any stripe configuration.
-    #[test]
-    fn fs_write_read_roundtrip(
-        offset in 0u64..200_000,
-        data in prop::collection::vec(any::<u8>(), 1..8192),
-        stripe_size in 512u64..8192,
-        stripe_count in 1usize..5,
-        servers in 1usize..6,
-    ) {
-        let fs = BurstBufferFs::with_stripe_config(servers, StripeConfig::new(stripe_size, stripe_count));
+/// The burst-buffer file system round-trips arbitrary writes at arbitrary
+/// offsets, across any stripe configuration.
+#[test]
+fn fs_write_read_roundtrip() {
+    cases(48, |rng, case| {
+        let offset = rng.gen_range(0u64..200_000);
+        let len = rng.gen_range(1usize..8192);
+        let mut data = vec![0u8; len];
+        for b in data.iter_mut() {
+            *b = rng.gen_range(0u64..256) as u8;
+        }
+        let stripe_size = rng.gen_range(512u64..8192);
+        let stripe_count = rng.gen_range(1usize..5);
+        let servers = rng.gen_range(1usize..6);
+        let fs = BurstBufferFs::with_stripe_config(
+            servers,
+            StripeConfig::new(stripe_size, stripe_count),
+        );
         fs.create("/prop", 0).unwrap();
         fs.write_at("/prop", offset, &data, 1).unwrap();
         let back = fs.read_at("/prop", offset, data.len() as u64).unwrap();
-        prop_assert_eq!(back, data.clone());
-        prop_assert_eq!(fs.stat("/prop").unwrap().size, offset + data.len() as u64);
-    }
+        assert_eq!(back, data, "case {case}");
+        assert_eq!(
+            fs.stat("/prop").unwrap().size,
+            offset + data.len() as u64,
+            "case {case}"
+        );
+    });
+}
 
-    /// Consistent hashing: removing one server never moves a key that it did
-    /// not own.
-    #[test]
-    fn ring_stability(servers in 2usize..10, keys in prop::collection::vec("[a-z]{1,12}", 1..50)) {
+/// Consistent hashing: removing one server never moves a key that it did not
+/// own.
+#[test]
+fn ring_stability() {
+    cases(48, |rng, case| {
+        let servers = rng.gen_range(2usize..10);
         let before = HashRing::new(servers);
         let mut after = before.clone();
         let removed = ServerId(servers - 1);
         after.remove_server(removed);
-        for k in keys {
-            let path = format!("/{k}");
+        for _ in 0..rng.gen_range(1usize..50) {
+            let klen = rng.gen_range(1usize..13);
+            let key: String = (0..klen)
+                .map(|_| (b'a' + rng.gen_range(0u64..26) as u8) as char)
+                .collect();
+            let path = format!("/{key}");
             let owner_before = before.owner(&path).unwrap();
             let owner_after = after.owner(&path).unwrap();
             if owner_before != owner_after {
-                prop_assert_eq!(owner_before, removed);
+                assert_eq!(owner_before, removed, "case {case} key {path}");
             }
-            prop_assert_ne!(owner_after, removed);
+            assert_ne!(owner_after, removed, "case {case} key {path}");
         }
-    }
+    });
+}
 
-    /// FIFO preserves arrival order regardless of job mix.
-    #[test]
-    fn fifo_preserves_order(jobs in prop::collection::vec(1u64..6, 1..64)) {
-        use rand::SeedableRng;
+/// FIFO preserves arrival order regardless of job mix.
+#[test]
+fn fifo_preserves_order() {
+    cases(48, |rng, case| {
         let mut sched = FifoScheduler::new();
-        for (i, j) in jobs.iter().enumerate() {
-            let m = JobMeta::new(*j, 1u32, 1u32, 1);
+        let n = rng.gen_range(1usize..64);
+        for i in 0..n {
+            let m = JobMeta::new(rng.gen_range(1u64..6), 1u32, 1u32, 1);
             sched.enqueue(IoRequest::write(i as u64, m, 1, i as u64));
         }
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut rng2 = SmallRng::seed_from_u64(0);
         let mut last = None;
-        while let Some(r) = sched.next(0, &mut rng) {
+        while let Some(r) = sched.next(0, &mut rng2) {
             if let Some(prev) = last {
-                prop_assert!(r.seq > prev);
+                assert!(r.seq > prev, "case {case}");
             }
             last = Some(r.seq);
         }
-    }
+    });
 }

@@ -44,9 +44,20 @@ fn composite_policy_splits_between_users_then_sizes() {
     let b = |j: u64| result.metrics.total_bytes(JobId(j)) as f64;
     let user1 = b(1) + b(2);
     let user2 = b(3) + b(4);
-    assert!((user1 / user2 - 1.0).abs() < 0.25, "user split {user1} vs {user2}");
-    assert!((b(2) / b(1) - 2.0).abs() < 0.7, "size split within user 1: {}", b(2) / b(1));
-    assert!((b(4) / b(3) - 1.5).abs() < 0.5, "size split within user 2: {}", b(4) / b(3));
+    assert!(
+        (user1 / user2 - 1.0).abs() < 0.25,
+        "user split {user1} vs {user2}"
+    );
+    assert!(
+        (b(2) / b(1) - 2.0).abs() < 0.7,
+        "size split within user 1: {}",
+        b(2) / b(1)
+    );
+    assert!(
+        (b(4) / b(3) - 1.5).abs() < 0.5,
+        "size split within user 2: {}",
+        b(4) / b(3)
+    );
 }
 
 #[test]
