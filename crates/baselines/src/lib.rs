@@ -35,7 +35,7 @@ use themis_core::sched::ThemisScheduler;
 ///
 /// `Algorithm` is a *description* — the configuration-level value an operator
 /// writes down. [`Algorithm::build`] turns it into a live
-/// [`PolicyEngine`](themis_core::engine::PolicyEngine) trait object, which is
+/// [`PolicyEngine`] trait object, which is
 /// the only interface servers and the simulator drive; nothing downstream
 /// matches on this enum.
 #[derive(Debug, Clone, PartialEq)]

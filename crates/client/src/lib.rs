@@ -23,7 +23,8 @@ use themis_core::policy::Policy;
 use themis_fs::ring::stable_hash;
 use themis_fs::store::StatInfo;
 use themis_fs::{FsError, FsResult, StripeConfig};
-use themis_net::message::{ClientMessage, FsOp, FsReply, ServerMessage};
+use themis_net::message::{ClientMessage, FsOp, FsReply, ServerMessage, StageReply};
+use themis_stage::DrainStatus;
 
 /// The ThemisIO namespace decision: which paths are intercepted.
 #[derive(Debug, Clone)]
@@ -194,6 +195,116 @@ impl<L: ServerLink> ThemisClient<L> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         self.links[server].send(ClientMessage::GetPolicy { request_id });
         self.recv_policy_ack(server, request_id)
+    }
+
+    // ----------------------------------------------------------- staging
+
+    /// Waits for the `Stage` acknowledgement matching `request_id` on one
+    /// server link, skipping unrelated traffic.
+    fn recv_stage_ack(&self, server: usize, request_id: u64) -> FsResult<StageReply> {
+        loop {
+            match self.links[server].recv(self.timeout) {
+                Some(ServerMessage::Stage {
+                    request_id: rid,
+                    reply,
+                }) if rid == request_id => {
+                    return match reply {
+                        StageReply::Error(e) => Err(FsError::InvalidArgument(e)),
+                        ok => Ok(ok),
+                    };
+                }
+                Some(_) => continue,
+                None => {
+                    return Err(FsError::InvalidArgument(
+                        "no staging acknowledgement from server (connection lost or timed out)"
+                            .to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Forces the file's extents down to the capacity tier on **every**
+    /// server holding a stripe of it (the flush is broadcast; dirty extents
+    /// are server-local). Returns the capacity-tier bytes of the path once
+    /// every server acknowledged — servers of a deployment share one
+    /// capacity tier, so the maximum across acknowledgements is the path's
+    /// staged size. Flushing a file that is already clean everywhere is a
+    /// cheap no-op round-trip.
+    ///
+    /// The drain traffic a flush triggers is scheduled through the same
+    /// policy engine as foreground I/O at the server's foreground:drain
+    /// weight — a flush cannot starve other tenants.
+    pub fn flush(&self, path: &str) -> FsResult<u64> {
+        let bb_path = self.translate(path)?;
+        let request_ids: Vec<u64> = (0..self.links.len())
+            .map(|server| {
+                let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+                self.links[server].send(ClientMessage::Flush {
+                    request_id,
+                    meta: self.meta,
+                    path: bb_path.clone(),
+                });
+                request_id
+            })
+            .collect();
+        let mut staged = 0u64;
+        for (server, rid) in request_ids.iter().enumerate() {
+            match self.recv_stage_ack(server, *rid)? {
+                StageReply::Flushed { backing_bytes } => staged = staged.max(backing_bytes),
+                other => {
+                    return Err(FsError::InvalidArgument(format!(
+                        "unexpected staging reply {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(staged)
+    }
+
+    /// Restores the file's staged-out extents from the capacity tier,
+    /// returning the total bytes copied back. The request is broadcast and
+    /// each server restores exactly its own shard's evicted stripes, so the
+    /// summed count is exact. A no-op (0) when everything is resident.
+    pub fn stage_in(&self, path: &str) -> FsResult<u64> {
+        let bb_path = self.translate(path)?;
+        let request_ids: Vec<u64> = (0..self.links.len())
+            .map(|server| {
+                let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+                self.links[server].send(ClientMessage::StageIn {
+                    request_id,
+                    meta: self.meta,
+                    path: bb_path.clone(),
+                });
+                request_id
+            })
+            .collect();
+        let mut total = 0u64;
+        for (server, rid) in request_ids.iter().enumerate() {
+            match self.recv_stage_ack(server, *rid)? {
+                StageReply::StagedIn { restored_bytes } => total += restored_bytes,
+                other => {
+                    return Err(FsError::InvalidArgument(format!(
+                        "unexpected staging reply {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Queries one server's staging state (dirty/resident/backing bytes,
+    /// drain and eviction counters).
+    pub fn drain_status(&self, server: usize) -> FsResult<DrainStatus> {
+        let server = server % self.links.len();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::DrainStatus { request_id });
+        match self.recv_stage_ack(server, request_id)? {
+            StageReply::Status(status) => Ok(status),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected staging reply {other:?}"
+            ))),
+        }
     }
 
     /// Sends one heartbeat to every server so the job monitor keeps the job
@@ -515,6 +626,18 @@ mod tests {
                         epoch: p.1,
                     })
                 }
+                ClientMessage::Flush { request_id, .. } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::Flushed { backing_bytes: 64 },
+                }),
+                ClientMessage::StageIn { request_id, .. } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::StagedIn { restored_bytes: 64 },
+                }),
+                ClientMessage::DrainStatus { request_id } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::Status(DrainStatus::default()),
+                }),
                 ClientMessage::Bye { .. } => None,
             };
             self.sent.lock().push(msg);
@@ -590,6 +713,33 @@ mod tests {
         let epochs = c.set_policy(&Policy::job_fair()).unwrap();
         assert_eq!(epochs, vec![2, 2, 2]);
         assert_eq!(c.hello(), vec!["job-fair"; 3]);
+    }
+
+    #[test]
+    fn staging_calls_broadcast_and_aggregate() {
+        let c = client(3);
+        // Flush and stage-in go to every server (dirty extents are
+        // server-local). Flush reports the path's staged size (max across
+        // the shared tier's acknowledgements); stage-in sums the bytes each
+        // server actually restored.
+        assert_eq!(c.flush("/fs/data/ckpt").unwrap(), 64);
+        assert_eq!(c.stage_in("/fs/data/ckpt").unwrap(), 3 * 64);
+        for link in &c.links {
+            let sent = link.sent.lock();
+            assert!(sent
+                .iter()
+                .any(|m| matches!(m, ClientMessage::Flush { path, .. } if path == "/data/ckpt")));
+            assert!(sent
+                .iter()
+                .any(|m| matches!(m, ClientMessage::StageIn { path, .. } if path == "/data/ckpt")));
+        }
+        // Status targets one server.
+        let status = c.drain_status(1).unwrap();
+        assert!(status.is_clean());
+        assert!(matches!(
+            c.flush("/home/not-intercepted"),
+            Err(FsError::InvalidPath(_))
+        ));
     }
 
     #[test]

@@ -29,9 +29,9 @@
 //! every engine must make the same decisions, so simulated experiments
 //! reproduce bit-identically.
 //!
-//! # Relationship to [`Scheduler`](crate::sched::Scheduler)
+//! # Relationship to [`Scheduler`]
 //!
-//! [`Scheduler`](crate::sched::Scheduler) is the implementation-side trait the
+//! [`Scheduler`] is the implementation-side trait the
 //! in-tree algorithms implement (`enqueue`/`next`/`on_complete`/`refresh`).
 //! Every `Scheduler` automatically implements `PolicyEngine` through a
 //! blanket impl, so the two never drift; new out-of-tree engines are free to

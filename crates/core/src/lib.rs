@@ -9,13 +9,13 @@
 //! * [`entity`] — jobs, users, groups, and the metadata embedded in requests;
 //! * [`job_table`] — the per-server job status table and its merge rules;
 //! * [`policy`] — weighted sharing policies, the policy DSL, and the builder;
-//! * [`engine`] — the object-safe [`PolicyEngine`](engine::PolicyEngine)
+//! * [`engine`] — the object-safe [`PolicyEngine`]
 //!   trait every arbitration algorithm is driven through;
 //! * [`matrix`] — transition matrices and the chain product of Eq. 1;
 //! * [`shares`] — per-job statistical token (share) computation;
 //! * [`sampler`] — the `[0,1]` segment table sampled by I/O workers;
 //! * [`request`] — scheduler-visible request and completion descriptors;
-//! * [`sched`] — the [`Scheduler`](sched::Scheduler) implementation trait and
+//! * [`sched`] — the [`Scheduler`] implementation trait and
 //!   the ThemisIO statistical-token scheduler;
 //! * [`sync`] — λ-delayed global fairness helpers.
 //!

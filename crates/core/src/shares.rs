@@ -1,4 +1,4 @@
-//! Share computation: turning a [`Policy`](crate::policy::Policy) and the set
+//! Share computation: turning a [`Policy`] and the set
 //! of active jobs into a per-job statistical token assignment (§3).
 
 use crate::entity::{GroupId, JobId, JobMeta, UserId};

@@ -58,6 +58,32 @@ impl Default for DeviceConfig {
 }
 
 impl DeviceConfig {
+    /// The burst-buffer tier preset: one server's Intel Optane SSD array as
+    /// measured in the paper — ≈11.7 GB/s unidirectional (Fig. 7) and
+    /// **≈22 GB/s combined read+write per server** (§1/§5.2), with
+    /// microsecond-scale per-request latency (§5.3.1). Identical to
+    /// [`DeviceConfig::default`]; the named preset exists so experiment code
+    /// says *which tier* it is configuring instead of repeating literals.
+    pub fn optane_ssd() -> Self {
+        DeviceConfig::default()
+    }
+
+    /// The capacity tier preset: one server's slice of a disk-based parallel
+    /// file system behind the burst buffer (the stage-out target). Bandwidth
+    /// is a small fraction of the paper's ~22 GB/s-per-server burst-buffer
+    /// figure — roughly what an HDD-backed Lustre OST delivers per client —
+    /// with per-op overheads two orders of magnitude above NVMe. Draining at
+    /// this speed is what makes the foreground:drain weight matter.
+    pub fn capacity_hdd() -> Self {
+        DeviceConfig {
+            write_bw_bytes_per_sec: 2.0e9,
+            read_bw_bytes_per_sec: 2.0e9,
+            per_op_overhead_ns: 100_000,
+            metadata_op_ns: 500_000,
+            workers: 2,
+        }
+    }
+
     /// A slower device profile (useful for tests and for modelling an
     /// HDD-backed or saturated external file system).
     pub fn slow() -> Self {
@@ -259,6 +285,16 @@ mod tests {
     fn default_config_matches_paper_scale() {
         let c = DeviceConfig::default();
         assert!((c.combined_bw() - 23.4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn tier_presets_are_ordered() {
+        // The burst-buffer preset is the paper-calibrated default; the
+        // capacity preset is markedly slower in bandwidth and per-op cost.
+        assert_eq!(DeviceConfig::optane_ssd(), DeviceConfig::default());
+        let hdd = DeviceConfig::capacity_hdd();
+        assert!(hdd.combined_bw() < DeviceConfig::optane_ssd().combined_bw() / 4.0);
+        assert!(hdd.per_op_overhead_ns > DeviceConfig::optane_ssd().per_op_overhead_ns);
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum FsError {
     DirectoryNotEmpty(String),
     /// A read/write/seek with an invalid offset or length (`EINVAL`).
     InvalidArgument(String),
+    /// The byte range's extent was evicted from the burst buffer to the
+    /// capacity tier; it must be staged back in before the operation can
+    /// proceed. Servers with staging enabled handle this transparently.
+    NotResident(String),
     /// The file is not striped onto the server that received the request —
     /// indicates a routing bug or a stale ring view.
     WrongServer {
@@ -48,6 +52,10 @@ impl fmt::Display for FsError {
             FsError::BadDescriptor(fd) => write!(f, "bad file descriptor: {fd}"),
             FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
             FsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            FsError::NotResident(p) => write!(
+                f,
+                "extent of {p} is evicted to the capacity tier; stage it in first"
+            ),
             FsError::WrongServer { path, got, want } => write!(
                 f,
                 "stripe of {path} routed to server {got} but belongs to server {want}"

@@ -153,6 +153,88 @@ impl BurstBufferFs {
             .sum()
     }
 
+    // --------------------------------------------- staging (per-server view)
+    //
+    // The drain pipeline of server `i` operates exclusively on shard `i`:
+    // these accessors expose the residency state of one shard so the server
+    // core can synthesize drain traffic, complete drains, evict under
+    // watermark pressure and restore staged-out extents.
+
+    /// Bytes resident on one server's shard (clean + dirty).
+    pub fn resident_bytes_on(&self, server: usize) -> u64 {
+        self.inner.shards[server].read().bytes_stored()
+    }
+
+    /// Bytes in dirty (not yet drained) extents on one server's shard.
+    pub fn dirty_bytes_on(&self, server: usize) -> u64 {
+        self.inner.shards[server].read().bytes_dirty()
+    }
+
+    /// Whether `path` has dirty extents on `server`'s shard.
+    pub fn path_dirty_on(&self, server: usize, p: &str) -> FsResult<bool> {
+        let p = path::normalize(p)?;
+        Ok(self.inner.shards[server].read().has_dirty_for(&p))
+    }
+
+    /// Up to `limit` dirty extents on `server` as
+    /// `(path, stripe, generation, length)`, skipping `exclude`.
+    pub fn dirty_extents_on(
+        &self,
+        server: usize,
+        limit: usize,
+        exclude: &std::collections::HashSet<(String, u64)>,
+    ) -> Vec<(String, u64, u64, u64)> {
+        self.inner.shards[server]
+            .read()
+            .dirty_extents(limit, exclude)
+    }
+
+    /// Snapshot of one extent for draining (contents + dirty generation).
+    pub fn snapshot_extent_on(
+        &self,
+        server: usize,
+        p: &str,
+        stripe: u64,
+    ) -> Option<(Vec<u8>, u64)> {
+        self.inner.shards[server].read().snapshot_extent(p, stripe)
+    }
+
+    /// Marks an extent on `server` clean if its generation still matches.
+    pub fn mark_clean_on(&self, server: usize, p: &str, stripe: u64, generation: u64) -> bool {
+        self.inner.shards[server]
+            .write()
+            .mark_clean(p, stripe, generation)
+    }
+
+    /// Evicts clean extents on `server` until resident bytes reach
+    /// `target_bytes`; returns the evicted `(path, stripe, length)` records.
+    pub fn evict_clean_on(&self, server: usize, target_bytes: u64) -> Vec<(String, u64, u64)> {
+        self.inner.shards[server]
+            .write()
+            .evict_clean_until(target_bytes)
+    }
+
+    /// Restores an evicted extent on `server` from its capacity-tier copy
+    /// (see [`Shard::restore_extent`] for the `mark_dirty` pinning
+    /// semantics).
+    pub fn restore_extent_on(
+        &self,
+        server: usize,
+        p: &str,
+        stripe: u64,
+        data: &[u8],
+        mark_dirty: bool,
+    ) {
+        self.inner.shards[server]
+            .write()
+            .restore_extent(p, stripe, data, mark_dirty)
+    }
+
+    /// The evicted extents of `path` (or all paths) on `server`.
+    pub fn evicted_extents_on(&self, server: usize, p: Option<&str>) -> Vec<(String, u64, u64)> {
+        self.inner.shards[server].read().evicted_extents(p)
+    }
+
     fn shard(&self, s: ServerId) -> &RwLock<Shard> {
         &self.inner.shards[s.0]
     }
@@ -345,6 +427,22 @@ impl BurstBufferFs {
     /// Reads up to `len` bytes at `offset`; the result is truncated at the
     /// current file size (short read at EOF, like POSIX `pread`).
     pub fn read_at(&self, p: &str, offset: u64, len: u64) -> FsResult<Vec<u8>> {
+        self.read_at_with(p, offset, len, &|_, _| None)
+    }
+
+    /// [`BurstBufferFs::read_at`] with a read-through fetcher for evicted
+    /// extents: `fetch(path, stripe)` returns the full extent bytes from the
+    /// capacity tier. Chunks whose extent is evicted are served from the
+    /// fetched copy *without* restoring it into the shard, so a concurrent
+    /// evictor cannot race the read. A fetch miss surfaces as
+    /// [`FsError::NotResident`].
+    pub fn read_at_with(
+        &self,
+        p: &str,
+        offset: u64,
+        len: u64,
+        fetch: &dyn Fn(&str, u64) -> Option<Vec<u8>>,
+    ) -> FsResult<Vec<u8>> {
         let p = path::normalize(p)?;
         let size = {
             let owner = self.meta_owner(&p);
@@ -366,12 +464,30 @@ impl BurstBufferFs {
         for chunk in layout.chunks(offset, len) {
             let stripe = chunk.offset / layout.config.stripe_size;
             let within = chunk.offset % layout.config.stripe_size;
-            let data = self
+            let read = self
                 .shard(chunk.server)
                 .read()
-                .read_extent(&p, stripe, within, chunk.len);
-            let lo = (chunk.offset - offset) as usize;
-            out[lo..lo + data.len()].copy_from_slice(&data);
+                .read_extent_checked(&p, stripe, within, chunk.len);
+            match read {
+                crate::store::ExtentRead::Data(data) => {
+                    let lo = (chunk.offset - offset) as usize;
+                    out[lo..lo + data.len()].copy_from_slice(&data);
+                }
+                // A hole inside the file size reads as zeros (sparse file).
+                crate::store::ExtentRead::Hole => {}
+                // The bytes exist only in the capacity tier: never fake them
+                // with zeros — read through the fetcher, or surface the
+                // miss so a staging-aware caller can stage in and retry.
+                crate::store::ExtentRead::Evicted => match fetch(&p, stripe) {
+                    Some(extent) => {
+                        let start = within.min(extent.len() as u64) as usize;
+                        let end = (within + chunk.len).min(extent.len() as u64) as usize;
+                        let lo = (chunk.offset - offset) as usize;
+                        out[lo..lo + (end - start)].copy_from_slice(&extent[start..end]);
+                    }
+                    None => return Err(FsError::NotResident(p.clone())),
+                },
+            }
         }
         Ok(out)
     }
@@ -470,12 +586,23 @@ impl BurstBufferFs {
 
     /// Reads at the descriptor's cursor and advances it (`read()`).
     pub fn read(&self, fd: u64, len: u64) -> FsResult<Vec<u8>> {
+        self.read_with(fd, len, &|_, _| None)
+    }
+
+    /// [`BurstBufferFs::read`] with a read-through fetcher for evicted
+    /// extents (see [`BurstBufferFs::read_at_with`]).
+    pub fn read_with(
+        &self,
+        fd: u64,
+        len: u64,
+        fetch: &dyn Fn(&str, u64) -> Option<Vec<u8>>,
+    ) -> FsResult<Vec<u8>> {
         let (path, cursor) = {
             let fds = self.inner.fds.lock();
             let f = fds.get(&fd).ok_or(FsError::BadDescriptor(fd))?;
             (f.path.clone(), f.cursor)
         };
-        let data = self.read_at(&path, cursor, len)?;
+        let data = self.read_at_with(&path, cursor, len, fetch)?;
         if let Some(f) = self.inner.fds.lock().get_mut(&fd) {
             f.cursor = cursor + data.len() as u64;
         }

@@ -59,9 +59,36 @@ impl From<&FileMeta> for StatInfo {
     }
 }
 
+/// The outcome of a residency-aware extent read ([`Shard::read_extent_checked`]).
+///
+/// Distinguishes the three reasons a read can return fewer bytes than asked
+/// for — the staging subsystem must treat them very differently: a hole is
+/// legitimately zero, a short read is clamped by what was written, but an
+/// evicted extent's bytes exist *only in the capacity tier* and silently
+/// zero-filling them would corrupt data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtentRead {
+    /// The extent is resident; the bytes of the requested range, possibly
+    /// short (or empty) where the range runs past the extent's written end.
+    Data(Vec<u8>),
+    /// No extent was ever written at this `(path, stripe)` — a logical hole;
+    /// the distributed layer fills holes with zeros up to the file size.
+    Hole,
+    /// The extent was written, drained to the capacity tier and then evicted
+    /// from the burst buffer; it must be staged back in before reading.
+    Evicted,
+}
+
 /// One server's slice of the file system: the metadata of paths that hash to
 /// it, the directory entries of directories that hash to it, and the stripe
 /// extents placed on it.
+///
+/// The shard also carries the residency state the staging subsystem needs:
+/// every written extent is *dirty* (tagged with a monotonically increasing
+/// generation) until the drain pipeline flushes that generation to the
+/// capacity tier, and *clean* extents may be evicted under memory pressure —
+/// their key stays in the evicted set so reads can tell "hole" apart from
+/// "data lives in the capacity tier".
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Shard {
     server: usize,
@@ -73,6 +100,15 @@ pub struct Shard {
     extents: BTreeMap<(String, u64), Vec<u8>>,
     /// Bytes stored in extents on this shard.
     bytes_stored: u64,
+    /// Dirty extents: key → generation of the last write. Absent keys with a
+    /// resident extent are clean (drained).
+    dirty: BTreeMap<(String, u64), u64>,
+    /// Bytes in dirty extents (sum of their full lengths).
+    bytes_dirty: u64,
+    /// Monotonic write-generation counter for drain snapshot validation.
+    next_generation: u64,
+    /// Evicted extents: key → logical length at eviction time.
+    evicted: BTreeMap<(String, u64), u64>,
 }
 
 impl Shard {
@@ -202,7 +238,12 @@ impl Shard {
 
     /// Writes `data` into the extent of stripe `stripe` of `path`, starting
     /// at `offset_in_stripe`. Extents grow on demand (byte-addressable
-    /// allocation).
+    /// allocation). The extent becomes dirty under a fresh generation.
+    ///
+    /// Fails with [`FsError::NotResident`] when the extent was evicted to the
+    /// capacity tier: a partial overwrite of evicted bytes would silently
+    /// discard the capacity-tier copy's other bytes, so the caller must stage
+    /// the extent back in first.
     pub fn write_extent(
         &mut self,
         path: &str,
@@ -211,46 +252,235 @@ impl Shard {
         data: &[u8],
     ) -> FsResult<()> {
         let key = (path.to_string(), stripe);
-        let extent = self.extents.entry(key).or_default();
+        if self.evicted.contains_key(&key) {
+            return Err(FsError::NotResident(path.to_string()));
+        }
+        let extent = self.extents.entry(key.clone()).or_default();
+        let old_len = extent.len() as u64;
         let end = offset_in_stripe as usize + data.len();
         if extent.len() < end {
             self.bytes_stored += (end - extent.len()) as u64;
             extent.resize(end, 0);
         }
         extent[offset_in_stripe as usize..end].copy_from_slice(data);
+        // Dirty accounting: dirty bytes are the full lengths of dirty
+        // extents — a clean→dirty transition adds the whole extent, a write
+        // to an already-dirty extent adds only its growth.
+        let new_len = extent.len() as u64;
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        if self.dirty.insert(key, generation).is_some() {
+            self.bytes_dirty += new_len - old_len;
+        } else {
+            self.bytes_dirty += new_len;
+        }
         Ok(())
     }
 
     /// Reads up to `len` bytes from stripe `stripe` of `path` starting at
-    /// `offset_in_stripe`. Missing or short extents read as a short (possibly
-    /// empty) buffer — the distributed layer clamps reads to the file size.
-    pub fn read_extent(&self, path: &str, stripe: u64, offset_in_stripe: u64, len: u64) -> Vec<u8> {
-        match self.extents.get(&(path.to_string(), stripe)) {
-            None => Vec::new(),
+    /// `offset_in_stripe`, reporting residency ([`ExtentRead`]).
+    pub fn read_extent_checked(
+        &self,
+        path: &str,
+        stripe: u64,
+        offset_in_stripe: u64,
+        len: u64,
+    ) -> ExtentRead {
+        let key = (path.to_string(), stripe);
+        if self.evicted.contains_key(&key) {
+            return ExtentRead::Evicted;
+        }
+        match self.extents.get(&key) {
+            None => ExtentRead::Hole,
             Some(extent) => {
                 let start = offset_in_stripe.min(extent.len() as u64) as usize;
                 let end = (offset_in_stripe + len).min(extent.len() as u64) as usize;
-                extent[start..end].to_vec()
+                ExtentRead::Data(extent[start..end].to_vec())
             }
         }
     }
 
+    /// Reads up to `len` bytes from stripe `stripe` of `path` starting at
+    /// `offset_in_stripe`.
+    ///
+    /// # Sparse-read contract
+    ///
+    /// This legacy accessor flattens [`Shard::read_extent_checked`]: a hole
+    /// (never-written extent) and an **evicted** extent both read as an empty
+    /// buffer, and ranges past the written end of a resident extent read
+    /// short. Callers that may observe evicted extents — anything running
+    /// under the staging subsystem — must use `read_extent_checked` and stage
+    /// evicted extents back in; treating `Evicted` as zeros corrupts data.
+    pub fn read_extent(&self, path: &str, stripe: u64, offset_in_stripe: u64, len: u64) -> Vec<u8> {
+        match self.read_extent_checked(path, stripe, offset_in_stripe, len) {
+            ExtentRead::Data(d) => d,
+            ExtentRead::Hole | ExtentRead::Evicted => Vec::new(),
+        }
+    }
+
     /// Drops every extent of `path` stored on this shard, returning the
-    /// number of bytes freed.
+    /// number of bytes freed. Dirty and evicted bookkeeping for the path is
+    /// purged with the data.
     pub fn remove_extents(&mut self, path: &str) -> u64 {
+        let range = (path.to_string(), 0)..=(path.to_string(), u64::MAX);
         let keys: Vec<(String, u64)> = self
             .extents
-            .range((path.to_string(), 0)..=(path.to_string(), u64::MAX))
+            .range(range.clone())
             .map(|(k, _)| k.clone())
             .collect();
         let mut freed = 0;
         for k in keys {
             if let Some(e) = self.extents.remove(&k) {
                 freed += e.len() as u64;
+                if self.dirty.remove(&k).is_some() {
+                    self.bytes_dirty = self.bytes_dirty.saturating_sub(e.len() as u64);
+                }
             }
+        }
+        let evicted_keys: Vec<(String, u64)> =
+            self.evicted.range(range).map(|(k, _)| k.clone()).collect();
+        for k in evicted_keys {
+            self.evicted.remove(&k);
         }
         self.bytes_stored = self.bytes_stored.saturating_sub(freed);
         freed
+    }
+
+    // ---- staging / drain operations (residency management) ----
+
+    /// Bytes in dirty (not yet drained) extents.
+    pub fn bytes_dirty(&self) -> u64 {
+        self.bytes_dirty
+    }
+
+    /// Bytes in clean resident extents (drained, evictable).
+    pub fn bytes_clean(&self) -> u64 {
+        self.bytes_stored.saturating_sub(self.bytes_dirty)
+    }
+
+    /// Whether `path` has any dirty extent on this shard.
+    pub fn has_dirty_for(&self, path: &str) -> bool {
+        self.dirty
+            .range((path.to_string(), 0)..=(path.to_string(), u64::MAX))
+            .next()
+            .is_some()
+    }
+
+    /// Up to `limit` dirty extents as `(path, stripe, generation, length)`,
+    /// skipping keys in `exclude` (extents already in flight).
+    pub fn dirty_extents(
+        &self,
+        limit: usize,
+        exclude: &std::collections::HashSet<(String, u64)>,
+    ) -> Vec<(String, u64, u64, u64)> {
+        self.dirty
+            .iter()
+            .filter(|(k, _)| !exclude.contains(k))
+            .take(limit)
+            .map(|((path, stripe), generation)| {
+                let len = self
+                    .extents
+                    .get(&(path.clone(), *stripe))
+                    .map(|e| e.len() as u64)
+                    .unwrap_or(0);
+                (path.clone(), *stripe, *generation, len)
+            })
+            .collect()
+    }
+
+    /// A consistent snapshot of one extent for draining: its full contents
+    /// and current dirty generation (`None` when the extent is clean or
+    /// absent).
+    pub fn snapshot_extent(&self, path: &str, stripe: u64) -> Option<(Vec<u8>, u64)> {
+        let key = (path.to_string(), stripe);
+        let generation = *self.dirty.get(&key)?;
+        let data = self.extents.get(&key)?.clone();
+        Some((data, generation))
+    }
+
+    /// Marks an extent clean if — and only if — its dirty generation still
+    /// equals `generation` (the drain snapshot is current). Returns whether
+    /// the extent is now clean; a concurrent overwrite keeps it dirty.
+    pub fn mark_clean(&mut self, path: &str, stripe: u64, generation: u64) -> bool {
+        let key = (path.to_string(), stripe);
+        match self.dirty.get(&key) {
+            Some(g) if *g == generation => {
+                self.dirty.remove(&key);
+                let len = self.extents.get(&key).map(|e| e.len() as u64).unwrap_or(0);
+                self.bytes_dirty = self.bytes_dirty.saturating_sub(len);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evicts clean extents until resident bytes fall to `target_bytes`,
+    /// returning the evicted `(path, stripe, length)` records. Dirty extents
+    /// are **never** evicted — their only copy is this shard.
+    pub fn evict_clean_until(&mut self, target_bytes: u64) -> Vec<(String, u64, u64)> {
+        let mut evicted = Vec::new();
+        if self.bytes_stored <= target_bytes {
+            return evicted;
+        }
+        let clean_keys: Vec<(String, u64)> = self
+            .extents
+            .keys()
+            .filter(|k| !self.dirty.contains_key(*k))
+            .cloned()
+            .collect();
+        for key in clean_keys {
+            if self.bytes_stored <= target_bytes {
+                break;
+            }
+            if let Some(e) = self.extents.remove(&key) {
+                let len = e.len() as u64;
+                self.bytes_stored = self.bytes_stored.saturating_sub(len);
+                self.evicted.insert(key.clone(), len);
+                evicted.push((key.0, key.1, len));
+            }
+        }
+        evicted
+    }
+
+    /// Restores an evicted extent from its capacity-tier copy. Restoring a
+    /// resident extent is a no-op.
+    ///
+    /// With `mark_dirty = false` the extent re-enters the shard clean (the
+    /// tier still holds an identical copy) and is immediately evictable
+    /// again. With `mark_dirty = true` it re-enters dirty — eviction cannot
+    /// touch it — which is how a restore-for-write pins the extent against a
+    /// concurrent evictor until the write lands (the write would re-dirty it
+    /// anyway).
+    pub fn restore_extent(&mut self, path: &str, stripe: u64, data: &[u8], mark_dirty: bool) {
+        let key = (path.to_string(), stripe);
+        if self.extents.contains_key(&key) {
+            return;
+        }
+        self.evicted.remove(&key);
+        self.bytes_stored += data.len() as u64;
+        if mark_dirty {
+            self.next_generation += 1;
+            self.dirty.insert(key.clone(), self.next_generation);
+            self.bytes_dirty += data.len() as u64;
+        }
+        self.extents.insert(key, data.to_vec());
+    }
+
+    /// The evicted extents of `path` (or of every path when `None`) as
+    /// `(path, stripe, length)`.
+    pub fn evicted_extents(&self, path: Option<&str>) -> Vec<(String, u64, u64)> {
+        match path {
+            Some(p) => self
+                .evicted
+                .range((p.to_string(), 0)..=(p.to_string(), u64::MAX))
+                .map(|((path, stripe), len)| (path.clone(), *stripe, *len))
+                .collect(),
+            None => self
+                .evicted
+                .iter()
+                .map(|((path, stripe), len)| (path.clone(), *stripe, *len))
+                .collect(),
+        }
     }
 }
 
@@ -357,6 +587,141 @@ mod tests {
         s.write_extent("/a", 0, 20, &[2u8; 30]).unwrap();
         assert_eq!(s.bytes_stored(), 100);
         assert_eq!(s.read_extent("/a", 0, 20, 1), vec![2]);
+    }
+
+    #[test]
+    fn checked_read_distinguishes_hole_short_read_and_data() {
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/f", 0, 10, b"hello").unwrap();
+        // Never-written stripe: a logical hole, not data.
+        assert_eq!(s.read_extent_checked("/f", 5, 0, 8), ExtentRead::Hole);
+        // Written stripe: data, short at the extent tail.
+        assert_eq!(
+            s.read_extent_checked("/f", 0, 13, 100),
+            ExtentRead::Data(b"lo".to_vec())
+        );
+        // Range entirely past the written end of a resident extent: empty
+        // data, still distinguishable from a hole.
+        assert_eq!(
+            s.read_extent_checked("/f", 0, 50, 10),
+            ExtentRead::Data(Vec::new())
+        );
+        // The legacy accessor flattens both hole and short read (documented
+        // sparse-read contract).
+        assert_eq!(s.read_extent("/f", 5, 0, 8), Vec::<u8>::new());
+        assert_eq!(s.read_extent("/f", 0, 13, 100), b"lo");
+    }
+
+    #[test]
+    fn dirty_tracking_and_generation_guarded_clean() {
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/a", 0, 0, &[1u8; 100]).unwrap();
+        assert_eq!(s.bytes_dirty(), 100);
+        assert!(s.has_dirty_for("/a"));
+        let (data, generation) = s.snapshot_extent("/a", 0).unwrap();
+        assert_eq!(data.len(), 100);
+        // A write after the snapshot bumps the generation: the stale drain
+        // must not mark the extent clean.
+        s.write_extent("/a", 0, 0, &[2u8; 10]).unwrap();
+        assert!(!s.mark_clean("/a", 0, generation));
+        assert_eq!(s.bytes_dirty(), 100);
+        // Draining the current generation succeeds.
+        let (_, generation) = s.snapshot_extent("/a", 0).unwrap();
+        assert!(s.mark_clean("/a", 0, generation));
+        assert_eq!(s.bytes_dirty(), 0);
+        assert_eq!(s.bytes_clean(), 100);
+        assert!(!s.has_dirty_for("/a"));
+        assert!(s.snapshot_extent("/a", 0).is_none());
+    }
+
+    #[test]
+    fn dirty_bytes_account_growth_not_overwrite() {
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/a", 0, 0, &[1u8; 100]).unwrap();
+        s.write_extent("/a", 0, 50, &[2u8; 100]).unwrap();
+        assert_eq!(s.bytes_dirty(), 150);
+        assert_eq!(s.bytes_stored(), 150);
+    }
+
+    #[test]
+    fn eviction_skips_dirty_extents_and_tracks_residency() {
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/clean", 0, 0, &[1u8; 100]).unwrap();
+        s.write_extent("/dirty", 0, 0, &[2u8; 100]).unwrap();
+        let (_, generation) = s.snapshot_extent("/clean", 0).unwrap();
+        s.mark_clean("/clean", 0, generation);
+        // Ask for full eviction: only the clean extent goes.
+        let evicted = s.evict_clean_until(0);
+        assert_eq!(evicted, vec![("/clean".to_string(), 0, 100)]);
+        assert_eq!(s.bytes_stored(), 100);
+        assert_eq!(s.bytes_dirty(), 100);
+        // The evicted extent reads as Evicted, never as zeros.
+        assert_eq!(
+            s.read_extent_checked("/clean", 0, 0, 10),
+            ExtentRead::Evicted
+        );
+        assert_eq!(s.evicted_extents(Some("/clean")).len(), 1);
+        // Writing to an evicted extent is refused (stage in first).
+        assert!(matches!(
+            s.write_extent("/clean", 0, 0, b"x"),
+            Err(FsError::NotResident(_))
+        ));
+        // Restore brings the bytes back clean.
+        s.restore_extent("/clean", 0, &[1u8; 100], false);
+        assert_eq!(
+            s.read_extent_checked("/clean", 0, 0, 3),
+            ExtentRead::Data(vec![1, 1, 1])
+        );
+        assert_eq!(s.bytes_stored(), 200);
+        assert_eq!(s.bytes_dirty(), 100);
+        assert!(s.evicted_extents(Some("/clean")).is_empty());
+    }
+
+    #[test]
+    fn restore_for_write_pins_the_extent_dirty() {
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/w", 0, 0, &[3u8; 64]).unwrap();
+        let (_, generation) = s.snapshot_extent("/w", 0).unwrap();
+        s.mark_clean("/w", 0, generation);
+        s.evict_clean_until(0);
+        // Restore-for-write: the extent comes back dirty, so eviction cannot
+        // reclaim it before the write lands.
+        s.restore_extent("/w", 0, &[3u8; 64], true);
+        assert_eq!(s.bytes_dirty(), 64);
+        assert!(s.evict_clean_until(0).is_empty());
+        assert!(s.write_extent("/w", 0, 10, b"ok").is_ok());
+    }
+
+    #[test]
+    fn dirty_extents_respects_limit_and_exclusion() {
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/a", 0, 0, &[1u8; 10]).unwrap();
+        s.write_extent("/a", 1, 0, &[1u8; 20]).unwrap();
+        s.write_extent("/b", 0, 0, &[1u8; 30]).unwrap();
+        let mut exclude = std::collections::HashSet::new();
+        exclude.insert(("/a".to_string(), 0));
+        let d = s.dirty_extents(10, &exclude);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|(p, st, _, _)| !(p == "/a" && *st == 0)));
+        assert_eq!(s.dirty_extents(1, &exclude).len(), 1);
+    }
+
+    #[test]
+    fn remove_extents_purges_dirty_and_evicted_state() {
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/a", 0, 0, &[1u8; 50]).unwrap();
+        s.write_extent("/a", 1, 0, &[1u8; 50]).unwrap();
+        let (_, generation) = s.snapshot_extent("/a", 1).unwrap();
+        s.mark_clean("/a", 1, generation);
+        s.evict_clean_until(50);
+        assert_eq!(s.evicted_extents(Some("/a")).len(), 1);
+        s.remove_extents("/a");
+        assert_eq!(s.bytes_dirty(), 0);
+        assert_eq!(s.bytes_stored(), 0);
+        assert!(s.evicted_extents(None).is_empty());
+        // The previously evicted stripe now reads as a hole (unlinked), not
+        // Evicted.
+        assert_eq!(s.read_extent_checked("/a", 1, 0, 1), ExtentRead::Hole);
     }
 
     #[test]

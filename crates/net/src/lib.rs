@@ -12,5 +12,5 @@
 pub mod message;
 pub mod transport;
 
-pub use message::{ClientMessage, FsOp, FsReply, PeerMessage, ServerMessage};
+pub use message::{ClientMessage, FsOp, FsReply, PeerMessage, ServerMessage, StageReply};
 pub use transport::{channel_pair, Disconnected, Endpoint, LinkModel, PeerFabric};

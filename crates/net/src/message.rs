@@ -12,6 +12,7 @@ use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
 use themis_fs::layout::StripeConfig;
 use themis_fs::store::StatInfo;
+use themis_stage::DrainStatus;
 
 /// A POSIX-flavoured file system operation as carried on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -201,6 +202,37 @@ pub enum ClientMessage {
         /// Request id chosen by the client, echoed in the reply.
         request_id: u64,
     },
+    /// Staging: force the server's local extents of `path` down to the
+    /// capacity tier. Answered with [`ServerMessage::Stage`] /
+    /// [`StageReply::Flushed`] once every local extent of the path is clean
+    /// (immediately, when the path is already clean — a flush of a clean
+    /// file is a no-op acknowledgement). The drain traffic this triggers is
+    /// arbitrated by the policy engine like any other traffic.
+    Flush {
+        /// Request id chosen by the client, echoed in the acknowledgement.
+        request_id: u64,
+        /// Job issuing the flush (keeps the job monitor informed).
+        meta: JobMeta,
+        /// Path whose extents should be written back.
+        path: String,
+    },
+    /// Staging: restore the server's evicted extents of `path` from the
+    /// capacity tier into the burst buffer. Answered with
+    /// [`ServerMessage::Stage`] / [`StageReply::StagedIn`].
+    StageIn {
+        /// Request id chosen by the client, echoed in the acknowledgement.
+        request_id: u64,
+        /// Job issuing the stage-in.
+        meta: JobMeta,
+        /// Path to restore.
+        path: String,
+    },
+    /// Staging: query the server's drain/eviction state. Answered with
+    /// [`ServerMessage::Stage`] / [`StageReply::Status`].
+    DrainStatus {
+        /// Request id chosen by the client, echoed in the reply.
+        request_id: u64,
+    },
 }
 
 /// A server→client message.
@@ -241,6 +273,37 @@ pub enum ServerMessage {
         /// Why the swap was rejected.
         reason: String,
     },
+    /// Response to a staging request ([`ClientMessage::Flush`],
+    /// [`ClientMessage::StageIn`], [`ClientMessage::DrainStatus`]).
+    Stage {
+        /// Echoed request id.
+        request_id: u64,
+        /// The reply payload.
+        reply: StageReply,
+    },
+}
+
+/// The payload of a [`ServerMessage::Stage`] reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageReply {
+    /// Every local extent of the flushed path is clean in the capacity tier.
+    Flushed {
+        /// Bytes of the path held by this server's capacity tier at
+        /// acknowledgement time (0 when the flush was a no-op on a path with
+        /// no local extents).
+        backing_bytes: u64,
+    },
+    /// The server restored its evicted extents of the path.
+    StagedIn {
+        /// Bytes copied back from the capacity tier (0 when everything was
+        /// already resident).
+        restored_bytes: u64,
+    },
+    /// The server's staging state snapshot.
+    Status(DrainStatus),
+    /// The request could not be served (e.g. staging disabled on the
+    /// server).
+    Error(String),
 }
 
 /// A server→server message used by the λ-sync all-gather.

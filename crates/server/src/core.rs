@@ -6,17 +6,21 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 use themis_baselines::Algorithm;
 use themis_core::engine::PolicyEngine;
 use themis_core::entity::JobMeta;
 use themis_core::job_table::JobTable;
 use themis_core::policy::{Policy, PolicyError};
-use themis_core::request::{Completion, IoRequest};
+use themis_core::request::{Completion, IoRequest, OpKind};
 use themis_core::shares::ShareMap;
 use themis_core::sync::{LambdaClock, SyncConfig};
 use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
 use themis_fs::{BurstBufferFs, FsError, OpenFlags, Whence};
-use themis_net::message::{FsOp, FsReply};
+use themis_net::message::{FsOp, FsReply, StageReply};
+use themis_stage::{
+    is_drain, BackingStore, CapacityTier, DrainPipeline, DrainStatus, StagedEngine, StagingConfig,
+};
 
 /// Configuration of one server.
 #[derive(Debug, Clone)]
@@ -31,18 +35,54 @@ pub struct ServerConfig {
     pub heartbeat_timeout_ns: u64,
     /// Seed for the statistical-token draws, so runs are reproducible.
     pub rng_seed: u64,
+    /// Staging configuration: when set, the server runs a capacity tier
+    /// behind the burst buffer, drains dirty extents to it in the background
+    /// (arbitrated by the policy engine at the configured foreground:drain
+    /// weight), and evicts clean extents under watermark pressure.
+    pub staging: Option<StagingConfig>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             algorithm: Algorithm::Themis(Policy::size_fair()),
-            device: DeviceConfig::default(),
+            device: DeviceConfig::optane_ssd(),
             sync: SyncConfig::default(),
             heartbeat_timeout_ns: 5_000_000_000,
             rng_seed: 0x007e_1105,
+            staging: None,
         }
     }
+}
+
+/// A staging reply that became ready during a poll (or synchronously while
+/// handling a staging message), to be routed back by its request id.
+#[derive(Debug, Clone)]
+pub struct StageReady {
+    /// Client-chosen request id.
+    pub request_id: u64,
+    /// The staging reply payload.
+    pub reply: StageReply,
+}
+
+/// What a read-through read targets: a descriptor cursor or an absolute
+/// position.
+enum ReadTarget<'a> {
+    Fd(u64),
+    At(&'a str, u64),
+}
+
+/// The server-side staging state: the drain pipeline, the capacity tier and
+/// its device timeline, plus drains waiting on their capacity-tier write.
+struct StageState {
+    pipeline: DrainPipeline,
+    backing: Arc<dyn BackingStore>,
+    backing_device: DeviceTimeline,
+    /// `(capacity_write_finish_ns, seq, drained_generation)` of drains whose
+    /// burst-buffer read completed.
+    inflight_backing: Vec<(u64, u64, u64)>,
+    /// Flushes waiting for their path's local extents to become clean.
+    pending_flushes: Vec<(u64, String)>,
 }
 
 /// A reply that became ready during a [`ServerCore::poll`] call, tagged with
@@ -80,13 +120,57 @@ pub struct ServerCore {
     pending: HashMap<u64, (u64, FsOp)>,
     next_seq: u64,
     completions: u64,
+    staging: Option<StageState>,
+    stage_replies: Vec<StageReady>,
+    /// Requests rejected at submission (e.g. a job id in the reserved drain
+    /// range), answered by the next poll.
+    rejected: Vec<ReadyReply>,
 }
 
 impl ServerCore {
     /// Creates a server operating on `fs`.
+    ///
+    /// When [`ServerConfig::staging`] is set the policy engine is wrapped in
+    /// a [`StagedEngine`] so synthesized drain traffic shares the device at
+    /// the configured foreground:drain weight, and a [`CapacityTier`] built
+    /// from the staging config's backing device absorbs drained extents.
     pub fn new(server_index: usize, fs: BurstBufferFs, config: ServerConfig) -> Self {
+        Self::with_backing(server_index, fs, config, None)
+    }
+
+    /// Like [`ServerCore::new`], but draining into a caller-supplied backing
+    /// store. A multi-server deployment passes one shared [`CapacityTier`]
+    /// to every server — the capacity file system behind the burst buffer is
+    /// a single system, so any server can stage in extents drained by a
+    /// peer. Ignored when staging is not configured.
+    pub fn with_backing(
+        server_index: usize,
+        fs: BurstBufferFs,
+        config: ServerConfig,
+        backing: Option<Arc<dyn BackingStore>>,
+    ) -> Self {
         let policy = config.algorithm.initial_policy();
-        let engine = config.algorithm.build();
+        let engine: Box<dyn PolicyEngine> = match &config.staging {
+            Some(sc) => {
+                sc.drain
+                    .validate()
+                    .expect("staging drain configuration must be valid");
+                Box::new(StagedEngine::new(
+                    config.algorithm.build(),
+                    sc.drain.drain_weight,
+                ))
+            }
+            None => config.algorithm.build(),
+        };
+        let staging = config.staging.as_ref().map(|sc| StageState {
+            pipeline: DrainPipeline::new(server_index, sc.drain),
+            backing: backing.unwrap_or_else(|| {
+                Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>
+            }),
+            backing_device: DeviceTimeline::new(DeviceModel::new(sc.backing_device)),
+            inflight_backing: Vec::new(),
+            pending_flushes: Vec::new(),
+        });
         let mut jobs = JobTable::with_heartbeat_timeout(config.heartbeat_timeout_ns);
         jobs.set_viewpoint(server_index);
         ServerCore {
@@ -103,6 +187,9 @@ impl ServerCore {
             next_seq: 0,
             config,
             completions: 0,
+            staging,
+            stage_replies: Vec::new(),
+            rejected: Vec::new(),
         }
     }
 
@@ -223,7 +310,30 @@ impl ServerCore {
     /// Accepts an I/O request from a client: the communicator records the
     /// job, assigns a sequence number, and queues the request with the
     /// arbitration algorithm.
+    ///
+    /// Job ids in the reserved drain range are rejected with an error reply
+    /// (delivered by the next [`ServerCore::poll`]): admitting one would let
+    /// a client smuggle traffic into the drain class — or, worse, have the
+    /// request mistaken for a drain and silently dropped.
     pub fn submit(&mut self, request_id: u64, meta: JobMeta, op: FsOp, now_ns: u64) {
+        if is_drain(&meta) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let request = IoRequest::new(seq, meta, op.op_kind(), op.payload_bytes(), now_ns);
+            self.rejected.push(ReadyReply {
+                request_id,
+                reply: FsReply::Error(format!(
+                    "job id {} is inside the reserved drain-job range",
+                    meta.job
+                )),
+                completion: Completion {
+                    request,
+                    start_ns: now_ns,
+                    finish_ns: now_ns,
+                },
+            });
+            return;
+        }
         self.jobs.observe_request(meta, now_ns);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -236,12 +346,23 @@ impl ServerCore {
     /// and the scheduler releases a request, execute it against the file
     /// system and record its service interval. Returns the replies that
     /// became ready, in completion order.
+    ///
+    /// With staging enabled the same loop also runs the drain pipeline:
+    /// completed capacity-tier writes mark their extents clean, watermark
+    /// pressure evicts clean extents, fresh dirty extents are admitted as
+    /// drain requests, and drain requests the engine releases are executed
+    /// against the burst-buffer device and the capacity tier.
     pub fn poll(&mut self, now_ns: u64) -> Vec<ReadyReply> {
-        let mut ready = Vec::new();
+        self.stage_tick(now_ns);
+        let mut ready = std::mem::take(&mut self.rejected);
         while self.device.has_idle_worker(now_ns) {
             let Some(request) = self.engine.select(now_ns, &mut self.rng) else {
                 break;
             };
+            if is_drain(&request.meta) {
+                self.execute_drain(&request, now_ns);
+                continue;
+            }
             let (request_id, op) = self
                 .pending
                 .remove(&request.seq)
@@ -264,22 +385,361 @@ impl ServerCore {
         ready
     }
 
-    /// Executes one file system operation (the data path of §4.3).
-    fn execute(&self, op: &FsOp, now_ns: u64) -> FsReply {
-        fn from_res<T>(r: Result<T, FsError>, f: impl FnOnce(T) -> FsReply) -> FsReply {
-            match r {
-                Ok(v) => f(v),
-                Err(e) => FsReply::Error(e.to_string()),
+    // ------------------------------------------------------------- staging
+
+    /// Whether this server runs the staging subsystem.
+    pub fn staging_enabled(&self) -> bool {
+        self.staging.is_some()
+    }
+
+    /// The capacity tier behind this server (for tests and inspection).
+    pub fn backing(&self) -> Option<&Arc<dyn BackingStore>> {
+        self.staging.as_ref().map(|s| &s.backing)
+    }
+
+    /// A point-in-time staging status snapshot, `None` when staging is
+    /// disabled.
+    pub fn drain_status_snapshot(&self) -> Option<DrainStatus> {
+        let st = self.staging.as_ref()?;
+        Some(st.pipeline.status(
+            self.fs.resident_bytes_on(self.server_index),
+            self.fs.dirty_bytes_on(self.server_index),
+            st.backing.bytes_stored(),
+        ))
+    }
+
+    /// Takes the staging replies that became ready (flush acknowledgements,
+    /// stage-in results, status snapshots).
+    pub fn take_stage_replies(&mut self) -> Vec<StageReady> {
+        std::mem::take(&mut self.stage_replies)
+    }
+
+    /// Handles a `Flush` request: acknowledge immediately when the path has
+    /// no dirty local extents (the no-op case), otherwise wait for the
+    /// background drain — which the flush does not bypass; it is ordinary
+    /// policy-arbitrated drain traffic — to make the path clean.
+    pub fn flush(&mut self, request_id: u64, meta: JobMeta, path: &str, now_ns: u64) {
+        self.jobs.observe_request(meta, now_ns);
+        let path = match themis_fs::path::normalize(path) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stage_replies.push(StageReady {
+                    request_id,
+                    reply: StageReply::Error(e.to_string()),
+                });
+                return;
+            }
+        };
+        let server = self.server_index;
+        let Some(st) = self.staging.as_mut() else {
+            self.stage_replies.push(StageReady {
+                request_id,
+                reply: StageReply::Error("staging is not enabled on this server".into()),
+            });
+            return;
+        };
+        let busy = self.fs.path_dirty_on(server, &path).unwrap_or(false)
+            || st.pipeline.has_inflight_for(&path);
+        if busy {
+            st.pending_flushes.push((request_id, path));
+        } else {
+            let backing_bytes = st.backing.bytes_for(&path);
+            self.stage_replies.push(StageReady {
+                request_id,
+                reply: StageReply::Flushed { backing_bytes },
+            });
+        }
+    }
+
+    /// Handles a `StageIn` request: restores the evicted extents of the path
+    /// on **this server's shard** from the capacity tier, charging the
+    /// capacity tier a read and the burst-buffer device a write per extent.
+    /// Like dirty state, evicted state is server-local — the client
+    /// broadcasts `StageIn` so every shard restores its own stripes exactly
+    /// once (no duplicated restore work, exact byte counts).
+    pub fn stage_in(&mut self, request_id: u64, meta: JobMeta, path: &str, now_ns: u64) {
+        self.jobs.observe_request(meta, now_ns);
+        let path = match themis_fs::path::normalize(path) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stage_replies.push(StageReady {
+                    request_id,
+                    reply: StageReply::Error(e.to_string()),
+                });
+                return;
+            }
+        };
+        if self.staging.is_none() {
+            self.stage_replies.push(StageReady {
+                request_id,
+                reply: StageReply::Error("staging is not enabled on this server".into()),
+            });
+            return;
+        }
+        let shard = self.server_index;
+        let restored_bytes = self.restore_extents(shard..shard + 1, &path, now_ns, None);
+        self.stage_replies.push(StageReady {
+            request_id,
+            reply: StageReply::StagedIn { restored_bytes },
+        });
+    }
+
+    /// Handles a `DrainStatus` request.
+    pub fn drain_status(&mut self, request_id: u64) {
+        let reply = match self.drain_status_snapshot() {
+            Some(status) => StageReply::Status(status),
+            None => StageReply::Error("staging is not enabled on this server".into()),
+        };
+        self.stage_replies.push(StageReady { request_id, reply });
+    }
+
+    /// Restores evicted extents of `path` on the given shards from the
+    /// capacity tier, returning the bytes copied back. The transparent
+    /// data-path restore spans *all* shards — whole-file operations execute
+    /// on the server that owns the path's metadata, which must be able to
+    /// bring back stripes drained and evicted by its peers (the capacity
+    /// tier is a shared system, see [`ServerCore::with_backing`]) — while an
+    /// explicit `StageIn` passes only this server's shard.
+    ///
+    /// With `targets = Some(stripes)` only those stripes are restored, and
+    /// they come back *pinned dirty* so a concurrent evictor cannot race the
+    /// caller (the restore-for-write path: the write re-dirties them
+    /// anyway, and untouched evicted extents stay in the tier — reads serve
+    /// them by read-through). With `targets = None` every evicted extent of
+    /// the path is restored clean (the tier still holds identical copies).
+    fn restore_extents(
+        &mut self,
+        shards: std::ops::Range<usize>,
+        path: &str,
+        now_ns: u64,
+        targets: Option<&std::collections::HashSet<u64>>,
+    ) -> u64 {
+        let Some(st) = self.staging.as_mut() else {
+            return 0;
+        };
+        let pin_dirty = targets.is_some();
+        let mut restored = 0u64;
+        for shard in shards {
+            for (p, stripe, _) in self.fs.evicted_extents_on(shard, Some(path)) {
+                if targets.is_some_and(|set| !set.contains(&stripe)) {
+                    continue;
+                }
+                let Some(data) = st.backing.read_back(&p, stripe) else {
+                    continue;
+                };
+                // Charge the capacity tier the read and the burst buffer the
+                // write-back.
+                let meta = st.pipeline.meta();
+                let read = IoRequest::new(0, meta, OpKind::Read, data.len() as u64, now_ns);
+                let (_, read_finish) = st.backing_device.dispatch(&read, now_ns);
+                let write = IoRequest::new(0, meta, OpKind::Write, data.len() as u64, read_finish);
+                self.device.dispatch(&write, read_finish);
+                self.fs
+                    .restore_extent_on(shard, &p, stripe, &data, pin_dirty);
+                restored += data.len() as u64;
             }
         }
+        restored
+    }
+
+    /// One staging maintenance pass: complete capacity-tier writes, evict
+    /// under watermark pressure, admit fresh drain traffic, acknowledge
+    /// finished flushes.
+    fn stage_tick(&mut self, now_ns: u64) {
+        let server = self.server_index;
+        let Some(st) = self.staging.as_mut() else {
+            return;
+        };
+
+        // 1. Drains whose capacity-tier write finished: mark clean (unless a
+        //    concurrent write re-dirtied the extent — the generation check).
+        let mut i = 0;
+        while i < st.inflight_backing.len() {
+            if st.inflight_backing[i].0 <= now_ns {
+                let (_, seq, generation) = st.inflight_backing.swap_remove(i);
+                if let Some(d) = st.pipeline.complete(seq) {
+                    self.fs.mark_clean_on(server, &d.path, d.stripe, generation);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Watermark eviction: reclaim clean extents down to the low
+        //    watermark. Dirty extents are never touched.
+        let cfg = *st.pipeline.config();
+        if self.fs.resident_bytes_on(server) > cfg.high_watermark_bytes {
+            let evicted = self.fs.evict_clean_on(server, cfg.low_watermark_bytes);
+            let bytes: u64 = evicted.iter().map(|(_, _, len)| len).sum();
+            if !evicted.is_empty() {
+                st.pipeline.record_eviction(evicted.len() as u64, bytes);
+            }
+        }
+
+        // 3. Background drain admission: synthesize policy-arbitrated drain
+        //    requests for dirty extents, up to the pipelining depth.
+        let capacity = st.pipeline.admission_capacity();
+        if capacity > 0 {
+            let candidates =
+                self.fs
+                    .dirty_extents_on(server, capacity, st.pipeline.inflight_keys());
+            for (path, stripe, generation, len) in candidates {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let request = st
+                    .pipeline
+                    .admit(seq, path, stripe, generation, len.max(1), now_ns);
+                self.engine.admit(request);
+            }
+        }
+
+        // 4. Flushes whose path became clean locally.
+        let mut j = 0;
+        while j < st.pending_flushes.len() {
+            let path = &st.pending_flushes[j].1;
+            let busy = self.fs.path_dirty_on(server, path).unwrap_or(false)
+                || st.pipeline.has_inflight_for(path);
+            if busy {
+                j += 1;
+            } else {
+                let (request_id, path) = st.pending_flushes.swap_remove(j);
+                let backing_bytes = st.backing.bytes_for(&path);
+                self.stage_replies.push(StageReady {
+                    request_id,
+                    reply: StageReply::Flushed { backing_bytes },
+                });
+            }
+        }
+    }
+
+    /// Executes a drain request the engine released: read the extent
+    /// snapshot off the burst-buffer device, then write it to the capacity
+    /// tier at the tier's own speed. The extent is marked clean when the
+    /// capacity-tier write completes (in a later [`ServerCore::poll`]).
+    fn execute_drain(&mut self, request: &IoRequest, now_ns: u64) {
+        let (_, finish_ns) = self.device.dispatch(request, now_ns);
+        let server = self.server_index;
+        let Some(st) = self.staging.as_mut() else {
+            return;
+        };
+        let Some(d) = st.pipeline.inflight(request.seq) else {
+            return;
+        };
+        // Snapshot at service time — the extent may have been overwritten
+        // (or drained and unlinked) since admission.
+        match self.fs.snapshot_extent_on(server, &d.path, d.stripe) {
+            Some((data, generation)) => {
+                st.backing.write_back(&d.path, d.stripe, &data);
+                let write = IoRequest::new(
+                    request.seq,
+                    st.pipeline.meta(),
+                    OpKind::Write,
+                    data.len() as u64,
+                    finish_ns,
+                );
+                let (_, backing_finish) = st.backing_device.dispatch(&write, finish_ns);
+                st.inflight_backing
+                    .push((backing_finish, request.seq, generation));
+            }
+            None => {
+                // Nothing dirty any more (unlinked or already clean): the
+                // drain is a no-op.
+                st.pipeline.complete(request.seq);
+            }
+        }
+    }
+
+    /// Executes one file system operation (the data path of §4.3). With
+    /// staging enabled, foreground I/O never observes staged-out data as
+    /// zeros or errors: reads serve evicted extents by reading through to
+    /// the capacity tier, and writes stage back in exactly the stripes they
+    /// target — pinned dirty, so a concurrent evictor cannot race the retry
+    /// — while untouched evicted extents stay in the tier (no spurious
+    /// restore or re-drain of data the tier already holds).
+    fn execute(&mut self, op: &FsOp, now_ns: u64) -> FsReply {
+        match self.try_execute(op, now_ns) {
+            Ok(reply) => reply,
+            Err(FsError::NotResident(path)) if self.staging.is_some() => {
+                let targets = self.write_target_stripes(op);
+                let shards = 0..self.fs.server_count();
+                self.restore_extents(shards, &path, now_ns, targets.as_ref());
+                match self.try_execute(op, now_ns) {
+                    Ok(reply) => reply,
+                    Err(e) => FsReply::Error(e.to_string()),
+                }
+            }
+            Err(e) => FsReply::Error(e.to_string()),
+        }
+    }
+
+    /// The stripes a write operation targets (`None` for non-writes) — the
+    /// extents that must be pinned dirty by a restore-for-write.
+    fn write_target_stripes(&self, op: &FsOp) -> Option<std::collections::HashSet<u64>> {
+        let (path, offset, len) = match op {
+            FsOp::WriteAt { path, offset, data } => (path.clone(), *offset, data.len() as u64),
+            FsOp::Write { fd, data } => {
+                let path = self.fs.fd_path(*fd).ok()?;
+                // lseek(0, CUR) reads the cursor without moving it.
+                let cursor = self.fs.lseek(*fd, 0, Whence::Cur).ok()?;
+                (path, cursor, data.len() as u64)
+            }
+            _ => return None,
+        };
+        if len == 0 {
+            return Some(std::collections::HashSet::new());
+        }
+        let stripe_size = self.fs.layout_of(&path).ok()?.config.stripe_size.max(1);
+        Some((offset / stripe_size..=(offset + len - 1) / stripe_size).collect())
+    }
+
+    /// Reads up to `len` bytes, serving evicted extents straight from the
+    /// capacity tier (read-through) when staging is enabled. The fetched
+    /// bytes are charged to the capacity-tier device's timeline (occupying
+    /// its workers); as a modelling simplification the *reply's* completion
+    /// time still comes from the burst-buffer dispatch alone, so per-request
+    /// latency of staged reads is optimistic — capacity-tier congestion
+    /// shows up in the backing timeline's utilisation, not in reply times.
+    fn read_through(
+        &mut self,
+        target: ReadTarget<'_>,
+        len: u64,
+        now_ns: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        let Some(st) = self.staging.as_mut() else {
+            return match target {
+                ReadTarget::Fd(fd) => self.fs.read(fd, len),
+                ReadTarget::At(path, offset) => self.fs.read_at(path, offset, len),
+            };
+        };
+        let backing = Arc::clone(&st.backing);
+        let fetched = std::cell::Cell::new(0u64);
+        let fetch = |p: &str, stripe: u64| {
+            let data = backing.read_back(p, stripe);
+            if let Some(d) = &data {
+                fetched.set(fetched.get() + d.len() as u64);
+            }
+            data
+        };
+        let result = match target {
+            ReadTarget::Fd(fd) => self.fs.read_with(fd, len, &fetch),
+            ReadTarget::At(path, offset) => self.fs.read_at_with(path, offset, len, &fetch),
+        };
+        if fetched.get() > 0 {
+            let read = IoRequest::new(0, st.pipeline.meta(), OpKind::Read, fetched.get(), now_ns);
+            st.backing_device.dispatch(&read, now_ns);
+        }
+        result
+    }
+
+    fn try_execute(&mut self, op: &FsOp, now_ns: u64) -> Result<FsReply, FsError> {
         match op {
             FsOp::Open {
                 path,
                 create,
                 truncate,
                 append,
-            } => from_res(
-                self.fs.open(
+            } => {
+                let fd = self.fs.open(
                     path,
                     OpenFlags {
                         create: *create,
@@ -287,36 +747,52 @@ impl ServerCore {
                         append: *append,
                     },
                     now_ns,
-                ),
-                FsReply::Fd,
-            ),
-            FsOp::Close { fd } => from_res(self.fs.close(*fd), |_| FsReply::Ok),
-            FsOp::Write { fd, data } => from_res(self.fs.write(*fd, data, now_ns), FsReply::Count),
-            FsOp::WriteAt { path, offset, data } => from_res(
-                self.fs.write_at(path, *offset, data, now_ns),
-                FsReply::Count,
-            ),
-            FsOp::Read { fd, len } => from_res(self.fs.read(*fd, *len), FsReply::Data),
-            FsOp::ReadAt { path, offset, len } => {
-                from_res(self.fs.read_at(path, *offset, *len), FsReply::Data)
+                )?;
+                if *truncate {
+                    self.drop_backing_copies(path);
+                }
+                Ok(FsReply::Fd(fd))
             }
+            FsOp::Close { fd } => self.fs.close(*fd).map(|_| FsReply::Ok),
+            FsOp::Write { fd, data } => self.fs.write(*fd, data, now_ns).map(FsReply::Count),
+            FsOp::WriteAt { path, offset, data } => self
+                .fs
+                .write_at(path, *offset, data, now_ns)
+                .map(FsReply::Count),
+            FsOp::Read { fd, len } => self
+                .read_through(ReadTarget::Fd(*fd), *len, now_ns)
+                .map(FsReply::Data),
+            FsOp::ReadAt { path, offset, len } => self
+                .read_through(ReadTarget::At(path, *offset), *len, now_ns)
+                .map(FsReply::Data),
             FsOp::Seek { fd, offset, whence } => {
                 let whence = match whence {
                     0 => Whence::Set,
                     1 => Whence::Cur,
                     _ => Whence::End,
                 };
-                from_res(self.fs.lseek(*fd, *offset, whence), FsReply::Count)
+                self.fs.lseek(*fd, *offset, whence).map(FsReply::Count)
             }
-            FsOp::Stat { path } => from_res(self.fs.stat(path), FsReply::Stat),
-            FsOp::Mkdir { path } => from_res(self.fs.mkdir_all(path, now_ns), |_| FsReply::Ok),
-            FsOp::Readdir { path } => from_res(self.fs.readdir(path), FsReply::Entries),
-            FsOp::Unlink { path } => from_res(self.fs.unlink(path, now_ns), |_| FsReply::Ok),
-            FsOp::CreateStriped { path, stripe } => {
-                from_res(self.fs.create_striped(path, *stripe, now_ns), |_| {
-                    FsReply::Ok
-                })
+            FsOp::Stat { path } => self.fs.stat(path).map(FsReply::Stat),
+            FsOp::Mkdir { path } => self.fs.mkdir_all(path, now_ns).map(|_| FsReply::Ok),
+            FsOp::Readdir { path } => self.fs.readdir(path).map(FsReply::Entries),
+            FsOp::Unlink { path } => {
+                self.fs.unlink(path, now_ns)?;
+                self.drop_backing_copies(path);
+                Ok(FsReply::Ok)
             }
+            FsOp::CreateStriped { path, stripe } => self
+                .fs
+                .create_striped(path, *stripe, now_ns)
+                .map(|_| FsReply::Ok),
+        }
+    }
+
+    /// Drops the capacity tier's copies of a path that was unlinked or
+    /// truncated, so stale snapshots cannot be staged back in.
+    fn drop_backing_copies(&mut self, path: &str) {
+        if let (Some(st), Ok(p)) = (self.staging.as_ref(), themis_fs::path::normalize(path)) {
+            st.backing.remove_path(&p);
         }
     }
 }
@@ -507,6 +983,391 @@ mod tests {
             assert_eq!(s.policy_epoch(), 0);
             assert_eq!(s.policy(), &before);
         }
+    }
+
+    fn staged_server(staging: StagingConfig) -> ServerCore {
+        let fs = BurstBufferFs::new(1);
+        ServerCore::new(
+            0,
+            fs,
+            ServerConfig {
+                algorithm: Algorithm::Themis(Policy::size_fair()),
+                staging: Some(staging),
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    fn fast_staging() -> StagingConfig {
+        StagingConfig {
+            // A fast backing tier so tests drain in microseconds of virtual
+            // time.
+            backing_device: DeviceConfig::default(),
+            drain: themis_stage::DrainConfig {
+                high_watermark_bytes: 1 << 30,
+                low_watermark_bytes: 1 << 29,
+                drain_weight: 8,
+                max_inflight: 4,
+            },
+        }
+    }
+
+    /// Polls until the staging pipeline reports clean, returning the virtual
+    /// time reached.
+    fn poll_until_clean(s: &mut ServerCore, mut t: u64) -> u64 {
+        loop {
+            s.poll(t);
+            let status = s.drain_status_snapshot().expect("staging enabled");
+            if status.is_clean() {
+                return t;
+            }
+            t += 100_000;
+            assert!(t < 60_000_000_000, "drain never completed");
+        }
+    }
+
+    fn write_file(s: &mut ServerCore, path: &str, bytes: usize, t: u64) {
+        s.submit(
+            9000,
+            meta(1, 1),
+            FsOp::Open {
+                path: path.into(),
+                create: true,
+                truncate: false,
+                append: false,
+            },
+            t,
+        );
+        let fd = loop {
+            let replies = s.poll(t);
+            if let Some(r) = replies.iter().find(|r| r.request_id == 9000) {
+                match r.reply {
+                    FsReply::Fd(fd) => break fd,
+                    ref other => panic!("unexpected {other:?}"),
+                }
+            }
+        };
+        s.submit(
+            9001,
+            meta(1, 1),
+            FsOp::Write {
+                fd,
+                data: vec![0xAB; bytes],
+            },
+            t,
+        );
+        let mut t = t;
+        loop {
+            if s.poll(t).iter().any(|r| r.request_id == 9001) {
+                break;
+            }
+            t += 100_000;
+            assert!(t < 60_000_000_000, "write never completed");
+        }
+    }
+
+    #[test]
+    fn background_drain_copies_dirty_extents_to_backing() {
+        let mut s = staged_server(fast_staging());
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/ckpt", 3 << 20, 0);
+        assert!(s.drain_status_snapshot().unwrap().dirty_bytes >= (3 << 20) as u64);
+        let t = poll_until_clean(&mut s, 1_000_000);
+        let status = s.drain_status_snapshot().unwrap();
+        assert_eq!(status.dirty_bytes, 0);
+        assert_eq!(status.backing_bytes, (3 << 20) as u64);
+        assert!(status.drained_ops >= 3, "stripes drained individually");
+        // The data stayed resident (no watermark pressure) and readable.
+        assert_eq!(s.fs().read_at("/ckpt", 0, 16).unwrap(), vec![0xAB; 16]);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn flush_of_clean_file_is_noop_ack() {
+        let mut s = staged_server(fast_staging());
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/clean", 1 << 20, 0);
+        poll_until_clean(&mut s, 1_000_000);
+        // File fully drained: the flush acknowledges immediately, without
+        // queueing any drain work.
+        let queued_before = s.queued();
+        s.flush(42, meta(1, 1), "/clean", 10_000_000);
+        let replies = s.take_stage_replies();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].request_id, 42);
+        match replies[0].reply {
+            StageReply::Flushed { backing_bytes } => {
+                assert_eq!(backing_bytes, (1 << 20) as u64)
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.queued(), queued_before);
+        // A flush of a path with no extents at all is also a no-op ack.
+        s.flush(43, meta(1, 1), "/never-written", 10_000_000);
+        let replies = s.take_stage_replies();
+        assert!(
+            matches!(replies[0].reply, StageReply::Flushed { backing_bytes: 0 }),
+            "{:?}",
+            replies[0].reply
+        );
+    }
+
+    #[test]
+    fn flush_of_dirty_file_acks_after_drain() {
+        let mut s = staged_server(fast_staging());
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/dirty", 2 << 20, 0);
+        s.flush(77, meta(1, 1), "/dirty", 1_000_000);
+        assert!(s.take_stage_replies().is_empty(), "ack must wait for drain");
+        let mut t = 1_000_000;
+        let replies = loop {
+            s.poll(t);
+            let replies = s.take_stage_replies();
+            if !replies.is_empty() {
+                break replies;
+            }
+            t += 100_000;
+            assert!(t < 60_000_000_000, "flush never acknowledged");
+        };
+        assert_eq!(replies[0].request_id, 77);
+        assert!(matches!(
+            replies[0].reply,
+            StageReply::Flushed { backing_bytes } if backing_bytes == (2 << 20) as u64
+        ));
+        assert_eq!(s.drain_status_snapshot().unwrap().dirty_bytes, 0);
+    }
+
+    #[test]
+    fn policy_swap_mid_drain_keeps_epoch_semantics() {
+        let mut s = staged_server(fast_staging());
+        s.heartbeat(meta(1, 4), 0);
+        s.heartbeat(meta(2, 1), 0);
+        write_file(&mut s, "/mid", 4 << 20, 0);
+        // Kick the pipeline so drain requests are admitted and in flight.
+        s.poll(1_000_000);
+        let queued_before = s.queued();
+        assert!(
+            !s.drain_status_snapshot().unwrap().is_clean(),
+            "drain should be in progress"
+        );
+        // Live SetPolicy mid-drain: accepted (the staged engine delegates to
+        // the themis engine underneath), epoch bumps, queues — foreground and
+        // drain — are preserved.
+        let epoch = s.set_policy(Policy::job_fair()).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(s.policy_epoch(), 1);
+        assert_eq!(s.queued(), queued_before);
+        assert!((s.shares().share(JobId(1)) - 0.5).abs() < 1e-9);
+        // The drain still completes under the new policy.
+        poll_until_clean(&mut s, 2_000_000);
+        assert_eq!(
+            s.drain_status_snapshot().unwrap().backing_bytes,
+            (4 << 20) as u64
+        );
+    }
+
+    #[test]
+    fn eviction_reclaims_clean_extents_but_never_dirty_ones() {
+        let mut staging = fast_staging();
+        staging.drain.high_watermark_bytes = 2 << 20;
+        staging.drain.low_watermark_bytes = 1 << 20;
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/big", 4 << 20, 0);
+        // While everything is dirty, watermark pressure must evict nothing:
+        // a dirty extent's only copy is the burst buffer.
+        s.poll(1_000);
+        let status = s.drain_status_snapshot().unwrap();
+        assert_eq!(status.evicted_bytes, 0);
+        assert!(status.resident_bytes >= (4 << 20) as u64);
+        // Once drained, the clean extents above the watermark are reclaimed.
+        poll_until_clean(&mut s, 1_000_000);
+        s.poll(60_000_000);
+        let status = s.drain_status_snapshot().unwrap();
+        assert!(status.evicted_bytes > 0, "watermark eviction ran");
+        // Eviction triggers above the high watermark and reclaims down to
+        // the low watermark, so steady state is at or below high.
+        assert!(
+            status.resident_bytes <= (2 << 20) as u64,
+            "resident {} above high watermark",
+            status.resident_bytes
+        );
+        assert_eq!(status.dirty_bytes, 0);
+        assert_eq!(status.backing_bytes, (4 << 20) as u64);
+    }
+
+    #[test]
+    fn stage_in_restores_evicted_data_byte_for_byte() {
+        let mut staging = fast_staging();
+        staging.drain.high_watermark_bytes = 1 << 20;
+        staging.drain.low_watermark_bytes = 0;
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/evicted", 3 << 20, 0);
+        poll_until_clean(&mut s, 1_000_000);
+        s.poll(60_000_000);
+        assert_eq!(s.drain_status_snapshot().unwrap().resident_bytes, 0);
+        // An explicit stage-in restores everything from the capacity tier.
+        s.stage_in(55, meta(1, 1), "/evicted", 70_000_000);
+        let replies = s.take_stage_replies();
+        assert!(matches!(
+            replies[0].reply,
+            StageReply::StagedIn { restored_bytes } if restored_bytes == (3 << 20) as u64
+        ));
+        assert_eq!(
+            s.fs().read_at("/evicted", 0, 3 << 20).unwrap(),
+            vec![0xAB; 3 << 20]
+        );
+    }
+
+    #[test]
+    fn evicted_data_is_restored_transparently_on_read() {
+        let mut staging = fast_staging();
+        staging.drain.high_watermark_bytes = 1 << 20;
+        staging.drain.low_watermark_bytes = 0;
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/lazy", 2 << 20, 0);
+        poll_until_clean(&mut s, 1_000_000);
+        s.poll(60_000_000);
+        assert_eq!(s.drain_status_snapshot().unwrap().resident_bytes, 0);
+        // A plain read through the request path stages the extents back in
+        // instead of returning zeros or failing.
+        s.submit(
+            500,
+            meta(1, 1),
+            FsOp::ReadAt {
+                path: "/lazy".into(),
+                offset: 0,
+                len: 2 << 20,
+            },
+            70_000_000,
+        );
+        let mut t = 70_000_000;
+        let data = loop {
+            let replies = s.poll(t);
+            if let Some(r) = replies.iter().find(|r| r.request_id == 500) {
+                match &r.reply {
+                    FsReply::Data(d) => break d.clone(),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            t += 100_000;
+            assert!(t < 120_000_000_000, "read never completed");
+        };
+        assert_eq!(data, vec![0xAB; 2 << 20]);
+    }
+
+    #[test]
+    fn client_job_id_in_drain_range_is_rejected_not_dropped() {
+        // A malicious/buggy client using a job id inside the reserved drain
+        // range must get an error reply — never have its request mistaken
+        // for drain traffic and silently dropped. Both with and without
+        // staging.
+        for staging in [None, Some(fast_staging())] {
+            let fs = BurstBufferFs::new(1);
+            let mut s = ServerCore::new(
+                0,
+                fs,
+                ServerConfig {
+                    staging,
+                    ..ServerConfig::default()
+                },
+            );
+            let evil = JobMeta::new(themis_stage::DRAIN_JOB_BASE + 1, 1u32, 1u32, 1);
+            s.submit(31, evil, FsOp::Mkdir { path: "/d".into() }, 0);
+            let replies = s.poll(0);
+            assert_eq!(replies.len(), 1);
+            assert_eq!(replies[0].request_id, 31);
+            assert!(
+                matches!(replies[0].reply, FsReply::Error(_)),
+                "{:?}",
+                replies[0].reply
+            );
+            assert!(!s.fs().exists("/d"));
+            assert_eq!(s.queued(), 0);
+        }
+    }
+
+    #[test]
+    fn partial_write_to_evicted_extent_preserves_surrounding_bytes() {
+        // Overwriting a few bytes of an evicted extent must merge with the
+        // capacity-tier copy (restore-for-write), not lose the rest of the
+        // extent — and only the written stripe comes back pinned dirty.
+        let mut staging = fast_staging();
+        staging.drain.high_watermark_bytes = 1 << 20;
+        staging.drain.low_watermark_bytes = 0;
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/part", 3 << 20, 0);
+        poll_until_clean(&mut s, 1_000_000);
+        s.poll(60_000_000);
+        assert_eq!(s.drain_status_snapshot().unwrap().resident_bytes, 0);
+        // Overwrite 4 bytes in the middle of stripe 1.
+        s.submit(
+            600,
+            meta(1, 1),
+            FsOp::WriteAt {
+                path: "/part".into(),
+                offset: (1 << 20) + 100,
+                data: vec![0xFF; 4],
+            },
+            70_000_000,
+        );
+        let mut t = 70_000_000;
+        loop {
+            if s.poll(t).iter().any(|r| r.request_id == 600) {
+                break;
+            }
+            t += 100_000;
+            assert!(t < 120_000_000_000, "write never completed");
+        }
+        // Only the written stripe needs re-draining: untouched stripes came
+        // back clean (or stayed evicted), so dirty bytes are one stripe.
+        assert_eq!(
+            s.drain_status_snapshot().unwrap().dirty_bytes,
+            1 << 20,
+            "only the written stripe should be dirty"
+        );
+        // Read back the whole file: surrounding bytes intact, overwrite
+        // applied.
+        s.submit(
+            601,
+            meta(1, 1),
+            FsOp::ReadAt {
+                path: "/part".into(),
+                offset: 0,
+                len: 3 << 20,
+            },
+            t,
+        );
+        let data = loop {
+            let replies = s.poll(t);
+            if let Some(r) = replies.iter().find(|r| r.request_id == 601) {
+                match &r.reply {
+                    FsReply::Data(d) => break d.clone(),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            t += 100_000;
+            assert!(t < 240_000_000_000, "read never completed");
+        };
+        assert_eq!(data.len(), 3 << 20);
+        assert!(data[..(1 << 20) + 100].iter().all(|b| *b == 0xAB));
+        assert_eq!(&data[(1 << 20) + 100..(1 << 20) + 104], &[0xFF; 4]);
+        assert!(data[(1 << 20) + 104..].iter().all(|b| *b == 0xAB));
+    }
+
+    #[test]
+    fn drain_status_without_staging_is_an_error() {
+        let mut s = server(Policy::size_fair());
+        assert!(s.drain_status_snapshot().is_none());
+        s.drain_status(1);
+        let replies = s.take_stage_replies();
+        assert!(matches!(replies[0].reply, StageReply::Error(_)));
+        s.flush(2, meta(1, 1), "/x", 0);
+        let replies = s.take_stage_replies();
+        assert!(matches!(replies[0].reply, StageReply::Error(_)));
     }
 
     #[test]

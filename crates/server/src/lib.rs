@@ -16,5 +16,5 @@
 pub mod core;
 pub mod runtime;
 
-pub use crate::core::{ReadyReply, ServerConfig, ServerCore};
+pub use crate::core::{ReadyReply, ServerConfig, ServerCore, StageReady};
 pub use crate::runtime::{ClientConnection, Deployment};

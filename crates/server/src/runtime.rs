@@ -17,6 +17,7 @@ use themis_fs::BurstBufferFs;
 use themis_net::message::{ClientMessage, ServerMessage};
 use themis_net::transport::{channel_pair, Endpoint, PeerFabric};
 use themis_net::PeerMessage;
+use themis_stage::{BackingStore, CapacityTier};
 
 /// A registrar message: a new connection id plus the server-side reply
 /// endpoint for it.
@@ -55,12 +56,23 @@ impl Deployment {
         let mut inboxes = Vec::with_capacity(n);
         let mut threads = Vec::with_capacity(n);
 
+        // One shared capacity tier for the whole deployment: the backing
+        // file system behind the burst buffer is a single system, so any
+        // server can stage in extents a peer drained.
+        let mut shared_backing: Option<Arc<dyn BackingStore>> = None;
+
         for idx in 0..n {
             let (reg_tx, reg_rx): (Sender<Registration>, Receiver<Registration>) = unbounded();
             let (in_tx, in_rx): (Sender<TaggedMessage>, Receiver<TaggedMessage>) = unbounded();
             registrars.push(reg_tx);
             inboxes.push(in_tx);
-            let core = ServerCore::new(idx, fs.clone(), config_for(idx));
+            let config = config_for(idx);
+            let backing = config.staging.as_ref().map(|sc| {
+                Arc::clone(shared_backing.get_or_insert_with(|| {
+                    Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>
+                }))
+            });
+            let core = ServerCore::with_backing(idx, fs.clone(), config, backing);
             let fabric = Arc::clone(&fabric);
             let stop = Arc::clone(&stop);
             threads.push(std::thread::spawn(move || {
@@ -250,10 +262,31 @@ fn server_loop(
                     reply_route.insert(request_id, conn_id);
                     core.submit(request_id, meta, op, now);
                 }
+                ClientMessage::Flush {
+                    request_id,
+                    meta,
+                    path,
+                } => {
+                    reply_route.insert(request_id, conn_id);
+                    core.flush(request_id, meta, &path, now);
+                }
+                ClientMessage::StageIn {
+                    request_id,
+                    meta,
+                    path,
+                } => {
+                    reply_route.insert(request_id, conn_id);
+                    core.stage_in(request_id, meta, &path, now);
+                }
+                ClientMessage::DrainStatus { request_id } => {
+                    reply_route.insert(request_id, conn_id);
+                    core.drain_status(request_id);
+                }
             }
         }
 
-        // Worker loop: serve whatever the scheduler releases.
+        // Worker loop: serve whatever the scheduler releases (foreground
+        // replies plus, with staging, drain progress).
         for ready in core.poll(now) {
             did_work = true;
             if let Some(conn_id) = reply_route.remove(&ready.request_id) {
@@ -261,6 +294,19 @@ fn server_loop(
                     let _ = c.endpoint.send(ServerMessage::IoReply {
                         request_id: ready.request_id,
                         reply: ready.reply,
+                    });
+                }
+            }
+        }
+
+        // Staging acknowledgements that became ready (flush/stage-in/status).
+        for stage in core.take_stage_replies() {
+            did_work = true;
+            if let Some(conn_id) = reply_route.remove(&stage.request_id) {
+                if let Some(c) = ensure_client(&mut clients, &registrar, conn_id) {
+                    let _ = c.endpoint.send(ServerMessage::Stage {
+                        request_id: stage.request_id,
+                        reply: stage.reply,
                     });
                 }
             }

@@ -21,9 +21,10 @@ use themis_core::engine::PolicyEngine;
 use themis_core::entity::JobId;
 use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
-use themis_core::request::IoRequest;
+use themis_core::request::{IoRequest, OpKind};
 use themis_core::sync::SyncConfig;
 use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
+use themis_stage::{drain_meta, is_drain, StagedEngine};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +48,39 @@ pub struct SimConfig {
     /// ignore scheduled swaps, mirroring the live control plane's
     /// rejection.
     pub policy_schedule: Vec<PolicyChange>,
+    /// Staging configuration: when set, every foreground write leaves dirty
+    /// bytes behind in the server's burst buffer, and a background drain
+    /// pipeline writes them to a capacity tier. Drain traffic is synthesized
+    /// as [`IoRequest`]s under the reserved drain job and scheduled through
+    /// the same engine as foreground traffic at the configured
+    /// foreground:drain weight (the simulated counterpart of the server's
+    /// staging subsystem).
+    pub staging: Option<SimStagingConfig>,
+}
+
+/// Staging parameters of a simulated drain scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct SimStagingConfig {
+    /// Device model of the capacity tier absorbing drained bytes.
+    pub backing_device: DeviceConfig,
+    /// Foreground : drain weight (see
+    /// [`DrainConfig`](themis_stage::DrainConfig)).
+    pub drain_weight: u32,
+    /// Bytes per synthesized drain request.
+    pub drain_chunk_bytes: u64,
+    /// Maximum drain requests in flight per server.
+    pub max_inflight: usize,
+}
+
+impl Default for SimStagingConfig {
+    fn default() -> Self {
+        SimStagingConfig {
+            backing_device: DeviceConfig::capacity_hdd(),
+            drain_weight: 8,
+            drain_chunk_bytes: 8 << 20,
+            max_inflight: 4,
+        }
+    }
 }
 
 /// One scheduled live policy swap inside a simulation.
@@ -62,12 +96,13 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             n_servers: 1,
-            device: DeviceConfig::default(),
+            device: DeviceConfig::optane_ssd(),
             algorithm: Algorithm::Themis(Policy::size_fair()),
             lambda: SyncConfig::default(),
             seed: 0xbeef,
             max_sim_ns: 3_600 * 1_000_000_000, // one simulated hour
             policy_schedule: Vec::new(),
+            staging: None,
         }
     }
 }
@@ -86,13 +121,19 @@ impl SimConfig {
 /// The outcome of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// All service records (per-request completion data).
+    /// All service records (per-request completion data). Drain traffic is
+    /// reported separately (below), not in the foreground metrics.
     pub metrics: Metrics,
     /// Completion time of the last operation of each job — the job's
     /// time-to-solution for fixed-work jobs.
     pub job_finish_ns: BTreeMap<JobId, u64>,
     /// Virtual time at which the simulation stopped.
     pub sim_end_ns: u64,
+    /// Total bytes drained to the capacity tier (0 without staging).
+    pub drained_bytes: u64,
+    /// Dirty bytes never drained by the end of the run (0 when the buffer
+    /// fully drained; always 0 without staging).
+    pub residual_dirty_bytes: u64,
 }
 
 impl SimResult {
@@ -108,16 +149,52 @@ struct SimServer {
     table: JobTable,
     device: DeviceTimeline,
     policy: Policy,
+    staging: Option<SimServerStaging>,
+}
+
+/// Per-server staging state of a drain scenario: the byte-level model of the
+/// server's dirty backlog and its capacity-tier device.
+struct SimServerStaging {
+    config: SimStagingConfig,
+    backing: DeviceTimeline,
+    /// Bytes written into the burst buffer and not yet drained.
+    dirty_bytes: u64,
+    /// Subset of `dirty_bytes` already admitted as drain requests.
+    queued_bytes: u64,
+    /// Drain requests admitted and not yet fully drained.
+    inflight: usize,
+    /// Total bytes drained to the capacity tier.
+    drained_bytes: u64,
 }
 
 impl SimServer {
     fn new(config: &SimConfig) -> Self {
+        let engine: Box<dyn PolicyEngine> = match &config.staging {
+            Some(sc) => Box::new(StagedEngine::new(config.algorithm.build(), sc.drain_weight)),
+            None => config.algorithm.build(),
+        };
         SimServer {
-            engine: config.algorithm.build(),
+            engine,
             table: JobTable::new(),
             device: DeviceTimeline::new(DeviceModel::new(config.device)),
             policy: config.algorithm.initial_policy(),
+            staging: config.staging.map(|sc| SimServerStaging {
+                config: sc,
+                backing: DeviceTimeline::new(DeviceModel::new(sc.backing_device)),
+                dirty_bytes: 0,
+                queued_bytes: 0,
+                inflight: 0,
+                drained_bytes: 0,
+            }),
         }
+    }
+
+    /// Whether the staging pipeline still has work (dirty backlog or drains
+    /// in flight).
+    fn staging_busy(&self) -> bool {
+        self.staging
+            .as_ref()
+            .is_some_and(|st| st.dirty_bytes > 0 || st.inflight > 0)
     }
 }
 
@@ -180,6 +257,8 @@ impl Simulation {
 
         // Completion events: (finish_ns, rank index).
         let mut completions: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // Drain completion events: (capacity-tier finish_ns, server, bytes).
+        let mut drain_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         // Request sequence → issuing rank.
         let mut seq_to_rank: HashMap<u64, usize> = HashMap::new();
         let mut next_seq: u64 = 0;
@@ -218,8 +297,23 @@ impl Simulation {
                 r.next_ready_ns = r.next_ready_ns.max(finish + think);
             }
 
-            // 1b. Stop once every bounded job has completed all of its work;
-            // unbounded background jobs do not keep the simulation alive.
+            // 1a. Apply drain completions (capacity-tier writes) by `now`.
+            while let Some(Reverse((finish, server_idx, bytes))) = drain_events.peek().copied() {
+                if finish > now {
+                    break;
+                }
+                drain_events.pop();
+                if let Some(st) = servers[server_idx].staging.as_mut() {
+                    st.dirty_bytes = st.dirty_bytes.saturating_sub(bytes);
+                    st.queued_bytes = st.queued_bytes.saturating_sub(bytes);
+                    st.inflight = st.inflight.saturating_sub(1);
+                    st.drained_bytes += bytes;
+                }
+            }
+
+            // 1b. Stop once every bounded job has completed all of its work
+            // *and* every staging pipeline has fully drained; unbounded
+            // background jobs do not keep the simulation alive.
             if any_finite {
                 let all_finite_done = ranks.iter().all(|rank| {
                     let job = &self.jobs[rank.job_idx];
@@ -232,7 +326,8 @@ impl Simulation {
                         || job.end_ns.is_some_and(|end| now >= end);
                     exhausted && rank.inflight == 0
                 });
-                if all_finite_done && now > 0 {
+                let staging_idle = servers.iter().all(|s| !s.staging_busy());
+                if all_finite_done && staging_idle && now > 0 {
                     break;
                 }
             }
@@ -277,19 +372,60 @@ impl Simulation {
                 }
             }
 
+            // 2b. Synthesize drain traffic for the dirty backlog: chunks of
+            // the backlog become policy-arbitrated requests under the drain
+            // job, up to the pipelining depth.
+            for (server_idx, server) in servers.iter_mut().enumerate() {
+                let Some(st) = server.staging.as_mut() else {
+                    continue;
+                };
+                while st.inflight < st.config.max_inflight && st.dirty_bytes > st.queued_bytes {
+                    let chunk = st
+                        .config
+                        .drain_chunk_bytes
+                        .min(st.dirty_bytes - st.queued_bytes)
+                        .max(1);
+                    let req =
+                        IoRequest::new(next_seq, drain_meta(server_idx), OpKind::Read, chunk, now);
+                    next_seq += 1;
+                    st.queued_bytes += chunk;
+                    st.inflight += 1;
+                    server.engine.admit(req);
+                }
+            }
+
             // 3. Dispatch queued work on every server with an idle worker.
-            for server in servers.iter_mut() {
+            for (server_idx, server) in servers.iter_mut().enumerate() {
                 while server.device.has_idle_worker(now) {
                     let Some(req) = server.engine.select(now, &mut rng) else {
                         break;
                     };
                     let (start, finish) = server.device.dispatch(&req, now);
+                    if is_drain(&req.meta) {
+                        // The drained chunk leaves the burst buffer at
+                        // `finish` and lands in the capacity tier when the
+                        // (slower) backing device completes the write.
+                        let st = server
+                            .staging
+                            .as_mut()
+                            .expect("drain traffic only exists with staging");
+                        let write =
+                            IoRequest::new(req.seq, req.meta, OpKind::Write, req.bytes, finish);
+                        let (_, backing_finish) = st.backing.dispatch(&write, finish);
+                        drain_events.push(Reverse((backing_finish, server_idx, req.bytes)));
+                        continue;
+                    }
                     let completion = themis_core::request::Completion {
                         request: req,
                         start_ns: start,
                         finish_ns: finish,
                     };
                     server.engine.complete(&completion);
+                    if req.kind == OpKind::Write {
+                        if let Some(st) = server.staging.as_mut() {
+                            st.dirty_bytes += req.bytes;
+                        }
+                    }
                     metrics.record(ServiceRecord {
                         job: req.meta.job,
                         bytes: req.bytes,
@@ -319,6 +455,18 @@ impl Simulation {
             let mut next = u64::MAX;
             if let Some(Reverse((finish, _))) = completions.peek() {
                 next = next.min(*finish);
+            }
+            if let Some(Reverse((finish, _, _))) = drain_events.peek() {
+                next = next.min(*finish);
+            }
+            for server in servers.iter() {
+                if let Some(st) = server.staging.as_ref() {
+                    // New dirty bytes appeared after this iteration's
+                    // admission pass: admit them on the next tick.
+                    if st.inflight < st.config.max_inflight && st.dirty_bytes > st.queued_bytes {
+                        next = next.min(now + 1);
+                    }
+                }
             }
             for (rank_idx, rank) in ranks.iter().enumerate() {
                 let job = &self.jobs[ranks[rank_idx].job_idx];
@@ -368,10 +516,22 @@ impl Simulation {
             }
         }
 
+        let drained_bytes = servers
+            .iter()
+            .filter_map(|s| s.staging.as_ref())
+            .map(|st| st.drained_bytes)
+            .sum();
+        let residual_dirty_bytes = servers
+            .iter()
+            .filter_map(|s| s.staging.as_ref())
+            .map(|st| st.dirty_bytes)
+            .sum();
         SimResult {
             metrics,
             job_finish_ns: job_finish,
             sim_end_ns: now,
+            drained_bytes,
+            residual_dirty_bytes,
         }
     }
 }

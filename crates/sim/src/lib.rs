@@ -16,6 +16,6 @@ pub mod metrics;
 pub mod workload;
 
 pub use apps::App;
-pub use cluster::{PolicyChange, SimConfig, SimResult, Simulation};
+pub use cluster::{PolicyChange, SimConfig, SimResult, SimStagingConfig, Simulation};
 pub use metrics::{Metrics, ServiceRecord, ThroughputSeries};
 pub use workload::{OpPattern, SimJob};

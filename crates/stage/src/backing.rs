@@ -1,0 +1,181 @@
+//! The capacity tier behind the burst buffer.
+//!
+//! Drained extents are stored at whole-extent granularity keyed by
+//! `(path, stripe)`, mirroring the burst-buffer shard's index, so a drain is
+//! a consistent snapshot of one extent and a stage-in restores it
+//! byte-for-byte.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use themis_device::DeviceConfig;
+
+/// A capacity-tier store that absorbs drained burst-buffer extents and
+/// serves stage-in reads.
+///
+/// Implementations must be safe to share between the server core and
+/// out-of-band inspection (tests, status reporting); the in-tree
+/// [`CapacityTier`] uses interior locking. The [`device`](BackingStore::device)
+/// configuration is the tier's *performance model* — the server charges drain
+/// writes and stage-in reads against a
+/// [`DeviceTimeline`](themis_device::DeviceTimeline) built from it, which is
+/// what bounds drain throughput to capacity-tier speed.
+pub trait BackingStore: Send + Sync {
+    /// Short name for logs and status output (e.g. `"capacity"`).
+    fn name(&self) -> &'static str;
+
+    /// The device model of this tier (bandwidth, per-op overhead, workers).
+    fn device(&self) -> DeviceConfig;
+
+    /// Stores a full extent snapshot, replacing any previous copy.
+    fn write_back(&self, path: &str, stripe: u64, data: &[u8]);
+
+    /// Reads back a full extent, or `None` when the tier has no copy.
+    fn read_back(&self, path: &str, stripe: u64) -> Option<Vec<u8>>;
+
+    /// Whether the tier holds a copy of the extent.
+    fn contains(&self, path: &str, stripe: u64) -> bool;
+
+    /// Drops every extent of `path` (unlink propagation), returning the
+    /// bytes freed.
+    fn remove_path(&self, path: &str) -> u64;
+
+    /// Total bytes stored in the tier.
+    fn bytes_stored(&self) -> u64;
+
+    /// Bytes stored for one path.
+    fn bytes_for(&self, path: &str) -> u64;
+
+    /// Number of extents stored.
+    fn extent_count(&self) -> usize;
+}
+
+/// The in-tree capacity tier: an in-memory extent store whose speed is
+/// described by a [`DeviceConfig`] (typically
+/// [`DeviceConfig::capacity_hdd`], a disk-speed preset far below the
+/// burst-buffer NVMe).
+#[derive(Debug)]
+pub struct CapacityTier {
+    device: DeviceConfig,
+    extents: RwLock<BTreeMap<(String, u64), Vec<u8>>>,
+}
+
+impl CapacityTier {
+    /// Creates a tier whose performance is modelled by `device`.
+    pub fn new(device: DeviceConfig) -> Self {
+        CapacityTier {
+            device,
+            extents: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The conventional disk-speed capacity tier
+    /// ([`DeviceConfig::capacity_hdd`]).
+    pub fn hdd() -> Self {
+        CapacityTier::new(DeviceConfig::capacity_hdd())
+    }
+}
+
+impl BackingStore for CapacityTier {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn device(&self) -> DeviceConfig {
+        self.device
+    }
+
+    fn write_back(&self, path: &str, stripe: u64, data: &[u8]) {
+        self.extents
+            .write()
+            .insert((path.to_string(), stripe), data.to_vec());
+    }
+
+    fn read_back(&self, path: &str, stripe: u64) -> Option<Vec<u8>> {
+        self.extents
+            .read()
+            .get(&(path.to_string(), stripe))
+            .cloned()
+    }
+
+    fn contains(&self, path: &str, stripe: u64) -> bool {
+        self.extents
+            .read()
+            .contains_key(&(path.to_string(), stripe))
+    }
+
+    fn remove_path(&self, path: &str) -> u64 {
+        let mut extents = self.extents.write();
+        let keys: Vec<(String, u64)> = extents
+            .range((path.to_string(), 0)..=(path.to_string(), u64::MAX))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut freed = 0;
+        for k in keys {
+            if let Some(e) = extents.remove(&k) {
+                freed += e.len() as u64;
+            }
+        }
+        freed
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.extents.read().values().map(|e| e.len() as u64).sum()
+    }
+
+    fn bytes_for(&self, path: &str) -> u64 {
+        self.extents
+            .read()
+            .range((path.to_string(), 0)..=(path.to_string(), u64::MAX))
+            .map(|(_, e)| e.len() as u64)
+            .sum()
+    }
+
+    fn extent_count(&self) -> usize {
+        self.extents.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_back_read_back_roundtrip() {
+        let tier = CapacityTier::hdd();
+        tier.write_back("/ckpt", 0, &[7u8; 1024]);
+        tier.write_back("/ckpt", 3, &[9u8; 512]);
+        assert_eq!(tier.read_back("/ckpt", 0).unwrap(), vec![7u8; 1024]);
+        assert_eq!(tier.read_back("/ckpt", 3).unwrap(), vec![9u8; 512]);
+        assert!(tier.read_back("/ckpt", 1).is_none());
+        assert!(tier.contains("/ckpt", 3));
+        assert_eq!(tier.bytes_stored(), 1536);
+        assert_eq!(tier.bytes_for("/ckpt"), 1536);
+        assert_eq!(tier.extent_count(), 2);
+    }
+
+    #[test]
+    fn write_back_replaces_previous_snapshot() {
+        let tier = CapacityTier::hdd();
+        tier.write_back("/f", 0, &[1u8; 100]);
+        tier.write_back("/f", 0, &[2u8; 50]);
+        assert_eq!(tier.read_back("/f", 0).unwrap(), vec![2u8; 50]);
+        assert_eq!(tier.bytes_stored(), 50);
+    }
+
+    #[test]
+    fn remove_path_frees_only_that_path() {
+        let tier = CapacityTier::hdd();
+        tier.write_back("/a", 0, &[1u8; 10]);
+        tier.write_back("/a", 1, &[1u8; 20]);
+        tier.write_back("/b", 0, &[1u8; 5]);
+        assert_eq!(tier.remove_path("/a"), 30);
+        assert_eq!(tier.bytes_stored(), 5);
+        assert!(tier.contains("/b", 0));
+    }
+
+    #[test]
+    fn device_preset_is_slower_than_burst_buffer() {
+        let tier = CapacityTier::hdd();
+        assert!(tier.device().combined_bw() < DeviceConfig::optane_ssd().combined_bw());
+    }
+}

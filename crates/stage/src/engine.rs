@@ -1,0 +1,339 @@
+//! [`StagedEngine`]: a policy-engine decorator that arbitrates foreground
+//! traffic against synthesized drain traffic.
+//!
+//! The server holds one `Box<dyn PolicyEngine>`; when staging is enabled that
+//! box *is* a `StagedEngine` wrapping the configured foreground engine
+//! (ThemisIO statistical tokens, FIFO, GIFT, TBF — anything). Drain requests
+//! (identified by [`is_drain`]) are queued FIFO inside the decorator; all
+//! other calls pass through, so live `SetPolicy` swaps, share telemetry and
+//! the epoch-boundary contract are untouched.
+//!
+//! # The foreground:drain weight
+//!
+//! The split is start-time weighted fair queuing over two classes. The class
+//! weights are not ad-hoc numbers: they are derived through the policy
+//! crate's own [`WeightedLevel`] machinery by evaluating a one-tier
+//! `job[w]-fair` policy over two pseudo-jobs (foreground = the premium
+//! tenant, drain = its peer) with [`compute_shares`]. A weight of 8 therefore
+//! yields shares 8/9 : 1/9, exactly the semantics `user[8]-…` has for premium
+//! users — the paper's single-parameter policy language, extended to
+//! stage-out.
+//!
+//! When one class has nothing eligible the other expands into the idle
+//! capacity and the idle class's virtual time is clamped forward, so neither
+//! side accumulates credit or debt across idle periods (opportunity
+//! fairness, §3 of the paper, applied to the drain dimension).
+
+use crate::pipeline::is_drain;
+use rand::RngCore;
+use std::collections::VecDeque;
+use themis_core::engine::PolicyEngine;
+use themis_core::entity::{JobId, JobMeta};
+use themis_core::job_table::JobTable;
+use themis_core::policy::{Level, Policy, PolicySpec, WeightedLevel};
+use themis_core::request::{Completion, IoRequest};
+use themis_core::shares::{compute_shares, ShareMap};
+
+/// Derives the (foreground, drain) share split for `weight` via the policy
+/// crate's weighted-tier machinery (see the [module docs](self)).
+fn staged_shares(weight: u32) -> (f64, f64) {
+    let spec = PolicySpec::new([WeightedLevel::weighted(Level::Job, weight.max(1))])
+        .expect("a single weighted job tier is always a valid policy");
+    let policy = Policy::Fair(spec);
+    // Two pseudo-jobs: the premium tenant (lowest job id) is the foreground
+    // class, its peer is the drain class.
+    let foreground = JobMeta::new(0u64, 0u32, 0u32, 1);
+    let drain = JobMeta::new(1u64, 1u32, 1u32, 1);
+    let shares = compute_shares(&policy, &[foreground, drain]);
+    (shares.share(JobId(0)), shares.share(JobId(1)))
+}
+
+/// A [`PolicyEngine`] decorator that schedules drain traffic alongside the
+/// wrapped foreground engine at a configurable foreground:drain weight.
+pub struct StagedEngine {
+    inner: Box<dyn PolicyEngine>,
+    drain: VecDeque<IoRequest>,
+    weight: u32,
+    foreground_share: f64,
+    drain_share: f64,
+    /// Normalised virtual service (bytes / share) of each class.
+    v_foreground: f64,
+    v_drain: f64,
+}
+
+impl StagedEngine {
+    /// Wraps `inner` with a foreground:drain weight of `weight`:1.
+    pub fn new(inner: Box<dyn PolicyEngine>, weight: u32) -> Self {
+        let weight = weight.max(1);
+        let (foreground_share, drain_share) = staged_shares(weight);
+        StagedEngine {
+            inner,
+            drain: VecDeque::new(),
+            weight,
+            foreground_share,
+            drain_share,
+            v_foreground: 0.0,
+            v_drain: 0.0,
+        }
+    }
+
+    /// The configured foreground:drain weight.
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// The nominal (foreground, drain) share split.
+    pub fn class_shares(&self) -> (f64, f64) {
+        (self.foreground_share, self.drain_share)
+    }
+
+    /// Number of queued drain requests.
+    pub fn drain_queued(&self) -> usize {
+        self.drain.len()
+    }
+
+    /// The virtual cost of serving a request: its payload, with metadata
+    /// operations charged a nominal byte so they are not free.
+    fn cost(request: &IoRequest) -> f64 {
+        request.bytes.max(1) as f64
+    }
+
+    /// Clamps the virtual time of an idle class forward so idle periods
+    /// accumulate neither credit nor debt.
+    fn clamp_idle(&mut self) {
+        if self.drain.is_empty() {
+            self.v_drain = self.v_drain.max(self.v_foreground);
+        }
+        if self.inner.queued() == 0 {
+            self.v_foreground = self.v_foreground.max(self.v_drain);
+        }
+        // Keep the counters bounded: only the difference matters.
+        let floor = self.v_foreground.min(self.v_drain);
+        self.v_foreground -= floor;
+        self.v_drain -= floor;
+    }
+}
+
+impl PolicyEngine for StagedEngine {
+    fn name(&self) -> &'static str {
+        "staged"
+    }
+
+    fn admit(&mut self, request: IoRequest) {
+        if is_drain(&request.meta) {
+            self.drain.push_back(request);
+        } else {
+            self.inner.admit(request);
+        }
+    }
+
+    fn select(&mut self, now_ns: u64, rng: &mut dyn RngCore) -> Option<IoRequest> {
+        self.clamp_idle();
+        // Serve the class with the smaller normalised virtual service; ties
+        // favour the foreground.
+        let prefer_drain = !self.drain.is_empty() && self.v_drain < self.v_foreground;
+        if prefer_drain {
+            let request = self.drain.pop_front().expect("checked non-empty");
+            self.v_drain += Self::cost(&request) / self.drain_share;
+            return Some(request);
+        }
+        if let Some(request) = self.inner.select(now_ns, rng) {
+            self.v_foreground += Self::cost(&request) / self.foreground_share;
+            return Some(request);
+        }
+        // Foreground had nothing eligible (empty, or backlogged but
+        // throttled — e.g. TBF out of tokens): drain expands into capacity
+        // the foreground could not have used, *uncharged*. Charging it
+        // would bank drain debt across the throttled window and starve the
+        // drain once the foreground becomes eligible again.
+        self.drain.pop_front()
+    }
+
+    fn next_eligible_ns(&self, now_ns: u64) -> Option<u64> {
+        if !self.drain.is_empty() {
+            // Drain work is always eligible as soon as a worker frees up.
+            return Some(now_ns);
+        }
+        self.inner.next_eligible_ns(now_ns)
+    }
+
+    fn complete(&mut self, completion: &Completion) {
+        if !is_drain(&completion.request.meta) {
+            self.inner.complete(completion);
+        }
+    }
+
+    fn reconfigure(&mut self, table: &JobTable, policy: &Policy) {
+        // Pass through untouched: the drain queue survives reconfiguration
+        // just like the foreground queues (the epoch-boundary contract), and
+        // the foreground:drain split is orthogonal to the foreground policy.
+        self.inner.reconfigure(table, policy);
+    }
+
+    fn honors_policy(&self) -> bool {
+        self.inner.honors_policy()
+    }
+
+    fn queued(&self) -> usize {
+        self.inner.queued() + self.drain.len()
+    }
+
+    fn queued_for(&self, job: JobId) -> usize {
+        if job.0 >= crate::pipeline::DRAIN_JOB_BASE {
+            self.drain.iter().filter(|r| r.meta.job == job).count()
+        } else {
+            self.inner.queued_for(job)
+        }
+    }
+
+    fn backlogged_jobs(&self) -> Vec<JobId> {
+        let mut jobs = self.inner.backlogged_jobs();
+        if let Some(r) = self.drain.front() {
+            jobs.push(r.meta.job);
+        }
+        jobs
+    }
+
+    fn shares(&self) -> ShareMap {
+        self.inner.shares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::drain_meta;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use themis_core::request::OpKind;
+    use themis_core::sched::ThemisScheduler;
+
+    fn staged(weight: u32) -> StagedEngine {
+        StagedEngine::new(Box::new(ThemisScheduler::new(Policy::job_fair())), weight)
+    }
+
+    fn fg_meta() -> JobMeta {
+        JobMeta::new(1u64, 1u32, 1u32, 4)
+    }
+
+    fn table_with_fg() -> JobTable {
+        let mut t = JobTable::new();
+        t.heartbeat(fg_meta(), 0);
+        t
+    }
+
+    #[test]
+    fn shares_come_from_weighted_level_machinery() {
+        let (fg, dr) = staged_shares(8);
+        assert!((fg - 8.0 / 9.0).abs() < 1e-9);
+        assert!((dr - 1.0 / 9.0).abs() < 1e-9);
+        let (fg, dr) = staged_shares(1);
+        assert!((fg - 0.5).abs() < 1e-9);
+        assert!((dr - 0.5).abs() < 1e-9);
+        // Weight 0 is clamped to 1 by the constructor.
+        assert_eq!(
+            StagedEngine::new(Box::new(ThemisScheduler::new(Policy::job_fair())), 0).weight(),
+            1
+        );
+    }
+
+    #[test]
+    fn weighted_split_under_dual_backlog() {
+        // Both classes saturated with 1 MiB requests: the served byte split
+        // must approach 8:1.
+        let mut e = staged(8);
+        e.reconfigure(&table_with_fg(), &Policy::job_fair());
+        let mut seq = 0;
+        for _ in 0..360 {
+            e.admit(IoRequest::write(seq, fg_meta(), 1 << 20, 0));
+            seq += 1;
+        }
+        for _ in 0..360 {
+            e.admit(IoRequest::new(seq, drain_meta(0), OpKind::Read, 1 << 20, 0));
+            seq += 1;
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut fg_bytes = 0u64;
+        let mut drain_bytes = 0u64;
+        for _ in 0..180 {
+            let r = e.select(0, &mut rng).expect("backlogged");
+            if is_drain(&r.meta) {
+                drain_bytes += r.bytes;
+            } else {
+                fg_bytes += r.bytes;
+            }
+        }
+        let ratio = fg_bytes as f64 / drain_bytes.max(1) as f64;
+        assert!((ratio - 8.0).abs() < 1.0, "fg:drain byte ratio {ratio}");
+    }
+
+    #[test]
+    fn drain_expands_into_idle_foreground() {
+        let mut e = staged(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for s in 0..10 {
+            e.admit(IoRequest::new(s, drain_meta(0), OpKind::Read, 1 << 20, 0));
+        }
+        // No foreground work at all: every select yields drain.
+        for _ in 0..10 {
+            assert!(is_drain(&e.select(0, &mut rng).expect("drain queued").meta));
+        }
+        assert_eq!(e.queued(), 0);
+    }
+
+    #[test]
+    fn idle_period_accrues_no_debt() {
+        // Serve a long drain-only phase, then a foreground burst: the
+        // foreground must not monopolise the device to "catch up" — the split
+        // goes straight to 8:1.
+        let mut e = staged(8);
+        e.reconfigure(&table_with_fg(), &Policy::job_fair());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seq = 0u64;
+        for _ in 0..100 {
+            e.admit(IoRequest::new(seq, drain_meta(0), OpKind::Read, 1 << 20, 0));
+            seq += 1;
+        }
+        for _ in 0..50 {
+            e.select(0, &mut rng).expect("drain backlog");
+        }
+        // Foreground burst arrives; both classes now backlogged.
+        for _ in 0..200 {
+            e.admit(IoRequest::write(seq, fg_meta(), 1 << 20, 0));
+            seq += 1;
+        }
+        let mut fg = 0u64;
+        let mut dr = 0u64;
+        for _ in 0..45 {
+            let r = e.select(0, &mut rng).expect("backlogged");
+            if is_drain(&r.meta) {
+                dr += 1;
+            } else {
+                fg += 1;
+            }
+        }
+        // 45 selections at 8:1 → 40 foreground, 5 drain.
+        assert!(dr >= 3, "drain starved after idle period: {dr}");
+        assert!(fg >= 36, "foreground did not get its 8/9: {fg}");
+    }
+
+    #[test]
+    fn passthrough_preserves_engine_contract() {
+        let mut e = staged(4);
+        assert_eq!(e.name(), "staged");
+        assert!(e.honors_policy());
+        e.reconfigure(&table_with_fg(), &Policy::job_fair());
+        e.admit(IoRequest::write(0, fg_meta(), 4096, 0));
+        e.admit(IoRequest::new(1, drain_meta(0), OpKind::Read, 4096, 0));
+        assert_eq!(e.queued(), 2);
+        assert_eq!(e.queued_for(fg_meta().job), 1);
+        assert_eq!(e.queued_for(drain_meta(0).job), 1);
+        let backlogged = e.backlogged_jobs();
+        assert!(backlogged.contains(&fg_meta().job));
+        assert!(backlogged.contains(&drain_meta(0).job));
+        // Reconfigure (a live SetPolicy) leaves both queues intact.
+        e.reconfigure(&table_with_fg(), &Policy::size_fair());
+        assert_eq!(e.queued(), 2);
+        assert!((e.shares().share(fg_meta().job) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! # themis-stage
+//!
+//! The staging & drain subsystem of ThemisIO-RS: the burst buffer as a
+//! *staging tier* in front of a slower capacity file system.
+//!
+//! The paper arbitrates the burst-buffer device itself; BurstMem-style
+//! systems show that the *other* half of the sharing problem is drain
+//! bandwidth — the background traffic that flushes buffered writes to the
+//! capacity tier so the NVMe space can be reclaimed before the next
+//! checkpoint burst. This crate supplies the three pieces that problem
+//! needs:
+//!
+//! * [`BackingStore`] / [`CapacityTier`] — the capacity tier behind the
+//!   burst buffer, modelled with its own [`DeviceConfig`]
+//!   (e.g. [`DeviceConfig::capacity_hdd`]).
+//! * [`DrainPipeline`] + [`DrainConfig`] — per-server bookkeeping of the
+//!   extents being written back, watermark-driven eviction accounting, and
+//!   the synthesis of drain traffic as ordinary
+//!   [`IoRequest`](themis_core::request::IoRequest)s under a reserved
+//!   [drain job identity](drain_meta).
+//! * [`StagedEngine`] — a [`PolicyEngine`](themis_core::engine::PolicyEngine)
+//!   decorator that schedules the synthesized drain requests *alongside*
+//!   foreground traffic with a configurable foreground:drain weight. The
+//!   weight is expressed through the policy crate's own
+//!   [`WeightedLevel`](themis_core::policy::WeightedLevel) machinery, so the
+//!   paper's fine-grained sharing extends to stage-out without a second
+//!   arbitration mechanism.
+//!
+//! The server runtime and the simulator both drive these pieces: the drain
+//! pipeline decides *what* to write back, the staged engine decides *when*
+//! drain traffic may consume device time, and the backing store decides *how
+//! fast* the capacity tier absorbs it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backing;
+pub mod engine;
+pub mod pipeline;
+
+pub use backing::{BackingStore, CapacityTier};
+pub use engine::StagedEngine;
+pub use pipeline::{
+    drain_meta, is_drain, DrainConfig, DrainPipeline, DrainStatus, StagingConfig, DRAIN_GROUP_ID,
+    DRAIN_JOB_BASE, DRAIN_USER_ID,
+};
+
+// Re-exported so downstream crates configuring a capacity tier do not need a
+// direct themis-device dependency.
+pub use themis_device::DeviceConfig;

@@ -1,0 +1,362 @@
+//! The per-server drain pipeline: configuration, the reserved drain job
+//! identity, and the bookkeeping of extents in flight between the
+//! burst-buffer shard and the capacity tier.
+//!
+//! The pipeline does not move bytes itself — the server core (or the
+//! simulator) reads the extent snapshot from the shard, charges the
+//! burst-buffer and capacity devices, and writes to the
+//! [`BackingStore`](crate::backing::BackingStore). The pipeline's job is to
+//! make that flow *policy-visible*: every drain is an ordinary
+//! [`IoRequest`] under the [drain job identity](drain_meta), admitted to the
+//! server's [`PolicyEngine`](themis_core::engine::PolicyEngine) (wrapped in a
+//! [`StagedEngine`](crate::engine::StagedEngine)), so drain bandwidth is
+//! arbitrated exactly like foreground bandwidth.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use themis_core::entity::JobMeta;
+use themis_core::request::{IoRequest, OpKind};
+use themis_device::DeviceConfig;
+
+/// First job id of the reserved drain-job range. Each server's drain traffic
+/// runs under `DRAIN_JOB_BASE + server_index`, so per-server drain streams
+/// stay distinguishable in telemetry while [`is_drain`] stays a range check.
+pub const DRAIN_JOB_BASE: u64 = u64::MAX - (1 << 16);
+
+/// Reserved user id of drain traffic.
+pub const DRAIN_USER_ID: u32 = u32::MAX;
+
+/// Reserved group id of drain traffic.
+pub const DRAIN_GROUP_ID: u32 = u32::MAX;
+
+/// The job identity drain requests are issued under on `server`.
+pub fn drain_meta(server: usize) -> JobMeta {
+    JobMeta::new(
+        DRAIN_JOB_BASE + server as u64,
+        DRAIN_USER_ID,
+        DRAIN_GROUP_ID,
+        1,
+    )
+}
+
+/// Whether a request (by its job metadata) is synthesized drain traffic.
+pub fn is_drain(meta: &JobMeta) -> bool {
+    meta.job.0 >= DRAIN_JOB_BASE
+}
+
+/// Configuration of one server's drain pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainConfig {
+    /// When the shard's resident bytes exceed this watermark, clean (already
+    /// drained) extents are evicted…
+    pub high_watermark_bytes: u64,
+    /// …until resident bytes fall back to this watermark. Eviction never
+    /// touches dirty extents — data whose only copy is in the burst buffer
+    /// is never dropped.
+    pub low_watermark_bytes: u64,
+    /// Foreground : drain weight. `8` means foreground traffic collectively
+    /// receives 8× the device time of drain traffic while both are
+    /// backlogged; when the foreground goes idle, drain expands into the idle
+    /// capacity (opportunity fairness, extended to stage-out).
+    pub drain_weight: u32,
+    /// Maximum number of extents in flight between the shard and the
+    /// capacity tier at once (pipelining depth).
+    pub max_inflight: usize,
+}
+
+impl Default for DrainConfig {
+    fn default() -> Self {
+        DrainConfig {
+            high_watermark_bytes: 768 << 20,
+            low_watermark_bytes: 512 << 20,
+            drain_weight: 8,
+            max_inflight: 4,
+        }
+    }
+}
+
+impl DrainConfig {
+    /// Validates the configuration: watermarks ordered, weight and
+    /// pipelining depth non-zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.low_watermark_bytes > self.high_watermark_bytes {
+            return Err(format!(
+                "low watermark {} exceeds high watermark {}",
+                self.low_watermark_bytes, self.high_watermark_bytes
+            ));
+        }
+        if self.drain_weight == 0 {
+            return Err("drain weight must be >= 1".to_string());
+        }
+        if self.max_inflight == 0 {
+            return Err("max_inflight must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the whole staging subsystem on one server: the capacity
+/// tier's device model plus the drain pipeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagingConfig {
+    /// Device model of the capacity tier absorbing drained extents.
+    pub backing_device: DeviceConfig,
+    /// Drain pipeline parameters.
+    pub drain: DrainConfig,
+}
+
+impl Default for StagingConfig {
+    fn default() -> Self {
+        StagingConfig {
+            backing_device: DeviceConfig::capacity_hdd(),
+            drain: DrainConfig::default(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one server's staging state, reported through
+/// the `DrainStatus` control-plane message.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainStatus {
+    /// Bytes resident in the burst-buffer shard (clean + dirty).
+    pub resident_bytes: u64,
+    /// Bytes in dirty extents (not yet drained to the capacity tier).
+    pub dirty_bytes: u64,
+    /// Bytes stored in the capacity tier.
+    pub backing_bytes: u64,
+    /// Extents currently in flight between the shard and the capacity tier.
+    pub inflight_extents: usize,
+    /// Total bytes drained to the capacity tier since boot.
+    pub drained_bytes: u64,
+    /// Total drain operations completed since boot.
+    pub drained_ops: u64,
+    /// Total bytes reclaimed by watermark eviction since boot.
+    pub evicted_bytes: u64,
+    /// Total extents evicted since boot.
+    pub evicted_extents: u64,
+}
+
+impl DrainStatus {
+    /// Whether the shard is fully drained (no dirty bytes, nothing in
+    /// flight).
+    pub fn is_clean(&self) -> bool {
+        self.dirty_bytes == 0 && self.inflight_extents == 0
+    }
+}
+
+/// One extent travelling through the pipeline.
+#[derive(Debug, Clone)]
+pub struct InflightDrain {
+    /// Path of the file the extent belongs to.
+    pub path: String,
+    /// Stripe index of the extent.
+    pub stripe: u64,
+    /// Dirty generation captured when the drain was admitted; the shard only
+    /// marks the extent clean if the generation still matches at completion
+    /// (a concurrent overwrite re-dirties it).
+    pub generation: u64,
+    /// Extent length at admission time.
+    pub bytes: u64,
+}
+
+/// Per-server drain bookkeeping: which extents are in flight, cumulative
+/// drain/eviction counters, and admission capacity.
+#[derive(Debug)]
+pub struct DrainPipeline {
+    server: usize,
+    config: DrainConfig,
+    inflight: HashMap<u64, InflightDrain>,
+    inflight_keys: HashSet<(String, u64)>,
+    drained_bytes: u64,
+    drained_ops: u64,
+    evicted_bytes: u64,
+    evicted_extents: u64,
+}
+
+impl DrainPipeline {
+    /// Creates the pipeline of `server` under `config`.
+    pub fn new(server: usize, config: DrainConfig) -> Self {
+        DrainPipeline {
+            server,
+            config,
+            inflight: HashMap::new(),
+            inflight_keys: HashSet::new(),
+            drained_bytes: 0,
+            drained_ops: 0,
+            evicted_bytes: 0,
+            evicted_extents: 0,
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &DrainConfig {
+        &self.config
+    }
+
+    /// The drain job identity of this server.
+    pub fn meta(&self) -> JobMeta {
+        drain_meta(self.server)
+    }
+
+    /// How many more drains may be admitted right now.
+    pub fn admission_capacity(&self) -> usize {
+        self.config.max_inflight.saturating_sub(self.inflight.len())
+    }
+
+    /// Extent keys currently in flight (excluded from re-admission).
+    pub fn inflight_keys(&self) -> &HashSet<(String, u64)> {
+        &self.inflight_keys
+    }
+
+    /// Number of extents in flight.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether any in-flight extent belongs to `path`.
+    pub fn has_inflight_for(&self, path: &str) -> bool {
+        self.inflight_keys.iter().any(|(p, _)| p == path)
+    }
+
+    /// Admits a drain of one extent: records it in flight and returns the
+    /// [`IoRequest`] to feed to the policy engine. The request is a *read* of
+    /// the burst-buffer device (the drain's cost on the contended resource);
+    /// the matching capacity-tier write is charged by the caller when the
+    /// read completes.
+    pub fn admit(
+        &mut self,
+        seq: u64,
+        path: String,
+        stripe: u64,
+        generation: u64,
+        bytes: u64,
+        now_ns: u64,
+    ) -> IoRequest {
+        self.inflight_keys.insert((path.clone(), stripe));
+        self.inflight.insert(
+            seq,
+            InflightDrain {
+                path,
+                stripe,
+                generation,
+                bytes,
+            },
+        );
+        IoRequest::new(seq, self.meta(), OpKind::Read, bytes, now_ns)
+    }
+
+    /// Looks up an in-flight drain by request sequence number.
+    pub fn inflight(&self, seq: u64) -> Option<&InflightDrain> {
+        self.inflight.get(&seq)
+    }
+
+    /// Completes a drain: removes it from the in-flight set and accounts the
+    /// drained bytes. Returns the completed record.
+    pub fn complete(&mut self, seq: u64) -> Option<InflightDrain> {
+        let d = self.inflight.remove(&seq)?;
+        self.inflight_keys.remove(&(d.path.clone(), d.stripe));
+        self.drained_bytes += d.bytes;
+        self.drained_ops += 1;
+        Some(d)
+    }
+
+    /// Accounts a watermark eviction of `bytes` across `extents` extents.
+    pub fn record_eviction(&mut self, extents: u64, bytes: u64) {
+        self.evicted_extents += extents;
+        self.evicted_bytes += bytes;
+    }
+
+    /// Builds the status snapshot given the shard-side numbers the pipeline
+    /// itself does not track.
+    pub fn status(&self, resident_bytes: u64, dirty_bytes: u64, backing_bytes: u64) -> DrainStatus {
+        DrainStatus {
+            resident_bytes,
+            dirty_bytes,
+            backing_bytes,
+            inflight_extents: self.inflight.len(),
+            drained_bytes: self.drained_bytes,
+            drained_ops: self.drained_ops,
+            evicted_bytes: self.evicted_bytes,
+            evicted_extents: self.evicted_extents,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_identity_is_reserved_and_per_server() {
+        let a = drain_meta(0);
+        let b = drain_meta(3);
+        assert!(is_drain(&a));
+        assert!(is_drain(&b));
+        assert_ne!(a.job, b.job);
+        assert!(!is_drain(&JobMeta::new(1u64, 1u32, 1u32, 4)));
+        // Ordinary job ids are far below the reserved range.
+        assert!(!is_drain(&JobMeta::new(1u64 << 40, 1u32, 1u32, 4)));
+    }
+
+    #[test]
+    fn config_validation() {
+        let base = DrainConfig::default();
+        assert!(base.validate().is_ok());
+        let inverted = DrainConfig {
+            low_watermark_bytes: base.high_watermark_bytes + 1,
+            ..base
+        };
+        assert!(inverted.validate().is_err());
+        let zero_weight = DrainConfig {
+            drain_weight: 0,
+            ..base
+        };
+        assert!(zero_weight.validate().is_err());
+        let zero_inflight = DrainConfig {
+            max_inflight: 0,
+            ..base
+        };
+        assert!(zero_inflight.validate().is_err());
+    }
+
+    #[test]
+    fn admission_tracks_inflight_and_capacity() {
+        let mut p = DrainPipeline::new(
+            1,
+            DrainConfig {
+                max_inflight: 2,
+                ..DrainConfig::default()
+            },
+        );
+        assert_eq!(p.admission_capacity(), 2);
+        let r = p.admit(7, "/ckpt".into(), 0, 42, 1 << 20, 100);
+        assert_eq!(r.seq, 7);
+        assert!(is_drain(&r.meta));
+        assert_eq!(r.kind, OpKind::Read);
+        assert_eq!(r.bytes, 1 << 20);
+        assert_eq!(p.admission_capacity(), 1);
+        assert!(p.inflight_keys().contains(&("/ckpt".to_string(), 0)));
+        assert!(p.has_inflight_for("/ckpt"));
+        let d = p.complete(7).unwrap();
+        assert_eq!(d.generation, 42);
+        assert_eq!(p.admission_capacity(), 2);
+        assert!(!p.has_inflight_for("/ckpt"));
+        assert!(p.complete(7).is_none());
+    }
+
+    #[test]
+    fn status_aggregates_counters() {
+        let mut p = DrainPipeline::new(0, DrainConfig::default());
+        p.admit(1, "/a".into(), 0, 1, 100, 0);
+        p.complete(1);
+        p.record_eviction(2, 300);
+        let s = p.status(1_000, 400, 100);
+        assert_eq!(s.drained_bytes, 100);
+        assert_eq!(s.drained_ops, 1);
+        assert_eq!(s.evicted_bytes, 300);
+        assert_eq!(s.evicted_extents, 2);
+        assert_eq!(s.resident_bytes, 1_000);
+        assert!(!s.is_clean());
+        assert!(p.status(0, 0, 100).is_clean());
+    }
+}

@@ -31,6 +31,8 @@
 //! * [`device`] — the storage device model;
 //! * [`net`] — wire messages and in-process transport;
 //! * [`baselines`] — FIFO, GIFT and TBF;
+//! * [`stage`] — the staging subsystem: capacity tier, drain pipeline,
+//!   staged policy engine;
 //! * [`server`] — the server core and threaded deployment runtime;
 //! * [`client`] — the POSIX-flavoured client;
 //! * [`sim`] — the discrete-event simulator and workload/application models.
@@ -46,6 +48,7 @@ pub use themis_fs as fs;
 pub use themis_net as net;
 pub use themis_server as server;
 pub use themis_sim as sim;
+pub use themis_stage as stage;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -56,7 +59,12 @@ pub mod prelude {
     pub use themis_fs::{
         BurstBufferFs, FsError, HashRing, OpenFlags, ServerId, StripeConfig, Whence,
     };
-    pub use themis_net::{ClientMessage, FsOp, FsReply, ServerMessage};
+    pub use themis_net::{ClientMessage, FsOp, FsReply, ServerMessage, StageReply};
     pub use themis_server::{Deployment, ServerConfig, ServerCore};
-    pub use themis_sim::{App, OpPattern, SimConfig, SimJob, SimResult, Simulation};
+    pub use themis_sim::{
+        App, OpPattern, SimConfig, SimJob, SimResult, SimStagingConfig, Simulation,
+    };
+    pub use themis_stage::{
+        BackingStore, CapacityTier, DrainConfig, DrainStatus, StagedEngine, StagingConfig,
+    };
 }
