@@ -83,8 +83,23 @@ pub struct ThemisClient<L: ServerLink> {
 
 impl<L: ServerLink> ThemisClient<L> {
     /// Creates a client for job `meta` over the given per-server links.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `links` is empty or when `meta` claims a job id inside
+    /// the reserved system range
+    /// ([`themis_core::entity::RESERVED_JOB_BASE`]): such ids belong to
+    /// server-internal traffic (drain, future maintenance classes) and the
+    /// server would reject every request anyway, so the client fails fast at
+    /// construction instead of on each I/O call.
     pub fn new(meta: JobMeta, links: Vec<L>, namespace: Namespace) -> Self {
         assert!(!links.is_empty(), "client needs at least one server link");
+        assert!(
+            !meta.is_reserved(),
+            "job id {} is inside the reserved system job-id range (>= {})",
+            meta.job,
+            themis_core::entity::RESERVED_JOB_BASE
+        );
         ThemisClient {
             meta,
             namespace,
@@ -740,6 +755,15 @@ mod tests {
             c.flush("/home/not-intercepted"),
             Err(FsError::InvalidPath(_))
         ));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved system job-id range")]
+    fn reserved_job_id_is_rejected_at_construction() {
+        // The same boundary the server enforces (themis_core's
+        // RESERVED_JOB_BASE): a client claiming a reserved id fails fast.
+        let meta = JobMeta::new(themis_core::entity::RESERVED_JOB_BASE, 2u32, 3u32, 4);
+        let _ = ThemisClient::new(meta, vec![MockLink::new()], Namespace::default_fs());
     }
 
     #[test]

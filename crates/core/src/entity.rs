@@ -9,9 +9,28 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// First job id of the range reserved for system-internal traffic.
+///
+/// Ids in `[RESERVED_JOB_BASE, u64::MAX]` never belong to client jobs: the
+/// staging subsystem issues its synthesized drain requests under
+/// `RESERVED_JOB_BASE + server_index`, and future internal traffic classes
+/// (scrubbing, rebalancing, replication) claim ids from the same range. The
+/// client refuses to construct requests inside the range and the server
+/// rejects any that arrive over the wire, so a request with a reserved id can
+/// only originate inside the server itself.
+pub const RESERVED_JOB_BASE: u64 = u64::MAX - (1 << 16);
+
 /// Identifier of a batch job (what the resource manager would call a job id).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);
+
+impl JobId {
+    /// Whether this id lies in the [reserved range](RESERVED_JOB_BASE) for
+    /// system-internal traffic.
+    pub fn is_reserved(self) -> bool {
+        self.0 >= RESERVED_JOB_BASE
+    }
+}
 
 /// Identifier of a user owning one or more jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -118,6 +137,14 @@ impl JobMeta {
         }
     }
 
+    /// Whether this metadata claims a job id inside the
+    /// [reserved range](RESERVED_JOB_BASE) for system-internal traffic.
+    /// Client metadata must never be reserved; both the client library and
+    /// the server reject it.
+    pub fn is_reserved(&self) -> bool {
+        self.job.is_reserved()
+    }
+
     /// Sets the priority weight used by priority-fair policies.
     pub fn with_priority(mut self, priority: f64) -> Self {
         self.priority = if priority.is_finite() && priority > 0.0 {
@@ -201,6 +228,16 @@ mod tests {
         assert_eq!(e.status, JobStatus::Active);
         assert_eq!(e.last_heartbeat_ns, 42);
         assert_eq!(e.requests_seen, 0);
+    }
+
+    #[test]
+    fn reserved_range_is_detected_on_ids_and_metadata() {
+        assert!(JobId(RESERVED_JOB_BASE).is_reserved());
+        assert!(JobId(u64::MAX).is_reserved());
+        assert!(!JobId(RESERVED_JOB_BASE - 1).is_reserved());
+        assert!(!JobId(1).is_reserved());
+        assert!(JobMeta::new(RESERVED_JOB_BASE + 7, 1u32, 1u32, 1).is_reserved());
+        assert!(!JobMeta::new(1u64 << 40, 1u32, 1u32, 1).is_reserved());
     }
 
     #[test]

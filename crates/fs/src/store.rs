@@ -419,7 +419,10 @@ impl Shard {
     /// are **never** evicted — their only copy is this shard.
     pub fn evict_clean_until(&mut self, target_bytes: u64) -> Vec<(String, u64, u64)> {
         let mut evicted = Vec::new();
-        if self.bytes_stored <= target_bytes {
+        // Nothing to do when already at target — or when every stored byte
+        // is dirty (unevictable): the server polls this under sustained
+        // watermark pressure, so bail out before walking the extent map.
+        if self.bytes_stored <= target_bytes || self.bytes_clean() == 0 {
             return evicted;
         }
         let clean_keys: Vec<(String, u64)> = self
@@ -722,6 +725,247 @@ mod tests {
         // The previously evicted stripe now reads as a hole (unlinked), not
         // Evicted.
         assert_eq!(s.read_extent_checked("/a", 1, 0, 1), ExtentRead::Hole);
+    }
+
+    #[test]
+    fn read_through_fetch_does_not_unevict_so_no_evictor_race() {
+        // The read-through path serves evicted extents from the capacity
+        // tier *without* restoring them into the shard (see
+        // `BurstBufferFs::read_at_with`). The shard-level property that
+        // makes this race-free: a fetch changes nothing, so an evictor
+        // running before, between, or after fetches always sees the same
+        // state, and repeated reads keep being served from the tier.
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/rt", 0, 0, &[9u8; 64]).unwrap();
+        let (tier_copy, generation) = s.snapshot_extent("/rt", 0).unwrap();
+        s.mark_clean("/rt", 0, generation);
+        s.evict_clean_until(0);
+        for _ in 0..3 {
+            // Reader: observes Evicted, would fetch `tier_copy`.
+            assert_eq!(s.read_extent_checked("/rt", 0, 0, 64), ExtentRead::Evicted);
+            // Evictor: nothing clean left; the evicted entry is stable.
+            assert!(s.evict_clean_until(0).is_empty());
+            assert_eq!(s.evicted_extents(Some("/rt")).len(), 1);
+        }
+        assert_eq!(tier_copy, vec![9u8; 64]);
+    }
+
+    #[test]
+    fn restore_for_write_pin_beats_concurrent_evictor() {
+        // The restore-for-write race: a writer stages an evicted extent
+        // back in to apply a partial overwrite while an evictor is under
+        // watermark pressure. The pin (restore dirty) must win: the evictor
+        // between restore and write reclaims nothing, and the write lands
+        // on the restored bytes.
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/pin", 0, 0, &[5u8; 128]).unwrap();
+        let (tier_copy, generation) = s.snapshot_extent("/pin", 0).unwrap();
+        s.mark_clean("/pin", 0, generation);
+        s.evict_clean_until(0);
+        // Writer: restore pinned dirty.
+        s.restore_extent("/pin", 0, &tier_copy, true);
+        // Evictor fires between the restore and the write — full pressure.
+        assert!(s.evict_clean_until(0).is_empty(), "pinned extent evicted");
+        // Writer retries; the overwrite merges with the restored bytes.
+        s.write_extent("/pin", 0, 10, b"ok").unwrap();
+        let got = s.read_extent("/pin", 0, 0, 128);
+        assert_eq!(&got[..10], &[5u8; 10]);
+        assert_eq!(&got[10..12], b"ok");
+        assert_eq!(&got[12..], &[5u8; 116]);
+        // Un-pinned restores (the plain stage-in path) stay evictable.
+        let (_, generation) = s.snapshot_extent("/pin", 0).unwrap();
+        s.mark_clean("/pin", 0, generation);
+        assert_eq!(s.evict_clean_until(0).len(), 1);
+    }
+
+    #[test]
+    fn stale_generation_cannot_clean_a_pinned_restore() {
+        // Interleaving: drain completes for generation g, extent is evicted,
+        // then restored-for-write (fresh generation g'). A drain ack still
+        // in flight for g must not mark the pinned extent clean — that
+        // would re-expose it to the evictor before the write lands.
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/g", 0, 0, &[1u8; 32]).unwrap();
+        let (data, g) = s.snapshot_extent("/g", 0).unwrap();
+        assert!(s.mark_clean("/g", 0, g));
+        s.evict_clean_until(0);
+        s.restore_extent("/g", 0, &data, true);
+        // The stale drain ack arrives now.
+        assert!(!s.mark_clean("/g", 0, g), "stale generation accepted");
+        assert_eq!(s.bytes_dirty(), 32, "pin must survive the stale ack");
+        assert!(s.evict_clean_until(0).is_empty());
+        // The current generation still cleans normally.
+        let (_, g2) = s.snapshot_extent("/g", 0).unwrap();
+        assert!(g2 > g, "generations must be monotonic across restores");
+        assert!(s.mark_clean("/g", 0, g2));
+    }
+
+    #[test]
+    fn overwrite_mid_drain_keeps_extent_dirty_and_unevictable() {
+        // Drain snapshots generation g; a concurrent overwrite bumps to
+        // g+1 before the drain's capacity-tier write completes. The late
+        // mark_clean(g) must fail, and until a fresh drain of g+1 lands the
+        // extent must be invisible to the evictor.
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/mid", 0, 0, &[7u8; 100]).unwrap();
+        let (_, g) = s.snapshot_extent("/mid", 0).unwrap();
+        // Concurrent overwrite while the drain is in flight.
+        s.write_extent("/mid", 0, 40, &[8u8; 20]).unwrap();
+        assert!(!s.mark_clean("/mid", 0, g));
+        assert!(s.evict_clean_until(0).is_empty(), "dirty extent evicted");
+        assert_eq!(s.bytes_dirty(), 100);
+        // The re-drain of the current generation succeeds and carries the
+        // overwritten bytes.
+        let (data, g2) = s.snapshot_extent("/mid", 0).unwrap();
+        assert_eq!(&data[40..60], &[8u8; 20]);
+        assert!(s.mark_clean("/mid", 0, g2));
+        assert_eq!(s.evict_clean_until(0).len(), 1);
+    }
+
+    #[test]
+    fn unlink_mid_drain_invalidates_the_completion() {
+        // The extent vanishes (unlink) while its drain is in flight: the
+        // completion must be a no-op, not resurrect state or corrupt
+        // counters.
+        let mut s = Shard::new(ServerId(0));
+        s.write_extent("/gone", 0, 0, &[3u8; 50]).unwrap();
+        let (_, g) = s.snapshot_extent("/gone", 0).unwrap();
+        s.remove_extents("/gone");
+        assert!(!s.mark_clean("/gone", 0, g));
+        assert_eq!(s.bytes_dirty(), 0);
+        assert_eq!(s.bytes_stored(), 0);
+        assert_eq!(s.read_extent_checked("/gone", 0, 0, 1), ExtentRead::Hole);
+    }
+
+    #[test]
+    fn seeded_interleavings_uphold_residency_invariants() {
+        // State-machine fuzz of the drain/evict/restore protocol: random
+        // interleavings of writer, drainer, evictor and reader steps (the
+        // schedules a multi-threaded server would produce) must uphold, at
+        // every step: dirty extents are never evicted, evicted extents are
+        // never served as data, restores reproduce the tier copy exactly,
+        // and a stale-generation mark_clean never succeeds.
+        let mut seed: u64 = 0x5eed;
+        let mut next = move || {
+            // xorshift64* — deterministic, no external RNG needed here.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..64 {
+            let mut s = Shard::new(ServerId(0));
+            // Model: per stripe, (expected bytes, tier copy, inflight drain).
+            let stripes = 3u64;
+            let mut expected: Vec<Vec<u8>> = vec![Vec::new(); stripes as usize];
+            let mut tier: Vec<Option<Vec<u8>>> = vec![None; stripes as usize];
+            let mut inflight: Vec<Option<u64>> = vec![None; stripes as usize];
+            for step in 0..200 {
+                let stripe = (next() % stripes) as usize;
+                match next() % 6 {
+                    // Writer: overwrite a prefix of the stripe.
+                    0 => {
+                        let byte = (next() % 251) as u8;
+                        let len = 8 + (next() % 56) as usize;
+                        match s.write_extent("/f", stripe as u64, 0, &vec![byte; len]) {
+                            Ok(()) => {
+                                if expected[stripe].len() < len {
+                                    expected[stripe].resize(len, 0);
+                                }
+                                expected[stripe][..len].fill(byte);
+                            }
+                            Err(FsError::NotResident(_)) => {
+                                // Writer must stage in first: restore-for-
+                                // write pinned, then retry.
+                                let copy = tier[stripe].clone().expect("evicted implies tier copy");
+                                s.restore_extent("/f", stripe as u64, &copy, true);
+                                s.write_extent("/f", stripe as u64, 0, &vec![byte; len])
+                                    .expect("restored extent must accept writes");
+                                if expected[stripe].len() < len {
+                                    expected[stripe].resize(len, 0);
+                                }
+                                expected[stripe][..len].fill(byte);
+                            }
+                            Err(e) => panic!("case {case} step {step}: {e}"),
+                        }
+                    }
+                    // Drainer: snapshot the current generation.
+                    1 => {
+                        if let Some((data, g)) = s.snapshot_extent("/f", stripe as u64) {
+                            tier[stripe] = Some(data);
+                            inflight[stripe] = Some(g);
+                        }
+                    }
+                    // Drain completion: generation-guarded mark_clean.
+                    2 => {
+                        if let Some(g) = inflight[stripe].take() {
+                            let cleaned = s.mark_clean("/f", stripe as u64, g);
+                            if cleaned {
+                                assert_eq!(
+                                    tier[stripe].as_deref(),
+                                    Some(&expected[stripe][..]),
+                                    "case {case} step {step}: drained copy is stale"
+                                );
+                            }
+                        }
+                    }
+                    // Evictor: full watermark pressure.
+                    3 => {
+                        for (path, st, len) in s.evict_clean_until(0) {
+                            assert_eq!(path, "/f");
+                            assert_eq!(
+                                tier[st as usize].as_ref().map(|t| t.len() as u64),
+                                Some(len),
+                                "case {case} step {step}: evicted without a tier copy"
+                            );
+                        }
+                    }
+                    // Stage-in: restore a random evicted stripe clean.
+                    4 => {
+                        if matches!(
+                            s.read_extent_checked("/f", stripe as u64, 0, 1),
+                            ExtentRead::Evicted
+                        ) {
+                            let copy = tier[stripe].clone().expect("tier copy exists");
+                            s.restore_extent("/f", stripe as u64, &copy, false);
+                        }
+                    }
+                    // Reader: residency-aware read.
+                    _ => {
+                        match s.read_extent_checked(
+                            "/f",
+                            stripe as u64,
+                            0,
+                            expected[stripe].len().max(1) as u64,
+                        ) {
+                            ExtentRead::Data(d) => {
+                                assert_eq!(
+                                    d, expected[stripe],
+                                    "case {case} step {step}: resident bytes diverged"
+                                );
+                            }
+                            ExtentRead::Hole => {
+                                assert!(
+                                    expected[stripe].is_empty(),
+                                    "case {case} step {step}: written stripe read as hole"
+                                );
+                            }
+                            ExtentRead::Evicted => {
+                                // Read-through: the tier copy must match the
+                                // expected bytes exactly.
+                                assert_eq!(
+                                    tier[stripe].as_deref(),
+                                    Some(&expected[stripe][..]),
+                                    "case {case} step {step}: tier copy is stale"
+                                );
+                            }
+                        }
+                    }
+                }
+                // Global invariants after every step.
+                assert!(s.bytes_dirty() <= s.bytes_stored());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Long seeded conformance sweeps outside CI.
+//!
+//! ```text
+//! harness --seed 42             # one seed, full report
+//! harness --start 100 --count 50   # sweep seeds 100..150
+//! harness --count 200 --fail-fast  # sweep 0..200, stop at first failure
+//! ```
+//!
+//! Exit code 0 when every swept seed is conformant, 1 otherwise. Failing
+//! seeds also write `target/conformance/seed-<seed>.txt` artifacts.
+
+use themis_harness::{run_conformance, ConformanceReport};
+
+struct Args {
+    seed: Option<u64>,
+    start: u64,
+    count: u64,
+    fail_fast: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: None,
+        start: 0,
+        count: 24,
+        fail_fast: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = Some(value("--seed")?),
+            "--start" => args.start = value("--start")?,
+            "--count" => args.count = value("--count")?,
+            "--fail-fast" => args.fail_fast = true,
+            "--help" | "-h" => {
+                return Err("usage: harness [--seed N | --start S --count N] [--fail-fast]".into())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let seeds: Vec<u64> = match args.seed {
+        Some(seed) => vec![seed],
+        None => (args.start..args.start + args.count).collect(),
+    };
+
+    let mut failing_seeds: Vec<u64> = Vec::new();
+    for seed in &seeds {
+        let report = run_conformance(*seed);
+        if report.is_clean() {
+            println!(
+                "seed {seed}: CONFORMANT (sim {} MiB, live {} MiB)",
+                report.sim_bytes >> 20,
+                report.live_bytes >> 20
+            );
+            if args.seed.is_some() {
+                print!("{}", report.render());
+            }
+        } else {
+            failing_seeds.push(*seed);
+            report.write_artifact();
+            println!("seed {seed}: FAILED");
+            print!("{}", report.render());
+            if args.fail_fast {
+                break;
+            }
+        }
+    }
+
+    if let Some(first_failure) = failing_seeds.first() {
+        eprintln!(
+            "{}/{} seeds failed ({failing_seeds:?}); reproduce with e.g.: {}",
+            failing_seeds.len(),
+            seeds.len(),
+            ConformanceReport::repro_line(*first_failure)
+        );
+        std::process::exit(1);
+    }
+    println!("{} seeds conformant", seeds.len());
+}

@@ -1,0 +1,379 @@
+//! Deterministic live-runtime replay: drives a generated [`Scenario`]
+//! through real in-process [`ServerCore`]s — the same cores the threaded
+//! [`Deployment`](themis_server::Deployment) runs, minus the threads — on a
+//! virtual clock, so a run is bit-reproducible from the scenario seed and
+//! directly comparable to the discrete-event simulator's replay of the same
+//! scenario.
+//!
+//! The driver mirrors the simulator's closed loop exactly: each tenant rank
+//! keeps `queue_depth` operations in flight, an operation's kind/payload
+//! comes from the shared [`OpPattern`](themis_sim::OpPattern), and operation
+//! `i` of rank `r` is submitted to server `(r + i) % n_servers`. Unlike the
+//! simulator, every operation here is a *real* `FsOp` executed against a
+//! real [`BurstBufferFs`] — writes land bytes in shard extents, reads come
+//! back with payloads, drains copy extents into a real capacity tier — which
+//! is what lets the data-integrity oracle check byte-exact contents after
+//! evict/stage-in roundtrips.
+
+use crate::scenario::Scenario;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use themis_baselines::Algorithm;
+use themis_core::policy::Policy;
+use themis_fs::BurstBufferFs;
+use themis_net::message::{FsOp, FsReply};
+use themis_server::{ServerConfig, ServerCore};
+use themis_sim::{Metrics, ServiceRecord};
+use themis_stage::{BackingStore, CapacityTier};
+
+/// Virtual-clock granularity of the live driver. Poll quantisation idles the
+/// device for at most one tick per worker wake-up, which is why the
+/// work-conservation threshold for live runs is slightly looser than the
+/// simulator's (see [`crate::oracle`]).
+pub const TICK_NS: u64 = 25_000;
+
+/// The outcome of one live replay.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// Foreground service records, in the simulator's metric format.
+    pub metrics: Metrics,
+    /// `(applied_at_ns, policy)` for boot and every applied swap.
+    pub policy_epochs: Vec<(u64, Policy)>,
+    /// Virtual time at which the run (including drain quiescence and the
+    /// integrity read-back) finished.
+    pub end_ns: u64,
+    /// Whether every server's staging pipeline reported clean at quiescence
+    /// (vacuously true without staging).
+    pub drain_clean: bool,
+    /// Hard errors: I/O error replies, integrity mismatches, or a run that
+    /// never quiesced. An empty list means the replay itself was sound.
+    pub errors: Vec<String>,
+}
+
+/// Deterministic fill byte of `(job, rank, slot)` — every write to a slot
+/// carries this pattern, so the final content of every written slot is known
+/// regardless of completion order.
+pub fn fill_byte(job: u64, rank: usize, slot: u64) -> u8 {
+    (1 + (job * 131 + rank as u64 * 17 + slot * 7) % 250) as u8
+}
+
+fn rank_path(job: u64, rank: usize) -> String {
+    format!("/t{job}/r{rank}")
+}
+
+struct RankState {
+    tenant: usize,
+    rank_id: usize,
+    ops_issued: u64,
+    inflight: usize,
+    next_ready_ns: u64,
+}
+
+/// Replays `scenario` through an in-process server cluster and collects the
+/// oracle-facing outcome.
+pub fn run_live(scenario: &Scenario) -> LiveOutcome {
+    let n = scenario.n_servers;
+    let fs = BurstBufferFs::new(n);
+    let staging = scenario.live_staging();
+    let backing: Option<Arc<dyn BackingStore>> = staging
+        .as_ref()
+        .map(|sc| Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>);
+    let mut cores: Vec<ServerCore> = (0..n)
+        .map(|idx| {
+            ServerCore::with_backing(
+                idx,
+                fs.clone(),
+                ServerConfig {
+                    algorithm: Algorithm::Themis(scenario.policy.clone()),
+                    device: scenario.device,
+                    sync: scenario.lambda,
+                    // Never expire a tenant mid-run: the scenario drives
+                    // traffic continuously and heartbeats only at boot.
+                    heartbeat_timeout_ns: scenario.window_ns * 100 + 60_000_000_000,
+                    rng_seed: scenario.seed ^ 0x11fe_c0de,
+                    staging,
+                },
+                backing.clone(),
+            )
+        })
+        .collect();
+
+    let mut errors: Vec<String> = Vec::new();
+
+    // ---- setup: create and prefill every rank's cyclic region -------------
+    for t in &scenario.tenants {
+        let job = t.meta.job.0;
+        fs.mkdir_all(&format!("/t{job}"), 0)
+            .expect("mkdir rank dir");
+        for rank in 0..t.ranks {
+            let path = rank_path(job, rank);
+            fs.create(&path, 0).expect("create rank file");
+            for slot in 0..scenario.slots {
+                let data = vec![fill_byte(job, rank, slot); scenario.bytes_per_op as usize];
+                fs.write_at(&path, slot * scenario.bytes_per_op, &data, 0)
+                    .expect("prefill rank file");
+            }
+        }
+    }
+    // With staging, setup writes would otherwise boot the run with a large
+    // artificial drain backlog the simulator does not model. Retire them the
+    // way a completed drain would: copy to the capacity tier, mark clean.
+    if let Some(backing) = &backing {
+        for server in 0..n {
+            for (path, stripe, _, _) in
+                fs.dirty_extents_on(server, usize::MAX, &std::collections::HashSet::new())
+            {
+                if let Some((data, generation)) = fs.snapshot_extent_on(server, &path, stripe) {
+                    backing.write_back(&path, stripe, &data);
+                    fs.mark_clean_on(server, &path, stripe, generation);
+                }
+            }
+        }
+    }
+
+    // ---- boot: every tenant heartbeats on every server --------------------
+    for core in cores.iter_mut() {
+        for t in &scenario.tenants {
+            core.heartbeat(t.meta, 0);
+        }
+    }
+    let mut policy_epochs = vec![(0u64, scenario.policy.clone())];
+
+    let mut ranks: Vec<RankState> = Vec::new();
+    for (tenant, t) in scenario.tenants.iter().enumerate() {
+        for rank_id in 0..t.ranks {
+            ranks.push(RankState {
+                tenant,
+                rank_id,
+                ops_issued: 0,
+                inflight: 0,
+                next_ready_ns: 0,
+            });
+        }
+    }
+
+    let mut metrics = Metrics::new();
+    // request_id → issuing rank.
+    let mut inflight_reqs: HashMap<u64, usize> = HashMap::new();
+    let mut next_request_id: u64 = 1;
+    // (finish_ns, rank) completions not yet applied to the closed loop.
+    let mut completions: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut next_swap = 0usize;
+    let deadline_ns = scenario.window_ns * 40 + 10_000_000_000;
+    let mut now: u64 = 0;
+
+    loop {
+        // 1. Live SetPolicy swaps that are due.
+        while next_swap < scenario.swaps.len() && scenario.swaps[next_swap].0 <= now {
+            let policy = scenario.swaps[next_swap].1.clone();
+            for core in cores.iter_mut() {
+                core.set_policy(policy.clone())
+                    .expect("themis engines honor policy swaps");
+            }
+            policy_epochs.push((now, policy));
+            next_swap += 1;
+        }
+
+        // 2. Completions that have happened by now free their rank slot.
+        while let Some(Reverse((finish, rank_idx))) = completions.peek().copied() {
+            if finish > now {
+                break;
+            }
+            completions.pop();
+            let r = &mut ranks[rank_idx];
+            r.inflight = r.inflight.saturating_sub(1);
+            r.next_ready_ns = r.next_ready_ns.max(finish);
+        }
+
+        // 3. Issue from every rank that is ready (inside the window only).
+        for (rank_idx, rank) in ranks.iter_mut().enumerate() {
+            let t = &scenario.tenants[rank.tenant];
+            while now < scenario.window_ns
+                && rank.next_ready_ns <= now
+                && rank.inflight < t.queue_depth
+            {
+                let (kind, bytes) = t.pattern.op(rank.ops_issued);
+                let job = t.meta.job.0;
+                let path = rank_path(job, rank.rank_id);
+                let slot = rank.ops_issued % scenario.slots;
+                let offset = slot * scenario.bytes_per_op;
+                let op = match kind {
+                    themis_core::request::OpKind::Write => FsOp::WriteAt {
+                        path,
+                        offset,
+                        data: vec![fill_byte(job, rank.rank_id, slot); bytes as usize],
+                    },
+                    themis_core::request::OpKind::Read => FsOp::ReadAt {
+                        path,
+                        offset,
+                        len: bytes,
+                    },
+                    _ => FsOp::Stat { path },
+                };
+                let server = (rank.rank_id + rank.ops_issued as usize) % n;
+                let request_id = next_request_id;
+                next_request_id += 1;
+                inflight_reqs.insert(request_id, rank_idx);
+                cores[server].submit(request_id, t.meta, op, now);
+                rank.ops_issued += 1;
+                rank.inflight += 1;
+            }
+        }
+
+        // 4. Worker loop on every server; route completions back to ranks.
+        for core in cores.iter_mut() {
+            for ready in core.poll(now) {
+                if let FsReply::Error(e) = &ready.reply {
+                    errors.push(format!("request {}: {e}", ready.request_id));
+                }
+                let c = &ready.completion;
+                metrics.record(ServiceRecord {
+                    job: c.request.meta.job,
+                    bytes: c.request.bytes,
+                    finish_ns: c.finish_ns,
+                    queue_delay_ns: c.queue_delay_ns(),
+                    latency_ns: c.finish_ns.saturating_sub(c.request.arrival_ns),
+                });
+                if let Some(rank_idx) = inflight_reqs.remove(&ready.request_id) {
+                    completions.push(Reverse((c.finish_ns, rank_idx)));
+                }
+            }
+        }
+
+        // 5. λ-sync all-gather for servers whose round is due.
+        if n > 1 {
+            let due: Vec<usize> = (0..n).filter(|i| cores[*i].sync_due(now)).collect();
+            if !due.is_empty() {
+                let tables: Vec<_> = cores.iter().map(|c| c.local_table()).collect();
+                for i in due {
+                    let peers = tables
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, t)| t);
+                    cores[i].absorb_peer_tables(peers, now);
+                }
+            }
+        }
+
+        // 6. Done once the window has passed, every op completed and every
+        //    staging pipeline drained.
+        if now >= scenario.window_ns && completions.is_empty() && inflight_reqs.is_empty() {
+            let drained = cores
+                .iter()
+                .all(|c| c.drain_status_snapshot().is_none_or(|s| s.is_clean()));
+            if drained {
+                break;
+            }
+        }
+        now += TICK_NS;
+        if now > deadline_ns {
+            errors.push(format!(
+                "run did not quiesce within {deadline_ns} ns (drain stuck?)"
+            ));
+            break;
+        }
+    }
+
+    let drain_clean = cores
+        .iter()
+        .all(|c| c.drain_status_snapshot().is_none_or(|s| s.is_clean()));
+
+    // ---- integrity read-back ---------------------------------------------
+    // Every slot of every rank was prefilled (and possibly overwritten with
+    // the identical pattern, drained, evicted and staged back in). Read each
+    // one back through the server data path — which read-throughs evicted
+    // extents — and demand byte-exact contents.
+    let mut expected: HashMap<u64, (Vec<u8>, String)> = HashMap::new();
+    for t in &scenario.tenants {
+        let job = t.meta.job.0;
+        for rank in 0..t.ranks {
+            for slot in 0..scenario.slots {
+                let request_id = next_request_id;
+                next_request_id += 1;
+                let server = (rank + slot as usize) % n;
+                let path = rank_path(job, rank);
+                cores[server].submit(
+                    request_id,
+                    t.meta,
+                    FsOp::ReadAt {
+                        path: path.clone(),
+                        offset: slot * scenario.bytes_per_op,
+                        len: scenario.bytes_per_op,
+                    },
+                    now,
+                );
+                expected.insert(
+                    request_id,
+                    (
+                        vec![fill_byte(job, rank, slot); scenario.bytes_per_op as usize],
+                        format!("{path}@slot{slot}"),
+                    ),
+                );
+            }
+        }
+    }
+    let readback_deadline = now + 60_000_000_000;
+    while !expected.is_empty() && now <= readback_deadline {
+        for core in cores.iter_mut() {
+            for ready in core.poll(now) {
+                let Some((want, what)) = expected.remove(&ready.request_id) else {
+                    continue;
+                };
+                match &ready.reply {
+                    FsReply::Data(got) if *got == want => {}
+                    FsReply::Data(got) => errors.push(format!(
+                        "integrity: {what}: got {} bytes, first diff at {:?}",
+                        got.len(),
+                        want.iter().zip(got.iter()).position(|(a, b)| a != b)
+                    )),
+                    other => errors.push(format!("integrity: {what}: unexpected reply {other:?}")),
+                }
+            }
+        }
+        now += TICK_NS;
+    }
+    for (_, (_, what)) in expected {
+        errors.push(format!("integrity: {what}: read-back never completed"));
+    }
+
+    LiveOutcome {
+        metrics,
+        policy_epochs,
+        end_ns: now,
+        drain_clean,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_replay_is_deterministic() {
+        let scenario = Scenario::generate(3);
+        let a = run_live(&scenario);
+        let b = run_live(&scenario);
+        assert_eq!(a.metrics.total_bytes_all(), b.metrics.total_bytes_all());
+        assert_eq!(a.metrics.len(), b.metrics.len());
+        assert_eq!(a.end_ns, b.end_ns);
+        assert_eq!(a.policy_epochs, b.policy_epochs);
+        assert!(a.errors.is_empty(), "{:?}", a.errors);
+    }
+
+    #[test]
+    fn fill_bytes_are_nonzero_and_slot_dependent() {
+        // Zero would be indistinguishable from a hole or a lost restore.
+        for job in 1..6u64 {
+            for rank in 0..4usize {
+                for slot in 0..8u64 {
+                    assert_ne!(fill_byte(job, rank, slot), 0);
+                }
+            }
+        }
+        assert_ne!(fill_byte(1, 0, 0), fill_byte(1, 0, 1));
+        assert_ne!(fill_byte(1, 0, 0), fill_byte(2, 0, 0));
+    }
+}

@@ -1,0 +1,299 @@
+//! Analytic fairness oracles: the falsifiable statements a conformant run
+//! must satisfy, checked against the metric stream of either runtime.
+//!
+//! * **Share bounds** — within every policy epoch, each (continuously
+//!   backlogged) tenant's byte share is within [`share_tolerance`] of the
+//!   share [`compute_shares`] assigns it under the epoch's policy. This is
+//!   the paper's WFQ guarantee stated as an invariant.
+//! * **Work conservation** — the device is never idle while requests queue:
+//!   summed service time over the issuing window reaches
+//!   [`MIN_UTILISATION_SIM`] / [`MIN_UTILISATION_LIVE`] of worker capacity
+//!   (the live bound is looser only because the live driver polls on a
+//!   [`TICK_NS`](crate::live::TICK_NS) quantum).
+//! * **No starvation** — every tenant is served in every (trimmed) policy
+//!   epoch, and no completion gap exceeds [`STARVATION_GAP_FRACTION`] of
+//!   the window.
+//! * **Agreement** — per-tenant full-window byte shares of the simulator
+//!   and the live runtime match within [`EPS_AGREEMENT`].
+//!
+//! Epoch windows are trimmed ([`trim_margin_ns`]) before measuring: a swap
+//! re-derives shares immediately, but requests admitted under the old epoch
+//! still drain, so the boundary quarters are transition regions, not
+//! violations.
+
+use crate::scenario::Scenario;
+use themis_core::entity::JobMeta;
+use themis_core::policy::Policy;
+use themis_core::shares::compute_shares;
+use themis_sim::Metrics;
+
+/// Floor of the per-epoch share tolerance. Statistical-token scheduling is
+/// randomized per service slot, so observed shares are binomial around the
+/// assignment; the effective tolerance is
+/// `max(EPS_SHARE_FLOOR, 4σ)` with `σ = sqrt(p(1-p)/n)` over the `n`
+/// service slots actually observed in the trimmed epoch (see
+/// [`share_tolerance`]). Four standard deviations put the per-check false
+/// positive rate around `6×10⁻⁵` while still catching any real
+/// mis-weighting (a 2:1 policy error shifts shares by ≥0.15 at these `n`).
+pub const EPS_SHARE_FLOOR: f64 = 0.08;
+
+/// Additional tolerance per server beyond the first. Ranks alternate
+/// servers per operation, so a tenant's *per-server* backlog is a random
+/// walk of its total outstanding work; when it momentarily empties on one
+/// server, opportunity fairness hands those slots away — a legitimate
+/// (paper-sanctioned) deviation from the nominal share that grows with
+/// server count, like λ-delayed fairness itself.
+pub const EPS_SHARE_PER_EXTRA_SERVER: f64 = 0.04;
+
+/// The share-bound tolerance for an expected share `p` measured over `n`
+/// service slots on `n_servers` servers.
+pub fn share_tolerance(p: f64, n: usize, n_servers: usize) -> f64 {
+    let sigma = (p * (1.0 - p) / n.max(1) as f64).sqrt();
+    let floor = EPS_SHARE_FLOOR + EPS_SHARE_PER_EXTRA_SERVER * (n_servers.max(1) - 1) as f64;
+    floor.max(4.0 * sigma)
+}
+
+/// Absolute tolerance between the simulator's and the live runtime's
+/// full-window per-tenant shares. The two runtimes share scheduler, device
+/// model and policy code but draw different RNG streams and quantise time
+/// differently, so this is a statistical bound, not an exactness claim.
+pub const EPS_AGREEMENT: f64 = 0.10;
+
+/// Minimum device utilisation over the issuing window, simulator runs.
+pub const MIN_UTILISATION_SIM: f64 = 0.88;
+
+/// Minimum device utilisation over the issuing window, live runs (poll
+/// quantisation can idle a worker for up to one tick per wake-up).
+pub const MIN_UTILISATION_LIVE: f64 = 0.78;
+
+/// Largest tolerated gap between consecutive completions of a backlogged
+/// tenant, as a fraction of the issuing window.
+pub const STARVATION_GAP_FRACTION: f64 = 0.25;
+
+/// One oracle violation; collected into a
+/// [`ConformanceReport`](crate::report::ConformanceReport).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which oracle tripped (`share-bounds`, `work-conservation`,
+    /// `no-starvation`, `integrity`, `agreement`).
+    pub oracle: &'static str,
+    /// Which runtime produced the evidence (`sim`, `live`, or `sim↔live`).
+    pub run: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.run, self.oracle, self.detail)
+    }
+}
+
+/// The policy epochs of a scenario as measurement segments
+/// `(start_ns, end_ns, policy)` covering `[0, window_ns)`.
+pub fn epoch_segments(scenario: &Scenario) -> Vec<(u64, u64, Policy)> {
+    let epochs = scenario.policy_epochs();
+    let mut out = Vec::with_capacity(epochs.len());
+    for (i, (start, policy)) in epochs.iter().enumerate() {
+        let end = epochs
+            .get(i + 1)
+            .map(|(s, _)| *s)
+            .unwrap_or(scenario.window_ns);
+        out.push((*start, end, policy.clone()));
+    }
+    out
+}
+
+/// The boundary margin trimmed off each end of a segment before measuring:
+/// a sixth of the segment, at least 10 ms — enough for the pre-swap backlog
+/// (tens of requests) to drain and shares to take visible effect.
+pub fn trim_margin_ns(segment_ns: u64) -> u64 {
+    (segment_ns / 6).max(10_000_000)
+}
+
+/// Share-bounds oracle: per trimmed epoch, per tenant, observed byte share
+/// vs. the `compute_shares` assignment.
+pub fn check_share_bounds(
+    scenario: &Scenario,
+    run: &'static str,
+    metrics: &Metrics,
+) -> Vec<Violation> {
+    let metas: Vec<JobMeta> = scenario.tenant_metas();
+    let mut violations = Vec::new();
+    for (start, end, policy) in epoch_segments(scenario) {
+        let margin = trim_margin_ns(end - start);
+        let (lo, hi) = (start + margin, end.saturating_sub(margin));
+        if lo >= hi {
+            continue;
+        }
+        let total = metrics.total_bytes_in_window(lo, hi);
+        if total == 0 {
+            violations.push(Violation {
+                oracle: "share-bounds",
+                run,
+                detail: format!("no service at all in epoch [{lo}, {hi}) under '{policy}'"),
+            });
+            continue;
+        }
+        let slots = metrics
+            .records()
+            .iter()
+            .filter(|r| r.finish_ns >= lo && r.finish_ns < hi)
+            .count();
+        let expected = compute_shares(&policy, &metas);
+        for meta in &metas {
+            let observed = metrics.bytes_in_window(meta.job, lo, hi) as f64 / total as f64;
+            let want = expected.share(meta.job);
+            let tolerance = share_tolerance(want, slots, scenario.n_servers);
+            if (observed - want).abs() > tolerance {
+                violations.push(Violation {
+                    oracle: "share-bounds",
+                    run,
+                    detail: format!(
+                        "{}: share {observed:.3} vs expected {want:.3} \
+                         (|Δ| > {tolerance:.3} at n={slots}) \
+                         in epoch [{}ms, {}ms) under '{policy}'",
+                        meta.job,
+                        lo / 1_000_000,
+                        hi / 1_000_000,
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Work-conservation oracle: summed per-request service time over the
+/// issuing window must reach `min_utilisation` of total worker capacity.
+/// Only meaningful without staging (drain service is charged to the same
+/// device but reported out-of-band); staged runs are instead required to
+/// drain fully, which the integrity oracle checks.
+pub fn check_work_conservation(
+    scenario: &Scenario,
+    run: &'static str,
+    metrics: &Metrics,
+    min_utilisation: f64,
+) -> Vec<Violation> {
+    if scenario.staging.is_some() {
+        return Vec::new();
+    }
+    let busy_ns: u64 = metrics
+        .records()
+        .iter()
+        .filter(|r| r.finish_ns <= scenario.window_ns)
+        .map(|r| r.latency_ns - r.queue_delay_ns)
+        .sum();
+    let workers = scenario.device.workers.max(1) as u64 * scenario.n_servers as u64;
+    let capacity_ns = scenario.window_ns * workers;
+    let utilisation = busy_ns as f64 / capacity_ns as f64;
+    if utilisation < min_utilisation {
+        vec![Violation {
+            oracle: "work-conservation",
+            run,
+            detail: format!(
+                "device utilisation {utilisation:.3} below {min_utilisation} while every \
+                 tenant ran a saturating closed loop"
+            ),
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// No-starvation oracle: every tenant is served in every trimmed epoch and
+/// never waits longer than [`STARVATION_GAP_FRACTION`] of the window
+/// between completions.
+pub fn check_no_starvation(
+    scenario: &Scenario,
+    run: &'static str,
+    metrics: &Metrics,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let gap_limit = ((scenario.window_ns as f64) * STARVATION_GAP_FRACTION) as u64;
+    for meta in scenario.tenant_metas() {
+        let mut finishes: Vec<u64> = metrics
+            .records()
+            .iter()
+            .filter(|r| r.job == meta.job && r.finish_ns <= scenario.window_ns)
+            .map(|r| r.finish_ns)
+            .collect();
+        finishes.sort_unstable();
+        if finishes.is_empty() {
+            violations.push(Violation {
+                oracle: "no-starvation",
+                run,
+                detail: format!("{}: served nothing in the whole window", meta.job),
+            });
+            continue;
+        }
+        let mut prev = 0u64;
+        let mut worst = 0u64;
+        for f in finishes.iter().chain(std::iter::once(&scenario.window_ns)) {
+            worst = worst.max(f.saturating_sub(prev));
+            prev = *f;
+        }
+        if worst > gap_limit {
+            violations.push(Violation {
+                oracle: "no-starvation",
+                run,
+                detail: format!(
+                    "{}: {}ms completion gap exceeds {}ms",
+                    meta.job,
+                    worst / 1_000_000,
+                    gap_limit / 1_000_000
+                ),
+            });
+        }
+        // Per-epoch service: no policy swap may starve a tenant out of an
+        // entire epoch.
+        for (start, end, policy) in epoch_segments(scenario) {
+            let margin = trim_margin_ns(end - start);
+            let (lo, hi) = (start + margin, end.saturating_sub(margin));
+            if lo < hi && metrics.bytes_in_window(meta.job, lo, hi) == 0 {
+                violations.push(Violation {
+                    oracle: "no-starvation",
+                    run,
+                    detail: format!(
+                        "{}: no service in epoch [{}ms, {}ms) under '{policy}'",
+                        meta.job,
+                        lo / 1_000_000,
+                        hi / 1_000_000
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Agreement oracle: simulator and live runtime assign each tenant the same
+/// full-window byte share, within [`EPS_AGREEMENT`].
+pub fn check_agreement(scenario: &Scenario, sim: &Metrics, live: &Metrics) -> Vec<Violation> {
+    let window = scenario.window_ns;
+    let sim_total = sim.total_bytes_in_window(0, window);
+    let live_total = live.total_bytes_in_window(0, window);
+    if sim_total == 0 || live_total == 0 {
+        return vec![Violation {
+            oracle: "agreement",
+            run: "sim↔live",
+            detail: format!("empty run (sim {sim_total} B, live {live_total} B)"),
+        }];
+    }
+    let mut violations = Vec::new();
+    for meta in scenario.tenant_metas() {
+        let s = sim.bytes_in_window(meta.job, 0, window) as f64 / sim_total as f64;
+        let l = live.bytes_in_window(meta.job, 0, window) as f64 / live_total as f64;
+        if (s - l).abs() > EPS_AGREEMENT {
+            violations.push(Violation {
+                oracle: "agreement",
+                run: "sim↔live",
+                detail: format!(
+                    "{}: sim share {s:.3} vs live share {l:.3} (|Δ| > {EPS_AGREEMENT})",
+                    meta.job
+                ),
+            });
+        }
+    }
+    violations
+}

@@ -311,20 +311,23 @@ impl ServerCore {
     /// job, assigns a sequence number, and queues the request with the
     /// arbitration algorithm.
     ///
-    /// Job ids in the reserved drain range are rejected with an error reply
-    /// (delivered by the next [`ServerCore::poll`]): admitting one would let
-    /// a client smuggle traffic into the drain class — or, worse, have the
-    /// request mistaken for a drain and silently dropped.
+    /// Job ids in the reserved system range
+    /// ([`themis_core::entity::RESERVED_JOB_BASE`] — the same boundary the
+    /// client asserts against) are rejected with an error reply (delivered by
+    /// the next [`ServerCore::poll`]): admitting one would let a client
+    /// smuggle traffic into the drain class — or, worse, have the request
+    /// mistaken for a drain and silently dropped.
     pub fn submit(&mut self, request_id: u64, meta: JobMeta, op: FsOp, now_ns: u64) {
-        if is_drain(&meta) {
+        if meta.is_reserved() {
             let seq = self.next_seq;
             self.next_seq += 1;
             let request = IoRequest::new(seq, meta, op.op_kind(), op.payload_bytes(), now_ns);
             self.rejected.push(ReadyReply {
                 request_id,
                 reply: FsReply::Error(format!(
-                    "job id {} is inside the reserved drain-job range",
-                    meta.job
+                    "job id {} is inside the reserved system job-id range (>= {})",
+                    meta.job,
+                    themis_core::entity::RESERVED_JOB_BASE
                 )),
                 completion: Completion {
                     request,
@@ -414,11 +417,32 @@ impl ServerCore {
         std::mem::take(&mut self.stage_replies)
     }
 
+    /// Rejects staging-message metadata that claims a reserved job id (same
+    /// boundary as [`ServerCore::submit`]): observing it would register the
+    /// drain identity as a live tenant and dilute every real tenant's share.
+    fn reject_reserved_stage(&mut self, request_id: u64, meta: &JobMeta) -> bool {
+        if !meta.is_reserved() {
+            return false;
+        }
+        self.stage_replies.push(StageReady {
+            request_id,
+            reply: StageReply::Error(format!(
+                "job id {} is inside the reserved system job-id range (>= {})",
+                meta.job,
+                themis_core::entity::RESERVED_JOB_BASE
+            )),
+        });
+        true
+    }
+
     /// Handles a `Flush` request: acknowledge immediately when the path has
     /// no dirty local extents (the no-op case), otherwise wait for the
     /// background drain — which the flush does not bypass; it is ordinary
     /// policy-arbitrated drain traffic — to make the path clean.
     pub fn flush(&mut self, request_id: u64, meta: JobMeta, path: &str, now_ns: u64) {
+        if self.reject_reserved_stage(request_id, &meta) {
+            return;
+        }
         self.jobs.observe_request(meta, now_ns);
         let path = match themis_fs::path::normalize(path) {
             Ok(p) => p,
@@ -458,6 +482,9 @@ impl ServerCore {
     /// broadcasts `StageIn` so every shard restores its own stripes exactly
     /// once (no duplicated restore work, exact byte counts).
     pub fn stage_in(&mut self, request_id: u64, meta: JobMeta, path: &str, now_ns: u64) {
+        if self.reject_reserved_stage(request_id, &meta) {
+            return;
+        }
         self.jobs.observe_request(meta, now_ns);
         let path = match themis_fs::path::normalize(path) {
             Ok(p) => p,
@@ -1286,6 +1313,18 @@ mod tests {
             );
             assert!(!s.fs().exists("/d"));
             assert_eq!(s.queued(), 0);
+            // Staging messages enforce the same boundary: a reserved meta in
+            // Flush/StageIn must never reach the job table (where it would
+            // dilute real tenants' shares).
+            s.flush(32, evil, "/d", 0);
+            s.stage_in(33, evil, "/d", 0);
+            let stage = s.take_stage_replies();
+            assert_eq!(stage.len(), 2);
+            assert!(stage
+                .iter()
+                .all(|r| matches!(r.reply, StageReply::Error(_))));
+            assert_eq!(s.shares().share(evil.job), 0.0);
+            assert!(s.local_table().get(evil.job).is_none());
         }
     }
 

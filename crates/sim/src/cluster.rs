@@ -134,6 +134,12 @@ pub struct SimResult {
     /// Dirty bytes never drained by the end of the run (0 when the buffer
     /// fully drained; always 0 without staging).
     pub residual_dirty_bytes: u64,
+    /// The policy epochs the run went through: `(start_ns, policy)` for the
+    /// boot policy (at 0) and every applied [`PolicyChange`], in order. Each
+    /// entry's policy is in force until the next entry's `start_ns` (the last
+    /// until [`SimResult::sim_end_ns`]) — the oracle-facing counterpart of
+    /// the live server's policy epoch counter.
+    pub policy_epochs: Vec<(u64, Policy)>,
 }
 
 impl SimResult {
@@ -141,6 +147,22 @@ impl SimResult {
     /// nothing).
     pub fn time_to_solution_secs(&self, job: JobId) -> f64 {
         self.job_finish_ns.get(&job).copied().unwrap_or(0) as f64 / 1e9
+    }
+
+    /// Per-tenant request-latency summary (p50/p99/mean/max) — the latency
+    /// companion to the per-tenant byte totals in [`SimResult::metrics`].
+    pub fn tenant_latency(&self, job: JobId) -> crate::metrics::LatencyStats {
+        self.metrics.latency_stats(job)
+    }
+
+    /// Latency summaries for every tenant that served at least one request,
+    /// in job-id order.
+    pub fn tenant_latencies(&self) -> BTreeMap<JobId, crate::metrics::LatencyStats> {
+        self.metrics
+            .jobs()
+            .into_iter()
+            .map(|j| (j, self.metrics.latency_stats(j)))
+            .collect()
     }
 }
 
@@ -270,6 +292,8 @@ impl Simulation {
         let mut policy_schedule = self.config.policy_schedule.clone();
         policy_schedule.sort_by_key(|c| c.at_ns);
         let mut next_change = 0usize;
+        let mut policy_epochs: Vec<(u64, Policy)> =
+            vec![(0, self.config.algorithm.initial_policy())];
 
         loop {
             // 0. Apply scheduled policy swaps that are due: every server
@@ -282,6 +306,7 @@ impl Simulation {
                     let policy = server.policy.clone();
                     server.engine.reconfigure(&server.table, &policy);
                 }
+                policy_epochs.push((now, change.policy.clone()));
                 next_change += 1;
             }
 
@@ -431,6 +456,7 @@ impl Simulation {
                         bytes: req.bytes,
                         finish_ns: finish,
                         queue_delay_ns: start.saturating_sub(req.arrival_ns),
+                        latency_ns: finish.saturating_sub(req.arrival_ns),
                     });
                     let e = job_finish.entry(req.meta.job).or_insert(0);
                     *e = (*e).max(finish);
@@ -532,6 +558,7 @@ impl Simulation {
             sim_end_ns: now,
             drained_bytes,
             residual_dirty_bytes,
+            policy_epochs,
         }
     }
 }
@@ -733,6 +760,49 @@ mod tests {
         // near 4.
         let after: f64 = b1[5..8].iter().sum::<f64>() / b2[5..8].iter().sum::<f64>().max(1.0);
         assert!((after - 4.0).abs() < 1.0, "post-swap ratio {after}");
+    }
+
+    #[test]
+    fn sim_result_reports_latency_percentiles_and_policy_epochs() {
+        let big = SimJob::write_read_cycle(meta(1, 1, 4), 16).running_for(NS_PER_SEC);
+        let small = SimJob::write_read_cycle(meta(2, 2, 1), 16).running_for(NS_PER_SEC);
+        let mut config = SimConfig {
+            device: fast_device(),
+            ..SimConfig::new(1, Algorithm::Themis(Policy::job_fair()))
+        };
+        config.policy_schedule = vec![PolicyChange {
+            at_ns: NS_PER_SEC / 2,
+            policy: Policy::size_fair(),
+        }];
+        let result = Simulation::new(config, vec![big, small]).run();
+        // Every tenant gets a latency summary consistent with its records.
+        let lats = result.tenant_latencies();
+        assert_eq!(lats.len(), 2);
+        for (job, stats) in &lats {
+            assert_eq!(
+                stats.count,
+                result
+                    .metrics
+                    .records()
+                    .iter()
+                    .filter(|r| r.job == *job)
+                    .count()
+            );
+            assert!(stats.p50_ns > 0, "{job}: zero p50");
+            assert!(stats.p50_ns <= stats.p99_ns);
+            assert!(stats.p99_ns <= stats.max_ns);
+            assert!(stats.mean_ns <= stats.max_ns as f64);
+            assert_eq!(*stats, result.tenant_latency(*job));
+        }
+        // Latency = queueing + service, so it dominates the queue delay.
+        for r in result.metrics.records() {
+            assert!(r.latency_ns >= r.queue_delay_ns);
+        }
+        // Epoch export: boot policy at 0, the swap at its scheduled instant.
+        assert_eq!(result.policy_epochs.len(), 2);
+        assert_eq!(result.policy_epochs[0], (0, Policy::job_fair()));
+        assert_eq!(result.policy_epochs[1].1, Policy::size_fair());
+        assert!(result.policy_epochs[1].0 >= NS_PER_SEC / 2);
     }
 
     #[test]

@@ -17,5 +17,5 @@ pub mod workload;
 
 pub use apps::App;
 pub use cluster::{PolicyChange, SimConfig, SimResult, SimStagingConfig, Simulation};
-pub use metrics::{Metrics, ServiceRecord, ThroughputSeries};
+pub use metrics::{LatencyStats, Metrics, ServiceRecord, ThroughputSeries};
 pub use workload::{OpPattern, SimJob};

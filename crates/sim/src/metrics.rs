@@ -20,6 +20,26 @@ pub struct ServiceRecord {
     pub finish_ns: u64,
     /// Queueing delay experienced (ns).
     pub queue_delay_ns: u64,
+    /// End-to-end request latency (arrival → completion, ns): queueing delay
+    /// plus device service time.
+    pub latency_ns: u64,
+}
+
+/// Per-tenant request-latency summary (p50/p99 and friends), computed once by
+/// [`Metrics::latency_stats`] so oracles and benches stop re-deriving
+/// percentiles ad hoc.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of requests summarised.
+    pub count: usize,
+    /// Median request latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile request latency (ns).
+    pub p99_ns: u64,
+    /// Mean request latency (ns).
+    pub mean_ns: f64,
+    /// Worst-case request latency (ns).
+    pub max_ns: u64,
 }
 
 /// Collects service records and turns them into the statistics the paper
@@ -107,6 +127,54 @@ impl Metrics {
             0.0
         } else {
             delays.iter().sum::<u64>() as f64 / delays.len() as f64
+        }
+    }
+
+    /// The distinct jobs that appear in the records, in id order.
+    pub fn jobs(&self) -> Vec<JobId> {
+        let mut jobs: Vec<JobId> = self.records.iter().map(|r| r.job).collect();
+        jobs.sort();
+        jobs.dedup();
+        jobs
+    }
+
+    /// Bytes served for `job` by requests completing in `[start_ns, end_ns)`.
+    pub fn bytes_in_window(&self, job: JobId, start_ns: u64, end_ns: u64) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.job == job && r.finish_ns >= start_ns && r.finish_ns < end_ns)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Bytes served across all jobs by requests completing in
+    /// `[start_ns, end_ns)`.
+    pub fn total_bytes_in_window(&self, start_ns: u64, end_ns: u64) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.finish_ns >= start_ns && r.finish_ns < end_ns)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Request-latency summary (p50/p99/mean/max) of one job's requests.
+    pub fn latency_stats(&self, job: JobId) -> LatencyStats {
+        let mut lat: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.job == job)
+            .map(|r| r.latency_ns)
+            .collect();
+        if lat.is_empty() {
+            return LatencyStats::default();
+        }
+        lat.sort_unstable();
+        LatencyStats {
+            count: lat.len(),
+            p50_ns: percentile_sorted(&lat, 50.0),
+            p99_ns: percentile_sorted(&lat, 99.0),
+            mean_ns: lat.iter().sum::<u64>() as f64 / lat.len() as f64,
+            max_ns: *lat.last().expect("non-empty"),
         }
     }
 
@@ -199,6 +267,17 @@ impl ThroughputSeries {
     }
 }
 
+/// Nearest-rank percentile of an already-sorted slice (0 when empty):
+/// `percentile_sorted(&v, 50.0)` is the median, `99.0` the p99.
+pub fn percentile_sorted(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let pct = pct.clamp(0.0, 100.0);
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
 /// Median of a slice (0 when empty).
 pub fn median(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -267,6 +346,7 @@ mod tests {
             bytes,
             finish_ns,
             queue_delay_ns: 0,
+            latency_ns: 0,
         }
     }
 
@@ -319,6 +399,59 @@ mod tests {
         let s = m.throughput_series(NS_PER_SEC);
         // Only two active seconds, each 4 MB/s, despite a long idle gap.
         assert!((s.median_active_mb_per_sec(JobId(1)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_sorted(&[], 50.0), 0);
+        assert_eq!(percentile_sorted(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&v, 50.0), 50);
+        assert_eq!(percentile_sorted(&v, 99.0), 99);
+        assert_eq!(percentile_sorted(&v, 100.0), 100);
+        assert_eq!(percentile_sorted(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn latency_stats_summarise_per_job() {
+        let mut m = Metrics::new();
+        for (i, lat) in [10u64, 20, 30, 40].iter().enumerate() {
+            m.record(ServiceRecord {
+                job: JobId(1),
+                bytes: 1,
+                finish_ns: i as u64,
+                queue_delay_ns: 0,
+                latency_ns: *lat,
+            });
+        }
+        m.record(ServiceRecord {
+            job: JobId(2),
+            bytes: 1,
+            finish_ns: 0,
+            queue_delay_ns: 0,
+            latency_ns: 500,
+        });
+        let s = m.latency_stats(JobId(1));
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50_ns, 20);
+        assert_eq!(s.p99_ns, 40);
+        assert_eq!(s.max_ns, 40);
+        assert!((s.mean_ns - 25.0).abs() < 1e-9);
+        assert_eq!(m.latency_stats(JobId(2)).p50_ns, 500);
+        assert_eq!(m.latency_stats(JobId(9)).count, 0);
+    }
+
+    #[test]
+    fn windowed_bytes_and_job_list() {
+        let mut m = Metrics::new();
+        m.record(rec(1, 100, 10));
+        m.record(rec(1, 200, 30));
+        m.record(rec(2, 50, 20));
+        assert_eq!(m.jobs(), vec![JobId(1), JobId(2)]);
+        assert_eq!(m.bytes_in_window(JobId(1), 0, 20), 100);
+        assert_eq!(m.bytes_in_window(JobId(1), 10, 31), 300);
+        assert_eq!(m.bytes_in_window(JobId(1), 0, 10), 0);
+        assert_eq!(m.total_bytes_in_window(0, 25), 150);
     }
 
     #[test]

@@ -179,7 +179,7 @@ impl PolicyEngine for StagedEngine {
     }
 
     fn queued_for(&self, job: JobId) -> usize {
-        if job.0 >= crate::pipeline::DRAIN_JOB_BASE {
+        if job.is_reserved() {
             self.drain.iter().filter(|r| r.meta.job == job).count()
         } else {
             self.inner.queued_for(job)

@@ -21,7 +21,12 @@ use themis_device::DeviceConfig;
 /// First job id of the reserved drain-job range. Each server's drain traffic
 /// runs under `DRAIN_JOB_BASE + server_index`, so per-server drain streams
 /// stay distinguishable in telemetry while [`is_drain`] stays a range check.
-pub const DRAIN_JOB_BASE: u64 = u64::MAX - (1 << 16);
+///
+/// This is the workspace-wide reserved range exported by the core crate
+/// ([`themis_core::entity::RESERVED_JOB_BASE`]); the client and server use
+/// the core constant to reject client traffic inside it, so the boundary
+/// cannot drift between the layers.
+pub const DRAIN_JOB_BASE: u64 = themis_core::entity::RESERVED_JOB_BASE;
 
 /// Reserved user id of drain traffic.
 pub const DRAIN_USER_ID: u32 = u32::MAX;
@@ -41,7 +46,7 @@ pub fn drain_meta(server: usize) -> JobMeta {
 
 /// Whether a request (by its job metadata) is synthesized drain traffic.
 pub fn is_drain(meta: &JobMeta) -> bool {
-    meta.job.0 >= DRAIN_JOB_BASE
+    meta.is_reserved()
 }
 
 /// Configuration of one server's drain pipeline.

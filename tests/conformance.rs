@@ -1,0 +1,123 @@
+//! Tier-1 conformance gate: the fixed seed set of the differential
+//! conformance harness (`themis-harness`).
+//!
+//! Every seed expands into a randomized multi-tenant scenario (skewed
+//! weights, device-speed asymmetry, mid-flight `SetPolicy` swaps, optional
+//! staging/drain pressure with eviction) that is replayed **twice** — through
+//! the discrete-event simulator and through a virtual-clock cluster of real
+//! `ServerCore`s — and cross-checked against the analytic oracles:
+//!
+//! * WFQ share bounds per `compute_shares`, per policy epoch;
+//! * work conservation (the device never idles while requests queue);
+//! * no starvation across policy epochs;
+//! * byte-exact data integrity after drain/evict/stage-in roundtrips;
+//! * per-tenant sim ↔ live share agreement.
+//!
+//! Tolerances are documented in `themis_harness::oracle` and in the README's
+//! "Testing & conformance" section. A failure panics with the full oracle
+//! report and a single-command reproduction line, e.g.
+//! `cargo run --release -p themis-harness --bin harness -- --seed 7`, and
+//! writes the report under `target/conformance/` for CI artifact upload.
+//!
+//! Seed-set policy: seeds 0..24 are pinned — never reshuffle them to make a
+//! regression pass; a scenario that newly fails is a bug (or a deliberate,
+//! README-documented semantics change). Longer sweeps run out-of-band via
+//! the `harness` binary (see `.github/workflows/conformance-sweep.yml`).
+
+use themis_harness::{run_conformance, Scenario};
+
+macro_rules! conformance_seed {
+    ($($name:ident => $seed:expr),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                run_conformance($seed).assert_clean();
+            }
+        )+
+    };
+}
+
+conformance_seed! {
+    seed_00 => 0,
+    seed_01 => 1,
+    seed_02 => 2,
+    seed_03 => 3,
+    seed_04 => 4,
+    seed_05 => 5,
+    seed_06 => 6,
+    seed_07 => 7,
+    seed_08 => 8,
+    seed_09 => 9,
+    seed_10 => 10,
+    seed_11 => 11,
+    seed_12 => 12,
+    seed_13 => 13,
+    seed_14 => 14,
+    seed_15 => 15,
+    seed_16 => 16,
+    seed_17 => 17,
+    seed_18 => 18,
+    seed_19 => 19,
+    seed_20 => 20,
+    seed_21 => 21,
+    seed_22 => 22,
+    seed_23 => 23,
+}
+
+/// The fixed seed set must keep exercising the whole feature matrix — if the
+/// generator changes shape, this test forces the seed set (and its coverage)
+/// to be revisited deliberately.
+#[test]
+fn fixed_seed_set_covers_the_feature_matrix() {
+    let scenarios: Vec<Scenario> = (0..24).map(Scenario::generate).collect();
+    let staged = scenarios.iter().filter(|s| s.staging.is_some()).count();
+    let evicting = scenarios
+        .iter()
+        .filter(|s| s.staging.as_ref().is_some_and(|st| st.eviction))
+        .count();
+    let swapped = scenarios.iter().filter(|s| !s.swaps.is_empty()).count();
+    let double_swapped = scenarios.iter().filter(|s| s.swaps.len() == 2).count();
+    let multi_server = scenarios.iter().filter(|s| s.n_servers > 1).count();
+    let weighted = scenarios
+        .iter()
+        .filter(|s| {
+            s.policy.tiers().iter().any(|t| t.weight > 1)
+                || s.swaps
+                    .iter()
+                    .any(|(_, p)| p.tiers().iter().any(|t| t.weight > 1))
+        })
+        .count();
+    let asymmetric = scenarios
+        .iter()
+        .filter(|s| s.device.read_bw_bytes_per_sec != s.device.write_bw_bytes_per_sec)
+        .count();
+    assert!(staged >= 4, "staging under-covered: {staged}");
+    assert!(evicting >= 2, "eviction under-covered: {evicting}");
+    assert!(swapped >= 8, "policy swaps under-covered: {swapped}");
+    assert!(
+        double_swapped >= 2,
+        "double swaps under-covered: {double_swapped}"
+    );
+    assert!(
+        multi_server >= 4,
+        "multi-server under-covered: {multi_server}"
+    );
+    assert!(weighted >= 8, "weighted tiers under-covered: {weighted}");
+    assert!(
+        asymmetric >= 4,
+        "device asymmetry under-covered: {asymmetric}"
+    );
+}
+
+/// Conformance verdicts are deterministic: the same seed yields the same
+/// scenario, the same two runs, and the same byte totals — which is what
+/// makes a failing seed a one-line reproducer.
+#[test]
+fn conformance_runs_are_reproducible() {
+    let a = run_conformance(2);
+    let b = run_conformance(2);
+    assert_eq!(a.sim_bytes, b.sim_bytes);
+    assert_eq!(a.live_bytes, b.live_bytes);
+    assert_eq!(a.violations.len(), b.violations.len());
+    assert_eq!(a.scenario_summary, b.scenario_summary);
+}

@@ -182,6 +182,156 @@ fn policy_dsl_round_trips() {
     });
 }
 
+/// Adversarial specs with extreme but legal weights (1, huge, `u32::MAX`)
+/// still validate, round-trip the DSL, and produce a share distribution.
+#[test]
+fn adversarial_weights_round_trip_and_share() {
+    cases(128, |rng, case| {
+        let weight = match rng.gen_range(0u32..4) {
+            0 => 1,
+            1 => rng.gen_range(2u32..10),
+            2 => rng.gen_range(1_000_000u32..1_000_000_000),
+            _ => u32::MAX,
+        };
+        let level = match rng.gen_range(0u32..3) {
+            0 => Level::User,
+            1 => Level::Group,
+            _ => Level::Job,
+        };
+        let text = format!("{}[{weight}]-fair", level.name());
+        let policy: Policy = text
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: '{text}' failed to parse: {e}"));
+        // Canonical form: a unit weight's brackets are elided by Display.
+        let canonical = if weight == 1 {
+            format!("{}-fair", level.name())
+        } else {
+            text.clone()
+        };
+        assert_eq!(policy.to_string(), canonical, "case {case}");
+        let jobs = arb_jobs(rng);
+        let shares = compute_shares(&policy, &jobs);
+        let mut total = 0.0;
+        for m in &jobs {
+            let s = shares.share(m.job);
+            assert!(s > 0.0, "case {case}: '{text}' starved {}", m.job);
+            total += s;
+        }
+        assert!((total - 1.0).abs() < 1e-6, "case {case}: '{text}'");
+    });
+}
+
+/// Every malformed policy string is rejected with an error — not panicked
+/// on, not silently normalised into something else.
+#[test]
+fn policy_dsl_rejects_adversarial_strings() {
+    // (input, why it must fail)
+    let rejects: &[(&str, &str)] = &[
+        ("", "empty string"),
+        ("fair", "no tiers at all"),
+        ("-fair", "empty tier list"),
+        ("--fair", "only separators"),
+        ("then-then-fair", "only `then` separators"),
+        ("user", "missing -fair suffix"),
+        ("user-", "missing fair keyword"),
+        ("user-fairness", "wrong suffix"),
+        ("banana-fair", "unknown level"),
+        ("user[0]-fair", "zero weight starves peers"),
+        ("user[0]-size-fair", "zero weight inside a chain"),
+        ("user[]-fair", "empty weight"),
+        ("user[-1]-fair", "negative weight"),
+        ("user[2x]-fair", "non-numeric weight"),
+        ("user[4294967296]-fair", "weight overflows u32"),
+        ("user[2-fair", "unterminated weight bracket"),
+        ("user2]-fair", "unopened weight bracket"),
+        ("user[2]x-fair", "trailing garbage after bracket"),
+        ("user-user-fair", "duplicate scope level"),
+        ("group-group-size-fair", "duplicate group level"),
+        ("user-group-fair", "inside-out nesting"),
+        ("job-size-fair", "job-level split not last"),
+        ("size-user-fair", "job-level split before a scope"),
+        ("job-job-fair", "two job-level splits"),
+        ("fifo-fair", "fifo is not a tier"),
+    ];
+    for (text, why) in rejects {
+        let parsed = text.parse::<Policy>();
+        assert!(
+            parsed.is_err(),
+            "'{text}' must be rejected ({why}), got {parsed:?}"
+        );
+    }
+    // The error is also reportable (Display) without panicking.
+    for (text, _) in rejects {
+        let err = text.parse::<Policy>().unwrap_err();
+        assert!(!err.to_string().is_empty(), "'{text}'");
+    }
+}
+
+/// Structurally invalid specs assembled through the typed API are rejected
+/// by validation with the matching error — the DSL and the constructors
+/// must agree on what a legal hierarchy is.
+#[test]
+fn typed_construction_matches_dsl_validation() {
+    use themisio::core::policy::PolicyError;
+    assert!(matches!(
+        PolicySpec::new(Vec::<WeightedLevel>::new()),
+        Err(PolicyError::Empty)
+    ));
+    assert!(matches!(
+        PolicySpec::new([WeightedLevel::weighted(Level::User, 0)]),
+        Err(PolicyError::ZeroWeight(Level::User))
+    ));
+    assert!(matches!(
+        PolicySpec::new([
+            WeightedLevel::new(Level::Job),
+            WeightedLevel::new(Level::Size)
+        ]),
+        Err(PolicyError::JobLevelNotLast(Level::Job))
+    ));
+    assert!(matches!(
+        PolicySpec::new([
+            WeightedLevel::new(Level::User),
+            WeightedLevel::new(Level::Group),
+            WeightedLevel::new(Level::Job)
+        ]),
+        Err(PolicyError::BadNesting)
+    ));
+    assert!(matches!(
+        PolicySpec::new([
+            WeightedLevel::new(Level::User),
+            WeightedLevel::new(Level::User),
+            WeightedLevel::new(Level::Job)
+        ]),
+        Err(PolicyError::DuplicateLevel(Level::User))
+    ));
+    // The same rejects surface through the seeded fuzz loop: random tier
+    // soups either validate or error, never panic — and whatever validates
+    // round-trips the DSL.
+    cases(128, |rng, case| {
+        let n = rng.gen_range(1usize..5);
+        let tiers: Vec<WeightedLevel> = (0..n)
+            .map(|_| {
+                let level = match rng.gen_range(0u32..5) {
+                    0 => Level::Group,
+                    1 => Level::User,
+                    2 => Level::Job,
+                    3 => Level::Size,
+                    _ => Level::Priority,
+                };
+                WeightedLevel::weighted(level, rng.gen_range(0u32..4))
+            })
+            .collect();
+        if let Ok(spec) = PolicySpec::new(tiers) {
+            let policy = Policy::Fair(spec);
+            let text = policy.to_string();
+            let parsed: Policy = text
+                .parse()
+                .unwrap_or_else(|e| panic!("case {case}: '{text}': {e}"));
+            assert_eq!(parsed, policy, "case {case}: '{text}'");
+        }
+    });
+}
+
 /// Named policies and the FIFO sentinel round-trip too.
 #[test]
 fn named_policy_round_trips() {
