@@ -10,51 +10,19 @@
 //! disk-speed [`DeviceConfig::capacity_hdd`] preset (the tier is the
 //! binding constraint).
 //!
-//! Run with `cargo run --release -p themis-bench --bin drain_weights`.
+//! Run with `cargo run --release -p themis-bench --bin drain_weights`. The
+//! machine-readable summary of this experiment (plus the restore-side one)
+//! is emitted by the `restore_interference` bin's `--json` flag.
 
-use themis_baselines::Algorithm;
-use themis_core::entity::{JobId, JobMeta};
-use themis_core::policy::Policy;
+use themis_bench::experiments::run_drain;
 use themis_device::DeviceConfig;
-use themis_sim::metrics::NS_PER_SEC;
-use themis_sim::{OpPattern, SimConfig, SimJob, SimStagingConfig, Simulation};
-
-fn checkpoint_bursts() -> Vec<SimJob> {
-    let meta = JobMeta::new(1u64, 1u32, 1u32, 16);
-    let burst = |start_ns: u64| {
-        SimJob::new(
-            meta,
-            16,
-            OpPattern::WriteOnly {
-                bytes_per_op: 1 << 20,
-            },
-        )
-        .starting_at(start_ns)
-        .with_max_ops(64)
-        .with_queue_depth(4)
-    };
-    vec![burst(0), burst(2 * NS_PER_SEC / 5)]
-}
-
-fn run(staging: Option<SimStagingConfig>) -> (f64, u64, u64) {
-    let config = SimConfig {
-        staging,
-        ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
-    };
-    let result = Simulation::new(config, checkpoint_bursts()).run();
-    let finish_secs = result.job_finish_ns[&JobId(1)] as f64 / 1e9;
-    (
-        finish_secs,
-        result.drained_bytes,
-        result.residual_dirty_bytes,
-    )
-}
+use themis_sim::SimStagingConfig;
 
 fn main() {
     println!("policy-driven drain: foreground slowdown vs foreground:drain weight");
     println!("(two 1 GiB checkpoint bursts, 16 ranks, one server)\n");
 
-    let (baseline_secs, _, _) = run(None);
+    let (baseline_secs, _, _) = run_drain(None);
     println!(
         "  {:<34} checkpoint time {baseline_secs:>7.3} s",
         "no drain (baseline)"
@@ -66,7 +34,7 @@ fn main() {
     ] {
         println!("\n  backing: {tier_name}");
         for weight in [1u32, 8] {
-            let (secs, drained, residual) = run(Some(SimStagingConfig {
+            let (secs, drained, residual) = run_drain(Some(SimStagingConfig {
                 backing_device: backing,
                 drain_weight: weight,
                 ..SimStagingConfig::default()

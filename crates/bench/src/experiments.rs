@@ -1,0 +1,374 @@
+//! Shared perf-trajectory experiments and their machine-readable report.
+//!
+//! Two bins consume this module: `drain_weights` (stage-out interference)
+//! and `restore_interference` (stage-in interference), and the latter can
+//! emit the combined [`BenchReport`] as flat JSON (`BENCH_pr4.json`) and
+//! gate itself against a committed baseline (`crates/bench/baseline.json`)
+//! — the CI `bench` job's regression check. Everything here is driven by
+//! the deterministic simulator, so numbers are bit-stable for a given code
+//! revision and a regression is attributable to a code change, not noise.
+
+use std::collections::HashMap;
+use themis_baselines::Algorithm;
+use themis_core::entity::{JobId, JobMeta};
+use themis_core::policy::Policy;
+use themis_device::DeviceConfig;
+use themis_sim::metrics::NS_PER_SEC;
+use themis_sim::{OpPattern, SimConfig, SimJob, SimStagingConfig, Simulation};
+
+/// The machine-readable perf snapshot of one revision: foreground slowdown
+/// under weighted drain and restore pressure, sustained class bandwidth,
+/// and tail latency. Serialized as flat JSON, one numeric field per key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Checkpoint slowdown (%) vs the no-staging baseline, drain at 1:1.
+    pub drain_fg_slowdown_pct_1_1: f64,
+    /// Checkpoint slowdown (%) vs the no-staging baseline, drain at 8:1 —
+    /// the headline number the regression gate watches.
+    pub drain_fg_slowdown_pct_8_1: f64,
+    /// Sustained drain bandwidth (MiB/s of drained bytes over the run) at
+    /// 8:1 against a fast capacity tier.
+    pub drain_drained_mib_s_8_1: f64,
+    /// Checkpoint slowdown (%) vs the no-restore baseline, restore at 1:1.
+    pub restore_fg_slowdown_pct_1_1: f64,
+    /// Checkpoint slowdown (%) vs the no-restore baseline, restore at 8:1 —
+    /// the second number the regression gate watches.
+    pub restore_fg_slowdown_pct_8_1: f64,
+    /// Sustained restore bandwidth (MiB/s of restored bytes) at 8:1.
+    pub restore_restored_mib_s_8_1: f64,
+    /// Checkpointer p99 request latency (ms) under the restore storm, 8:1.
+    pub restore_fg_p99_ms_8_1: f64,
+    /// Gated reader p99 request latency (ms) under the restore storm, 8:1
+    /// (includes restore queue delay; expected to be large by design).
+    pub restore_reader_p99_ms_8_1: f64,
+}
+
+impl BenchReport {
+    /// Runs both experiments.
+    pub fn measure() -> Self {
+        let drain = drain_experiment();
+        let restore = restore_experiment();
+        BenchReport {
+            drain_fg_slowdown_pct_1_1: drain.fg_slowdown_pct_1_1,
+            drain_fg_slowdown_pct_8_1: drain.fg_slowdown_pct_8_1,
+            drain_drained_mib_s_8_1: drain.drained_mib_s_8_1,
+            restore_fg_slowdown_pct_1_1: restore.fg_slowdown_pct_1_1,
+            restore_fg_slowdown_pct_8_1: restore.fg_slowdown_pct_8_1,
+            restore_restored_mib_s_8_1: restore.restored_mib_s_8_1,
+            restore_fg_p99_ms_8_1: restore.fg_p99_ms_8_1,
+            restore_reader_p99_ms_8_1: restore.reader_p99_ms_8_1,
+        }
+    }
+
+    /// The report's `(key, value)` pairs in serialization order.
+    pub fn entries(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("drain_fg_slowdown_pct_1_1", self.drain_fg_slowdown_pct_1_1),
+            ("drain_fg_slowdown_pct_8_1", self.drain_fg_slowdown_pct_8_1),
+            ("drain_drained_mib_s_8_1", self.drain_drained_mib_s_8_1),
+            (
+                "restore_fg_slowdown_pct_1_1",
+                self.restore_fg_slowdown_pct_1_1,
+            ),
+            (
+                "restore_fg_slowdown_pct_8_1",
+                self.restore_fg_slowdown_pct_8_1,
+            ),
+            (
+                "restore_restored_mib_s_8_1",
+                self.restore_restored_mib_s_8_1,
+            ),
+            ("restore_fg_p99_ms_8_1", self.restore_fg_p99_ms_8_1),
+            ("restore_reader_p99_ms_8_1", self.restore_reader_p99_ms_8_1),
+        ]
+    }
+
+    /// Flat JSON rendering (the workspace is offline — no serde_json — so
+    /// the format is hand-rolled: one `"key": value` pair per line).
+    pub fn to_json(&self) -> String {
+        let body = self
+            .entries()
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v:.3}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("{{\n{body}\n}}\n")
+    }
+}
+
+/// Parses the flat JSON a [`BenchReport`] serializes to (also tolerant of
+/// hand-edited whitespace). Unknown keys are kept; malformed lines are
+/// ignored.
+pub fn parse_flat_json(text: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for pair in text.split(',') {
+        let Some((key_part, value_part)) = pair.split_once(':') else {
+            continue;
+        };
+        let Some(key) = key_part.split('"').nth(1) else {
+            continue;
+        };
+        let value_clean: String = value_part
+            .chars()
+            .filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E')
+            .collect();
+        if let Ok(value) = value_clean.parse::<f64>() {
+            out.insert(key.to_string(), value);
+        }
+    }
+    out
+}
+
+/// The regression gate: each watched slowdown may exceed its committed
+/// baseline by at most 20% of the baseline's *magnitude* — `|base|`, so the
+/// headroom stays 20%-proportional when the baseline is negative (a
+/// protected checkpointer can legitimately be *faster* than its
+/// storm-free comparison run) — with a 1-percentage-point absolute floor so
+/// a near-zero baseline does not turn numeric dust into a failure. Returns
+/// the violations (empty = pass).
+pub fn check_regression(current: &BenchReport, baseline: &HashMap<String, f64>) -> Vec<String> {
+    let mut violations = Vec::new();
+    for key in ["drain_fg_slowdown_pct_8_1", "restore_fg_slowdown_pct_8_1"] {
+        let Some(&base) = baseline.get(key) else {
+            violations.push(format!("baseline is missing the gated key '{key}'"));
+            continue;
+        };
+        let now = current
+            .entries()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .expect("gated keys are report fields");
+        let limit = base + (base.abs() * 0.2).max(1.0);
+        if now > limit {
+            violations.push(format!(
+                "{key}: {now:.3}% exceeds the >20% regression limit \
+                 ({limit:.3}%, baseline {base:.3}%)"
+            ));
+        }
+    }
+    violations
+}
+
+/// Stage-out interference numbers (the `drain_weights` experiment distilled
+/// to its gated series: fast capacity tier, so the weight is the binding
+/// constraint).
+pub struct DrainNumbers {
+    /// Checkpoint time without staging (seconds).
+    pub baseline_secs: f64,
+    /// Slowdown (%) at foreground:drain 1:1.
+    pub fg_slowdown_pct_1_1: f64,
+    /// Slowdown (%) at foreground:drain 8:1.
+    pub fg_slowdown_pct_8_1: f64,
+    /// Drained MiB/s over the 8:1 run.
+    pub drained_mib_s_8_1: f64,
+}
+
+/// Two 1 GiB checkpoint bursts from 16 ranks against one server — the PR 2
+/// drain workload.
+pub fn checkpoint_bursts() -> Vec<SimJob> {
+    let meta = JobMeta::new(1u64, 1u32, 1u32, 16);
+    let burst = |start_ns: u64| {
+        SimJob::new(
+            meta,
+            16,
+            OpPattern::WriteOnly {
+                bytes_per_op: 1 << 20,
+            },
+        )
+        .starting_at(start_ns)
+        .with_max_ops(64)
+        .with_queue_depth(4)
+    };
+    vec![burst(0), burst(2 * NS_PER_SEC / 5)]
+}
+
+/// Runs the drain workload under `staging` and reports the checkpoint time,
+/// drained bytes and residual dirty bytes.
+pub fn run_drain(staging: Option<SimStagingConfig>) -> (f64, u64, u64) {
+    let config = SimConfig {
+        staging,
+        ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
+    };
+    let result = Simulation::new(config, checkpoint_bursts()).run();
+    let finish_secs = result.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    (
+        finish_secs,
+        result.drained_bytes,
+        result.residual_dirty_bytes,
+    )
+}
+
+/// The drain half of the report.
+pub fn drain_experiment() -> DrainNumbers {
+    let (baseline_secs, _, _) = run_drain(None);
+    let fast = |weight| SimStagingConfig {
+        backing_device: DeviceConfig::optane_ssd(),
+        drain_weight: weight,
+        ..SimStagingConfig::default()
+    };
+    let (even_secs, _, _) = run_drain(Some(fast(1)));
+    let (weighted_secs, drained, _) = run_drain(Some(fast(8)));
+    DrainNumbers {
+        baseline_secs,
+        fg_slowdown_pct_1_1: (even_secs / baseline_secs - 1.0) * 100.0,
+        fg_slowdown_pct_8_1: (weighted_secs / baseline_secs - 1.0) * 100.0,
+        drained_mib_s_8_1: drained as f64 / (1 << 20) as f64 / weighted_secs,
+    }
+}
+
+/// Stage-in interference numbers: a checkpointer against a reader whose
+/// working set was fully evicted (every read waits on a policy-admitted
+/// restore).
+pub struct RestoreNumbers {
+    /// Checkpoint time with the reader hitting resident data (seconds).
+    pub baseline_secs: f64,
+    /// Slowdown (%) at foreground:restore 1:1.
+    pub fg_slowdown_pct_1_1: f64,
+    /// Slowdown (%) at foreground:restore 8:1.
+    pub fg_slowdown_pct_8_1: f64,
+    /// Restored MiB/s over the 8:1 storm run.
+    pub restored_mib_s_8_1: f64,
+    /// Checkpointer p99 (ms) under the 8:1 storm.
+    pub fg_p99_ms_8_1: f64,
+    /// Gated reader p99 (ms) under the 8:1 storm.
+    pub reader_p99_ms_8_1: f64,
+}
+
+/// Runs the restore workload: 1 GiB of checkpoint writes racing 512 MiB of
+/// reads that miss at `miss_rate`, both classes weighted `weight`:1.
+pub fn run_restore(weight: u32, miss_rate: f64) -> themis_sim::SimResult {
+    let checkpointer = SimJob::new(
+        JobMeta::new(1u64, 1u32, 1u32, 8),
+        16,
+        OpPattern::WriteOnly {
+            bytes_per_op: 1 << 20,
+        },
+    )
+    .with_max_ops(64)
+    .with_queue_depth(4);
+    let reader = SimJob::new(
+        JobMeta::new(2u64, 2u32, 1u32, 8),
+        8,
+        OpPattern::ReadOnly {
+            bytes_per_op: 1 << 20,
+        },
+    )
+    .with_max_ops(64)
+    .with_queue_depth(4);
+    let config = SimConfig {
+        staging: Some(SimStagingConfig {
+            backing_device: DeviceConfig::optane_ssd(),
+            drain_weight: weight,
+            restore_weight: weight,
+            restore_miss_rate: miss_rate,
+            drain_chunk_bytes: 8 << 20,
+            max_inflight: 4,
+        }),
+        // The checkpointer (user 1) is the premium tenant at 8:1, so the
+        // reader's foreground competition is small in the no-restore
+        // baseline and the measured slowdown isolates what the restore
+        // *class* costs the protected foreground — with an even split the
+        // gated reader's shed share would make the storm run *faster* than
+        // baseline and the slowdown number would never bind.
+        ..SimConfig::new(
+            1,
+            Algorithm::Themis("user[8]-fair".parse().expect("valid DSL")),
+        )
+    };
+    Simulation::new(config, vec![checkpointer, reader]).run()
+}
+
+/// The restore half of the report.
+pub fn restore_experiment() -> RestoreNumbers {
+    let baseline = run_restore(8, 0.0);
+    let baseline_secs = baseline.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let storm_even = run_restore(1, 1.0);
+    let storm = run_restore(8, 1.0);
+    let storm_secs = storm.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let storm_even_secs = storm_even.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let storm_span_secs = storm.sim_end_ns as f64 / 1e9;
+    RestoreNumbers {
+        baseline_secs,
+        fg_slowdown_pct_1_1: (storm_even_secs / baseline_secs - 1.0) * 100.0,
+        fg_slowdown_pct_8_1: (storm_secs / baseline_secs - 1.0) * 100.0,
+        restored_mib_s_8_1: storm.restored_bytes as f64 / (1 << 20) as f64 / storm_span_secs,
+        fg_p99_ms_8_1: storm.tenant_latency(JobId(1)).p99_ns as f64 / 1e6,
+        reader_p99_ms_8_1: storm.tenant_latency(JobId(2)).p99_ns as f64 / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_every_key() {
+        let report = BenchReport {
+            drain_fg_slowdown_pct_1_1: 18.3,
+            drain_fg_slowdown_pct_8_1: 2.4,
+            drain_drained_mib_s_8_1: 1234.5,
+            restore_fg_slowdown_pct_1_1: 30.0,
+            restore_fg_slowdown_pct_8_1: 5.0,
+            restore_restored_mib_s_8_1: 456.7,
+            restore_fg_p99_ms_8_1: 1.25,
+            restore_reader_p99_ms_8_1: 42.0,
+        };
+        let parsed = parse_flat_json(&report.to_json());
+        assert_eq!(parsed.len(), report.entries().len());
+        for (key, value) in report.entries() {
+            assert!(
+                (parsed[key] - value).abs() < 1e-3,
+                "{key}: {} vs {value}",
+                parsed[key]
+            );
+        }
+    }
+
+    #[test]
+    fn regression_gate_trips_only_beyond_the_documented_limit() {
+        let mut report = BenchReport {
+            drain_fg_slowdown_pct_1_1: 18.3,
+            drain_fg_slowdown_pct_8_1: 2.4,
+            drain_drained_mib_s_8_1: 1234.5,
+            restore_fg_slowdown_pct_1_1: 30.0,
+            restore_fg_slowdown_pct_8_1: 5.0,
+            restore_restored_mib_s_8_1: 456.7,
+            restore_fg_p99_ms_8_1: 1.25,
+            restore_reader_p99_ms_8_1: 42.0,
+        };
+        let baseline = parse_flat_json(&report.to_json());
+        assert!(check_regression(&report, &baseline).is_empty());
+        // Within the 1-point absolute floor: still fine.
+        report.drain_fg_slowdown_pct_8_1 = 3.3;
+        assert!(check_regression(&report, &baseline).is_empty());
+        // Beyond base + max(0.2·|base|, 1.0): trips, naming the key.
+        report.drain_fg_slowdown_pct_8_1 = 3.5;
+        let violations = check_regression(&report, &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("drain_fg_slowdown_pct_8_1"));
+        // A negative baseline (a protected foreground can be *faster* than
+        // its comparison run) keeps proportional 20% headroom: base −15 →
+        // limit −12.
+        report.drain_fg_slowdown_pct_8_1 = 2.4;
+        let negative = parse_flat_json(
+            "{\"drain_fg_slowdown_pct_8_1\": 2.4, \"restore_fg_slowdown_pct_8_1\": -15.0}",
+        );
+        report.restore_fg_slowdown_pct_8_1 = -12.5;
+        assert!(check_regression(&report, &negative).is_empty());
+        report.restore_fg_slowdown_pct_8_1 = -11.0;
+        assert_eq!(check_regression(&report, &negative).len(), 1);
+        // A baseline missing a gated key is itself a failure.
+        report.restore_fg_slowdown_pct_8_1 = 5.0;
+        let empty = HashMap::new();
+        assert_eq!(check_regression(&report, &empty).len(), 2);
+    }
+
+    #[test]
+    fn parser_ignores_malformed_lines() {
+        let parsed = parse_flat_json("{\n \"ok\": 1.5,\n garbage,\n \"also_ok\": -2e3\n}");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["ok"], 1.5);
+        assert_eq!(parsed["also_ok"], -2000.0);
+    }
+}

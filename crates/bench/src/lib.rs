@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod experiments;
+
 use themis_core::entity::JobId;
 use themis_sim::metrics::NS_PER_SEC;
 use themis_sim::{SimResult, ThroughputSeries};

@@ -12,13 +12,46 @@ use std::fmt;
 /// First job id of the range reserved for system-internal traffic.
 ///
 /// Ids in `[RESERVED_JOB_BASE, u64::MAX]` never belong to client jobs: the
-/// staging subsystem issues its synthesized drain requests under
-/// `RESERVED_JOB_BASE + server_index`, and future internal traffic classes
-/// (scrubbing, rebalancing, replication) claim ids from the same range. The
-/// client refuses to construct requests inside the range and the server
-/// rejects any that arrive over the wire, so a request with a reserved id can
-/// only originate inside the server itself.
+/// staging subsystem issues its synthesized drain and restore requests from
+/// per-class sub-ranges of this range (see [`RESERVED_CLASS_SPAN`]), and
+/// future internal traffic classes (scrubbing, rebalancing, replication)
+/// claim ids from the same range. The client refuses to construct requests
+/// inside the range and the server rejects any that arrive over the wire, so
+/// a request with a reserved id can only originate inside the server itself.
 pub const RESERVED_JOB_BASE: u64 = u64::MAX - (1 << 16);
+
+/// Width of one internal traffic class's job-id sub-range.
+///
+/// The reserved range is carved into [`RESERVED_CLASS_COUNT`] contiguous
+/// sub-ranges of this many ids each; class `c` owns
+/// `[RESERVED_JOB_BASE + c·SPAN, RESERVED_JOB_BASE + (c+1)·SPAN)` and issues
+/// its per-server traffic under `base + server_index`. 4096 instances per
+/// class comfortably exceeds any deployment's server count while leaving
+/// room for 16 classes.
+pub const RESERVED_CLASS_SPAN: u64 = 1 << 12;
+
+/// Number of internal traffic-class sub-ranges the reserved range holds.
+pub const RESERVED_CLASS_COUNT: u64 = ((1 << 16) + 1) / RESERVED_CLASS_SPAN;
+
+/// The job id of instance `instance` (typically a server index) of reserved
+/// traffic class `class`.
+///
+/// # Panics
+///
+/// Panics when `class` or `instance` fall outside the reserved layout —
+/// synthesizing an id that silently aliased another class would corrupt
+/// per-class accounting.
+pub fn reserved_job_id(class: u64, instance: u64) -> JobId {
+    assert!(
+        class < RESERVED_CLASS_COUNT,
+        "traffic class {class} outside the {RESERVED_CLASS_COUNT}-class reserved layout"
+    );
+    assert!(
+        instance < RESERVED_CLASS_SPAN,
+        "instance {instance} outside the per-class span of {RESERVED_CLASS_SPAN}"
+    );
+    JobId(RESERVED_JOB_BASE + class * RESERVED_CLASS_SPAN + instance)
+}
 
 /// Identifier of a batch job (what the resource manager would call a job id).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -29,6 +62,26 @@ impl JobId {
     /// system-internal traffic.
     pub fn is_reserved(self) -> bool {
         self.0 >= RESERVED_JOB_BASE
+    }
+
+    /// The reserved traffic-class index this id belongs to (`None` for
+    /// ordinary client job ids). The inverse of [`reserved_job_id`].
+    pub fn reserved_class(self) -> Option<u64> {
+        if !self.is_reserved() {
+            return None;
+        }
+        Some(((self.0 - RESERVED_JOB_BASE) / RESERVED_CLASS_SPAN).min(RESERVED_CLASS_COUNT - 1))
+    }
+
+    /// The instance (server index) within this id's reserved class sub-range
+    /// (`None` for ordinary client job ids). Clamped into the span like
+    /// [`JobId::reserved_class`], so the round trip through
+    /// [`reserved_job_id`] never panics — even for `u64::MAX`, the one id
+    /// past the last full span.
+    pub fn reserved_instance(self) -> Option<u64> {
+        self.reserved_class().map(|class| {
+            (self.0 - RESERVED_JOB_BASE - class * RESERVED_CLASS_SPAN).min(RESERVED_CLASS_SPAN - 1)
+        })
     }
 }
 
@@ -238,6 +291,53 @@ mod tests {
         assert!(!JobId(1).is_reserved());
         assert!(JobMeta::new(RESERVED_JOB_BASE + 7, 1u32, 1u32, 1).is_reserved());
         assert!(!JobMeta::new(1u64 << 40, 1u32, 1u32, 1).is_reserved());
+    }
+
+    #[test]
+    fn reserved_class_sub_ranges_partition_the_reserved_range() {
+        // Class 0 starts exactly at the reserved base.
+        assert_eq!(reserved_job_id(0, 0), JobId(RESERVED_JOB_BASE));
+        assert_eq!(JobId(RESERVED_JOB_BASE).reserved_class(), Some(0));
+        assert_eq!(JobId(RESERVED_JOB_BASE).reserved_instance(), Some(0));
+        // Round-trip across every class boundary.
+        for class in 0..RESERVED_CLASS_COUNT {
+            for instance in [0u64, 1, RESERVED_CLASS_SPAN - 1] {
+                let id = reserved_job_id(class, instance);
+                assert!(id.is_reserved());
+                assert_eq!(id.reserved_class(), Some(class), "class {class}");
+                assert_eq!(id.reserved_instance(), Some(instance), "class {class}");
+            }
+        }
+        // Adjacent classes never alias.
+        assert_eq!(
+            reserved_job_id(1, 0).0,
+            reserved_job_id(0, RESERVED_CLASS_SPAN - 1).0 + 1
+        );
+        // Ordinary ids have no class.
+        assert_eq!(JobId(7).reserved_class(), None);
+        assert_eq!(JobId(RESERVED_JOB_BASE - 1).reserved_instance(), None);
+        // u64::MAX (one past the last full span) clamps into the last class
+        // and the last instance instead of inventing a 17th class or an
+        // out-of-span instance the round trip would panic on.
+        assert_eq!(
+            JobId(u64::MAX).reserved_class(),
+            Some(RESERVED_CLASS_COUNT - 1)
+        );
+        assert_eq!(
+            JobId(u64::MAX).reserved_instance(),
+            Some(RESERVED_CLASS_SPAN - 1)
+        );
+        let clamped = reserved_job_id(
+            JobId(u64::MAX).reserved_class().unwrap(),
+            JobId(u64::MAX).reserved_instance().unwrap(),
+        );
+        assert!(clamped.is_reserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn reserved_job_id_rejects_out_of_range_class() {
+        reserved_job_id(RESERVED_CLASS_COUNT, 0);
     }
 
     #[test]

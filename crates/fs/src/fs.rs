@@ -235,6 +235,12 @@ impl BurstBufferFs {
         self.inner.shards[server].read().evicted_extents(p)
     }
 
+    /// Number of evicted extents on `server` (O(1); the staging hot path's
+    /// early-out before any per-request residency scan).
+    pub fn evicted_count_on(&self, server: usize) -> usize {
+        self.inner.shards[server].read().evicted_len()
+    }
+
     fn shard(&self, s: ServerId) -> &RwLock<Shard> {
         &self.inner.shards[s.0]
     }

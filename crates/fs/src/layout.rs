@@ -62,13 +62,18 @@ impl FileLayout {
         FileLayout { config, servers }
     }
 
-    /// The server holding the stripe that contains file offset `offset`.
-    pub fn server_for_offset(&self, offset: u64) -> Option<ServerId> {
+    /// The server holding stripe `stripe` — the canonical stripe→server
+    /// mapping every placement-aware caller must use.
+    pub fn server_for_stripe(&self, stripe: u64) -> Option<ServerId> {
         if self.servers.is_empty() {
             return None;
         }
-        let stripe = (offset / self.config.stripe_size) as usize % self.servers.len();
-        Some(self.servers[stripe])
+        Some(self.servers[stripe as usize % self.servers.len()])
+    }
+
+    /// The server holding the stripe that contains file offset `offset`.
+    pub fn server_for_offset(&self, offset: u64) -> Option<ServerId> {
+        self.server_for_stripe(offset / self.config.stripe_size)
     }
 
     /// Splits the byte range `[offset, offset+len)` into per-server chunks,

@@ -469,6 +469,12 @@ impl Shard {
         self.extents.insert(key, data.to_vec());
     }
 
+    /// Number of evicted extents on this shard (O(1) — the staging hot path
+    /// uses it to skip residency scans when nothing is evicted).
+    pub fn evicted_len(&self) -> usize {
+        self.evicted.len()
+    }
+
     /// The evicted extents of `path` (or of every path when `None`) as
     /// `(path, stripe, length)`.
     pub fn evicted_extents(&self, path: Option<&str>) -> Vec<(String, u64, u64)> {

@@ -46,6 +46,14 @@ pub struct LiveOutcome {
     /// Whether every server's staging pipeline reported clean at quiescence
     /// (vacuously true without staging).
     pub drain_clean: bool,
+    /// Total bytes the cluster restored from the capacity tier (stage-in /
+    /// read-through / restore-for-write), summed over servers. Non-zero
+    /// exactly when reads or writes hit evicted extents.
+    pub restored_bytes: u64,
+    /// Restore backlog left at the end of the run, summed over servers
+    /// (must be 0 for a sound run — every queued restore either landed or
+    /// was voided by delete-wins).
+    pub pending_restore_bytes: u64,
     /// Hard errors: I/O error replies, integrity mismatches, or a run that
     /// never quiesced. An empty list means the replay itself was sound.
     pub errors: Vec<String>,
@@ -338,11 +346,23 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
         errors.push(format!("integrity: {what}: read-back never completed"));
     }
 
+    let (restored_bytes, pending_restore_bytes) = cores
+        .iter()
+        .filter_map(|c| c.drain_status_snapshot())
+        .fold((0u64, 0u64), |(restored, pending), s| {
+            (
+                restored + s.restored_bytes,
+                pending + s.pending_restore_bytes,
+            )
+        });
+
     LiveOutcome {
         metrics,
         policy_epochs,
         end_ns: now,
         drain_clean,
+        restored_bytes,
+        pending_restore_bytes,
         errors,
     }
 }

@@ -20,7 +20,26 @@
 //! re-derives shares immediately, but requests admitted under the old epoch
 //! still drain, so the boundary quarters are transition regions, not
 //! violations.
+//!
+//! # Restore-storm conditioning
+//!
+//! Since stage-in became policy-admitted, a tenant whose reads (or
+//! restore-for-write merges) hit evicted extents is *deliberately* slowed
+//! to the restore class's weighted share — that is the feature, not a
+//! fairness bug. In eviction scenarios the per-tenant byte share therefore
+//! legitimately deviates from `compute_shares` (the gated tenant sheds
+//! share; opportunity fairness hands it to the others), and the simulator —
+//! which does not track per-extent residency — cannot reproduce the live
+//! runtime's miss pattern. For those scenarios the two-sided share-bounds
+//! and sim↔live agreement oracles are replaced by
+//! [`check_restore_backpressure`]: restores must actually flow, the backlog
+//! must clear, and no tenant may starve (the no-starvation and integrity
+//! oracles still apply unconditionally). The quantitative protection bound —
+//! an un-gated checkpointer keeps ≥ w/(w+1) of its no-restore throughput —
+//! is asserted deterministically in `tests/staging_drain.rs`, where the
+//! workload controls which tenant is gated.
 
+use crate::live::LiveOutcome;
 use crate::scenario::Scenario;
 use themis_core::entity::JobMeta;
 use themis_core::policy::Policy;
@@ -69,6 +88,14 @@ pub const MIN_UTILISATION_LIVE: f64 = 0.78;
 /// Largest tolerated gap between consecutive completions of a backlogged
 /// tenant, as a fraction of the issuing window.
 pub const STARVATION_GAP_FRACTION: f64 = 0.25;
+
+/// Gap-limit multiplier for eviction (restore-storm) scenarios: any tenant
+/// can be restore-gated there (reads wait on the weighted restore pipeline;
+/// writes to evicted extents wait on pinned restore-for-write), which
+/// legitimately stretches completion gaps by up to the restore class's
+/// weight. 2× keeps the oracle falsifiable — a genuinely starved tenant
+/// produces gaps of the *whole remaining window*, far beyond it.
+pub const RESTORE_STORM_GAP_RELAXATION: f64 = 2.0;
 
 /// One oracle violation; collected into a
 /// [`ConformanceReport`](crate::report::ConformanceReport).
@@ -210,7 +237,15 @@ pub fn check_no_starvation(
     metrics: &Metrics,
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let gap_limit = ((scenario.window_ns as f64) * STARVATION_GAP_FRACTION) as u64;
+    // Only the live runtime tracks residency, so only its tenants can be
+    // restore-gated; the simulator keeps the strict gap limit even in
+    // eviction scenarios.
+    let relaxation = if run == "live" && scenario.staging.as_ref().is_some_and(|s| s.eviction) {
+        RESTORE_STORM_GAP_RELAXATION
+    } else {
+        1.0
+    };
+    let gap_limit = ((scenario.window_ns as f64) * STARVATION_GAP_FRACTION * relaxation) as u64;
     for meta in scenario.tenant_metas() {
         let mut finishes: Vec<u64> = metrics
             .records()
@@ -263,6 +298,38 @@ pub fn check_no_starvation(
                 });
             }
         }
+    }
+    violations
+}
+
+/// Restore-backpressure oracle for eviction (restore-storm) scenarios: the
+/// policy-admitted stage-in path must actually carry the storm and drain it.
+///
+/// * restore traffic flowed: a storm scenario that restored zero bytes
+///   means evicted data was served some other way (or reads silently
+///   zero-filled — the integrity oracle would also catch that);
+/// * the restore backlog cleared: pending restore bytes at quiescence mean
+///   a parked operation leaked.
+pub fn check_restore_backpressure(scenario: &Scenario, live: &LiveOutcome) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if scenario.restore_storm() && live.restored_bytes == 0 {
+        violations.push(Violation {
+            oracle: "restore-backpressure",
+            run: "live",
+            detail: "restore storm scenario restored zero bytes — evicted data \
+                     bypassed the policy-admitted stage-in path"
+                .into(),
+        });
+    }
+    if live.pending_restore_bytes > 0 {
+        violations.push(Violation {
+            oracle: "restore-backpressure",
+            run: "live",
+            detail: format!(
+                "{} restore bytes still pending at quiescence (parked op leaked?)",
+                live.pending_restore_bytes
+            ),
+        });
     }
     violations
 }

@@ -62,6 +62,9 @@ pub struct StagingSpec {
     pub backing_device: DeviceConfig,
     /// Foreground : drain weight.
     pub drain_weight: u32,
+    /// Foreground : restore weight for the policy-admitted stage-in class
+    /// (mirrors the drain weight so the scenario has one staging knob).
+    pub restore_weight: u32,
     /// Whether watermarks are tight enough to force eviction (and therefore
     /// stage-in / read-through roundtrips) during the run.
     pub eviction: bool,
@@ -237,6 +240,10 @@ impl Scenario {
             } else {
                 (1u64 << 40, 1u64 << 39)
             };
+            // One staging knob per scenario: the restore class mirrors the
+            // drain weight, derived from the same draw so pre-existing seeds
+            // keep their exact shape.
+            let drain_weight = if rng.gen_range(0u32..2) == 0 { 4 } else { 8 };
             Some(StagingSpec {
                 // The capacity tier must absorb drain faster than the burst
                 // tier produces dirty bytes, so runs quiesce promptly; its
@@ -248,7 +255,8 @@ impl Scenario {
                     metadata_op_ns: 100_000,
                     workers: 2,
                 },
-                drain_weight: if rng.gen_range(0u32..2) == 0 { 4 } else { 8 },
+                drain_weight,
+                restore_weight: drain_weight,
                 eviction,
                 high_watermark_bytes: high,
                 low_watermark_bytes: low,
@@ -307,6 +315,12 @@ impl Scenario {
             staging: self.staging.as_ref().map(|s| SimStagingConfig {
                 backing_device: s.backing_device,
                 drain_weight: s.drain_weight,
+                restore_weight: s.restore_weight,
+                // The simulator does not track per-extent residency, so it
+                // cannot reproduce the live runtime's eviction-driven
+                // restore storms; differential comparison of restore-storm
+                // scenarios is therefore conditioned (see `crate::oracle`).
+                restore_miss_rate: 0.0,
                 drain_chunk_bytes: self.bytes_per_op,
                 max_inflight: 4,
             }),
@@ -335,9 +349,24 @@ impl Scenario {
                 high_watermark_bytes: s.high_watermark_bytes,
                 low_watermark_bytes: s.low_watermark_bytes,
                 drain_weight: s.drain_weight,
+                restore_weight: s.restore_weight,
                 max_inflight: 4,
             },
         })
+    }
+
+    /// Whether this scenario is a *restore storm*: eviction pressure plus at
+    /// least one tenant that reads, so in-window reads (and the closing
+    /// integrity read-back) hit evicted extents and ride the policy-admitted
+    /// restore pipeline.
+    pub fn restore_storm(&self) -> bool {
+        self.staging.as_ref().is_some_and(|s| s.eviction)
+            && self.tenants.iter().any(|t| {
+                matches!(
+                    t.pattern,
+                    OpPattern::ReadOnly { .. } | OpPattern::WriteReadCycle { .. }
+                )
+            })
     }
 
     /// One-line human summary used in reports.
@@ -349,7 +378,13 @@ impl Scenario {
             .collect::<Vec<_>>()
             .join(", ");
         let staging = match &self.staging {
-            Some(s) => format!("staging(w={}, eviction={})", s.drain_weight, s.eviction),
+            Some(s) => format!(
+                "staging(w={}, rw={}, eviction={}, storm={})",
+                s.drain_weight,
+                s.restore_weight,
+                s.eviction,
+                self.restore_storm()
+            ),
             None => "no-staging".to_string(),
         };
         let tenants = self

@@ -13,7 +13,7 @@
 use crate::metrics::{Metrics, ServiceRecord};
 use crate::workload::SimJob;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use themis_baselines::Algorithm;
@@ -24,7 +24,7 @@ use themis_core::policy::Policy;
 use themis_core::request::{IoRequest, OpKind};
 use themis_core::sync::SyncConfig;
 use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
-use themis_stage::{drain_meta, is_drain, StagedEngine};
+use themis_stage::{drain_meta, restore_meta, ClassWeights, StagedEngine, TrafficClass};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -58,14 +58,24 @@ pub struct SimConfig {
     pub staging: Option<SimStagingConfig>,
 }
 
-/// Staging parameters of a simulated drain scenario.
+/// Staging parameters of a simulated drain/restore scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct SimStagingConfig {
-    /// Device model of the capacity tier absorbing drained bytes.
+    /// Device model of the capacity tier absorbing drained bytes (and
+    /// serving restored ones).
     pub backing_device: DeviceConfig,
     /// Foreground : drain weight (see
     /// [`DrainConfig`](themis_stage::DrainConfig)).
     pub drain_weight: u32,
+    /// Foreground : restore weight for synthesized stage-in traffic.
+    pub restore_weight: u32,
+    /// Fraction of foreground *read* operations that miss the burst buffer
+    /// and must wait for a policy-admitted restore of equal size from the
+    /// capacity tier before they can be served (the simulator's byte-level
+    /// model of reading evicted data — it does not track per-extent
+    /// residency, so misses are drawn i.i.d. per read). `0.0` (the default)
+    /// disables restore pressure.
+    pub restore_miss_rate: f64,
     /// Bytes per synthesized drain request.
     pub drain_chunk_bytes: u64,
     /// Maximum drain requests in flight per server.
@@ -77,6 +87,8 @@ impl Default for SimStagingConfig {
         SimStagingConfig {
             backing_device: DeviceConfig::capacity_hdd(),
             drain_weight: 8,
+            restore_weight: 8,
+            restore_miss_rate: 0.0,
             drain_chunk_bytes: 8 << 20,
             max_inflight: 4,
         }
@@ -131,6 +143,9 @@ pub struct SimResult {
     pub sim_end_ns: u64,
     /// Total bytes drained to the capacity tier (0 without staging).
     pub drained_bytes: u64,
+    /// Total bytes restored from the capacity tier for read misses (0
+    /// without staging or with [`SimStagingConfig::restore_miss_rate`] 0).
+    pub restored_bytes: u64,
     /// Dirty bytes never drained by the end of the run (0 when the buffer
     /// fully drained; always 0 without staging).
     pub residual_dirty_bytes: u64,
@@ -187,12 +202,23 @@ struct SimServerStaging {
     inflight: usize,
     /// Total bytes drained to the capacity tier.
     drained_bytes: u64,
+    /// Restore requests admitted and not yet landed.
+    restore_inflight: usize,
+    /// Total bytes restored from the capacity tier.
+    restored_bytes: u64,
 }
 
 impl SimServer {
     fn new(config: &SimConfig) -> Self {
         let engine: Box<dyn PolicyEngine> = match &config.staging {
-            Some(sc) => Box::new(StagedEngine::new(config.algorithm.build(), sc.drain_weight)),
+            Some(sc) => Box::new(StagedEngine::with_weights(
+                config.algorithm.build(),
+                ClassWeights {
+                    drain: sc.drain_weight,
+                    restore: sc.restore_weight,
+                    ..ClassWeights::default()
+                },
+            )),
             None => config.algorithm.build(),
         };
         SimServer {
@@ -207,16 +233,18 @@ impl SimServer {
                 queued_bytes: 0,
                 inflight: 0,
                 drained_bytes: 0,
+                restore_inflight: 0,
+                restored_bytes: 0,
             }),
         }
     }
 
-    /// Whether the staging pipeline still has work (dirty backlog or drains
-    /// in flight).
+    /// Whether the staging pipeline still has work (dirty backlog, drains
+    /// in flight, or restores in flight).
     fn staging_busy(&self) -> bool {
         self.staging
             .as_ref()
-            .is_some_and(|st| st.dirty_bytes > 0 || st.inflight > 0)
+            .is_some_and(|st| st.dirty_bytes > 0 || st.inflight > 0 || st.restore_inflight > 0)
     }
 }
 
@@ -281,6 +309,11 @@ impl Simulation {
         let mut completions: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
         // Drain completion events: (capacity-tier finish_ns, server, bytes).
         let mut drain_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        // Restore completion events: (landed_ns, server, restore seq, bytes).
+        let mut restore_events: BinaryHeap<Reverse<(u64, usize, u64, u64)>> = BinaryHeap::new();
+        // Foreground reads parked behind a restore: restore seq → (server,
+        // the read to admit once its bytes are back in the burst buffer).
+        let mut waiting_restore: HashMap<u64, (usize, IoRequest)> = HashMap::new();
         // Request sequence → issuing rank.
         let mut seq_to_rank: HashMap<u64, usize> = HashMap::new();
         let mut next_seq: u64 = 0;
@@ -336,7 +369,28 @@ impl Simulation {
                 }
             }
 
-            // 1b. Stop once every bounded job has completed all of its work
+            // 1b. Apply restore completions by `now`: the missed bytes are
+            // back in the burst buffer, so the read that waited on them is
+            // finally admitted to its server's engine (its arrival time —
+            // and therefore its recorded latency — still dates from issue,
+            // charging the restore queue delay to the read).
+            while let Some(Reverse((finish, server_idx, seq, bytes))) =
+                restore_events.peek().copied()
+            {
+                if finish > now {
+                    break;
+                }
+                restore_events.pop();
+                if let Some(st) = servers[server_idx].staging.as_mut() {
+                    st.restore_inflight = st.restore_inflight.saturating_sub(1);
+                    st.restored_bytes += bytes;
+                }
+                if let Some((server, parked)) = waiting_restore.remove(&seq) {
+                    servers[server].engine.admit(parked);
+                }
+            }
+
+            // 1c. Stop once every bounded job has completed all of its work
             // *and* every staging pipeline has fully drained; unbounded
             // background jobs do not keep the simulation alive.
             if any_finite {
@@ -391,7 +445,34 @@ impl Simulation {
                     let req = IoRequest::new(next_seq, job.meta, kind, bytes, now);
                     seq_to_rank.insert(next_seq, rank_idx);
                     next_seq += 1;
-                    server.engine.admit(req);
+                    // Restore pressure: a read may miss the burst buffer
+                    // (its data was evicted to the capacity tier). The read
+                    // then parks behind a policy-admitted restore of equal
+                    // size instead of being admitted directly — stage-in
+                    // bandwidth is arbitrated, never stolen.
+                    let miss = kind == OpKind::Read
+                        && server.staging.as_ref().is_some_and(|st| {
+                            st.config.restore_miss_rate > 0.0
+                                && (rng.gen_range(0u64..1_000_000) as f64)
+                                    < st.config.restore_miss_rate * 1e6
+                        });
+                    if miss {
+                        let restore_seq = next_seq;
+                        next_seq += 1;
+                        let st = server.staging.as_mut().expect("miss implies staging");
+                        st.restore_inflight += 1;
+                        let restore = IoRequest::new(
+                            restore_seq,
+                            restore_meta(server_idx),
+                            OpKind::Write,
+                            bytes,
+                            now,
+                        );
+                        waiting_restore.insert(restore_seq, (server_idx, req));
+                        server.engine.admit(restore);
+                    } else {
+                        server.engine.admit(req);
+                    }
                     rank.ops_issued += 1;
                     rank.inflight += 1;
                 }
@@ -426,19 +507,43 @@ impl Simulation {
                         break;
                     };
                     let (start, finish) = server.device.dispatch(&req, now);
-                    if is_drain(&req.meta) {
-                        // The drained chunk leaves the burst buffer at
-                        // `finish` and lands in the capacity tier when the
-                        // (slower) backing device completes the write.
-                        let st = server
-                            .staging
-                            .as_mut()
-                            .expect("drain traffic only exists with staging");
-                        let write =
-                            IoRequest::new(req.seq, req.meta, OpKind::Write, req.bytes, finish);
-                        let (_, backing_finish) = st.backing.dispatch(&write, finish);
-                        drain_events.push(Reverse((backing_finish, server_idx, req.bytes)));
-                        continue;
+                    match TrafficClass::of(req.meta.job) {
+                        Some(TrafficClass::Drain) => {
+                            // The drained chunk leaves the burst buffer at
+                            // `finish` and lands in the capacity tier when
+                            // the (slower) backing device completes the
+                            // write.
+                            let st = server
+                                .staging
+                                .as_mut()
+                                .expect("drain traffic only exists with staging");
+                            let write =
+                                IoRequest::new(req.seq, req.meta, OpKind::Write, req.bytes, finish);
+                            let (_, backing_finish) = st.backing.dispatch(&write, finish);
+                            drain_events.push(Reverse((backing_finish, server_idx, req.bytes)));
+                            continue;
+                        }
+                        Some(TrafficClass::Restore) => {
+                            // The engine granted the burst-buffer write; the
+                            // capacity-tier read is charged in parallel, and
+                            // the bytes land when both are done.
+                            let st = server
+                                .staging
+                                .as_mut()
+                                .expect("restore traffic only exists with staging");
+                            let read =
+                                IoRequest::new(req.seq, req.meta, OpKind::Read, req.bytes, now);
+                            let (_, backing_finish) = st.backing.dispatch(&read, now);
+                            restore_events.push(Reverse((
+                                finish.max(backing_finish),
+                                server_idx,
+                                req.seq,
+                                req.bytes,
+                            )));
+                            continue;
+                        }
+                        Some(_) => continue,
+                        None => {}
                     }
                     let completion = themis_core::request::Completion {
                         request: req,
@@ -483,6 +588,9 @@ impl Simulation {
                 next = next.min(*finish);
             }
             if let Some(Reverse((finish, _, _))) = drain_events.peek() {
+                next = next.min(*finish);
+            }
+            if let Some(Reverse((finish, _, _, _))) = restore_events.peek() {
                 next = next.min(*finish);
             }
             for server in servers.iter() {
@@ -547,6 +655,11 @@ impl Simulation {
             .filter_map(|s| s.staging.as_ref())
             .map(|st| st.drained_bytes)
             .sum();
+        let restored_bytes = servers
+            .iter()
+            .filter_map(|s| s.staging.as_ref())
+            .map(|st| st.restored_bytes)
+            .sum();
         let residual_dirty_bytes = servers
             .iter()
             .filter_map(|s| s.staging.as_ref())
@@ -557,6 +670,7 @@ impl Simulation {
             job_finish_ns: job_finish,
             sim_end_ns: now,
             drained_bytes,
+            restored_bytes,
             residual_dirty_bytes,
             policy_epochs,
         }
@@ -803,6 +917,56 @@ mod tests {
         assert_eq!(result.policy_epochs[0], (0, Policy::job_fair()));
         assert_eq!(result.policy_epochs[1].1, Policy::size_fair());
         assert!(result.policy_epochs[1].0 >= NS_PER_SEC / 2);
+    }
+
+    #[test]
+    fn restore_misses_park_reads_behind_weighted_restores() {
+        // A read stream whose reads always miss: every served byte must
+        // first come back from the capacity tier as policy-admitted restore
+        // traffic, so restored bytes equal read bytes and the run is slower
+        // than the all-hit baseline.
+        let reads = |staging| {
+            let job = SimJob::new(
+                meta(1, 1, 4),
+                8,
+                OpPattern::ReadOnly {
+                    bytes_per_op: 1 << 20,
+                },
+            )
+            .with_max_ops(32)
+            .with_queue_depth(4);
+            let config = SimConfig {
+                device: fast_device(),
+                staging,
+                ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
+            };
+            Simulation::new(config, vec![job]).run()
+        };
+        let hit = reads(Some(SimStagingConfig {
+            backing_device: fast_device(),
+            restore_miss_rate: 0.0,
+            ..SimStagingConfig::default()
+        }));
+        assert_eq!(hit.restored_bytes, 0);
+        let missed = reads(Some(SimStagingConfig {
+            backing_device: fast_device(),
+            restore_miss_rate: 1.0,
+            ..SimStagingConfig::default()
+        }));
+        let total_read = 8 * 32 * (1 << 20) as u64;
+        assert_eq!(missed.metrics.total_bytes(JobId(1)), total_read);
+        assert_eq!(missed.restored_bytes, total_read);
+        // Latency of the reads includes the restore queue delay.
+        assert!(
+            missed.job_finish_ns[&JobId(1)] > hit.job_finish_ns[&JobId(1)],
+            "misses must slow the reader ({} vs {})",
+            missed.job_finish_ns[&JobId(1)],
+            hit.job_finish_ns[&JobId(1)]
+        );
+        assert!(
+            missed.tenant_latency(JobId(1)).p99_ns > hit.tenant_latency(JobId(1)).p99_ns,
+            "restore queue delay must show up in read latency"
+        );
     }
 
     #[test]

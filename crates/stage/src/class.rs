@@ -1,0 +1,209 @@
+//! Internal traffic classes: the taxonomy of system-synthesized I/O the
+//! burst buffer moves on its own behalf, each admitted through the policy
+//! engine like foreground traffic.
+//!
+//! The paper's core claim is that *all* I/O on the burst buffer is
+//! arbitrated by one fine-grained policy engine. Foreground traffic carries
+//! client job identities; everything the system synthesizes — stage-out
+//! drains, stage-in restores, and future scrubbing/rebalancing — runs under
+//! a [`TrafficClass`] identity allocated from the reserved job-id range
+//! ([`RESERVED_JOB_BASE`]), sub-divided per class
+//! ([`RESERVED_CLASS_SPAN`]) so telemetry can attribute every byte to the
+//! class (and server) that moved it.
+//!
+//! | class | job-id sub-range | direction | weight |
+//! |-------|------------------|-----------|--------|
+//! | [`TrafficClass::Drain`] | `base + [0, 4096)` | burst → capacity | [`ClassWeights::drain`] |
+//! | [`TrafficClass::Restore`] | `base + [4096, 8192)` | capacity → burst | [`ClassWeights::restore`] |
+//! | [`TrafficClass::Scrub`] | `base + [8192, 12288)` | reserved (future) | [`ClassWeights::scrub`] |
+//! | [`TrafficClass::Rebalance`] | `base + [12288, 16384)` | reserved (future) | [`ClassWeights::rebalance`] |
+//!
+//! Within each sub-range, instance `i` is the traffic of server `i`.
+
+use serde::{Deserialize, Serialize};
+use themis_core::entity::{
+    reserved_job_id, JobId, JobMeta, RESERVED_CLASS_SPAN, RESERVED_JOB_BASE,
+};
+
+/// One class of system-internal traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Stage-out: dirty burst-buffer extents written back to the capacity
+    /// tier so NVMe space can be reclaimed.
+    Drain,
+    /// Stage-in: evicted extents copied back from the capacity tier —
+    /// explicit `StageIn` requests, transparent read-through of evicted
+    /// data, and restore-for-write merges all run under this class.
+    Restore,
+    /// Background integrity scrubbing (sub-range reserved; no scrubber is
+    /// implemented yet).
+    Scrub,
+    /// Background data rebalancing across servers (sub-range reserved; no
+    /// rebalancer is implemented yet).
+    Rebalance,
+}
+
+impl TrafficClass {
+    /// Every defined class, in sub-range order.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Drain,
+        TrafficClass::Restore,
+        TrafficClass::Scrub,
+        TrafficClass::Rebalance,
+    ];
+
+    /// This class's index into the reserved range's class layout.
+    pub fn index(self) -> u64 {
+        match self {
+            TrafficClass::Drain => 0,
+            TrafficClass::Restore => 1,
+            TrafficClass::Scrub => 2,
+            TrafficClass::Rebalance => 3,
+        }
+    }
+
+    /// First job id of this class's sub-range.
+    pub fn job_base(self) -> u64 {
+        RESERVED_JOB_BASE + self.index() * RESERVED_CLASS_SPAN
+    }
+
+    /// The class a job id belongs to (`None` for client jobs and for
+    /// reserved sub-ranges no class claims yet).
+    pub fn of(job: JobId) -> Option<TrafficClass> {
+        let class = job.reserved_class()?;
+        TrafficClass::ALL.into_iter().find(|c| c.index() == class)
+    }
+
+    /// The job identity this class's traffic runs under on `server`. The
+    /// user/group ids are taken from the top of the id space, one per class,
+    /// so user- and group-scoped telemetry also separates the classes.
+    pub fn meta(self, server: usize) -> JobMeta {
+        let scope = u32::MAX - self.index() as u32;
+        JobMeta::new(
+            reserved_job_id(self.index(), server as u64),
+            scope,
+            scope,
+            1,
+        )
+    }
+
+    /// Short lowercase name for logs and status output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::Drain => "drain",
+            TrafficClass::Restore => "restore",
+            TrafficClass::Scrub => "scrub",
+            TrafficClass::Rebalance => "rebalance",
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The foreground:class weight of every internal traffic class.
+///
+/// A weight of `w` means foreground traffic collectively receives `w`× the
+/// device time of that class while both are backlogged — derived through the
+/// policy crate's [`WeightedLevel`](themis_core::policy::WeightedLevel)
+/// machinery exactly like a `user[w]-…` premium tier (see
+/// [`StagedEngine`](crate::engine::StagedEngine)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassWeights {
+    /// Foreground : drain weight.
+    pub drain: u32,
+    /// Foreground : restore weight.
+    pub restore: u32,
+    /// Foreground : scrub weight (reserved for the future scrubber).
+    pub scrub: u32,
+    /// Foreground : rebalance weight (reserved for the future rebalancer).
+    pub rebalance: u32,
+}
+
+impl Default for ClassWeights {
+    fn default() -> Self {
+        ClassWeights {
+            drain: 8,
+            restore: 8,
+            // The future background classes default to a conservative 16:1 —
+            // pure maintenance traffic with no foreground waiting on it.
+            scrub: 16,
+            rebalance: 16,
+        }
+    }
+}
+
+impl ClassWeights {
+    /// Every class at the same foreground:class weight.
+    pub fn uniform(weight: u32) -> Self {
+        let weight = weight.max(1);
+        ClassWeights {
+            drain: weight,
+            restore: weight,
+            scrub: weight,
+            rebalance: weight,
+        }
+    }
+
+    /// The weight of one class.
+    pub fn weight(&self, class: TrafficClass) -> u32 {
+        let w = match class {
+            TrafficClass::Drain => self.drain,
+            TrafficClass::Restore => self.restore,
+            TrafficClass::Scrub => self.scrub,
+            TrafficClass::Rebalance => self.rebalance,
+        };
+        w.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_without_aliasing() {
+        for class in TrafficClass::ALL {
+            for server in [0usize, 1, 4095] {
+                let meta = class.meta(server);
+                assert!(meta.is_reserved(), "{class}");
+                assert_eq!(TrafficClass::of(meta.job), Some(class), "{class}");
+                assert_eq!(meta.job.reserved_instance(), Some(server as u64));
+            }
+        }
+        // Distinct classes on the same server get distinct jobs and users.
+        let d = TrafficClass::Drain.meta(3);
+        let r = TrafficClass::Restore.meta(3);
+        assert_ne!(d.job, r.job);
+        assert_ne!(d.user, r.user);
+        // Client jobs belong to no class.
+        assert_eq!(TrafficClass::of(JobId(42)), None);
+    }
+
+    #[test]
+    fn drain_sub_range_starts_at_the_legacy_base() {
+        // PR 2's drain traffic ran under RESERVED_JOB_BASE + server; class 0
+        // preserves those ids exactly, so telemetry across versions agrees.
+        assert_eq!(TrafficClass::Drain.job_base(), RESERVED_JOB_BASE);
+        assert_eq!(
+            TrafficClass::Drain.meta(5).job,
+            JobId(RESERVED_JOB_BASE + 5)
+        );
+    }
+
+    #[test]
+    fn weights_clamp_and_default() {
+        let w = ClassWeights::default();
+        assert_eq!(w.weight(TrafficClass::Drain), 8);
+        assert_eq!(w.weight(TrafficClass::Scrub), 16);
+        let z = ClassWeights {
+            drain: 0,
+            ..ClassWeights::default()
+        };
+        assert_eq!(z.weight(TrafficClass::Drain), 1);
+        assert_eq!(ClassWeights::uniform(0).weight(TrafficClass::Restore), 1);
+    }
+}

@@ -1,30 +1,45 @@
 //! [`StagedEngine`]: a policy-engine decorator that arbitrates foreground
-//! traffic against synthesized drain traffic.
+//! traffic against synthesized internal traffic classes (drain, restore, and
+//! future scrub/rebalance).
 //!
 //! The server holds one `Box<dyn PolicyEngine>`; when staging is enabled that
 //! box *is* a `StagedEngine` wrapping the configured foreground engine
-//! (ThemisIO statistical tokens, FIFO, GIFT, TBF — anything). Drain requests
-//! (identified by [`is_drain`]) are queued FIFO inside the decorator; all
-//! other calls pass through, so live `SetPolicy` swaps, share telemetry and
-//! the epoch-boundary contract are untouched.
+//! (ThemisIO statistical tokens, FIFO, GIFT, TBF — anything). Requests under
+//! a [`TrafficClass`] identity are queued FIFO in that class's lane inside
+//! the decorator; all other calls pass through, so live `SetPolicy` swaps,
+//! share telemetry and the epoch-boundary contract are untouched.
 //!
-//! # The foreground:drain weight
+//! # The foreground:class weights
 //!
-//! The split is start-time weighted fair queuing over two classes. The class
-//! weights are not ad-hoc numbers: they are derived through the policy
-//! crate's own [`WeightedLevel`] machinery by evaluating a one-tier
-//! `job[w]-fair` policy over two pseudo-jobs (foreground = the premium
-//! tenant, drain = its peer) with [`compute_shares`]. A weight of 8 therefore
-//! yields shares 8/9 : 1/9, exactly the semantics `user[8]-…` has for premium
-//! users — the paper's single-parameter policy language, extended to
-//! stage-out.
+//! Each class's split against the foreground is start-time weighted fair
+//! queuing. The class weights are not ad-hoc numbers: they are derived
+//! through the policy crate's own [`WeightedLevel`] machinery by evaluating
+//! a one-tier `job[w]-fair` policy over two pseudo-jobs (foreground = the
+//! premium tenant, the class = its peer) with [`compute_shares`]. A weight
+//! of 8 therefore yields shares 8/9 : 1/9, exactly the semantics `user[8]-…`
+//! has for premium users — the paper's single-parameter policy language,
+//! extended to every internal byte the buffer moves.
 //!
-//! When one class has nothing eligible the other expands into the idle
-//! capacity and the idle class's virtual time is clamped forward, so neither
-//! side accumulates credit or debt across idle periods (opportunity
-//! fairness, §3 of the paper, applied to the drain dimension).
+//! # Two-level arbitration
+//!
+//! Selection is two-level WFQ:
+//!
+//! 1. the backlogged class lanes compete among themselves on a lane-local
+//!    virtual time (`u`), so drain and restore stay mutually fair at their
+//!    weight ratio even while the foreground is throttled;
+//! 2. the winning lane competes with the foreground on the
+//!    foreground-facing virtual time (`v`).
+//!
+//! When one side has nothing eligible the other expands into the idle
+//! capacity and the idle side's virtual time is clamped forward, so neither
+//! accumulates credit or debt across idle periods (opportunity fairness, §3
+//! of the paper, applied to every internal class). Class service consumed
+//! while the foreground is *throttled* (backlogged but ineligible — e.g.
+//! TBF out of tokens) is charged lane-locally but **not** against the
+//! foreground: charging it would bank class debt across the throttled
+//! window and starve the class once the foreground becomes eligible again.
 
-use crate::pipeline::is_drain;
+use crate::class::{ClassWeights, TrafficClass};
 use rand::RngCore;
 use std::collections::VecDeque;
 use themis_core::engine::PolicyEngine;
@@ -34,62 +49,108 @@ use themis_core::policy::{Level, Policy, PolicySpec, WeightedLevel};
 use themis_core::request::{Completion, IoRequest};
 use themis_core::shares::{compute_shares, ShareMap};
 
-/// Derives the (foreground, drain) share split for `weight` via the policy
+/// Derives the (foreground, class) share split for `weight` via the policy
 /// crate's weighted-tier machinery (see the [module docs](self)).
 fn staged_shares(weight: u32) -> (f64, f64) {
     let spec = PolicySpec::new([WeightedLevel::weighted(Level::Job, weight.max(1))])
         .expect("a single weighted job tier is always a valid policy");
     let policy = Policy::Fair(spec);
     // Two pseudo-jobs: the premium tenant (lowest job id) is the foreground
-    // class, its peer is the drain class.
+    // class, its peer is the internal class.
     let foreground = JobMeta::new(0u64, 0u32, 0u32, 1);
-    let drain = JobMeta::new(1u64, 1u32, 1u32, 1);
-    let shares = compute_shares(&policy, &[foreground, drain]);
+    let class = JobMeta::new(1u64, 1u32, 1u32, 1);
+    let shares = compute_shares(&policy, &[foreground, class]);
     (shares.share(JobId(0)), shares.share(JobId(1)))
 }
 
-/// A [`PolicyEngine`] decorator that schedules drain traffic alongside the
-/// wrapped foreground engine at a configurable foreground:drain weight.
+/// One internal traffic class's scheduling lane (indexed by
+/// [`TrafficClass::index`] in [`StagedEngine::lanes`]).
+struct ClassLane {
+    queue: VecDeque<IoRequest>,
+    /// Service rate relative to the foreground's 1.0, derived from the
+    /// pairwise [`staged_shares`] split (`class/foreground = 1/w`).
+    rate: f64,
+    /// Foreground-facing virtual time (normalised service vs the
+    /// foreground).
+    v: f64,
+    /// Lane-local virtual time (normalised service vs the other lanes).
+    u: f64,
+}
+
+impl ClassLane {
+    fn new(weight: u32) -> Self {
+        let (fg, cl) = staged_shares(weight);
+        ClassLane {
+            queue: VecDeque::new(),
+            rate: cl / fg,
+            v: 0.0,
+            u: 0.0,
+        }
+    }
+}
+
+/// A [`PolicyEngine`] decorator that schedules internal traffic classes
+/// alongside the wrapped foreground engine at configurable
+/// foreground:class weights.
 pub struct StagedEngine {
     inner: Box<dyn PolicyEngine>,
-    drain: VecDeque<IoRequest>,
-    weight: u32,
-    foreground_share: f64,
-    drain_share: f64,
-    /// Normalised virtual service (bytes / share) of each class.
+    lanes: Vec<ClassLane>,
+    weights: ClassWeights,
+    /// Normalised virtual service of the foreground (rate 1.0).
     v_foreground: f64,
-    v_drain: f64,
 }
 
 impl StagedEngine {
-    /// Wraps `inner` with a foreground:drain weight of `weight`:1.
+    /// Wraps `inner` with every class at a foreground:class weight of
+    /// `weight`:1 (the PR 2 drain-only constructor, kept because a single
+    /// knob is the right interface for simple deployments and tests).
     pub fn new(inner: Box<dyn PolicyEngine>, weight: u32) -> Self {
-        let weight = weight.max(1);
-        let (foreground_share, drain_share) = staged_shares(weight);
+        Self::with_weights(inner, ClassWeights::uniform(weight))
+    }
+
+    /// Wraps `inner` with per-class foreground:class weights.
+    pub fn with_weights(inner: Box<dyn PolicyEngine>, weights: ClassWeights) -> Self {
+        let lanes = TrafficClass::ALL
+            .into_iter()
+            .map(|class| ClassLane::new(weights.weight(class)))
+            .collect();
         StagedEngine {
             inner,
-            drain: VecDeque::new(),
-            weight,
-            foreground_share,
-            drain_share,
+            lanes,
+            weights,
             v_foreground: 0.0,
-            v_drain: 0.0,
         }
     }
 
-    /// The configured foreground:drain weight.
+    /// The configured foreground:drain weight (legacy single-knob view).
     pub fn weight(&self) -> u32 {
-        self.weight
+        self.weights.weight(TrafficClass::Drain)
     }
 
-    /// The nominal (foreground, drain) share split.
+    /// The configured per-class weights.
+    pub fn weights(&self) -> ClassWeights {
+        self.weights
+    }
+
+    /// The nominal (foreground, class) share split of one class.
+    pub fn class_shares_of(&self, class: TrafficClass) -> (f64, f64) {
+        staged_shares(self.weights.weight(class))
+    }
+
+    /// The nominal (foreground, drain) share split (legacy view of
+    /// [`StagedEngine::class_shares_of`]).
     pub fn class_shares(&self) -> (f64, f64) {
-        (self.foreground_share, self.drain_share)
+        self.class_shares_of(TrafficClass::Drain)
     }
 
-    /// Number of queued drain requests.
+    /// Number of queued requests of one class.
+    pub fn queued_class(&self, class: TrafficClass) -> usize {
+        self.lanes[class.index() as usize].queue.len()
+    }
+
+    /// Number of queued drain requests (legacy view).
     pub fn drain_queued(&self) -> usize {
-        self.drain.len()
+        self.queued_class(TrafficClass::Drain)
     }
 
     /// The virtual cost of serving a request: its payload, with metadata
@@ -98,19 +159,75 @@ impl StagedEngine {
         request.bytes.max(1) as f64
     }
 
-    /// Clamps the virtual time of an idle class forward so idle periods
+    /// Clamps the virtual time of idle parties forward so idle periods
     /// accumulate neither credit nor debt.
     fn clamp_idle(&mut self) {
-        if self.drain.is_empty() {
-            self.v_drain = self.v_drain.max(self.v_foreground);
+        // Foreground-facing times: an idle lane resumes at parity with the
+        // foreground; an idle foreground resumes at parity with the least-
+        // served backlogged lane.
+        let v_fg = self.v_foreground;
+        let mut min_backlogged_v = f64::INFINITY;
+        for lane in self.lanes.iter_mut() {
+            if lane.queue.is_empty() {
+                lane.v = lane.v.max(v_fg);
+            } else {
+                min_backlogged_v = min_backlogged_v.min(lane.v);
+            }
         }
-        if self.inner.queued() == 0 {
-            self.v_foreground = self.v_foreground.max(self.v_drain);
+        if self.inner.queued() == 0 && min_backlogged_v.is_finite() {
+            self.v_foreground = self.v_foreground.max(min_backlogged_v);
         }
-        // Keep the counters bounded: only the difference matters.
-        let floor = self.v_foreground.min(self.v_drain);
-        self.v_foreground -= floor;
-        self.v_drain -= floor;
+        // Lane-local times: an idle lane resumes at the lane system's
+        // current virtual time (the least-served backlogged lane).
+        let min_backlogged_u = self
+            .lanes
+            .iter()
+            .filter(|l| !l.queue.is_empty())
+            .map(|l| l.u)
+            .fold(f64::INFINITY, f64::min);
+        if min_backlogged_u.is_finite() {
+            for lane in self.lanes.iter_mut() {
+                if lane.queue.is_empty() {
+                    lane.u = lane.u.max(min_backlogged_u);
+                }
+            }
+        }
+        // Keep the counters bounded: only the differences matter.
+        let v_floor = self
+            .lanes
+            .iter()
+            .map(|l| l.v)
+            .fold(self.v_foreground, f64::min);
+        self.v_foreground -= v_floor;
+        let u_floor = self.lanes.iter().map(|l| l.u).fold(f64::INFINITY, f64::min);
+        for lane in self.lanes.iter_mut() {
+            lane.v -= v_floor;
+            lane.u -= u_floor;
+        }
+    }
+
+    /// The backlogged lane next in line among the lanes (least lane-local
+    /// virtual time; ties go to the lower class index).
+    fn candidate_lane(&self) -> Option<usize> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.queue.is_empty())
+            .min_by(|(_, a), (_, b)| a.u.total_cmp(&b.u))
+            .map(|(i, _)| i)
+    }
+
+    /// Serves the front of lane `idx`, charging its lane-local time and —
+    /// when `charge_foreground` — its foreground-facing time.
+    fn serve_lane(&mut self, idx: usize, charge_foreground: bool) -> IoRequest {
+        let lane = &mut self.lanes[idx];
+        let request = lane.queue.pop_front().expect("candidate lane non-empty");
+        let normalised = Self::cost(&request) / lane.rate;
+        lane.u += normalised;
+        if charge_foreground {
+            lane.v += normalised;
+        }
+        request
     }
 }
 
@@ -120,53 +237,55 @@ impl PolicyEngine for StagedEngine {
     }
 
     fn admit(&mut self, request: IoRequest) {
-        if is_drain(&request.meta) {
-            self.drain.push_back(request);
-        } else {
-            self.inner.admit(request);
+        match TrafficClass::of(request.meta.job) {
+            Some(class) => self.lanes[class.index() as usize].queue.push_back(request),
+            None => self.inner.admit(request),
         }
     }
 
     fn select(&mut self, now_ns: u64, rng: &mut dyn RngCore) -> Option<IoRequest> {
         self.clamp_idle();
-        // Serve the class with the smaller normalised virtual service; ties
-        // favour the foreground.
-        let prefer_drain = !self.drain.is_empty() && self.v_drain < self.v_foreground;
-        if prefer_drain {
-            let request = self.drain.pop_front().expect("checked non-empty");
-            self.v_drain += Self::cost(&request) / self.drain_share;
-            return Some(request);
+        // Level 1: the backlogged lanes elect their next-in-line. Level 2:
+        // that lane competes with the foreground; ties favour the
+        // foreground.
+        let candidate = self.candidate_lane();
+        if let Some(idx) = candidate {
+            if self.lanes[idx].v < self.v_foreground {
+                return Some(self.serve_lane(idx, true));
+            }
         }
         if let Some(request) = self.inner.select(now_ns, rng) {
-            self.v_foreground += Self::cost(&request) / self.foreground_share;
+            self.v_foreground += Self::cost(&request);
             return Some(request);
         }
         // Foreground had nothing eligible (empty, or backlogged but
-        // throttled — e.g. TBF out of tokens): drain expands into capacity
-        // the foreground could not have used, *uncharged*. Charging it
-        // would bank drain debt across the throttled window and starve the
-        // drain once the foreground becomes eligible again.
-        self.drain.pop_front()
+        // throttled — e.g. TBF out of tokens): the lane expands into
+        // capacity the foreground could not have used, charged lane-locally
+        // (so drain and restore stay mutually fair) but *not* against the
+        // foreground (see the module docs).
+        candidate.map(|idx| self.serve_lane(idx, false))
     }
 
     fn next_eligible_ns(&self, now_ns: u64) -> Option<u64> {
-        if !self.drain.is_empty() {
-            // Drain work is always eligible as soon as a worker frees up.
+        if self.lanes.iter().any(|l| !l.queue.is_empty()) {
+            // Internal-class work is always eligible as soon as a worker
+            // frees up.
             return Some(now_ns);
         }
         self.inner.next_eligible_ns(now_ns)
     }
 
     fn complete(&mut self, completion: &Completion) {
-        if !is_drain(&completion.request.meta) {
+        if TrafficClass::of(completion.request.meta.job).is_none() {
             self.inner.complete(completion);
         }
     }
 
     fn reconfigure(&mut self, table: &JobTable, policy: &Policy) {
-        // Pass through untouched: the drain queue survives reconfiguration
+        // Pass through untouched: the class lanes survive reconfiguration
         // just like the foreground queues (the epoch-boundary contract), and
-        // the foreground:drain split is orthogonal to the foreground policy.
+        // the foreground:class splits are orthogonal to the foreground
+        // policy.
         self.inner.reconfigure(table, policy);
     }
 
@@ -175,21 +294,26 @@ impl PolicyEngine for StagedEngine {
     }
 
     fn queued(&self) -> usize {
-        self.inner.queued() + self.drain.len()
+        self.inner.queued() + self.lanes.iter().map(|l| l.queue.len()).sum::<usize>()
     }
 
     fn queued_for(&self, job: JobId) -> usize {
-        if job.is_reserved() {
-            self.drain.iter().filter(|r| r.meta.job == job).count()
-        } else {
-            self.inner.queued_for(job)
+        match TrafficClass::of(job) {
+            Some(class) => self.lanes[class.index() as usize]
+                .queue
+                .iter()
+                .filter(|r| r.meta.job == job)
+                .count(),
+            None => self.inner.queued_for(job),
         }
     }
 
     fn backlogged_jobs(&self) -> Vec<JobId> {
         let mut jobs = self.inner.backlogged_jobs();
-        if let Some(r) = self.drain.front() {
-            jobs.push(r.meta.job);
+        for lane in &self.lanes {
+            if let Some(r) = lane.queue.front() {
+                jobs.push(r.meta.job);
+            }
         }
         jobs
     }
@@ -202,7 +326,7 @@ impl PolicyEngine for StagedEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::drain_meta;
+    use crate::pipeline::{drain_meta, is_drain, restore_meta};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use themis_core::request::OpKind;
@@ -235,6 +359,18 @@ mod tests {
             StagedEngine::new(Box::new(ThemisScheduler::new(Policy::job_fair())), 0).weight(),
             1
         );
+        // Per-class weights surface per class.
+        let e = StagedEngine::with_weights(
+            Box::new(ThemisScheduler::new(Policy::job_fair())),
+            ClassWeights {
+                drain: 8,
+                restore: 4,
+                ..ClassWeights::default()
+            },
+        );
+        let (fg, re) = e.class_shares_of(TrafficClass::Restore);
+        assert!((fg - 0.8).abs() < 1e-9);
+        assert!((re - 0.2).abs() < 1e-9);
     }
 
     #[test]
@@ -265,6 +401,97 @@ mod tests {
         }
         let ratio = fg_bytes as f64 / drain_bytes.max(1) as f64;
         assert!((ratio - 8.0).abs() < 1.0, "fg:drain byte ratio {ratio}");
+    }
+
+    #[test]
+    fn three_way_backlog_respects_every_pairwise_weight() {
+        // Foreground, drain (8:1) and restore (8:1) all saturated: the
+        // foreground keeps ~8/10 of the device (each class's pairwise rate
+        // is 1/8 of the foreground's) and the two classes split the rest
+        // evenly.
+        let mut e = StagedEngine::with_weights(
+            Box::new(ThemisScheduler::new(Policy::job_fair())),
+            ClassWeights::uniform(8),
+        );
+        e.reconfigure(&table_with_fg(), &Policy::job_fair());
+        let mut seq = 0;
+        for _ in 0..800 {
+            e.admit(IoRequest::write(seq, fg_meta(), 1 << 20, 0));
+            seq += 1;
+        }
+        for _ in 0..200 {
+            e.admit(IoRequest::new(seq, drain_meta(0), OpKind::Read, 1 << 20, 0));
+            seq += 1;
+            e.admit(IoRequest::new(
+                seq,
+                restore_meta(0),
+                OpKind::Write,
+                1 << 20,
+                0,
+            ));
+            seq += 1;
+        }
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (mut fg, mut dr, mut re) = (0u64, 0u64, 0u64);
+        for _ in 0..400 {
+            let r = e.select(0, &mut rng).expect("backlogged");
+            match TrafficClass::of(r.meta.job) {
+                Some(TrafficClass::Drain) => dr += 1,
+                Some(TrafficClass::Restore) => re += 1,
+                Some(other) => panic!("unexpected class {other}"),
+                None => fg += 1,
+            }
+        }
+        let total = (fg + dr + re) as f64;
+        assert!(
+            (fg as f64 / total - 0.8).abs() < 0.04,
+            "foreground fraction {} of {fg}/{dr}/{re}",
+            fg as f64 / total
+        );
+        assert!(
+            (dr as f64 - re as f64).abs() <= 2.0,
+            "drain/restore imbalance: {dr} vs {re}"
+        );
+    }
+
+    #[test]
+    fn lanes_stay_mutually_fair_while_foreground_is_idle() {
+        // No foreground at all: drain at 8:1 and restore at 4:1 expand into
+        // the idle capacity and split it 1:2 (their pairwise rates are 1/8
+        // and 1/4 of the foreground's).
+        let mut e = StagedEngine::with_weights(
+            Box::new(ThemisScheduler::new(Policy::job_fair())),
+            ClassWeights {
+                drain: 8,
+                restore: 4,
+                ..ClassWeights::default()
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seq = 0;
+        for _ in 0..300 {
+            e.admit(IoRequest::new(seq, drain_meta(0), OpKind::Read, 1 << 20, 0));
+            seq += 1;
+            e.admit(IoRequest::new(
+                seq,
+                restore_meta(0),
+                OpKind::Write,
+                1 << 20,
+                0,
+            ));
+            seq += 1;
+        }
+        let (mut dr, mut re) = (0u64, 0u64);
+        for _ in 0..300 {
+            let r = e.select(0, &mut rng).expect("backlogged");
+            match TrafficClass::of(r.meta.job) {
+                Some(TrafficClass::Drain) => dr += 1,
+                Some(TrafficClass::Restore) => re += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let ratio = re as f64 / dr.max(1) as f64;
+        assert!((ratio - 2.0).abs() < 0.25, "restore:drain ratio {ratio}");
     }
 
     #[test]
@@ -325,15 +552,21 @@ mod tests {
         e.reconfigure(&table_with_fg(), &Policy::job_fair());
         e.admit(IoRequest::write(0, fg_meta(), 4096, 0));
         e.admit(IoRequest::new(1, drain_meta(0), OpKind::Read, 4096, 0));
-        assert_eq!(e.queued(), 2);
+        e.admit(IoRequest::new(2, restore_meta(0), OpKind::Write, 4096, 0));
+        assert_eq!(e.queued(), 3);
         assert_eq!(e.queued_for(fg_meta().job), 1);
         assert_eq!(e.queued_for(drain_meta(0).job), 1);
+        assert_eq!(e.queued_for(restore_meta(0).job), 1);
+        assert_eq!(e.queued_class(TrafficClass::Drain), 1);
+        assert_eq!(e.queued_class(TrafficClass::Restore), 1);
+        assert_eq!(e.queued_class(TrafficClass::Scrub), 0);
         let backlogged = e.backlogged_jobs();
         assert!(backlogged.contains(&fg_meta().job));
         assert!(backlogged.contains(&drain_meta(0).job));
-        // Reconfigure (a live SetPolicy) leaves both queues intact.
+        assert!(backlogged.contains(&restore_meta(0).job));
+        // Reconfigure (a live SetPolicy) leaves every queue intact.
         e.reconfigure(&table_with_fg(), &Policy::size_fair());
-        assert_eq!(e.queued(), 2);
+        assert_eq!(e.queued(), 3);
         assert!((e.shares().share(fg_meta().job) - 1.0).abs() < 1e-9);
     }
 }

@@ -13,35 +13,42 @@
 //! * [`BackingStore`] / [`CapacityTier`] — the capacity tier behind the
 //!   burst buffer, modelled with its own [`DeviceConfig`]
 //!   (e.g. [`DeviceConfig::capacity_hdd`]).
-//! * [`DrainPipeline`] + [`DrainConfig`] — per-server bookkeeping of the
-//!   extents being written back, watermark-driven eviction accounting, and
-//!   the synthesis of drain traffic as ordinary
-//!   [`IoRequest`](themis_core::request::IoRequest)s under a reserved
-//!   [drain job identity](drain_meta).
+//! * [`TrafficClass`] + [`ClassWeights`] — the taxonomy of system-internal
+//!   traffic (drain, restore, future scrub/rebalance), each with its own
+//!   job-id sub-range of the reserved range and its own foreground:class
+//!   weight.
+//! * [`DrainPipeline`] / [`RestorePipeline`] + [`DrainConfig`] — per-server
+//!   bookkeeping of the extents moving in each direction and the synthesis
+//!   of that traffic as ordinary
+//!   [`IoRequest`](themis_core::request::IoRequest)s under the class's
+//!   [job identity](drain_meta).
 //! * [`StagedEngine`] — a [`PolicyEngine`](themis_core::engine::PolicyEngine)
-//!   decorator that schedules the synthesized drain requests *alongside*
-//!   foreground traffic with a configurable foreground:drain weight. The
-//!   weight is expressed through the policy crate's own
+//!   decorator that schedules the synthesized class requests *alongside*
+//!   foreground traffic with configurable foreground:class weights. The
+//!   weights are expressed through the policy crate's own
 //!   [`WeightedLevel`](themis_core::policy::WeightedLevel) machinery, so the
-//!   paper's fine-grained sharing extends to stage-out without a second
-//!   arbitration mechanism.
+//!   paper's fine-grained sharing extends to stage-out *and* stage-in
+//!   without a second arbitration mechanism.
 //!
-//! The server runtime and the simulator both drive these pieces: the drain
-//! pipeline decides *what* to write back, the staged engine decides *when*
-//! drain traffic may consume device time, and the backing store decides *how
-//! fast* the capacity tier absorbs it.
+//! The server runtime and the simulator both drive these pieces: the
+//! pipelines decide *what* to move, the staged engine decides *when* each
+//! class may consume device time, and the backing store decides *how fast*
+//! the capacity tier absorbs or serves it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod backing;
+pub mod class;
 pub mod engine;
 pub mod pipeline;
 
 pub use backing::{BackingStore, CapacityTier};
+pub use class::{ClassWeights, TrafficClass};
 pub use engine::StagedEngine;
 pub use pipeline::{
-    drain_meta, is_drain, DrainConfig, DrainPipeline, DrainStatus, StagingConfig, DRAIN_GROUP_ID,
+    class_of, drain_meta, is_drain, is_restore, restore_meta, write_back_guarded, DrainConfig,
+    DrainPipeline, DrainStatus, RestorePipeline, RestoreTarget, StagingConfig, DRAIN_GROUP_ID,
     DRAIN_JOB_BASE, DRAIN_USER_ID,
 };
 

@@ -5,25 +5,29 @@
 //! The pipeline does not move bytes itself — the server core (or the
 //! simulator) reads the extent snapshot from the shard, charges the
 //! burst-buffer and capacity devices, and writes to the
-//! [`BackingStore`](crate::backing::BackingStore). The pipeline's job is to
+//! [`BackingStore`]. The pipeline's job is to
 //! make that flow *policy-visible*: every drain is an ordinary
 //! [`IoRequest`] under the [drain job identity](drain_meta), admitted to the
 //! server's [`PolicyEngine`](themis_core::engine::PolicyEngine) (wrapped in a
 //! [`StagedEngine`](crate::engine::StagedEngine)), so drain bandwidth is
 //! arbitrated exactly like foreground bandwidth.
 
+use crate::backing::BackingStore;
+use crate::class::TrafficClass;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use themis_core::entity::JobMeta;
 use themis_core::request::{IoRequest, OpKind};
 use themis_device::DeviceConfig;
 
-/// First job id of the reserved drain-job range. Each server's drain traffic
-/// runs under `DRAIN_JOB_BASE + server_index`, so per-server drain streams
-/// stay distinguishable in telemetry while [`is_drain`] stays a range check.
+/// First job id of the reserved drain-job range (class 0 of the internal
+/// traffic-class layout). Each server's drain traffic runs under
+/// `DRAIN_JOB_BASE + server_index`, so per-server drain streams stay
+/// distinguishable in telemetry.
 ///
 /// This is the workspace-wide reserved range exported by the core crate
-/// ([`themis_core::entity::RESERVED_JOB_BASE`]); the client and server use
+/// ([`themis_core::entity::RESERVED_JOB_BASE`]), sub-divided per class by
+/// [`themis_core::entity::RESERVED_CLASS_SPAN`]; the client and server use
 /// the core constant to reject client traffic inside it, so the boundary
 /// cannot drift between the layers.
 pub const DRAIN_JOB_BASE: u64 = themis_core::entity::RESERVED_JOB_BASE;
@@ -36,17 +40,29 @@ pub const DRAIN_GROUP_ID: u32 = u32::MAX;
 
 /// The job identity drain requests are issued under on `server`.
 pub fn drain_meta(server: usize) -> JobMeta {
-    JobMeta::new(
-        DRAIN_JOB_BASE + server as u64,
-        DRAIN_USER_ID,
-        DRAIN_GROUP_ID,
-        1,
-    )
+    TrafficClass::Drain.meta(server)
+}
+
+/// The job identity restore (stage-in) requests are issued under on
+/// `server`.
+pub fn restore_meta(server: usize) -> JobMeta {
+    TrafficClass::Restore.meta(server)
+}
+
+/// The internal traffic class of a request's job metadata (`None` for
+/// foreground client traffic).
+pub fn class_of(meta: &JobMeta) -> Option<TrafficClass> {
+    TrafficClass::of(meta.job)
 }
 
 /// Whether a request (by its job metadata) is synthesized drain traffic.
 pub fn is_drain(meta: &JobMeta) -> bool {
-    meta.is_reserved()
+    class_of(meta) == Some(TrafficClass::Drain)
+}
+
+/// Whether a request (by its job metadata) is synthesized restore traffic.
+pub fn is_restore(meta: &JobMeta) -> bool {
+    class_of(meta) == Some(TrafficClass::Restore)
 }
 
 /// Configuration of one server's drain pipeline.
@@ -64,8 +80,14 @@ pub struct DrainConfig {
     /// backlogged; when the foreground goes idle, drain expands into the idle
     /// capacity (opportunity fairness, extended to stage-out).
     pub drain_weight: u32,
+    /// Foreground : restore weight, with the same semantics for stage-in
+    /// traffic (explicit `StageIn`, read-through of evicted extents,
+    /// restore-for-write). Restores are *charged* to their class even though
+    /// they serve foreground demand: a restore storm may slow the tenants
+    /// waiting on it, but never the unrelated foreground.
+    pub restore_weight: u32,
     /// Maximum number of extents in flight between the shard and the
-    /// capacity tier at once (pipelining depth).
+    /// capacity tier at once, per direction (pipelining depth).
     pub max_inflight: usize,
 }
 
@@ -75,13 +97,23 @@ impl Default for DrainConfig {
             high_watermark_bytes: 768 << 20,
             low_watermark_bytes: 512 << 20,
             drain_weight: 8,
+            restore_weight: 8,
             max_inflight: 4,
         }
     }
 }
 
 impl DrainConfig {
-    /// Validates the configuration: watermarks ordered, weight and
+    /// The per-class weights this configuration assigns the staged engine.
+    pub fn class_weights(&self) -> crate::class::ClassWeights {
+        crate::class::ClassWeights {
+            drain: self.drain_weight,
+            restore: self.restore_weight,
+            ..crate::class::ClassWeights::default()
+        }
+    }
+
+    /// Validates the configuration: watermarks ordered, weights and
     /// pipelining depth non-zero.
     pub fn validate(&self) -> Result<(), String> {
         if self.low_watermark_bytes > self.high_watermark_bytes {
@@ -92,6 +124,9 @@ impl DrainConfig {
         }
         if self.drain_weight == 0 {
             return Err("drain weight must be >= 1".to_string());
+        }
+        if self.restore_weight == 0 {
+            return Err("restore weight must be >= 1".to_string());
         }
         if self.max_inflight == 0 {
             return Err("max_inflight must be >= 1".to_string());
@@ -139,6 +174,15 @@ pub struct DrainStatus {
     pub evicted_bytes: u64,
     /// Total extents evicted since boot.
     pub evicted_extents: u64,
+    /// Bytes of restore (stage-in) work admitted and not yet completed —
+    /// the restore *backlog*. Clients and the harness read this to observe
+    /// queue delay on the stage-in path: a read of evicted data lands behind
+    /// this many policy-arbitrated bytes.
+    pub pending_restore_bytes: u64,
+    /// Total bytes restored from the capacity tier since boot.
+    pub restored_bytes: u64,
+    /// Total restore operations completed since boot.
+    pub restored_ops: u64,
 }
 
 impl DrainStatus {
@@ -146,6 +190,11 @@ impl DrainStatus {
     /// flight).
     pub fn is_clean(&self) -> bool {
         self.dirty_bytes == 0 && self.inflight_extents == 0
+    }
+
+    /// Whether the restore pipeline is idle (no stage-in backlog).
+    pub fn restore_idle(&self) -> bool {
+        self.pending_restore_bytes == 0
     }
 }
 
@@ -272,7 +321,9 @@ impl DrainPipeline {
     }
 
     /// Builds the status snapshot given the shard-side numbers the pipeline
-    /// itself does not track.
+    /// itself does not track. Restore-side counters are zero; the caller
+    /// merges them from its [`RestorePipeline`] via
+    /// [`RestorePipeline::fill_status`].
     pub fn status(&self, resident_bytes: u64, dirty_bytes: u64, backing_bytes: u64) -> DrainStatus {
         DrainStatus {
             resident_bytes,
@@ -283,7 +334,209 @@ impl DrainPipeline {
             drained_ops: self.drained_ops,
             evicted_bytes: self.evicted_bytes,
             evicted_extents: self.evicted_extents,
+            pending_restore_bytes: 0,
+            restored_bytes: 0,
+            restored_ops: 0,
         }
+    }
+}
+
+/// Writes one drained extent to the capacity tier, then re-probes that the
+/// extent is still legitimate — the **delete-wins** rule for the
+/// unlink/truncate-vs-drain race.
+///
+/// In a threaded deployment, a peer server can `unlink` or truncate the
+/// path between the drain's `snapshot_extent_on` and this `write_back`:
+/// both purge the shard extents *and* call [`BackingStore::remove_path`],
+/// but a write-back that lands afterwards would resurrect a stale copy in
+/// the shared tier — readable forever via stage-in even though the data is
+/// gone. Probing *after* the write closes the window: whichever order the
+/// two raced in, an extent that can no longer legitimately exist ends up
+/// with no tier copy.
+///
+/// `still_valid` is the caller's probe; it must return `false` for both
+/// races — the server probes `stat(path).size > stripe_start`, which a bare
+/// existence check would not catch for truncate (the path survives, its
+/// extents do not).
+///
+/// Returns `true` when the copy was kept, `false` when delete won and the
+/// path's tier copies were dropped.
+pub fn write_back_guarded(
+    backing: &dyn BackingStore,
+    path: &str,
+    stripe: u64,
+    data: &[u8],
+    still_valid: impl FnOnce() -> bool,
+) -> bool {
+    backing.write_back(path, stripe, data);
+    if still_valid() {
+        true
+    } else {
+        backing.remove_path(path);
+        false
+    }
+}
+
+/// One extent travelling through the restore pipeline: where it must land
+/// and how.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RestoreTarget {
+    /// Shard (server index) the extent is restored onto.
+    pub shard: usize,
+    /// Path of the file the extent belongs to.
+    pub path: String,
+    /// Stripe index of the extent.
+    pub stripe: u64,
+    /// Extent length recorded at eviction time (the request's cost on the
+    /// burst device).
+    pub bytes: u64,
+    /// Whether the extent re-enters the shard pinned dirty
+    /// (restore-for-write) instead of clean (stage-in / read-through).
+    pub pin_dirty: bool,
+}
+
+impl RestoreTarget {
+    /// The `(shard, path, stripe)` key waiters subscribe to.
+    pub fn key(&self) -> (usize, String, u64) {
+        (self.shard, self.path.clone(), self.stripe)
+    }
+}
+
+/// Per-server restore bookkeeping: the queue of extents waiting for
+/// admission, the extents in flight, and cumulative stage-in counters.
+///
+/// Mirrors [`DrainPipeline`] for the opposite direction: the pipeline
+/// decides *what* needs to come back and synthesizes the policy-visible
+/// [`IoRequest`]s (under the [`TrafficClass::Restore`] identity); the server
+/// core moves the bytes when the engine releases each request.
+#[derive(Debug)]
+pub struct RestorePipeline {
+    server: usize,
+    max_inflight: usize,
+    queue: VecDeque<RestoreTarget>,
+    inflight: HashMap<u64, RestoreTarget>,
+    /// Keys queued or in flight, for deduplication: many waiters may need
+    /// the same extent, which must be restored exactly once.
+    pending_keys: HashSet<(usize, String, u64)>,
+    queued_bytes: u64,
+    inflight_bytes: u64,
+    restored_bytes: u64,
+    restored_ops: u64,
+}
+
+impl RestorePipeline {
+    /// Creates the restore pipeline of `server` admitting at most
+    /// `max_inflight` extents at a time.
+    pub fn new(server: usize, max_inflight: usize) -> Self {
+        RestorePipeline {
+            server,
+            max_inflight: max_inflight.max(1),
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            pending_keys: HashSet::new(),
+            queued_bytes: 0,
+            inflight_bytes: 0,
+            restored_bytes: 0,
+            restored_ops: 0,
+        }
+    }
+
+    /// The restore job identity of this server.
+    pub fn meta(&self) -> JobMeta {
+        restore_meta(self.server)
+    }
+
+    /// Whether `target`'s extent is already queued or in flight.
+    pub fn is_pending(&self, key: &(usize, String, u64)) -> bool {
+        self.pending_keys.contains(key)
+    }
+
+    /// Enqueues a restore target. Deduplicates by `(shard, path, stripe)`;
+    /// a pin-dirty request upgrades an already-queued clean restore (a
+    /// writer is now waiting on it), never the reverse. Returns whether a
+    /// new entry was queued.
+    pub fn request(&mut self, target: RestoreTarget) -> bool {
+        let key = target.key();
+        if self.pending_keys.contains(&key) {
+            if target.pin_dirty {
+                for queued in self.queue.iter_mut() {
+                    if queued.key() == key {
+                        queued.pin_dirty = true;
+                    }
+                }
+                for inflight in self.inflight.values_mut() {
+                    if inflight.key() == key {
+                        inflight.pin_dirty = true;
+                    }
+                }
+            }
+            return false;
+        }
+        self.pending_keys.insert(key);
+        self.queued_bytes += target.bytes.max(1);
+        self.queue.push_back(target);
+        true
+    }
+
+    /// Admits the next queued restore under sequence number `seq`,
+    /// returning the [`IoRequest`] to feed to the policy engine — a *write*
+    /// of the burst-buffer device (the restore's cost on the contended
+    /// resource); the matching capacity-tier read is charged by the caller
+    /// when the engine releases the request. `None` when the queue is empty
+    /// or the pipelining depth is reached.
+    pub fn admit_next(&mut self, seq: u64, now_ns: u64) -> Option<IoRequest> {
+        if self.inflight.len() >= self.max_inflight {
+            return None;
+        }
+        let target = self.queue.pop_front()?;
+        let bytes = target.bytes.max(1);
+        self.queued_bytes -= bytes;
+        self.inflight_bytes += bytes;
+        let request = IoRequest::new(seq, self.meta(), OpKind::Write, bytes, now_ns);
+        self.inflight.insert(seq, target);
+        Some(request)
+    }
+
+    /// Looks up an in-flight restore by request sequence number.
+    pub fn inflight(&self, seq: u64) -> Option<&RestoreTarget> {
+        self.inflight.get(&seq)
+    }
+
+    /// Completes a restore: removes it from the in-flight set, accounts
+    /// `actual_bytes` restored (the tier copy's true length — `0` when the
+    /// tier no longer held the extent), and returns the target so the caller
+    /// can notify waiters.
+    pub fn complete(&mut self, seq: u64, actual_bytes: u64) -> Option<RestoreTarget> {
+        let target = self.inflight.remove(&seq)?;
+        self.pending_keys.remove(&target.key());
+        self.inflight_bytes -= target.bytes.max(1);
+        self.restored_bytes += actual_bytes;
+        self.restored_ops += 1;
+        Some(target)
+    }
+
+    /// Bytes of restore work admitted and not yet completed (queued plus in
+    /// flight) — the backlog surfaced as
+    /// [`DrainStatus::pending_restore_bytes`].
+    pub fn pending_bytes(&self) -> u64 {
+        self.queued_bytes + self.inflight_bytes
+    }
+
+    /// Whether any restore work is queued or in flight.
+    pub fn is_busy(&self) -> bool {
+        !self.queue.is_empty() || !self.inflight.is_empty()
+    }
+
+    /// Total bytes restored since boot.
+    pub fn restored_bytes(&self) -> u64 {
+        self.restored_bytes
+    }
+
+    /// Merges this pipeline's counters into a status snapshot.
+    pub fn fill_status(&self, status: &mut DrainStatus) {
+        status.pending_restore_bytes = self.pending_bytes();
+        status.restored_bytes = self.restored_bytes;
+        status.restored_ops = self.restored_ops;
     }
 }
 
@@ -317,11 +570,109 @@ mod tests {
             ..base
         };
         assert!(zero_weight.validate().is_err());
+        let zero_restore = DrainConfig {
+            restore_weight: 0,
+            ..base
+        };
+        assert!(zero_restore.validate().is_err());
         let zero_inflight = DrainConfig {
             max_inflight: 0,
             ..base
         };
         assert!(zero_inflight.validate().is_err());
+        // The per-class weight mapping carries both knobs.
+        let weights = DrainConfig {
+            drain_weight: 6,
+            restore_weight: 3,
+            ..base
+        }
+        .class_weights();
+        assert_eq!(weights.drain, 6);
+        assert_eq!(weights.restore, 3);
+    }
+
+    #[test]
+    fn restore_identity_is_a_distinct_reserved_class() {
+        let d = drain_meta(2);
+        let r = restore_meta(2);
+        assert!(is_drain(&d) && !is_restore(&d));
+        assert!(is_restore(&r) && !is_drain(&r));
+        assert_eq!(class_of(&d), Some(TrafficClass::Drain));
+        assert_eq!(class_of(&r), Some(TrafficClass::Restore));
+        assert_eq!(class_of(&JobMeta::new(1u64, 1u32, 1u32, 4)), None);
+        assert_ne!(d.job, r.job);
+    }
+
+    #[test]
+    fn restore_pipeline_dedups_upgrades_and_accounts() {
+        let mut p = RestorePipeline::new(1, 2);
+        let clean = RestoreTarget {
+            shard: 1,
+            path: "/f".into(),
+            stripe: 0,
+            bytes: 1 << 20,
+            pin_dirty: false,
+        };
+        assert!(p.request(clean.clone()));
+        // A second request for the same extent dedups…
+        assert!(!p.request(clean.clone()));
+        // …and a pin-dirty request upgrades the queued entry in place.
+        assert!(!p.request(RestoreTarget {
+            pin_dirty: true,
+            ..clean.clone()
+        }));
+        assert!(p.request(RestoreTarget {
+            stripe: 1,
+            ..clean.clone()
+        }));
+        assert!(p.request(RestoreTarget {
+            stripe: 2,
+            ..clean.clone()
+        }));
+        assert_eq!(p.pending_bytes(), 3 << 20);
+        assert!(p.is_busy());
+        // Admission respects the pipelining depth.
+        let r0 = p.admit_next(10, 0).expect("first admit");
+        assert!(is_restore(&r0.meta));
+        // A restore's cost on the contended burst device is the write-back
+        // of the extent into the shard.
+        assert_eq!(r0.kind, OpKind::Write);
+        assert_eq!(r0.bytes, 1 << 20);
+        let _r1 = p.admit_next(11, 0).expect("second admit");
+        assert!(p.admit_next(12, 0).is_none(), "depth 2 reached");
+        // The upgraded pin survives into flight.
+        assert!(p.inflight(10).unwrap().pin_dirty);
+        assert_eq!(p.pending_bytes(), 3 << 20);
+        // Completion frees depth, re-allows the key, and accounts actuals.
+        let done = p.complete(10, 1 << 20).unwrap();
+        assert_eq!(done.stripe, 0);
+        assert_eq!(p.restored_bytes(), 1 << 20);
+        assert!(!p.is_pending(&(1, "/f".to_string(), 0)));
+        assert!(p.admit_next(12, 0).is_some());
+        let mut status = DrainStatus::default();
+        p.fill_status(&mut status);
+        assert_eq!(status.restored_ops, 1);
+        assert_eq!(status.pending_restore_bytes, 2 << 20);
+        assert!(!status.restore_idle());
+    }
+
+    #[test]
+    fn write_back_guarded_applies_delete_wins() {
+        use crate::backing::CapacityTier;
+        let tier = CapacityTier::hdd();
+        // Normal drain: the path exists after the write-back, the copy
+        // stays.
+        assert!(write_back_guarded(&tier, "/live", 0, &[1u8; 64], || true));
+        assert_eq!(tier.bytes_for("/live"), 64);
+        // The race: an unlink lands between the drain's snapshot and its
+        // write-back (the existence probe runs after the write and sees the
+        // file gone). Delete must win — no stale copy survives in the tier,
+        // including copies of *other* stripes written earlier.
+        tier.write_back("/gone", 1, &[2u8; 32]);
+        assert!(!write_back_guarded(&tier, "/gone", 0, &[2u8; 64], || false));
+        assert_eq!(tier.bytes_for("/gone"), 0);
+        assert!(!tier.contains("/gone", 0));
+        assert!(!tier.contains("/gone", 1));
     }
 
     #[test]

@@ -75,6 +75,7 @@ fn fixed_seed_set_covers_the_feature_matrix() {
         .iter()
         .filter(|s| s.staging.as_ref().is_some_and(|st| st.eviction))
         .count();
+    let restore_storms = scenarios.iter().filter(|s| s.restore_storm()).count();
     let swapped = scenarios.iter().filter(|s| !s.swaps.is_empty()).count();
     let double_swapped = scenarios.iter().filter(|s| s.swaps.len() == 2).count();
     let multi_server = scenarios.iter().filter(|s| s.n_servers > 1).count();
@@ -93,6 +94,14 @@ fn fixed_seed_set_covers_the_feature_matrix() {
         .count();
     assert!(staged >= 4, "staging under-covered: {staged}");
     assert!(evicting >= 2, "eviction under-covered: {evicting}");
+    // Restore storms: eviction pressure plus reading tenants, so the
+    // policy-admitted stage-in path (parked reads, weighted restores,
+    // delete-wins write-backs) is exercised by the pinned gate on every CI
+    // run — not only by the weekly sweep.
+    assert!(
+        restore_storms >= 2,
+        "restore storms under-covered: {restore_storms}"
+    );
     assert!(swapped >= 8, "policy swaps under-covered: {swapped}");
     assert!(
         double_swapped >= 2,

@@ -59,7 +59,7 @@ fn staged_config(drain_weight: u32) -> SimConfig {
             backing_device: DeviceConfig::optane_ssd(),
             drain_weight,
             drain_chunk_bytes: 8 << 20,
-            max_inflight: 4,
+            ..SimStagingConfig::default()
         }),
         ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
     }
@@ -115,6 +115,95 @@ fn weighted_drain_preserves_foreground_throughput_and_fully_drains() {
     );
 }
 
+/// Restore-admission fairness (the PR 4 acceptance criterion): a tenant
+/// re-reading a fully evicted file rides the policy-admitted restore class,
+/// and at a foreground:restore weight of 8:1 the *other* tenant's checkpoint
+/// throughput keeps ≥ 8/9 of its no-restore baseline — a restore storm can
+/// no longer starve policy-arbitrated foreground traffic the way a raw
+/// `DeviceTimeline` stage-in could.
+#[test]
+fn restore_storm_leaves_checkpointer_its_compute_shares_bound() {
+    let run = |restore_miss_rate: f64| {
+        let checkpointer = SimJob::new(
+            JobMeta::new(1u64, 1u32, 1u32, 8),
+            16,
+            OpPattern::WriteOnly {
+                bytes_per_op: 1 << 20,
+            },
+        )
+        .with_max_ops(64)
+        .with_queue_depth(4);
+        // The reader's working set was fully evicted to the capacity tier:
+        // with `restore_miss_rate: 1.0` every read waits for a restore of
+        // equal size.
+        let reader = SimJob::new(
+            JobMeta::new(2u64, 2u32, 1u32, 8),
+            8,
+            OpPattern::ReadOnly {
+                bytes_per_op: 1 << 20,
+            },
+        )
+        .with_max_ops(48)
+        .with_queue_depth(4);
+        let config = SimConfig {
+            staging: Some(SimStagingConfig {
+                // Tier as fast as the buffer: the 8:1 weights — not the
+                // backing device — bound restore and drain bandwidth.
+                backing_device: DeviceConfig::optane_ssd(),
+                drain_weight: 8,
+                restore_weight: 8,
+                restore_miss_rate,
+                drain_chunk_bytes: 8 << 20,
+                max_inflight: 4,
+            }),
+            // The checkpointer (user 1) is the premium tenant at 8:1: the
+            // reader's foreground competition is then small in the baseline,
+            // so the 9/8 bound below genuinely constrains how much the
+            // restore class may cost the protected foreground. (Under an
+            // even split, the gated reader's shed share would make the storm
+            // run *faster* than baseline and the bound would never bind.)
+            ..SimConfig::new(
+                1,
+                Algorithm::Themis("user[8]-fair".parse().expect("valid DSL")),
+            )
+        };
+        Simulation::new(config, vec![checkpointer, reader]).run()
+    };
+
+    let baseline = run(0.0);
+    assert_eq!(baseline.restored_bytes, 0);
+    let storm = run(1.0);
+    // Every read byte came back through the restore class first.
+    assert_eq!(storm.restored_bytes, 8 * 48 * (1 << 20) as u64);
+    // Both runs drain fully — restores never block stage-out.
+    assert_eq!(baseline.residual_dirty_bytes, 0);
+    assert_eq!(storm.residual_dirty_bytes, 0);
+
+    // The checkpointer's bound: at 8:1 the restore class (plus the drain
+    // class, present in both runs) may cost the foreground at most its 1/9
+    // weighted slice, so checkpoint time grows by at most 9/8 over the
+    // no-restore baseline (plus scheduling slack).
+    let baseline_finish = baseline.job_finish_ns[&JobId(1)] as f64;
+    let storm_finish = storm.job_finish_ns[&JobId(1)] as f64;
+    let slowdown = storm_finish / baseline_finish;
+    assert!(
+        slowdown <= 9.0 / 8.0 * 1.06,
+        "restore storm slowed the checkpointer {slowdown:.3}x, beyond its 8/9 bound"
+    );
+
+    // The reader, by contrast, is *deliberately* gated to restore bandwidth:
+    // it must finish much later than in the all-hit baseline, and its
+    // latency must carry the restore queue delay.
+    assert!(
+        storm.job_finish_ns[&JobId(2)] > baseline.job_finish_ns[&JobId(2)],
+        "gated reader cannot be as fast as the all-hit baseline"
+    );
+    assert!(
+        storm.tenant_latency(JobId(2)).p99_ns > baseline.tenant_latency(JobId(2)).p99_ns,
+        "restore queue delay must appear in the reader's p99"
+    );
+}
+
 #[test]
 fn drain_completes_between_bursts() {
     // After the first burst's writes complete, the gap before the second
@@ -155,8 +244,7 @@ fn eviction_and_stage_in_roundtrip_through_deployment() {
             drain: DrainConfig {
                 high_watermark_bytes: 256 << 10,
                 low_watermark_bytes: 0,
-                drain_weight: 8,
-                max_inflight: 4,
+                ..DrainConfig::default()
             },
         }),
         ..ServerConfig::default()
@@ -224,8 +312,7 @@ fn transparent_read_after_eviction_needs_no_explicit_stage_in() {
             drain: DrainConfig {
                 high_watermark_bytes: 64 << 10,
                 low_watermark_bytes: 0,
-                drain_weight: 8,
-                max_inflight: 4,
+                ..DrainConfig::default()
             },
         }),
         ..ServerConfig::default()
