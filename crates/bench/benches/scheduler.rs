@@ -1,12 +1,16 @@
 //! Criterion micro-benchmarks of the arbitration algorithms: admit +
 //! select() throughput for ThemisIO, FIFO, GIFT and TBF under a saturated
 //! two-job workload, driven through the `PolicyEngine` object API exactly as
-//! the server and simulator drive them.
+//! the server and simulator drive them — plus the three-lane `StagedEngine`
+//! select/complete hot path (foreground + drain + restore + scrub all
+//! backlogged), whose wall-clock median also lands in the machine-readable
+//! perf report (`themis_bench::experiments::staged_select_wallclock_ns`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use themis_baselines::{Algorithm, GiftConfig, TbfConfig};
+use themis_bench::experiments::{staged_bench_fixture, staged_round};
 use themis_core::entity::JobMeta;
 use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
@@ -52,5 +56,19 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+fn bench_staged_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staged_engine");
+    group.sample_size(20);
+    group.bench_function("three_lane_select_complete", |b| {
+        // The same fixture + round the machine-readable report measures
+        // (`staged_select_wallclock_ns`), so the criterion line and the
+        // BENCH_pr5.json number can never drift apart.
+        let (mut engine, mut rng, fg) = staged_bench_fixture();
+        let mut seq = 0u64;
+        b.iter(|| staged_round(&mut engine, &mut rng, fg, &mut seq));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_staged_engine);
 criterion_main!(benches);

@@ -9,30 +9,26 @@
 //!
 //! Run with `cargo run --release -p themis-bench --bin restore_interference`.
 //!
-//! Flags (the CI `bench` job uses both):
+//! Flags (the CI `bench` job drives them through `scrub_interference`,
+//! which emits the same combined report; they remain here for ad-hoc use):
 //!
-//! * `--json PATH` — also run the drain-side experiment and write the
-//!   combined machine-readable [`BenchReport`] (fg slowdown %, drained and
-//!   restored MiB/s, p99 latencies) to `PATH` (e.g. `BENCH_pr4.json`);
+//! * `--json PATH` — run every perf experiment and write the combined
+//!   machine-readable [`BenchReport`] (fg slowdown %, drained / restored /
+//!   scrubbed MiB/s, p99 latencies, wall-clock scheduler number) to `PATH`
+//!   (e.g. `BENCH_pr5.json`);
 //! * `--baseline PATH` — compare the freshly measured report against a
 //!   committed baseline (`crates/bench/baseline.json`) and exit non-zero if
 //!   a gated slowdown regressed by more than 20%.
 //!
 //! [`BenchReport`]: themis_bench::experiments::BenchReport
 
-use themis_bench::experiments::{check_regression, parse_flat_json, run_restore, BenchReport};
+use themis_bench::experiments::{emit_and_gate, flag_value, run_restore};
 use themis_core::entity::JobId;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let flag_value = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let json_path = flag_value("--json");
-    let baseline_path = flag_value("--baseline");
+    let json_path = flag_value(&args, "--json");
+    let baseline_path = flag_value(&args, "--baseline");
 
     println!("policy-admitted restore storm: foreground slowdown vs foreground:restore weight");
     println!("(1 GiB checkpoint vs 512 MiB fully-evicted read stream, one server)\n");
@@ -67,29 +63,10 @@ fn main() {
         return;
     }
 
-    // The combined machine-readable snapshot (drain + restore experiments).
-    let report = BenchReport::measure();
-    if let Some(path) = &json_path {
-        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(2);
-        });
-        println!("\nwrote {path}");
-    }
-    if let Some(path) = &baseline_path {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read baseline {path}: {e}");
-            std::process::exit(2);
-        });
-        let violations = check_regression(&report, &parse_flat_json(&text));
-        if violations.is_empty() {
-            println!("regression gate vs {path}: PASS");
-        } else {
-            eprintln!("regression gate vs {path}: FAIL");
-            for v in &violations {
-                eprintln!("  - {v}");
-            }
-            std::process::exit(1);
-        }
-    }
+    // The combined machine-readable snapshot and the shared gate.
+    std::process::exit(emit_and_gate(
+        &themis_bench::experiments::BenchReport::measure(),
+        json_path.as_deref(),
+        baseline_path.as_deref(),
+    ));
 }

@@ -1,0 +1,100 @@
+//! Foreground interference from the background checksum scrubber — the
+//! first *maintenance* traffic class on the reserved range.
+//!
+//! A 16-rank premium checkpoint job writes 1 GiB while the scrubber walks a
+//! *deep* capacity tier — a 4 GiB boot backlog of unverified extents from
+//! previous runs plus this run's drains — re-reading every copy and
+//! verifying it against its write-back checksum as policy-admitted
+//! `TrafficClass::Scrub` requests (one full pass). The standing backlog
+//! keeps the scrub lane continuously backlogged against the eligible
+//! foreground, which is the regime where the weight binds. The experiment
+//! compares foreground:scrub weights of 1:1 and 8:1 against the
+//! scrub-disabled baseline — the maintenance class, like drain and restore
+//! before it, must be bounded by its policy weight rather than stealing
+//! device time.
+//!
+//! Run with `cargo run --release -p themis-bench --bin scrub_interference`.
+//!
+//! Flags (the CI `bench` job uses both):
+//!
+//! * `--json PATH` — run every perf experiment (drain, restore, scrub, plus
+//!   the criterion-measured three-lane `StagedEngine` select/complete
+//!   wall-clock number) and write the combined machine-readable
+//!   [`BenchReport`] to `PATH` (e.g. `BENCH_pr5.json`);
+//! * `--baseline PATH` — compare the freshly measured report against a
+//!   committed baseline (`crates/bench/baseline.json`) and exit non-zero if
+//!   a gated slowdown (drain, restore or scrub at 8:1) regressed by more
+//!   than 20%.
+//!
+//! [`BenchReport`]: themis_bench::experiments::BenchReport
+
+use themis_bench::experiments::{
+    drain_experiment, emit_and_gate, flag_value, restore_experiment, run_scrub, scrub_numbers,
+    staged_select_wallclock_ns, BenchReport,
+};
+use themis_core::entity::JobId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = flag_value(&args, "--json");
+    let baseline_path = flag_value(&args, "--baseline");
+
+    println!("background checksum scrubbing: foreground slowdown vs foreground:scrub weight");
+    println!(
+        "(1 GiB premium checkpoint vs a deep-tier pass: 4 GiB boot backlog + this run's\n\
+         drains, every byte re-read and verified, one server)\n"
+    );
+
+    let baseline = run_scrub(8, false);
+    let baseline_secs = baseline.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    println!(
+        "  {:<34} checkpoint time {baseline_secs:>7.3} s",
+        "scrubbing disabled"
+    );
+    let table = |scrubbed: &themis_sim::SimResult, weight: u32| {
+        let secs = scrubbed.job_finish_ns[&JobId(1)] as f64 / 1e9;
+        let slowdown = (secs / baseline_secs - 1.0) * 100.0;
+        println!(
+            "    fg:scrub {weight}:1  checkpoint time {secs:>7.3} s  \
+             (+{slowdown:>5.1}% vs baseline)  verified {:>4} MiB  \
+             {} mismatches  pass done at {:>7.3} s",
+            scrubbed.scrubbed_bytes >> 20,
+            scrubbed.scrub_errors,
+            scrubbed.sim_end_ns as f64 / 1e9,
+        );
+    };
+    let even = run_scrub(1, true);
+    table(&even, 1);
+    let weighted = run_scrub(8, true);
+    table(&weighted, 8);
+    let select_ns = staged_select_wallclock_ns();
+    println!(
+        "\n  three-lane StagedEngine select/complete hot path: {select_ns:.0} ns/request \
+         (wall clock, criterion shim)"
+    );
+    println!(
+        "\n  At 8:1 the checkpointer keeps ≥ 8/9 of its scrub-disabled throughput while\n  \
+         every drained byte is still verified before the run quiesces. Scrub is the\n  \
+         first class synthesized from *tier state* rather than client traffic — the\n  \
+         same two-level WFQ bounds it without any new mechanism."
+    );
+
+    if json_path.is_none() && baseline_path.is_none() {
+        return;
+    }
+
+    // The combined machine-readable snapshot and the shared gate. The scrub
+    // runs and the wall-clock number printed above are reused — only the
+    // drain/restore halves still need measuring.
+    let report = BenchReport::from_parts(
+        drain_experiment(),
+        restore_experiment(),
+        scrub_numbers(&baseline, &even, &weighted),
+        select_ns,
+    );
+    std::process::exit(emit_and_gate(
+        &report,
+        json_path.as_deref(),
+        baseline_path.as_deref(),
+    ));
+}

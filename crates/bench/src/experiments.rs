@@ -1,12 +1,19 @@
 //! Shared perf-trajectory experiments and their machine-readable report.
 //!
-//! Two bins consume this module: `drain_weights` (stage-out interference)
-//! and `restore_interference` (stage-in interference), and the latter can
-//! emit the combined [`BenchReport`] as flat JSON (`BENCH_pr4.json`) and
-//! gate itself against a committed baseline (`crates/bench/baseline.json`)
-//! — the CI `bench` job's regression check. Everything here is driven by
-//! the deterministic simulator, so numbers are bit-stable for a given code
-//! revision and a regression is attributable to a code change, not noise.
+//! Three bins consume this module: `drain_weights` (stage-out
+//! interference), `restore_interference` (stage-in interference) and
+//! `scrub_interference` (maintenance-class interference); the latter two
+//! can emit the combined [`BenchReport`] as flat JSON (`BENCH_pr5.json`)
+//! and gate themselves against a committed baseline
+//! (`crates/bench/baseline.json`) — the CI `bench` job's regression check.
+//! The interference numbers are driven by the deterministic simulator, so
+//! they are bit-stable for a given code revision and a regression is
+//! attributable to a code change, not noise. The report also carries one
+//! *wall-clock* data point — the three-lane
+//! [`StagedEngine`](themis_stage::StagedEngine) select/complete hot path,
+//! measured through the vendored criterion shim
+//! ([`staged_select_wallclock_ns`]) — which is machine-dependent and
+//! therefore reported but **not** gated.
 
 use std::collections::HashMap;
 use themis_baselines::Algorithm;
@@ -41,13 +48,45 @@ pub struct BenchReport {
     /// Gated reader p99 request latency (ms) under the restore storm, 8:1
     /// (includes restore queue delay; expected to be large by design).
     pub restore_reader_p99_ms_8_1: f64,
+    /// Checkpoint slowdown (%) vs the scrub-disabled baseline, scrub at
+    /// 1:1.
+    pub scrub_fg_slowdown_pct_1_1: f64,
+    /// Checkpoint slowdown (%) vs the scrub-disabled baseline, scrub at
+    /// 8:1 — the third number the regression gate watches (the PR 5
+    /// acceptance bound: the premium checkpointer keeps ≥ 8/9 of its
+    /// scrub-disabled throughput).
+    pub scrub_fg_slowdown_pct_8_1: f64,
+    /// Sustained verification bandwidth (MiB/s of scrubbed bytes over the
+    /// 8:1 run).
+    pub scrub_scrubbed_mib_s_8_1: f64,
+    /// Wall-clock median of one three-lane
+    /// [`StagedEngine`](themis_stage::StagedEngine) select/complete round
+    /// (ns/iter), measured through the vendored criterion shim.
+    /// Machine-dependent — reported for the perf trajectory, never gated.
+    pub staged_select_ns: f64,
 }
 
 impl BenchReport {
-    /// Runs both experiments.
+    /// Runs every experiment (sim-derived interference numbers plus the
+    /// wall-clock scheduler micro-benchmark).
     pub fn measure() -> Self {
-        let drain = drain_experiment();
-        let restore = restore_experiment();
+        Self::from_parts(
+            drain_experiment(),
+            restore_experiment(),
+            scrub_experiment(),
+            staged_select_wallclock_ns(),
+        )
+    }
+
+    /// Assembles the report from already-measured parts — for bins that ran
+    /// (and printed) some experiments themselves and must not run them a
+    /// second time.
+    pub fn from_parts(
+        drain: DrainNumbers,
+        restore: RestoreNumbers,
+        scrub: ScrubNumbers,
+        staged_select_ns: f64,
+    ) -> Self {
         BenchReport {
             drain_fg_slowdown_pct_1_1: drain.fg_slowdown_pct_1_1,
             drain_fg_slowdown_pct_8_1: drain.fg_slowdown_pct_8_1,
@@ -57,6 +96,10 @@ impl BenchReport {
             restore_restored_mib_s_8_1: restore.restored_mib_s_8_1,
             restore_fg_p99_ms_8_1: restore.fg_p99_ms_8_1,
             restore_reader_p99_ms_8_1: restore.reader_p99_ms_8_1,
+            scrub_fg_slowdown_pct_1_1: scrub.fg_slowdown_pct_1_1,
+            scrub_fg_slowdown_pct_8_1: scrub.fg_slowdown_pct_8_1,
+            scrub_scrubbed_mib_s_8_1: scrub.scrubbed_mib_s_8_1,
+            staged_select_ns,
         }
     }
 
@@ -80,6 +123,10 @@ impl BenchReport {
             ),
             ("restore_fg_p99_ms_8_1", self.restore_fg_p99_ms_8_1),
             ("restore_reader_p99_ms_8_1", self.restore_reader_p99_ms_8_1),
+            ("scrub_fg_slowdown_pct_1_1", self.scrub_fg_slowdown_pct_1_1),
+            ("scrub_fg_slowdown_pct_8_1", self.scrub_fg_slowdown_pct_8_1),
+            ("scrub_scrubbed_mib_s_8_1", self.scrub_scrubbed_mib_s_8_1),
+            ("staged_select_ns", self.staged_select_ns),
         ]
     }
 
@@ -128,7 +175,11 @@ pub fn parse_flat_json(text: &str) -> HashMap<String, f64> {
 /// the violations (empty = pass).
 pub fn check_regression(current: &BenchReport, baseline: &HashMap<String, f64>) -> Vec<String> {
     let mut violations = Vec::new();
-    for key in ["drain_fg_slowdown_pct_8_1", "restore_fg_slowdown_pct_8_1"] {
+    for key in [
+        "drain_fg_slowdown_pct_8_1",
+        "restore_fg_slowdown_pct_8_1",
+        "scrub_fg_slowdown_pct_8_1",
+    ] {
         let Some(&base) = baseline.get(key) else {
             violations.push(format!("baseline is missing the gated key '{key}'"));
             continue;
@@ -148,6 +199,52 @@ pub fn check_regression(current: &BenchReport, baseline: &HashMap<String, f64>) 
         }
     }
     violations
+}
+
+/// Parses a `--flag value` style argument (shared by the perf-report bins).
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The perf-report bins' shared `--json` / `--baseline` tail: write the
+/// measured [`BenchReport`] to `json_path` when given, and gate it against
+/// the committed `baseline_path` when given. Returns the process exit code:
+/// `0` pass, `1` gate violation, `2` I/O error — one implementation, so the
+/// bins can never diverge on gate semantics.
+pub fn emit_and_gate(
+    report: &BenchReport,
+    json_path: Option<&str>,
+    baseline_path: Option<&str>,
+) -> i32 {
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 2;
+        }
+        println!("\nwrote {path}");
+    }
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                return 2;
+            }
+        };
+        let violations = check_regression(report, &parse_flat_json(&text));
+        if !violations.is_empty() {
+            eprintln!("regression gate vs {path}: FAIL");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            return 1;
+        }
+        println!("regression gate vs {path}: PASS");
+    }
+    0
 }
 
 /// Stage-out interference numbers (the `drain_weights` experiment distilled
@@ -264,6 +361,7 @@ pub fn run_restore(weight: u32, miss_rate: f64) -> themis_sim::SimResult {
             restore_miss_rate: miss_rate,
             drain_chunk_bytes: 8 << 20,
             max_inflight: 4,
+            ..SimStagingConfig::default()
         }),
         // The checkpointer (user 1) is the premium tenant at 8:1, so the
         // reader's foreground competition is small in the no-restore
@@ -277,6 +375,173 @@ pub fn run_restore(weight: u32, miss_rate: f64) -> themis_sim::SimResult {
         )
     };
     Simulation::new(config, vec![checkpointer, reader]).run()
+}
+
+/// Maintenance-class interference numbers: a premium checkpointer against
+/// the background checksum scrubber verifying every drained byte.
+pub struct ScrubNumbers {
+    /// Checkpoint time with scrubbing disabled (seconds).
+    pub baseline_secs: f64,
+    /// Slowdown (%) at foreground:scrub 1:1.
+    pub fg_slowdown_pct_1_1: f64,
+    /// Slowdown (%) at foreground:scrub 8:1.
+    pub fg_slowdown_pct_8_1: f64,
+    /// Verified MiB/s over the 8:1 run.
+    pub scrubbed_mib_s_8_1: f64,
+}
+
+/// The deep-tier boot backlog of the scrub experiments: 4 GiB of extents
+/// drained by *previous* runs that this run's pass must also verify. A
+/// standing backlog is what makes the foreground:scrub weight bind — with
+/// only this run's drains to chase, the lane empties between trickle-fed
+/// chunks and rides the idle-expansion path, and the weight never engages.
+pub const SCRUB_DEEP_TIER_BYTES: u64 = 4 << 30;
+
+/// Runs the scrub workload: a 1 GiB premium checkpoint racing a scrub pass
+/// over a [deep tier](SCRUB_DEEP_TIER_BYTES) (boot backlog plus this run's
+/// drained bytes), scrub at `scrub_weight`:1 when `enabled`.
+pub fn run_scrub(scrub_weight: u32, enabled: bool) -> themis_sim::SimResult {
+    let checkpointer = SimJob::new(
+        JobMeta::new(1u64, 1u32, 1u32, 8),
+        16,
+        OpPattern::WriteOnly {
+            bytes_per_op: 1 << 20,
+        },
+    )
+    .with_max_ops(64)
+    .with_queue_depth(4);
+    let config = SimConfig {
+        staging: Some(SimStagingConfig {
+            backing_device: DeviceConfig::optane_ssd(),
+            drain_weight: 8,
+            scrub_weight,
+            scrub_enabled: enabled,
+            scrub_backlog_bytes: SCRUB_DEEP_TIER_BYTES,
+            drain_chunk_bytes: 8 << 20,
+            max_inflight: 4,
+            ..SimStagingConfig::default()
+        }),
+        // The checkpointer is the premium tenant, as in the restore
+        // experiment, so the slowdown number isolates what the maintenance
+        // class costs the protected foreground.
+        ..SimConfig::new(
+            1,
+            Algorithm::Themis("user[8]-fair".parse().expect("valid DSL")),
+        )
+    };
+    Simulation::new(config, vec![checkpointer]).run()
+}
+
+/// Distils three already-run scrub workloads (scrub-disabled baseline, 1:1,
+/// 8:1) into the report numbers — shared with the `scrub_interference` bin,
+/// which prints its table from the same runs and must not run them twice.
+pub fn scrub_numbers(
+    baseline: &themis_sim::SimResult,
+    even: &themis_sim::SimResult,
+    weighted: &themis_sim::SimResult,
+) -> ScrubNumbers {
+    let baseline_secs = baseline.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let even_secs = even.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let weighted_secs = weighted.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let weighted_span_secs = weighted.sim_end_ns as f64 / 1e9;
+    ScrubNumbers {
+        baseline_secs,
+        fg_slowdown_pct_1_1: (even_secs / baseline_secs - 1.0) * 100.0,
+        fg_slowdown_pct_8_1: (weighted_secs / baseline_secs - 1.0) * 100.0,
+        scrubbed_mib_s_8_1: weighted.scrubbed_bytes as f64 / (1 << 20) as f64 / weighted_span_secs,
+    }
+}
+
+/// The scrub half of the report.
+pub fn scrub_experiment() -> ScrubNumbers {
+    scrub_numbers(
+        &run_scrub(8, false),
+        &run_scrub(1, true),
+        &run_scrub(8, true),
+    )
+}
+
+/// Builds the three-lane scheduler fixture the hot-path measurements run
+/// against: a [`StagedEngine`](themis_stage::StagedEngine) over a Themis
+/// foreground engine with one heartbeated foreground tenant, plus the
+/// seeded rng and the tenant's metadata.
+pub fn staged_bench_fixture() -> (themis_stage::StagedEngine, rand::rngs::SmallRng, JobMeta) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use themis_core::engine::PolicyEngine;
+    use themis_core::job_table::JobTable;
+    use themis_stage::{ClassWeights, StagedEngine};
+
+    let fg = JobMeta::new(1u64, 1u32, 1u32, 4);
+    let mut engine = StagedEngine::with_weights(
+        Algorithm::Themis(Policy::size_fair()).build(),
+        ClassWeights::default(),
+    );
+    let mut table = JobTable::new();
+    table.heartbeat(fg, 0);
+    engine.reconfigure(&table, &Policy::size_fair());
+    (engine, SmallRng::seed_from_u64(0x5c8b), fg)
+}
+
+/// One steady-state round of the staged scheduler with every class lane
+/// backlogged: admit one request per lane (foreground, drain, restore,
+/// scrub), then select/complete all four, so queue depth is stable across
+/// rounds. Shared by [`staged_select_wallclock_ns`] and the criterion bench
+/// target (`benches/scheduler.rs`), so the two measurements cannot drift
+/// apart.
+pub fn staged_round(
+    engine: &mut themis_stage::StagedEngine,
+    rng: &mut rand::rngs::SmallRng,
+    fg: JobMeta,
+    seq: &mut u64,
+) {
+    use themis_core::engine::PolicyEngine;
+    use themis_core::request::{Completion, IoRequest, OpKind};
+    use themis_stage::{drain_meta, restore_meta, scrub_meta};
+
+    engine.admit(IoRequest::write(*seq, fg, 1 << 20, 0));
+    engine.admit(IoRequest::new(
+        *seq + 1,
+        drain_meta(0),
+        OpKind::Read,
+        1 << 20,
+        0,
+    ));
+    engine.admit(IoRequest::new(
+        *seq + 2,
+        restore_meta(0),
+        OpKind::Write,
+        1 << 20,
+        0,
+    ));
+    engine.admit(IoRequest::new(
+        *seq + 3,
+        scrub_meta(0),
+        OpKind::Read,
+        1 << 20,
+        0,
+    ));
+    *seq += 4;
+    for _ in 0..4 {
+        let request = engine.select(*seq, rng).expect("saturated");
+        engine.complete(&Completion {
+            request,
+            start_ns: *seq,
+            finish_ns: *seq + 1,
+        });
+    }
+}
+
+/// Wall-clock median of one three-lane
+/// [`StagedEngine`](themis_stage::StagedEngine) select/complete round under
+/// a saturated foreground + drain + restore + scrub backlog — the scheduler
+/// hot path every staged server runs per service slot, measured through the
+/// vendored criterion shim so the number lands beside the sim-derived
+/// metrics in the machine-readable report. Reported per served request.
+pub fn staged_select_wallclock_ns() -> f64 {
+    let (mut engine, mut rng, fg) = staged_bench_fixture();
+    let mut seq = 0u64;
+    criterion::measure_median_ns(move || staged_round(&mut engine, &mut rng, fg, &mut seq)) / 4.0
 }
 
 /// The restore half of the report.
@@ -302,9 +567,8 @@ pub fn restore_experiment() -> RestoreNumbers {
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_roundtrip_preserves_every_key() {
-        let report = BenchReport {
+    fn sample_report() -> BenchReport {
+        BenchReport {
             drain_fg_slowdown_pct_1_1: 18.3,
             drain_fg_slowdown_pct_8_1: 2.4,
             drain_drained_mib_s_8_1: 1234.5,
@@ -313,7 +577,16 @@ mod tests {
             restore_restored_mib_s_8_1: 456.7,
             restore_fg_p99_ms_8_1: 1.25,
             restore_reader_p99_ms_8_1: 42.0,
-        };
+            scrub_fg_slowdown_pct_1_1: 6.0,
+            scrub_fg_slowdown_pct_8_1: 1.5,
+            scrub_scrubbed_mib_s_8_1: 789.0,
+            staged_select_ns: 350.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_key() {
+        let report = sample_report();
         let parsed = parse_flat_json(&report.to_json());
         assert_eq!(parsed.len(), report.entries().len());
         for (key, value) in report.entries() {
@@ -327,16 +600,7 @@ mod tests {
 
     #[test]
     fn regression_gate_trips_only_beyond_the_documented_limit() {
-        let mut report = BenchReport {
-            drain_fg_slowdown_pct_1_1: 18.3,
-            drain_fg_slowdown_pct_8_1: 2.4,
-            drain_drained_mib_s_8_1: 1234.5,
-            restore_fg_slowdown_pct_1_1: 30.0,
-            restore_fg_slowdown_pct_8_1: 5.0,
-            restore_restored_mib_s_8_1: 456.7,
-            restore_fg_p99_ms_8_1: 1.25,
-            restore_reader_p99_ms_8_1: 42.0,
-        };
+        let mut report = sample_report();
         let baseline = parse_flat_json(&report.to_json());
         assert!(check_regression(&report, &baseline).is_empty());
         // Within the 1-point absolute floor: still fine.
@@ -352,16 +616,24 @@ mod tests {
         // limit −12.
         report.drain_fg_slowdown_pct_8_1 = 2.4;
         let negative = parse_flat_json(
-            "{\"drain_fg_slowdown_pct_8_1\": 2.4, \"restore_fg_slowdown_pct_8_1\": -15.0}",
+            "{\"drain_fg_slowdown_pct_8_1\": 2.4, \"restore_fg_slowdown_pct_8_1\": -15.0, \
+             \"scrub_fg_slowdown_pct_8_1\": 1.5}",
         );
         report.restore_fg_slowdown_pct_8_1 = -12.5;
         assert!(check_regression(&report, &negative).is_empty());
         report.restore_fg_slowdown_pct_8_1 = -11.0;
         assert_eq!(check_regression(&report, &negative).len(), 1);
+        // The scrub slowdown is gated exactly like the other two.
+        report.restore_fg_slowdown_pct_8_1 = -12.5;
+        report.scrub_fg_slowdown_pct_8_1 = 2.6;
+        let violations = check_regression(&report, &negative);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("scrub_fg_slowdown_pct_8_1"));
         // A baseline missing a gated key is itself a failure.
         report.restore_fg_slowdown_pct_8_1 = 5.0;
+        report.scrub_fg_slowdown_pct_8_1 = 1.5;
         let empty = HashMap::new();
-        assert_eq!(check_regression(&report, &empty).len(), 2);
+        assert_eq!(check_regression(&report, &empty).len(), 3);
     }
 
     #[test]

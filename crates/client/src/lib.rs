@@ -24,7 +24,7 @@ use themis_fs::ring::stable_hash;
 use themis_fs::store::StatInfo;
 use themis_fs::{FsError, FsResult, StripeConfig};
 use themis_net::message::{ClientMessage, FsOp, FsReply, ServerMessage, StageReply};
-use themis_stage::DrainStatus;
+use themis_stage::{DrainStatus, ScrubStatus};
 
 /// The ThemisIO namespace decision: which paths are intercepted.
 #[derive(Debug, Clone)]
@@ -316,6 +316,38 @@ impl<L: ServerLink> ThemisClient<L> {
         self.links[server].send(ClientMessage::DrainStatus { request_id });
         match self.recv_stage_ack(server, request_id)? {
             StageReply::Status(status) => Ok(status),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected staging reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Demands a full checksum-scrub pass over one server's share of the
+    /// capacity tier and waits for it to complete, returning the post-pass
+    /// [`ScrubStatus`] (verification counters plus the quarantined-extent
+    /// list). Works even when the server's continuous background scrubber
+    /// is disabled — the pass is forced. The scrub traffic is arbitrated by
+    /// the policy engine at the server's foreground:scrub weight, so a
+    /// demand scrub cannot starve other tenants.
+    pub fn scrub(&self, server: usize) -> FsResult<ScrubStatus> {
+        let server = server % self.links.len();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::Scrub { request_id });
+        match self.recv_stage_ack(server, request_id)? {
+            StageReply::Scrub(status) => Ok(status),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected staging reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries one server's scrub state without forcing a pass.
+    pub fn scrub_status(&self, server: usize) -> FsResult<ScrubStatus> {
+        let server = server % self.links.len();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::ScrubStatus { request_id });
+        match self.recv_stage_ack(server, request_id)? {
+            StageReply::Scrub(status) => Ok(status),
             other => Err(FsError::InvalidArgument(format!(
                 "unexpected staging reply {other:?}"
             ))),
@@ -653,6 +685,18 @@ mod tests {
                     request_id: *request_id,
                     reply: StageReply::Status(DrainStatus::default()),
                 }),
+                ClientMessage::Scrub { request_id } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::Scrub(ScrubStatus {
+                        passes_completed: 1,
+                        scrubbed_extents: 4,
+                        ..ScrubStatus::default()
+                    }),
+                }),
+                ClientMessage::ScrubStatus { request_id } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::Scrub(ScrubStatus::default()),
+                }),
                 ClientMessage::Bye { .. } => None,
             };
             self.sent.lock().push(msg);
@@ -755,6 +799,31 @@ mod tests {
             c.flush("/home/not-intercepted"),
             Err(FsError::InvalidPath(_))
         ));
+    }
+
+    #[test]
+    fn scrub_calls_target_one_server() {
+        let c = client(3);
+        // A demand scrub waits for the pass and returns its counters…
+        let status = c.scrub(1).unwrap();
+        assert_eq!(status.passes_completed, 1);
+        assert_eq!(status.scrubbed_extents, 4);
+        assert!(status.is_healthy());
+        // …and a status query is an immediate snapshot.
+        let status = c.scrub_status(2).unwrap();
+        assert_eq!(status.passes_completed, 0);
+        // Only the targeted links saw traffic.
+        assert!(c.links[0].sent.lock().is_empty());
+        assert!(c.links[1]
+            .sent
+            .lock()
+            .iter()
+            .any(|m| matches!(m, ClientMessage::Scrub { .. })));
+        assert!(c.links[2]
+            .sent
+            .lock()
+            .iter()
+            .any(|m| matches!(m, ClientMessage::ScrubStatus { .. })));
     }
 
     #[test]

@@ -241,6 +241,22 @@ impl BurstBufferFs {
         self.inner.shards[server].read().evicted_len()
     }
 
+    /// The full contents of a *resident* extent on `server` (clean or
+    /// dirty), or `None` for holes and evicted extents. The scrubber's
+    /// repair source: a clean resident extent is byte-identical to what the
+    /// capacity tier is supposed to hold (pair with
+    /// [`BurstBufferFs::snapshot_extent_on`], which answers `Some` exactly
+    /// for dirty extents, to tell the two apart).
+    pub fn resident_extent_on(&self, server: usize, p: &str, stripe: u64) -> Option<Vec<u8>> {
+        match self.inner.shards[server]
+            .read()
+            .read_extent_checked(p, stripe, 0, u64::MAX)
+        {
+            crate::store::ExtentRead::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+
     fn shard(&self, s: ServerId) -> &RwLock<Shard> {
         &self.inner.shards[s.0]
     }
@@ -409,9 +425,17 @@ impl BurstBufferFs {
     // ------------------------------------------------------- positional IO
 
     /// Writes `data` at `offset`, creating extents as needed and updating the
-    /// file size. Returns the number of bytes written.
+    /// file size. Returns the number of bytes written. A write whose end
+    /// would overflow the 64-bit file address space is rejected (offsets are
+    /// client-controlled; the arithmetic below must stay panic-free).
     pub fn write_at(&self, p: &str, offset: u64, data: &[u8], now_ns: u64) -> FsResult<u64> {
         let p = path::normalize(p)?;
+        if offset.checked_add(data.len() as u64).is_none() {
+            return Err(FsError::InvalidArgument(format!(
+                "write of {} bytes at offset {offset} overflows the file address space",
+                data.len()
+            )));
+        }
         let layout = self.layout_of(&p)?;
         let chunks = layout.chunks(offset, data.len() as u64);
         for chunk in &chunks {
@@ -699,6 +723,23 @@ mod tests {
         // Read past EOF is short.
         assert_eq!(f.read_at("/data", 9_990, 100).unwrap().len(), 10);
         assert_eq!(f.read_at("/data", 20_000, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn write_at_rejects_address_space_overflow() {
+        // Offsets are client-controlled: a write whose end wraps u64 must be
+        // a clean error, never a panic or a wrapped-offset write.
+        let f = fs(1);
+        f.create("/edge", 0).unwrap();
+        assert!(matches!(
+            f.write_at("/edge", u64::MAX - 1, &[1, 2, 3], 1),
+            Err(FsError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            f.write_at("/edge", u64::MAX, &[1], 1),
+            Err(FsError::InvalidArgument(_))
+        ));
+        assert_eq!(f.stat("/edge").unwrap().size, 0);
     }
 
     #[test]

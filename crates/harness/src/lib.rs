@@ -91,6 +91,11 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
         "live",
         &live.metrics,
     ));
+    // Maintenance-class liveness: scrub-enabled scenarios must actually
+    // verify bytes (in both runtimes) without detecting corruption the
+    // harness never injected. The sim-side share-bounds oracle above keeps
+    // running unconditioned — that pairing is the scrub oracle's point.
+    violations.extend(oracle::check_scrub_liveness(&scenario, &sim, &live));
 
     // Integrity: the live run must have executed without error replies,
     // verified every byte after its evict/stage-in roundtrips, and drained

@@ -54,6 +54,14 @@ pub struct LiveOutcome {
     /// (must be 0 for a sound run — every queued restore either landed or
     /// was voided by delete-wins).
     pub pending_restore_bytes: u64,
+    /// Total bytes the background scrubber verified against their
+    /// write-back checksums, summed over servers. Non-zero exactly when the
+    /// scenario enables scrub and the capacity tier held extents.
+    pub scrubbed_bytes: u64,
+    /// Checksum mismatches the scrubber detected, summed over servers
+    /// (conformance scenarios never inject corruption, so any detection is
+    /// an integrity violation in itself).
+    pub scrub_errors: u64,
     /// Hard errors: I/O error replies, integrity mismatches, or a run that
     /// never quiesced. An empty list means the replay itself was sound.
     pub errors: Vec<String>,
@@ -355,6 +363,12 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
                 pending + s.pending_restore_bytes,
             )
         });
+    let (scrubbed_bytes, scrub_errors) = cores
+        .iter()
+        .filter_map(|c| c.scrub_status_snapshot())
+        .fold((0u64, 0u64), |(bytes, errors), s| {
+            (bytes + s.scrubbed_bytes, errors + s.errors_detected)
+        });
 
     LiveOutcome {
         metrics,
@@ -363,6 +377,8 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
         drain_clean,
         restored_bytes,
         pending_restore_bytes,
+        scrubbed_bytes,
+        scrub_errors,
         errors,
     }
 }

@@ -15,6 +15,10 @@
 //!   the window.
 //! * **Agreement** — per-tenant full-window byte shares of the simulator
 //!   and the live runtime match within [`EPS_AGREEMENT`].
+//! * **Scrub liveness** — in scrub-enabled scenarios, the maintenance
+//!   class verifies bytes in both runtimes (no lane starvation), reports
+//!   zero mismatches (the harness injects no corruption), and the sim-side
+//!   scrub backlog is clear at quiescence ([`check_scrub_liveness`]).
 //!
 //! Epoch windows are trimmed ([`trim_margin_ns`]) before measuring: a swap
 //! re-derives shares immediately, but requests admitted under the old epoch
@@ -44,7 +48,7 @@ use crate::scenario::Scenario;
 use themis_core::entity::JobMeta;
 use themis_core::policy::Policy;
 use themis_core::shares::compute_shares;
-use themis_sim::Metrics;
+use themis_sim::{Metrics, SimResult};
 
 /// Floor of the per-epoch share tolerance. Statistical-token scheduling is
 /// randomized per service slot, so observed shares are binomial around the
@@ -328,6 +332,72 @@ pub fn check_restore_backpressure(scenario: &Scenario, live: &LiveOutcome) -> Ve
             detail: format!(
                 "{} restore bytes still pending at quiescence (parked op leaked?)",
                 live.pending_restore_bytes
+            ),
+        });
+    }
+    violations
+}
+
+/// Scrub-liveness oracle for scrub-enabled scenarios: the maintenance
+/// class must make progress under every foreground mix — without any
+/// conditioning of the *sim-side* share bounds, which keep running
+/// unchanged (scrub traffic is reported out of band, and its 16:1 weight
+/// keeps the foreground perturbation inside the existing tolerances — the
+/// README's "Scrub conditioning" note).
+///
+/// * **live**: the capacity tier always holds extents (the prefilled rank
+///   regions are retired into it at boot), so a scrubber that verified
+///   zero bytes over the whole run starved — the lane-fairness failure this
+///   class exists to catch. Any detected checksum mismatch is corruption
+///   the harness never injected, i.e. a drain/scrub bookkeeping bug.
+/// * **sim**: the byte-level model verifies every drained byte exactly
+///   once; a backlog left at quiescence (or a reported mismatch at error
+///   rate 0) is a violation.
+pub fn check_scrub_liveness(
+    scenario: &Scenario,
+    sim: &SimResult,
+    live: &LiveOutcome,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !scenario.scrub_enabled() {
+        return violations;
+    }
+    if live.scrubbed_bytes == 0 {
+        violations.push(Violation {
+            oracle: "scrub-liveness",
+            run: "live",
+            detail: "scrub enabled but zero bytes verified over the whole run \
+                     (maintenance lane starved?)"
+                .into(),
+        });
+    }
+    if live.scrub_errors > 0 {
+        violations.push(Violation {
+            oracle: "scrub-liveness",
+            run: "live",
+            detail: format!(
+                "{} checksum mismatches detected with no injected corruption",
+                live.scrub_errors
+            ),
+        });
+    }
+    if sim.scrubbed_bytes < sim.drained_bytes {
+        violations.push(Violation {
+            oracle: "scrub-liveness",
+            run: "sim",
+            detail: format!(
+                "scrub backlog at quiescence: {} of {} drained bytes verified",
+                sim.scrubbed_bytes, sim.drained_bytes
+            ),
+        });
+    }
+    if sim.scrub_errors > 0 {
+        violations.push(Violation {
+            oracle: "scrub-liveness",
+            run: "sim",
+            detail: format!(
+                "{} checksum mismatches reported at error rate 0",
+                sim.scrub_errors
             ),
         });
     }

@@ -55,6 +55,14 @@ impl Tenant {
     }
 }
 
+/// Foreground : scrub weight of every scrub-enabled scenario. Fixed (not a
+/// random draw) for two reasons: drawing it would reshuffle every
+/// pre-existing seed's downstream draws, and 16:1 maintenance pressure is
+/// small enough (≤ 1/17 of device time while the foreground is backlogged)
+/// to stay inside the share oracles' documented tolerances — the "Scrub
+/// conditioning" note in the README.
+pub const SCENARIO_SCRUB_WEIGHT: u32 = 16;
+
 /// Staging/drain pressure parameters of a scenario.
 #[derive(Debug, Clone)]
 pub struct StagingSpec {
@@ -65,6 +73,12 @@ pub struct StagingSpec {
     /// Foreground : restore weight for the policy-admitted stage-in class
     /// (mirrors the drain weight so the scenario has one staging knob).
     pub restore_weight: u32,
+    /// Whether the background checksum scrubber runs during the scenario
+    /// (continuous passes over the capacity tier at
+    /// [`SCENARIO_SCRUB_WEIGHT`]:1). Derived from the staging draw itself —
+    /// no extra RNG consumption — so pre-existing seeds keep their exact
+    /// shape.
+    pub scrub: bool,
     /// Whether watermarks are tight enough to force eviction (and therefore
     /// stage-in / read-through roundtrips) during the run.
     pub eviction: bool,
@@ -245,6 +259,12 @@ impl Scenario {
             // keep their exact shape.
             let drain_weight = if rng.gen_range(0u32..2) == 0 { 4 } else { 8 };
             Some(StagingSpec {
+                // The scrub dimension is *derived* (every staged scenario
+                // scrubs) rather than drawn, so adding it did not consume a
+                // draw and every pre-existing seed keeps its exact shape —
+                // the pinned set gains scrub coverage without reshuffling a
+                // single green seed.
+                scrub: true,
                 // The capacity tier must absorb drain faster than the burst
                 // tier produces dirty bytes, so runs quiesce promptly; its
                 // per-op overhead still dwarfs the burst tier's.
@@ -321,6 +341,15 @@ impl Scenario {
                 // restore storms; differential comparison of restore-storm
                 // scenarios is therefore conditioned (see `crate::oracle`).
                 restore_miss_rate: 0.0,
+                scrub_weight: SCENARIO_SCRUB_WEIGHT,
+                scrub_enabled: s.scrub,
+                // Conformance scenarios never inject corruption: the sim's
+                // scrub model verifies every drained byte once and must
+                // find it sound. No boot backlog — the live run's tier
+                // starts from the retired prefill, which the sim does not
+                // model, and the liveness oracle only requires progress.
+                scrub_error_rate: 0.0,
+                scrub_backlog_bytes: 0,
                 drain_chunk_bytes: self.bytes_per_op,
                 max_inflight: 4,
             }),
@@ -350,9 +379,20 @@ impl Scenario {
                 low_watermark_bytes: s.low_watermark_bytes,
                 drain_weight: s.drain_weight,
                 restore_weight: s.restore_weight,
+                scrub_weight: SCENARIO_SCRUB_WEIGHT,
+                scrub_enabled: s.scrub,
+                // Back-to-back passes: the conformance window is short, so
+                // pacing would turn "enabled" into "ran once, maybe".
+                scrub_interval_ns: 0,
                 max_inflight: 4,
             },
         })
+    }
+
+    /// Whether this scenario runs the background checksum scrubber (the
+    /// maintenance traffic class) alongside its staging pressure.
+    pub fn scrub_enabled(&self) -> bool {
+        self.staging.as_ref().is_some_and(|s| s.scrub)
     }
 
     /// Whether this scenario is a *restore storm*: eviction pressure plus at
@@ -379,9 +419,10 @@ impl Scenario {
             .join(", ");
         let staging = match &self.staging {
             Some(s) => format!(
-                "staging(w={}, rw={}, eviction={}, storm={})",
+                "staging(w={}, rw={}, scrub={}, eviction={}, storm={})",
                 s.drain_weight,
                 s.restore_weight,
+                s.scrub,
                 s.eviction,
                 self.restore_storm()
             ),

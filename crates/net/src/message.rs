@@ -12,7 +12,7 @@ use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
 use themis_fs::layout::StripeConfig;
 use themis_fs::store::StatInfo;
-use themis_stage::DrainStatus;
+use themis_stage::{DrainStatus, ScrubStatus};
 
 /// A POSIX-flavoured file system operation as carried on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -233,6 +233,24 @@ pub enum ClientMessage {
         /// Request id chosen by the client, echoed in the reply.
         request_id: u64,
     },
+    /// Maintenance: demand a full checksum-scrub pass over this server's
+    /// share of the capacity tier (forced even when the continuous
+    /// background scrubber is disabled). Answered with
+    /// [`ServerMessage::Stage`] / [`StageReply::Scrub`] once the pass
+    /// completes — the acknowledgement is **deferred**, and the scrub
+    /// traffic it triggers is policy-arbitrated under the reserved Scrub
+    /// class like any other traffic.
+    Scrub {
+        /// Request id chosen by the client, echoed in the acknowledgement.
+        request_id: u64,
+    },
+    /// Maintenance: query the server's scrub state (pass progress,
+    /// verification counters, quarantined extents). Answered immediately
+    /// with [`ServerMessage::Stage`] / [`StageReply::Scrub`].
+    ScrubStatus {
+        /// Request id chosen by the client, echoed in the reply.
+        request_id: u64,
+    },
 }
 
 /// A server→client message.
@@ -301,6 +319,10 @@ pub enum StageReply {
     },
     /// The server's staging state snapshot.
     Status(DrainStatus),
+    /// The server's scrub state: the deferred acknowledgement of a
+    /// completed [`ClientMessage::Scrub`] pass, or the immediate answer to
+    /// a [`ClientMessage::ScrubStatus`] query.
+    Scrub(ScrubStatus),
     /// The request could not be served (e.g. staging disabled on the
     /// server).
     Error(String),

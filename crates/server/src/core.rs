@@ -19,8 +19,9 @@ use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
 use themis_fs::{BurstBufferFs, FsError, OpenFlags, Whence};
 use themis_net::message::{FsOp, FsReply, StageReply};
 use themis_stage::{
-    write_back_guarded, BackingStore, CapacityTier, DrainPipeline, DrainStatus, RestorePipeline,
-    RestoreTarget, StagedEngine, StagingConfig, TrafficClass,
+    extent_checksum, write_back_guarded, BackingStore, CapacityTier, DrainPipeline, DrainStatus,
+    RestorePipeline, RestoreTarget, ScrubPipeline, ScrubStatus, StagedEngine, StagingConfig,
+    TrafficClass,
 };
 
 /// Configuration of one server.
@@ -103,6 +104,7 @@ struct PendingStageIn {
 struct StageState {
     pipeline: DrainPipeline,
     restore: RestorePipeline,
+    scrub: ScrubPipeline,
     backing: Arc<dyn BackingStore>,
     backing_device: DeviceTimeline,
     /// `(capacity_write_finish_ns, seq, drained_generation)` of drains whose
@@ -111,12 +113,18 @@ struct StageState {
     /// `(finish_ns, seq)` of restores the engine released, completing when
     /// both the capacity-tier read and the burst-buffer write are done.
     inflight_restores: Vec<(u64, u64)>,
+    /// `(finish_ns, seq)` of scrub verifications the engine released; the
+    /// checksum is judged when the capacity-tier read completes.
+    inflight_scrubs: Vec<(u64, u64)>,
     /// Flushes waiting for their path's local extents to become clean.
     pending_flushes: Vec<(u64, String)>,
     /// Foreground operations waiting on restores.
     parked_ops: Vec<ParkedOp>,
     /// Explicit `StageIn` requests waiting on restores.
     pending_stage_ins: Vec<PendingStageIn>,
+    /// Explicit `Scrub` requests waiting for their pass to complete, as
+    /// `(request_id, pass_id)`.
+    pending_scrubs: Vec<(u64, u64)>,
 }
 
 /// A reply that became ready during a [`ServerCore::poll`] call, tagged with
@@ -199,15 +207,23 @@ impl ServerCore {
         let staging = config.staging.as_ref().map(|sc| StageState {
             pipeline: DrainPipeline::new(server_index, sc.drain),
             restore: RestorePipeline::new(server_index, sc.drain.max_inflight),
+            scrub: ScrubPipeline::new(
+                server_index,
+                sc.drain.scrub_enabled,
+                sc.drain.scrub_interval_ns,
+                sc.drain.max_inflight,
+            ),
             backing: backing.unwrap_or_else(|| {
                 Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>
             }),
             backing_device: DeviceTimeline::new(DeviceModel::new(sc.backing_device)),
             inflight_backing: Vec::new(),
             inflight_restores: Vec::new(),
+            inflight_scrubs: Vec::new(),
             pending_flushes: Vec::new(),
             parked_ops: Vec::new(),
             pending_stage_ins: Vec::new(),
+            pending_scrubs: Vec::new(),
         });
         let mut jobs = JobTable::with_heartbeat_timeout(config.heartbeat_timeout_ns);
         jobs.set_viewpoint(server_index);
@@ -417,8 +433,12 @@ impl ServerCore {
                     self.execute_restore(&request, now_ns);
                     continue;
                 }
-                // No scrub/rebalance synthesizers exist yet; their lanes
-                // can only be empty.
+                Some(TrafficClass::Scrub) => {
+                    self.execute_scrub(&request, now_ns);
+                    continue;
+                }
+                // No rebalance synthesizer exists yet; its lane can only be
+                // empty.
                 Some(_) => continue,
                 None => {}
             }
@@ -611,6 +631,41 @@ impl ServerCore {
         self.stage_replies.push(StageReady { request_id, reply });
     }
 
+    /// A point-in-time scrub status snapshot, `None` when staging is
+    /// disabled.
+    pub fn scrub_status_snapshot(&self) -> Option<ScrubStatus> {
+        self.staging.as_ref().map(|st| st.scrub.status())
+    }
+
+    /// Handles a `Scrub` request: demands a full checksum pass over this
+    /// server's share of the capacity tier — forced even when the
+    /// continuous background scrubber is disabled. The acknowledgement
+    /// (carrying the post-pass [`ScrubStatus`]) is **deferred** until the
+    /// pass completes, delivered by a later [`ServerCore::poll`]; the
+    /// verification traffic it triggers is ordinary policy-arbitrated
+    /// [`TrafficClass::Scrub`] traffic, so a demand scrub cannot starve
+    /// foreground tenants.
+    pub fn scrub(&mut self, request_id: u64) {
+        let Some(st) = self.staging.as_mut() else {
+            self.stage_replies.push(StageReady {
+                request_id,
+                reply: StageReply::Error("staging is not enabled on this server".into()),
+            });
+            return;
+        };
+        let pass = st.scrub.force_pass();
+        st.pending_scrubs.push((request_id, pass));
+    }
+
+    /// Handles a `ScrubStatus` request: an immediate snapshot reply.
+    pub fn scrub_status(&mut self, request_id: u64) {
+        let reply = match self.scrub_status_snapshot() {
+            Some(status) => StageReply::Scrub(status),
+            None => StageReply::Error("staging is not enabled on this server".into()),
+        };
+        self.stage_replies.push(StageReady { request_id, reply });
+    }
+
     /// Synchronous fallback restore of evicted extents of `path`, returning
     /// the bytes copied back. The *primary* stage-in path is the policy-
     /// admitted restore pipeline ([`ServerCore::park_if_needs_restore`]);
@@ -643,7 +698,10 @@ impl ServerCore {
                 if targets.is_some_and(|set| !set.contains(&stripe)) {
                     continue;
                 }
-                let Some(data) = st.backing.read_back(&p, stripe) else {
+                // Verified read: a corrupt tier copy is a miss, never a
+                // restore source (see the stage crate's verified_read_back).
+                let Some(data) = themis_stage::verified_read_back(st.backing.as_ref(), &p, stripe)
+                else {
                     continue;
                 };
                 // Charge the capacity tier the read and the burst buffer the
@@ -697,11 +755,14 @@ impl ServerCore {
                 // Read the tier copy at completion time, not admission time:
                 // if the path was unlinked while the restore was in flight
                 // the copy is gone and the restore degrades to a no-op
-                // (delete wins here too).
-                let data = st
-                    .restore
-                    .inflight(seq)
-                    .and_then(|t| st.backing.read_back(&t.path, t.stripe));
+                // (delete wins here too). The read is *verified*: a corrupt
+                // tier copy must never be restored into the burst buffer,
+                // where it would pass for a clean repair source and launder
+                // the damage past every future scrub (the scrub pass
+                // quarantines it instead).
+                let data = st.restore.inflight(seq).and_then(|t| {
+                    themis_stage::verified_read_back(st.backing.as_ref(), &t.path, t.stripe)
+                });
                 let actual = data.as_ref().map(|d| d.len() as u64).unwrap_or(0);
                 let Some(target) = st.restore.complete(seq, actual) else {
                     continue;
@@ -791,6 +852,72 @@ impl ServerCore {
             return;
         };
 
+        // 1d. Scrub verifications whose capacity-tier read finished: judge
+        //     the copy against the checksum recorded at drain write-back
+        //     time. On a mismatch, repair from a clean resident burst copy;
+        //     defer to the pending drain when a concurrent foreground write
+        //     re-dirtied the extent (the generation guard — the scrubber
+        //     must never push unflushed data into the tier); quarantine when
+        //     no repair source remains. This runs *before* the eviction pass
+        //     so a repair's burst-copy source cannot be reclaimed in the
+        //     same tick it is needed.
+        let mut i = 0;
+        while i < st.inflight_scrubs.len() {
+            if st.inflight_scrubs[i].0 <= now_ns {
+                let (_, seq) = st.inflight_scrubs.swap_remove(i);
+                let Some(target) = st.scrub.complete(seq) else {
+                    continue;
+                };
+                match st
+                    .backing
+                    .read_back_with_checksum(&target.path, target.stripe)
+                {
+                    // Unlinked mid-scrub (delete-wins): nothing to verify.
+                    None => {}
+                    Some((data, stored)) => {
+                        let bytes = data.len() as u64;
+                        if extent_checksum(&data) == stored {
+                            st.scrub.record_clean(bytes);
+                        } else if self
+                            .fs
+                            .snapshot_extent_on(server, &target.path, target.stripe)
+                            .is_some()
+                        {
+                            // The shard copy is dirty: a foreground write
+                            // moved the generation mid-scrub, so the pending
+                            // drain — which will rewrite copy and checksum
+                            // together — owns the tier copy's next contents.
+                            st.scrub.record_superseded(bytes);
+                        } else if let Some(good) =
+                            self.fs
+                                .resident_extent_on(server, &target.path, target.stripe)
+                        {
+                            // A clean resident burst copy is byte-identical
+                            // to what the tier should hold: repair. Charge
+                            // the burst device the copy's read and the
+                            // capacity tier the rewrite.
+                            let meta = st.scrub.meta();
+                            let cost = good.len().max(1) as u64;
+                            let read = IoRequest::new(0, meta, OpKind::Read, cost, now_ns);
+                            let (_, read_finish) = self.device.dispatch(&read, now_ns);
+                            let write = IoRequest::new(0, meta, OpKind::Write, cost, read_finish);
+                            st.backing_device.dispatch(&write, read_finish);
+                            st.backing.write_back(&target.path, target.stripe, &good);
+                            st.scrub.record_repaired(bytes);
+                        } else {
+                            // No repair source (evicted or never resident
+                            // here): the tier copy was the only one, and it
+                            // is damaged. Quarantine and surface it.
+                            st.scrub
+                                .record_quarantined(target.path, target.stripe, bytes);
+                        }
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+
         // 2. Watermark eviction: reclaim clean extents down to the low
         //    watermark. Dirty extents are never touched.
         let cfg = *st.pipeline.config();
@@ -822,9 +949,32 @@ impl ServerCore {
         // 3b. Restore admission: queued restore targets become policy-
         //     arbitrated restore requests, up to the pipelining depth.
         self.admit_restores(now_ns);
+
+        // 3c. Scrub admission: when a pass is due (continuous scrubbing or
+        //     an explicit `Scrub` demand), walk the capacity tier's extents
+        //     this server owns and synthesize policy-arbitrated verification
+        //     requests — then resolve any deferred `Scrub` acknowledgements
+        //     whose pass just completed (including the trivially complete
+        //     pass over an empty tier).
+        self.admit_scrubs(now_ns);
         let Some(st) = self.staging.as_mut() else {
             return;
         };
+        if let Some(pass) = st.scrub.finish_pass_if_idle(now_ns) {
+            let status = st.scrub.status();
+            let mut j = 0;
+            while j < st.pending_scrubs.len() {
+                if st.pending_scrubs[j].1 <= pass {
+                    let (request_id, _) = st.pending_scrubs.swap_remove(j);
+                    self.stage_replies.push(StageReady {
+                        request_id,
+                        reply: StageReply::Scrub(status.clone()),
+                    });
+                } else {
+                    j += 1;
+                }
+            }
+        }
 
         // 4. Flushes whose path became clean locally.
         let mut j = 0;
@@ -852,6 +1002,29 @@ impl ServerCore {
             return;
         };
         while let Some(request) = st.restore.admit_next(self.next_seq, now_ns) {
+            self.next_seq += 1;
+            self.engine.admit(request);
+        }
+    }
+
+    /// Feeds due scrub verifications to the policy engine, up to the scrub
+    /// pipeline's depth. Each server verifies exactly the tier extents whose
+    /// stripes its shard owns, so a multi-server deployment scrubs the
+    /// shared tier once; orphaned extents (no live layout) fall to server 0.
+    fn admit_scrubs(&mut self, now_ns: u64) {
+        let fs = self.fs.clone();
+        let server = self.server_index;
+        let Some(st) = self.staging.as_mut() else {
+            return;
+        };
+        let owns = |path: &str, stripe: u64| match fs.layout_of(path) {
+            Ok(layout) => layout.server_for_stripe(stripe).map(|id| id.0) == Some(server),
+            Err(_) => server == 0,
+        };
+        while let Some(request) =
+            st.scrub
+                .admit_next(self.next_seq, now_ns, st.backing.as_ref(), owns)
+        {
             self.next_seq += 1;
             self.engine.admit(request);
         }
@@ -908,7 +1081,10 @@ impl ServerCore {
             len.min(stat.size - offset)
         };
         let stripe_size = layout.config.stripe_size.max(1);
-        let stripes = offset / stripe_size..=(offset + len - 1) / stripe_size;
+        // Saturating end: a client-controlled WriteAt near u64::MAX must
+        // not overflow the stripe arithmetic (the write itself will fail
+        // downstream; the pre-check must stay panic-free). `len >= 1` here.
+        let stripes = offset / stripe_size..=offset.saturating_add(len - 1) / stripe_size;
         let mut targets = Vec::new();
         // Evicted state lives on the shard each stripe hashes to; collect
         // each involved shard's evicted set once.
@@ -995,6 +1171,32 @@ impl ServerCore {
             .push((burst_finish.max(backing_finish), request.seq));
     }
 
+    /// Executes a scrub request the engine released: the burst-buffer
+    /// device is charged the verification's service slot (the slot the
+    /// engine granted, which is what keeps scrubbing bounded by its
+    /// foreground:scrub weight) and the capacity tier is charged the read
+    /// that actually fetches the copy, in parallel. The checksum is judged
+    /// when both finish (in a later [`ServerCore::poll`]).
+    fn execute_scrub(&mut self, request: &IoRequest, now_ns: u64) {
+        let (_, burst_finish) = self.device.dispatch(request, now_ns);
+        let Some(st) = self.staging.as_mut() else {
+            return;
+        };
+        let Some(target) = st.scrub.inflight(request.seq) else {
+            return;
+        };
+        let read = IoRequest::new(
+            request.seq,
+            st.scrub.meta(),
+            OpKind::Read,
+            target.bytes.max(1),
+            now_ns,
+        );
+        let (_, backing_finish) = st.backing_device.dispatch(&read, now_ns);
+        st.inflight_scrubs
+            .push((burst_finish.max(backing_finish), request.seq));
+    }
+
     /// Executes a drain request the engine released: read the extent
     /// snapshot off the burst-buffer device, then write it to the capacity
     /// tier at the tier's own speed. The extent is marked clean when the
@@ -1028,13 +1230,17 @@ impl ServerCore {
                         .layout_of(&path)
                         .map(|l| l.config.stripe_size.max(1))
                         .unwrap_or(1);
-                let kept = write_back_guarded(st.backing.as_ref(), &path, d.stripe, &data, || {
+                let stripe = d.stripe;
+                let kept = write_back_guarded(st.backing.as_ref(), &path, stripe, &data, || {
                     fs.stat(&path).is_ok_and(|s| s.size > stripe_start)
                 });
                 if !kept {
                     st.pipeline.complete(request.seq);
                     return;
                 }
+                // The write-back recomputed the extent's checksum, so a
+                // previously quarantined copy is sound again.
+                st.scrub.unquarantine(&path, stripe);
                 let write = IoRequest::new(
                     request.seq,
                     st.pipeline.meta(),
@@ -1095,7 +1301,9 @@ impl ServerCore {
             return Some(std::collections::HashSet::new());
         }
         let stripe_size = self.fs.layout_of(&path).ok()?.config.stripe_size.max(1);
-        Some((offset / stripe_size..=(offset + len - 1) / stripe_size).collect())
+        // Saturating end, as in `restore_targets_for`: never overflow on a
+        // client-controlled offset near u64::MAX.
+        Some((offset / stripe_size..=offset.saturating_add(len - 1) / stripe_size).collect())
     }
 
     /// Reads up to `len` bytes, serving evicted extents straight from the
@@ -1120,7 +1328,9 @@ impl ServerCore {
         let backing = Arc::clone(&st.backing);
         let fetched = std::cell::Cell::new(0u64);
         let fetch = |p: &str, stripe: u64| {
-            let data = backing.read_back(p, stripe);
+            // Verified fetch: serving an unverified tier copy would hand the
+            // client corrupt bytes; refusing surfaces NotResident instead.
+            let data = themis_stage::verified_read_back(backing.as_ref(), p, stripe);
             if let Some(d) = &data {
                 fetched.set(fetched.get() + d.len() as u64);
             }
@@ -1195,10 +1405,12 @@ impl ServerCore {
     }
 
     /// Drops the capacity tier's copies of a path that was unlinked or
-    /// truncated, so stale snapshots cannot be staged back in.
+    /// truncated, so stale snapshots cannot be staged back in — and lifts
+    /// any scrub quarantine on them (the damaged copies are gone).
     fn drop_backing_copies(&mut self, path: &str) {
-        if let (Some(st), Ok(p)) = (self.staging.as_ref(), themis_fs::path::normalize(path)) {
+        if let (Some(st), Ok(p)) = (self.staging.as_mut(), themis_fs::path::normalize(path)) {
             st.backing.remove_path(&p);
+            st.scrub.unquarantine_path(&p);
         }
     }
 }
@@ -1880,6 +2092,43 @@ mod tests {
         assert_eq!(got[1].0, 702);
         assert_eq!(got[0].1, vec![0xAB; 1 << 20]);
         assert_eq!(got[1].1, vec![0xAB; 1 << 20]);
+    }
+
+    #[test]
+    fn huge_offset_write_at_is_an_error_not_a_panic() {
+        // With extents evicted (so the residency pre-check's early-out does
+        // not fire), a client-controlled WriteAt near u64::MAX must travel
+        // the parking pre-check's saturating stripe arithmetic and come back
+        // as a clean error reply — never panic the server.
+        let mut staging = fast_staging();
+        staging.drain.high_watermark_bytes = 1 << 20;
+        staging.drain.low_watermark_bytes = 0;
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/edge", 2 << 20, 0);
+        poll_until_clean(&mut s, 1_000_000);
+        s.poll(60_000_000);
+        assert!(s.fs().evicted_count_on(0) > 0, "extents must be evicted");
+        s.submit(
+            910,
+            meta(1, 1),
+            FsOp::WriteAt {
+                path: "/edge".into(),
+                offset: u64::MAX - 1,
+                data: vec![9u8; 3],
+            },
+            60_000_000,
+        );
+        let mut t = 60_000_000;
+        loop {
+            let replies = s.poll(t);
+            if let Some(r) = replies.iter().find(|r| r.request_id == 910) {
+                assert!(matches!(r.reply, FsReply::Error(_)), "{:?}", r.reply);
+                break;
+            }
+            t += 100_000;
+            assert!(t < 120_000_000_000, "write never answered");
+        }
     }
 
     #[test]

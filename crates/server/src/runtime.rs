@@ -282,6 +282,14 @@ fn server_loop(
                     reply_route.insert(request_id, conn_id);
                     core.drain_status(request_id);
                 }
+                ClientMessage::Scrub { request_id } => {
+                    reply_route.insert(request_id, conn_id);
+                    core.scrub(request_id);
+                }
+                ClientMessage::ScrubStatus { request_id } => {
+                    reply_route.insert(request_id, conn_id);
+                    core.scrub_status(request_id);
+                }
             }
         }
 

@@ -24,7 +24,9 @@ use themis_core::policy::Policy;
 use themis_core::request::{IoRequest, OpKind};
 use themis_core::sync::SyncConfig;
 use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
-use themis_stage::{drain_meta, restore_meta, ClassWeights, StagedEngine, TrafficClass};
+use themis_stage::{
+    drain_meta, restore_meta, scrub_meta, ClassWeights, StagedEngine, TrafficClass,
+};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -76,6 +78,30 @@ pub struct SimStagingConfig {
     /// residency, so misses are drawn i.i.d. per read). `0.0` (the default)
     /// disables restore pressure.
     pub restore_miss_rate: f64,
+    /// Foreground : scrub weight for synthesized capacity-tier integrity
+    /// verification traffic.
+    pub scrub_weight: u32,
+    /// Whether the background checksum scrubber runs: every drained byte is
+    /// re-read from the capacity tier exactly once (the simulator's
+    /// byte-level model of one scrub pass — it does not track per-extent
+    /// checksums), as policy-arbitrated [`TrafficClass::Scrub`] requests.
+    /// The run quiesces only once the scrub backlog has caught up with the
+    /// drained bytes.
+    pub scrub_enabled: bool,
+    /// Fraction of scrubbed chunks that report a checksum mismatch
+    /// (injected, i.i.d. per chunk), counted in
+    /// [`SimResult::scrub_errors`]. `0.0` (the default) models a sound
+    /// tier.
+    pub scrub_error_rate: f64,
+    /// Unverified capacity-tier bytes already present at boot (per
+    /// server) — the *deep tier* a real scrubber walks: extents drained by
+    /// previous runs, not just this run's traffic. The pass must verify
+    /// these too, so a non-zero backlog keeps the scrub lane continuously
+    /// backlogged while the foreground runs — the regime where the
+    /// foreground:scrub weight actually binds (with `0`, the default, the
+    /// lane is trickle-fed by this run's drains and mostly rides the
+    /// idle-expansion path).
+    pub scrub_backlog_bytes: u64,
     /// Bytes per synthesized drain request.
     pub drain_chunk_bytes: u64,
     /// Maximum drain requests in flight per server.
@@ -89,6 +115,10 @@ impl Default for SimStagingConfig {
             drain_weight: 8,
             restore_weight: 8,
             restore_miss_rate: 0.0,
+            scrub_weight: 16,
+            scrub_enabled: false,
+            scrub_error_rate: 0.0,
+            scrub_backlog_bytes: 0,
             drain_chunk_bytes: 8 << 20,
             max_inflight: 4,
         }
@@ -146,6 +176,16 @@ pub struct SimResult {
     /// Total bytes restored from the capacity tier for read misses (0
     /// without staging or with [`SimStagingConfig::restore_miss_rate`] 0).
     pub restored_bytes: u64,
+    /// Total bytes verified by the background scrubber (0 without staging
+    /// or with [`SimStagingConfig::scrub_enabled`] false). With scrub
+    /// enabled, every drained byte — plus any pre-existing
+    /// [`SimStagingConfig::scrub_backlog_bytes`] — is verified exactly once
+    /// before the run quiesces, so this equals `drained_bytes +
+    /// scrub_backlog_bytes·n_servers` at the end of a sound run.
+    pub scrubbed_bytes: u64,
+    /// Checksum mismatches the scrubber reported (injected at
+    /// [`SimStagingConfig::scrub_error_rate`]; 0 for a sound tier).
+    pub scrub_errors: u64,
     /// Dirty bytes never drained by the end of the run (0 when the buffer
     /// fully drained; always 0 without staging).
     pub residual_dirty_bytes: u64,
@@ -206,6 +246,15 @@ struct SimServerStaging {
     restore_inflight: usize,
     /// Total bytes restored from the capacity tier.
     restored_bytes: u64,
+    /// Scrub bytes admitted so far (the pass cursor over the verification
+    /// target: boot backlog plus drained bytes).
+    scrub_cursor_bytes: u64,
+    /// Scrub requests admitted and not yet verified.
+    scrub_inflight: usize,
+    /// Total bytes verified by the scrubber.
+    scrubbed_bytes: u64,
+    /// Injected checksum mismatches reported so far.
+    scrub_errors: u64,
 }
 
 impl SimServer {
@@ -216,6 +265,7 @@ impl SimServer {
                 ClassWeights {
                     drain: sc.drain_weight,
                     restore: sc.restore_weight,
+                    scrub: sc.scrub_weight,
                     ..ClassWeights::default()
                 },
             )),
@@ -235,16 +285,33 @@ impl SimServer {
                 drained_bytes: 0,
                 restore_inflight: 0,
                 restored_bytes: 0,
+                scrub_cursor_bytes: 0,
+                scrub_inflight: 0,
+                scrubbed_bytes: 0,
+                scrub_errors: 0,
             }),
         }
     }
 
-    /// Whether the staging pipeline still has work (dirty backlog, drains
-    /// in flight, or restores in flight).
+    /// Whether the staging pipeline still has work: dirty backlog, drains
+    /// or restores in flight, or — with scrub enabled — verification-target
+    /// bytes the scrub pass has not verified yet.
     fn staging_busy(&self) -> bool {
-        self.staging
-            .as_ref()
-            .is_some_and(|st| st.dirty_bytes > 0 || st.inflight > 0 || st.restore_inflight > 0)
+        self.staging.as_ref().is_some_and(|st| {
+            st.dirty_bytes > 0
+                || st.inflight > 0
+                || st.restore_inflight > 0
+                || (st.config.scrub_enabled
+                    && (st.scrubbed_bytes < st.scrub_target() || st.scrub_inflight > 0))
+        })
+    }
+}
+
+impl SimServerStaging {
+    /// The scrub pass's verification target: everything the tier holds —
+    /// the boot backlog plus whatever this run has drained so far.
+    fn scrub_target(&self) -> u64 {
+        self.config.scrub_backlog_bytes + self.drained_bytes
     }
 }
 
@@ -311,6 +378,8 @@ impl Simulation {
         let mut drain_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         // Restore completion events: (landed_ns, server, restore seq, bytes).
         let mut restore_events: BinaryHeap<Reverse<(u64, usize, u64, u64)>> = BinaryHeap::new();
+        // Scrub completion events: (verified_ns, server, bytes).
+        let mut scrub_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         // Foreground reads parked behind a restore: restore seq → (server,
         // the read to admit once its bytes are back in the burst buffer).
         let mut waiting_restore: HashMap<u64, (usize, IoRequest)> = HashMap::new();
@@ -387,6 +456,29 @@ impl Simulation {
                 }
                 if let Some((server, parked)) = waiting_restore.remove(&seq) {
                     servers[server].engine.admit(parked);
+                }
+            }
+
+            // 1b'. Apply scrub completions by `now`: the verification of one
+            // chunk of drained bytes finished; with a non-zero injected
+            // error rate, some chunks report a checksum mismatch. (The rng
+            // is only consulted when errors are possible, so enabling a
+            // sound scrubber never perturbs the foreground token draws of a
+            // pre-existing seed.)
+            while let Some(Reverse((finish, server_idx, bytes))) = scrub_events.peek().copied() {
+                if finish > now {
+                    break;
+                }
+                scrub_events.pop();
+                if let Some(st) = servers[server_idx].staging.as_mut() {
+                    st.scrub_inflight = st.scrub_inflight.saturating_sub(1);
+                    st.scrubbed_bytes += bytes;
+                    if st.config.scrub_error_rate > 0.0
+                        && (rng.gen_range(0u64..1_000_000) as f64)
+                            < st.config.scrub_error_rate * 1e6
+                    {
+                        st.scrub_errors += 1;
+                    }
                 }
             }
 
@@ -500,6 +592,35 @@ impl Simulation {
                 }
             }
 
+            // 2c. Synthesize scrub traffic: with scrub enabled, the pass
+            // cursor chases the verification target (the boot backlog plus
+            // the drained bytes) — every tier chunk is re-read from the
+            // capacity tier for verification exactly once, as a
+            // policy-arbitrated request under the scrub class.
+            for (server_idx, server) in servers.iter_mut().enumerate() {
+                let Some(st) = server.staging.as_mut() else {
+                    continue;
+                };
+                if !st.config.scrub_enabled {
+                    continue;
+                }
+                while st.scrub_inflight < st.config.max_inflight
+                    && st.scrub_cursor_bytes < st.scrub_target()
+                {
+                    let chunk = st
+                        .config
+                        .drain_chunk_bytes
+                        .min(st.scrub_target() - st.scrub_cursor_bytes)
+                        .max(1);
+                    let req =
+                        IoRequest::new(next_seq, scrub_meta(server_idx), OpKind::Read, chunk, now);
+                    next_seq += 1;
+                    st.scrub_cursor_bytes += chunk;
+                    st.scrub_inflight += 1;
+                    server.engine.admit(req);
+                }
+            }
+
             // 3. Dispatch queued work on every server with an idle worker.
             for (server_idx, server) in servers.iter_mut().enumerate() {
                 while server.device.has_idle_worker(now) {
@@ -538,6 +659,25 @@ impl Simulation {
                                 finish.max(backing_finish),
                                 server_idx,
                                 req.seq,
+                                req.bytes,
+                            )));
+                            continue;
+                        }
+                        Some(TrafficClass::Scrub) => {
+                            // The engine granted the verification its service
+                            // slot; the capacity-tier read that actually
+                            // fetches the bytes is charged in parallel, and
+                            // the chunk counts as verified when both finish.
+                            let st = server
+                                .staging
+                                .as_mut()
+                                .expect("scrub traffic only exists with staging");
+                            let read =
+                                IoRequest::new(req.seq, req.meta, OpKind::Read, req.bytes, now);
+                            let (_, backing_finish) = st.backing.dispatch(&read, now);
+                            scrub_events.push(Reverse((
+                                finish.max(backing_finish),
+                                server_idx,
                                 req.bytes,
                             )));
                             continue;
@@ -593,11 +733,22 @@ impl Simulation {
             if let Some(Reverse((finish, _, _, _))) = restore_events.peek() {
                 next = next.min(*finish);
             }
+            if let Some(Reverse((finish, _, _))) = scrub_events.peek() {
+                next = next.min(*finish);
+            }
             for server in servers.iter() {
                 if let Some(st) = server.staging.as_ref() {
                     // New dirty bytes appeared after this iteration's
-                    // admission pass: admit them on the next tick.
+                    // admission pass: admit them on the next tick. Same for
+                    // freshly drained bytes the scrub cursor has not chased
+                    // yet.
                     if st.inflight < st.config.max_inflight && st.dirty_bytes > st.queued_bytes {
+                        next = next.min(now + 1);
+                    }
+                    if st.config.scrub_enabled
+                        && st.scrub_inflight < st.config.max_inflight
+                        && st.scrub_cursor_bytes < st.scrub_target()
+                    {
                         next = next.min(now + 1);
                     }
                 }
@@ -660,6 +811,16 @@ impl Simulation {
             .filter_map(|s| s.staging.as_ref())
             .map(|st| st.restored_bytes)
             .sum();
+        let scrubbed_bytes = servers
+            .iter()
+            .filter_map(|s| s.staging.as_ref())
+            .map(|st| st.scrubbed_bytes)
+            .sum();
+        let scrub_errors = servers
+            .iter()
+            .filter_map(|s| s.staging.as_ref())
+            .map(|st| st.scrub_errors)
+            .sum();
         let residual_dirty_bytes = servers
             .iter()
             .filter_map(|s| s.staging.as_ref())
@@ -671,6 +832,8 @@ impl Simulation {
             sim_end_ns: now,
             drained_bytes,
             restored_bytes,
+            scrubbed_bytes,
+            scrub_errors,
             residual_dirty_bytes,
             policy_epochs,
         }

@@ -4,10 +4,36 @@
 //! `(path, stripe)`, mirroring the burst-buffer shard's index, so a drain is
 //! a consistent snapshot of one extent and a stage-in restores it
 //! byte-for-byte.
+//!
+//! Every stored extent carries a checksum computed at write-back time
+//! ([`extent_checksum`]): the capacity tier is the cheaper, colder medium,
+//! so silent corruption there is the operational hazard the
+//! [`ScrubPipeline`](crate::scrub::ScrubPipeline) exists to catch. The
+//! checksum is recomputed on every [`BackingStore::write_back`], so a
+//! legitimate rewrite (a fresh drain of a re-dirtied extent) can never be
+//! mistaken for corruption.
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use themis_device::DeviceConfig;
+
+/// Checksum of one extent's contents, computed at drain write-back time and
+/// stored alongside the extent (FNV-1a, 64-bit — fast, dependency-free, and
+/// sensitive to any single flipped byte, which is the scrubber's threat
+/// model; it is an *integrity* check, not a cryptographic one).
+pub fn extent_checksum(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in data {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    // Fold the length in so a truncation to a prefix with the same rolling
+    // hash state (e.g. the empty extent) cannot collide with the original.
+    hash ^= data.len() as u64;
+    hash.wrapping_mul(PRIME)
+}
 
 /// A capacity-tier store that absorbs drained burst-buffer extents and
 /// serves stage-in reads.
@@ -26,11 +52,27 @@ pub trait BackingStore: Send + Sync {
     /// The device model of this tier (bandwidth, per-op overhead, workers).
     fn device(&self) -> DeviceConfig;
 
-    /// Stores a full extent snapshot, replacing any previous copy.
+    /// Stores a full extent snapshot, replacing any previous copy. The
+    /// implementation records [`extent_checksum`]`(data)` alongside the
+    /// extent so a scrubber can later verify the copy without trusting the
+    /// medium.
     fn write_back(&self, path: &str, stripe: u64, data: &[u8]);
 
     /// Reads back a full extent, or `None` when the tier has no copy.
     fn read_back(&self, path: &str, stripe: u64) -> Option<Vec<u8>>;
+
+    /// Reads back a full extent together with the checksum recorded at
+    /// write-back time, atomically (data and checksum come from the same
+    /// snapshot, so a concurrent rewrite can never produce a torn pair).
+    /// `None` when the tier has no copy. A mismatch between
+    /// [`extent_checksum`] of the returned data and the returned checksum
+    /// means the stored bytes rotted after they were written.
+    fn read_back_with_checksum(&self, path: &str, stripe: u64) -> Option<(Vec<u8>, u64)>;
+
+    /// The first stored extent key strictly after `after` in `(path,
+    /// stripe)` order (or the first key overall for `None`), with its
+    /// length: the cursor primitive the scrub pipeline walks the tier with.
+    fn next_extent_after(&self, after: Option<&(String, u64)>) -> Option<(String, u64, u64)>;
 
     /// Whether the tier holds a copy of the extent.
     fn contains(&self, path: &str, stripe: u64) -> bool;
@@ -49,6 +91,23 @@ pub trait BackingStore: Send + Sync {
     fn extent_count(&self) -> usize;
 }
 
+/// Reads back an extent only if its stored bytes still match the checksum
+/// recorded at write-back — the *verified* read every restore / read-through
+/// path must use. Serving an unverified tier copy would not just hand a
+/// client corrupt bytes: the corrupt data would land in the burst buffer as
+/// a clean resident copy, which the next scrub pass would then use as its
+/// repair source — recomputing the checksum over the damaged bytes and
+/// laundering the corruption past every future verification. `None` when
+/// the tier has no copy *or* the copy fails verification; callers treat
+/// both as a miss, and the scrub pass quarantines the damaged extent.
+pub fn verified_read_back(backing: &dyn BackingStore, path: &str, stripe: u64) -> Option<Vec<u8>> {
+    let (data, stored) = backing.read_back_with_checksum(path, stripe)?;
+    (extent_checksum(&data) == stored).then_some(data)
+}
+
+/// One stored extent: contents plus the checksum recorded at write-back.
+type StoredExtent = (Vec<u8>, u64);
+
 /// The in-tree capacity tier: an in-memory extent store whose speed is
 /// described by a [`DeviceConfig`] (typically
 /// [`DeviceConfig::capacity_hdd`], a disk-speed preset far below the
@@ -56,7 +115,8 @@ pub trait BackingStore: Send + Sync {
 #[derive(Debug)]
 pub struct CapacityTier {
     device: DeviceConfig,
-    extents: RwLock<BTreeMap<(String, u64), Vec<u8>>>,
+    /// `(path, stripe)` → stored extent.
+    extents: RwLock<BTreeMap<(String, u64), StoredExtent>>,
 }
 
 impl CapacityTier {
@@ -73,6 +133,27 @@ impl CapacityTier {
     pub fn hdd() -> Self {
         CapacityTier::new(DeviceConfig::capacity_hdd())
     }
+
+    /// Fault injection for integrity testing: flips one bit of the stored
+    /// extent at `byte_offset` **without** updating the recorded checksum —
+    /// the silent medium corruption the scrubber exists to catch. Returns
+    /// whether an extent was corrupted (`false` when the tier holds no copy
+    /// or the offset is past its end).
+    ///
+    /// This deliberately lives on the concrete [`CapacityTier`] rather than
+    /// on [`BackingStore`]: production code paths have no reason to corrupt
+    /// data, and keeping it off the trait keeps it out of the server's
+    /// reach.
+    pub fn corrupt_extent(&self, path: &str, stripe: u64, byte_offset: usize) -> bool {
+        let mut extents = self.extents.write();
+        match extents.get_mut(&(path.to_string(), stripe)) {
+            Some((data, _)) if byte_offset < data.len() => {
+                data[byte_offset] ^= 0x40;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 impl BackingStore for CapacityTier {
@@ -85,16 +166,37 @@ impl BackingStore for CapacityTier {
     }
 
     fn write_back(&self, path: &str, stripe: u64, data: &[u8]) {
-        self.extents
-            .write()
-            .insert((path.to_string(), stripe), data.to_vec());
+        self.extents.write().insert(
+            (path.to_string(), stripe),
+            (data.to_vec(), extent_checksum(data)),
+        );
     }
 
     fn read_back(&self, path: &str, stripe: u64) -> Option<Vec<u8>> {
         self.extents
             .read()
             .get(&(path.to_string(), stripe))
+            .map(|(data, _)| data.clone())
+    }
+
+    fn read_back_with_checksum(&self, path: &str, stripe: u64) -> Option<(Vec<u8>, u64)> {
+        self.extents
+            .read()
+            .get(&(path.to_string(), stripe))
             .cloned()
+    }
+
+    fn next_extent_after(&self, after: Option<&(String, u64)>) -> Option<(String, u64, u64)> {
+        use std::ops::Bound;
+        let extents = self.extents.read();
+        let lower = match after {
+            Some(key) => Bound::Excluded(key.clone()),
+            None => Bound::Unbounded,
+        };
+        extents
+            .range((lower, Bound::Unbounded))
+            .next()
+            .map(|((path, stripe), (data, _))| (path.clone(), *stripe, data.len() as u64))
     }
 
     fn contains(&self, path: &str, stripe: u64) -> bool {
@@ -111,7 +213,7 @@ impl BackingStore for CapacityTier {
             .collect();
         let mut freed = 0;
         for k in keys {
-            if let Some(e) = extents.remove(&k) {
+            if let Some((e, _)) = extents.remove(&k) {
                 freed += e.len() as u64;
             }
         }
@@ -119,14 +221,18 @@ impl BackingStore for CapacityTier {
     }
 
     fn bytes_stored(&self) -> u64 {
-        self.extents.read().values().map(|e| e.len() as u64).sum()
+        self.extents
+            .read()
+            .values()
+            .map(|(e, _)| e.len() as u64)
+            .sum()
     }
 
     fn bytes_for(&self, path: &str) -> u64 {
         self.extents
             .read()
             .range((path.to_string(), 0)..=(path.to_string(), u64::MAX))
-            .map(|(_, e)| e.len() as u64)
+            .map(|(_, (e, _))| e.len() as u64)
             .sum()
     }
 
@@ -177,5 +283,56 @@ mod tests {
     fn device_preset_is_slower_than_burst_buffer() {
         let tier = CapacityTier::hdd();
         assert!(tier.device().combined_bw() < DeviceConfig::optane_ssd().combined_bw());
+    }
+
+    #[test]
+    fn checksum_is_stored_at_write_back_and_detects_corruption() {
+        let tier = CapacityTier::hdd();
+        tier.write_back("/c", 0, &[7u8; 256]);
+        let (data, stored) = tier.read_back_with_checksum("/c", 0).unwrap();
+        assert_eq!(stored, extent_checksum(&data));
+        // A rewrite recomputes the checksum, so legitimate re-drains can
+        // never look like corruption.
+        tier.write_back("/c", 0, &[8u8; 128]);
+        let (data, stored) = tier.read_back_with_checksum("/c", 0).unwrap();
+        assert_eq!(data, vec![8u8; 128]);
+        assert_eq!(stored, extent_checksum(&data));
+        // Injected corruption flips stored bytes behind the checksum's back.
+        assert!(tier.corrupt_extent("/c", 0, 5));
+        let (data, stored) = tier.read_back_with_checksum("/c", 0).unwrap();
+        assert_ne!(stored, extent_checksum(&data));
+        // Out-of-range and missing extents refuse to corrupt.
+        assert!(!tier.corrupt_extent("/c", 0, 128));
+        assert!(!tier.corrupt_extent("/missing", 0, 0));
+    }
+
+    #[test]
+    fn extent_checksum_distinguishes_prefixes_and_single_flips() {
+        assert_ne!(extent_checksum(b"abc"), extent_checksum(b"abd"));
+        assert_ne!(extent_checksum(b"abc"), extent_checksum(b"ab"));
+        assert_ne!(extent_checksum(&[]), extent_checksum(&[0u8]));
+        assert_eq!(extent_checksum(b"abc"), extent_checksum(b"abc"));
+    }
+
+    #[test]
+    fn cursor_walks_every_extent_in_key_order() {
+        let tier = CapacityTier::hdd();
+        tier.write_back("/b", 1, &[1u8; 10]);
+        tier.write_back("/a", 0, &[1u8; 20]);
+        tier.write_back("/a", 2, &[1u8; 30]);
+        let mut seen = Vec::new();
+        let mut cursor: Option<(String, u64)> = None;
+        while let Some((path, stripe, len)) = tier.next_extent_after(cursor.as_ref()) {
+            cursor = Some((path.clone(), stripe));
+            seen.push((path, stripe, len));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                ("/a".to_string(), 0, 20),
+                ("/a".to_string(), 2, 30),
+                ("/b".to_string(), 1, 10),
+            ]
+        );
     }
 }

@@ -15,8 +15,16 @@
 //! |-------|------------------|-----------|--------|
 //! | [`TrafficClass::Drain`] | `base + [0, 4096)` | burst → capacity | [`ClassWeights::drain`] |
 //! | [`TrafficClass::Restore`] | `base + [4096, 8192)` | capacity → burst | [`ClassWeights::restore`] |
-//! | [`TrafficClass::Scrub`] | `base + [8192, 12288)` | reserved (future) | [`ClassWeights::scrub`] |
+//! | [`TrafficClass::Scrub`] | `base + [8192, 12288)` | capacity verify/repair | [`ClassWeights::scrub`] |
 //! | [`TrafficClass::Rebalance`] | `base + [12288, 16384)` | reserved (future) | [`ClassWeights::rebalance`] |
+//!
+//! Drain and Restore are *demand-driven*: their requests are synthesized in
+//! response to foreground traffic (dirty writes, misses on evicted
+//! extents). Scrub is the first *maintenance* class: its requests are
+//! synthesized from capacity-tier state alone
+//! ([`ScrubPipeline`](crate::scrub::ScrubPipeline)) and flow continuously
+//! rather than in bursts — which is exactly why it is the cleanest stress
+//! test of lane fairness.
 //!
 //! Within each sub-range, instance `i` is the traffic of server `i`.
 
@@ -35,8 +43,10 @@ pub enum TrafficClass {
     /// explicit `StageIn` requests, transparent read-through of evicted
     /// data, and restore-for-write merges all run under this class.
     Restore,
-    /// Background integrity scrubbing (sub-range reserved; no scrubber is
-    /// implemented yet).
+    /// Background integrity scrubbing of the capacity tier: checksum
+    /// verification of stored extents, repair from the burst tier where a
+    /// clean copy is resident, quarantine otherwise (see
+    /// [`ScrubPipeline`](crate::scrub::ScrubPipeline)).
     Scrub,
     /// Background data rebalancing across servers (sub-range reserved; no
     /// rebalancer is implemented yet).
@@ -117,7 +127,8 @@ pub struct ClassWeights {
     pub drain: u32,
     /// Foreground : restore weight.
     pub restore: u32,
-    /// Foreground : scrub weight (reserved for the future scrubber).
+    /// Foreground : scrub weight
+    /// ([`DrainConfig::scrub_weight`](crate::pipeline::DrainConfig::scrub_weight)).
     pub scrub: u32,
     /// Foreground : rebalance weight (reserved for the future rebalancer).
     pub rebalance: u32,
@@ -128,8 +139,8 @@ impl Default for ClassWeights {
         ClassWeights {
             drain: 8,
             restore: 8,
-            // The future background classes default to a conservative 16:1 —
-            // pure maintenance traffic with no foreground waiting on it.
+            // The maintenance classes default to a conservative 16:1 —
+            // pure background traffic with no foreground waiting on it.
             scrub: 16,
             rebalance: 16,
         }

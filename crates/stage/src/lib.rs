@@ -17,9 +17,10 @@
 //!   traffic (drain, restore, future scrub/rebalance), each with its own
 //!   job-id sub-range of the reserved range and its own foreground:class
 //!   weight.
-//! * [`DrainPipeline`] / [`RestorePipeline`] + [`DrainConfig`] — per-server
-//!   bookkeeping of the extents moving in each direction and the synthesis
-//!   of that traffic as ordinary
+//! * [`DrainPipeline`] / [`RestorePipeline`] / [`ScrubPipeline`] +
+//!   [`DrainConfig`] — per-server bookkeeping of the extents moving in each
+//!   direction (plus the background checksum verification of the capacity
+//!   tier) and the synthesis of that traffic as ordinary
 //!   [`IoRequest`](themis_core::request::IoRequest)s under the class's
 //!   [job identity](drain_meta).
 //! * [`StagedEngine`] — a [`PolicyEngine`](themis_core::engine::PolicyEngine)
@@ -42,15 +43,17 @@ pub mod backing;
 pub mod class;
 pub mod engine;
 pub mod pipeline;
+pub mod scrub;
 
-pub use backing::{BackingStore, CapacityTier};
+pub use backing::{extent_checksum, verified_read_back, BackingStore, CapacityTier};
 pub use class::{ClassWeights, TrafficClass};
 pub use engine::StagedEngine;
 pub use pipeline::{
-    class_of, drain_meta, is_drain, is_restore, restore_meta, write_back_guarded, DrainConfig,
-    DrainPipeline, DrainStatus, RestorePipeline, RestoreTarget, StagingConfig, DRAIN_GROUP_ID,
-    DRAIN_JOB_BASE, DRAIN_USER_ID,
+    class_of, drain_meta, is_drain, is_restore, is_scrub, restore_meta, scrub_meta,
+    write_back_guarded, DrainConfig, DrainPipeline, DrainStatus, RestorePipeline, RestoreTarget,
+    StagingConfig, DRAIN_GROUP_ID, DRAIN_JOB_BASE, DRAIN_USER_ID,
 };
+pub use scrub::{ScrubPipeline, ScrubStatus, ScrubTarget};
 
 // Re-exported so downstream crates configuring a capacity tier do not need a
 // direct themis-device dependency.

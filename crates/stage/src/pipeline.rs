@@ -49,6 +49,12 @@ pub fn restore_meta(server: usize) -> JobMeta {
     TrafficClass::Restore.meta(server)
 }
 
+/// The job identity scrub (capacity-tier integrity verification) requests
+/// are issued under on `server`.
+pub fn scrub_meta(server: usize) -> JobMeta {
+    TrafficClass::Scrub.meta(server)
+}
+
 /// The internal traffic class of a request's job metadata (`None` for
 /// foreground client traffic).
 pub fn class_of(meta: &JobMeta) -> Option<TrafficClass> {
@@ -63,6 +69,11 @@ pub fn is_drain(meta: &JobMeta) -> bool {
 /// Whether a request (by its job metadata) is synthesized restore traffic.
 pub fn is_restore(meta: &JobMeta) -> bool {
     class_of(meta) == Some(TrafficClass::Restore)
+}
+
+/// Whether a request (by its job metadata) is synthesized scrub traffic.
+pub fn is_scrub(meta: &JobMeta) -> bool {
+    class_of(meta) == Some(TrafficClass::Scrub)
 }
 
 /// Configuration of one server's drain pipeline.
@@ -86,6 +97,18 @@ pub struct DrainConfig {
     /// they serve foreground demand: a restore storm may slow the tenants
     /// waiting on it, but never the unrelated foreground.
     pub restore_weight: u32,
+    /// Foreground : scrub weight for the background checksum scrubber
+    /// ([`ScrubPipeline`](crate::scrub::ScrubPipeline)). Scrub is pure
+    /// maintenance — nobody waits on an individual verification — so the
+    /// default is a conservative 16:1.
+    pub scrub_weight: u32,
+    /// Whether the background scrubber runs continuously. An explicit
+    /// `Scrub` control-plane request forces a pass even when this is
+    /// `false` (demand scrubbing, e.g. before decommissioning a tier).
+    pub scrub_enabled: bool,
+    /// Pause between the end of one scrub pass over the capacity tier and
+    /// the start of the next (virtual ns). `0` means back-to-back passes.
+    pub scrub_interval_ns: u64,
     /// Maximum number of extents in flight between the shard and the
     /// capacity tier at once, per direction (pipelining depth).
     pub max_inflight: usize,
@@ -98,6 +121,9 @@ impl Default for DrainConfig {
             low_watermark_bytes: 512 << 20,
             drain_weight: 8,
             restore_weight: 8,
+            scrub_weight: 16,
+            scrub_enabled: false,
+            scrub_interval_ns: 1_000_000_000,
             max_inflight: 4,
         }
     }
@@ -109,6 +135,7 @@ impl DrainConfig {
         crate::class::ClassWeights {
             drain: self.drain_weight,
             restore: self.restore_weight,
+            scrub: self.scrub_weight,
             ..crate::class::ClassWeights::default()
         }
     }
@@ -127,6 +154,9 @@ impl DrainConfig {
         }
         if self.restore_weight == 0 {
             return Err("restore weight must be >= 1".to_string());
+        }
+        if self.scrub_weight == 0 {
+            return Err("scrub weight must be >= 1".to_string());
         }
         if self.max_inflight == 0 {
             return Err("max_inflight must be >= 1".to_string());
@@ -575,20 +605,27 @@ mod tests {
             ..base
         };
         assert!(zero_restore.validate().is_err());
+        let zero_scrub = DrainConfig {
+            scrub_weight: 0,
+            ..base
+        };
+        assert!(zero_scrub.validate().is_err());
         let zero_inflight = DrainConfig {
             max_inflight: 0,
             ..base
         };
         assert!(zero_inflight.validate().is_err());
-        // The per-class weight mapping carries both knobs.
+        // The per-class weight mapping carries all three knobs.
         let weights = DrainConfig {
             drain_weight: 6,
             restore_weight: 3,
+            scrub_weight: 12,
             ..base
         }
         .class_weights();
         assert_eq!(weights.drain, 6);
         assert_eq!(weights.restore, 3);
+        assert_eq!(weights.scrub, 12);
     }
 
     #[test]

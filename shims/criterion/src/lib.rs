@@ -13,6 +13,18 @@ pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
 }
 
+/// Times `routine` with the shim's standard batch plan (median of 7 batches
+/// of 64 iterations) and returns the median cost in nanoseconds per
+/// iteration — the programmatic companion to [`Bencher::iter`], for callers
+/// that need the number itself (e.g. to embed a wall-clock data point in a
+/// machine-readable perf report) rather than a printed line.
+pub fn measure_median_ns<O>(routine: impl FnMut() -> O) -> f64 {
+    let mut bencher = Bencher::new();
+    let mut routine = routine;
+    bencher.iter(&mut routine);
+    bencher.median_ns
+}
+
 /// Identifier of one benchmark within a group.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {

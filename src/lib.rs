@@ -65,6 +65,7 @@ pub mod prelude {
         App, OpPattern, SimConfig, SimJob, SimResult, SimStagingConfig, Simulation,
     };
     pub use themis_stage::{
-        BackingStore, CapacityTier, DrainConfig, DrainStatus, StagedEngine, StagingConfig,
+        BackingStore, CapacityTier, DrainConfig, DrainStatus, ScrubPipeline, ScrubStatus,
+        StagedEngine, StagingConfig,
     };
 }

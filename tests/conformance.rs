@@ -76,6 +76,7 @@ fn fixed_seed_set_covers_the_feature_matrix() {
         .filter(|s| s.staging.as_ref().is_some_and(|st| st.eviction))
         .count();
     let restore_storms = scenarios.iter().filter(|s| s.restore_storm()).count();
+    let scrubbing = scenarios.iter().filter(|s| s.scrub_enabled()).count();
     let swapped = scenarios.iter().filter(|s| !s.swaps.is_empty()).count();
     let double_swapped = scenarios.iter().filter(|s| s.swaps.len() == 2).count();
     let multi_server = scenarios.iter().filter(|s| s.n_servers > 1).count();
@@ -102,6 +103,12 @@ fn fixed_seed_set_covers_the_feature_matrix() {
         restore_storms >= 2,
         "restore storms under-covered: {restore_storms}"
     );
+    // Scrub scenarios: the maintenance class runs (continuous passes, 16:1)
+    // in the pinned set, so lane fairness under a *continuous* background
+    // class — and the scrub-liveness oracle — is exercised on every CI run.
+    // The dimension is derived from the staging draw (no extra RNG
+    // consumption), so it arrived without reshuffling a single green seed.
+    assert!(scrubbing >= 2, "scrub under-covered: {scrubbing}");
     assert!(swapped >= 8, "policy swaps under-covered: {swapped}");
     assert!(
         double_swapped >= 2,

@@ -399,6 +399,117 @@ fn ring_stability() {
     });
 }
 
+/// Reserved-class sub-range arithmetic: seeded fuzz over
+/// `reserved_job_id` / `JobId::reserved_class` across all four traffic
+/// classes. Sub-ranges must partition the reserved range without overlap,
+/// boundary ids must classify into the right class, and the one id past the
+/// last full span (`u64::MAX`) must stay clamped instead of inventing a
+/// class the round trip would panic on.
+#[test]
+fn reserved_class_sub_ranges_never_alias() {
+    use themisio::core::entity::{
+        reserved_job_id, JobId, RESERVED_CLASS_COUNT, RESERVED_CLASS_SPAN, RESERVED_JOB_BASE,
+    };
+    use themisio::stage::TrafficClass;
+
+    cases(256, |rng, case| {
+        let class = rng.gen_range(0u64..RESERVED_CLASS_COUNT);
+        let instance = match rng.gen_range(0u32..4) {
+            0 => 0,
+            1 => RESERVED_CLASS_SPAN - 1,
+            _ => rng.gen_range(0u64..RESERVED_CLASS_SPAN),
+        };
+        let id = reserved_job_id(class, instance);
+        // Round trip: the id decodes to exactly the (class, instance) that
+        // produced it.
+        assert!(id.is_reserved(), "case {case}");
+        assert_eq!(id.reserved_class(), Some(class), "case {case}");
+        assert_eq!(id.reserved_instance(), Some(instance), "case {case}");
+        // No aliasing: any *other* (class, instance) pair yields a different
+        // id.
+        let other_class =
+            (class + 1 + rng.gen_range(0u64..RESERVED_CLASS_COUNT - 1)) % RESERVED_CLASS_COUNT;
+        assert_ne!(
+            reserved_job_id(other_class, instance),
+            id,
+            "case {case}: classes {class} and {other_class} alias"
+        );
+        // The TrafficClass view agrees with the raw arithmetic for the four
+        // defined classes.
+        if let Some(tc) = TrafficClass::ALL.into_iter().find(|c| c.index() == class) {
+            assert_eq!(TrafficClass::of(id), Some(tc), "case {case}");
+            assert_eq!(tc.meta(instance as usize).job, id, "case {case}");
+        } else {
+            assert_eq!(
+                TrafficClass::of(id),
+                None,
+                "case {case}: unclaimed sub-range"
+            );
+        }
+    });
+
+    // Exact boundaries: the first and last id of every defined class's
+    // sub-range classify into that class; one past the last id is the next
+    // class (or clamped, at the very top).
+    use themisio::stage::TrafficClass as TC;
+    for tc in TC::ALL {
+        let base = JobId(tc.job_base());
+        let last = JobId(tc.job_base() + RESERVED_CLASS_SPAN - 1);
+        assert_eq!(TC::of(base), Some(tc), "{tc}: base");
+        assert_eq!(TC::of(last), Some(tc), "{tc}: last");
+        assert_ne!(TC::of(JobId(tc.job_base() + RESERVED_CLASS_SPAN)), Some(tc));
+    }
+    assert_eq!(
+        TC::Scrub.job_base(),
+        RESERVED_JOB_BASE + 2 * RESERVED_CLASS_SPAN
+    );
+    // The RESERVED_CLASS_SPAN overflow id: u64::MAX is one past the last
+    // full span; it must clamp into the last class/instance, and the round
+    // trip through reserved_job_id must not panic.
+    let clamped_class = JobId(u64::MAX).reserved_class().unwrap();
+    let clamped_instance = JobId(u64::MAX).reserved_instance().unwrap();
+    assert_eq!(clamped_class, RESERVED_CLASS_COUNT - 1);
+    assert_eq!(clamped_instance, RESERVED_CLASS_SPAN - 1);
+    assert!(reserved_job_id(clamped_class, clamped_instance).is_reserved());
+}
+
+/// `ServerCore::submit` rejects every id in the Scrub sub-range (sampled by
+/// seeded fuzz, plus both boundaries): a client must never be able to
+/// smuggle traffic into the maintenance class — or have its request
+/// mistaken for a synthesized scrub and dropped.
+#[test]
+fn server_rejects_every_scrub_sub_range_id() {
+    use themisio::core::entity::RESERVED_CLASS_SPAN;
+    use themisio::net::{FsOp, FsReply};
+    use themisio::server::{ServerConfig, ServerCore};
+    use themisio::stage::TrafficClass;
+
+    let base = TrafficClass::Scrub.job_base();
+    let mut ids: Vec<u64> = vec![base, base + RESERVED_CLASS_SPAN - 1];
+    cases(24, |rng, _| {
+        ids.push(base + rng.gen_range(0u64..RESERVED_CLASS_SPAN));
+    });
+
+    let mut s = ServerCore::new(0, BurstBufferFs::new(1), ServerConfig::default());
+    for (i, id) in ids.iter().enumerate() {
+        let evil = JobMeta::new(*id, 1u32, 1u32, 1);
+        assert!(evil.is_reserved(), "id {id}");
+        s.submit(i as u64, evil, FsOp::Mkdir { path: "/d".into() }, 0);
+        let replies = s.poll(0);
+        let reply = replies
+            .iter()
+            .find(|r| r.request_id == i as u64)
+            .unwrap_or_else(|| panic!("id {id}: no reply"));
+        assert!(
+            matches!(reply.reply, FsReply::Error(_)),
+            "id {id}: {:?}",
+            reply.reply
+        );
+        assert_eq!(s.queued(), 0, "id {id} was admitted");
+    }
+    assert!(!s.fs().exists("/d"));
+}
+
 /// FIFO preserves arrival order regardless of job mix.
 #[test]
 fn fifo_preserves_order() {

@@ -155,6 +155,7 @@ fn restore_storm_leaves_checkpointer_its_compute_shares_bound() {
                 restore_miss_rate,
                 drain_chunk_bytes: 8 << 20,
                 max_inflight: 4,
+                ..SimStagingConfig::default()
             }),
             // The checkpointer (user 1) is the premium tenant at 8:1: the
             // reader's foreground competition is then small in the baseline,
@@ -201,6 +202,103 @@ fn restore_storm_leaves_checkpointer_its_compute_shares_bound() {
     assert!(
         storm.tenant_latency(JobId(2)).p99_ns > baseline.tenant_latency(JobId(2)).p99_ns,
         "restore queue delay must appear in the reader's p99"
+    );
+}
+
+/// Scrub-admission fairness (the PR 5 acceptance criterion): with the
+/// background checksum scrubber walking a *deep* capacity tier (a standing
+/// boot backlog of unverified extents, plus this run's drains) at a
+/// foreground:scrub weight of 8:1, a checkpointing premium tenant keeps
+/// ≥ 8/9 of its scrub-disabled throughput — the maintenance class, like
+/// drain and restore before it, is bounded by its policy weight instead of
+/// stealing device time. The deep tier is what makes the weight *bind*: a
+/// continuously backlogged scrub lane is charged against the eligible
+/// foreground, so 1:1 demonstrably hurts more than 8:1.
+#[test]
+fn scrub_at_8_1_leaves_checkpointer_its_compute_shares_bound() {
+    // 4 GiB of unverified extents from previous runs — the standing scrub
+    // backlog of a long-lived deployment.
+    let deep_tier = 4u64 << 30;
+    let run = |scrub_enabled: bool, scrub_weight: u32| {
+        let checkpointer = SimJob::new(
+            JobMeta::new(1u64, 1u32, 1u32, 8),
+            16,
+            OpPattern::WriteOnly {
+                bytes_per_op: 1 << 20,
+            },
+        )
+        .with_max_ops(64)
+        .with_queue_depth(4);
+        let config = SimConfig {
+            staging: Some(SimStagingConfig {
+                // Tier as fast as the buffer: the weights — not the backing
+                // device — bound drain and scrub bandwidth.
+                backing_device: DeviceConfig::optane_ssd(),
+                drain_weight: 8,
+                scrub_weight,
+                scrub_enabled,
+                scrub_backlog_bytes: deep_tier,
+                drain_chunk_bytes: 8 << 20,
+                max_inflight: 4,
+                ..SimStagingConfig::default()
+            }),
+            // The checkpointer is the premium tenant, as in the restore
+            // acceptance test: the bound below genuinely constrains what the
+            // scrub *class* may cost the protected foreground.
+            ..SimConfig::new(
+                1,
+                Algorithm::Themis("user[8]-fair".parse().expect("valid DSL")),
+            )
+        };
+        Simulation::new(config, vec![checkpointer]).run()
+    };
+
+    let total_written = 16 * 64 * (1 << 20) as u64;
+    let baseline = run(false, 8);
+    assert_eq!(baseline.scrubbed_bytes, 0);
+    assert_eq!(baseline.drained_bytes, total_written);
+
+    let scrubbed = run(true, 8);
+    // One full verification pass: the boot backlog plus every drained byte
+    // was re-read and checked, with zero mismatches on a sound tier.
+    assert_eq!(scrubbed.drained_bytes, total_written);
+    assert_eq!(scrubbed.scrubbed_bytes, deep_tier + total_written);
+    assert_eq!(scrubbed.scrub_errors, 0);
+    assert_eq!(scrubbed.residual_dirty_bytes, 0);
+
+    // The checkpointer's bound: at 8:1 the scrub class (plus the drain
+    // class, present in both runs) may cost the foreground at most its 1/9
+    // weighted slice, so checkpoint time grows by at most 9/8 over the
+    // scrub-disabled baseline (plus scheduling slack) — even though the
+    // scrub lane is backlogged for the *entire* checkpoint.
+    let baseline_finish = baseline.job_finish_ns[&JobId(1)] as f64;
+    let scrub_finish = scrubbed.job_finish_ns[&JobId(1)] as f64;
+    let slowdown = scrub_finish / baseline_finish;
+    assert!(
+        slowdown <= 9.0 / 8.0 * 1.06,
+        "scrubbing slowed the checkpointer {slowdown:.3}x, beyond its 8/9 bound"
+    );
+    assert!(
+        slowdown >= 1.0,
+        "scrubbing cannot speed up the foreground ({slowdown:.3}x)"
+    );
+
+    // At 1:1 the continuously backlogged scrubber legitimately takes up to
+    // half the device — demonstrably more foreground interference than 8:1,
+    // which is the direct evidence the weight knob is what bounds the
+    // class.
+    let even = run(true, 1);
+    assert_eq!(even.scrubbed_bytes, deep_tier + total_written);
+    assert_eq!(even.scrub_errors, 0);
+    let even_slowdown = even.job_finish_ns[&JobId(1)] as f64 / baseline_finish;
+    assert!(
+        even_slowdown > slowdown * 1.2,
+        "1:1 scrub ({even_slowdown:.3}x) must hurt the foreground \
+         demonstrably more than 8:1 ({slowdown:.3}x)"
+    );
+    assert!(
+        even_slowdown <= 2.0 * 1.06,
+        "1:1 scrub slowdown {even_slowdown:.3}x outside its envelope"
     );
 }
 
