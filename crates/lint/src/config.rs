@@ -1,0 +1,198 @@
+//! Allowlist and lock-order manifest parsing. Both files are checked in
+//! next to the lint so every exemption is reviewable in one place, and both
+//! are validated strictly: every entry needs a justification, and entries
+//! that no longer match anything are errors (stale exemptions rot).
+
+use crate::rules::{LockPair, Violation};
+
+/// One allowlist line: `RULE PATH [in=SCOPE] -- justification`.
+#[derive(Debug)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    /// Restricts the exemption to violations inside a fn/mod of this name.
+    pub scope: Option<String>,
+    pub justification: String,
+    pub line_no: usize,
+    pub used: bool,
+}
+
+/// Parses the allowlist. Returns `(entries, config_errors)`.
+pub fn parse_allowlist(text: &str) -> (Vec<AllowEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((head, justification)) = line.split_once(" -- ") else {
+            errors.push(format!(
+                "allowlist:{}: missing ` -- justification` (every exemption must say why): {line}",
+                idx + 1
+            ));
+            continue;
+        };
+        let justification = justification.trim();
+        if justification.is_empty() {
+            errors.push(format!("allowlist:{}: empty justification", idx + 1));
+            continue;
+        }
+        let parts: Vec<&str> = head.split_whitespace().collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            errors.push(format!(
+                "allowlist:{}: expected `RULE PATH [in=SCOPE] -- why`, got: {line}",
+                idx + 1
+            ));
+            continue;
+        }
+        if !matches!(parts[0], "L1" | "L2" | "L3" | "L4" | "L5") {
+            errors.push(format!("allowlist:{}: unknown rule {}", idx + 1, parts[0]));
+            continue;
+        }
+        let scope = match parts.get(2) {
+            Some(s) => match s.strip_prefix("in=") {
+                Some(name) if !name.is_empty() => Some(name.to_string()),
+                _ => {
+                    errors.push(format!(
+                        "allowlist:{}: third field must be `in=SCOPE`, got {s}",
+                        idx + 1
+                    ));
+                    continue;
+                }
+            },
+            None => None,
+        };
+        entries.push(AllowEntry {
+            rule: parts[0].to_string(),
+            path: parts[1].to_string(),
+            scope,
+            justification: justification.to_string(),
+            line_no: idx + 1,
+            used: false,
+        });
+    }
+    (entries, errors)
+}
+
+/// Whether `entry` exempts `v`, marking the entry used.
+pub fn allow_matches(entry: &mut AllowEntry, v: &Violation) -> bool {
+    if entry.rule != v.rule.name() || entry.path != v.file {
+        return false;
+    }
+    if let Some(scope) = &entry.scope {
+        if !v.scope_names.iter().any(|n| n == scope) {
+            return false;
+        }
+    }
+    entry.used = true;
+    true
+}
+
+/// One lock-order manifest line: `first -> second -- justification`.
+#[derive(Debug)]
+pub struct OrderEntry {
+    pub first: String,
+    pub second: String,
+    pub line_no: usize,
+    pub used: bool,
+}
+
+/// Parses the lock-order manifest. Returns `(entries, config_errors)`.
+/// A pair listed in both directions is itself an error: that is exactly the
+/// order cycle the manifest exists to prevent.
+pub fn parse_lock_order(text: &str) -> (Vec<OrderEntry>, Vec<String>) {
+    let mut entries: Vec<OrderEntry> = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((head, justification)) = line.split_once(" -- ") else {
+            errors.push(format!(
+                "lock_order:{}: missing ` -- justification`: {line}",
+                idx + 1
+            ));
+            continue;
+        };
+        if justification.trim().is_empty() {
+            errors.push(format!("lock_order:{}: empty justification", idx + 1));
+            continue;
+        }
+        let Some((first, second)) = head.split_once("->") else {
+            errors.push(format!(
+                "lock_order:{}: expected `first -> second -- why`: {line}",
+                idx + 1
+            ));
+            continue;
+        };
+        let (first, second) = (first.trim().to_string(), second.trim().to_string());
+        if first.is_empty() || second.is_empty() || first == second {
+            errors.push(format!("lock_order:{}: bad pair `{head}`", idx + 1));
+            continue;
+        }
+        if entries
+            .iter()
+            .any(|e| e.first == second && e.second == first)
+        {
+            errors.push(format!(
+                "lock_order:{}: `{first} -> {second}` inverts an earlier entry — \
+                 that is a lock-order cycle, fix the code instead",
+                idx + 1
+            ));
+            continue;
+        }
+        if entries
+            .iter()
+            .any(|e| e.first == first && e.second == second)
+        {
+            errors.push(format!(
+                "lock_order:{}: duplicate entry `{first} -> {second}`",
+                idx + 1
+            ));
+            continue;
+        }
+        entries.push(OrderEntry {
+            first,
+            second,
+            line_no: idx + 1,
+            used: false,
+        });
+    }
+    (entries, errors)
+}
+
+/// Checks observed nested-lock pairs against the manifest. Returns L5
+/// violation messages for unlisted or inverted pairs.
+pub fn check_lock_pairs(entries: &mut [OrderEntry], pairs: &[LockPair]) -> Vec<(LockPair, String)> {
+    let mut out = Vec::new();
+    for p in pairs {
+        if let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.first == p.first && e.second == p.second)
+        {
+            e.used = true;
+            continue;
+        }
+        let msg = if entries
+            .iter()
+            .any(|e| e.first == p.second && e.second == p.first)
+        {
+            format!(
+                "nested lock acquisition `{}` then `{}` INVERTS the manifest order \
+                 `{}` -> `{}`: deadlock potential, fix the acquisition order",
+                p.first, p.second, p.second, p.first
+            )
+        } else {
+            format!(
+                "nested lock acquisition `{}` then `{}` is not in the lock-order \
+                 manifest (crates/lint/lock_order.txt); audit the pair and add it \
+                 with a justification",
+                p.first, p.second
+            )
+        };
+        out.push((p.clone(), msg));
+    }
+    out
+}

@@ -1,0 +1,487 @@
+//! Token-level Rust scanner: enough lexing to enforce the repo's invariants
+//! without `syn` (the shim set has no proc-macro parser). Strips comments,
+//! string/char literals (so rule patterns quoted in code — including this
+//! lint's own fixtures — are invisible), distinguishes lifetimes from char
+//! literals, and keeps line numbers and attribute text for the scope pass.
+
+/// One lexed token. Strings and comments are dropped entirely; numeric
+/// literals keep their raw spelling for range checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub text: String,
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Num,
+    Punct,
+}
+
+impl Tok {
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Lexes `src` into a token stream, discarding comments and string bodies.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                // r"..", r#".."#, b"..", br"..", rb#".."# — find the quote.
+                let mut j = i;
+                while b[j] != '"' && b[j] != '#' {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // j is at the opening quote.
+                j += 1;
+                loop {
+                    if j >= b.len() {
+                        break;
+                    }
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                        continue;
+                    }
+                    if b[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && b.get(j + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break;
+                        }
+                    }
+                    // Raw strings have no escapes; byte strings (b"..") do.
+                    if hashes == 0 && b[i] == 'b' && b[j] == '\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is 'ident NOT followed
+                // by a closing quote ('a' is a char, 'a is a lifetime).
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j > start && b.get(j) != Some(&'\'') {
+                    // Lifetime: emit nothing (rules never inspect them).
+                    i = j;
+                } else {
+                    // Char literal, possibly escaped ('\n', '\'', '\u{..}').
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == '\\' {
+                            i += 2;
+                            continue;
+                        }
+                        if b[i] == '\'' {
+                            i += 1;
+                            break;
+                        }
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: b[start..i].iter().collect(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // Float continuation: `1.5` but not the range `0..10`.
+                if i + 1 < b.len() && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    text: b[start..i].iter().collect(),
+                    line,
+                    kind: TokKind::Num,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r" r# b" br b' rb — conservatively: prefix of r/b chars then " or #".
+    let mut j = i;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    if j == i {
+        return false;
+    }
+    match b.get(j) {
+        Some('"') => true,
+        Some('#') => {
+            let mut k = j;
+            while b.get(k) == Some(&'#') {
+                k += 1;
+            }
+            b.get(k) == Some(&'"')
+        }
+        _ => false,
+    }
+}
+
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Parses a numeric token's value as `u128` (decimal / hex / octal / binary,
+/// underscores and type suffixes tolerated). Returns `None` for floats or
+/// anything unparseable.
+pub fn literal_value(text: &str) -> Option<u128> {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    if t.contains('.') {
+        return None;
+    }
+    let (radix, digits) = if let Some(rest) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
+    {
+        (16, rest)
+    } else if let Some(rest) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (8, rest)
+    } else if let Some(rest) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (2, rest)
+    } else {
+        (10, t.as_str())
+    };
+    // Strip a trailing type suffix (u64, usize, i128, ...).
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// What kind of scope a `{` opened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    Mod,
+    Fn,
+    /// `impl Trait for Type { .. }` — carries the trait's last path segment.
+    ImplFor(String),
+    /// Inherent `impl Type { .. }`.
+    Impl,
+    Trait,
+    /// Any other brace: block, match, struct literal, use tree, ...
+    Block,
+}
+
+#[derive(Debug, Clone)]
+pub struct Scope {
+    pub kind: ScopeKind,
+    pub name: String,
+    pub is_test: bool,
+}
+
+/// A callback-driven scope walk: calls `visit(tokens, index, scopes)` for
+/// every token, with `scopes` reflecting the enclosing items at that point.
+pub fn walk_scopes<F: FnMut(&[Tok], usize, &[Scope])>(toks: &[Tok], mut visit: F) {
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Tokens since the last statement boundary, used to classify the next `{`.
+    let mut pending: Vec<usize> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        // Attributes: `#[...]` (outer) or `#![...]` (inner) — capture and
+        // check for a test marker; not part of `pending`.
+        if t.is_punct('#') {
+            let mut j = i + 1;
+            let inner = toks.get(j).map(|t| t.is_punct('!')).unwrap_or(false);
+            if inner {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.is_punct('[')).unwrap_or(false) {
+                let mut depth = 0i32;
+                let mut has_test = false;
+                let mut has_not = false;
+                while j < toks.len() {
+                    let a = &toks[j];
+                    if a.is_punct('[') {
+                        depth += 1;
+                    } else if a.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if a.is_ident("test") {
+                        has_test = true;
+                    } else if a.is_ident("not") {
+                        has_not = true;
+                    }
+                    j += 1;
+                }
+                if !inner && has_test && !has_not {
+                    pending_test_attr = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        visit(toks, i, &scopes);
+        if t.is_punct('{') {
+            let parent_test = scopes.last().map(|s| s.is_test).unwrap_or(false);
+            let scope = classify_brace(toks, &pending)
+                .map(|(kind, name)| Scope {
+                    kind,
+                    name,
+                    is_test: parent_test || pending_test_attr,
+                })
+                .unwrap_or(Scope {
+                    kind: ScopeKind::Block,
+                    name: String::new(),
+                    is_test: parent_test,
+                });
+            scopes.push(scope);
+            pending.clear();
+            pending_test_attr = false;
+        } else if t.is_punct('}') {
+            scopes.pop();
+            pending.clear();
+        } else if t.is_punct(';') {
+            pending.clear();
+            pending_test_attr = false;
+        } else {
+            pending.push(i);
+        }
+        i += 1;
+    }
+}
+
+/// Classifies the `{` that follows `pending` (token indices since the last
+/// boundary): is it a mod/fn/impl/trait body?
+fn classify_brace(toks: &[Tok], pending: &[usize]) -> Option<(ScopeKind, String)> {
+    for (pi, &idx) in pending.iter().enumerate() {
+        let t = &toks[idx];
+        if t.is_ident("fn") {
+            let name = pending
+                .get(pi + 1)
+                .map(|&n| toks[n].text.clone())
+                .unwrap_or_default();
+            return Some((ScopeKind::Fn, name));
+        }
+        if t.is_ident("mod") {
+            let name = pending
+                .get(pi + 1)
+                .map(|&n| toks[n].text.clone())
+                .unwrap_or_default();
+            return Some((ScopeKind::Mod, name));
+        }
+        if t.is_ident("trait") {
+            let name = pending
+                .get(pi + 1)
+                .map(|&n| toks[n].text.clone())
+                .unwrap_or_default();
+            return Some((ScopeKind::Trait, name));
+        }
+        if t.is_ident("impl") {
+            // `impl<...> Trait for Type` vs inherent `impl Type`. The trait
+            // name is the last identifier before `for` (path segments and
+            // generics skipped).
+            let mut trait_name: Option<String> = None;
+            let mut last_ident: Option<String> = None;
+            for &n in &pending[pi + 1..] {
+                let tt = &toks[n];
+                if tt.is_ident("for") {
+                    trait_name = last_ident.clone();
+                    break;
+                }
+                if tt.kind == TokKind::Ident {
+                    last_ident = Some(tt.text.clone());
+                }
+            }
+            return Some(match trait_name {
+                Some(name) => (ScopeKind::ImplFor(name.clone()), name),
+                None => (ScopeKind::Impl, last_ident.unwrap_or_default()),
+            });
+        }
+        // A closure parameter list or expression context before the brace
+        // means this is not an item header; stop at obvious statement
+        // starters to avoid matching `for x in ... {`.
+        if t.is_ident("for") || t.is_ident("while") || t.is_ident("if") || t.is_ident("match") {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_comments_and_lifetimes_are_stripped() {
+        let toks = lex(
+            "// read_back( in a comment\nfn f<'a>(x: &'a str) { let c = 'x'; let s = \"read_back(\"; }",
+        );
+        assert!(!toks.iter().any(|t| t.text.contains("read_back")));
+        assert!(toks.iter().any(|t| t.is_ident("f")));
+        // The char literal 'x' must not swallow the rest of the file.
+        assert!(toks.iter().any(|t| t.is_ident("s")));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let toks = lex("let s = r#\"unwrap() \"quoted\" inside\"#; let t = 1;");
+        assert!(!toks.iter().any(|t| t.text.contains("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn numeric_literal_values() {
+        // Expected values built from expressions, not spelled as literals:
+        // rule L2 scans this crate too, and a bare in-range literal here
+        // would (correctly) trip it.
+        assert_eq!(
+            literal_value("18_446_744_073_709_486_079"),
+            Some((u64::MAX as u128) - (1 << 16))
+        );
+        assert_eq!(
+            literal_value("0xFFFF_FFFF_FFFF_FFFFu64"),
+            Some(u64::MAX as u128)
+        );
+        assert_eq!(literal_value("100u64"), Some(100));
+        assert_eq!(literal_value("1.5"), None);
+        assert_eq!(literal_value("0b101"), Some(5));
+    }
+
+    #[test]
+    fn scope_walk_tracks_fn_mod_and_test() {
+        let src = r#"
+            mod outer {
+                fn plain() { work(); }
+                #[cfg(test)]
+                mod tests {
+                    #[test]
+                    fn t() { probe(); }
+                }
+            }
+        "#;
+        let toks = lex(src);
+        let mut probe_scopes = Vec::new();
+        let mut work_scopes = Vec::new();
+        walk_scopes(&toks, |toks, i, scopes| {
+            if toks[i].is_ident("probe") {
+                probe_scopes = scopes.to_vec();
+            }
+            if toks[i].is_ident("work") {
+                work_scopes = scopes.to_vec();
+            }
+        });
+        assert!(probe_scopes.iter().any(|s| s.is_test));
+        assert_eq!(probe_scopes.last().unwrap().name, "t");
+        assert!(!work_scopes.iter().any(|s| s.is_test));
+        assert_eq!(work_scopes.last().unwrap().name, "plain");
+    }
+
+    #[test]
+    fn impl_trait_for_is_classified() {
+        let src = "impl BackingStore for CapacityTier { fn read_back(&self) {} }";
+        let toks = lex(src);
+        let mut seen = false;
+        walk_scopes(&toks, |toks, i, scopes| {
+            if toks[i].is_ident("read_back") {
+                seen = scopes
+                    .iter()
+                    .any(|s| s.kind == ScopeKind::ImplFor("BackingStore".into()));
+            }
+        });
+        assert!(seen);
+    }
+}

@@ -83,11 +83,17 @@ struct ParkedOp {
     request: IoRequest,
     op: FsOp,
     /// `(shard, path, stripe)` keys of the restores this op still waits on.
+    /// Empty for an op parked purely for ordering (blocked-only): it queued
+    /// no restores and waits only for the earlier overlapping ops ahead of
+    /// it to execute.
     keys: std::collections::HashSet<(usize, String, u64)>,
-    /// Every key the op originally waited on. Two parked ops whose full key
-    /// sets intersect target overlapping extents, so the later one must not
+    /// Every extent key the op targets — resident or evicted, not just the
+    /// keys it queued restores for. Two parked ops whose full key sets
+    /// intersect target overlapping extents, so the later one must not
     /// execute before the earlier one even if its own remaining keys empty
-    /// first (their restores may land in different ticks).
+    /// first (their restores may land in different ticks), and a later
+    /// foreground op whose extents are all resident must still park behind
+    /// a parked op it overlaps ([`ServerCore::park_if_overlaps_parked`]).
     all_keys: std::collections::HashSet<(usize, String, u64)>,
 }
 
@@ -449,6 +455,14 @@ impl ServerCore {
             if self.park_if_needs_restore(request_id, &request, &op, now_ns) {
                 // The op waits for its restores; the worker stays free for
                 // other traffic (including the restores themselves).
+                continue;
+            }
+            if self.park_if_overlaps_parked(request_id, &request, &op) {
+                // Every extent the op targets is resident, but an *earlier*
+                // parked op overlaps them: executing now would let this
+                // op's bytes be clobbered when the earlier op's restores
+                // land and it executes last. Park behind it instead
+                // (admission order), with no restores of its own.
                 continue;
             }
             let (start_ns, finish_ns) = self.device.dispatch(&request, now_ns);
@@ -1112,6 +1126,57 @@ impl ServerCore {
         targets
     }
 
+    /// The `(shard, path, stripe)` extent keys an offset-based foreground
+    /// operation targets — resident or evicted. These order foreground
+    /// execution against parked operations: a later op overlapping any key
+    /// an earlier parked op targets must wait behind it (admission order)
+    /// even when its own extents are all resident. Empty for non-offset ops
+    /// (cursor I/O keeps per-descriptor order by never parking) and when
+    /// staging is disabled.
+    fn target_extent_keys(&self, op: &FsOp) -> std::collections::HashSet<(usize, String, u64)> {
+        let mut keys = std::collections::HashSet::new();
+        if self.staging.is_none() {
+            return keys;
+        }
+        let (path, offset, len, is_write) = match op {
+            FsOp::WriteAt { path, offset, data } => {
+                (path.clone(), *offset, data.len() as u64, true)
+            }
+            FsOp::ReadAt { path, offset, len } => (path.clone(), *offset, *len, false),
+            _ => return keys,
+        };
+        if len == 0 {
+            return keys;
+        }
+        let Ok(path) = themis_fs::path::normalize(&path) else {
+            return keys;
+        };
+        let Ok(layout) = self.fs.layout_of(&path) else {
+            return keys;
+        };
+        // Reads are clamped at EOF, like `restore_targets_for`.
+        let len = if is_write {
+            len
+        } else {
+            let Ok(stat) = self.fs.stat(&path) else {
+                return keys;
+            };
+            if offset >= stat.size {
+                return keys;
+            }
+            len.min(stat.size - offset)
+        };
+        let stripe_size = layout.config.stripe_size.max(1);
+        // Saturating end, as in `restore_targets_for`: never overflow on a
+        // client-controlled offset near u64::MAX.
+        for stripe in offset / stripe_size..=offset.saturating_add(len - 1) / stripe_size {
+            if let Some(id) = layout.server_for_stripe(stripe) {
+                keys.insert((id.0, path.clone(), stripe));
+            }
+        }
+        keys
+    }
+
     /// Parks a foreground request behind policy-admitted restores when its
     /// target extents are evicted. Returns whether the request was parked
     /// (the caller must not execute it).
@@ -1126,6 +1191,11 @@ impl ServerCore {
         if targets.is_empty() {
             return false;
         }
+        // Conflict tracking covers the op's *full* extent range, not just
+        // the evicted keys it queues restores for: a stripe of this op that
+        // is resident today is still written when the op finally executes,
+        // so a later op touching it must order behind this one.
+        let mut all_keys = self.target_extent_keys(op);
         let Some(st) = self.staging.as_mut() else {
             return false;
         };
@@ -1134,16 +1204,59 @@ impl ServerCore {
             keys.insert(target.key());
             st.restore.request(target);
         }
+        all_keys.extend(keys.iter().cloned());
         st.parked_ops.push(ParkedOp {
             request_id,
             request: *request,
             op: op.clone(),
-            all_keys: keys.clone(),
+            all_keys,
             keys,
         });
         // Give the engine the new restore work immediately so it competes in
         // this same poll.
         self.admit_restores(now_ns);
+        true
+    }
+
+    /// Parks a foreground request behind *earlier* parked operations whose
+    /// target extents overlap its own, even when every extent it touches is
+    /// resident — the other half of the admission-order guarantee
+    /// ([`ParkedOp::all_keys`]): without it, a later write needing no
+    /// restore executes immediately, and the earlier parked write — which
+    /// landed in the queue first but is still waiting on its restores —
+    /// executes *after* it and silently clobbers its bytes. The blocked op
+    /// queues no restores of its own; it wakes (strictly after the ops it
+    /// is ordered behind) in the same restore-landing pass that releases
+    /// them. Returns whether the request was parked.
+    fn park_if_overlaps_parked(&mut self, request_id: u64, request: &IoRequest, op: &FsOp) -> bool {
+        if self
+            .staging
+            .as_ref()
+            .is_none_or(|st| st.parked_ops.is_empty())
+        {
+            return false;
+        }
+        let keys = self.target_extent_keys(op);
+        if keys.is_empty() {
+            return false;
+        }
+        let Some(st) = self.staging.as_mut() else {
+            return false;
+        };
+        if !st
+            .parked_ops
+            .iter()
+            .any(|p| p.all_keys.iter().any(|k| keys.contains(k)))
+        {
+            return false;
+        }
+        st.parked_ops.push(ParkedOp {
+            request_id,
+            request: *request,
+            op: op.clone(),
+            keys: std::collections::HashSet::new(),
+            all_keys: keys,
+        });
         true
     }
 

@@ -7,9 +7,11 @@
 //! client job identities; everything the system synthesizes — stage-out
 //! drains, stage-in restores, and future scrubbing/rebalancing — runs under
 //! a [`TrafficClass`] identity allocated from the reserved job-id range
-//! ([`RESERVED_JOB_BASE`]), sub-divided per class
-//! ([`RESERVED_CLASS_SPAN`]) so telemetry can attribute every byte to the
-//! class (and server) that moved it.
+//! ([`RESERVED_JOB_BASE`](themis_core::entity::RESERVED_JOB_BASE)),
+//! sub-divided per class
+//! ([`RESERVED_CLASS_SPAN`](themis_core::entity::RESERVED_CLASS_SPAN)) so
+//! telemetry can attribute every byte to the class (and server) that moved
+//! it.
 //!
 //! | class | job-id sub-range | direction | weight |
 //! |-------|------------------|-----------|--------|
@@ -29,9 +31,7 @@
 //! Within each sub-range, instance `i` is the traffic of server `i`.
 
 use serde::{Deserialize, Serialize};
-use themis_core::entity::{
-    reserved_job_id, JobId, JobMeta, RESERVED_CLASS_SPAN, RESERVED_JOB_BASE,
-};
+use themis_core::entity::{reserved_job_id, JobId, JobMeta};
 
 /// One class of system-internal traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -74,7 +74,7 @@ impl TrafficClass {
 
     /// First job id of this class's sub-range.
     pub fn job_base(self) -> u64 {
-        RESERVED_JOB_BASE + self.index() * RESERVED_CLASS_SPAN
+        reserved_job_id(self.index(), 0).0
     }
 
     /// The class a job id belongs to (`None` for client jobs and for
@@ -174,6 +174,7 @@ impl ClassWeights {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use themis_core::entity::RESERVED_JOB_BASE;
 
     #[test]
     fn classes_partition_without_aliasing() {
@@ -199,10 +200,7 @@ mod tests {
         // PR 2's drain traffic ran under RESERVED_JOB_BASE + server; class 0
         // preserves those ids exactly, so telemetry across versions agrees.
         assert_eq!(TrafficClass::Drain.job_base(), RESERVED_JOB_BASE);
-        assert_eq!(
-            TrafficClass::Drain.meta(5).job,
-            JobId(RESERVED_JOB_BASE + 5)
-        );
+        assert_eq!(TrafficClass::Drain.meta(5).job, reserved_job_id(0, 5));
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Maps the `lockcheck` cargo feature onto the `lockcheck` cfg, so the shim
+//! code has a single predicate (`#[cfg(lockcheck)]`) no matter whether the
+//! checker was enabled per-crate (`--features lockcheck`) or workspace-wide
+//! (`RUSTFLAGS="--cfg lockcheck"` — the CI analysis job's corpus run).
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(lockcheck)");
+    if std::env::var_os("CARGO_FEATURE_LOCKCHECK").is_some() {
+        println!("cargo::rustc-cfg=lockcheck");
+    }
+    println!("cargo::rerun-if-changed=build.rs");
+}

@@ -2,22 +2,279 @@
 //! `read()` / `write()` API, backed by `std::sync`. Poisoned locks are
 //! recovered transparently (parking_lot has no poisoning), so panicking
 //! threads never wedge the burst-buffer state for everyone else.
+//!
+//! # Lockdep (`lockcheck`)
+//!
+//! The container is offline — no miri, no TSan, no clippy plugins — so the
+//! one place this repo can grow dynamic concurrency checking is the lock
+//! shim itself. With the `lockcheck` feature (or `--cfg lockcheck`) every
+//! [`Mutex`] and [`RwLock`] is assigned a *class* from its creation site
+//! (file:line:column), each thread records the stack of classes it
+//! currently holds, and a process-global order graph accumulates every
+//! "acquired B while holding A" edge, in the style of the Linux kernel's
+//! lockdep:
+//!
+//! * acquiring a class already held by the same thread panics immediately
+//!   (recursive acquire — a self-deadlock for `Mutex`, a writer-starvation
+//!   deadlock window for `RwLock`);
+//! * acquiring a class from which the order graph can already reach a
+//!   currently-held class panics (an A→…→B cycle: two threads interleaving
+//!   those chains can deadlock), printing **both** acquisition backtraces —
+//!   the stored one that created the conflicting edge and the current one;
+//! * `try_lock` records the hold but adds no edges (a non-blocking acquire
+//!   cannot deadlock).
+//!
+//! The checker never fires on clean, consistently-ordered usage, and with
+//! the feature off these types compile to plain `std::sync` wrappers — the
+//! guards are type aliases and no class field exists, so the cost is
+//! exactly zero.
 
 use std::sync::{self, PoisonError};
 
+#[cfg(lockcheck)]
+mod lockcheck {
+    //! The lockdep engine: creation-site classes, per-thread held stacks,
+    //! and the global acquisition-order graph.
+
+    use std::backtrace::Backtrace;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+    /// One "acquired `to` while holding `from`" observation, kept from the
+    /// first time the edge appeared so a later cycle can print it.
+    struct Edge {
+        /// Where the held (`from`) lock had been acquired.
+        held_at: String,
+        /// Backtrace of the acquisition that created the edge.
+        backtrace: String,
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// Class-id interning: creation site -> dense id.
+        ids: HashMap<(&'static str, u32, u32), u32>,
+        /// Dense id -> human-readable creation site.
+        names: Vec<String>,
+        /// `(from, to)`: `to` was acquired while `from` was held.
+        edges: HashMap<(u32, u32), Edge>,
+    }
+
+    fn graph() -> &'static StdMutex<Graph> {
+        static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+    }
+
+    /// A lock hold on the current thread's stack.
+    struct Held {
+        class: u32,
+        /// The `.lock()`/`.read()`/`.write()` call site.
+        acquired_at: &'static Location<'static>,
+        kind: &'static str,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Interns the creation site of a lock into its class id.
+    pub(crate) fn class_for(loc: &'static Location<'static>) -> u32 {
+        let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        let key = (loc.file(), loc.line(), loc.column());
+        if let Some(&id) = g.ids.get(&key) {
+            return id;
+        }
+        let id = g.names.len() as u32;
+        g.names
+            .push(format!("{}:{}:{}", loc.file(), loc.line(), loc.column()));
+        g.ids.insert(key, id);
+        id
+    }
+
+    /// Whether the order graph can reach `target` starting from `from`.
+    fn reaches(g: &Graph, from: u32, target: u32) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![false; g.names.len()];
+        while let Some(n) = stack.pop() {
+            if n == target {
+                return true;
+            }
+            if std::mem::replace(&mut seen[n as usize], true) {
+                continue;
+            }
+            stack.extend(
+                g.edges
+                    .keys()
+                    .filter(|(f, _)| *f == n)
+                    .map(|(_, t)| *t)
+                    .filter(|t| !seen[*t as usize]),
+            );
+        }
+        false
+    }
+
+    /// Runs the lockdep checks for a blocking acquire of `class` at `site`,
+    /// then records the hold. Panics on a recursive same-class acquire or
+    /// an order cycle; must be called *before* blocking on the real lock so
+    /// the report fires instead of the deadlock.
+    pub(crate) fn before_acquire(class: u32, kind: &'static str, site: &'static Location<'static>) {
+        HELD.with(|held| {
+            let held = held.borrow();
+            if let Some(first) = held.iter().find(|h| h.class == class) {
+                let name = class_name(class);
+                panic!(
+                    "lockcheck: recursive acquire of lock class {name} \
+                     ({kind} at {site}): already held by this thread via \
+                     {} at {}\ncurrent acquisition backtrace:\n{}",
+                    first.kind,
+                    first.acquired_at,
+                    Backtrace::force_capture(),
+                );
+            }
+            if !held.is_empty() {
+                let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+                // Cycle check first: can the class being acquired already
+                // reach any held class through recorded edges?
+                for h in held.iter() {
+                    if reaches(&g, class, h.class) {
+                        let conflict = g
+                            .edges
+                            .get(&(class, h.class))
+                            .map(|e| {
+                                format!(
+                                    "conflicting edge {} -> {} (held at {}), recorded at:\n{}",
+                                    g.names[class as usize],
+                                    g.names[h.class as usize],
+                                    e.held_at,
+                                    e.backtrace
+                                )
+                            })
+                            .unwrap_or_else(|| {
+                                format!(
+                                    "conflicting path {} ->* {} (transitive)",
+                                    g.names[class as usize], g.names[h.class as usize]
+                                )
+                            });
+                        panic!(
+                            "lockcheck: lock-order cycle — acquiring class {} \
+                             ({kind} at {site}) while holding class {} ({} at {}) \
+                             would invert the recorded order\n{}\ncurrent \
+                             acquisition backtrace:\n{}",
+                            g.names[class as usize],
+                            g.names[h.class as usize],
+                            h.kind,
+                            h.acquired_at,
+                            conflict,
+                            Backtrace::force_capture(),
+                        );
+                    }
+                }
+                // No cycle: record the new edges (first observation keeps
+                // its backtrace for future reports).
+                for h in held.iter() {
+                    let held_at = format!("{} at {}", h.kind, h.acquired_at);
+                    g.edges.entry((h.class, class)).or_insert_with(|| Edge {
+                        held_at,
+                        backtrace: Backtrace::force_capture().to_string(),
+                    });
+                }
+            }
+        });
+        push_hold(class, kind, site);
+    }
+
+    /// Records a hold without order checks — the `try_lock` path, which
+    /// cannot deadlock but whose guard still orders later acquires.
+    pub(crate) fn push_hold(class: u32, kind: &'static str, site: &'static Location<'static>) {
+        HELD.with(|held| {
+            held.borrow_mut().push(Held {
+                class,
+                acquired_at: site,
+                kind,
+            });
+        });
+    }
+
+    /// Pops the most recent hold of `class` (guard drop).
+    pub(crate) fn release(class: u32) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(i) = held.iter().rposition(|h| h.class == class) {
+                held.remove(i);
+            }
+        });
+    }
+
+    fn class_name(class: u32) -> String {
+        graph()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .names
+            .get(class as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("#{class}"))
+    }
+}
+
 /// A mutual-exclusion lock with parking_lot's panic-free `lock()`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
+#[cfg_attr(not(lockcheck), derive(Default))]
 pub struct Mutex<T: ?Sized> {
+    /// Lockdep class of this lock's creation site.
+    #[cfg(lockcheck)]
+    class: u32,
     inner: sync::Mutex<T>,
 }
 
 /// Guard returned by [`Mutex::lock`].
+#[cfg(not(lockcheck))]
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 
+/// Guard returned by [`Mutex::lock`]; releases the lockdep hold on drop.
+#[cfg(lockcheck)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    class: u32,
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::release(self.class);
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new mutex. Under `lockcheck`, the caller's location becomes
+    /// the lock's class.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn new(value: T) -> Self {
         Mutex {
+            #[cfg(lockcheck)]
+            class: lockcheck::class_for(std::panic::Location::caller()),
             inner: sync::Mutex::new(value),
         }
     }
@@ -30,19 +287,54 @@ impl<T> Mutex<T> {
     }
 }
 
+#[cfg(lockcheck)]
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, recovering from poisoning.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(lockcheck)]
+        lockcheck::before_acquire(self.class, "Mutex::lock", std::panic::Location::caller());
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(lockcheck)]
+        return MutexGuard {
+            inner,
+            class: self.class,
+        };
+        #[cfg(not(lockcheck))]
+        inner
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
+        let inner = match self.inner.try_lock() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
-        }
+        };
+        #[cfg(lockcheck)]
+        return inner.map(|inner| {
+            // A successful try_lock is a hold (later acquires nest under
+            // it) but records no ordering edge: it could not have blocked.
+            lockcheck::push_hold(
+                self.class,
+                "Mutex::try_lock",
+                std::panic::Location::caller(),
+            );
+            MutexGuard {
+                inner,
+                class: self.class,
+            }
+        });
+        #[cfg(not(lockcheck))]
+        inner
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -52,20 +344,95 @@ impl<T: ?Sized> Mutex<T> {
 }
 
 /// A reader-writer lock with parking_lot's panic-free `read()`/`write()`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
+#[cfg_attr(not(lockcheck), derive(Default))]
 pub struct RwLock<T: ?Sized> {
+    /// Lockdep class of this lock's creation site.
+    #[cfg(lockcheck)]
+    class: u32,
     inner: sync::RwLock<T>,
 }
 
 /// Guard returned by [`RwLock::read`].
+#[cfg(not(lockcheck))]
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
 /// Guard returned by [`RwLock::write`].
+#[cfg(not(lockcheck))]
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
+/// Guard returned by [`RwLock::read`]; releases the lockdep hold on drop.
+#[cfg(lockcheck)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    class: u32,
+}
+
+/// Guard returned by [`RwLock::write`]; releases the lockdep hold on drop.
+#[cfg(lockcheck)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    class: u32,
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::release(self.class);
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::release(self.class);
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
 impl<T> RwLock<T> {
-    /// Creates a new reader-writer lock.
+    /// Creates a new reader-writer lock. Under `lockcheck`, the caller's
+    /// location becomes the lock's class.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn new(value: T) -> Self {
         RwLock {
+            #[cfg(lockcheck)]
+            class: lockcheck::class_for(std::panic::Location::caller()),
             inner: sync::RwLock::new(value),
         }
     }
@@ -78,15 +445,47 @@ impl<T> RwLock<T> {
     }
 }
 
+#[cfg(lockcheck)]
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard, recovering from poisoning.
+    ///
+    /// Under `lockcheck`, a read acquire participates in ordering exactly
+    /// like a write: read-read recursion on one class is flagged too, since
+    /// a queued writer between the two reads deadlocks `std::sync::RwLock`.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(lockcheck)]
+        lockcheck::before_acquire(self.class, "RwLock::read", std::panic::Location::caller());
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(lockcheck)]
+        return RwLockReadGuard {
+            inner,
+            class: self.class,
+        };
+        #[cfg(not(lockcheck))]
+        inner
     }
 
     /// Acquires an exclusive write guard, recovering from poisoning.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(lockcheck)]
+        lockcheck::before_acquire(self.class, "RwLock::write", std::panic::Location::caller());
+        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(lockcheck)]
+        return RwLockWriteGuard {
+            inner,
+            class: self.class,
+        };
+        #[cfg(not(lockcheck))]
+        inner
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -128,5 +527,171 @@ mod tests {
         // parking_lot semantics: the lock is still usable.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    /// With `lockcheck` off, the shim is a zero-cost veneer: no class
+    /// field, guards are the std types.
+    #[cfg(not(lockcheck))]
+    #[test]
+    fn lockcheck_off_is_zero_overhead() {
+        use std::mem::size_of;
+        assert_eq!(size_of::<Mutex<u64>>(), size_of::<sync::Mutex<u64>>());
+        assert_eq!(size_of::<RwLock<u64>>(), size_of::<sync::RwLock<u64>>());
+        // The guard types are literal aliases of the std guards, so there
+        // is no Drop hook and no per-acquire bookkeeping.
+        fn id<'a>(g: sync::MutexGuard<'a, u64>) -> MutexGuard<'a, u64> {
+            g
+        }
+        let m = sync::Mutex::new(7u64);
+        assert_eq!(*id(m.lock().unwrap()), 7);
+    }
+
+    #[cfg(lockcheck)]
+    mod lockdep {
+        use super::super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        fn panics(f: impl FnOnce()) -> String {
+            let err = catch_unwind(AssertUnwindSafe(f)).expect_err("expected a lockcheck panic");
+            err.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        }
+
+        #[test]
+        fn ab_ba_interleave_panics_with_both_backtraces() {
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            {
+                // Establish the order A -> B.
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            // Inverting it must fire before the deadlock can happen.
+            let msg = panics(|| {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            });
+            assert!(msg.contains("lock-order cycle"), "{msg}");
+            assert!(
+                msg.contains("recorded at") && msg.contains("current acquisition backtrace"),
+                "report must carry both acquisition backtraces: {msg}"
+            );
+        }
+
+        #[test]
+        fn rwlock_cycles_are_caught_too() {
+            let a = RwLock::new(0u32);
+            let b = Mutex::new(0u32);
+            {
+                let _ga = a.read();
+                let _gb = b.lock();
+            }
+            let msg = panics(|| {
+                let _gb = b.lock();
+                let _ga = a.write();
+            });
+            assert!(msg.contains("lock-order cycle"), "{msg}");
+        }
+
+        #[test]
+        fn transitive_cycle_is_caught() {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            let c = Mutex::new(());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock(); // A -> B
+            }
+            {
+                let _gb = b.lock();
+                let _gc = c.lock(); // B -> C
+            }
+            // C -> A closes the three-node loop.
+            let msg = panics(|| {
+                let _gc = c.lock();
+                let _ga = a.lock();
+            });
+            assert!(msg.contains("lock-order cycle"), "{msg}");
+        }
+
+        #[test]
+        fn recursive_same_class_acquire_panics() {
+            let m = Mutex::new(0u32);
+            let msg = panics(|| {
+                let _g1 = m.lock();
+                let _g2 = m.lock(); // self-deadlock without the checker
+            });
+            assert!(msg.contains("recursive acquire"), "{msg}");
+        }
+
+        #[test]
+        fn recursive_rwlock_read_panics() {
+            // Read-read recursion deadlocks std::sync::RwLock when a writer
+            // queues between the two reads; lockdep flags it always.
+            let l = RwLock::new(0u32);
+            let msg = panics(|| {
+                let _g1 = l.read();
+                let _g2 = l.read();
+            });
+            assert!(msg.contains("recursive acquire"), "{msg}");
+        }
+
+        #[test]
+        fn clean_ordered_usage_stays_silent() {
+            let a = Mutex::new(0u32);
+            let b = RwLock::new(0u32);
+            for _ in 0..100 {
+                let mut ga = a.lock();
+                let gb = b.read();
+                *ga += *gb;
+            }
+            // Same consistent order from another thread, concurrently.
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            let _ga = a.lock();
+                            let _gb = b.write();
+                        }
+                    });
+                }
+            });
+            // Sequential (non-nested) use in any order is fine too.
+            drop(b.write());
+            drop(a.lock());
+            drop(b.read());
+            assert!(a.try_lock().is_some());
+        }
+
+        #[test]
+        fn try_lock_holds_but_adds_no_edges() {
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            {
+                // try_lock(B) while holding A records no A -> B edge...
+                let _ga = a.lock();
+                let _gb = b.try_lock().expect("uncontended");
+            }
+            {
+                // ...so the reverse blocking order stays legal.
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }
+        }
+
+        #[test]
+        fn guard_drop_releases_the_hold() {
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            {
+                let _ga = a.lock();
+            } // A released here...
+            {
+                let _gb = b.lock();
+                let _ga = a.lock(); // ...so B -> A is first nesting, no cycle.
+            }
+        }
     }
 }

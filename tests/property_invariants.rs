@@ -408,7 +408,7 @@ fn ring_stability() {
 #[test]
 fn reserved_class_sub_ranges_never_alias() {
     use themisio::core::entity::{
-        reserved_job_id, JobId, RESERVED_CLASS_COUNT, RESERVED_CLASS_SPAN, RESERVED_JOB_BASE,
+        reserved_job_id, JobId, RESERVED_CLASS_COUNT, RESERVED_CLASS_SPAN,
     };
     use themisio::stage::TrafficClass;
 
@@ -459,10 +459,7 @@ fn reserved_class_sub_ranges_never_alias() {
         assert_eq!(TC::of(last), Some(tc), "{tc}: last");
         assert_ne!(TC::of(JobId(tc.job_base() + RESERVED_CLASS_SPAN)), Some(tc));
     }
-    assert_eq!(
-        TC::Scrub.job_base(),
-        RESERVED_JOB_BASE + 2 * RESERVED_CLASS_SPAN
-    );
+    assert_eq!(TC::Scrub.job_base(), reserved_job_id(2, 0).0);
     // The RESERVED_CLASS_SPAN overflow id: u64::MAX is one past the last
     // full span; it must clamp into the last class/instance, and the round
     // trip through reserved_job_id must not panic.

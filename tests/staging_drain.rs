@@ -440,3 +440,165 @@ fn transparent_read_after_eviction_needs_no_explicit_stage_in() {
     client.bye();
     dep.shutdown();
 }
+
+/// Regression test for the parked-op ordering hole (pre-existing since the
+/// traffic-class PR, surfaced by the scrub PR's review): a *later*
+/// foreground write whose target extents are resident must not execute
+/// while an *earlier* parked write targeting overlapping extents is still
+/// waiting on its restores — the earlier write would land last and clobber
+/// the later one's bytes. Deterministic interleaving, driven tick by tick
+/// on one `ServerCore`:
+///
+/// 1. Two stripes are written, drained, and evicted.
+/// 2. W1 (earlier) rewrites both stripes → parks behind two restores;
+///    `max_inflight = 1` forces the restores to land in different ticks.
+/// 3. When stripe 0's restore has landed (stripe 1's has not), W2 (later)
+///    writes stripe 0 only — every extent it targets is resident.
+/// 4. Both complete. Admission order demands stripe 0 hold W2's bytes:
+///    pre-fix, W2 executed at step 3 and W1's delayed execution clobbered
+///    it (stripe 0 read back W1's fill).
+#[test]
+fn later_resident_write_parks_behind_earlier_parked_overlapping_write() {
+    const MIB: usize = 1 << 20;
+    let job = JobMeta::new(7u64, 7u32, 1u32, 4);
+    let mut s = ServerCore::new(
+        0,
+        BurstBufferFs::new(1),
+        ServerConfig {
+            algorithm: Algorithm::Themis(Policy::size_fair()),
+            staging: Some(StagingConfig {
+                // A slow capacity tier widens the window between the two
+                // restore landings; max_inflight = 1 makes them strictly
+                // serial regardless.
+                backing_device: DeviceConfig::capacity_hdd(),
+                drain: DrainConfig {
+                    high_watermark_bytes: 1 << 30,
+                    low_watermark_bytes: 1 << 29,
+                    max_inflight: 1,
+                    ..DrainConfig::default()
+                },
+            }),
+            ..ServerConfig::default()
+        },
+    );
+    s.heartbeat(job, 0);
+
+    // Stripes 0 and 1 written (default 1 MiB stripes), drained clean.
+    s.submit(
+        1,
+        job,
+        FsOp::Open {
+            path: "/f".into(),
+            create: true,
+            truncate: false,
+            append: false,
+        },
+        0,
+    );
+    s.submit(
+        2,
+        job,
+        FsOp::WriteAt {
+            path: "/f".into(),
+            offset: 0,
+            data: vec![0xAA; 2 * MIB],
+        },
+        0,
+    );
+    let mut t = 0u64;
+    loop {
+        s.poll(t);
+        let status = s.drain_status_snapshot().expect("staging enabled");
+        if status.dirty_bytes == 0 && status.backing_bytes >= (2 * MIB) as u64 {
+            break;
+        }
+        t += 100_000;
+        assert!(t < 60_000_000_000, "initial drain never completed");
+    }
+    // Evict both stripes so W1 must park behind restores.
+    s.fs().evict_clean_on(0, 0);
+    assert_eq!(
+        s.fs().evicted_extents_on(0, Some("/f")).len(),
+        2,
+        "both stripes must start evicted"
+    );
+
+    // W1 (earlier): overwrite both stripes. It parks on two restores that
+    // land serially.
+    s.submit(
+        10,
+        job,
+        FsOp::WriteAt {
+            path: "/f".into(),
+            offset: 0,
+            data: vec![0x11; 2 * MIB],
+        },
+        t,
+    );
+    // Tick until exactly one stripe has been restored (W1 still parked).
+    let mut w1_done = false;
+    loop {
+        if s.poll(t).iter().any(|r| r.request_id == 10) {
+            w1_done = true;
+            break;
+        }
+        let evicted = s.fs().evicted_extents_on(0, Some("/f"));
+        if evicted.len() == 1 {
+            break;
+        }
+        t += 100_000;
+        assert!(t < 120_000_000_000, "first restore never landed");
+    }
+    assert!(
+        !w1_done,
+        "W1 must still be parked when its first restore lands (serial restores)"
+    );
+
+    // W2 (later): write stripe 0 only. Its sole target extent is resident
+    // (just restored), so pre-fix it executed immediately.
+    s.submit(
+        11,
+        job,
+        FsOp::WriteAt {
+            path: "/f".into(),
+            offset: 0,
+            data: vec![0x22; MIB],
+        },
+        t,
+    );
+
+    // Drive both writes to completion, recording reply order.
+    let mut order = Vec::new();
+    loop {
+        for r in s.poll(t) {
+            if r.request_id == 10 || r.request_id == 11 {
+                assert!(
+                    !matches!(r.reply, FsReply::Error(_)),
+                    "unexpected error reply: {:?}",
+                    r.reply
+                );
+                order.push(r.request_id);
+            }
+        }
+        if order.len() == 2 {
+            break;
+        }
+        t += 100_000;
+        assert!(t < 240_000_000_000, "parked writes never completed");
+    }
+    assert_eq!(order, vec![10, 11], "admission order must be preserved");
+
+    // Admission-order final bytes: stripe 0 holds W2's fill (it was
+    // admitted after W1), stripe 1 holds W1's.
+    let stripe0 = s.fs().read_at("/f", 0, MIB as u64).unwrap();
+    assert!(
+        stripe0.iter().all(|&b| b == 0x22),
+        "stripe 0 must hold the later write's bytes (first differing byte: {:?})",
+        stripe0.iter().find(|&&b| b != 0x22)
+    );
+    let stripe1 = s.fs().read_at("/f", MIB as u64, MIB as u64).unwrap();
+    assert!(
+        stripe1.iter().all(|&b| b == 0x11),
+        "stripe 1 must hold the earlier write's bytes"
+    );
+}
