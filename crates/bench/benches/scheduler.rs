@@ -4,13 +4,15 @@
 //! the server and simulator drive them — plus the three-lane `StagedEngine`
 //! select/complete hot path (foreground + drain + restore + scrub all
 //! backlogged), whose wall-clock median also lands in the machine-readable
-//! perf report (`themis_bench::experiments::staged_select_wallclock_ns`).
+//! perf report (`themis_bench::experiments::staged_select_wallclock_pair`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use themis_baselines::{Algorithm, GiftConfig, TbfConfig};
-use themis_bench::experiments::{staged_bench_fixture, staged_round};
+use themis_bench::experiments::{
+    staged_bench_fixture, staged_round, staged_telemetry_bench_fixture,
+};
 use themis_core::entity::JobMeta;
 use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
@@ -61,9 +63,16 @@ fn bench_staged_engine(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("three_lane_select_complete", |b| {
         // The same fixture + round the machine-readable report measures
-        // (`staged_select_wallclock_ns`), so the criterion line and the
+        // (`staged_select_wallclock_pair`), so the criterion line and the
         // BENCH_pr5.json number can never drift apart.
         let (mut engine, mut rng, fg) = staged_bench_fixture();
+        let mut seq = 0u64;
+        b.iter(|| staged_round(&mut engine, &mut rng, fg, &mut seq));
+    });
+    group.bench_function("three_lane_select_complete_telemetry", |b| {
+        // Same round with a live metrics registry attached — the pairing
+        // behind the report's same-run ≤10% telemetry overhead gate.
+        let (mut engine, mut rng, fg, _registry) = staged_telemetry_bench_fixture();
         let mut seq = 0u64;
         b.iter(|| staged_round(&mut engine, &mut rng, fg, &mut seq));
     });

@@ -30,7 +30,7 @@
 
 use themis_bench::experiments::{
     drain_experiment, emit_and_gate, flag_value, restore_experiment, run_scrub, scrub_numbers,
-    staged_select_wallclock_ns, BenchReport,
+    staged_select_wallclock_pair, BenchReport,
 };
 use themis_core::entity::JobId;
 
@@ -67,10 +67,11 @@ fn main() {
     table(&even, 1);
     let weighted = run_scrub(8, true);
     table(&weighted, 8);
-    let select_ns = staged_select_wallclock_ns();
+    let (select_ns, telemetry_ns) = staged_select_wallclock_pair();
     println!(
         "\n  three-lane StagedEngine select/complete hot path: {select_ns:.0} ns/request \
-         (wall clock, criterion shim)"
+         (wall clock, interleaved criterion shim); {telemetry_ns:.0} ns with a live \
+         metrics registry attached (same-run overhead gate: ≤10%, 8 ns floor)"
     );
     println!(
         "\n  At 8:1 the checkpointer keeps ≥ 8/9 of its scrub-disabled throughput while\n  \
@@ -91,6 +92,7 @@ fn main() {
         restore_experiment(),
         scrub_numbers(&baseline, &even, &weighted),
         select_ns,
+        telemetry_ns,
     );
     std::process::exit(emit_and_gate(
         &report,

@@ -25,6 +25,7 @@ use themis_fs::store::StatInfo;
 use themis_fs::{FsError, FsResult, StripeConfig};
 use themis_net::message::{ClientMessage, FsOp, FsReply, ServerMessage, StageReply};
 use themis_stage::{DrainStatus, ScrubStatus};
+use themis_telemetry::{MetricsSnapshot, TraceDump};
 
 /// The ThemisIO namespace decision: which paths are intercepted.
 #[derive(Debug, Clone)]
@@ -348,6 +349,42 @@ impl<L: ServerLink> ThemisClient<L> {
         self.links[server].send(ClientMessage::ScrubStatus { request_id });
         match self.recv_stage_ack(server, request_id)? {
             StageReply::Scrub(status) => Ok(status),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected staging reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Cuts a live metrics snapshot: per-tenant completion series, per-class
+    /// lane counters, scrub/drain/restore progress and capacity gauges. The
+    /// deployment's servers share one registry, so the snapshot answered by
+    /// `server` covers the whole cluster (only that server's *gauges* are
+    /// refreshed at the instant of the cut; peers refresh theirs on their
+    /// own snapshots).
+    pub fn metrics_snapshot(&self, server: usize) -> FsResult<MetricsSnapshot> {
+        let server = server % self.links.len();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::MetricsSnapshot { request_id });
+        match self.recv_stage_ack(server, request_id)? {
+            StageReply::Metrics(snapshot) => Ok(snapshot),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected staging reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Dumps the newest `max_events` scheduler decisions (admissions, lane
+    /// selections with their virtual times, parks and wakes) of one server.
+    /// Empty when the telemetry crate's `trace` feature is compiled out.
+    pub fn trace_dump(&self, server: usize, max_events: u64) -> FsResult<TraceDump> {
+        let server = server % self.links.len();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::TraceDump {
+            request_id,
+            max_events,
+        });
+        match self.recv_stage_ack(server, request_id)? {
+            StageReply::Trace(dump) => Ok(dump),
             other => Err(FsError::InvalidArgument(format!(
                 "unexpected staging reply {other:?}"
             ))),
@@ -696,6 +733,14 @@ mod tests {
                 ClientMessage::ScrubStatus { request_id } => Some(ServerMessage::Stage {
                     request_id: *request_id,
                     reply: StageReply::Scrub(ScrubStatus::default()),
+                }),
+                ClientMessage::MetricsSnapshot { request_id } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::Metrics(themis_telemetry::MetricsSnapshot::default()),
+                }),
+                ClientMessage::TraceDump { request_id, .. } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::Trace(themis_telemetry::TraceDump::default()),
                 }),
                 ClientMessage::Bye { .. } => None,
             };

@@ -94,6 +94,15 @@ pub trait PolicyEngine: Send {
     fn shares(&self) -> ShareMap {
         ShareMap::empty()
     }
+
+    /// Downcast seam: engines that expose engine-specific control surfaces
+    /// (e.g. the staged decorator's telemetry attachment and decision-trace
+    /// dump) return `Some(self)`; plain algorithms keep the default `None`.
+    /// Consumers hold `Box<dyn PolicyEngine>`, so this is the only way to
+    /// reach a concrete engine without widening the object-safe contract.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// Every legacy [`Scheduler`] is a [`PolicyEngine`]; the names map 1:1.

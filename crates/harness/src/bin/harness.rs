@@ -4,10 +4,13 @@
 //! harness --seed 42             # one seed, full report
 //! harness --start 100 --count 50   # sweep seeds 100..150
 //! harness --count 200 --fail-fast  # sweep 0..200, stop at first failure
+//! harness --seed 7 --metrics-json  # also dump METRICS-seed-7.json
 //! ```
 //!
 //! Exit code 0 when every swept seed is conformant, 1 otherwise. Failing
-//! seeds also write `target/conformance/seed-<seed>.txt` artifacts.
+//! seeds also write `target/conformance/seed-<seed>.txt` artifacts;
+//! `--metrics-json` dumps every swept seed's live telemetry snapshot as
+//! `target/conformance/METRICS-seed-<seed>.json` regardless of verdict.
 
 use themis_harness::{run_conformance, ConformanceReport};
 
@@ -16,6 +19,7 @@ struct Args {
     start: u64,
     count: u64,
     fail_fast: bool,
+    metrics_json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -24,6 +28,7 @@ fn parse_args() -> Result<Args, String> {
         start: 0,
         count: 24,
         fail_fast: false,
+        metrics_json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -38,9 +43,11 @@ fn parse_args() -> Result<Args, String> {
             "--start" => args.start = value("--start")?,
             "--count" => args.count = value("--count")?,
             "--fail-fast" => args.fail_fast = true,
-            "--help" | "-h" => {
-                return Err("usage: harness [--seed N | --start S --count N] [--fail-fast]".into())
-            }
+            "--metrics-json" => args.metrics_json = true,
+            "--help" | "-h" => return Err(
+                "usage: harness [--seed N | --start S --count N] [--fail-fast] [--metrics-json]"
+                    .into(),
+            ),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -64,6 +71,12 @@ fn main() {
     let mut failing_seeds: Vec<u64> = Vec::new();
     for seed in &seeds {
         let report = run_conformance(*seed);
+        if args.metrics_json {
+            match report.write_metrics_artifact() {
+                Some(path) => println!("seed {seed}: metrics -> {}", path.display()),
+                None => eprintln!("seed {seed}: could not write metrics artifact"),
+            }
+        }
         if report.is_clean() {
             println!(
                 "seed {seed}: CONFORMANT (sim {} MiB, live {} MiB)",

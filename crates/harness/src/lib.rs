@@ -96,6 +96,10 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
     // harness never injected. The sim-side share-bounds oracle above keeps
     // running unconditioned — that pairing is the scrub oracle's point.
     violations.extend(oracle::check_scrub_liveness(&scenario, &sim, &live));
+    // Telemetry consistency: the registry the live cores instrumented must
+    // agree exactly with the reply-derived accounting the driver kept —
+    // every seed doubles as a correctness test of the metrics subsystem.
+    violations.extend(oracle::check_telemetry_consistency(&scenario, &live));
 
     // Integrity: the live run must have executed without error replies,
     // verified every byte after its evict/stage-in roundtrips, and drained
@@ -129,5 +133,6 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
         violations,
         sim_bytes: sim.metrics.total_bytes_in_window(0, window),
         live_bytes: live.metrics.total_bytes_in_window(0, window),
+        metrics_json: live.telemetry.to_json(),
     }
 }

@@ -26,6 +26,7 @@ use themis_net::message::{FsOp, FsReply};
 use themis_server::{ServerConfig, ServerCore};
 use themis_sim::{Metrics, ServiceRecord};
 use themis_stage::{BackingStore, CapacityTier};
+use themis_telemetry::{MetricsRegistry, MetricsSnapshot};
 
 /// Virtual-clock granularity of the live driver. Poll quantisation idles the
 /// device for at most one tick per worker wake-up, which is why the
@@ -65,6 +66,12 @@ pub struct LiveOutcome {
     /// Hard errors: I/O error replies, integrity mismatches, or a run that
     /// never quiesced. An empty list means the replay itself was sound.
     pub errors: Vec<String>,
+    /// The cluster-shared metrics registry, cut at quiescence — *before* the
+    /// integrity read-back, so every per-tenant counter corresponds
+    /// one-to-one with the service records in [`Self::metrics`]. The
+    /// telemetry-consistency oracle cross-checks the two accountings; the
+    /// harness `--metrics-json` flag dumps this snapshot as `METRICS.json`.
+    pub telemetry: MetricsSnapshot,
 }
 
 /// Deterministic fill byte of `(job, rank, slot)` — every write to a slot
@@ -95,9 +102,12 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
     let backing: Option<Arc<dyn BackingStore>> = staging
         .as_ref()
         .map(|sc| Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>);
+    // One registry for the whole cluster, exactly as the threaded
+    // `Deployment` wires it — the telemetry oracle checks cluster-wide sums.
+    let registry = MetricsRegistry::new();
     let mut cores: Vec<ServerCore> = (0..n)
         .map(|idx| {
-            ServerCore::with_backing(
+            ServerCore::with_telemetry(
                 idx,
                 fs.clone(),
                 ServerConfig {
@@ -111,6 +121,7 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
                     staging,
                 },
                 backing.clone(),
+                registry.clone(),
             )
         })
         .collect();
@@ -296,6 +307,12 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
         .iter()
         .all(|c| c.drain_status_snapshot().is_none_or(|s| s.is_clean()));
 
+    // Cut the telemetry snapshot *here* — after quiescence, before the
+    // integrity read-back — so per-tenant ops/bytes counters equal the
+    // service-record accounting exactly (the read-back issues extra reads
+    // that the metric stream deliberately does not record).
+    let telemetry = registry.snapshot(now);
+
     // ---- integrity read-back ---------------------------------------------
     // Every slot of every rank was prefilled (and possibly overwritten with
     // the identical pattern, drained, evicted and staged back in). Read each
@@ -380,6 +397,7 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
         scrubbed_bytes,
         scrub_errors,
         errors,
+        telemetry,
     }
 }
 

@@ -19,6 +19,10 @@
 //!   class verifies bytes in both runtimes (no lane starvation), reports
 //!   zero mismatches (the harness injects no corruption), and the sim-side
 //!   scrub backlog is clear at quiescence ([`check_scrub_liveness`]).
+//! * **Telemetry consistency** — the live cluster's metrics registry agrees
+//!   exactly with the driver's reply-derived accounting: per-tenant op and
+//!   byte counters, histogram sample counts, and the park/wake pairing
+//!   ([`check_telemetry_consistency`]).
 //!
 //! Epoch windows are trimmed ([`trim_margin_ns`]) before measuring: a swap
 //! re-derives shares immediately, but requests admitted under the old epoch
@@ -106,7 +110,7 @@ pub const RESTORE_STORM_GAP_RELAXATION: f64 = 2.0;
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Which oracle tripped (`share-bounds`, `work-conservation`,
-    /// `no-starvation`, `integrity`, `agreement`).
+    /// `no-starvation`, `integrity`, `agreement`, `telemetry`).
     pub oracle: &'static str,
     /// Which runtime produced the evidence (`sim`, `live`, or `sim↔live`).
     pub run: &'static str,
@@ -401,6 +405,97 @@ pub fn check_scrub_liveness(
             ),
         });
     }
+    violations
+}
+
+/// Telemetry-consistency oracle: the live runtime's metrics registry must
+/// agree *exactly* with the reply-derived accounting the driver keeps on the
+/// client side. Both count the same completions through independent code
+/// paths — the registry from inside `ServerCore` as operations finish, the
+/// driver from the replies it polls — so any drift is a telemetry bug
+/// (missed instrument, double count, or a snapshot torn across writers),
+/// never workload noise. Checked:
+///
+/// * per tenant, cluster-summed `ops_completed` / `bytes_completed` equal
+///   the driver's service-record count / byte sum (the snapshot is cut at
+///   quiescence, before the integrity read-back, so the two accountings
+///   cover the identical set of operations);
+/// * per tenant, the latency histograms saw one sample per completed op;
+/// * the foreground class's `parked_ops` equals `wakes` — at quiescence
+///   every parked operation must have woken (a leak here is the bug the
+///   restore-backpressure oracle sees as pending bytes, caught earlier and
+///   more precisely by the counter pair);
+/// * without staging, no background lane recorded any traffic.
+pub fn check_telemetry_consistency(scenario: &Scenario, live: &LiveOutcome) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let snap = &live.telemetry;
+    let mut fail = |detail: String| {
+        violations.push(Violation {
+            oracle: "telemetry",
+            run: "live",
+            detail,
+        });
+    };
+
+    for meta in scenario.tenant_metas() {
+        let job = meta.job.0;
+        let records: Vec<_> = live
+            .metrics
+            .records()
+            .iter()
+            .filter(|r| r.job == meta.job)
+            .collect();
+        let reply_ops = records.len() as u64;
+        let reply_bytes: u64 = records.iter().map(|r| r.bytes).sum();
+        let ops = snap.tenant_counter_sum(job, "foreground", "ops_completed");
+        let bytes = snap.tenant_counter_sum(job, "foreground", "bytes_completed");
+        if ops != reply_ops {
+            fail(format!(
+                "tenant {job}: registry ops_completed {ops} vs {reply_ops} reply-derived"
+            ));
+        }
+        if bytes != reply_bytes {
+            fail(format!(
+                "tenant {job}: registry bytes_completed {bytes} vs {reply_bytes} reply-derived"
+            ));
+        }
+        for hist in ["queue_delay_ns", "service_ns"] {
+            let samples: u64 = (0..scenario.n_servers)
+                .map(|s| snap.histogram(s as u32, job, "foreground", hist).count)
+                .sum();
+            if samples != reply_ops {
+                fail(format!(
+                    "tenant {job}: {hist} histogram saw {samples} samples for {reply_ops} ops"
+                ));
+            }
+        }
+    }
+
+    let parked = snap.lane_counter_sum("foreground", "parked_ops");
+    let wakes = snap.lane_counter_sum("foreground", "wakes");
+    if parked != wakes {
+        fail(format!(
+            "{parked} ops parked but {wakes} woken at quiescence (parked op leaked?)"
+        ));
+    }
+
+    if scenario.staging.is_none() {
+        for lane in ["drain", "restore", "scrub"] {
+            for name in [
+                "admitted_bytes",
+                "selected_charged_bytes",
+                "selected_uncharged_bytes",
+            ] {
+                let v = snap.lane_counter_sum(lane, name);
+                if v != 0 {
+                    fail(format!(
+                        "staging disabled but {lane}.{name} recorded {v} bytes"
+                    ));
+                }
+            }
+        }
+    }
+
     violations
 }
 

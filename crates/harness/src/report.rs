@@ -19,6 +19,10 @@ pub struct ConformanceReport {
     pub sim_bytes: u64,
     /// Foreground bytes served inside the window by the live runtime.
     pub live_bytes: u64,
+    /// The live run's telemetry snapshot rendered as flat JSON (the
+    /// registry read cut at quiescence), dumped as a `METRICS-seed-*.json`
+    /// CI artifact via [`Self::write_metrics_artifact`].
+    pub metrics_json: String,
 }
 
 impl ConformanceReport {
@@ -42,7 +46,7 @@ impl ConformanceReport {
             self.live_bytes >> 20
         ));
         if self.violations.is_empty() {
-            out.push_str("verdict:  CONFORMANT (share bounds, work conservation, no starvation, integrity, sim↔live agreement)\n");
+            out.push_str("verdict:  CONFORMANT (share bounds, work conservation, no starvation, integrity, sim↔live agreement, telemetry consistency)\n");
         } else {
             out.push_str(&format!(
                 "verdict:  {} VIOLATION(S)\n",
@@ -72,6 +76,22 @@ impl ConformanceReport {
         std::fs::create_dir_all(&dir).ok()?;
         let path = dir.join(format!("seed-{}.txt", self.seed));
         std::fs::write(&path, self.render()).ok()?;
+        Some(path)
+    }
+
+    /// Writes the live run's telemetry snapshot as flat JSON under
+    /// `target/conformance/METRICS-seed-<seed>.json` (best effort; same
+    /// workspace-anchored directory as [`Self::write_artifact`]). The CI
+    /// conformance job uploads these beside the seed reports, so every CI
+    /// run leaves a machine-readable record of what the cluster measured.
+    pub fn write_metrics_artifact(&self) -> Option<PathBuf> {
+        let dir = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/conformance"
+        ));
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("METRICS-seed-{}.json", self.seed));
+        std::fs::write(&path, &self.metrics_json).ok()?;
         Some(path)
     }
 
@@ -111,6 +131,7 @@ mod tests {
             }],
             sim_bytes: 1 << 20,
             live_bytes: 1 << 20,
+            metrics_json: "{}\n".into(),
         };
         assert!(!report.is_clean());
         let rendered = report.render();
@@ -133,6 +154,7 @@ mod tests {
             violations: Vec::new(),
             sim_bytes: 0,
             live_bytes: 0,
+            metrics_json: "{}\n".into(),
         };
         assert!(report.is_clean());
         report.assert_clean();

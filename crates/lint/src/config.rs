@@ -46,7 +46,7 @@ pub fn parse_allowlist(text: &str) -> (Vec<AllowEntry>, Vec<String>) {
             ));
             continue;
         }
-        if !matches!(parts[0], "L1" | "L2" | "L3" | "L4" | "L5") {
+        if !matches!(parts[0], "L1" | "L2" | "L3" | "L4" | "L5" | "L6") {
             errors.push(format!("allowlist:{}: unknown rule {}", idx + 1, parts[0]));
             continue;
         }

@@ -1,6 +1,6 @@
 //! themis-lint: workspace-specific static analysis for themisio.
 //!
-//! Five deny rules guard the invariants the WFQ traffic-class machinery
+//! Six deny rules guard the invariants the WFQ traffic-class machinery
 //! depends on (see README "Static analysis & lockdep" for the full table):
 //!
 //! * **L1** — no raw `read_back(`/`read_back_with_checksum(` call sites
@@ -12,6 +12,9 @@
 //! * **L4** — no `unwrap()`/`expect(` in non-test server/stage/fs hot paths.
 //! * **L5** — every function body nesting two shim-lock guards must match
 //!   the checked-in lock-order manifest.
+//! * **L6** — no ad-hoc counter-width atomics (`AtomicU64` & friends) in
+//!   server/stage hot paths; metrics go through `MetricsRegistry` handles
+//!   so snapshots and the telemetry-consistency oracle observe them.
 //!
 //! Exemptions live in `crates/lint/allowlist.txt` (every entry justified;
 //! stale entries are errors). Usage:
@@ -62,7 +65,7 @@ fn main() -> ExitCode {
         let failures = selftest::run();
         if failures.is_empty() {
             println!(
-                "themis-lint self-test: all {} fixtures behave (L1-L5 fire on seeded \
+                "themis-lint self-test: all {} fixtures behave (L1-L6 fire on seeded \
                  violations, clean fixture stays silent)",
                 selftest::fixtures().len()
             );
@@ -192,7 +195,7 @@ fn main() -> ExitCode {
     }
     if surviving.is_empty() {
         println!(
-            "themis-lint: {} files clean under L1-L5 ({} allowlisted exemptions, \
+            "themis-lint: {} files clean under L1-L6 ({} allowlisted exemptions, \
              {} manifest lock orders)",
             files.len(),
             allow.len(),

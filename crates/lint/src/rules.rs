@@ -1,4 +1,4 @@
-//! The five deny rules. Each inspects the token stream of one file with the
+//! The six deny rules. Each inspects the token stream of one file with the
 //! enclosing-scope stack available, and emits [`Violation`]s; the allowlist
 //! (main.rs) filters them afterwards so every exemption is visible in one
 //! audited file.
@@ -18,6 +18,7 @@ pub enum Rule {
     L3,
     L4,
     L5,
+    L6,
 }
 
 impl Rule {
@@ -28,10 +29,11 @@ impl Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
         }
     }
-    pub fn all() -> [Rule; 5] {
-        [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5]
+    pub fn all() -> [Rule; 6] {
+        [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6]
     }
 }
 
@@ -72,6 +74,9 @@ pub fn analyze_file(path: &str, src: &str) -> FileReport {
     let in_entity = path == "crates/core/src/entity.rs";
     let l3_allowed = path.starts_with("crates/device/src/") || path == "crates/server/src/core.rs";
     let l4_applies = ["crates/server/src/", "crates/stage/src/", "crates/fs/src/"]
+        .iter()
+        .any(|p| path.starts_with(p));
+    let l6_applies = ["crates/server/src/", "crates/stage/src/"]
         .iter()
         .any(|p| path.starts_with(p));
 
@@ -191,6 +196,38 @@ pub fn analyze_file(path: &str, src: &str) -> FileReport {
                 message: format!(
                     "`.{}(` in a non-test hot path: a panicking server thread takes the \
                      whole shard down; return an error or audit + allowlist",
+                    t.text
+                ),
+                scope_names: names.clone(),
+            });
+        }
+
+        // ---- L6: ad-hoc atomic counters bypassing the metrics registry ---
+        // Server/stage hot paths record metrics only through MetricsRegistry
+        // handles (themis-telemetry): a bare counter-width atomic is a shadow
+        // metric that MetricsSnapshot, themis-top and the harness's
+        // telemetry-consistency oracle can never see. AtomicBool stays legal
+        // — it is control flow (stop flags), not measurement.
+        if l6_applies
+            && !in_test
+            && [
+                "AtomicU64",
+                "AtomicUsize",
+                "AtomicI64",
+                "AtomicU32",
+                "AtomicI32",
+            ]
+            .iter()
+            .any(|n| t.is_ident(n))
+        {
+            violations.push(Violation {
+                rule: Rule::L6,
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "ad-hoc `{}` in a server/stage hot path: counters and gauges must \
+                     go through MetricsRegistry handles (themis-telemetry) so snapshots \
+                     and the telemetry-consistency oracle observe them",
                     t.text
                 ),
                 scope_names: names.clone(),

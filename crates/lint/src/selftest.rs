@@ -73,6 +73,17 @@ pub fn fixtures() -> Vec<Fixture> {
             expect: Some(Rule::L4),
         },
         Fixture {
+            name: "L6 ad-hoc atomic counter in a server hot path",
+            path: "crates/server/src/fixture.rs",
+            src: r#"
+                static REQUESTS_SERVED: AtomicU64 = AtomicU64::new(0);
+                fn hot() {
+                    REQUESTS_SERVED.fetch_add(1, Ordering::Relaxed);
+                }
+            "#,
+            expect: Some(Rule::L6),
+        },
+        Fixture {
             name: "L5 nested lock pair",
             path: "crates/harness/src/fixture.rs",
             src: r#"
@@ -103,6 +114,9 @@ pub fn fixtures() -> Vec<Fixture> {
                     let _gb = b.lock();
                 }
                 fn base() -> u64 { reserved_job_id(2, 0).0 }
+                fn should_stop(flag: &AtomicBool) -> bool {
+                    flag.load(Ordering::Relaxed)
+                }
                 #[cfg(test)]
                 mod tests {
                     #[test]

@@ -13,6 +13,7 @@ use themis_core::policy::Policy;
 use themis_fs::layout::StripeConfig;
 use themis_fs::store::StatInfo;
 use themis_stage::{DrainStatus, ScrubStatus};
+use themis_telemetry::{MetricsSnapshot, TraceDump};
 
 /// A POSIX-flavoured file system operation as carried on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -251,6 +252,25 @@ pub enum ClientMessage {
         /// Request id chosen by the client, echoed in the reply.
         request_id: u64,
     },
+    /// Observability: cut a full metrics snapshot. The registry is shared
+    /// across the deployment's servers, so any server answers with the
+    /// cluster-wide view ([`ServerMessage::Stage`] /
+    /// [`StageReply::Metrics`]). Available whether or not staging is
+    /// enabled.
+    MetricsSnapshot {
+        /// Request id chosen by the client, echoed in the reply.
+        request_id: u64,
+    },
+    /// Observability: dump the answering server's newest scheduler decision
+    /// trace events. Answered immediately with [`ServerMessage::Stage`] /
+    /// [`StageReply::Trace`]; the dump is empty (with `dropped = 0`) when
+    /// the telemetry crate's `trace` feature is compiled out.
+    TraceDump {
+        /// Request id chosen by the client, echoed in the reply.
+        request_id: u64,
+        /// Maximum number of events to return (newest retained first).
+        max_events: u64,
+    },
 }
 
 /// A server→client message.
@@ -326,6 +346,12 @@ pub enum StageReply {
     /// The request could not be served (e.g. staging disabled on the
     /// server).
     Error(String),
+    /// A point-in-time view of the deployment's metrics registry, answering
+    /// [`ClientMessage::MetricsSnapshot`].
+    Metrics(MetricsSnapshot),
+    /// The newest scheduler decision trace events of the answering server,
+    /// answering [`ClientMessage::TraceDump`].
+    Trace(TraceDump),
 }
 
 /// A server→server message used by the λ-sync all-gather.

@@ -23,6 +23,10 @@ use themis_stage::{
     RestorePipeline, RestoreTarget, ScrubPipeline, ScrubStatus, StagedEngine, StagingConfig,
     TrafficClass,
 };
+use themis_telemetry::{
+    Counter, DecisionTrace, Gauge, Histogram, MetricsRegistry, SeriesKey, TraceDump, TraceEvent,
+    TraceKind, TraceLane,
+};
 
 /// Configuration of one server.
 #[derive(Debug, Clone)]
@@ -82,6 +86,9 @@ struct ParkedOp {
     request_id: u64,
     request: IoRequest,
     op: FsOp,
+    /// When the op was parked, so the wake path can record the park
+    /// duration (`park_ns`) it spent waiting behind arbitrated restores.
+    parked_at_ns: u64,
     /// `(shard, path, stripe)` keys of the restores this op still waits on.
     /// Empty for an op parked purely for ordering (blocked-only): it queued
     /// no restores and waits only for the earlier overlapping ops ahead of
@@ -102,6 +109,76 @@ struct PendingStageIn {
     request_id: u64,
     keys: std::collections::HashSet<(usize, String, u64)>,
     restored_bytes: u64,
+}
+
+/// Pre-resolved per-tenant instrument handles, interned on a tenant's first
+/// completion so the completion path never touches the registry lock again.
+struct TenantStats {
+    ops_completed: Counter,
+    bytes_completed: Counter,
+    queue_delay_ns: Histogram,
+    service_ns: Histogram,
+}
+
+/// The server's own telemetry: the (deployment-shared) metrics registry plus
+/// pre-resolved handles for the layers the policy engine cannot see —
+/// per-tenant completion accounting, foreground parking, burst-buffer
+/// residency — and a decision-trace ring for park/wake events, merged with
+/// the engine's scheduler ring by [`ServerCore::trace_dump_snapshot`].
+///
+/// Park/wake series live on the foreground class series
+/// (`SeriesKey::class(server, "foreground")`); residency counters and the
+/// instantaneous capacity gauges live on the `"fs"` layer series.
+struct CoreTelemetry {
+    registry: MetricsRegistry,
+    tenants: HashMap<u64, TenantStats>,
+    parked_ops: Counter,
+    wakes: Counter,
+    park_ns: Histogram,
+    residency_hit_ops: Counter,
+    residency_hit_bytes: Counter,
+    residency_miss_ops: Counter,
+    residency_miss_bytes: Counter,
+    resident_bytes: Gauge,
+    dirty_bytes: Gauge,
+    backing_bytes: Gauge,
+    trace: DecisionTrace,
+}
+
+impl CoreTelemetry {
+    fn new(registry: MetricsRegistry, server: usize) -> Self {
+        let fg = SeriesKey::class(server, "foreground");
+        let fs = SeriesKey::class(server, "fs");
+        CoreTelemetry {
+            tenants: HashMap::new(),
+            parked_ops: registry.counter(fg, "parked_ops"),
+            wakes: registry.counter(fg, "wakes"),
+            park_ns: registry.histogram(fg, "park_ns"),
+            residency_hit_ops: registry.counter(fs, "residency_hit_ops"),
+            residency_hit_bytes: registry.counter(fs, "residency_hit_bytes"),
+            residency_miss_ops: registry.counter(fs, "residency_miss_ops"),
+            residency_miss_bytes: registry.counter(fs, "residency_miss_bytes"),
+            resident_bytes: registry.gauge(fs, "resident_bytes"),
+            dirty_bytes: registry.gauge(fs, "dirty_bytes"),
+            backing_bytes: registry.gauge(fs, "backing_bytes"),
+            trace: DecisionTrace::default(),
+            registry,
+        }
+    }
+
+    /// The interned handles of `job`'s per-tenant series on `server`.
+    fn tenant(&mut self, server: usize, job: u64) -> &TenantStats {
+        let registry = &self.registry;
+        self.tenants.entry(job).or_insert_with(|| {
+            let key = SeriesKey::tenant(server, job);
+            TenantStats {
+                ops_completed: registry.counter(key, "ops_completed"),
+                bytes_completed: registry.counter(key, "bytes_completed"),
+                queue_delay_ns: registry.histogram(key, "queue_delay_ns"),
+                service_ns: registry.histogram(key, "service_ns"),
+            }
+        })
+    }
 }
 
 /// The server-side staging state: the drain and restore pipelines, the
@@ -169,6 +246,7 @@ pub struct ServerCore {
     next_seq: u64,
     completions: u64,
     staging: Option<StageState>,
+    telemetry: CoreTelemetry,
     stage_replies: Vec<StageReady>,
     /// Requests rejected at submission (e.g. a job id in the reserved drain
     /// range), answered by the next poll.
@@ -197,8 +275,24 @@ impl ServerCore {
         config: ServerConfig,
         backing: Option<Arc<dyn BackingStore>>,
     ) -> Self {
+        Self::with_telemetry(server_index, fs, config, backing, MetricsRegistry::new())
+    }
+
+    /// Like [`ServerCore::with_backing`], but recording into a
+    /// caller-supplied [`MetricsRegistry`]. A multi-server deployment passes
+    /// one shared registry to every server so a single
+    /// [`ServerCore::metrics_snapshot`] (answered by any server) covers the
+    /// cluster. The policy engine and every staging pipeline are attached at
+    /// construction, so their counters are live from the first request.
+    pub fn with_telemetry(
+        server_index: usize,
+        fs: BurstBufferFs,
+        config: ServerConfig,
+        backing: Option<Arc<dyn BackingStore>>,
+        registry: MetricsRegistry,
+    ) -> Self {
         let policy = config.algorithm.initial_policy();
-        let engine: Box<dyn PolicyEngine> = match &config.staging {
+        let mut engine: Box<dyn PolicyEngine> = match &config.staging {
             Some(sc) => {
                 sc.drain
                     .validate()
@@ -210,27 +304,42 @@ impl ServerCore {
             }
             None => config.algorithm.build(),
         };
-        let staging = config.staging.as_ref().map(|sc| StageState {
-            pipeline: DrainPipeline::new(server_index, sc.drain),
-            restore: RestorePipeline::new(server_index, sc.drain.max_inflight),
-            scrub: ScrubPipeline::new(
+        if let Some(staged) = engine
+            .as_any_mut()
+            .and_then(|e| e.downcast_mut::<StagedEngine>())
+        {
+            staged.attach_telemetry(&registry, server_index);
+        }
+        let staging = config.staging.as_ref().map(|sc| {
+            let mut pipeline = DrainPipeline::new(server_index, sc.drain);
+            pipeline.attach_telemetry(&registry);
+            let mut restore = RestorePipeline::new(server_index, sc.drain.max_inflight);
+            restore.attach_telemetry(&registry);
+            let mut scrub = ScrubPipeline::new(
                 server_index,
                 sc.drain.scrub_enabled,
                 sc.drain.scrub_interval_ns,
                 sc.drain.max_inflight,
-            ),
-            backing: backing.unwrap_or_else(|| {
-                Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>
-            }),
-            backing_device: DeviceTimeline::new(DeviceModel::new(sc.backing_device)),
-            inflight_backing: Vec::new(),
-            inflight_restores: Vec::new(),
-            inflight_scrubs: Vec::new(),
-            pending_flushes: Vec::new(),
-            parked_ops: Vec::new(),
-            pending_stage_ins: Vec::new(),
-            pending_scrubs: Vec::new(),
+            );
+            scrub.attach_telemetry(&registry);
+            StageState {
+                pipeline,
+                restore,
+                scrub,
+                backing: backing.unwrap_or_else(|| {
+                    Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>
+                }),
+                backing_device: DeviceTimeline::new(DeviceModel::new(sc.backing_device)),
+                inflight_backing: Vec::new(),
+                inflight_restores: Vec::new(),
+                inflight_scrubs: Vec::new(),
+                pending_flushes: Vec::new(),
+                parked_ops: Vec::new(),
+                pending_stage_ins: Vec::new(),
+                pending_scrubs: Vec::new(),
+            }
         });
+        let telemetry = CoreTelemetry::new(registry, server_index);
         let mut jobs = JobTable::with_heartbeat_timeout(config.heartbeat_timeout_ns);
         jobs.set_viewpoint(server_index);
         ServerCore {
@@ -248,9 +357,16 @@ impl ServerCore {
             config,
             completions: 0,
             staging,
+            telemetry,
             stage_replies: Vec::new(),
             rejected: Vec::new(),
         }
+    }
+
+    /// The metrics registry this server records into (shared across the
+    /// deployment when constructed via [`ServerCore::with_telemetry`]).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.telemetry.registry
     }
 
     /// This server's index.
@@ -291,6 +407,15 @@ impl ServerCore {
         }
         self.policy = policy;
         self.policy_epoch += 1;
+        // Stamp the new epoch onto the scheduler's decision trace, so a
+        // trace dump shows exactly which allocation each decision ran under.
+        if let Some(staged) = self
+            .engine
+            .as_any_mut()
+            .and_then(|e| e.downcast_mut::<StagedEngine>())
+        {
+            staged.set_trace_epoch(self.policy_epoch);
+        }
         self.engine.reconfigure(&self.jobs, &self.policy);
         Ok(self.policy_epoch)
     }
@@ -457,7 +582,7 @@ impl ServerCore {
                 // other traffic (including the restores themselves).
                 continue;
             }
-            if self.park_if_overlaps_parked(request_id, &request, &op) {
+            if self.park_if_overlaps_parked(request_id, &request, &op, now_ns) {
                 // Every extent the op targets is resident, but an *earlier*
                 // parked op overlaps them: executing now would let this
                 // op's bytes be clobbered when the earlier op's restores
@@ -474,6 +599,7 @@ impl ServerCore {
             };
             self.engine.complete(&completion);
             self.completions += 1;
+            self.record_completion(&completion);
             ready.push(ReadyReply {
                 request_id,
                 reply,
@@ -481,6 +607,36 @@ impl ServerCore {
             });
         }
         ready
+    }
+
+    /// Records one foreground completion into its tenant's series: the op
+    /// and byte totals the conformance oracle cross-checks against
+    /// reply-derived accounting, plus queue-delay and service histograms.
+    fn record_completion(&mut self, completion: &Completion) {
+        let stats = self
+            .telemetry
+            .tenant(self.server_index, completion.request.meta.job.0);
+        stats.ops_completed.inc();
+        stats.bytes_completed.add(completion.request.bytes);
+        stats.queue_delay_ns.record(completion.queue_delay_ns());
+        stats.service_ns.record(completion.service_ns());
+    }
+
+    /// Records a park or wake decision into the core's trace ring. The
+    /// virtual times are 0: parking happens outside the engine, after the
+    /// slot was already granted.
+    fn trace_park_event(&mut self, now_ns: u64, kind: TraceKind, request: &IoRequest) {
+        self.telemetry.trace.record(TraceEvent {
+            now_ns,
+            server: self.server_index as u32,
+            kind,
+            lane: TraceLane::Foreground,
+            job: request.meta.job.0,
+            bytes: request.bytes,
+            lane_vtime: 0.0,
+            fg_vtime: 0.0,
+            epoch: self.policy_epoch,
+        });
     }
 
     // ------------------------------------------------------------- staging
@@ -495,19 +651,60 @@ impl ServerCore {
         self.staging.as_ref().map(|s| &s.backing)
     }
 
+    /// Refreshes the instantaneous capacity gauges (`fs` layer series) from
+    /// the file system and capacity tier. Called before every status or
+    /// metrics snapshot: gauges describe *now*, so they are sampled at read
+    /// time rather than maintained on the write path.
+    fn refresh_gauges(&self) {
+        self.telemetry
+            .resident_bytes
+            .set(self.fs.resident_bytes_on(self.server_index) as i64);
+        self.telemetry
+            .dirty_bytes
+            .set(self.fs.dirty_bytes_on(self.server_index) as i64);
+        let backing = self
+            .staging
+            .as_ref()
+            .map_or(0, |st| st.backing.bytes_stored());
+        self.telemetry.backing_bytes.set(backing as i64);
+    }
+
     /// A point-in-time staging status snapshot, `None` when staging is
     /// disabled. Includes the restore backlog
     /// ([`DrainStatus::pending_restore_bytes`]) so clients can observe the
     /// stage-in queue delay their reads of evicted data will land behind.
+    ///
+    /// The status is a **view over the metrics registry**: every monotonic
+    /// counter comes from one sorted-order registry read (see
+    /// `MetricsRegistry::snapshot`), so the derived restore backlog
+    /// (`requested - completed`) can never go negative even when a snapshot
+    /// is cut mid-restore; only the instantaneous fields (gauges, inflight
+    /// depth) are sampled from the live structures.
     pub fn drain_status_snapshot(&self) -> Option<DrainStatus> {
         let st = self.staging.as_ref()?;
-        let mut status = st.pipeline.status(
-            self.fs.resident_bytes_on(self.server_index),
-            self.fs.dirty_bytes_on(self.server_index),
-            st.backing.bytes_stored(),
-        );
-        st.restore.fill_status(&mut status);
-        Some(status)
+        self.refresh_gauges();
+        let snap = self.telemetry.registry.snapshot(0);
+        let s = self.server_index as u32;
+        let drain = TrafficClass::Drain.name();
+        let restore = TrafficClass::Restore.name();
+        let requested = snap.counter(s, 0, restore, "requested_bytes");
+        let completed = snap.counter(s, 0, restore, "completed_bytes");
+        debug_assert!(completed <= requested);
+        Some(DrainStatus {
+            resident_bytes: snap.gauge(s, 0, "fs", "resident_bytes") as u64,
+            dirty_bytes: snap.gauge(s, 0, "fs", "dirty_bytes") as u64,
+            backing_bytes: snap.gauge(s, 0, "fs", "backing_bytes") as u64,
+            inflight_extents: st.pipeline.inflight_len(),
+            drained_bytes: snap.counter(s, 0, drain, "drained_bytes"),
+            drained_ops: snap.counter(s, 0, drain, "drained_ops"),
+            evicted_bytes: snap.counter(s, 0, drain, "evicted_bytes"),
+            evicted_extents: snap.counter(s, 0, drain, "evicted_extents"),
+            // `completed_bytes` sorts (and is loaded) before
+            // `requested_bytes`, so this difference never underflows.
+            pending_restore_bytes: requested - completed,
+            restored_bytes: snap.counter(s, 0, restore, "restored_bytes"),
+            restored_ops: snap.counter(s, 0, restore, "restored_ops"),
+        })
     }
 
     /// Takes the staging replies that became ready (flush acknowledgements,
@@ -646,9 +843,69 @@ impl ServerCore {
     }
 
     /// A point-in-time scrub status snapshot, `None` when staging is
-    /// disabled.
+    /// disabled. Like [`ServerCore::drain_status_snapshot`], the monotonic
+    /// verification counters are a view over one sorted registry read;
+    /// structural state (pass progress, quarantine list) comes from the
+    /// pipeline.
     pub fn scrub_status_snapshot(&self) -> Option<ScrubStatus> {
-        self.staging.as_ref().map(|st| st.scrub.status())
+        let st = self.staging.as_ref()?;
+        let mut status = st.scrub.status();
+        let snap = self.telemetry.registry.snapshot(0);
+        let s = self.server_index as u32;
+        let lane = TrafficClass::Scrub.name();
+        status.passes_completed = snap.counter(s, 0, lane, "passes_completed");
+        status.scrubbed_extents = snap.counter(s, 0, lane, "scrubbed_extents");
+        status.scrubbed_bytes = snap.counter(s, 0, lane, "scrubbed_bytes");
+        status.errors_detected = snap.counter(s, 0, lane, "errors_detected");
+        status.repaired_extents = snap.counter(s, 0, lane, "repaired_extents");
+        status.superseded_extents = snap.counter(s, 0, lane, "superseded_extents");
+        Some(status)
+    }
+
+    /// Handles a `MetricsSnapshot` request: refreshes this server's gauges
+    /// and cuts one snapshot of the registry — the whole deployment's
+    /// metrics when the registry is shared ([`ServerCore::with_telemetry`]).
+    /// Works with or without staging; the reply is immediate.
+    pub fn metrics_snapshot(&mut self, request_id: u64, now_ns: u64) {
+        self.refresh_gauges();
+        let snap = self.telemetry.registry.snapshot(now_ns);
+        self.stage_replies.push(StageReady {
+            request_id,
+            reply: StageReply::Metrics(snap),
+        });
+    }
+
+    /// Handles a `TraceDump` request: the newest `max_events` scheduler and
+    /// park/wake decisions of **this** server, merged by decision time. The
+    /// reply is immediate; the dump is empty when the telemetry crate's
+    /// `trace` feature is compiled out.
+    pub fn trace_dump(&mut self, request_id: u64, max_events: u64) {
+        let dump = self.trace_dump_snapshot(max_events as usize);
+        self.stage_replies.push(StageReady {
+            request_id,
+            reply: StageReply::Trace(dump),
+        });
+    }
+
+    /// Merges the engine's scheduler-decision ring with the core's
+    /// park/wake ring, newest `max` events retained (oldest first).
+    pub fn trace_dump_snapshot(&mut self, max: usize) -> TraceDump {
+        let core = self.telemetry.trace.dump(max);
+        let engine = self
+            .engine
+            .as_any_mut()
+            .and_then(|e| e.downcast_mut::<StagedEngine>())
+            .map(|e| e.trace_dump(max))
+            .unwrap_or_default();
+        let mut events: Vec<TraceEvent> = engine.events;
+        events.extend(core.events);
+        events.sort_by_key(|e| e.now_ns);
+        let cut = events.len() - max.min(events.len());
+        let events = events.split_off(cut);
+        TraceDump {
+            events,
+            dropped: engine.dropped + core.dropped + cut as u64,
+        }
     }
 
     /// Handles a `Scrub` request: demands a full checksum pass over this
@@ -845,6 +1102,11 @@ impl ServerCore {
                 }
             }
             for parked in unparked {
+                self.telemetry.wakes.inc();
+                self.telemetry
+                    .park_ns
+                    .record(now_ns.saturating_sub(parked.parked_at_ns));
+                self.trace_park_event(now_ns, TraceKind::Wake, &parked.request);
                 let (start_ns, finish_ns) = self.device.dispatch(&parked.request, now_ns);
                 let reply = self.execute(&parked.op, finish_ns);
                 let completion = Completion {
@@ -854,6 +1116,7 @@ impl ServerCore {
                 };
                 self.engine.complete(&completion);
                 self.completions += 1;
+                self.record_completion(&completion);
                 ready.push(ReadyReply {
                     request_id: parked.request_id,
                     reply,
@@ -1209,9 +1472,12 @@ impl ServerCore {
             request_id,
             request: *request,
             op: op.clone(),
+            parked_at_ns: now_ns,
             all_keys,
             keys,
         });
+        self.telemetry.parked_ops.inc();
+        self.trace_park_event(now_ns, TraceKind::Park, request);
         // Give the engine the new restore work immediately so it competes in
         // this same poll.
         self.admit_restores(now_ns);
@@ -1228,7 +1494,13 @@ impl ServerCore {
     /// queues no restores of its own; it wakes (strictly after the ops it
     /// is ordered behind) in the same restore-landing pass that releases
     /// them. Returns whether the request was parked.
-    fn park_if_overlaps_parked(&mut self, request_id: u64, request: &IoRequest, op: &FsOp) -> bool {
+    fn park_if_overlaps_parked(
+        &mut self,
+        request_id: u64,
+        request: &IoRequest,
+        op: &FsOp,
+        now_ns: u64,
+    ) -> bool {
         if self
             .staging
             .as_ref()
@@ -1254,9 +1526,12 @@ impl ServerCore {
             request_id,
             request: *request,
             op: op.clone(),
+            parked_at_ns: now_ns,
             keys: std::collections::HashSet::new(),
             all_keys: keys,
         });
+        self.telemetry.parked_ops.inc();
+        self.trace_park_event(now_ns, TraceKind::Park, request);
         true
     }
 
@@ -1456,6 +1731,24 @@ impl ServerCore {
         if fetched.get() > 0 {
             let read = IoRequest::new(0, st.pipeline.meta(), OpKind::Read, fetched.get(), now_ns);
             st.backing_device.dispatch(&read, now_ns);
+        }
+        // Residency accounting: a read that pulled anything through the
+        // capacity tier is a miss op (the fetched bytes count as misses, the
+        // remainder of the returned payload was resident); a read served
+        // entirely from the shard is a hit op.
+        if let Ok(data) = &result {
+            let fetched = fetched.get();
+            if fetched > 0 {
+                self.telemetry.residency_miss_ops.inc();
+                self.telemetry.residency_miss_bytes.add(fetched);
+                let resident = (data.len() as u64).saturating_sub(fetched);
+                if resident > 0 {
+                    self.telemetry.residency_hit_bytes.add(resident);
+                }
+            } else {
+                self.telemetry.residency_hit_ops.inc();
+                self.telemetry.residency_hit_bytes.add(data.len() as u64);
+            }
         }
         result
     }
@@ -2314,6 +2607,168 @@ mod tests {
         s.flush(2, meta(1, 1), "/x", 0);
         let replies = s.take_stage_replies();
         assert!(matches!(replies[0].reply, StageReply::Error(_)));
+    }
+
+    /// Satellite (regression): status snapshots cut *mid-restore* are
+    /// internally consistent — the derived backlog `requested - completed`
+    /// never underflows (the subtraction itself would panic in debug if a
+    /// snapshot ever showed completed ahead of requested), and the restored
+    /// totals never exceed what was requested.
+    #[test]
+    fn mid_restore_status_snapshots_never_overcount_completed() {
+        let mut staging = fast_staging();
+        staging.drain.high_watermark_bytes = 1 << 20;
+        staging.drain.low_watermark_bytes = 0;
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/mid", 2 << 20, 0);
+        poll_until_clean(&mut s, 1_000_000);
+        s.poll(60_000_000);
+        assert_eq!(s.drain_status_snapshot().unwrap().resident_bytes, 0);
+        // A read of the evicted file parks behind policy-admitted restores.
+        s.submit(
+            700,
+            meta(1, 1),
+            FsOp::ReadAt {
+                path: "/mid".into(),
+                offset: 0,
+                len: 2 << 20,
+            },
+            70_000_000,
+        );
+        let mut t = 70_000_000;
+        let mut saw_backlog = false;
+        loop {
+            let done = s.poll(t).iter().any(|r| r.request_id == 700);
+            // Cut a status snapshot at every step of the restore, including
+            // between admission and completion of individual extents.
+            let status = s.drain_status_snapshot().unwrap();
+            saw_backlog |= status.pending_restore_bytes > 0;
+            assert!(
+                status.restored_bytes <= (2 << 20) + status.pending_restore_bytes,
+                "restored {} beyond requested work (backlog {})",
+                status.restored_bytes,
+                status.pending_restore_bytes
+            );
+            if done {
+                break;
+            }
+            t += 100_000;
+            assert!(t < 120_000_000_000, "read never completed");
+        }
+        assert!(saw_backlog, "never observed a mid-restore backlog");
+        // The park/wake accounting closed out: every park woke exactly once,
+        // and each wake recorded a park duration sample.
+        let snap = s.metrics_registry().snapshot(t);
+        let parked = snap.counter(0, 0, "foreground", "parked_ops");
+        let wakes = snap.counter(0, 0, "foreground", "wakes");
+        assert!(parked >= 1);
+        assert_eq!(parked, wakes);
+        assert_eq!(snap.histogram(0, 0, "foreground", "park_ns").count, wakes);
+        assert!(s.drain_status_snapshot().unwrap().restore_idle());
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_tenants_classes_and_gauges() {
+        let mut s = staged_server(fast_staging());
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/obs", 3 << 20, 0);
+        let t = poll_until_clean(&mut s, 1_000_000);
+        let status = s.drain_status_snapshot().unwrap();
+        s.metrics_snapshot(77, t);
+        let replies = s.take_stage_replies();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].request_id, 77);
+        let StageReply::Metrics(snap) = &replies[0].reply else {
+            panic!("unexpected reply {:?}", replies[0].reply);
+        };
+        assert_eq!(snap.taken_ns, t);
+        // Per-tenant completion series match the server's own accounting.
+        let ops = snap.counter(0, 1, "foreground", "ops_completed");
+        assert_eq!(ops, s.completions());
+        assert!(snap.counter(0, 1, "foreground", "bytes_completed") >= (3 << 20) as u64);
+        assert_eq!(
+            snap.histogram(0, 1, "foreground", "queue_delay_ns").count,
+            ops
+        );
+        assert_eq!(snap.histogram(0, 1, "foreground", "service_ns").count, ops);
+        assert_eq!(snap.tenants().into_iter().collect::<Vec<_>>(), vec![1]);
+        // Class lanes carry the drain's admission and completion history —
+        // and they agree with the registry-view DrainStatus.
+        assert_eq!(
+            snap.counter(0, 0, "drain", "drained_bytes"),
+            status.drained_bytes
+        );
+        assert_eq!(
+            snap.counter(0, 0, "drain", "drained_ops"),
+            status.drained_ops
+        );
+        assert!(snap.counter(0, 0, "drain", "admitted_bytes") >= status.drained_bytes);
+        // Gauges were refreshed at the cut.
+        assert_eq!(
+            snap.gauge(0, 0, "fs", "backing_bytes") as u64,
+            status.backing_bytes
+        );
+        assert_eq!(snap.gauge(0, 0, "fs", "dirty_bytes"), 0);
+        // The snapshot renders to offline-safe flat JSON.
+        let json = snap.to_json();
+        assert!(json.contains("\"srv0.t1.foreground.ops_completed\""));
+        assert!(json.contains("\"srv0.t0.drain.drained_bytes\""));
+    }
+
+    #[test]
+    fn trace_dump_merges_engine_and_core_decisions() {
+        let mut staging = fast_staging();
+        staging.drain.high_watermark_bytes = 1 << 20;
+        staging.drain.low_watermark_bytes = 0;
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/trace", 2 << 20, 0);
+        poll_until_clean(&mut s, 1_000_000);
+        s.poll(60_000_000);
+        // Bump the policy epoch so decisions after the swap are stamped.
+        let epoch = s.set_policy(Policy::job_fair()).unwrap();
+        assert_eq!(epoch, 1);
+        // A read of evicted data: engine admissions/selections plus a core
+        // park and wake.
+        s.submit(
+            800,
+            meta(1, 1),
+            FsOp::ReadAt {
+                path: "/trace".into(),
+                offset: 0,
+                len: 2 << 20,
+            },
+            70_000_000,
+        );
+        let mut t = 70_000_000;
+        loop {
+            if s.poll(t).iter().any(|r| r.request_id == 800) {
+                break;
+            }
+            t += 100_000;
+            assert!(t < 120_000_000_000, "read never completed");
+        }
+        s.trace_dump(88, 10_000);
+        let replies = s.take_stage_replies();
+        assert_eq!(replies[0].request_id, 88);
+        let StageReply::Trace(dump) = &replies[0].reply else {
+            panic!("unexpected reply {:?}", replies[0].reply);
+        };
+        if themis_telemetry::DecisionTrace::enabled() {
+            let kinds: Vec<TraceKind> = dump.events.iter().map(|e| e.kind).collect();
+            assert!(kinds.contains(&TraceKind::Park), "no park event");
+            assert!(kinds.contains(&TraceKind::Wake), "no wake event");
+            assert!(kinds.contains(&TraceKind::Admit), "no engine admission");
+            // Merged stream is ordered by decision time, and post-swap
+            // decisions carry the new epoch.
+            assert!(dump.events.windows(2).all(|w| w[0].now_ns <= w[1].now_ns));
+            assert!(dump.events.iter().any(|e| e.epoch == 1));
+            assert!(dump.render().contains("park"));
+        } else {
+            assert!(dump.events.is_empty());
+            assert_eq!(dump.dropped, 0);
+        }
     }
 
     #[test]

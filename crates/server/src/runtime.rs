@@ -18,6 +18,7 @@ use themis_net::message::{ClientMessage, ServerMessage};
 use themis_net::transport::{channel_pair, Endpoint, PeerFabric};
 use themis_net::PeerMessage;
 use themis_stage::{BackingStore, CapacityTier};
+use themis_telemetry::MetricsRegistry;
 
 /// A registrar message: a new connection id plus the server-side reply
 /// endpoint for it.
@@ -60,6 +61,10 @@ impl Deployment {
         // file system behind the burst buffer is a single system, so any
         // server can stage in extents a peer drained.
         let mut shared_backing: Option<Arc<dyn BackingStore>> = None;
+        // One shared metrics registry likewise: every server records its own
+        // series (keyed by server index), so a `MetricsSnapshot` answered by
+        // any server covers the whole cluster.
+        let registry = MetricsRegistry::new();
 
         for idx in 0..n {
             let (reg_tx, reg_rx): (Sender<Registration>, Receiver<Registration>) = unbounded();
@@ -72,7 +77,8 @@ impl Deployment {
                     Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>
                 }))
             });
-            let core = ServerCore::with_backing(idx, fs.clone(), config, backing);
+            let core =
+                ServerCore::with_telemetry(idx, fs.clone(), config, backing, registry.clone());
             let fabric = Arc::clone(&fabric);
             let stop = Arc::clone(&stop);
             threads.push(std::thread::spawn(move || {
@@ -198,9 +204,23 @@ fn server_loop(
     let epoch = Instant::now();
     let mut clients: std::collections::HashMap<usize, ClientSlot> =
         std::collections::HashMap::new();
-    // Map request-id → connection id, so replies go back to the right
-    // connection. Request ids are made unique per connection by the client.
-    let mut reply_route: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    // Request ids are only unique per connection (every client numbers its
+    // own requests from zero), so a route keyed by the raw id would collide
+    // as soon as two clients talk to this server concurrently — one side's
+    // reply would be misrouted and the other would stall until its timeout.
+    // The loop therefore re-tickets each request with a server-unique id
+    // before it enters the core and translates back when replying.
+    let mut next_ticket: u64 = 0;
+    let mut reply_route: std::collections::HashMap<u64, (usize, u64)> =
+        std::collections::HashMap::new();
+    let mut ticket = move |route: &mut std::collections::HashMap<u64, (usize, u64)>,
+                           conn_id: usize,
+                           request_id: u64| {
+        let t = next_ticket;
+        next_ticket += 1;
+        route.insert(t, (conn_id, request_id));
+        t
+    };
     let my_index = core.server_index();
 
     while !stop.load(Ordering::SeqCst) {
@@ -259,36 +279,47 @@ fn server_loop(
                     meta,
                     op,
                 } => {
-                    reply_route.insert(request_id, conn_id);
-                    core.submit(request_id, meta, op, now);
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.submit(t, meta, op, now);
                 }
                 ClientMessage::Flush {
                     request_id,
                     meta,
                     path,
                 } => {
-                    reply_route.insert(request_id, conn_id);
-                    core.flush(request_id, meta, &path, now);
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.flush(t, meta, &path, now);
                 }
                 ClientMessage::StageIn {
                     request_id,
                     meta,
                     path,
                 } => {
-                    reply_route.insert(request_id, conn_id);
-                    core.stage_in(request_id, meta, &path, now);
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.stage_in(t, meta, &path, now);
                 }
                 ClientMessage::DrainStatus { request_id } => {
-                    reply_route.insert(request_id, conn_id);
-                    core.drain_status(request_id);
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.drain_status(t);
                 }
                 ClientMessage::Scrub { request_id } => {
-                    reply_route.insert(request_id, conn_id);
-                    core.scrub(request_id);
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.scrub(t);
                 }
                 ClientMessage::ScrubStatus { request_id } => {
-                    reply_route.insert(request_id, conn_id);
-                    core.scrub_status(request_id);
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.scrub_status(t);
+                }
+                ClientMessage::MetricsSnapshot { request_id } => {
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.metrics_snapshot(t, now);
+                }
+                ClientMessage::TraceDump {
+                    request_id,
+                    max_events,
+                } => {
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.trace_dump(t, max_events);
                 }
             }
         }
@@ -297,10 +328,10 @@ fn server_loop(
         // replies plus, with staging, drain progress).
         for ready in core.poll(now) {
             did_work = true;
-            if let Some(conn_id) = reply_route.remove(&ready.request_id) {
+            if let Some((conn_id, request_id)) = reply_route.remove(&ready.request_id) {
                 if let Some(c) = ensure_client(&mut clients, &registrar, conn_id) {
                     let _ = c.endpoint.send(ServerMessage::IoReply {
-                        request_id: ready.request_id,
+                        request_id,
                         reply: ready.reply,
                     });
                 }
@@ -310,10 +341,10 @@ fn server_loop(
         // Staging acknowledgements that became ready (flush/stage-in/status).
         for stage in core.take_stage_replies() {
             did_work = true;
-            if let Some(conn_id) = reply_route.remove(&stage.request_id) {
+            if let Some((conn_id, request_id)) = reply_route.remove(&stage.request_id) {
                 if let Some(c) = ensure_client(&mut clients, &registrar, conn_id) {
                     let _ = c.endpoint.send(ServerMessage::Stage {
-                        request_id: stage.request_id,
+                        request_id,
                         reply: stage.reply,
                     });
                 }
@@ -429,6 +460,49 @@ mod tests {
         // The data is visible through the shared fs from the test side.
         assert_eq!(dep.fs().stat("/out/x").unwrap().size, 1024);
         conn.send(ClientMessage::Bye { meta });
+        dep.shutdown();
+    }
+
+    /// Every client numbers its own requests from zero, so two concurrent
+    /// connections always collide on raw request ids. The server must route
+    /// each reply to the connection that sent the request, echoing the
+    /// sender's own id — not whichever connection registered the id last.
+    #[test]
+    fn colliding_request_ids_route_to_their_own_connections() {
+        let dep = Deployment::start(1, |_| ServerConfig::default());
+        let a = dep.connect(0);
+        let b = dep.connect(0);
+        let meta_a = JobMeta::new(1u64, 1u32, 1u32, 4);
+        let meta_b = JobMeta::new(2u64, 2u32, 1u32, 4);
+
+        // Same request id, different ops: a's mkdir succeeds, b's stat of a
+        // missing path errors, so a swapped reply is detectable by payload.
+        a.send(ClientMessage::Io {
+            request_id: 7,
+            meta: meta_a,
+            op: FsOp::Mkdir { path: "/a".into() },
+        });
+        b.send(ClientMessage::Io {
+            request_id: 7,
+            meta: meta_b,
+            op: FsOp::Stat {
+                path: "/missing".into(),
+            },
+        });
+        match a.recv_timeout(Duration::from_secs(5)).unwrap() {
+            ServerMessage::IoReply {
+                request_id: 7,
+                reply: FsReply::Ok,
+            } => {}
+            other => panic!("client a got {other:?}"),
+        }
+        match b.recv_timeout(Duration::from_secs(5)).unwrap() {
+            ServerMessage::IoReply {
+                request_id: 7,
+                reply: FsReply::Error(_),
+            } => {}
+            other => panic!("client b got {other:?}"),
+        }
         dep.shutdown();
     }
 }

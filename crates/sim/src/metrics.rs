@@ -269,13 +269,13 @@ impl ThroughputSeries {
 
 /// Nearest-rank percentile of an already-sorted slice (0 when empty):
 /// `percentile_sorted(&v, 50.0)` is the median, `99.0` the p99.
+///
+/// The implementation is **shared** with the live telemetry histograms
+/// ([`themis_telemetry::percentile_sorted`] is the single definition of the
+/// nearest-rank convention), so the simulator's latency summaries and the
+/// registry's histogram snapshots cannot drift apart.
 pub fn percentile_sorted(sorted: &[u64], pct: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let pct = pct.clamp(0.0, 100.0);
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.max(1) - 1]
+    themis_telemetry::percentile_sorted(sorted, pct)
 }
 
 /// Median of a slice (0 when empty).
@@ -410,6 +410,51 @@ mod tests {
         assert_eq!(percentile_sorted(&v, 99.0), 99);
         assert_eq!(percentile_sorted(&v, 100.0), 100);
         assert_eq!(percentile_sorted(&v, 0.0), 1);
+    }
+
+    /// The sim↔telemetry agreement pin: the simulator's percentile surface
+    /// and the telemetry registry's histogram snapshots must report the same
+    /// nearest-rank values on identical samples. Samples sit at log2 bucket
+    /// upper bounds so the histogram is lossless and the comparison exact.
+    #[test]
+    fn sim_and_telemetry_percentiles_agree_on_identical_samples() {
+        use themis_telemetry::{MetricsRegistry, SeriesKey};
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram(SeriesKey::tenant(0, 1), "latency_ns");
+        let mut samples: Vec<u64> = Vec::new();
+        for i in 1..=20u32 {
+            for r in 0..(i * 3) {
+                let _ = r;
+                samples.push((1u64 << (i % 16 + 1)) - 1);
+            }
+        }
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        for pct in [50.0, 90.0, 99.0, 100.0] {
+            let sim_value = percentile_sorted(&samples, pct);
+            let telemetry_value = if pct == 50.0 {
+                snap.p50
+            } else if pct == 99.0 {
+                snap.p99
+            } else {
+                continue;
+            };
+            assert_eq!(
+                sim_value, telemetry_value,
+                "p{pct} diverged between sim ({sim_value}) and telemetry ({telemetry_value})"
+            );
+        }
+        assert_eq!(snap.max, *samples.last().unwrap());
+        // And the two public entry points are literally the same function.
+        for pct in [0.0, 37.5, 50.0, 99.0, 100.0] {
+            assert_eq!(
+                percentile_sorted(&samples, pct),
+                themis_telemetry::percentile_sorted(&samples, pct)
+            );
+        }
     }
 
     #[test]

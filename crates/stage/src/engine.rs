@@ -48,6 +48,15 @@ use themis_core::job_table::JobTable;
 use themis_core::policy::{Level, Policy, PolicySpec, WeightedLevel};
 use themis_core::request::{Completion, IoRequest};
 use themis_core::shares::{compute_shares, ShareMap};
+use themis_telemetry::{
+    Counter, DecisionTrace, MetricsRegistry, SeriesKey, TraceDump, TraceEvent, TraceKind, TraceLane,
+};
+
+/// The trace lane of a traffic class (both enumerate the class sub-ranges
+/// in the same index order).
+fn lane_of(class: TrafficClass) -> TraceLane {
+    TraceLane::from_class_index(class.index())
+}
 
 /// Derives the (foreground, class) share split for `weight` via the policy
 /// crate's weighted-tier machinery (see the [module docs](self)).
@@ -89,6 +98,22 @@ impl ClassLane {
     }
 }
 
+/// Pre-resolved registry handles for one class lane. Resolution happens once
+/// at [`StagedEngine::attach_telemetry`] time; records are plain atomic adds
+/// — the registry lock never sits on the select path.
+struct LaneStats {
+    admitted_bytes: Counter,
+    charged_bytes: Counter,
+    uncharged_bytes: Counter,
+}
+
+/// Handles the staged scheduler records through once telemetry is attached.
+struct StageTelemetry {
+    fg_selected_bytes: Counter,
+    /// Indexed by [`TrafficClass::index`], like [`StagedEngine::lanes`].
+    lanes: Vec<LaneStats>,
+}
+
 /// A [`PolicyEngine`] decorator that schedules internal traffic classes
 /// alongside the wrapped foreground engine at configurable
 /// foreground:class weights.
@@ -98,6 +123,18 @@ pub struct StagedEngine {
     weights: ClassWeights,
     /// Normalised virtual service of the foreground (rate 1.0).
     v_foreground: f64,
+    /// Registry handles (None until [`StagedEngine::attach_telemetry`];
+    /// recording and tracing are skipped entirely while detached, so
+    /// standalone engines pay nothing).
+    telemetry: Option<StageTelemetry>,
+    /// Bounded ring of scheduler decisions (no-op without the telemetry
+    /// crate's `trace` feature).
+    trace: DecisionTrace,
+    /// Recording server's index (set by `attach_telemetry`).
+    server: u32,
+    /// Policy epoch stamped onto trace events (advanced by the server on
+    /// every accepted `SetPolicy`).
+    epoch: u64,
 }
 
 impl StagedEngine {
@@ -119,7 +156,98 @@ impl StagedEngine {
             lanes,
             weights,
             v_foreground: 0.0,
+            telemetry: None,
+            trace: DecisionTrace::default(),
+            server: 0,
+            epoch: 0,
         }
+    }
+
+    /// Resolves this engine's per-lane registry handles and enables decision
+    /// tracing. Call once at construction time (the server does, in
+    /// `ServerCore::with_backing`); until then the engine records nothing and
+    /// the select hot path pays nothing.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry, server: usize) {
+        self.server = server as u32;
+        let lanes = TrafficClass::ALL
+            .into_iter()
+            .map(|class| {
+                let key = SeriesKey::class(server, class.name());
+                LaneStats {
+                    admitted_bytes: registry.counter(key, "admitted_bytes"),
+                    charged_bytes: registry.counter(key, "selected_charged_bytes"),
+                    uncharged_bytes: registry.counter(key, "selected_uncharged_bytes"),
+                }
+            })
+            .collect();
+        self.telemetry = Some(StageTelemetry {
+            fg_selected_bytes: registry
+                .counter(SeriesKey::class(server, "foreground"), "selected_bytes"),
+            lanes,
+        });
+    }
+
+    /// Stamps `epoch` onto subsequent trace events (the server advances it on
+    /// every accepted live policy swap, so a dump shows which policy was in
+    /// force at each decision).
+    pub fn set_trace_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The policy epoch currently stamped onto trace events.
+    pub fn trace_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The newest `max` retained scheduler decisions, oldest first.
+    pub fn trace_dump(&self, max: usize) -> TraceDump {
+        self.trace.dump(max)
+    }
+
+    /// Records one decision into the ring (skipped entirely while telemetry
+    /// is detached, so the standalone hot path stays untouched).
+    #[inline]
+    fn trace_event(
+        &mut self,
+        now_ns: u64,
+        kind: TraceKind,
+        lane: TraceLane,
+        job: u64,
+        bytes: u64,
+        lane_vtime: f64,
+    ) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        self.trace_event_attached(now_ns, kind, lane, job, bytes, lane_vtime);
+    }
+
+    /// The recording half of [`StagedEngine::trace_event`], kept out of
+    /// line. Inlining it bloats `select`/`admit`/`complete` enough that
+    /// even a *detached* engine (which only executes the `is_none` guard)
+    /// measurably slows down from the code-size alone; a detached engine
+    /// must pay nothing, and an attached one pays one call.
+    #[inline(never)]
+    fn trace_event_attached(
+        &mut self,
+        now_ns: u64,
+        kind: TraceKind,
+        lane: TraceLane,
+        job: u64,
+        bytes: u64,
+        lane_vtime: f64,
+    ) {
+        self.trace.record(TraceEvent {
+            now_ns,
+            server: self.server,
+            kind,
+            lane,
+            job,
+            bytes,
+            lane_vtime,
+            fg_vtime: self.v_foreground,
+            epoch: self.epoch,
+        });
     }
 
     /// The configured foreground:drain weight (legacy single-knob view).
@@ -238,8 +366,32 @@ impl PolicyEngine for StagedEngine {
 
     fn admit(&mut self, request: IoRequest) {
         match TrafficClass::of(request.meta.job) {
-            Some(class) => self.lanes[class.index() as usize].queue.push_back(request),
-            None => self.inner.admit(request),
+            Some(class) => {
+                let idx = class.index() as usize;
+                if let Some(t) = &self.telemetry {
+                    t.lanes[idx].admitted_bytes.add(request.bytes);
+                }
+                self.trace_event(
+                    request.arrival_ns,
+                    TraceKind::Admit,
+                    lane_of(class),
+                    request.meta.job.0,
+                    request.bytes,
+                    self.lanes[idx].v,
+                );
+                self.lanes[idx].queue.push_back(request);
+            }
+            None => {
+                self.trace_event(
+                    request.arrival_ns,
+                    TraceKind::Admit,
+                    TraceLane::Foreground,
+                    request.meta.job.0,
+                    request.bytes,
+                    0.0,
+                );
+                self.inner.admit(request);
+            }
         }
     }
 
@@ -251,11 +403,35 @@ impl PolicyEngine for StagedEngine {
         let candidate = self.candidate_lane();
         if let Some(idx) = candidate {
             if self.lanes[idx].v < self.v_foreground {
-                return Some(self.serve_lane(idx, true));
+                let request = self.serve_lane(idx, true);
+                let lane = lane_of(TrafficClass::ALL[idx]);
+                if let Some(t) = &self.telemetry {
+                    t.lanes[idx].charged_bytes.add(request.bytes);
+                }
+                self.trace_event(
+                    now_ns,
+                    TraceKind::SelectCharged,
+                    lane,
+                    request.meta.job.0,
+                    request.bytes,
+                    self.lanes[idx].v,
+                );
+                return Some(request);
             }
         }
         if let Some(request) = self.inner.select(now_ns, rng) {
             self.v_foreground += Self::cost(&request);
+            if let Some(t) = &self.telemetry {
+                t.fg_selected_bytes.add(request.bytes);
+            }
+            self.trace_event(
+                now_ns,
+                TraceKind::SelectForeground,
+                TraceLane::Foreground,
+                request.meta.job.0,
+                request.bytes,
+                0.0,
+            );
             return Some(request);
         }
         // Foreground had nothing eligible (empty, or backlogged but
@@ -263,7 +439,22 @@ impl PolicyEngine for StagedEngine {
         // capacity the foreground could not have used, charged lane-locally
         // (so drain and restore stay mutually fair) but *not* against the
         // foreground (see the module docs).
-        candidate.map(|idx| self.serve_lane(idx, false))
+        candidate.map(|idx| {
+            let request = self.serve_lane(idx, false);
+            let lane = lane_of(TrafficClass::ALL[idx]);
+            if let Some(t) = &self.telemetry {
+                t.lanes[idx].uncharged_bytes.add(request.bytes);
+            }
+            self.trace_event(
+                now_ns,
+                TraceKind::SelectUncharged,
+                lane,
+                request.meta.job.0,
+                request.bytes,
+                self.lanes[idx].v,
+            );
+            request
+        })
     }
 
     fn next_eligible_ns(&self, now_ns: u64) -> Option<u64> {
@@ -276,7 +467,16 @@ impl PolicyEngine for StagedEngine {
     }
 
     fn complete(&mut self, completion: &Completion) {
-        if TrafficClass::of(completion.request.meta.job).is_none() {
+        let class = TrafficClass::of(completion.request.meta.job);
+        self.trace_event(
+            completion.finish_ns,
+            TraceKind::Complete,
+            class.map_or(TraceLane::Foreground, lane_of),
+            completion.request.meta.job.0,
+            completion.request.bytes,
+            class.map_or(0.0, |c| self.lanes[c.index() as usize].v),
+        );
+        if class.is_none() {
             self.inner.complete(completion);
         }
     }
@@ -320,6 +520,10 @@ impl PolicyEngine for StagedEngine {
 
     fn shares(&self) -> ShareMap {
         self.inner.shares()
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -542,6 +746,56 @@ mod tests {
         // 45 selections at 8:1 → 40 foreground, 5 drain.
         assert!(dr >= 3, "drain starved after idle period: {dr}");
         assert!(fg >= 36, "foreground did not get its 8/9: {fg}");
+    }
+
+    #[test]
+    fn telemetry_attachment_records_lane_counters_and_trace() {
+        let mut e = staged(8);
+        let reg = MetricsRegistry::new();
+        e.attach_telemetry(&reg, 3);
+        e.set_trace_epoch(2);
+        e.reconfigure(&table_with_fg(), &Policy::job_fair());
+        let mut rng = SmallRng::seed_from_u64(9);
+        e.admit(IoRequest::write(0, fg_meta(), 4096, 10));
+        e.admit(IoRequest::new(1, drain_meta(0), OpKind::Read, 8192, 20));
+        // Foreground wins the first slot (tie goes to the foreground); the
+        // drain lane is then behind on virtual time and served *charged*.
+        let first = e.select(100, &mut rng).expect("fg queued");
+        assert!(!is_drain(&first.meta));
+        let second = e.select(200, &mut rng).expect("drain queued");
+        assert!(is_drain(&second.meta));
+
+        let snap = reg.snapshot(0);
+        assert_eq!(snap.counter(3, 0, "foreground", "selected_bytes"), 4096);
+        assert_eq!(snap.counter(3, 0, "drain", "admitted_bytes"), 8192);
+        assert_eq!(snap.counter(3, 0, "drain", "selected_charged_bytes"), 8192);
+        assert_eq!(snap.counter(3, 0, "drain", "selected_uncharged_bytes"), 0);
+
+        let dump = e.trace_dump(usize::MAX);
+        if DecisionTrace::enabled() {
+            let kinds: Vec<&'static str> = dump.events.iter().map(|ev| ev.kind.name()).collect();
+            assert_eq!(kinds, vec!["admit", "admit", "select-fg", "select-charged"]);
+            assert!(dump.events.iter().all(|ev| ev.server == 3 && ev.epoch == 2));
+        } else {
+            assert!(dump.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn detached_engine_records_nothing_and_downcast_reaches_it() {
+        let mut boxed: Box<dyn PolicyEngine> = Box::new(staged(8));
+        let mut rng = SmallRng::seed_from_u64(1);
+        boxed.admit(IoRequest::new(0, drain_meta(0), OpKind::Read, 4096, 0));
+        boxed.select(0, &mut rng).expect("drain queued");
+        // The downcast seam the server uses to reach the concrete engine
+        // through its Box<dyn PolicyEngine>.
+        let staged: &mut StagedEngine = boxed
+            .as_any_mut()
+            .expect("staged engine exposes itself")
+            .downcast_mut()
+            .expect("concrete type is StagedEngine");
+        assert_eq!(staged.trace_dump(usize::MAX).events.len(), 0);
+        assert_eq!(staged.trace.recorded(), 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use themis_core::entity::JobMeta;
 use themis_core::request::{IoRequest, OpKind};
 use themis_device::DeviceConfig;
+use themis_telemetry::{Counter, MetricsRegistry, SeriesKey};
 
 /// First job id of the reserved drain-job range (class 0 of the internal
 /// traffic-class layout). Each server's drain traffic runs under
@@ -243,6 +244,17 @@ pub struct InflightDrain {
     pub bytes: u64,
 }
 
+/// Pre-resolved registry handles mirroring [`DrainPipeline`]'s cumulative
+/// counters (attached by the server so `DrainStatus` can be built as a view
+/// over one registry snapshot).
+#[derive(Debug)]
+struct DrainStats {
+    drained_bytes: Counter,
+    drained_ops: Counter,
+    evicted_bytes: Counter,
+    evicted_extents: Counter,
+}
+
 /// Per-server drain bookkeeping: which extents are in flight, cumulative
 /// drain/eviction counters, and admission capacity.
 #[derive(Debug)]
@@ -255,6 +267,7 @@ pub struct DrainPipeline {
     drained_ops: u64,
     evicted_bytes: u64,
     evicted_extents: u64,
+    stats: Option<DrainStats>,
 }
 
 impl DrainPipeline {
@@ -269,7 +282,23 @@ impl DrainPipeline {
             drained_ops: 0,
             evicted_bytes: 0,
             evicted_extents: 0,
+            stats: None,
         }
+    }
+
+    /// Resolves registry handles for the pipeline's cumulative counters, so
+    /// every subsequent mutation is mirrored into `registry` (lane `"drain"`
+    /// on this pipeline's server) and a status snapshot can be assembled
+    /// from one consistent registry read. Call before any traffic flows —
+    /// counts recorded while detached are not back-filled.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        let key = SeriesKey::class(self.server, TrafficClass::Drain.name());
+        self.stats = Some(DrainStats {
+            drained_bytes: registry.counter(key, "drained_bytes"),
+            drained_ops: registry.counter(key, "drained_ops"),
+            evicted_bytes: registry.counter(key, "evicted_bytes"),
+            evicted_extents: registry.counter(key, "evicted_extents"),
+        });
     }
 
     /// The pipeline configuration.
@@ -341,6 +370,10 @@ impl DrainPipeline {
         self.inflight_keys.remove(&(d.path.clone(), d.stripe));
         self.drained_bytes += d.bytes;
         self.drained_ops += 1;
+        if let Some(s) = &self.stats {
+            s.drained_bytes.add(d.bytes);
+            s.drained_ops.inc();
+        }
         Some(d)
     }
 
@@ -348,6 +381,10 @@ impl DrainPipeline {
     pub fn record_eviction(&mut self, extents: u64, bytes: u64) {
         self.evicted_extents += extents;
         self.evicted_bytes += bytes;
+        if let Some(s) = &self.stats {
+            s.evicted_extents.add(extents);
+            s.evicted_bytes.add(bytes);
+        }
     }
 
     /// Builds the status snapshot given the shard-side numbers the pipeline
@@ -432,6 +469,23 @@ impl RestoreTarget {
     }
 }
 
+/// Pre-resolved registry handles mirroring [`RestorePipeline`]'s counters.
+///
+/// The backlog is **derived**, not stored: `requested_bytes` grows when a
+/// restore is queued and `completed_bytes` grows (by the same admitted cost)
+/// when it lands, so `pending = requested - completed` is non-negative in
+/// *any* registry snapshot — per-writer `requested` is bumped first, and the
+/// snapshot's sorted load order reads `completed_bytes` before
+/// `requested_bytes` (the follower-sorts-first naming convention, see
+/// `MetricsRegistry::snapshot`).
+#[derive(Debug)]
+struct RestoreStats {
+    requested_bytes: Counter,
+    completed_bytes: Counter,
+    restored_bytes: Counter,
+    restored_ops: Counter,
+}
+
 /// Per-server restore bookkeeping: the queue of extents waiting for
 /// admission, the extents in flight, and cumulative stage-in counters.
 ///
@@ -452,6 +506,7 @@ pub struct RestorePipeline {
     inflight_bytes: u64,
     restored_bytes: u64,
     restored_ops: u64,
+    stats: Option<RestoreStats>,
 }
 
 impl RestorePipeline {
@@ -468,7 +523,21 @@ impl RestorePipeline {
             inflight_bytes: 0,
             restored_bytes: 0,
             restored_ops: 0,
+            stats: None,
         }
+    }
+
+    /// Resolves registry handles (lane `"restore"` on this pipeline's
+    /// server) so every subsequent mutation is mirrored into `registry` —
+    /// see [`DrainPipeline::attach_telemetry`].
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        let key = SeriesKey::class(self.server, TrafficClass::Restore.name());
+        self.stats = Some(RestoreStats {
+            requested_bytes: registry.counter(key, "requested_bytes"),
+            completed_bytes: registry.counter(key, "completed_bytes"),
+            restored_bytes: registry.counter(key, "restored_bytes"),
+            restored_ops: registry.counter(key, "restored_ops"),
+        });
     }
 
     /// The restore job identity of this server.
@@ -504,6 +573,9 @@ impl RestorePipeline {
         }
         self.pending_keys.insert(key);
         self.queued_bytes += target.bytes.max(1);
+        if let Some(s) = &self.stats {
+            s.requested_bytes.add(target.bytes.max(1));
+        }
         self.queue.push_back(target);
         true
     }
@@ -542,6 +614,14 @@ impl RestorePipeline {
         self.inflight_bytes -= target.bytes.max(1);
         self.restored_bytes += actual_bytes;
         self.restored_ops += 1;
+        if let Some(s) = &self.stats {
+            // Completed at the *admitted* cost, matching `requested_bytes`'
+            // unit, so the derived backlog nets out exactly; the tier copy's
+            // true length is accounted separately.
+            s.completed_bytes.add(target.bytes.max(1));
+            s.restored_bytes.add(actual_bytes);
+            s.restored_ops.inc();
+        }
         Some(target)
     }
 

@@ -33,6 +33,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use themis_core::entity::JobMeta;
 use themis_core::request::{IoRequest, OpKind};
+use themis_telemetry::{Counter, Gauge, MetricsRegistry, SeriesKey};
 
 /// A point-in-time snapshot of one server's scrub state, reported through
 /// the `ScrubStatus` control-plane message and as the deferred
@@ -92,6 +93,20 @@ pub struct ScrubTarget {
     pub bytes: u64,
 }
 
+/// Pre-resolved registry handles mirroring [`ScrubPipeline`]'s cumulative
+/// counters. Quarantine membership is instantaneous (extents leave the set
+/// when a fresh drain rewrites them), so it mirrors into a gauge.
+#[derive(Debug)]
+struct ScrubStats {
+    passes_completed: Counter,
+    scrubbed_extents: Counter,
+    scrubbed_bytes: Counter,
+    errors_detected: Counter,
+    repaired_extents: Counter,
+    superseded_extents: Counter,
+    quarantined_extents: Gauge,
+}
+
 /// Per-server scrub bookkeeping: the pass cursor over the capacity tier,
 /// extents in flight, cumulative verification counters and the quarantine
 /// set.
@@ -130,6 +145,7 @@ pub struct ScrubPipeline {
     repaired_extents: u64,
     superseded_extents: u64,
     quarantined: BTreeSet<(String, u64)>,
+    stats: Option<ScrubStats>,
 }
 
 impl ScrubPipeline {
@@ -156,7 +172,24 @@ impl ScrubPipeline {
             repaired_extents: 0,
             superseded_extents: 0,
             quarantined: BTreeSet::new(),
+            stats: None,
         }
+    }
+
+    /// Resolves registry handles (lane `"scrub"` on this pipeline's server)
+    /// so every subsequent outcome is mirrored into `registry` — see
+    /// [`DrainPipeline::attach_telemetry`](crate::DrainPipeline::attach_telemetry).
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        let key = SeriesKey::class(self.server, crate::TrafficClass::Scrub.name());
+        self.stats = Some(ScrubStats {
+            passes_completed: registry.counter(key, "passes_completed"),
+            scrubbed_extents: registry.counter(key, "scrubbed_extents"),
+            scrubbed_bytes: registry.counter(key, "scrubbed_bytes"),
+            errors_detected: registry.counter(key, "errors_detected"),
+            repaired_extents: registry.counter(key, "repaired_extents"),
+            superseded_extents: registry.counter(key, "superseded_extents"),
+            quarantined_extents: registry.gauge(key, "quarantined_extents"),
+        });
     }
 
     /// The scrub job identity of this server.
@@ -259,38 +292,62 @@ impl ScrubPipeline {
         self.inflight.remove(&seq)
     }
 
-    /// Records a verification whose checksum matched (`bytes` verified).
-    pub fn record_clean(&mut self, bytes: u64) {
+    /// Accounts one judged verification into the pipeline counters and their
+    /// registry mirrors (`error` for any mismatch, whatever its outcome).
+    fn record_verified(&mut self, bytes: u64, error: bool) {
         self.scrubbed_extents += 1;
         self.scrubbed_bytes += bytes;
+        if error {
+            self.errors_detected += 1;
+        }
+        if let Some(s) = &self.stats {
+            s.scrubbed_extents.inc();
+            s.scrubbed_bytes.add(bytes);
+            if error {
+                s.errors_detected.inc();
+            }
+        }
+    }
+
+    /// Mirrors the quarantine set's size into the registry gauge.
+    fn sync_quarantine_gauge(&self) {
+        if let Some(s) = &self.stats {
+            s.quarantined_extents.set(self.quarantined.len() as i64);
+        }
+    }
+
+    /// Records a verification whose checksum matched (`bytes` verified).
+    pub fn record_clean(&mut self, bytes: u64) {
+        self.record_verified(bytes, false);
     }
 
     /// Records a detected mismatch that was repaired from a clean resident
     /// burst copy.
     pub fn record_repaired(&mut self, bytes: u64) {
-        self.scrubbed_extents += 1;
-        self.scrubbed_bytes += bytes;
-        self.errors_detected += 1;
+        self.record_verified(bytes, true);
         self.repaired_extents += 1;
+        if let Some(s) = &self.stats {
+            s.repaired_extents.inc();
+        }
     }
 
     /// Records a detected mismatch on an extent a concurrent foreground
     /// write re-dirtied: the pending drain supersedes the scrubber (the
     /// generation guard), so nothing is repaired.
     pub fn record_superseded(&mut self, bytes: u64) {
-        self.scrubbed_extents += 1;
-        self.scrubbed_bytes += bytes;
-        self.errors_detected += 1;
+        self.record_verified(bytes, true);
         self.superseded_extents += 1;
+        if let Some(s) = &self.stats {
+            s.superseded_extents.inc();
+        }
     }
 
     /// Records a detected mismatch with no resident burst copy to repair
     /// from: the extent enters quarantine.
     pub fn record_quarantined(&mut self, path: String, stripe: u64, bytes: u64) {
-        self.scrubbed_extents += 1;
-        self.scrubbed_bytes += bytes;
-        self.errors_detected += 1;
+        self.record_verified(bytes, true);
         self.quarantined.insert((path, stripe));
+        self.sync_quarantine_gauge();
     }
 
     /// Lifts the quarantine of an extent whose tier copy was legitimately
@@ -298,12 +355,14 @@ impl ScrubPipeline {
     /// new copy is sound by construction) or removed (unlink).
     pub fn unquarantine(&mut self, path: &str, stripe: u64) {
         self.quarantined.remove(&(path.to_string(), stripe));
+        self.sync_quarantine_gauge();
     }
 
     /// Lifts the quarantine of every extent of `path` (unlink propagation —
     /// the tier copies are gone, so there is nothing left to warn about).
     pub fn unquarantine_path(&mut self, path: &str) {
         self.quarantined.retain(|(p, _)| p != path);
+        self.sync_quarantine_gauge();
     }
 
     /// Finishes the pass if its cursor is exhausted and every in-flight
@@ -318,6 +377,9 @@ impl ScrubPipeline {
         self.cursor = None;
         self.cursor_exhausted = false;
         self.passes_completed += 1;
+        if let Some(s) = &self.stats {
+            s.passes_completed.inc();
+        }
         self.next_pass_due_ns = now_ns.saturating_add(self.interval_ns);
         Some(self.pass)
     }

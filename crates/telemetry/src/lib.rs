@@ -1,0 +1,104 @@
+//! # themis-telemetry
+//!
+//! The live telemetry subsystem of ThemisIO-RS: a dependency-free,
+//! lock-light [`MetricsRegistry`] of atomic counters, gauges and
+//! fixed-bucket log2 latency histograms, keyed by
+//! `(server, tenant, lane)`, plus a bounded [`DecisionTrace`] ring that
+//! records scheduler decisions (admit / select / complete / park / wake
+//! with lane virtual times and the policy epoch).
+//!
+//! The paper's claim is *fine-grained* policy-driven sharing; this crate is
+//! how the live runtime proves it is delivering it — per-tenant and
+//! per-traffic-class counters recorded where the work happens (scheduler,
+//! server core, staging pipelines, file system residency checks) and read
+//! back through one consistent [`MetricsSnapshot`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost.** The staged scheduler's select/complete round is
+//!    ~56 ns; the CI bench gate allows telemetry ≤ 10% on top. So every
+//!    hot-path record is a relaxed-class atomic op on a pre-resolved handle
+//!    ([`Counter`], [`Gauge`], [`Histogram`]) — never a map lookup, never a
+//!    lock. The registry's single lock is taken only when a handle is first
+//!    resolved and when a snapshot is cut.
+//! 2. **Read consistency.** [`MetricsRegistry::snapshot`] loads every
+//!    instrument under one read guard, in sorted `(server, tenant, lane,
+//!    name)` order, with `Acquire` loads against the handles' `Release`
+//!    stores. Counter pairs that must never be observed leading their
+//!    companion (e.g. `restore_completed_bytes` vs
+//!    `restore_requested_bytes`) are named so the *follower sorts first*:
+//!    the follower is loaded before the leader, so a snapshot can only
+//!    under-report the follower, never over-report it. See
+//!    `snapshot_never_shows_completed_ahead_of_requested`.
+//! 3. **Offline exposition.** No serde_json in this workspace: snapshots
+//!    render to hand-rolled flat JSON (one `"key": value` per line, like
+//!    `BENCH_*.json`) via [`MetricsSnapshot::to_json`].
+//!
+//! The nearest-rank percentile convention is defined **here** (shared with
+//! `themis_sim::metrics::percentile_sorted`, which delegates to
+//! [`percentile_sorted`]) so the simulator's latency surface and the
+//! histogram snapshots cannot drift apart.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, SeriesKey};
+pub use snapshot::{HistogramSnapshot, MetricPoint, MetricValue, MetricsSnapshot};
+pub use trace::{DecisionTrace, TraceDump, TraceEvent, TraceKind, TraceLane};
+
+/// The 1-based nearest rank of percentile `pct` in a population of `len`
+/// samples: `ceil(pct/100 · len)`, clamped to `[1, len]`. `0` when `len`
+/// is `0`.
+pub fn nearest_rank(len: usize, pct: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let pct = pct.clamp(0.0, 100.0);
+    let rank = ((pct / 100.0) * len as f64).ceil() as usize;
+    rank.clamp(1, len)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice — **the**
+/// workspace convention: `themis_sim::metrics::percentile_sorted` delegates
+/// here and histogram snapshots use the same [`nearest_rank`] walk over
+/// their buckets, so the two latency surfaces agree by construction.
+///
+/// `percentile_sorted(&v, 50.0)` is the median, `99.0` the p99; `0` when
+/// empty.
+pub fn percentile_sorted(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[nearest_rank(sorted.len(), pct) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_the_sim_convention() {
+        // rank = ceil(pct/100 * len), floor 1 — the exact expression
+        // `themis_sim::metrics::percentile_sorted` used before extraction.
+        assert_eq!(nearest_rank(0, 50.0), 0);
+        assert_eq!(nearest_rank(1, 0.0), 1);
+        assert_eq!(nearest_rank(10, 50.0), 5);
+        assert_eq!(nearest_rank(10, 99.0), 10);
+        assert_eq!(nearest_rank(100, 99.0), 99);
+        assert_eq!(nearest_rank(100, 100.0), 100);
+    }
+
+    #[test]
+    fn percentile_sorted_edges() {
+        assert_eq!(percentile_sorted(&[], 50.0), 0);
+        assert_eq!(percentile_sorted(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&v, 50.0), 50);
+        assert_eq!(percentile_sorted(&v, 99.0), 99);
+        assert_eq!(percentile_sorted(&v, 100.0), 100);
+    }
+}

@@ -1,0 +1,505 @@
+//! The metrics registry and its instrument handles.
+//!
+//! Handles are resolved once (one short write-lock on first touch of a
+//! `(series, name)` pair) and then recorded against forever with plain
+//! atomic ops — the registry lock is **never** on a record path. Snapshots
+//! take the same lock briefly in read mode; see
+//! [`MetricsRegistry::snapshot`] for the ordering contract.
+
+use crate::nearest_rank;
+use crate::snapshot::{HistogramSnapshot, MetricPoint, MetricValue, MetricsSnapshot};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identity of one metric series: which server recorded it, for which
+/// tenant, on which lane.
+///
+/// * `server` — the recording server's index.
+/// * `tenant` — the job id for per-tenant foreground series; `0` for
+///   per-class and per-layer series (the lane already identifies them).
+/// * `lane` — `"foreground"` for client traffic, a traffic-class name
+///   (`"drain"` / `"restore"` / `"scrub"` / `"rebalance"`) for internal
+///   traffic, or `"fs"` for the burst-buffer file-system layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Recording server index.
+    pub server: u32,
+    /// Tenant (job) id, `0` for class/layer series.
+    pub tenant: u64,
+    /// Lane label (traffic class, `"foreground"`, or a layer name).
+    pub lane: &'static str,
+}
+
+impl SeriesKey {
+    /// A per-class or per-layer series on `server` (tenant 0).
+    pub fn class(server: usize, lane: &'static str) -> Self {
+        SeriesKey {
+            server: server as u32,
+            tenant: 0,
+            lane,
+        }
+    }
+
+    /// A per-tenant foreground series on `server`.
+    pub fn tenant(server: usize, job: u64) -> Self {
+        SeriesKey {
+            server: server as u32,
+            tenant: job,
+            lane: "foreground",
+        }
+    }
+}
+
+/// A monotonic counter handle. `add` uses a `Release` store so a snapshot's
+/// `Acquire` load observes every update that happened-before it.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Release);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Acquire)
+    }
+}
+
+/// A gauge handle: a signed instantaneous value (`set`/`add`).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Release);
+    }
+
+    /// Moves the gauge by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.cell.fetch_add(d, Ordering::Release);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Acquire)
+    }
+}
+
+/// log2 bucket index of `v`: 0 for 0, else the bit width of `v` (1..=64).
+/// Bucket `i ≥ 1` therefore holds values in `[2^(i-1), 2^i - 1]` and its
+/// representative (upper bound) is `2^i - 1`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Upper bound (representative value) of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+pub(crate) const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Cuts a consistent-enough view: the count is the bucket sum (not a
+    /// separate counter), so count and percentiles always describe the same
+    /// population.
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let max = self.max.load(Ordering::Acquire);
+        let pct = |p: f64| -> u64 {
+            let rank = nearest_rank(count.min(usize::MAX as u64) as usize, p) as u64;
+            if rank == 0 {
+                return 0;
+            }
+            let mut cumulative = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cumulative += c;
+                if cumulative >= rank {
+                    // The bucket's upper bound, clamped by the exact max so
+                    // samples recorded at bucket boundaries stay exact.
+                    return bucket_upper(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Acquire),
+            max,
+            p50: pct(50.0),
+            p99: pct(99.0),
+        }
+    }
+}
+
+/// A log2 latency histogram handle (65 fixed buckets, exact max, sum).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.cell.buckets[bucket_of(v)].fetch_add(1, Ordering::Release);
+        self.cell.sum.fetch_add(v, Ordering::Release);
+        self.cell.max.fetch_max(v, Ordering::AcqRel);
+    }
+
+    /// Cuts a snapshot of this histogram alone.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.snapshot()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The shared metrics registry: interns `(series, name)` pairs to atomic
+/// cells and cuts sorted [`MetricsSnapshot`]s. Cheap to clone (one `Arc`);
+/// every server of a deployment records into one shared registry so a
+/// single snapshot covers the cluster.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RwLock<HashMap<(SeriesKey, &'static str), Instrument>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn resolve<T>(
+        &self,
+        key: SeriesKey,
+        name: &'static str,
+        make: impl FnOnce() -> Instrument,
+        open: impl Fn(&Instrument) -> Option<T>,
+    ) -> T {
+        {
+            let map = self.inner.read();
+            if let Some(inst) = map.get(&(key, name)) {
+                return open(inst).unwrap_or_else(|| {
+                    panic!(
+                        "metric {}/{}/{}/{name} already registered as a {}",
+                        key.server,
+                        key.tenant,
+                        key.lane,
+                        inst.kind()
+                    )
+                });
+            }
+        }
+        let mut map = self.inner.write();
+        let inst = map.entry((key, name)).or_insert_with(make).clone();
+        drop(map);
+        open(&inst).unwrap_or_else(|| {
+            panic!(
+                "metric {}/{}/{}/{name} already registered as a {}",
+                key.server,
+                key.tenant,
+                key.lane,
+                inst.kind()
+            )
+        })
+    }
+
+    /// Resolves (registering on first touch) the counter `name` of `key`.
+    pub fn counter(&self, key: SeriesKey, name: &'static str) -> Counter {
+        self.resolve(
+            key,
+            name,
+            || Instrument::Counter(Arc::new(AtomicU64::new(0))),
+            |inst| match inst {
+                Instrument::Counter(c) => Some(Counter { cell: c.clone() }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Resolves (registering on first touch) the gauge `name` of `key`.
+    pub fn gauge(&self, key: SeriesKey, name: &'static str) -> Gauge {
+        self.resolve(
+            key,
+            name,
+            || Instrument::Gauge(Arc::new(AtomicI64::new(0))),
+            |inst| match inst {
+                Instrument::Gauge(g) => Some(Gauge { cell: g.clone() }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Resolves (registering on first touch) the histogram `name` of `key`.
+    pub fn histogram(&self, key: SeriesKey, name: &'static str) -> Histogram {
+        self.resolve(
+            key,
+            name,
+            || Instrument::Histogram(Arc::new(HistogramCell::new())),
+            |inst| match inst {
+                Instrument::Histogram(h) => Some(Histogram { cell: h.clone() }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Cuts a snapshot of every registered instrument.
+    ///
+    /// Ordering contract: points are loaded (and returned) in ascending
+    /// `(server, tenant, lane, name)` order under one registry read guard,
+    /// with `Acquire` loads. A counter whose updates always *follow* a
+    /// companion counter's updates (program order, `Release` stores) and
+    /// whose name sorts **before** the companion's can therefore never be
+    /// observed ahead of it: e.g. `restore_completed_bytes` (loaded first)
+    /// never exceeds `restore_requested_bytes` in any snapshot.
+    pub fn snapshot(&self, taken_ns: u64) -> MetricsSnapshot {
+        let map = self.inner.read();
+        let mut entries: Vec<(&(SeriesKey, &'static str), &Instrument)> = map.iter().collect();
+        entries.sort_by_key(|((key, name), _)| (key.server, key.tenant, key.lane, *name));
+        let points = entries
+            .into_iter()
+            .map(|((key, name), inst)| MetricPoint {
+                server: key.server,
+                tenant: key.tenant,
+                lane: key.lane.to_string(),
+                name: name.to_string(),
+                value: match inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.load(Ordering::Acquire)),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Acquire)),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { taken_ns, points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile_sorted;
+    use std::thread;
+
+    #[test]
+    fn handles_are_shared_and_typed() {
+        let reg = MetricsRegistry::new();
+        let key = SeriesKey::class(0, "drain");
+        let a = reg.counter(key, "bytes");
+        let b = reg.counter(key, "bytes");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        let g = reg.gauge(key, "depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_confusion_panics() {
+        let reg = MetricsRegistry::new();
+        let key = SeriesKey::class(0, "drain");
+        let _c = reg.counter(key, "bytes");
+        let _g = reg.gauge(key, "bytes");
+    }
+
+    #[test]
+    fn histogram_percentiles_agree_with_the_shared_convention() {
+        // Samples at bucket upper bounds (2^i - 1) are bucket-exact, so the
+        // histogram's nearest-rank walk must equal percentile_sorted on the
+        // raw samples — the sim↔telemetry agreement pin.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram(SeriesKey::tenant(0, 1), "latency_ns");
+        let mut samples: Vec<u64> = Vec::new();
+        for i in 1..=16u32 {
+            for _ in 0..i {
+                samples.push((1u64 << i) - 1);
+            }
+        }
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, samples.len() as u64);
+        assert_eq!(snap.max, *samples.last().unwrap());
+        assert_eq!(snap.p50, percentile_sorted(&samples, 50.0));
+        assert_eq!(snap.p99, percentile_sorted(&samples, 99.0));
+        assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_exact_ones_on_arbitrary_samples() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram(SeriesKey::tenant(0, 1), "latency_ns");
+        let mut samples: Vec<u64> = (0..500u64).map(|i| i * i % 9973 + 1).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        for (pct, got) in [(50.0, snap.p50), (99.0, snap.p99)] {
+            let exact = percentile_sorted(&samples, pct);
+            assert!(
+                got >= exact && got <= exact.saturating_mul(2).max(snap.max),
+                "p{pct}: bucketed {got} vs exact {exact}"
+            );
+        }
+    }
+
+    /// Satellite: multi-thread counter/histogram hammer — totals are exact
+    /// and nothing is lost under contention.
+    #[test]
+    fn concurrent_hammer_is_exact() {
+        let reg = MetricsRegistry::new();
+        let threads = 8usize;
+        let per_thread = 10_000u64;
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let reg = reg.clone();
+            joins.push(thread::spawn(move || {
+                // Half the threads resolve their own handles mid-flight to
+                // exercise the interning path under contention.
+                let key = SeriesKey::class(0, "drain");
+                let c = reg.counter(key, "bytes");
+                let h = reg.histogram(key, "chunk_ns");
+                for i in 0..per_thread {
+                    c.add(1);
+                    h.record((t as u64 + 1) * 100 + i % 7);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let key = SeriesKey::class(0, "drain");
+        assert_eq!(reg.counter(key, "bytes").get(), threads as u64 * per_thread);
+        assert_eq!(
+            reg.histogram(key, "chunk_ns").snapshot().count,
+            threads as u64 * per_thread
+        );
+    }
+
+    /// Satellite: snapshot monotonicity — counters never run backwards
+    /// between successive snapshots cut while writers are live.
+    #[test]
+    fn snapshots_are_monotonic_under_writes() {
+        let reg = MetricsRegistry::new();
+        let key = SeriesKey::class(1, "restore");
+        let c = reg.counter(key, "restore_completed_ops");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let stop = stop.clone();
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    c.add(1);
+                }
+            })
+        };
+        let mut last = 0u64;
+        for i in 0..2_000 {
+            let snap = reg.snapshot(i);
+            let now = snap.counter(1, 0, "restore", "restore_completed_ops");
+            assert!(now >= last, "counter ran backwards: {now} < {last}");
+            last = now;
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    /// Satellite (bugfix regression): the read-consistency contract —
+    /// `restore_completed_bytes` is loaded before `restore_requested_bytes`
+    /// (sorted order) against Release increments in requested→completed
+    /// program order, so no snapshot ever shows completed ahead of
+    /// requested, i.e. derived pending never goes negative.
+    #[test]
+    fn snapshot_never_shows_completed_ahead_of_requested() {
+        let reg = MetricsRegistry::new();
+        let key = SeriesKey::class(0, "restore");
+        let requested = reg.counter(key, "restore_requested_bytes");
+        let completed = reg.counter(key, "restore_completed_bytes");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let stop = stop.clone();
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    requested.add(4096);
+                    completed.add(4096);
+                }
+            })
+        };
+        for i in 0..5_000 {
+            let snap = reg.snapshot(i);
+            let req = snap.counter(0, 0, "restore", "restore_requested_bytes");
+            let done = snap.counter(0, 0, "restore", "restore_completed_bytes");
+            assert!(
+                done <= req,
+                "snapshot shows {done} completed of only {req} requested"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,212 @@
+//! Snapshot types: the structured form a [`MetricsRegistry`] read produces,
+//! carried verbatim over the in-process wire (the serde shim's derives are
+//! markers; transport is typed channels) and rendered to flat JSON for
+//! offline artifacts (`METRICS.json`).
+//!
+//! [`MetricsRegistry`]: crate::MetricsRegistry
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Summary of one log2 histogram at snapshot time. Percentiles follow the
+/// shared nearest-rank convention ([`crate::percentile_sorted`]) walked over
+/// the buckets, reported at the bucket upper bound clamped by the exact
+/// max — so samples recorded at bucket boundaries are exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded (sum of bucket counts — always consistent with the
+    /// percentiles, which walk the same bucket read).
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Median (nearest-rank over buckets).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank over buckets).
+    pub p99: u64,
+}
+
+/// The value of one instrument at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Instantaneous gauge.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(series, name)` data point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricPoint {
+    /// Recording server index.
+    pub server: u32,
+    /// Tenant (job) id; `0` for class/layer series.
+    pub tenant: u64,
+    /// Lane label (`"foreground"`, a traffic-class name, or `"fs"`).
+    pub lane: String,
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A full registry read: every instrument, in ascending
+/// `(server, tenant, lane, name)` order (the registry's read-consistency
+/// contract — see [`crate::MetricsRegistry::snapshot`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// When the snapshot was cut (ns on the caller's clock).
+    pub taken_ns: u64,
+    /// The data points, sorted.
+    pub points: Vec<MetricPoint>,
+}
+
+impl MetricsSnapshot {
+    /// The point for `(server, tenant, lane, name)`, if registered.
+    pub fn get(&self, server: u32, tenant: u64, lane: &str, name: &str) -> Option<&MetricValue> {
+        self.points
+            .iter()
+            .find(|p| p.server == server && p.tenant == tenant && p.lane == lane && p.name == name)
+            .map(|p| &p.value)
+    }
+
+    /// Counter value for one fully-qualified key (0 when absent).
+    pub fn counter(&self, server: u32, tenant: u64, lane: &str, name: &str) -> u64 {
+        match self.get(server, tenant, lane, name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value for one fully-qualified key (0 when absent).
+    pub fn gauge(&self, server: u32, tenant: u64, lane: &str, name: &str) -> i64 {
+        match self.get(server, tenant, lane, name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram summary for one fully-qualified key (empty when absent).
+    pub fn histogram(&self, server: u32, tenant: u64, lane: &str, name: &str) -> HistogramSnapshot {
+        match self.get(server, tenant, lane, name) {
+            Some(MetricValue::Histogram(h)) => *h,
+            _ => HistogramSnapshot::default(),
+        }
+    }
+
+    /// Sum of counter `name` on lane `lane` for tenant `tenant` across every
+    /// server — the per-tenant cluster-wide total the conformance oracle
+    /// cross-checks against reply-derived accounting.
+    pub fn tenant_counter_sum(&self, tenant: u64, lane: &str, name: &str) -> u64 {
+        self.points
+            .iter()
+            .filter(|p| p.tenant == tenant && p.lane == lane && p.name == name)
+            .map(|p| match &p.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Sum of counter `name` on lane `lane` across every server and tenant.
+    pub fn lane_counter_sum(&self, lane: &str, name: &str) -> u64 {
+        self.points
+            .iter()
+            .filter(|p| p.lane == lane && p.name == name)
+            .map(|p| match &p.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Every tenant id with at least one `"foreground"` series. Tenant 0 is
+    /// excluded: it is the reserved id of class-level series (the
+    /// foreground lane's own park/wake counters live there), not a job.
+    pub fn tenants(&self) -> BTreeSet<u64> {
+        self.points
+            .iter()
+            .filter(|p| p.lane == "foreground" && p.tenant != 0)
+            .map(|p| p.tenant)
+            .collect()
+    }
+
+    /// Flat JSON exposition, offline-safe like `BENCH_*.json`: one
+    /// `"srv{S}.t{T}.{lane}.{name}": value` pair per line, histograms
+    /// expanded into `.count`/`.sum`/`.max`/`.p50`/`.p99` keys.
+    pub fn to_json(&self) -> String {
+        let mut lines: Vec<String> = vec![format!("  \"taken_ns\": {}", self.taken_ns)];
+        for p in &self.points {
+            let key = format!("srv{}.t{}.{}.{}", p.server, p.tenant, p.lane, p.name);
+            match &p.value {
+                MetricValue::Counter(v) => lines.push(format!("  \"{key}\": {v}")),
+                MetricValue::Gauge(v) => lines.push(format!("  \"{key}\": {v}")),
+                MetricValue::Histogram(h) => {
+                    lines.push(format!("  \"{key}.count\": {}", h.count));
+                    lines.push(format!("  \"{key}.sum\": {}", h.sum));
+                    lines.push(format!("  \"{key}.max\": {}", h.max));
+                    lines.push(format!("  \"{key}.p50\": {}", h.p50));
+                    lines.push(format!("  \"{key}.p99\": {}", h.p99));
+                }
+            }
+        }
+        format!("{{\n{}\n}}\n", lines.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MetricsRegistry, SeriesKey};
+
+    #[test]
+    fn accessors_and_json_cover_every_instrument_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter(SeriesKey::tenant(0, 7), "bytes_completed")
+            .add(42);
+        reg.gauge(SeriesKey::class(1, "drain"), "dirty_bytes")
+            .set(-3);
+        reg.histogram(SeriesKey::tenant(0, 7), "queue_delay_ns")
+            .record(1023);
+        let snap = reg.snapshot(99);
+        assert_eq!(snap.taken_ns, 99);
+        assert_eq!(snap.counter(0, 7, "foreground", "bytes_completed"), 42);
+        assert_eq!(snap.gauge(1, 0, "drain", "dirty_bytes"), -3);
+        let h = snap.histogram(0, 7, "foreground", "queue_delay_ns");
+        assert_eq!((h.count, h.max, h.p50), (1, 1023, 1023));
+        assert_eq!(
+            snap.tenant_counter_sum(7, "foreground", "bytes_completed"),
+            42
+        );
+        assert_eq!(snap.tenants().into_iter().collect::<Vec<_>>(), vec![7]);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"taken_ns\": 99"));
+        assert!(json.contains("\"srv0.t7.foreground.bytes_completed\": 42"));
+        assert!(json.contains("\"srv1.t0.drain.dirty_bytes\": -3"));
+        assert!(json.contains("\"srv0.t7.foreground.queue_delay_ns.p99\": 1023"));
+        // Flat-JSON shape: braces plus one "key": value pair per line.
+        assert!(json.starts_with("{\n") && json.ends_with("\n}\n"));
+    }
+
+    #[test]
+    fn points_arrive_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter(SeriesKey::class(1, "scrub"), "scrubbed_bytes")
+            .inc();
+        reg.counter(SeriesKey::class(0, "drain"), "drained_bytes")
+            .inc();
+        reg.counter(SeriesKey::tenant(0, 5), "ops_completed").inc();
+        let snap = reg.snapshot(0);
+        let keys: Vec<(u32, u64, String, String)> = snap
+            .points
+            .iter()
+            .map(|p| (p.server, p.tenant, p.lane.clone(), p.name.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -25,6 +25,47 @@ pub fn measure_median_ns<O>(routine: impl FnMut() -> O) -> f64 {
     bencher.median_ns
 }
 
+/// Times two routines **interleaved** — alternating timed blocks of
+/// `iters` calls each, `reps` repetitions, keeping each side's minimum
+/// block time — and returns `(a_ns, b_ns)` per iteration.
+///
+/// This is the right shape for measuring a *difference* between two
+/// variants of the same hot path (e.g. an instrumented scheduler round
+/// against its plain twin): back-to-back blocks see the same thermal and
+/// frequency conditions, so machine drift cancels out of the comparison,
+/// and the min discards scheduler preemptions instead of averaging them
+/// in. Two independent [`measure_median_ns`] calls cannot do this — on a
+/// busy host they disagree with themselves by more than a 10% overhead
+/// budget.
+pub fn measure_interleaved_min_ns<O1, O2>(
+    iters: u32,
+    reps: u32,
+    mut a: impl FnMut() -> O1,
+    mut b: impl FnMut() -> O2,
+) -> (f64, f64) {
+    // One untimed block each warms caches, branch predictors and any
+    // lazily-allocated state out of the measurement.
+    for _ in 0..iters {
+        black_box(a());
+        black_box(b());
+    }
+    let mut a_ns = f64::MAX;
+    let mut b_ns = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(a());
+        }
+        a_ns = a_ns.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(b());
+        }
+        b_ns = b_ns.min(t1.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    (a_ns, b_ns)
+}
+
 /// Identifier of one benchmark within a group.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {

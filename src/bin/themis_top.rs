@@ -1,0 +1,247 @@
+//! `themis-top`: a live telemetry viewer for a ThemisIO deployment.
+//!
+//! Starts a staged multi-server deployment, runs a few synthetic tenants
+//! against it, and renders the metrics control plane at a fixed cadence —
+//! per-tenant completion tables, per-class lane counters, capacity gauges —
+//! finishing with a scheduler decision-trace tail. Everything shown comes
+//! through the same `MetricsSnapshot` / `TraceDump` wire messages any
+//! client can send; nothing reads server internals out of band.
+//!
+//! ```text
+//! cargo run --bin themis-top -- [--servers N] [--tenants J] [--ticks K]
+//!                                [--interval-ms MS] [--trace M]
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use themisio::prelude::*;
+
+/// Adapts the deployment's in-process connection to the client crate's
+/// `ServerLink` trait.
+struct Link(themisio::server::ClientConnection);
+
+impl ServerLink for Link {
+    fn send(&self, msg: ClientMessage) {
+        self.0.send(msg);
+    }
+    fn recv(&self, timeout: Duration) -> Option<ServerMessage> {
+        self.0.recv_timeout(timeout)
+    }
+}
+
+struct Options {
+    servers: usize,
+    tenants: usize,
+    ticks: usize,
+    interval_ms: u64,
+    trace: u64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        servers: 2,
+        tenants: 3,
+        ticks: 5,
+        interval_ms: 200,
+        trace: 16,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{name} expects a numeric value"))
+        };
+        match flag.as_str() {
+            "--servers" => opts.servers = value("--servers") as usize,
+            "--tenants" => opts.tenants = value("--tenants") as usize,
+            "--ticks" => opts.ticks = value("--ticks") as usize,
+            "--interval-ms" => opts.interval_ms = value("--interval-ms"),
+            "--trace" => opts.trace = value("--trace"),
+            "--help" | "-h" => {
+                println!(
+                    "themis-top [--servers N] [--tenants J] [--ticks K] \
+                     [--interval-ms MS] [--trace M]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    opts
+}
+
+/// `1536` → `"1.5K"`, keeping the table columns narrow.
+fn human(n: u64) -> String {
+    match n {
+        0..=9_999 => format!("{n}"),
+        10_000..=9_999_999 => format!("{:.1}K", n as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}M", n as f64 / 1e6),
+        _ => format!("{:.1}G", n as f64 / 1e9),
+    }
+}
+
+fn render(snapshot: &MetricsSnapshot, servers: usize) {
+    println!("--- metrics @ {} ns ---", snapshot.taken_ns);
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12}",
+        "tenant", "ops", "bytes", "queue p99", "service p99"
+    );
+    for tenant in snapshot.tenants() {
+        // Counters sum across servers; for latency show the worst per-server
+        // p99 (histograms are per-server, a max is the honest aggregate).
+        let ops = snapshot.tenant_counter_sum(tenant, "foreground", "ops_completed");
+        let bytes = snapshot.tenant_counter_sum(tenant, "foreground", "bytes_completed");
+        let queue = (0..servers)
+            .map(|s| {
+                snapshot
+                    .histogram(s as u32, tenant, "foreground", "queue_delay_ns")
+                    .p99
+            })
+            .max()
+            .unwrap_or(0);
+        let service = (0..servers)
+            .map(|s| {
+                snapshot
+                    .histogram(s as u32, tenant, "foreground", "service_ns")
+                    .p99
+            })
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:<8} {:>10} {:>10} {:>10}ns {:>10}ns",
+            tenant,
+            human(ops),
+            human(bytes),
+            human(queue),
+            human(service)
+        );
+    }
+    println!(
+        "{:<8} {:>10} {:>10} {:>12}",
+        "lane", "admitted", "charged", "uncharged"
+    );
+    for lane in ["drain", "restore", "scrub", "rebalance"] {
+        let admitted = snapshot.lane_counter_sum(lane, "admitted_bytes");
+        let charged = snapshot.lane_counter_sum(lane, "selected_charged_bytes");
+        let uncharged = snapshot.lane_counter_sum(lane, "selected_uncharged_bytes");
+        if admitted + charged + uncharged == 0 {
+            continue;
+        }
+        println!(
+            "{:<8} {:>10} {:>10} {:>12}",
+            lane,
+            human(admitted),
+            human(charged),
+            human(uncharged)
+        );
+    }
+    for server in 0..servers {
+        let s = server as u32;
+        println!(
+            "srv{server}: resident={} dirty={} backing={} drained={} restored={} parked={}",
+            human(snapshot.gauge(s, 0, "fs", "resident_bytes").max(0) as u64),
+            human(snapshot.gauge(s, 0, "fs", "dirty_bytes").max(0) as u64),
+            human(snapshot.gauge(s, 0, "fs", "backing_bytes").max(0) as u64),
+            human(snapshot.counter(s, 0, "drain", "drained_bytes")),
+            human(snapshot.counter(s, 0, "restore", "restored_bytes")),
+            human(snapshot.counter(s, 0, "foreground", "parked_ops")),
+        );
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let deployment = Arc::new(Deployment::start(opts.servers, |_| ServerConfig {
+        algorithm: Algorithm::Themis(Policy::size_fair()),
+        staging: Some(StagingConfig {
+            backing_device: DeviceConfig::default(),
+            drain: DrainConfig {
+                // Tight watermarks so eviction and stage-in traffic show up
+                // within a short run.
+                high_watermark_bytes: 8 << 20,
+                low_watermark_bytes: 4 << 20,
+                ..DrainConfig::default()
+            },
+        }),
+        ..ServerConfig::default()
+    }));
+    println!(
+        "themis-top: {} servers, {} tenants, {} ticks every {} ms",
+        opts.servers, opts.tenants, opts.ticks, opts.interval_ms
+    );
+
+    // Synthetic tenants: each writes and re-reads its own checkpoint file in
+    // a loop, with job sizes 8, 16, 24, ... so size-fair shares differ.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for tenant in 0..opts.tenants {
+        let deployment = Arc::clone(&deployment);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let job = tenant as u64 + 1;
+            let meta = JobMeta::new(job, 1000 + tenant as u32, 42u32, 8 * (tenant as u32 + 1));
+            let links: Vec<Link> = (0..deployment.server_count())
+                .map(|i| Link(deployment.connect(i)))
+                .collect();
+            let client = ThemisClient::new(meta, links, Namespace::default_fs());
+            client.hello();
+            // Racy across tenants: whoever loses simply finds it created.
+            let _ = client.mkdir_all("/fs/top");
+            let path = format!("/fs/top/job-{job}.ckpt");
+            let payload = vec![tenant as u8; 1 << 20];
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let Ok(fd) = client.open(&path, true, round == 0, false) else {
+                    continue;
+                };
+                let _ = client.write(fd, &payload);
+                let _ = client.lseek(fd, 0, 0);
+                let _ = client.read(fd, 64 << 10);
+                let _ = client.close(fd);
+                round += 1;
+            }
+            client.bye();
+        }));
+    }
+
+    // The observer: an un-registered control connection (no hello, so it
+    // never dilutes tenant shares) cutting one cluster-wide snapshot per
+    // tick — the registry is shared, any server answers for all of them.
+    let links: Vec<Link> = (0..deployment.server_count())
+        .map(|i| Link(deployment.connect(i)))
+        .collect();
+    let observer = ThemisClient::new(
+        JobMeta::new(0u64, 0u32, 0u32, 1),
+        links,
+        Namespace::default_fs(),
+    );
+    for tick in 0..opts.ticks {
+        std::thread::sleep(Duration::from_millis(opts.interval_ms));
+        match observer.metrics_snapshot(tick % opts.servers) {
+            Ok(snapshot) => render(&snapshot, opts.servers),
+            Err(e) => println!("snapshot failed: {e}"),
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        let _ = w.join();
+    }
+
+    if DecisionTrace::enabled() {
+        for server in 0..opts.servers {
+            match observer.trace_dump(server, opts.trace) {
+                Ok(dump) => {
+                    println!("--- srv{server} decision trace (newest {}) ---", opts.trace);
+                    print!("{}", dump.render());
+                }
+                Err(e) => println!("trace dump failed: {e}"),
+            }
+        }
+    } else {
+        println!("(decision tracing compiled out: themis-telemetry built without `trace`)");
+    }
+    deployment.shutdown();
+}

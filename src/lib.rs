@@ -35,7 +35,9 @@
 //!   staged policy engine;
 //! * [`server`] — the server core and threaded deployment runtime;
 //! * [`client`] — the POSIX-flavoured client;
-//! * [`sim`] — the discrete-event simulator and workload/application models.
+//! * [`sim`] — the discrete-event simulator and workload/application models;
+//! * [`telemetry`] — the live metrics registry, decision tracing and
+//!   snapshot control plane (see the `themis-top` binary).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -49,6 +51,7 @@ pub use themis_net as net;
 pub use themis_server as server;
 pub use themis_sim as sim;
 pub use themis_stage as stage;
+pub use themis_telemetry as telemetry;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -67,5 +70,8 @@ pub mod prelude {
     pub use themis_stage::{
         BackingStore, CapacityTier, DrainConfig, DrainStatus, ScrubPipeline, ScrubStatus,
         StagedEngine, StagingConfig,
+    };
+    pub use themis_telemetry::{
+        DecisionTrace, MetricsRegistry, MetricsSnapshot, SeriesKey, TraceDump, TraceKind,
     };
 }

@@ -11,7 +11,9 @@
 //! * work conservation (the device never idles while requests queue);
 //! * no starvation across policy epochs;
 //! * byte-exact data integrity after drain/evict/stage-in roundtrips;
-//! * per-tenant sim ↔ live share agreement.
+//! * per-tenant sim ↔ live share agreement;
+//! * telemetry consistency (the live cluster's metrics registry vs. the
+//!   driver's reply-derived accounting, exact to the op and byte).
 //!
 //! Tolerances are documented in `themis_harness::oracle` and in the README's
 //! "Testing & conformance" section. A failure panics with the full oracle
@@ -31,7 +33,13 @@ macro_rules! conformance_seed {
         $(
             #[test]
             fn $name() {
-                run_conformance($seed).assert_clean();
+                let report = run_conformance($seed);
+                // Every gate run leaves the live cluster's telemetry
+                // snapshot as a machine-readable artifact
+                // (target/conformance/METRICS-seed-*.json), uploaded by CI
+                // whether or not the seed passes.
+                report.write_metrics_artifact();
+                report.assert_clean();
             }
         )+
     };
