@@ -1,10 +1,11 @@
 //! Shared perf-trajectory experiments and their machine-readable report.
 //!
-//! Three bins consume this module: `drain_weights` (stage-out
-//! interference), `restore_interference` (stage-in interference) and
-//! `scrub_interference` (maintenance-class interference); the latter two
-//! can emit the combined [`BenchReport`] as flat JSON (`BENCH_pr5.json`)
-//! and gate themselves against a committed baseline
+//! Four bins consume this module: `drain_weights` (stage-out
+//! interference), `restore_interference` (stage-in interference),
+//! `scrub_interference` (maintenance-class interference) and
+//! `rebalance_interference` (shard-migration interference); the latter
+//! three can emit the combined [`BenchReport`] as flat JSON
+//! (`BENCH_pr8.json`) and gate themselves against a committed baseline
 //! (`crates/bench/baseline.json`) — the CI `bench` job's regression check.
 //! The interference numbers are driven by the deterministic simulator, so
 //! they are bit-stable for a given code revision and a regression is
@@ -61,6 +62,17 @@ pub struct BenchReport {
     /// Sustained verification bandwidth (MiB/s of scrubbed bytes over the
     /// 8:1 run).
     pub scrub_scrubbed_mib_s_8_1: f64,
+    /// Checkpoint slowdown (%) vs the rebalance-disabled baseline, the
+    /// migration at 1:1.
+    pub rebalance_fg_slowdown_pct_1_1: f64,
+    /// Checkpoint slowdown (%) vs the rebalance-disabled baseline at 8:1 —
+    /// the fourth number the regression gate watches (the PR 8 acceptance
+    /// bound: a mid-run reshard costs the premium checkpointer no more than
+    /// the 9/8 bound the other background classes already honour).
+    pub rebalance_fg_slowdown_pct_8_1: f64,
+    /// Sustained migration bandwidth (MiB/s of migrated bytes over the 8:1
+    /// run).
+    pub rebalance_migrated_mib_s_8_1: f64,
     /// Wall-clock median of one three-lane
     /// [`StagedEngine`](themis_stage::StagedEngine) select/complete round
     /// (ns/iter), measured through the vendored criterion shim.
@@ -86,6 +98,7 @@ impl BenchReport {
             drain_experiment(),
             restore_experiment(),
             scrub_experiment(),
+            rebalance_experiment(),
             staged_select_ns,
             staged_select_telemetry_ns,
         )
@@ -98,6 +111,7 @@ impl BenchReport {
         drain: DrainNumbers,
         restore: RestoreNumbers,
         scrub: ScrubNumbers,
+        rebalance: RebalanceNumbers,
         staged_select_ns: f64,
         staged_select_telemetry_ns: f64,
     ) -> Self {
@@ -113,6 +127,9 @@ impl BenchReport {
             scrub_fg_slowdown_pct_1_1: scrub.fg_slowdown_pct_1_1,
             scrub_fg_slowdown_pct_8_1: scrub.fg_slowdown_pct_8_1,
             scrub_scrubbed_mib_s_8_1: scrub.scrubbed_mib_s_8_1,
+            rebalance_fg_slowdown_pct_1_1: rebalance.fg_slowdown_pct_1_1,
+            rebalance_fg_slowdown_pct_8_1: rebalance.fg_slowdown_pct_8_1,
+            rebalance_migrated_mib_s_8_1: rebalance.migrated_mib_s_8_1,
             staged_select_ns,
             staged_select_telemetry_ns,
         }
@@ -141,6 +158,18 @@ impl BenchReport {
             ("scrub_fg_slowdown_pct_1_1", self.scrub_fg_slowdown_pct_1_1),
             ("scrub_fg_slowdown_pct_8_1", self.scrub_fg_slowdown_pct_8_1),
             ("scrub_scrubbed_mib_s_8_1", self.scrub_scrubbed_mib_s_8_1),
+            (
+                "rebalance_fg_slowdown_pct_1_1",
+                self.rebalance_fg_slowdown_pct_1_1,
+            ),
+            (
+                "rebalance_fg_slowdown_pct_8_1",
+                self.rebalance_fg_slowdown_pct_8_1,
+            ),
+            (
+                "rebalance_migrated_mib_s_8_1",
+                self.rebalance_migrated_mib_s_8_1,
+            ),
             ("staged_select_ns", self.staged_select_ns),
             (
                 "staged_select_telemetry_ns",
@@ -198,6 +227,7 @@ pub fn check_regression(current: &BenchReport, baseline: &HashMap<String, f64>) 
         "drain_fg_slowdown_pct_8_1",
         "restore_fg_slowdown_pct_8_1",
         "scrub_fg_slowdown_pct_8_1",
+        "rebalance_fg_slowdown_pct_8_1",
     ] {
         let Some(&base) = baseline.get(key) else {
             violations.push(format!("baseline is missing the gated key '{key}'"));
@@ -495,6 +525,94 @@ pub fn scrub_experiment() -> ScrubNumbers {
     )
 }
 
+/// Shard-migration interference numbers: a premium checkpointer against the
+/// rebalance pass a mid-run reshard triggers.
+pub struct RebalanceNumbers {
+    /// Checkpoint time with rebalancing disabled (seconds).
+    pub baseline_secs: f64,
+    /// Slowdown (%) at foreground:rebalance 1:1.
+    pub fg_slowdown_pct_1_1: f64,
+    /// Slowdown (%) at foreground:rebalance 8:1.
+    pub fg_slowdown_pct_8_1: f64,
+    /// Migrated MiB/s over the 8:1 run.
+    pub migrated_mib_s_8_1: f64,
+}
+
+/// The migration backlog of the rebalance experiments: 4 GiB of extents
+/// whose range changed owner when the shard map split. Like the scrub's
+/// deep tier, a standing backlog keeps the rebalance lane continuously
+/// backlogged against the eligible foreground — the regime where the
+/// weight binds.
+pub const REBALANCE_BACKLOG_BYTES: u64 = 4 << 30;
+
+/// Runs the rebalance workload: a 1 GiB premium checkpoint racing the
+/// migration of a [resharded backlog](REBALANCE_BACKLOG_BYTES), the
+/// rebalance class at `weight`:1 when `enabled`. The reshard fires at t=0
+/// so the migration competes for the whole checkpoint window — the
+/// worst-case phase alignment.
+pub fn run_rebalance(weight: u32, enabled: bool) -> themis_sim::SimResult {
+    let checkpointer = SimJob::new(
+        JobMeta::new(1u64, 1u32, 1u32, 8),
+        16,
+        OpPattern::WriteOnly {
+            bytes_per_op: 1 << 20,
+        },
+    )
+    .with_max_ops(64)
+    .with_queue_depth(4);
+    let config = SimConfig {
+        staging: Some(SimStagingConfig {
+            backing_device: DeviceConfig::optane_ssd(),
+            drain_weight: 8,
+            rebalance_weight: weight,
+            rebalance_enabled: enabled,
+            rebalance_backlog_bytes: REBALANCE_BACKLOG_BYTES,
+            reshard_at_ns: 0,
+            drain_chunk_bytes: 8 << 20,
+            max_inflight: 4,
+            ..SimStagingConfig::default()
+        }),
+        // The checkpointer is the premium tenant, as in the scrub
+        // experiment, so the slowdown number isolates what the migration
+        // costs the protected foreground.
+        ..SimConfig::new(
+            1,
+            Algorithm::Themis("user[8]-fair".parse().expect("valid DSL")),
+        )
+    };
+    Simulation::new(config, vec![checkpointer]).run()
+}
+
+/// Distils three already-run rebalance workloads (disabled baseline, 1:1,
+/// 8:1) into the report numbers — shared with the `rebalance_interference`
+/// bin, which prints its table from the same runs and must not run them
+/// twice.
+pub fn rebalance_numbers(
+    baseline: &themis_sim::SimResult,
+    even: &themis_sim::SimResult,
+    weighted: &themis_sim::SimResult,
+) -> RebalanceNumbers {
+    let baseline_secs = baseline.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let even_secs = even.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let weighted_secs = weighted.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let weighted_span_secs = weighted.sim_end_ns as f64 / 1e9;
+    RebalanceNumbers {
+        baseline_secs,
+        fg_slowdown_pct_1_1: (even_secs / baseline_secs - 1.0) * 100.0,
+        fg_slowdown_pct_8_1: (weighted_secs / baseline_secs - 1.0) * 100.0,
+        migrated_mib_s_8_1: weighted.migrated_bytes as f64 / (1 << 20) as f64 / weighted_span_secs,
+    }
+}
+
+/// The rebalance half of the report.
+pub fn rebalance_experiment() -> RebalanceNumbers {
+    rebalance_numbers(
+        &run_rebalance(8, false),
+        &run_rebalance(1, true),
+        &run_rebalance(8, true),
+    )
+}
+
 /// Builds the three-lane scheduler fixture the hot-path measurements run
 /// against: a [`StagedEngine`](themis_stage::StagedEngine) over a Themis
 /// foreground engine with one heartbeated foreground tenant, plus the
@@ -645,6 +763,9 @@ mod tests {
             scrub_fg_slowdown_pct_1_1: 6.0,
             scrub_fg_slowdown_pct_8_1: 1.5,
             scrub_scrubbed_mib_s_8_1: 789.0,
+            rebalance_fg_slowdown_pct_1_1: 7.0,
+            rebalance_fg_slowdown_pct_8_1: 1.8,
+            rebalance_migrated_mib_s_8_1: 654.0,
             staged_select_ns: 350.0,
             staged_select_telemetry_ns: 360.0,
         }
@@ -683,7 +804,7 @@ mod tests {
         report.drain_fg_slowdown_pct_8_1 = 2.4;
         let negative = parse_flat_json(
             "{\"drain_fg_slowdown_pct_8_1\": 2.4, \"restore_fg_slowdown_pct_8_1\": -15.0, \
-             \"scrub_fg_slowdown_pct_8_1\": 1.5}",
+             \"scrub_fg_slowdown_pct_8_1\": 1.5, \"rebalance_fg_slowdown_pct_8_1\": 1.8}",
         );
         report.restore_fg_slowdown_pct_8_1 = -12.5;
         assert!(check_regression(&report, &negative).is_empty());
@@ -699,7 +820,7 @@ mod tests {
         report.restore_fg_slowdown_pct_8_1 = 5.0;
         report.scrub_fg_slowdown_pct_8_1 = 1.5;
         let empty = HashMap::new();
-        assert_eq!(check_regression(&report, &empty).len(), 3);
+        assert_eq!(check_regression(&report, &empty).len(), 4);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use themis_fs::ring::stable_hash;
 use themis_fs::store::StatInfo;
 use themis_fs::{FsError, FsResult, StripeConfig};
 use themis_net::message::{ClientMessage, FsOp, FsReply, ServerMessage, StageReply};
-use themis_stage::{DrainStatus, ScrubStatus};
+use themis_stage::{DrainStatus, RebalanceStatus, ScrubStatus};
 use themis_telemetry::{MetricsSnapshot, TraceDump};
 
 /// The ThemisIO namespace decision: which paths are intercepted.
@@ -349,6 +349,21 @@ impl<L: ServerLink> ThemisClient<L> {
         self.links[server].send(ClientMessage::ScrubStatus { request_id });
         match self.recv_stage_ack(server, request_id)? {
             StageReply::Scrub(status) => Ok(status),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected staging reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries one server's rebalance state: the sharded tier's map and
+    /// generation convergence plus the migration counters. On a server with
+    /// an unsharded capacity tier the reply reports `sharded: false`.
+    pub fn rebalance_status(&self, server: usize) -> FsResult<RebalanceStatus> {
+        let server = server % self.links.len();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::RebalanceStatus { request_id });
+        match self.recv_stage_ack(server, request_id)? {
+            StageReply::Rebalance(status) => Ok(status),
             other => Err(FsError::InvalidArgument(format!(
                 "unexpected staging reply {other:?}"
             ))),
@@ -734,6 +749,14 @@ mod tests {
                     request_id: *request_id,
                     reply: StageReply::Scrub(ScrubStatus::default()),
                 }),
+                ClientMessage::RebalanceStatus { request_id } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::Rebalance(RebalanceStatus {
+                        sharded: true,
+                        migrated_extents: 7,
+                        ..RebalanceStatus::default()
+                    }),
+                }),
                 ClientMessage::MetricsSnapshot { request_id } => Some(ServerMessage::Stage {
                     request_id: *request_id,
                     reply: StageReply::Metrics(themis_telemetry::MetricsSnapshot::default()),
@@ -869,6 +892,20 @@ mod tests {
             .lock()
             .iter()
             .any(|m| matches!(m, ClientMessage::ScrubStatus { .. })));
+    }
+
+    #[test]
+    fn rebalance_status_targets_one_server() {
+        let c = client(2);
+        let status = c.rebalance_status(1).unwrap();
+        assert!(status.sharded);
+        assert_eq!(status.migrated_extents, 7);
+        assert!(c.links[0].sent.lock().is_empty());
+        assert!(c.links[1]
+            .sent
+            .lock()
+            .iter()
+            .any(|m| matches!(m, ClientMessage::RebalanceStatus { .. })));
     }
 
     #[test]

@@ -43,6 +43,18 @@ impl StripeConfig {
     }
 }
 
+/// Maps a 64-bit index onto a ring of `len` slots. The modulo is computed
+/// in `u64` *before* narrowing: `index as usize % len` would truncate the
+/// index to 32 bits on 32-bit targets first, sending e.g. stripe `1 << 32`
+/// to slot 0 instead of `(1 << 32) % len` — a silent mis-placement for any
+/// file whose stripe numbers exceed `u32::MAX`. Every ring-placement site
+/// (stripe→server here, hash-range→replica in the sharded capacity tier)
+/// must go through this helper rather than re-deriving the cast.
+pub fn ring_slot(index: u64, len: usize) -> usize {
+    debug_assert!(len > 0, "ring_slot over an empty ring");
+    (index % len.max(1) as u64) as usize
+}
+
 /// The placement of one file: its stripe parameters plus the ordered list of
 /// servers holding stripe `0, 1, …, stripe_count-1` (stripe `i` of byte range
 /// `[i*stripe_size, (i+1)*stripe_size)` modulo `stripe_count`).
@@ -68,7 +80,7 @@ impl FileLayout {
         if self.servers.is_empty() {
             return None;
         }
-        Some(self.servers[stripe as usize % self.servers.len()])
+        Some(self.servers[ring_slot(stripe, self.servers.len())])
     }
 
     /// The server holding the stripe that contains file offset `offset`.
@@ -90,7 +102,7 @@ impl FileLayout {
             let stripe_index = cur / ss;
             let stripe_end = (stripe_index + 1) * ss;
             let chunk_end = stripe_end.min(end);
-            let server = self.servers[(stripe_index as usize) % self.servers.len()];
+            let server = self.servers[ring_slot(stripe_index, self.servers.len())];
             out.push(Chunk {
                 server,
                 offset: cur,
@@ -194,5 +206,26 @@ mod tests {
     fn zero_length_range_has_no_chunks() {
         let l = layout(2, 100, 2);
         assert!(l.chunks(42, 0).is_empty());
+    }
+
+    /// Regression: stripe numbers above `u32::MAX` must keep their `u64`
+    /// modulo. The old `stripe as usize % len` truncated the stripe to 32
+    /// bits first on 32-bit targets, so stripe `2^32 + 1` landed on the
+    /// slot of stripe `1`'s *truncated* value — `ring_slot` computes the
+    /// modulo before narrowing, which this pins on every target width.
+    #[test]
+    fn stripes_beyond_u32_keep_their_u64_modulo() {
+        let l = layout(5, 1 << 20, 3);
+        let huge = (1u64 << 32) + 1; // ≡ 2 (mod 3); truncating to u32 first gives 1
+        assert_eq!(ring_slot(huge, 3), 2);
+        assert_eq!(l.server_for_stripe(huge).unwrap(), l.servers[2]);
+        // The offset path and the chunk path go through the same helper.
+        let offset = huge * l.config.stripe_size;
+        assert_eq!(l.server_for_offset(offset).unwrap(), l.servers[2]);
+        let chunks = l.chunks(offset, 10);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].server, l.servers[2]);
+        // u64::MAX stays in range too (u64::MAX ≡ 0 mod 5 fails; it is 15·…).
+        assert_eq!(ring_slot(u64::MAX, 5), (u64::MAX % 5) as usize);
     }
 }

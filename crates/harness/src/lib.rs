@@ -96,6 +96,12 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
     // harness never injected. The sim-side share-bounds oracle above keeps
     // running unconditioned — that pairing is the scrub oracle's point.
     violations.extend(oracle::check_scrub_liveness(&scenario, &sim, &live));
+    // Rebalance liveness: resharding scenarios must migrate their misplaced
+    // extents checksum-verified (zero failures) and land every range back on
+    // its full replica set by quiescence — acknowledged bytes survive the
+    // reshard, while the share-bounds oracles above prove the migration
+    // stayed within its weighted lane.
+    violations.extend(oracle::check_rebalance_liveness(&scenario, &sim, &live));
     // Telemetry consistency: the registry the live cores instrumented must
     // agree exactly with the reply-derived accounting the driver kept —
     // every seed doubles as a correctness test of the metrics subsystem.

@@ -25,7 +25,7 @@ use themis_fs::BurstBufferFs;
 use themis_net::message::{FsOp, FsReply};
 use themis_server::{ServerConfig, ServerCore};
 use themis_sim::{Metrics, ServiceRecord};
-use themis_stage::{BackingStore, CapacityTier};
+use themis_stage::{BackingStore, CapacityTier, DeviceConfig, ShardMap, ShardedStore};
 use themis_telemetry::{MetricsRegistry, MetricsSnapshot};
 
 /// Virtual-clock granularity of the live driver. Poll quantisation idles the
@@ -63,6 +63,20 @@ pub struct LiveOutcome {
     /// (conformance scenarios never inject corruption, so any detection is
     /// an integrity violation in itself).
     pub scrub_errors: u64,
+    /// Total bytes the rebalance class migrated after the mid-window
+    /// reshard, summed over servers (0 when the scenario does not reshard).
+    pub migrated_bytes: u64,
+    /// Migrations refused because no replica verified against its checksum,
+    /// summed over servers (must be 0 — conformance never corrupts the
+    /// tier).
+    pub failed_migrations: u64,
+    /// Extent ranges still below the replication factor at the end of the
+    /// run (0 for a sound reshard, and vacuously 0 without one).
+    pub under_replicated: u64,
+    /// Whether the sharded tier's placement matched its final map at the
+    /// end of the run — every extent on exactly its replica set (vacuously
+    /// true without a reshard).
+    pub placement_converged: bool,
     /// Hard errors: I/O error replies, integrity mismatches, or a run that
     /// never quiesced. An empty list means the replay itself was sound.
     pub errors: Vec<String>,
@@ -99,9 +113,36 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
     let n = scenario.n_servers;
     let fs = BurstBufferFs::new(n);
     let staging = scenario.live_staging();
-    let backing: Option<Arc<dyn BackingStore>> = staging
-        .as_ref()
-        .map(|sc| Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>);
+    // Resharding scenarios run the capacity tier as a sharded router so the
+    // mid-window map change has something to migrate. The second backend is
+    // a deliberately *different* device preset — a reshard moves extents
+    // between heterogeneous tiers. The driver keeps its own handle to
+    // install the new map and audit placement at the end.
+    let mut sharded: Option<Arc<ShardedStore>> = None;
+    let backing: Option<Arc<dyn BackingStore>> = staging.as_ref().map(|sc| {
+        if scenario.reshard_enabled() {
+            let slow = Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>;
+            let store = Arc::new(if scenario.reshard_retires_backend() {
+                // Two children from the start; the reshard collapses the map
+                // onto the fast child and retires the slow one.
+                let fast = Arc::new(CapacityTier::new(DeviceConfig::optane_ssd()))
+                    as Arc<dyn BackingStore>;
+                ShardedStore::new(
+                    vec![slow, fast],
+                    ShardMap::parse("00-7f=0,80-ff=1").expect("static map parses"),
+                    1,
+                )
+            } else {
+                // One child; the reshard adds the fast backend, splits the
+                // map and doubles the replication factor.
+                ShardedStore::new(vec![slow], ShardMap::parse("00-ff=0").unwrap(), 1)
+            });
+            sharded = Some(store.clone());
+            store as Arc<dyn BackingStore>
+        } else {
+            Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>
+        }
+    });
     // One registry for the whole cluster, exactly as the threaded
     // `Deployment` wires it — the telemetry oracle checks cluster-wide sums.
     let registry = MetricsRegistry::new();
@@ -118,7 +159,7 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
                     // traffic continuously and heartbeats only at boot.
                     heartbeat_timeout_ns: scenario.window_ns * 100 + 60_000_000_000,
                     rng_seed: scenario.seed ^ 0x11fe_c0de,
-                    staging,
+                    staging: staging.clone(),
                 },
                 backing.clone(),
                 registry.clone(),
@@ -190,6 +231,7 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
     let deadline_ns = scenario.window_ns * 40 + 10_000_000_000;
     let mut now: u64 = 0;
 
+    let mut resharded = false;
     loop {
         // 1. Live SetPolicy swaps that are due.
         while next_swap < scenario.swaps.len() && scenario.swaps[next_swap].0 <= now {
@@ -200,6 +242,27 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
             }
             policy_epochs.push((now, policy));
             next_swap += 1;
+        }
+
+        // 1b. The mid-window reshard: change the shard map while the
+        //     foreground is still issuing. Every server's rebalance
+        //     pipeline notices the generation bump on its next tick and
+        //     starts migrating its share of the misplaced extents as
+        //     policy-arbitrated Rebalance traffic.
+        if !resharded && now >= scenario.reshard_at_ns() {
+            if let Some(store) = &sharded {
+                if scenario.reshard_retires_backend() {
+                    store
+                        .install_map(ShardMap::parse("00-ff=1").unwrap(), 1)
+                        .expect("retire map is valid");
+                } else {
+                    store.add_backend(Arc::new(CapacityTier::new(DeviceConfig::optane_ssd())));
+                    store
+                        .install_map(ShardMap::parse("00-7f=0,80-ff=1").unwrap(), 2)
+                        .expect("split map is valid");
+                }
+            }
+            resharded = true;
         }
 
         // 2. Completions that have happened by now free their rank slot.
@@ -284,13 +347,22 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
             }
         }
 
-        // 6. Done once the window has passed, every op completed and every
-        //    staging pipeline drained.
+        // 6. Done once the window has passed, every op completed, every
+        //    staging pipeline drained and — after a reshard — every
+        //    migration pass converged on the final map generation.
         if now >= scenario.window_ns && completions.is_empty() && inflight_reqs.is_empty() {
             let drained = cores
                 .iter()
                 .all(|c| c.drain_status_snapshot().is_none_or(|s| s.is_clean()));
-            if drained {
+            // Deliberately not `is_converged()`: a refused (failed)
+            // migration must end the run and be *reported*, not hang the
+            // loop until the deadline.
+            let rebalanced = cores.iter().all(|c| {
+                c.rebalance_status_snapshot().is_none_or(|s| {
+                    !s.pass_active && s.inflight == 0 && s.generation == s.converged_generation
+                })
+            });
+            if drained && rebalanced {
                 break;
             }
         }
@@ -386,6 +458,21 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
         .fold((0u64, 0u64), |(bytes, errors), s| {
             (bytes + s.scrubbed_bytes, errors + s.errors_detected)
         });
+    let (migrated_bytes, failed_migrations) = cores
+        .iter()
+        .filter_map(|c| c.rebalance_status_snapshot())
+        .fold((0u64, 0u64), |(bytes, failed), s| {
+            (bytes + s.migrated_bytes, failed + s.failed_extents)
+        });
+    // Audit the tier's placement directly against its final map — the
+    // oracle-facing ground truth that "every range is back to k replicas".
+    let (under_replicated, placement_converged) = match &sharded {
+        Some(store) => {
+            let report = store.verify_placement();
+            (report.under_replicated as u64, report.converged())
+        }
+        None => (0, true),
+    };
 
     LiveOutcome {
         metrics,
@@ -396,6 +483,10 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
         pending_restore_bytes,
         scrubbed_bytes,
         scrub_errors,
+        migrated_bytes,
+        failed_migrations,
+        under_replicated,
+        placement_converged,
         errors,
         telemetry,
     }

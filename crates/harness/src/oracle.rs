@@ -19,6 +19,11 @@
 //!   class verifies bytes in both runtimes (no lane starvation), reports
 //!   zero mismatches (the harness injects no corruption), and the sim-side
 //!   scrub backlog is clear at quiescence ([`check_scrub_liveness`]).
+//! * **Rebalance liveness** — in resharding scenarios, the mid-run shard
+//!   map change migrates bytes in both runtimes with zero failed
+//!   migrations, and at quiescence the live tier's placement audit shows
+//!   every extent back to its full replica set with no range left
+//!   under-replicated ([`check_rebalance_liveness`]).
 //! * **Telemetry consistency** — the live cluster's metrics registry agrees
 //!   exactly with the driver's reply-derived accounting: per-tenant op and
 //!   byte counters, histogram sample counts, and the park/wake pairing
@@ -408,6 +413,83 @@ pub fn check_scrub_liveness(
     violations
 }
 
+/// Rebalance-liveness oracle: a resharding scenario must actually move the
+/// data. Checked:
+///
+/// * live migrated at least one byte (a reshard that triggers no migration
+///   means the pipeline never woke, or the ownership filter dropped every
+///   extent);
+/// * zero failed migrations — the harness injects no corruption, so a
+///   checksum-refused copy is a real bug, not an environmental hazard;
+/// * the placement audit at quiescence is clean: every extent holds its
+///   full replica set under the final map, with no under-replicated range
+///   (acknowledged bytes survived the reshard) — `placement_converged`
+///   additionally requires zero stale copies, i.e. the retired holders
+///   were pruned;
+/// * the sim's migration backlog is fully consumed (its byte model of the
+///   same pass).
+pub fn check_rebalance_liveness(
+    scenario: &Scenario,
+    sim: &SimResult,
+    live: &LiveOutcome,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !scenario.reshard_enabled() {
+        return violations;
+    }
+    if live.migrated_bytes == 0 {
+        violations.push(Violation {
+            oracle: "rebalance-liveness",
+            run: "live",
+            detail: "reshard fired but zero bytes migrated over the whole run \
+                     (rebalance lane starved, or the pass never started?)"
+                .into(),
+        });
+    }
+    if live.failed_migrations > 0 {
+        violations.push(Violation {
+            oracle: "rebalance-liveness",
+            run: "live",
+            detail: format!(
+                "{} migrations failed checksum verification with no injected corruption",
+                live.failed_migrations
+            ),
+        });
+    }
+    if live.under_replicated > 0 {
+        violations.push(Violation {
+            oracle: "rebalance-liveness",
+            run: "live",
+            detail: format!(
+                "{} extents under-replicated at quiescence (acknowledged bytes \
+                 not back to k replicas after the reshard)",
+                live.under_replicated
+            ),
+        });
+    }
+    if !live.placement_converged {
+        violations.push(Violation {
+            oracle: "rebalance-liveness",
+            run: "live",
+            detail: "placement audit not converged at quiescence (stale copies \
+                     left on retired holders?)"
+                .into(),
+        });
+    }
+    let backlog = scenario.sim_rebalance_backlog_bytes();
+    if sim.migrated_bytes < backlog {
+        violations.push(Violation {
+            oracle: "rebalance-liveness",
+            run: "sim",
+            detail: format!(
+                "migration backlog at quiescence: {} of {} bytes moved",
+                sim.migrated_bytes, backlog
+            ),
+        });
+    }
+    violations
+}
+
 /// Telemetry-consistency oracle: the live runtime's metrics registry must
 /// agree *exactly* with the reply-derived accounting the driver keeps on the
 /// client side. Both count the same completions through independent code
@@ -480,7 +562,7 @@ pub fn check_telemetry_consistency(scenario: &Scenario, live: &LiveOutcome) -> V
     }
 
     if scenario.staging.is_none() {
-        for lane in ["drain", "restore", "scrub"] {
+        for lane in ["drain", "restore", "scrub", "rebalance"] {
             for name in [
                 "admitted_bytes",
                 "selected_charged_bytes",

@@ -63,6 +63,12 @@ impl Tenant {
 /// conditioning" note in the README.
 pub const SCENARIO_SCRUB_WEIGHT: u32 = 16;
 
+/// Foreground : rebalance weight of every resharding scenario. Fixed for the
+/// same reasons as [`SCENARIO_SCRUB_WEIGHT`]: drawing it would reshuffle
+/// pre-existing seeds, and 16:1 keeps the migration's foreground cost inside
+/// the share oracles' documented tolerances.
+pub const SCENARIO_REBALANCE_WEIGHT: u32 = 16;
+
 /// Staging/drain pressure parameters of a scenario.
 #[derive(Debug, Clone)]
 pub struct StagingSpec {
@@ -79,6 +85,16 @@ pub struct StagingSpec {
     /// no extra RNG consumption — so pre-existing seeds keep their exact
     /// shape.
     pub scrub: bool,
+    /// Whether the scenario's capacity tier is *sharded* and resharded
+    /// mid-window: the live driver builds the tier as a
+    /// [`ShardedStore`](themis_stage::ShardedStore), changes its shard map
+    /// halfway through the issuing window (adding a backend or retiring
+    /// one — see [`Scenario::reshard_retires_backend`]), and the rebalance
+    /// class migrates every misplaced extent checksum-verified while the
+    /// foreground keeps issuing. Derived from the staging draw itself (like
+    /// `scrub`) — no extra RNG consumption, so pre-existing seeds keep
+    /// their exact shape.
+    pub reshard: bool,
     /// Whether watermarks are tight enough to force eviction (and therefore
     /// stage-in / read-through roundtrips) during the run.
     pub eviction: bool,
@@ -265,6 +281,12 @@ impl Scenario {
                 // the pinned set gains scrub coverage without reshuffling a
                 // single green seed.
                 scrub: true,
+                // The reshard dimension is likewise derived: every staged
+                // scenario reshards its capacity tier mid-window, so the
+                // pinned seeds gain migration coverage for free. Which
+                // *kind* of reshard (add vs. retire) follows the drain
+                // weight — see `reshard_retires_backend`.
+                reshard: true,
                 // The capacity tier must absorb drain faster than the burst
                 // tier produces dirty bytes, so runs quiesce promptly; its
                 // per-op overhead still dwarfs the burst tier's.
@@ -350,10 +372,26 @@ impl Scenario {
                 // model, and the liveness oracle only requires progress.
                 scrub_error_rate: 0.0,
                 scrub_backlog_bytes: 0,
+                rebalance_weight: SCENARIO_REBALANCE_WEIGHT,
+                rebalance_enabled: s.reshard,
+                // The sim does not track placement; its byte-level model
+                // owes roughly the live migration volume — about half of
+                // each server's share of the written region changes owner
+                // when the map splits (or a child retires).
+                rebalance_backlog_bytes: self.sim_rebalance_backlog_bytes() / self.n_servers as u64,
+                reshard_at_ns: self.reshard_at_ns(),
                 drain_chunk_bytes: self.bytes_per_op,
                 max_inflight: 4,
             }),
         }
+    }
+
+    /// Total bytes of every rank's prefilled cyclic region.
+    pub fn region_bytes(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.ranks as u64 * self.slots * self.bytes_per_op)
+            .sum()
     }
 
     /// The simulator jobs of this scenario (the same closed-loop parameters
@@ -384,9 +422,49 @@ impl Scenario {
                 // Back-to-back passes: the conformance window is short, so
                 // pacing would turn "enabled" into "ran once, maybe".
                 scrub_interval_ns: 0,
+                rebalance_weight: SCENARIO_REBALANCE_WEIGHT,
+                rebalance_enabled: s.reshard,
                 max_inflight: 4,
             },
+            // The live driver builds the (shared, resharded) tier itself and
+            // hands it to every core, so the per-server spec stays unset.
+            sharding: None,
         })
+    }
+
+    /// Whether this scenario reshards its capacity tier mid-window (the
+    /// rebalance traffic class's conformance dimension).
+    pub fn reshard_enabled(&self) -> bool {
+        self.staging.as_ref().is_some_and(|s| s.reshard)
+    }
+
+    /// Cluster-total migration backlog the simulator's byte-level model owes
+    /// after the reshard — what the rebalance-liveness oracle expects
+    /// `SimResult::migrated_bytes` to reach at quiescence. Roughly half the
+    /// written region changes owner when the map splits (or a child
+    /// retires); each server carries its `1/n_servers` share.
+    pub fn sim_rebalance_backlog_bytes(&self) -> u64 {
+        if self.reshard_enabled() {
+            let per_server = self.region_bytes() / self.n_servers as u64 / 2;
+            per_server * self.n_servers as u64
+        } else {
+            0
+        }
+    }
+
+    /// Virtual time of the shard-map change: halfway through the issuing
+    /// window, so migration always competes with live foreground traffic.
+    pub fn reshard_at_ns(&self) -> u64 {
+        self.window_ns / 2
+    }
+
+    /// Which kind of reshard this scenario performs, derived from the
+    /// drain-weight draw so both kinds appear across the pinned seeds
+    /// without consuming a draw: `true` retires a backend (the two-child
+    /// tier collapses onto one), `false` adds one (the one-child tier
+    /// splits and doubles its replication).
+    pub fn reshard_retires_backend(&self) -> bool {
+        self.staging.as_ref().is_some_and(|s| s.drain_weight == 8)
     }
 
     /// Whether this scenario runs the background checksum scrubber (the
@@ -419,10 +497,17 @@ impl Scenario {
             .join(", ");
         let staging = match &self.staging {
             Some(s) => format!(
-                "staging(w={}, rw={}, scrub={}, eviction={}, storm={})",
+                "staging(w={}, rw={}, scrub={}, reshard={}, eviction={}, storm={})",
                 s.drain_weight,
                 s.restore_weight,
                 s.scrub,
+                if !s.reshard {
+                    "off"
+                } else if self.reshard_retires_backend() {
+                    "retire"
+                } else {
+                    "add"
+                },
                 s.eviction,
                 self.restore_storm()
             ),
@@ -524,5 +609,34 @@ mod tests {
         assert!(scenarios
             .iter()
             .any(|s| s.policy.tiers().iter().any(|t| t.weight > 1)));
+        // Both reshard kinds appear: a scenario that adds a backend
+        // mid-window and one that retires one.
+        assert!(scenarios
+            .iter()
+            .any(|s| s.reshard_enabled() && s.reshard_retires_backend()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.reshard_enabled() && !s.reshard_retires_backend()));
+    }
+
+    #[test]
+    fn pinned_seeds_cover_resharding() {
+        // The conformance suite pins seeds 0–23; the derived reshard
+        // dimension must put at least two resharding scenarios (and both
+        // kinds across a slightly wider range) inside it, or the
+        // reshard-mid-workload oracles would be vacuous.
+        let resharding = (0..24)
+            .map(Scenario::generate)
+            .filter(|s| s.reshard_enabled())
+            .count();
+        assert!(
+            resharding >= 2,
+            "only {resharding} of the pinned seeds reshard"
+        );
+        for s in (0..24).map(Scenario::generate) {
+            if s.reshard_enabled() {
+                assert!(s.reshard_at_ns() > 0 && s.reshard_at_ns() < s.window_ns);
+            }
+        }
     }
 }

@@ -12,7 +12,7 @@ use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
 use themis_fs::layout::StripeConfig;
 use themis_fs::store::StatInfo;
-use themis_stage::{DrainStatus, ScrubStatus};
+use themis_stage::{DrainStatus, RebalanceStatus, ScrubStatus};
 use themis_telemetry::{MetricsSnapshot, TraceDump};
 
 /// A POSIX-flavoured file system operation as carried on the wire.
@@ -252,6 +252,14 @@ pub enum ClientMessage {
         /// Request id chosen by the client, echoed in the reply.
         request_id: u64,
     },
+    /// Maintenance: query the server's rebalance state (shard map,
+    /// generation convergence, migration counters). Answered immediately
+    /// with [`ServerMessage::Stage`] / [`StageReply::Rebalance`]; on an
+    /// unsharded tier the status reports `sharded: false`.
+    RebalanceStatus {
+        /// Request id chosen by the client, echoed in the reply.
+        request_id: u64,
+    },
     /// Observability: cut a full metrics snapshot. The registry is shared
     /// across the deployment's servers, so any server answers with the
     /// cluster-wide view ([`ServerMessage::Stage`] /
@@ -343,6 +351,9 @@ pub enum StageReply {
     /// completed [`ClientMessage::Scrub`] pass, or the immediate answer to
     /// a [`ClientMessage::ScrubStatus`] query.
     Scrub(ScrubStatus),
+    /// The server's rebalance state: the immediate answer to a
+    /// [`ClientMessage::RebalanceStatus`] query.
+    Rebalance(RebalanceStatus),
     /// The request could not be served (e.g. staging disabled on the
     /// server).
     Error(String),

@@ -20,8 +20,8 @@ use themis_fs::{BurstBufferFs, FsError, OpenFlags, Whence};
 use themis_net::message::{FsOp, FsReply, StageReply};
 use themis_stage::{
     extent_checksum, write_back_guarded, BackingStore, CapacityTier, DrainPipeline, DrainStatus,
-    RestorePipeline, RestoreTarget, ScrubPipeline, ScrubStatus, StagedEngine, StagingConfig,
-    TrafficClass,
+    MigrationOutcome, RebalancePipeline, RebalanceStatus, RestorePipeline, RestoreTarget,
+    ScrubPipeline, ScrubStatus, StagedEngine, StagingConfig, TrafficClass,
 };
 use themis_telemetry::{
     Counter, DecisionTrace, Gauge, Histogram, MetricsRegistry, SeriesKey, TraceDump, TraceEvent,
@@ -188,6 +188,7 @@ struct StageState {
     pipeline: DrainPipeline,
     restore: RestorePipeline,
     scrub: ScrubPipeline,
+    rebalance: RebalancePipeline,
     backing: Arc<dyn BackingStore>,
     backing_device: DeviceTimeline,
     /// `(capacity_write_finish_ns, seq, drained_generation)` of drains whose
@@ -199,6 +200,10 @@ struct StageState {
     /// `(finish_ns, seq)` of scrub verifications the engine released; the
     /// checksum is judged when the capacity-tier read completes.
     inflight_scrubs: Vec<(u64, u64)>,
+    /// `(finish_ns, seq)` of shard migrations the engine released; the
+    /// migration is applied to the sharded tier when its capacity-tier
+    /// transfers complete.
+    inflight_rebalances: Vec<(u64, u64)>,
     /// Flushes waiting for their path's local extents to become clean.
     pending_flushes: Vec<(u64, String)>,
     /// Foreground operations waiting on restores.
@@ -322,17 +327,43 @@ impl ServerCore {
                 sc.drain.max_inflight,
             );
             scrub.attach_telemetry(&registry);
+            let mut rebalance = RebalancePipeline::new(
+                server_index,
+                sc.drain.rebalance_enabled,
+                sc.drain.max_inflight,
+            );
+            rebalance.attach_telemetry(&registry);
+            let backing = backing.unwrap_or_else(|| match &sc.sharding {
+                Some(spec) => {
+                    let store = spec.build().expect("staging shard spec must be valid");
+                    Arc::new(store) as Arc<dyn BackingStore>
+                }
+                None => Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>,
+            });
+            // Per-child health/latency series for a sharded tier, whether the
+            // router was built here or handed in by the deployment (idempotent
+            // for stores another server already attached to the same registry).
+            if let Some(sharded) = backing.as_sharded() {
+                sharded.attach_telemetry(&registry);
+            }
+            // The timeline models the tier the drains actually land on: a
+            // sharded router advertises its slowest child.
+            let backing_model = if backing.as_sharded().is_some() {
+                backing.device()
+            } else {
+                sc.backing_device
+            };
             StageState {
                 pipeline,
                 restore,
                 scrub,
-                backing: backing.unwrap_or_else(|| {
-                    Arc::new(CapacityTier::new(sc.backing_device)) as Arc<dyn BackingStore>
-                }),
-                backing_device: DeviceTimeline::new(DeviceModel::new(sc.backing_device)),
+                rebalance,
+                backing,
+                backing_device: DeviceTimeline::new(DeviceModel::new(backing_model)),
                 inflight_backing: Vec::new(),
                 inflight_restores: Vec::new(),
                 inflight_scrubs: Vec::new(),
+                inflight_rebalances: Vec::new(),
                 pending_flushes: Vec::new(),
                 parked_ops: Vec::new(),
                 pending_stage_ins: Vec::new(),
@@ -568,9 +599,10 @@ impl ServerCore {
                     self.execute_scrub(&request, now_ns);
                     continue;
                 }
-                // No rebalance synthesizer exists yet; its lane can only be
-                // empty.
-                Some(_) => continue,
+                Some(TrafficClass::Rebalance) => {
+                    self.execute_rebalance(&request, now_ns);
+                    continue;
+                }
                 None => {}
             }
             let (request_id, op) = self
@@ -700,8 +732,11 @@ impl ServerCore {
             evicted_bytes: snap.counter(s, 0, drain, "evicted_bytes"),
             evicted_extents: snap.counter(s, 0, drain, "evicted_extents"),
             // `completed_bytes` sorts (and is loaded) before
-            // `requested_bytes`, so this difference never underflows.
-            pending_restore_bytes: requested - completed,
+            // `requested_bytes` in *this* snapshot, but the two counters are
+            // still maintained independently — saturate rather than betting
+            // the status message on a load-order invariant a future metric
+            // rename would silently break.
+            pending_restore_bytes: requested.saturating_sub(completed),
             restored_bytes: snap.counter(s, 0, restore, "restored_bytes"),
             restored_ops: snap.counter(s, 0, restore, "restored_ops"),
         })
@@ -935,6 +970,55 @@ impl ServerCore {
             None => StageReply::Error("staging is not enabled on this server".into()),
         };
         self.stage_replies.push(StageReady { request_id, reply });
+    }
+
+    /// A point-in-time rebalance status snapshot, `None` when staging is
+    /// disabled. Like [`ServerCore::scrub_status_snapshot`], the monotonic
+    /// migration counters are a view over one sorted registry read;
+    /// structural state (map, generations, inflight depth) comes from the
+    /// pipeline and the sharded tier. On an unsharded tier the snapshot
+    /// reports `sharded: false` with every counter zero.
+    pub fn rebalance_status_snapshot(&self) -> Option<RebalanceStatus> {
+        let st = self.staging.as_ref()?;
+        let mut status = st.rebalance.status(st.backing.as_sharded());
+        let snap = self.telemetry.registry.snapshot(0);
+        let s = self.server_index as u32;
+        let lane = TrafficClass::Rebalance.name();
+        let requested = snap.counter(s, 0, lane, "rebalance_requested_bytes");
+        let migrated = snap.counter(s, 0, lane, "rebalance_migrated_bytes");
+        status.requested_bytes = requested;
+        status.migrated_bytes = migrated;
+        // Independently-loaded counters: saturate, never trust load order
+        // (the same hazard as `DrainStatus::pending_restore_bytes`).
+        status.pending_bytes = requested.saturating_sub(migrated);
+        status.migrated_extents = snap.counter(s, 0, lane, "migrated_extents");
+        status.copies_written = snap.counter(s, 0, lane, "copies_written");
+        status.removed_extents = snap.counter(s, 0, lane, "removed_extents");
+        status.superseded_extents = snap.counter(s, 0, lane, "superseded_extents");
+        status.failed_extents = snap.counter(s, 0, lane, "failed_extents");
+        status.passes_completed = snap.counter(s, 0, lane, "passes_completed");
+        Some(status)
+    }
+
+    /// Handles a `RebalanceStatus` request: an immediate snapshot reply.
+    pub fn rebalance_status(&mut self, request_id: u64) {
+        let reply = match self.rebalance_status_snapshot() {
+            Some(status) => StageReply::Rebalance(status),
+            None => StageReply::Error("staging is not enabled on this server".into()),
+        };
+        self.stage_replies.push(StageReady { request_id, reply });
+    }
+
+    /// Demands a heal pass over the sharded capacity tier: a migration pass
+    /// even without a map change, re-replicating any range a lost replica
+    /// left under-replicated. A no-op without staging or on an unsharded
+    /// tier.
+    pub fn force_rebalance_pass(&mut self) {
+        if let Some(st) = self.staging.as_mut() {
+            if st.backing.as_sharded().is_some() {
+                st.rebalance.force_pass();
+            }
+        }
     }
 
     /// Synchronous fallback restore of evicted extents of `path`, returning
@@ -1195,6 +1279,39 @@ impl ServerCore {
             }
         }
 
+        // 1e. Shard migrations whose capacity-tier transfers finished: apply
+        //     the plan against the sharded tier. The plan is re-derived at
+        //     apply time from the *current* map — a migration admitted under
+        //     a since-superseded map or for a since-unlinked extent degrades
+        //     to `Superseded` (delete wins) — and every copy re-verifies
+        //     against its write-back checksum, so a migration can heal an
+        //     under-replicated range but never launder a corrupt extent: with
+        //     no healthy replica it is refused (`Failed`) and the extent left
+        //     in place for the scrubber to quarantine.
+        let mut i = 0;
+        while i < st.inflight_rebalances.len() {
+            if st.inflight_rebalances[i].0 <= now_ns {
+                let (_, seq) = st.inflight_rebalances.swap_remove(i);
+                let Some(plan) = st.rebalance.complete(seq) else {
+                    continue;
+                };
+                let Some(sharded) = st.backing.as_sharded() else {
+                    continue;
+                };
+                match sharded.apply_migration(&plan) {
+                    MigrationOutcome::Migrated {
+                        bytes,
+                        copies,
+                        removed,
+                    } => st.rebalance.record_migrated(bytes, copies, removed),
+                    MigrationOutcome::Superseded => st.rebalance.record_superseded(),
+                    MigrationOutcome::Failed => st.rebalance.record_failed(),
+                }
+            } else {
+                i += 1;
+            }
+        }
+
         // 2. Watermark eviction: reclaim clean extents down to the low
         //    watermark. Dirty extents are never touched.
         let cfg = *st.pipeline.config();
@@ -1253,6 +1370,17 @@ impl ServerCore {
             }
         }
 
+        // 3d. Rebalance admission: when the sharded tier's map generation
+        //     moved past the last converged one (or a heal pass was forced),
+        //     walk the misplaced extents this server's shard owns and
+        //     synthesize policy-arbitrated migration requests — then close
+        //     the pass once the cursor and the inflight set both drain.
+        self.admit_rebalances(now_ns);
+        let Some(st) = self.staging.as_mut() else {
+            return;
+        };
+        st.rebalance.finish_pass_if_idle();
+
         // 4. Flushes whose path became clean locally.
         let mut j = 0;
         while j < st.pending_flushes.len() {
@@ -1301,6 +1429,33 @@ impl ServerCore {
         while let Some(request) =
             st.scrub
                 .admit_next(self.next_seq, now_ns, st.backing.as_ref(), owns)
+        {
+            self.next_seq += 1;
+            self.engine.admit(request);
+        }
+    }
+
+    /// Feeds due shard migrations to the policy engine, up to the rebalance
+    /// pipeline's depth. The same ownership split as scrubbing: each server
+    /// migrates exactly the tier extents whose stripes its layout shard
+    /// owns, so a multi-server deployment re-places the shared tier once;
+    /// orphaned extents fall to server 0. A no-op on an unsharded tier.
+    fn admit_rebalances(&mut self, now_ns: u64) {
+        let fs = self.fs.clone();
+        let server = self.server_index;
+        let Some(st) = self.staging.as_mut() else {
+            return;
+        };
+        let Some(sharded) = st.backing.as_sharded() else {
+            return;
+        };
+        let owns = |path: &str, stripe: u64| match fs.layout_of(path) {
+            Ok(layout) => layout.server_for_stripe(stripe).map(|id| id.0) == Some(server),
+            Err(_) => server == 0,
+        };
+        while let Some(request) = st
+            .rebalance
+            .admit_next(self.next_seq, now_ns, sharded, owns)
         {
             self.next_seq += 1;
             self.engine.admit(request);
@@ -1583,6 +1738,38 @@ impl ServerCore {
         let (_, backing_finish) = st.backing_device.dispatch(&read, now_ns);
         st.inflight_scrubs
             .push((burst_finish.max(backing_finish), request.seq));
+    }
+
+    /// Executes a shard migration the engine released: the burst-buffer
+    /// device is charged the migration's service slot (what keeps
+    /// rebalancing bounded by its foreground:rebalance weight) and the
+    /// capacity tier is charged the verified source read followed by the
+    /// replica writes — one write per copy the plan places — at the tier's
+    /// own speed. The migration is applied when the transfers finish (in a
+    /// later [`ServerCore::poll`]).
+    fn execute_rebalance(&mut self, request: &IoRequest, now_ns: u64) {
+        let (_, burst_finish) = self.device.dispatch(request, now_ns);
+        let Some(st) = self.staging.as_mut() else {
+            return;
+        };
+        let Some(plan) = st.rebalance.inflight(request.seq) else {
+            return;
+        };
+        let meta = st.rebalance.meta();
+        let bytes = plan.bytes.max(1);
+        let copies = plan.copy_to.len().max(1) as u64;
+        let read = IoRequest::new(request.seq, meta, OpKind::Read, bytes, now_ns);
+        let (_, read_finish) = st.backing_device.dispatch(&read, now_ns);
+        let write = IoRequest::new(
+            request.seq,
+            meta,
+            OpKind::Write,
+            bytes * copies,
+            read_finish,
+        );
+        let (_, write_finish) = st.backing_device.dispatch(&write, read_finish);
+        st.inflight_rebalances
+            .push((burst_finish.max(write_finish), request.seq));
     }
 
     /// Executes a drain request the engine released: read the extent
@@ -2032,6 +2219,7 @@ mod tests {
                 low_watermark_bytes: 1 << 29,
                 ..themis_stage::DrainConfig::default()
             },
+            sharding: None,
         }
     }
 
@@ -2769,6 +2957,126 @@ mod tests {
             assert!(dump.events.is_empty());
             assert_eq!(dump.dropped, 0);
         }
+    }
+
+    /// Satellite (pinning): `trace_dump_snapshot` merges the engine ring
+    /// with the core ring but still honours `max` — the newest events win,
+    /// the merged stream stays oldest-first, and `dropped` accounts exactly
+    /// for everything not returned (each ring's own overwrites plus the
+    /// merge-step cut). The identity checked at the end holds regardless of
+    /// how the retained events split across the two rings.
+    #[test]
+    fn trace_dump_truncation_keeps_newest_events_with_exact_drop_accounting() {
+        let mut staging = fast_staging();
+        staging.drain.high_watermark_bytes = 1 << 20;
+        staging.drain.low_watermark_bytes = 0;
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/cut", 2 << 20, 0);
+        poll_until_clean(&mut s, 1_000_000);
+        s.poll(60_000_000);
+        // A read of evicted data populates both rings: engine admissions
+        // and selections, core parks and wakes.
+        s.submit(
+            810,
+            meta(1, 1),
+            FsOp::ReadAt {
+                path: "/cut".into(),
+                offset: 0,
+                len: 2 << 20,
+            },
+            70_000_000,
+        );
+        let mut t = 70_000_000;
+        loop {
+            if s.poll(t).iter().any(|r| r.request_id == 810) {
+                break;
+            }
+            t += 100_000;
+            assert!(t < 120_000_000_000, "read never completed");
+        }
+        let full = s.trace_dump_snapshot(10_000);
+        if !themis_telemetry::DecisionTrace::enabled() {
+            assert!(full.events.is_empty());
+            assert_eq!(full.dropped, 0);
+            return;
+        }
+        assert!(full.events.len() > 4, "too few events to exercise the cut");
+        let small = s.trace_dump_snapshot(4);
+        // Never more than max, even though two rings each returned up to
+        // max before the merge.
+        assert_eq!(small.events.len(), 4);
+        assert!(small.events.windows(2).all(|w| w[0].now_ns <= w[1].now_ns));
+        // The survivors are the newest of the merged stream.
+        let tail: Vec<u64> = full.events[full.events.len() - 4..]
+            .iter()
+            .map(|e| e.now_ns)
+            .collect();
+        let kept: Vec<u64> = small.events.iter().map(|e| e.now_ns).collect();
+        assert_eq!(kept, tail);
+        // Exact accounting: both dumps cover the same recorded set, so
+        // returned + dropped must agree between them.
+        assert_eq!(
+            small.dropped,
+            full.dropped + (full.events.len() as u64 - 4),
+            "merge cut not reflected in the dropped count"
+        );
+    }
+
+    /// End-to-end rebalance: a server whose staging drains into a sharded
+    /// capacity tier (built from its `ShardSpec`) reacts to a mid-run map
+    /// change by migrating the drained extents through the Rebalance lane —
+    /// checksum-verified, policy-arbitrated alongside foreground traffic —
+    /// until the tier's own placement audit converges on the new map.
+    #[test]
+    fn reshard_migrates_drained_extents_until_placement_converges() {
+        let mut staging = fast_staging();
+        staging.sharding = Some(themis_stage::ShardSpec {
+            // Everything lands on child 0 at first; child 1 (a genuinely
+            // different device preset) idles until the reshard.
+            map: "00-ff=0".into(),
+            replication: 1,
+            backends: vec![DeviceConfig::default(), DeviceConfig::optane_ssd()],
+        });
+        let mut s = staged_server(staging);
+        s.heartbeat(meta(1, 1), 0);
+        write_file(&mut s, "/shard-a", 2 << 20, 0);
+        write_file(&mut s, "/shard-b", 1 << 20, 0);
+        let mut t = poll_until_clean(&mut s, 1_000_000);
+        let status = s.rebalance_status_snapshot().expect("staging enabled");
+        assert!(status.sharded);
+        assert!(status.is_converged(), "nothing to migrate before a reshard");
+        assert_eq!(status.migrated_extents, 0);
+
+        // Reshard: split the range across both children and double the
+        // replication — every drained extent now owes at least one new copy.
+        {
+            let st = s.staging.as_ref().unwrap();
+            let sharded = st.backing.as_sharded().unwrap();
+            sharded
+                .install_map(themis_stage::ShardMap::parse("00-7f=0,80-ff=1").unwrap(), 2)
+                .unwrap();
+        }
+        loop {
+            s.poll(t);
+            if s.rebalance_status_snapshot().unwrap().is_converged() {
+                break;
+            }
+            t += 100_000;
+            assert!(t < 60_000_000_000, "rebalance never converged");
+        }
+        let status = s.rebalance_status_snapshot().unwrap();
+        assert!(status.migrated_extents > 0, "map change moved nothing");
+        assert!(status.migrated_bytes > 0);
+        assert_eq!(status.failed_extents, 0);
+        assert_eq!(status.pending_bytes, 0);
+        assert!(status.passes_completed >= 1);
+        // The tier's own audit agrees: every extent holds its full replica
+        // set under the new map, with the stale copies pruned.
+        let st = s.staging.as_ref().unwrap();
+        let report = st.backing.as_sharded().unwrap().verify_placement();
+        assert!(report.converged(), "placement audit: {report:?}");
+        assert!(report.extents > 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use themis_core::request::{IoRequest, OpKind};
 use themis_core::sync::SyncConfig;
 use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
 use themis_stage::{
-    drain_meta, restore_meta, scrub_meta, ClassWeights, StagedEngine, TrafficClass,
+    drain_meta, rebalance_meta, restore_meta, scrub_meta, ClassWeights, StagedEngine, TrafficClass,
 };
 
 /// Simulator configuration.
@@ -102,6 +102,23 @@ pub struct SimStagingConfig {
     /// lane is trickle-fed by this run's drains and mostly rides the
     /// idle-expansion path).
     pub scrub_backlog_bytes: u64,
+    /// Foreground : rebalance weight for synthesized shard-migration
+    /// traffic after a reshard.
+    pub rebalance_weight: u32,
+    /// Whether the capacity tier is resharded mid-run: at
+    /// [`SimStagingConfig::reshard_at_ns`] the shard map changes and
+    /// [`SimStagingConfig::rebalance_backlog_bytes`] of misplaced extents
+    /// (per server) must migrate, as policy-arbitrated
+    /// [`TrafficClass::Rebalance`] requests — the simulator's byte-level
+    /// model of a migration pass (it does not track placement). The run
+    /// quiesces only once the migration backlog has fully moved.
+    pub rebalance_enabled: bool,
+    /// Bytes of migration work (per server) the reshard creates — the
+    /// extents whose owner changed under the new map.
+    pub rebalance_backlog_bytes: u64,
+    /// Virtual time of the shard-map change; migration traffic is
+    /// synthesized from this instant on.
+    pub reshard_at_ns: u64,
     /// Bytes per synthesized drain request.
     pub drain_chunk_bytes: u64,
     /// Maximum drain requests in flight per server.
@@ -119,6 +136,10 @@ impl Default for SimStagingConfig {
             scrub_enabled: false,
             scrub_error_rate: 0.0,
             scrub_backlog_bytes: 0,
+            rebalance_weight: 16,
+            rebalance_enabled: false,
+            rebalance_backlog_bytes: 0,
+            reshard_at_ns: 0,
             drain_chunk_bytes: 8 << 20,
             max_inflight: 4,
         }
@@ -186,6 +207,11 @@ pub struct SimResult {
     /// Checksum mismatches the scrubber reported (injected at
     /// [`SimStagingConfig::scrub_error_rate`]; 0 for a sound tier).
     pub scrub_errors: u64,
+    /// Total bytes migrated by the rebalance class after the reshard (0
+    /// without staging or with [`SimStagingConfig::rebalance_enabled`]
+    /// false). Equals `rebalance_backlog_bytes·n_servers` at the end of a
+    /// completed run.
+    pub migrated_bytes: u64,
     /// Dirty bytes never drained by the end of the run (0 when the buffer
     /// fully drained; always 0 without staging).
     pub residual_dirty_bytes: u64,
@@ -255,6 +281,13 @@ struct SimServerStaging {
     scrubbed_bytes: u64,
     /// Injected checksum mismatches reported so far.
     scrub_errors: u64,
+    /// Migration bytes admitted so far (the pass cursor over the reshard's
+    /// backlog).
+    rebalance_cursor_bytes: u64,
+    /// Migration requests admitted and not yet landed.
+    rebalance_inflight: usize,
+    /// Total bytes migrated.
+    migrated_bytes: u64,
 }
 
 impl SimServer {
@@ -266,7 +299,7 @@ impl SimServer {
                     drain: sc.drain_weight,
                     restore: sc.restore_weight,
                     scrub: sc.scrub_weight,
-                    ..ClassWeights::default()
+                    rebalance: sc.rebalance_weight,
                 },
             )),
             None => config.algorithm.build(),
@@ -289,6 +322,9 @@ impl SimServer {
                 scrub_inflight: 0,
                 scrubbed_bytes: 0,
                 scrub_errors: 0,
+                rebalance_cursor_bytes: 0,
+                rebalance_inflight: 0,
+                migrated_bytes: 0,
             }),
         }
     }
@@ -303,6 +339,9 @@ impl SimServer {
                 || st.restore_inflight > 0
                 || (st.config.scrub_enabled
                     && (st.scrubbed_bytes < st.scrub_target() || st.scrub_inflight > 0))
+                || (st.config.rebalance_enabled
+                    && (st.migrated_bytes < st.config.rebalance_backlog_bytes
+                        || st.rebalance_inflight > 0))
         })
     }
 }
@@ -380,6 +419,8 @@ impl Simulation {
         let mut restore_events: BinaryHeap<Reverse<(u64, usize, u64, u64)>> = BinaryHeap::new();
         // Scrub completion events: (verified_ns, server, bytes).
         let mut scrub_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        // Rebalance completion events: (migrated_ns, server, bytes).
+        let mut rebalance_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         // Foreground reads parked behind a restore: restore seq → (server,
         // the read to admit once its bytes are back in the burst buffer).
         let mut waiting_restore: HashMap<u64, (usize, IoRequest)> = HashMap::new();
@@ -479,6 +520,20 @@ impl Simulation {
                     {
                         st.scrub_errors += 1;
                     }
+                }
+            }
+
+            // 1b''. Apply rebalance completions by `now`: one chunk of the
+            // reshard's migration backlog landed on its new replica set.
+            while let Some(Reverse((finish, server_idx, bytes))) = rebalance_events.peek().copied()
+            {
+                if finish > now {
+                    break;
+                }
+                rebalance_events.pop();
+                if let Some(st) = servers[server_idx].staging.as_mut() {
+                    st.rebalance_inflight = st.rebalance_inflight.saturating_sub(1);
+                    st.migrated_bytes += bytes;
                 }
             }
 
@@ -621,6 +676,40 @@ impl Simulation {
                 }
             }
 
+            // 2d. Synthesize rebalance traffic: once the reshard instant has
+            // passed, the migration cursor chases the backlog of misplaced
+            // bytes — each chunk a policy-arbitrated *write* under the
+            // rebalance class (one verified copy streaming onto its new
+            // replica set), mirroring the live pipeline's costing.
+            for (server_idx, server) in servers.iter_mut().enumerate() {
+                let Some(st) = server.staging.as_mut() else {
+                    continue;
+                };
+                if !st.config.rebalance_enabled || now < st.config.reshard_at_ns {
+                    continue;
+                }
+                while st.rebalance_inflight < st.config.max_inflight
+                    && st.rebalance_cursor_bytes < st.config.rebalance_backlog_bytes
+                {
+                    let chunk = st
+                        .config
+                        .drain_chunk_bytes
+                        .min(st.config.rebalance_backlog_bytes - st.rebalance_cursor_bytes)
+                        .max(1);
+                    let req = IoRequest::new(
+                        next_seq,
+                        rebalance_meta(server_idx),
+                        OpKind::Write,
+                        chunk,
+                        now,
+                    );
+                    next_seq += 1;
+                    st.rebalance_cursor_bytes += chunk;
+                    st.rebalance_inflight += 1;
+                    server.engine.admit(req);
+                }
+            }
+
             // 3. Dispatch queued work on every server with an idle worker.
             for (server_idx, server) in servers.iter_mut().enumerate() {
                 while server.device.has_idle_worker(now) {
@@ -682,7 +771,34 @@ impl Simulation {
                             )));
                             continue;
                         }
-                        Some(_) => continue,
+                        Some(TrafficClass::Rebalance) => {
+                            // The engine granted the migration its service
+                            // slot; the capacity tier is charged the verified
+                            // source read followed by the replica write, and
+                            // the chunk counts as migrated when everything
+                            // lands — the same costing as the live core.
+                            let st = server
+                                .staging
+                                .as_mut()
+                                .expect("rebalance traffic only exists with staging");
+                            let read =
+                                IoRequest::new(req.seq, req.meta, OpKind::Read, req.bytes, now);
+                            let (_, read_finish) = st.backing.dispatch(&read, now);
+                            let write = IoRequest::new(
+                                req.seq,
+                                req.meta,
+                                OpKind::Write,
+                                req.bytes,
+                                read_finish,
+                            );
+                            let (_, write_finish) = st.backing.dispatch(&write, read_finish);
+                            rebalance_events.push(Reverse((
+                                finish.max(write_finish),
+                                server_idx,
+                                req.bytes,
+                            )));
+                            continue;
+                        }
                         None => {}
                     }
                     let completion = themis_core::request::Completion {
@@ -736,6 +852,9 @@ impl Simulation {
             if let Some(Reverse((finish, _, _))) = scrub_events.peek() {
                 next = next.min(*finish);
             }
+            if let Some(Reverse((finish, _, _))) = rebalance_events.peek() {
+                next = next.min(*finish);
+            }
             for server in servers.iter() {
                 if let Some(st) = server.staging.as_ref() {
                     // New dirty bytes appeared after this iteration's
@@ -750,6 +869,21 @@ impl Simulation {
                         && st.scrub_cursor_bytes < st.scrub_target()
                     {
                         next = next.min(now + 1);
+                    }
+                    if st.config.rebalance_enabled
+                        && st.rebalance_cursor_bytes < st.config.rebalance_backlog_bytes
+                    {
+                        // Migration backlog still owed: chase it next tick if
+                        // the reshard has fired, otherwise make sure the run
+                        // stays alive long enough to reach the reshard
+                        // instant at all.
+                        if now >= st.config.reshard_at_ns {
+                            if st.rebalance_inflight < st.config.max_inflight {
+                                next = next.min(now + 1);
+                            }
+                        } else {
+                            next = next.min(st.config.reshard_at_ns.max(now + 1));
+                        }
                     }
                 }
             }
@@ -826,6 +960,11 @@ impl Simulation {
             .filter_map(|s| s.staging.as_ref())
             .map(|st| st.dirty_bytes)
             .sum();
+        let migrated_bytes = servers
+            .iter()
+            .filter_map(|s| s.staging.as_ref())
+            .map(|st| st.migrated_bytes)
+            .sum();
         SimResult {
             metrics,
             job_finish_ns: job_finish,
@@ -835,6 +974,7 @@ impl Simulation {
             scrubbed_bytes,
             scrub_errors,
             residual_dirty_bytes,
+            migrated_bytes,
             policy_epochs,
         }
     }
@@ -1130,6 +1270,37 @@ mod tests {
             missed.tenant_latency(JobId(1)).p99_ns > hit.tenant_latency(JobId(1)).p99_ns,
             "restore queue delay must show up in read latency"
         );
+    }
+
+    #[test]
+    fn rebalance_backlog_is_fully_migrated_after_the_reshard_fires() {
+        // Byte-level migration model: once the reshard instant passes, the
+        // rebalance lane moves exactly the configured backlog per server —
+        // no more, no less — and a run without a reshard moves nothing.
+        let run = |enabled| {
+            let job = SimJob::write_read_cycle(meta(1, 1, 2), 8).running_for(NS_PER_SEC / 2);
+            let config = SimConfig {
+                device: fast_device(),
+                staging: Some(SimStagingConfig {
+                    backing_device: fast_device(),
+                    rebalance_enabled: enabled,
+                    rebalance_backlog_bytes: 8 << 20,
+                    reshard_at_ns: NS_PER_SEC / 4,
+                    ..SimStagingConfig::default()
+                }),
+                ..SimConfig::new(2, Algorithm::Themis(Policy::size_fair()))
+            };
+            Simulation::new(config, vec![job]).run()
+        };
+        let off = run(false);
+        assert_eq!(off.migrated_bytes, 0);
+        let on = run(true);
+        // Every server owes its own backlog, so the cluster total is n×.
+        assert_eq!(on.migrated_bytes, 2 * (8 << 20) as u64);
+        // The migration competes for the same device timeline, so it cannot
+        // be free — and it must finish even though the foreground window
+        // ends before the backlog does.
+        assert!(on.sim_end_ns >= NS_PER_SEC / 4);
     }
 
     #[test]

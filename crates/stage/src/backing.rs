@@ -81,6 +81,23 @@ pub trait BackingStore: Send + Sync {
     /// bytes freed.
     fn remove_path(&self, path: &str) -> u64;
 
+    /// Drops one extent, returning the bytes freed (`0` when absent). The
+    /// rebalance pipeline uses this to prune a stale replica from a child
+    /// the shard map no longer places it on; plain tiers default to a no-op
+    /// because nothing outside the sharded router moves single extents.
+    fn remove_extent(&self, path: &str, stripe: u64) -> u64 {
+        let _ = (path, stripe);
+        0
+    }
+
+    /// Downcast seam to the sharded router, for callers (the server's
+    /// rebalance executor, the conformance harness) that need the reshard
+    /// API — `None` for plain tiers, avoiding a blanket `Any` bound on the
+    /// trait.
+    fn as_sharded(&self) -> Option<&crate::shard::ShardedStore> {
+        None
+    }
+
     /// Total bytes stored in the tier.
     fn bytes_stored(&self) -> u64;
 
@@ -203,6 +220,13 @@ impl BackingStore for CapacityTier {
         self.extents
             .read()
             .contains_key(&(path.to_string(), stripe))
+    }
+
+    fn remove_extent(&self, path: &str, stripe: u64) -> u64 {
+        self.extents
+            .write()
+            .remove(&(path.to_string(), stripe))
+            .map_or(0, |(e, _)| e.len() as u64)
     }
 
     fn remove_path(&self, path: &str) -> u64 {

@@ -18,7 +18,7 @@
 //! | [`TrafficClass::Drain`] | `base + [0, 4096)` | burst → capacity | [`ClassWeights::drain`] |
 //! | [`TrafficClass::Restore`] | `base + [4096, 8192)` | capacity → burst | [`ClassWeights::restore`] |
 //! | [`TrafficClass::Scrub`] | `base + [8192, 12288)` | capacity verify/repair | [`ClassWeights::scrub`] |
-//! | [`TrafficClass::Rebalance`] | `base + [12288, 16384)` | reserved (future) | [`ClassWeights::rebalance`] |
+//! | [`TrafficClass::Rebalance`] | `base + [12288, 16384)` | shard-map migration | [`ClassWeights::rebalance`] |
 //!
 //! Drain and Restore are *demand-driven*: their requests are synthesized in
 //! response to foreground traffic (dirty writes, misses on evicted
@@ -48,8 +48,10 @@ pub enum TrafficClass {
     /// clean copy is resident, quarantine otherwise (see
     /// [`ScrubPipeline`](crate::scrub::ScrubPipeline)).
     Scrub,
-    /// Background data rebalancing across servers (sub-range reserved; no
-    /// rebalancer is implemented yet).
+    /// Background extent migration after a shard-map change on the
+    /// sharded capacity tier: re-placing extents onto their new replica
+    /// sets checksum-verified (see
+    /// [`RebalancePipeline`](crate::rebalance::RebalancePipeline)).
     Rebalance,
 }
 
@@ -130,7 +132,8 @@ pub struct ClassWeights {
     /// Foreground : scrub weight
     /// ([`DrainConfig::scrub_weight`](crate::pipeline::DrainConfig::scrub_weight)).
     pub scrub: u32,
-    /// Foreground : rebalance weight (reserved for the future rebalancer).
+    /// Foreground : rebalance weight
+    /// ([`DrainConfig::rebalance_weight`](crate::pipeline::DrainConfig::rebalance_weight)).
     pub rebalance: u32,
 }
 

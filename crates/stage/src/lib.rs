@@ -43,17 +43,23 @@ pub mod backing;
 pub mod class;
 pub mod engine;
 pub mod pipeline;
+pub mod rebalance;
 pub mod scrub;
+pub mod shard;
 
 pub use backing::{extent_checksum, verified_read_back, BackingStore, CapacityTier};
 pub use class::{ClassWeights, TrafficClass};
 pub use engine::StagedEngine;
 pub use pipeline::{
-    class_of, drain_meta, is_drain, is_restore, is_scrub, restore_meta, scrub_meta,
-    write_back_guarded, DrainConfig, DrainPipeline, DrainStatus, RestorePipeline, RestoreTarget,
-    StagingConfig, DRAIN_GROUP_ID, DRAIN_JOB_BASE, DRAIN_USER_ID,
+    class_of, drain_meta, is_drain, is_rebalance, is_restore, is_scrub, rebalance_meta,
+    restore_meta, scrub_meta, write_back_guarded, DrainConfig, DrainPipeline, DrainStatus,
+    RestorePipeline, RestoreTarget, StagingConfig, DRAIN_GROUP_ID, DRAIN_JOB_BASE, DRAIN_USER_ID,
 };
+pub use rebalance::{RebalancePipeline, RebalanceStatus};
 pub use scrub::{ScrubPipeline, ScrubStatus, ScrubTarget};
+pub use shard::{
+    shard_byte, MigrationOutcome, MigrationPlan, PlacementReport, ShardMap, ShardSpec, ShardedStore,
+};
 
 // Re-exported so downstream crates configuring a capacity tier do not need a
 // direct themis-device dependency.

@@ -56,6 +56,12 @@ pub fn scrub_meta(server: usize) -> JobMeta {
     TrafficClass::Scrub.meta(server)
 }
 
+/// The job identity rebalance (shard-map migration) requests are issued
+/// under on `server`.
+pub fn rebalance_meta(server: usize) -> JobMeta {
+    TrafficClass::Rebalance.meta(server)
+}
+
 /// The internal traffic class of a request's job metadata (`None` for
 /// foreground client traffic).
 pub fn class_of(meta: &JobMeta) -> Option<TrafficClass> {
@@ -75,6 +81,12 @@ pub fn is_restore(meta: &JobMeta) -> bool {
 /// Whether a request (by its job metadata) is synthesized scrub traffic.
 pub fn is_scrub(meta: &JobMeta) -> bool {
     class_of(meta) == Some(TrafficClass::Scrub)
+}
+
+/// Whether a request (by its job metadata) is synthesized rebalance
+/// traffic.
+pub fn is_rebalance(meta: &JobMeta) -> bool {
+    class_of(meta) == Some(TrafficClass::Rebalance)
 }
 
 /// Configuration of one server's drain pipeline.
@@ -110,6 +122,14 @@ pub struct DrainConfig {
     /// Pause between the end of one scrub pass over the capacity tier and
     /// the start of the next (virtual ns). `0` means back-to-back passes.
     pub scrub_interval_ns: u64,
+    /// Foreground : rebalance weight for the shard-map migration pipeline
+    /// ([`RebalancePipeline`](crate::rebalance::RebalancePipeline)).
+    /// Maintenance traffic like scrub, so the same conservative 16:1
+    /// default.
+    pub rebalance_weight: u32,
+    /// Whether a shard-map change triggers migration automatically. Only
+    /// meaningful on a sharded tier; a forced heal pass runs either way.
+    pub rebalance_enabled: bool,
     /// Maximum number of extents in flight between the shard and the
     /// capacity tier at once, per direction (pipelining depth).
     pub max_inflight: usize,
@@ -125,6 +145,8 @@ impl Default for DrainConfig {
             scrub_weight: 16,
             scrub_enabled: false,
             scrub_interval_ns: 1_000_000_000,
+            rebalance_weight: 16,
+            rebalance_enabled: true,
             max_inflight: 4,
         }
     }
@@ -137,7 +159,7 @@ impl DrainConfig {
             drain: self.drain_weight,
             restore: self.restore_weight,
             scrub: self.scrub_weight,
-            ..crate::class::ClassWeights::default()
+            rebalance: self.rebalance_weight,
         }
     }
 
@@ -159,6 +181,9 @@ impl DrainConfig {
         if self.scrub_weight == 0 {
             return Err("scrub weight must be >= 1".to_string());
         }
+        if self.rebalance_weight == 0 {
+            return Err("rebalance weight must be >= 1".to_string());
+        }
         if self.max_inflight == 0 {
             return Err("max_inflight must be >= 1".to_string());
         }
@@ -168,10 +193,16 @@ impl DrainConfig {
 
 /// Configuration of the whole staging subsystem on one server: the capacity
 /// tier's device model plus the drain pipeline parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StagingConfig {
-    /// Device model of the capacity tier absorbing drained extents.
+    /// Device model of the capacity tier absorbing drained extents. Used
+    /// when `sharding` is `None`; a sharded tier models each child with
+    /// its own device and charges tier I/O against the slowest of them.
     pub backing_device: DeviceConfig,
+    /// Shard the capacity tier: build a
+    /// [`ShardedStore`](crate::shard::ShardedStore) from this spec instead
+    /// of a single [`CapacityTier`](crate::backing::CapacityTier).
+    pub sharding: Option<crate::shard::ShardSpec>,
     /// Drain pipeline parameters.
     pub drain: DrainConfig,
 }
@@ -180,6 +211,7 @@ impl Default for StagingConfig {
     fn default() -> Self {
         StagingConfig {
             backing_device: DeviceConfig::capacity_hdd(),
+            sharding: None,
             drain: DrainConfig::default(),
         }
     }

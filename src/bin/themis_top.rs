@@ -140,12 +140,13 @@ fn render(snapshot: &MetricsSnapshot, servers: usize) {
     for server in 0..servers {
         let s = server as u32;
         println!(
-            "srv{server}: resident={} dirty={} backing={} drained={} restored={} parked={}",
+            "srv{server}: resident={} dirty={} backing={} drained={} restored={} migrated={} parked={}",
             human(snapshot.gauge(s, 0, "fs", "resident_bytes").max(0) as u64),
             human(snapshot.gauge(s, 0, "fs", "dirty_bytes").max(0) as u64),
             human(snapshot.gauge(s, 0, "fs", "backing_bytes").max(0) as u64),
             human(snapshot.counter(s, 0, "drain", "drained_bytes")),
             human(snapshot.counter(s, 0, "restore", "restored_bytes")),
+            human(snapshot.counter(s, 0, "rebalance", "rebalance_migrated_bytes")),
             human(snapshot.counter(s, 0, "foreground", "parked_ops")),
         );
     }
@@ -164,6 +165,9 @@ fn main() {
                 low_watermark_bytes: 4 << 20,
                 ..DrainConfig::default()
             },
+            // Single capacity device; pass a ShardSpec here to demo the
+            // sharded tier instead.
+            sharding: None,
         }),
         ..ServerConfig::default()
     }));

@@ -12,6 +12,8 @@
 //! * no starvation across policy epochs;
 //! * byte-exact data integrity after drain/evict/stage-in roundtrips;
 //! * per-tenant sim ↔ live share agreement;
+//! * rebalance liveness (the mid-window reshard migrates every misplaced
+//!   extent checksum-verified and the placement audit converges);
 //! * telemetry consistency (the live cluster's metrics registry vs. the
 //!   driver's reply-derived accounting, exact to the op and byte).
 //!
@@ -117,6 +119,27 @@ fn fixed_seed_set_covers_the_feature_matrix() {
     // The dimension is derived from the staging draw (no extra RNG
     // consumption), so it arrived without reshuffling a single green seed.
     assert!(scrubbing >= 2, "scrub under-covered: {scrubbing}");
+    // Resharding scenarios: every staged scenario reshards its (sharded)
+    // capacity tier mid-window, and the drain-weight draw splits them
+    // between the two flavors — retiring a backend and adding one — so both
+    // migration directions (and the rebalance-liveness oracle) run on every
+    // CI pass. Derived from existing draws, like scrub, so the pinned seeds
+    // kept their shapes.
+    let resharding = scenarios.iter().filter(|s| s.reshard_enabled()).count();
+    let retiring = scenarios
+        .iter()
+        .filter(|s| s.reshard_enabled() && s.reshard_retires_backend())
+        .count();
+    let adding = scenarios
+        .iter()
+        .filter(|s| s.reshard_enabled() && !s.reshard_retires_backend())
+        .count();
+    assert!(resharding >= 2, "resharding under-covered: {resharding}");
+    assert!(
+        retiring >= 1,
+        "backend retirement under-covered: {retiring}"
+    );
+    assert!(adding >= 1, "backend addition under-covered: {adding}");
     assert!(swapped >= 8, "policy swaps under-covered: {swapped}");
     assert!(
         double_swapped >= 2,

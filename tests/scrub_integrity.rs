@@ -42,6 +42,7 @@ fn staged_server(
             staging: Some(StagingConfig {
                 backing_device,
                 drain,
+                sharding: None,
             }),
             ..ServerConfig::default()
         },
@@ -491,6 +492,7 @@ fn scrub_through_the_deployment_control_plane() {
                 low_watermark_bytes: 1 << 29,
                 ..DrainConfig::default()
             },
+            sharding: None,
         }),
         ..ServerConfig::default()
     });

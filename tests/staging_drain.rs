@@ -344,6 +344,7 @@ fn eviction_and_stage_in_roundtrip_through_deployment() {
                 low_watermark_bytes: 0,
                 ..DrainConfig::default()
             },
+            sharding: None,
         }),
         ..ServerConfig::default()
     });
@@ -412,6 +413,7 @@ fn transparent_read_after_eviction_needs_no_explicit_stage_in() {
                 low_watermark_bytes: 0,
                 ..DrainConfig::default()
             },
+            sharding: None,
         }),
         ..ServerConfig::default()
     });
@@ -477,6 +479,7 @@ fn later_resident_write_parks_behind_earlier_parked_overlapping_write() {
                     max_inflight: 1,
                     ..DrainConfig::default()
                 },
+                sharding: None,
             }),
             ..ServerConfig::default()
         },
