@@ -29,8 +29,8 @@
 //! [`BenchReport`]: themis_bench::experiments::BenchReport
 
 use themis_bench::experiments::{
-    drain_experiment, emit_and_gate, flag_value, rebalance_numbers, restore_experiment,
-    run_rebalance, scrub_experiment, staged_select_wallclock_pair, BenchReport,
+    drain_experiment, emit_and_gate, flag_value, rebalance_numbers, replicate_experiment,
+    restore_experiment, run_rebalance, scrub_experiment, staged_select_wallclock_pair, BenchReport,
 };
 use themis_core::entity::JobId;
 
@@ -87,6 +87,7 @@ fn main() {
         restore_experiment(),
         scrub_experiment(),
         rebalance_numbers(&baseline, &even, &weighted),
+        replicate_experiment(),
         select_ns,
         telemetry_ns,
     );

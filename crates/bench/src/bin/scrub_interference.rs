@@ -29,8 +29,8 @@
 //! [`BenchReport`]: themis_bench::experiments::BenchReport
 
 use themis_bench::experiments::{
-    drain_experiment, emit_and_gate, flag_value, rebalance_experiment, restore_experiment,
-    run_scrub, scrub_numbers, staged_select_wallclock_pair, BenchReport,
+    drain_experiment, emit_and_gate, flag_value, rebalance_experiment, replicate_experiment,
+    restore_experiment, run_scrub, scrub_numbers, staged_select_wallclock_pair, BenchReport,
 };
 use themis_core::entity::JobId;
 
@@ -92,6 +92,7 @@ fn main() {
         restore_experiment(),
         scrub_numbers(&baseline, &even, &weighted),
         rebalance_experiment(),
+        replicate_experiment(),
         select_ns,
         telemetry_ns,
     );

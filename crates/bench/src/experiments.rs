@@ -1,11 +1,12 @@
 //! Shared perf-trajectory experiments and their machine-readable report.
 //!
-//! Four bins consume this module: `drain_weights` (stage-out
+//! Five bins consume this module: `drain_weights` (stage-out
 //! interference), `restore_interference` (stage-in interference),
-//! `scrub_interference` (maintenance-class interference) and
-//! `rebalance_interference` (shard-migration interference); the latter
-//! three can emit the combined [`BenchReport`] as flat JSON
-//! (`BENCH_pr8.json`) and gate themselves against a committed baseline
+//! `scrub_interference` (maintenance-class interference),
+//! `rebalance_interference` (shard-migration interference) and
+//! `replicate_interference` (durability-replication interference); all but
+//! the first can emit the combined [`BenchReport`] as flat JSON
+//! (`BENCH_pr9.json`) and gate themselves against a committed baseline
 //! (`crates/bench/baseline.json`) — the CI `bench` job's regression check.
 //! The interference numbers are driven by the deterministic simulator, so
 //! they are bit-stable for a given code revision and a regression is
@@ -73,6 +74,17 @@ pub struct BenchReport {
     /// Sustained migration bandwidth (MiB/s of migrated bytes over the 8:1
     /// run).
     pub rebalance_migrated_mib_s_8_1: f64,
+    /// Checkpoint slowdown (%) vs the replication-disabled baseline, the
+    /// replicate class at 1:1.
+    pub replicate_fg_slowdown_pct_1_1: f64,
+    /// Checkpoint slowdown (%) vs the replication-disabled baseline at 8:1
+    /// — the fifth number the regression gate watches (the PR 9 acceptance
+    /// bound: paying the durability debt costs the premium checkpointer no
+    /// more than the 9/8 bound the other background classes honour).
+    pub replicate_fg_slowdown_pct_8_1: f64,
+    /// Sustained replication bandwidth (MiB/s of replicated bytes over the
+    /// 8:1 run).
+    pub replicate_replicated_mib_s_8_1: f64,
     /// Wall-clock median of one three-lane
     /// [`StagedEngine`](themis_stage::StagedEngine) select/complete round
     /// (ns/iter), measured through the vendored criterion shim.
@@ -99,6 +111,7 @@ impl BenchReport {
             restore_experiment(),
             scrub_experiment(),
             rebalance_experiment(),
+            replicate_experiment(),
             staged_select_ns,
             staged_select_telemetry_ns,
         )
@@ -112,6 +125,7 @@ impl BenchReport {
         restore: RestoreNumbers,
         scrub: ScrubNumbers,
         rebalance: RebalanceNumbers,
+        replicate: ReplicateNumbers,
         staged_select_ns: f64,
         staged_select_telemetry_ns: f64,
     ) -> Self {
@@ -130,6 +144,9 @@ impl BenchReport {
             rebalance_fg_slowdown_pct_1_1: rebalance.fg_slowdown_pct_1_1,
             rebalance_fg_slowdown_pct_8_1: rebalance.fg_slowdown_pct_8_1,
             rebalance_migrated_mib_s_8_1: rebalance.migrated_mib_s_8_1,
+            replicate_fg_slowdown_pct_1_1: replicate.fg_slowdown_pct_1_1,
+            replicate_fg_slowdown_pct_8_1: replicate.fg_slowdown_pct_8_1,
+            replicate_replicated_mib_s_8_1: replicate.replicated_mib_s_8_1,
             staged_select_ns,
             staged_select_telemetry_ns,
         }
@@ -169,6 +186,18 @@ impl BenchReport {
             (
                 "rebalance_migrated_mib_s_8_1",
                 self.rebalance_migrated_mib_s_8_1,
+            ),
+            (
+                "replicate_fg_slowdown_pct_1_1",
+                self.replicate_fg_slowdown_pct_1_1,
+            ),
+            (
+                "replicate_fg_slowdown_pct_8_1",
+                self.replicate_fg_slowdown_pct_8_1,
+            ),
+            (
+                "replicate_replicated_mib_s_8_1",
+                self.replicate_replicated_mib_s_8_1,
             ),
             ("staged_select_ns", self.staged_select_ns),
             (
@@ -228,6 +257,7 @@ pub fn check_regression(current: &BenchReport, baseline: &HashMap<String, f64>) 
         "restore_fg_slowdown_pct_8_1",
         "scrub_fg_slowdown_pct_8_1",
         "rebalance_fg_slowdown_pct_8_1",
+        "replicate_fg_slowdown_pct_8_1",
     ] {
         let Some(&base) = baseline.get(key) else {
             violations.push(format!("baseline is missing the gated key '{key}'"));
@@ -613,6 +643,96 @@ pub fn rebalance_experiment() -> RebalanceNumbers {
     )
 }
 
+/// Durability-replication interference numbers: a premium checkpointer
+/// whose every write owes an asynchronous replica, racing the replicate
+/// class through a deep boot backlog of copies owed by previous runs.
+pub struct ReplicateNumbers {
+    /// Checkpoint time with replication disabled (seconds).
+    pub baseline_secs: f64,
+    /// Slowdown (%) at foreground:replicate 1:1.
+    pub fg_slowdown_pct_1_1: f64,
+    /// Slowdown (%) at foreground:replicate 8:1.
+    pub fg_slowdown_pct_8_1: f64,
+    /// Replicated MiB/s over the 8:1 run.
+    pub replicated_mib_s_8_1: f64,
+}
+
+/// The boot replication debt of the replicate experiments: 4 GiB of dirty
+/// extents acked `local_plus_one` by *previous* runs whose replicas are
+/// still owed. Like the scrub deep tier and the rebalance backlog, a
+/// standing debt keeps the replicate lane continuously backlogged against
+/// the eligible foreground — the regime where the weight binds.
+pub const REPLICATE_BACKLOG_BYTES: u64 = 4 << 30;
+
+/// Runs the replicate workload: a 1 GiB premium checkpoint whose every byte
+/// owes a replica (`replicate_fraction` 1.0), racing the pay-down of a
+/// [boot debt](REPLICATE_BACKLOG_BYTES), the replicate class at `weight`:1
+/// when `enabled`.
+pub fn run_replicate(weight: u32, enabled: bool) -> themis_sim::SimResult {
+    let checkpointer = SimJob::new(
+        JobMeta::new(1u64, 1u32, 1u32, 8),
+        16,
+        OpPattern::WriteOnly {
+            bytes_per_op: 1 << 20,
+        },
+    )
+    .with_max_ops(64)
+    .with_queue_depth(4);
+    let config = SimConfig {
+        staging: Some(SimStagingConfig {
+            backing_device: DeviceConfig::optane_ssd(),
+            drain_weight: 8,
+            replicate_weight: weight,
+            replicate_enabled: enabled,
+            replicate_fraction: 1.0,
+            replicate_backlog_bytes: REPLICATE_BACKLOG_BYTES,
+            drain_chunk_bytes: 8 << 20,
+            max_inflight: 4,
+            ..SimStagingConfig::default()
+        }),
+        // The checkpointer is the premium tenant, as in the scrub and
+        // rebalance experiments, so the slowdown number isolates what paying
+        // the durability debt costs the protected foreground.
+        ..SimConfig::new(
+            1,
+            Algorithm::Themis("user[8]-fair".parse().expect("valid DSL")),
+        )
+    };
+    Simulation::new(config, vec![checkpointer]).run()
+}
+
+/// Distils three already-run replicate workloads (disabled baseline, 1:1,
+/// 8:1) into the report numbers — shared with the `replicate_interference`
+/// bin, which prints its table from the same runs and must not run them
+/// twice.
+pub fn replicate_numbers(
+    baseline: &themis_sim::SimResult,
+    even: &themis_sim::SimResult,
+    weighted: &themis_sim::SimResult,
+) -> ReplicateNumbers {
+    let baseline_secs = baseline.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let even_secs = even.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let weighted_secs = weighted.job_finish_ns[&JobId(1)] as f64 / 1e9;
+    let weighted_span_secs = weighted.sim_end_ns as f64 / 1e9;
+    ReplicateNumbers {
+        baseline_secs,
+        fg_slowdown_pct_1_1: (even_secs / baseline_secs - 1.0) * 100.0,
+        fg_slowdown_pct_8_1: (weighted_secs / baseline_secs - 1.0) * 100.0,
+        replicated_mib_s_8_1: weighted.replicated_bytes as f64
+            / (1 << 20) as f64
+            / weighted_span_secs,
+    }
+}
+
+/// The replicate half of the report.
+pub fn replicate_experiment() -> ReplicateNumbers {
+    replicate_numbers(
+        &run_replicate(8, false),
+        &run_replicate(1, true),
+        &run_replicate(8, true),
+    )
+}
+
 /// Builds the three-lane scheduler fixture the hot-path measurements run
 /// against: a [`StagedEngine`](themis_stage::StagedEngine) over a Themis
 /// foreground engine with one heartbeated foreground tenant, plus the
@@ -766,6 +886,9 @@ mod tests {
             rebalance_fg_slowdown_pct_1_1: 7.0,
             rebalance_fg_slowdown_pct_8_1: 1.8,
             rebalance_migrated_mib_s_8_1: 654.0,
+            replicate_fg_slowdown_pct_1_1: 9.0,
+            replicate_fg_slowdown_pct_8_1: 2.0,
+            replicate_replicated_mib_s_8_1: 321.0,
             staged_select_ns: 350.0,
             staged_select_telemetry_ns: 360.0,
         }
@@ -804,7 +927,8 @@ mod tests {
         report.drain_fg_slowdown_pct_8_1 = 2.4;
         let negative = parse_flat_json(
             "{\"drain_fg_slowdown_pct_8_1\": 2.4, \"restore_fg_slowdown_pct_8_1\": -15.0, \
-             \"scrub_fg_slowdown_pct_8_1\": 1.5, \"rebalance_fg_slowdown_pct_8_1\": 1.8}",
+             \"scrub_fg_slowdown_pct_8_1\": 1.5, \"rebalance_fg_slowdown_pct_8_1\": 1.8, \
+             \"replicate_fg_slowdown_pct_8_1\": 2.0}",
         );
         report.restore_fg_slowdown_pct_8_1 = -12.5;
         assert!(check_regression(&report, &negative).is_empty());
@@ -820,7 +944,7 @@ mod tests {
         report.restore_fg_slowdown_pct_8_1 = 5.0;
         report.scrub_fg_slowdown_pct_8_1 = 1.5;
         let empty = HashMap::new();
-        assert_eq!(check_regression(&report, &empty).len(), 4);
+        assert_eq!(check_regression(&report, &empty).len(), 5);
     }
 
     #[test]

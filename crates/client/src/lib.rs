@@ -24,7 +24,7 @@ use themis_fs::ring::stable_hash;
 use themis_fs::store::StatInfo;
 use themis_fs::{FsError, FsResult, StripeConfig};
 use themis_net::message::{ClientMessage, FsOp, FsReply, ServerMessage, StageReply};
-use themis_stage::{DrainStatus, RebalanceStatus, ScrubStatus};
+use themis_stage::{DrainStatus, RebalanceStatus, ReplicateStatus, ScrubStatus};
 use themis_telemetry::{MetricsSnapshot, TraceDump};
 
 /// The ThemisIO namespace decision: which paths are intercepted.
@@ -364,6 +364,22 @@ impl<L: ServerLink> ThemisClient<L> {
         self.links[server].send(ClientMessage::RebalanceStatus { request_id });
         match self.recv_stage_ack(server, request_id)? {
             StageReply::Rebalance(status) => Ok(status),
+            other => Err(FsError::InvalidArgument(format!(
+                "unexpected staging reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries one server's durability-replication state: the replication
+    /// lag (bytes acked but not yet replicated), landed replica counters,
+    /// and the `sync` acks still parked. With no durability spec in force
+    /// the reply reports `enabled: false` with zero lag.
+    pub fn replicate_status(&self, server: usize) -> FsResult<ReplicateStatus> {
+        let server = server % self.links.len();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.links[server].send(ClientMessage::ReplicateStatus { request_id });
+        match self.recv_stage_ack(server, request_id)? {
+            StageReply::Replicate(status) => Ok(status),
             other => Err(FsError::InvalidArgument(format!(
                 "unexpected staging reply {other:?}"
             ))),
@@ -757,6 +773,14 @@ mod tests {
                         ..RebalanceStatus::default()
                     }),
                 }),
+                ClientMessage::ReplicateStatus { request_id } => Some(ServerMessage::Stage {
+                    request_id: *request_id,
+                    reply: StageReply::Replicate(ReplicateStatus {
+                        enabled: true,
+                        replicated_extents: 3,
+                        ..ReplicateStatus::default()
+                    }),
+                }),
                 ClientMessage::MetricsSnapshot { request_id } => Some(ServerMessage::Stage {
                     request_id: *request_id,
                     reply: StageReply::Metrics(themis_telemetry::MetricsSnapshot::default()),
@@ -906,6 +930,21 @@ mod tests {
             .lock()
             .iter()
             .any(|m| matches!(m, ClientMessage::RebalanceStatus { .. })));
+    }
+
+    #[test]
+    fn replicate_status_targets_one_server() {
+        let c = client(2);
+        let status = c.replicate_status(1).unwrap();
+        assert!(status.enabled);
+        assert_eq!(status.replicated_extents, 3);
+        assert!(status.is_idle());
+        assert!(c.links[0].sent.lock().is_empty());
+        assert!(c.links[1]
+            .sent
+            .lock()
+            .iter()
+            .any(|m| matches!(m, ClientMessage::ReplicateStatus { .. })));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! burst-buffer worker should serve next*:
 //!
 //! * [`entity`] — jobs, users, groups, and the metadata embedded in requests;
+//! * [`durability`] — durability classes and the replication-demand DSL
+//!   (`durability=local_only;user3=sync;…`);
 //! * [`job_table`] — the per-server job status table and its merge rules;
 //! * [`policy`] — weighted sharing policies, the policy DSL, and the builder;
 //! * [`engine`] — the object-safe [`PolicyEngine`]
@@ -51,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durability;
 pub mod engine;
 pub mod entity;
 pub mod job_table;
@@ -64,6 +67,7 @@ pub mod sync;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::durability::{DurabilityError, DurabilityMode, DurabilityScope, DurabilitySpec};
     pub use crate::engine::PolicyEngine;
     pub use crate::entity::{GroupId, JobId, JobMeta, JobStatus, UserId};
     pub use crate::job_table::JobTable;

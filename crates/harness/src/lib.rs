@@ -102,6 +102,12 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
     // reshard, while the share-bounds oracles above prove the migration
     // stayed within its weighted lane.
     violations.extend(oracle::check_rebalance_liveness(&scenario, &sim, &live));
+    // Replicate liveness: durable scenarios must retire their whole
+    // replication debt by quiescence in both runtimes, with zero failed
+    // copies — while the live driver's crash-before-replicate audit (folded
+    // into `live.errors`) proves the replica tier holds exactly the bytes
+    // the durability spec promised, byte-exact, and nothing it did not.
+    violations.extend(oracle::check_replicate_liveness(&scenario, &sim, &live));
     // Telemetry consistency: the registry the live cores instrumented must
     // agree exactly with the reply-derived accounting the driver kept —
     // every seed doubles as a correctness test of the metrics subsystem.

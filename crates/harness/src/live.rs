@@ -73,6 +73,17 @@ pub struct LiveOutcome {
     /// Extent ranges still below the replication factor at the end of the
     /// run (0 for a sound reshard, and vacuously 0 without one).
     pub under_replicated: u64,
+    /// Total bytes the replicate class landed on the replica tier, summed
+    /// over servers (0 when the scenario runs without a durability spec or
+    /// no replicated tenant writes).
+    pub replicated_bytes: u64,
+    /// Replication lag left at quiescence, summed over servers (must be 0
+    /// for a sound run — the replicate lane drained its whole debt).
+    pub replication_lag: u64,
+    /// Copies abandoned because their source bytes could not be verified,
+    /// summed over servers (must be 0 — the harness injects no corruption,
+    /// so an unverifiable source is a bookkeeping bug).
+    pub failed_replications: u64,
     /// Whether the sharded tier's placement matched its final map at the
     /// end of the run — every extent on exactly its replica set (vacuously
     /// true without a reshard).
@@ -222,6 +233,16 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
     }
 
     let mut metrics = Metrics::new();
+    // Crash-before-replicate bookkeeping: every in-window write whose
+    // resolved durability mode replicates must be found checksum-valid on
+    // the replica tier at the end of the run — and every write that stays
+    // `local_only` must NOT be (copies are policy-bounded, never gratis).
+    // Keys are `(job, rank, stripe)`.
+    let durability = scenario.durability_spec();
+    let mut must_replicate: std::collections::BTreeSet<(u64, usize, u64)> =
+        std::collections::BTreeSet::new();
+    let mut local_only_writes: std::collections::BTreeSet<(u64, usize, u64)> =
+        std::collections::BTreeSet::new();
     // request_id → issuing rank.
     let mut inflight_reqs: HashMap<u64, usize> = HashMap::new();
     let mut next_request_id: u64 = 1;
@@ -288,6 +309,24 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
                 let path = rank_path(job, rank.rank_id);
                 let slot = rank.ops_issued % scenario.slots;
                 let offset = slot * scenario.bytes_per_op;
+                if kind == themis_core::request::OpKind::Write {
+                    if let Some(spec) = &durability {
+                        let mode = spec.resolve(t.meta.job, t.meta.user, &path);
+                        let stripe_size = fs
+                            .layout_of(&path)
+                            .map(|l| l.config.stripe_size)
+                            .unwrap_or(1 << 20);
+                        let first = offset / stripe_size;
+                        let last = (offset + bytes.max(1) - 1) / stripe_size;
+                        for stripe in first..=last {
+                            if mode.replicates() {
+                                must_replicate.insert((job, rank.rank_id, stripe));
+                            } else {
+                                local_only_writes.insert((job, rank.rank_id, stripe));
+                            }
+                        }
+                    }
+                }
                 let op = match kind {
                     themis_core::request::OpKind::Write => FsOp::WriteAt {
                         path,
@@ -362,7 +401,13 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
                     !s.pass_active && s.inflight == 0 && s.generation == s.converged_generation
                 })
             });
-            if drained && rebalanced {
+            // Replication lag must drain before quiescence. `is_idle()`
+            // cannot hang on a failed copy — failures retire their debt and
+            // are *reported* (as `failed_replications`), not retried forever.
+            let replicated = cores
+                .iter()
+                .all(|c| c.replicate_status_snapshot().is_none_or(|s| s.is_idle()));
+            if drained && rebalanced && replicated {
                 break;
             }
         }
@@ -464,6 +509,60 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
         .fold((0u64, 0u64), |(bytes, failed), s| {
             (bytes + s.migrated_bytes, failed + s.failed_extents)
         });
+    let (replicated_bytes, replication_lag, failed_replications) = cores
+        .iter()
+        .filter_map(|c| c.replicate_status_snapshot())
+        .fold((0u64, 0u64, 0u64), |(bytes, lag, failed), s| {
+            (
+                bytes + s.replicated_bytes,
+                lag + s.lag_bytes,
+                failed + s.failed_replications,
+            )
+        });
+
+    // ---- crash-before-replicate audit -------------------------------------
+    // A burst-buffer loss at this instant keeps exactly the replica tier.
+    // Every stripe written in-window under a replicated mode must be there,
+    // checksum-valid and byte-exact; every stripe that stayed `local_only`
+    // must not be (its loss is the mode's documented contract, and a gratis
+    // copy would mean replication escaped its policy bounds).
+    for (job, rank, stripe) in &must_replicate {
+        let path = rank_path(*job, *rank);
+        let stripe_size = fs
+            .layout_of(&path)
+            .map(|l| l.config.stripe_size)
+            .unwrap_or(1 << 20);
+        let file_len = scenario.slots * scenario.bytes_per_op;
+        let start = stripe * stripe_size;
+        let want: Vec<u8> = (start..(start + stripe_size).min(file_len))
+            .map(|o| fill_byte(*job, *rank, o / scenario.bytes_per_op))
+            .collect();
+        match cores.iter().find_map(|c| c.replica_extent(&path, *stripe)) {
+            Some(got) if got == want => {}
+            Some(got) => errors.push(format!(
+                "crash-before-replicate: {path} stripe {stripe}: replica holds {} bytes, \
+                 first diff at {:?}",
+                got.len(),
+                want.iter().zip(got.iter()).position(|(a, b)| a != b)
+            )),
+            None => errors.push(format!(
+                "crash-before-replicate: {path} stripe {stripe}: durable write missing \
+                 from the replica tier at quiescence"
+            )),
+        }
+    }
+    for (job, rank, stripe) in &local_only_writes {
+        let path = rank_path(*job, *rank);
+        if cores
+            .iter()
+            .any(|c| c.replica_extent(&path, *stripe).is_some())
+        {
+            errors.push(format!(
+                "crash-before-replicate: {path} stripe {stripe}: local_only write found \
+                 on the replica tier (copy escaped its policy bounds)"
+            ));
+        }
+    }
     // Audit the tier's placement directly against its final map — the
     // oracle-facing ground truth that "every range is back to k replicas".
     let (under_replicated, placement_converged) = match &sharded {
@@ -487,6 +586,9 @@ pub fn run_live(scenario: &Scenario) -> LiveOutcome {
         failed_migrations,
         under_replicated,
         placement_converged,
+        replicated_bytes,
+        replication_lag,
+        failed_replications,
         errors,
         telemetry,
     }

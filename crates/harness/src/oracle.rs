@@ -490,6 +490,84 @@ pub fn check_rebalance_liveness(
     violations
 }
 
+/// Replicate-liveness oracle for durable scenarios: the durability classes
+/// must actually deliver. Checked:
+///
+/// * the live replication lag drained to zero by quiescence — every byte of
+///   replica debt the durability spec created was retired (the "lag drains
+///   to zero" oracle; a positive residue means the replicate lane starved
+///   or leaked debt);
+/// * zero failed replications — the harness injects no corruption, so a
+///   copy abandoned for an unverifiable source is a bookkeeping bug, not an
+///   environmental hazard (the live driver separately audits the replica
+///   tier's *contents* byte-exact — the crash-before-replicate check — and
+///   reports mismatches through `LiveOutcome::errors`);
+/// * when a replicated tenant writes, copy bytes actually landed in both
+///   runtimes (a durable scenario that replicated nothing means the lane
+///   starved or the policy resolution dropped every write);
+/// * the sim's byte-level replication debt is fully consumed at quiescence
+///   (`residual_replication_lag` 0).
+pub fn check_replicate_liveness(
+    scenario: &Scenario,
+    sim: &SimResult,
+    live: &LiveOutcome,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !scenario.durability_enabled() {
+        return violations;
+    }
+    if live.replication_lag > 0 {
+        violations.push(Violation {
+            oracle: "replicate-liveness",
+            run: "live",
+            detail: format!(
+                "{} bytes of replication lag left at quiescence (replicate lane \
+                 starved, or debt leaked?)",
+                live.replication_lag
+            ),
+        });
+    }
+    if live.failed_replications > 0 {
+        violations.push(Violation {
+            oracle: "replicate-liveness",
+            run: "live",
+            detail: format!(
+                "{} copies abandoned for unverifiable sources with no injected corruption",
+                live.failed_replications
+            ),
+        });
+    }
+    if scenario.durability_writes() && live.replicated_bytes == 0 {
+        violations.push(Violation {
+            oracle: "replicate-liveness",
+            run: "live",
+            detail: "replicated tenants wrote but zero bytes landed on the replica tier \
+                     (replicate lane starved, or the durability resolution dropped every \
+                     write?)"
+                .into(),
+        });
+    }
+    if sim.residual_replication_lag > 0 {
+        violations.push(Violation {
+            oracle: "replicate-liveness",
+            run: "sim",
+            detail: format!(
+                "replication debt at quiescence: {} bytes never copied \
+                 ({} replicated)",
+                sim.residual_replication_lag, sim.replicated_bytes
+            ),
+        });
+    }
+    if scenario.sim_replicate_fraction() > 0.0 && sim.replicated_bytes == 0 {
+        violations.push(Violation {
+            oracle: "replicate-liveness",
+            run: "sim",
+            detail: "byte-level model owed copies but replicated zero bytes".into(),
+        });
+    }
+    violations
+}
+
 /// Telemetry-consistency oracle: the live runtime's metrics registry must
 /// agree *exactly* with the reply-derived accounting the driver keeps on the
 /// client side. Both count the same completions through independent code
@@ -562,7 +640,7 @@ pub fn check_telemetry_consistency(scenario: &Scenario, live: &LiveOutcome) -> V
     }
 
     if scenario.staging.is_none() {
-        for lane in ["drain", "restore", "scrub", "rebalance"] {
+        for lane in ["drain", "restore", "scrub", "rebalance", "replicate"] {
             for name in [
                 "admitted_bytes",
                 "selected_charged_bytes",

@@ -21,12 +21,13 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use themis_baselines::Algorithm;
+use themis_core::durability::{DurabilityMode, DurabilitySpec};
 use themis_core::entity::JobMeta;
 use themis_core::policy::Policy;
 use themis_core::sync::SyncConfig;
 use themis_device::DeviceConfig;
 use themis_sim::{OpPattern, PolicyChange, SimConfig, SimJob, SimStagingConfig};
-use themis_stage::{DrainConfig, StagingConfig};
+use themis_stage::{ClassWeights, DrainConfig, StagingConfig, TrafficClass};
 
 /// Nanoseconds per millisecond.
 pub const NS_PER_MS: u64 = 1_000_000;
@@ -69,6 +70,13 @@ pub const SCENARIO_SCRUB_WEIGHT: u32 = 16;
 /// the share oracles' documented tolerances.
 pub const SCENARIO_REBALANCE_WEIGHT: u32 = 16;
 
+/// Foreground : replicate weight of every durable scenario. Fixed for the
+/// same reasons as [`SCENARIO_SCRUB_WEIGHT`]: drawing it would reshuffle
+/// pre-existing seeds, and 16:1 keeps the async copy traffic's foreground
+/// cost inside the share oracles' documented tolerances — the README's
+/// "Crash-before-replicate conditioning" note.
+pub const SCENARIO_REPLICATE_WEIGHT: u32 = 16;
+
 /// Staging/drain pressure parameters of a scenario.
 #[derive(Debug, Clone)]
 pub struct StagingSpec {
@@ -95,6 +103,16 @@ pub struct StagingSpec {
     /// `scrub`) — no extra RNG consumption, so pre-existing seeds keep
     /// their exact shape.
     pub reshard: bool,
+    /// Whether the scenario runs under a durability spec: alternating
+    /// tenants are assigned `local_plus_one` (their dirty extents owe one
+    /// async checksum-verified copy on the replica tier, as
+    /// policy-arbitrated `Replicate` traffic) while the rest stay
+    /// `local_only`. Derived from the staging draw itself (like `scrub`) —
+    /// no extra RNG consumption, so pre-existing seeds keep their exact
+    /// shape. Conformance deliberately never assigns `sync`: deferred acks
+    /// would desynchronize the live driver's closed loop from the
+    /// simulator's byte-level model.
+    pub durability: bool,
     /// Whether watermarks are tight enough to force eviction (and therefore
     /// stage-in / read-through roundtrips) during the run.
     pub eviction: bool,
@@ -287,6 +305,11 @@ impl Scenario {
                 // *kind* of reshard (add vs. retire) follows the drain
                 // weight — see `reshard_retires_backend`.
                 reshard: true,
+                // The durability dimension is also derived: every staged
+                // scenario runs under a spec that alternates tenants
+                // between local_plus_one and local_only, so the pinned
+                // seeds gain replication coverage without consuming a draw.
+                durability: true,
                 // The capacity tier must absorb drain faster than the burst
                 // tier produces dirty bytes, so runs quiesce promptly; its
                 // per-op overhead still dwarfs the burst tier's.
@@ -380,6 +403,14 @@ impl Scenario {
                 // when the map splits (or a child retires).
                 rebalance_backlog_bytes: self.sim_rebalance_backlog_bytes() / self.n_servers as u64,
                 reshard_at_ns: self.reshard_at_ns(),
+                replicate_weight: SCENARIO_REPLICATE_WEIGHT,
+                replicate_enabled: s.durability,
+                // The sim does not resolve per-path durability; its
+                // byte-level model owes copies for the write-byte share of
+                // the local_plus_one tenants. No boot debt — the live run's
+                // prefill is retired clean without replication.
+                replicate_fraction: self.sim_replicate_fraction(),
+                replicate_backlog_bytes: 0,
                 drain_chunk_bytes: self.bytes_per_op,
                 max_inflight: 4,
             }),
@@ -410,26 +441,114 @@ impl Scenario {
     /// The staging configuration of one live server (`None` when the
     /// scenario has no staging pressure).
     pub fn live_staging(&self) -> Option<StagingConfig> {
-        self.staging.as_ref().map(|s| StagingConfig {
-            backing_device: s.backing_device,
-            drain: DrainConfig {
-                high_watermark_bytes: s.high_watermark_bytes,
-                low_watermark_bytes: s.low_watermark_bytes,
-                drain_weight: s.drain_weight,
-                restore_weight: s.restore_weight,
-                scrub_weight: SCENARIO_SCRUB_WEIGHT,
-                scrub_enabled: s.scrub,
-                // Back-to-back passes: the conformance window is short, so
-                // pacing would turn "enabled" into "ran once, maybe".
-                scrub_interval_ns: 0,
-                rebalance_weight: SCENARIO_REBALANCE_WEIGHT,
-                rebalance_enabled: s.reshard,
-                max_inflight: 4,
-            },
-            // The live driver builds the (shared, resharded) tier itself and
-            // hands it to every core, so the per-server spec stays unset.
-            sharding: None,
+        self.staging.as_ref().map(|s| {
+            let mut classes = ClassWeights::default()
+                .enable(TrafficClass::Drain, s.drain_weight)
+                .enable(TrafficClass::Restore, s.restore_weight)
+                .disable(TrafficClass::Rebalance);
+            if s.scrub {
+                classes = classes.enable(TrafficClass::Scrub, SCENARIO_SCRUB_WEIGHT);
+            }
+            if s.reshard {
+                classes = classes.enable(TrafficClass::Rebalance, SCENARIO_REBALANCE_WEIGHT);
+            }
+            if s.durability {
+                classes = classes.enable(TrafficClass::Replicate, SCENARIO_REPLICATE_WEIGHT);
+            }
+            StagingConfig {
+                backing_device: s.backing_device,
+                drain: DrainConfig {
+                    high_watermark_bytes: s.high_watermark_bytes,
+                    low_watermark_bytes: s.low_watermark_bytes,
+                    classes,
+                    // Back-to-back passes: the conformance window is short,
+                    // so pacing would turn "enabled" into "ran once, maybe".
+                    scrub_interval_ns: 0,
+                    max_inflight: 4,
+                },
+                // The live driver builds the (shared, resharded) tier itself
+                // and hands it to every core, so the per-server spec stays
+                // unset.
+                sharding: None,
+                durability: self.durability_spec(),
+            }
         })
+    }
+
+    /// Whether this scenario runs under a durability spec (the replicate
+    /// traffic class's conformance dimension).
+    pub fn durability_enabled(&self) -> bool {
+        self.staging.as_ref().is_some_and(|s| s.durability)
+    }
+
+    /// Whether tenant `index` is assigned a replicated durability mode:
+    /// alternating by tenant index, so every durable scenario mixes
+    /// `local_plus_one` and `local_only` tenants (tenant 0 always
+    /// replicates).
+    pub fn tenant_replicates(&self, index: usize) -> bool {
+        self.durability_enabled() && index.is_multiple_of(2)
+    }
+
+    /// The durability spec of this scenario's live servers (`None` without
+    /// the durability dimension): `local_only` by default, `local_plus_one`
+    /// for alternating tenants by job rule, plus one *path* rule covering
+    /// tenant 1's directory — redundant with its job rule on purpose, so the
+    /// longest-prefix resolution path is exercised by every durable seed
+    /// without changing any tenant's effective mode.
+    pub fn durability_spec(&self) -> Option<DurabilitySpec> {
+        if !self.durability_enabled() {
+            return None;
+        }
+        let mut spec = DurabilitySpec::new(DurabilityMode::LocalOnly);
+        for (i, t) in self.tenants.iter().enumerate() {
+            if self.tenant_replicates(i) {
+                spec = spec
+                    .with_job(t.meta.job.0, DurabilityMode::LocalPlusOne)
+                    .expect("tenant jobs are small and distinct");
+            }
+        }
+        spec = spec
+            .with_path("/t1/", DurabilityMode::LocalPlusOne)
+            .expect("literal prefix is valid");
+        Some(spec)
+    }
+
+    /// Whether any replicated tenant actually writes — the condition under
+    /// which the replicate-liveness oracle expects copy traffic to flow.
+    pub fn durability_writes(&self) -> bool {
+        self.tenants
+            .iter()
+            .enumerate()
+            .any(|(i, t)| self.tenant_replicates(i) && t.writes())
+    }
+
+    /// The replicated share of foreground write pressure the simulator's
+    /// byte-level model owes copies for: the rank-weighted fraction of
+    /// writing tenants under a replicated mode. A model input, not an exact
+    /// accounting — the liveness oracle only requires that the lag drains to
+    /// zero and that copies flow when this is non-zero.
+    pub fn sim_replicate_fraction(&self) -> f64 {
+        if !self.durability_enabled() {
+            return 0.0;
+        }
+        let pressure = |t: &Tenant| (t.ranks * t.queue_depth) as f64;
+        let total: f64 = self
+            .tenants
+            .iter()
+            .filter(|t| t.writes())
+            .map(pressure)
+            .sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let replicated: f64 = self
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| self.tenant_replicates(*i) && t.writes())
+            .map(|(_, t)| pressure(t))
+            .sum();
+        replicated / total
     }
 
     /// Whether this scenario reshards its capacity tier mid-window (the
@@ -497,7 +616,7 @@ impl Scenario {
             .join(", ");
         let staging = match &self.staging {
             Some(s) => format!(
-                "staging(w={}, rw={}, scrub={}, reshard={}, eviction={}, storm={})",
+                "staging(w={}, rw={}, scrub={}, reshard={}, eviction={}, storm={}, durability={})",
                 s.drain_weight,
                 s.restore_weight,
                 s.scrub,
@@ -509,7 +628,11 @@ impl Scenario {
                     "add"
                 },
                 s.eviction,
-                self.restore_storm()
+                self.restore_storm(),
+                match self.durability_spec() {
+                    Some(spec) => spec.to_string(),
+                    None => "off".to_string(),
+                }
             ),
             None => "no-staging".to_string(),
         };
@@ -617,6 +740,39 @@ mod tests {
         assert!(scenarios
             .iter()
             .any(|s| s.reshard_enabled() && !s.reshard_retires_backend()));
+        // Durability coverage: durable scenarios exist, they mix replicated
+        // and local-only tenants, and at least one has a replicated tenant
+        // that writes (so copy traffic actually flows somewhere).
+        assert!(scenarios.iter().any(|s| s.durability_enabled()));
+        assert!(scenarios.iter().any(|s| s.durability_writes()));
+        for s in scenarios.iter().filter(|s| s.durability_enabled()) {
+            let spec = s.durability_spec().expect("durable scenario has a spec");
+            assert_eq!(spec.default_mode(), DurabilityMode::LocalOnly);
+            assert!(spec.any_replicated());
+            assert!(s.tenant_replicates(0));
+            if s.tenants.len() > 1 {
+                assert!(!s.tenant_replicates(1));
+            }
+            // The spec round-trips through its DSL rendering.
+            let round: DurabilitySpec = spec.to_string().parse().expect("spec DSL parses");
+            assert_eq!(round.to_string(), spec.to_string());
+        }
+    }
+
+    #[test]
+    fn pinned_seeds_cover_durability() {
+        // The conformance suite pins seeds 0–23; the derived durability
+        // dimension must put at least two durable scenarios — with copy
+        // traffic actually flowing — inside it, or the replicate-liveness
+        // and crash-before-replicate oracles would be vacuous.
+        let durable = (0..24)
+            .map(Scenario::generate)
+            .filter(|s| s.durability_enabled() && s.durability_writes())
+            .count();
+        assert!(
+            durable >= 2,
+            "only {durable} of the pinned seeds replicate durable writes"
+        );
     }
 
     #[test]

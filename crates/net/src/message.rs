@@ -12,7 +12,7 @@ use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
 use themis_fs::layout::StripeConfig;
 use themis_fs::store::StatInfo;
-use themis_stage::{DrainStatus, RebalanceStatus, ScrubStatus};
+use themis_stage::{DrainStatus, RebalanceStatus, ReplicateStatus, ScrubStatus};
 use themis_telemetry::{MetricsSnapshot, TraceDump};
 
 /// A POSIX-flavoured file system operation as carried on the wire.
@@ -260,6 +260,15 @@ pub enum ClientMessage {
         /// Request id chosen by the client, echoed in the reply.
         request_id: u64,
     },
+    /// Durability: query the server's replication state (lag, landed
+    /// replicas, deferred `sync` acks). Answered immediately with
+    /// [`ServerMessage::Stage`] / [`StageReply::Replicate`]; with no
+    /// durability spec in force the status reports `enabled: false` with
+    /// zero lag.
+    ReplicateStatus {
+        /// Request id chosen by the client, echoed in the reply.
+        request_id: u64,
+    },
     /// Observability: cut a full metrics snapshot. The registry is shared
     /// across the deployment's servers, so any server answers with the
     /// cluster-wide view ([`ServerMessage::Stage`] /
@@ -354,6 +363,9 @@ pub enum StageReply {
     /// The server's rebalance state: the immediate answer to a
     /// [`ClientMessage::RebalanceStatus`] query.
     Rebalance(RebalanceStatus),
+    /// The server's replication state: the immediate answer to a
+    /// [`ClientMessage::ReplicateStatus`] query.
+    Replicate(ReplicateStatus),
     /// The request could not be served (e.g. staging disabled on the
     /// server).
     Error(String),

@@ -314,6 +314,10 @@ fn server_loop(
                     let t = ticket(&mut reply_route, conn_id, request_id);
                     core.rebalance_status(t);
                 }
+                ClientMessage::ReplicateStatus { request_id } => {
+                    let t = ticket(&mut reply_route, conn_id, request_id);
+                    core.replicate_status(t);
+                }
                 ClientMessage::MetricsSnapshot { request_id } => {
                     let t = ticket(&mut reply_route, conn_id, request_id);
                     core.metrics_snapshot(t, now);

@@ -25,7 +25,8 @@ use themis_core::request::{IoRequest, OpKind};
 use themis_core::sync::SyncConfig;
 use themis_device::{DeviceConfig, DeviceModel, DeviceTimeline};
 use themis_stage::{
-    drain_meta, rebalance_meta, restore_meta, scrub_meta, ClassWeights, StagedEngine, TrafficClass,
+    drain_meta, rebalance_meta, replicate_meta, restore_meta, scrub_meta, ClassWeights,
+    StagedEngine, TrafficClass,
 };
 
 /// Simulator configuration.
@@ -119,10 +120,49 @@ pub struct SimStagingConfig {
     /// Virtual time of the shard-map change; migration traffic is
     /// synthesized from this instant on.
     pub reshard_at_ns: u64,
+    /// Foreground : replicate weight for synthesized durability-copy
+    /// traffic.
+    pub replicate_weight: u32,
+    /// Whether async replication runs: a
+    /// [`SimStagingConfig::replicate_fraction`] share of every foreground
+    /// write byte owes one policy-arbitrated copy onto the replica tier (the
+    /// simulator's byte-level model of the durability classes — it does not
+    /// track per-extent placement), as [`TrafficClass::Replicate`] requests.
+    /// The run quiesces only once the replication lag has drained to zero.
+    pub replicate_enabled: bool,
+    /// Fraction of foreground write bytes under a replicated durability mode
+    /// (`local_plus_one` / `sync`); the rest are `local_only` and owe no
+    /// copy. Applied byte-level and deterministically — no RNG draw is
+    /// consumed, so enabling replication never perturbs the foreground token
+    /// draws of a pre-existing seed.
+    pub replicate_fraction: f64,
+    /// Replication debt already owed at boot (per server) — dirty extents
+    /// from previous runs whose copies never landed. A non-zero backlog
+    /// keeps the replicate lane continuously backlogged while the
+    /// foreground runs — the regime where the foreground:replicate weight
+    /// actually binds.
+    pub replicate_backlog_bytes: u64,
     /// Bytes per synthesized drain request.
     pub drain_chunk_bytes: u64,
     /// Maximum drain requests in flight per server.
     pub max_inflight: usize,
+}
+
+impl SimStagingConfig {
+    /// The [`ClassWeights`] this staging configuration hands the
+    /// [`StagedEngine`]: every class lane gets its configured weight. The
+    /// engine builds a lane per registered class regardless of enablement —
+    /// whether scrub/rebalance/replicate traffic actually exists is modelled
+    /// by the simulator's own `*_enabled` switches, exactly as the live
+    /// server gates pipeline construction.
+    pub fn class_weights(&self) -> ClassWeights {
+        ClassWeights::default()
+            .with_weight(TrafficClass::Drain, self.drain_weight)
+            .with_weight(TrafficClass::Restore, self.restore_weight)
+            .with_weight(TrafficClass::Scrub, self.scrub_weight)
+            .with_weight(TrafficClass::Rebalance, self.rebalance_weight)
+            .with_weight(TrafficClass::Replicate, self.replicate_weight)
+    }
 }
 
 impl Default for SimStagingConfig {
@@ -140,6 +180,10 @@ impl Default for SimStagingConfig {
             rebalance_enabled: false,
             rebalance_backlog_bytes: 0,
             reshard_at_ns: 0,
+            replicate_weight: 16,
+            replicate_enabled: false,
+            replicate_fraction: 1.0,
+            replicate_backlog_bytes: 0,
             drain_chunk_bytes: 8 << 20,
             max_inflight: 4,
         }
@@ -215,6 +259,16 @@ pub struct SimResult {
     /// Dirty bytes never drained by the end of the run (0 when the buffer
     /// fully drained; always 0 without staging).
     pub residual_dirty_bytes: u64,
+    /// Total bytes copied onto the replica tier by the replicate class (0
+    /// without staging or with [`SimStagingConfig::replicate_enabled`]
+    /// false). Equals `replicate_backlog_bytes·n_servers` plus the
+    /// replicated share of foreground write bytes at the end of a completed
+    /// run.
+    pub replicated_bytes: u64,
+    /// Replication debt never copied by the end of the run — the residual
+    /// replication lag (0 when every owed copy landed; always 0 without
+    /// staging).
+    pub residual_replication_lag: u64,
     /// The policy epochs the run went through: `(start_ns, policy)` for the
     /// boot policy (at 0) and every applied [`PolicyChange`], in order. Each
     /// entry's policy is in force until the next entry's `start_ns` (the last
@@ -288,6 +342,19 @@ struct SimServerStaging {
     rebalance_inflight: usize,
     /// Total bytes migrated.
     migrated_bytes: u64,
+    /// The replica tier absorbing durability copies — deliberately its own
+    /// device timeline, not the capacity tier: replicas live on independent
+    /// media, exactly as in the live core.
+    replica: DeviceTimeline,
+    /// Replication debt accrued by this run's durable foreground writes.
+    replicate_accrued_bytes: u64,
+    /// Copy bytes admitted so far (the cursor over the replication target:
+    /// boot debt plus accrued debt).
+    replicate_cursor_bytes: u64,
+    /// Copy requests admitted and not yet landed on the replica tier.
+    replicate_inflight: usize,
+    /// Total bytes landed on the replica tier.
+    replicated_bytes: u64,
 }
 
 impl SimServer {
@@ -295,12 +362,7 @@ impl SimServer {
         let engine: Box<dyn PolicyEngine> = match &config.staging {
             Some(sc) => Box::new(StagedEngine::with_weights(
                 config.algorithm.build(),
-                ClassWeights {
-                    drain: sc.drain_weight,
-                    restore: sc.restore_weight,
-                    scrub: sc.scrub_weight,
-                    rebalance: sc.rebalance_weight,
-                },
+                sc.class_weights(),
             )),
             None => config.algorithm.build(),
         };
@@ -325,6 +387,11 @@ impl SimServer {
                 rebalance_cursor_bytes: 0,
                 rebalance_inflight: 0,
                 migrated_bytes: 0,
+                replica: DeviceTimeline::new(DeviceModel::new(sc.backing_device)),
+                replicate_accrued_bytes: 0,
+                replicate_cursor_bytes: 0,
+                replicate_inflight: 0,
+                replicated_bytes: 0,
             }),
         }
     }
@@ -342,6 +409,8 @@ impl SimServer {
                 || (st.config.rebalance_enabled
                     && (st.migrated_bytes < st.config.rebalance_backlog_bytes
                         || st.rebalance_inflight > 0))
+                || (st.config.replicate_enabled
+                    && (st.replicated_bytes < st.replicate_target() || st.replicate_inflight > 0))
         })
     }
 }
@@ -351,6 +420,12 @@ impl SimServerStaging {
     /// the boot backlog plus whatever this run has drained so far.
     fn scrub_target(&self) -> u64 {
         self.config.scrub_backlog_bytes + self.drained_bytes
+    }
+
+    /// The replication target: every byte that owes a copy — the boot debt
+    /// plus the replicated share of this run's foreground write bytes.
+    fn replicate_target(&self) -> u64 {
+        self.config.replicate_backlog_bytes + self.replicate_accrued_bytes
     }
 }
 
@@ -421,6 +496,8 @@ impl Simulation {
         let mut scrub_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         // Rebalance completion events: (migrated_ns, server, bytes).
         let mut rebalance_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        // Replicate completion events: (landed_ns, server, bytes).
+        let mut replicate_events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         // Foreground reads parked behind a restore: restore seq → (server,
         // the read to admit once its bytes are back in the burst buffer).
         let mut waiting_restore: HashMap<u64, (usize, IoRequest)> = HashMap::new();
@@ -534,6 +611,20 @@ impl Simulation {
                 if let Some(st) = servers[server_idx].staging.as_mut() {
                     st.rebalance_inflight = st.rebalance_inflight.saturating_sub(1);
                     st.migrated_bytes += bytes;
+                }
+            }
+
+            // 1b'''. Apply replicate completions by `now`: one chunk of the
+            // replication debt landed on the replica tier.
+            while let Some(Reverse((finish, server_idx, bytes))) = replicate_events.peek().copied()
+            {
+                if finish > now {
+                    break;
+                }
+                replicate_events.pop();
+                if let Some(st) = servers[server_idx].staging.as_mut() {
+                    st.replicate_inflight = st.replicate_inflight.saturating_sub(1);
+                    st.replicated_bytes += bytes;
                 }
             }
 
@@ -710,6 +801,41 @@ impl Simulation {
                 }
             }
 
+            // 2e. Synthesize replicate traffic: the copy cursor chases the
+            // replication target (the boot debt plus the replicated share of
+            // this run's foreground write bytes) — each chunk a
+            // policy-arbitrated burst-buffer *read* under the replicate
+            // class whose payload then streams onto the replica tier,
+            // mirroring the live pipeline's costing.
+            for (server_idx, server) in servers.iter_mut().enumerate() {
+                let Some(st) = server.staging.as_mut() else {
+                    continue;
+                };
+                if !st.config.replicate_enabled {
+                    continue;
+                }
+                while st.replicate_inflight < st.config.max_inflight
+                    && st.replicate_cursor_bytes < st.replicate_target()
+                {
+                    let chunk = st
+                        .config
+                        .drain_chunk_bytes
+                        .min(st.replicate_target() - st.replicate_cursor_bytes)
+                        .max(1);
+                    let req = IoRequest::new(
+                        next_seq,
+                        replicate_meta(server_idx),
+                        OpKind::Read,
+                        chunk,
+                        now,
+                    );
+                    next_seq += 1;
+                    st.replicate_cursor_bytes += chunk;
+                    st.replicate_inflight += 1;
+                    server.engine.admit(req);
+                }
+            }
+
             // 3. Dispatch queued work on every server with an idle worker.
             for (server_idx, server) in servers.iter_mut().enumerate() {
                 while server.device.has_idle_worker(now) {
@@ -799,6 +925,23 @@ impl Simulation {
                             )));
                             continue;
                         }
+                        Some(TrafficClass::Replicate) => {
+                            // The engine granted the copy its burst-read
+                            // slot; the replica write is charged on the
+                            // replica tier's own timeline once the read
+                            // finishes, and the chunk counts as replicated
+                            // when it lands — the same costing as the live
+                            // core.
+                            let st = server
+                                .staging
+                                .as_mut()
+                                .expect("replicate traffic only exists with staging");
+                            let write =
+                                IoRequest::new(req.seq, req.meta, OpKind::Write, req.bytes, finish);
+                            let (_, replica_finish) = st.replica.dispatch(&write, finish);
+                            replicate_events.push(Reverse((replica_finish, server_idx, req.bytes)));
+                            continue;
+                        }
                         None => {}
                     }
                     let completion = themis_core::request::Completion {
@@ -810,6 +953,14 @@ impl Simulation {
                     if req.kind == OpKind::Write {
                         if let Some(st) = server.staging.as_mut() {
                             st.dirty_bytes += req.bytes;
+                            if st.config.replicate_enabled {
+                                // The replicated share of this write now owes
+                                // a copy. Deterministic byte accounting — no
+                                // RNG draw, so durability never perturbs the
+                                // foreground token draws of a fixed seed.
+                                st.replicate_accrued_bytes +=
+                                    (req.bytes as f64 * st.config.replicate_fraction) as u64;
+                            }
                         }
                     }
                     metrics.record(ServiceRecord {
@@ -855,6 +1006,9 @@ impl Simulation {
             if let Some(Reverse((finish, _, _))) = rebalance_events.peek() {
                 next = next.min(*finish);
             }
+            if let Some(Reverse((finish, _, _))) = replicate_events.peek() {
+                next = next.min(*finish);
+            }
             for server in servers.iter() {
                 if let Some(st) = server.staging.as_ref() {
                     // New dirty bytes appeared after this iteration's
@@ -867,6 +1021,12 @@ impl Simulation {
                     if st.config.scrub_enabled
                         && st.scrub_inflight < st.config.max_inflight
                         && st.scrub_cursor_bytes < st.scrub_target()
+                    {
+                        next = next.min(now + 1);
+                    }
+                    if st.config.replicate_enabled
+                        && st.replicate_inflight < st.config.max_inflight
+                        && st.replicate_cursor_bytes < st.replicate_target()
                     {
                         next = next.min(now + 1);
                     }
@@ -965,6 +1125,17 @@ impl Simulation {
             .filter_map(|s| s.staging.as_ref())
             .map(|st| st.migrated_bytes)
             .sum();
+        let replicated_bytes = servers
+            .iter()
+            .filter_map(|s| s.staging.as_ref())
+            .map(|st| st.replicated_bytes)
+            .sum();
+        let residual_replication_lag = servers
+            .iter()
+            .filter_map(|s| s.staging.as_ref())
+            .filter(|st| st.config.replicate_enabled)
+            .map(|st| st.replicate_target().saturating_sub(st.replicated_bytes))
+            .sum();
         SimResult {
             metrics,
             job_finish_ns: job_finish,
@@ -975,6 +1146,8 @@ impl Simulation {
             scrub_errors,
             residual_dirty_bytes,
             migrated_bytes,
+            replicated_bytes,
+            residual_replication_lag,
             policy_epochs,
         }
     }
@@ -1301,6 +1474,82 @@ mod tests {
         // be free — and it must finish even though the foreground window
         // ends before the backlog does.
         assert!(on.sim_end_ns >= NS_PER_SEC / 4);
+    }
+
+    #[test]
+    fn replication_lag_drains_to_zero_before_quiescence() {
+        // Byte-level durability model: with replication enabled, every
+        // foreground write byte (fraction 1.0) plus the per-server boot debt
+        // owes exactly one copy on the replica tier, and the run quiesces
+        // only once the lag has drained to zero.
+        let run = |enabled| {
+            let job = SimJob::new(
+                meta(1, 1, 2),
+                4,
+                OpPattern::WriteOnly {
+                    bytes_per_op: 1 << 20,
+                },
+            )
+            .with_max_ops(16)
+            .with_queue_depth(4);
+            let config = SimConfig {
+                device: fast_device(),
+                staging: Some(SimStagingConfig {
+                    backing_device: fast_device(),
+                    replicate_enabled: enabled,
+                    replicate_backlog_bytes: 4 << 20,
+                    ..SimStagingConfig::default()
+                }),
+                ..SimConfig::new(2, Algorithm::Themis(Policy::size_fair()))
+            };
+            Simulation::new(config, vec![job]).run()
+        };
+        let off = run(false);
+        assert_eq!(off.replicated_bytes, 0);
+        assert_eq!(off.residual_replication_lag, 0);
+        let on = run(true);
+        // 4 ranks × 16 ops × 1 MiB of durable writes, plus each server's
+        // 4 MiB boot debt.
+        let writes = 4 * 16 * (1 << 20) as u64;
+        assert_eq!(on.replicated_bytes, writes + 2 * (4 << 20) as u64);
+        assert_eq!(on.residual_replication_lag, 0);
+        // The copies compete for the burst device, so they cannot be free.
+        assert!(
+            on.sim_end_ns > off.sim_end_ns,
+            "replication must cost device time ({} vs {})",
+            on.sim_end_ns,
+            off.sim_end_ns
+        );
+    }
+
+    #[test]
+    fn local_only_fraction_owes_no_copies() {
+        // With fraction 0.0 every write is local_only: enabling the class
+        // moves only the boot debt, and a debt-free run moves nothing.
+        let run = |backlog| {
+            let job = SimJob::new(
+                meta(1, 1, 1),
+                2,
+                OpPattern::WriteOnly {
+                    bytes_per_op: 1 << 20,
+                },
+            )
+            .with_max_ops(8);
+            let config = SimConfig {
+                device: fast_device(),
+                staging: Some(SimStagingConfig {
+                    backing_device: fast_device(),
+                    replicate_enabled: true,
+                    replicate_fraction: 0.0,
+                    replicate_backlog_bytes: backlog,
+                    ..SimStagingConfig::default()
+                }),
+                ..SimConfig::new(1, Algorithm::Themis(Policy::size_fair()))
+            };
+            Simulation::new(config, vec![job]).run()
+        };
+        assert_eq!(run(0).replicated_bytes, 0);
+        assert_eq!(run(2 << 20).replicated_bytes, (2 << 20) as u64);
     }
 
     #[test]

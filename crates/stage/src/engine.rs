@@ -566,11 +566,9 @@ mod tests {
         // Per-class weights surface per class.
         let e = StagedEngine::with_weights(
             Box::new(ThemisScheduler::new(Policy::job_fair())),
-            ClassWeights {
-                drain: 8,
-                restore: 4,
-                ..ClassWeights::default()
-            },
+            ClassWeights::default()
+                .enable(TrafficClass::Drain, 8)
+                .enable(TrafficClass::Restore, 4),
         );
         let (fg, re) = e.class_shares_of(TrafficClass::Restore);
         assert!((fg - 0.8).abs() < 1e-9);
@@ -665,11 +663,9 @@ mod tests {
         // and 1/4 of the foreground's).
         let mut e = StagedEngine::with_weights(
             Box::new(ThemisScheduler::new(Policy::job_fair())),
-            ClassWeights {
-                drain: 8,
-                restore: 4,
-                ..ClassWeights::default()
-            },
+            ClassWeights::default()
+                .enable(TrafficClass::Drain, 8)
+                .enable(TrafficClass::Restore, 4),
         );
         let mut rng = SmallRng::seed_from_u64(5);
         let mut seq = 0;

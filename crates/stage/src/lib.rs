@@ -14,9 +14,9 @@
 //!   burst buffer, modelled with its own [`DeviceConfig`]
 //!   (e.g. [`DeviceConfig::capacity_hdd`]).
 //! * [`TrafficClass`] + [`ClassWeights`] — the taxonomy of system-internal
-//!   traffic (drain, restore, future scrub/rebalance), each with its own
-//!   job-id sub-range of the reserved range and its own foreground:class
-//!   weight.
+//!   traffic (drain, restore, scrub, rebalance, replicate), registered in
+//!   one [`TRAFFIC_CLASSES`] table, each with its own job-id sub-range of
+//!   the reserved range and its own foreground:class weight.
 //! * [`DrainPipeline`] / [`RestorePipeline`] / [`ScrubPipeline`] +
 //!   [`DrainConfig`] — per-server bookkeeping of the extents moving in each
 //!   direction (plus the background checksum verification of the capacity
@@ -44,18 +44,21 @@ pub mod class;
 pub mod engine;
 pub mod pipeline;
 pub mod rebalance;
+pub mod replicate;
 pub mod scrub;
 pub mod shard;
 
 pub use backing::{extent_checksum, verified_read_back, BackingStore, CapacityTier};
-pub use class::{ClassWeights, TrafficClass};
+pub use class::{ClassWeights, ClassWeightsError, TrafficClass, TrafficClassDef, TRAFFIC_CLASSES};
 pub use engine::StagedEngine;
 pub use pipeline::{
-    class_of, drain_meta, is_drain, is_rebalance, is_restore, is_scrub, rebalance_meta,
-    restore_meta, scrub_meta, write_back_guarded, DrainConfig, DrainPipeline, DrainStatus,
-    RestorePipeline, RestoreTarget, StagingConfig, DRAIN_GROUP_ID, DRAIN_JOB_BASE, DRAIN_USER_ID,
+    class_of, drain_meta, is_drain, is_rebalance, is_replicate, is_restore, is_scrub,
+    rebalance_meta, replicate_meta, restore_meta, scrub_meta, write_back_guarded, DrainConfig,
+    DrainPipeline, DrainStatus, RestorePipeline, RestoreTarget, StagingConfig, DRAIN_GROUP_ID,
+    DRAIN_JOB_BASE, DRAIN_USER_ID,
 };
 pub use rebalance::{RebalancePipeline, RebalanceStatus};
+pub use replicate::{ReplicaTarget, ReplicatePipeline, ReplicateStatus};
 pub use scrub::{ScrubPipeline, ScrubStatus, ScrubTarget};
 pub use shard::{
     shard_byte, MigrationOutcome, MigrationPlan, PlacementReport, ShardMap, ShardSpec, ShardedStore,

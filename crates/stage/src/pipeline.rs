@@ -62,6 +62,12 @@ pub fn rebalance_meta(server: usize) -> JobMeta {
     TrafficClass::Rebalance.meta(server)
 }
 
+/// The job identity replicate (durability replication) requests are issued
+/// under on `server`.
+pub fn replicate_meta(server: usize) -> JobMeta {
+    TrafficClass::Replicate.meta(server)
+}
+
 /// The internal traffic class of a request's job metadata (`None` for
 /// foreground client traffic).
 pub fn class_of(meta: &JobMeta) -> Option<TrafficClass> {
@@ -89,7 +95,19 @@ pub fn is_rebalance(meta: &JobMeta) -> bool {
     class_of(meta) == Some(TrafficClass::Rebalance)
 }
 
+/// Whether a request (by its job metadata) is synthesized durability
+/// replication traffic.
+pub fn is_replicate(meta: &JobMeta) -> bool {
+    class_of(meta) == Some(TrafficClass::Replicate)
+}
+
 /// Configuration of one server's drain pipeline.
+///
+/// Per-class weight and enablement knobs used to accrete here one field
+/// pair per class (`scrub_weight` + `scrub_enabled`, …); they are unified
+/// into the [`ClassWeights`](crate::class::ClassWeights) builder carried by
+/// [`DrainConfig::classes`]. The old field names survive as deprecated
+/// accessor shims so out-of-tree callers migrate at their own pace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DrainConfig {
     /// When the shard's resident bytes exceed this watermark, clean (already
@@ -99,37 +117,17 @@ pub struct DrainConfig {
     /// touches dirty extents — data whose only copy is in the burst buffer
     /// is never dropped.
     pub low_watermark_bytes: u64,
-    /// Foreground : drain weight. `8` means foreground traffic collectively
-    /// receives 8× the device time of drain traffic while both are
-    /// backlogged; when the foreground goes idle, drain expands into the idle
-    /// capacity (opportunity fairness, extended to stage-out).
-    pub drain_weight: u32,
-    /// Foreground : restore weight, with the same semantics for stage-in
-    /// traffic (explicit `StageIn`, read-through of evicted extents,
-    /// restore-for-write). Restores are *charged* to their class even though
-    /// they serve foreground demand: a restore storm may slow the tenants
-    /// waiting on it, but never the unrelated foreground.
-    pub restore_weight: u32,
-    /// Foreground : scrub weight for the background checksum scrubber
-    /// ([`ScrubPipeline`](crate::scrub::ScrubPipeline)). Scrub is pure
-    /// maintenance — nobody waits on an individual verification — so the
-    /// default is a conservative 16:1.
-    pub scrub_weight: u32,
-    /// Whether the background scrubber runs continuously. An explicit
-    /// `Scrub` control-plane request forces a pass even when this is
-    /// `false` (demand scrubbing, e.g. before decommissioning a tier).
-    pub scrub_enabled: bool,
+    /// Per-class foreground:class weights and enablement. A weight of `8`
+    /// means foreground traffic collectively receives 8× the device time of
+    /// that class while both are backlogged; when the foreground goes idle,
+    /// the class expands into the idle capacity (opportunity fairness,
+    /// extended to every internal class). Enablement governs the classes
+    /// whose pipelines synthesize traffic unprompted (scrub, rebalance,
+    /// replicate); demand-driven drain/restore run regardless.
+    pub classes: crate::class::ClassWeights,
     /// Pause between the end of one scrub pass over the capacity tier and
     /// the start of the next (virtual ns). `0` means back-to-back passes.
     pub scrub_interval_ns: u64,
-    /// Foreground : rebalance weight for the shard-map migration pipeline
-    /// ([`RebalancePipeline`](crate::rebalance::RebalancePipeline)).
-    /// Maintenance traffic like scrub, so the same conservative 16:1
-    /// default.
-    pub rebalance_weight: u32,
-    /// Whether a shard-map change triggers migration automatically. Only
-    /// meaningful on a sharded tier; a forced heal pass runs either way.
-    pub rebalance_enabled: bool,
     /// Maximum number of extents in flight between the shard and the
     /// capacity tier at once, per direction (pipelining depth).
     pub max_inflight: usize,
@@ -140,13 +138,8 @@ impl Default for DrainConfig {
         DrainConfig {
             high_watermark_bytes: 768 << 20,
             low_watermark_bytes: 512 << 20,
-            drain_weight: 8,
-            restore_weight: 8,
-            scrub_weight: 16,
-            scrub_enabled: false,
+            classes: crate::class::ClassWeights::default(),
             scrub_interval_ns: 1_000_000_000,
-            rebalance_weight: 16,
-            rebalance_enabled: true,
             max_inflight: 4,
         }
     }
@@ -155,12 +148,7 @@ impl Default for DrainConfig {
 impl DrainConfig {
     /// The per-class weights this configuration assigns the staged engine.
     pub fn class_weights(&self) -> crate::class::ClassWeights {
-        crate::class::ClassWeights {
-            drain: self.drain_weight,
-            restore: self.restore_weight,
-            scrub: self.scrub_weight,
-            rebalance: self.rebalance_weight,
-        }
+        self.classes
     }
 
     /// Validates the configuration: watermarks ordered, weights and
@@ -172,22 +160,47 @@ impl DrainConfig {
                 self.low_watermark_bytes, self.high_watermark_bytes
             ));
         }
-        if self.drain_weight == 0 {
-            return Err("drain weight must be >= 1".to_string());
-        }
-        if self.restore_weight == 0 {
-            return Err("restore weight must be >= 1".to_string());
-        }
-        if self.scrub_weight == 0 {
-            return Err("scrub weight must be >= 1".to_string());
-        }
-        if self.rebalance_weight == 0 {
-            return Err("rebalance weight must be >= 1".to_string());
-        }
+        self.classes.validate()?;
         if self.max_inflight == 0 {
             return Err("max_inflight must be >= 1".to_string());
         }
         Ok(())
+    }
+
+    /// Legacy accessor for the drain weight.
+    #[deprecated(note = "read `classes.weight(TrafficClass::Drain)` instead")]
+    pub fn drain_weight(&self) -> u32 {
+        self.classes.weight(TrafficClass::Drain)
+    }
+
+    /// Legacy accessor for the restore weight.
+    #[deprecated(note = "read `classes.weight(TrafficClass::Restore)` instead")]
+    pub fn restore_weight(&self) -> u32 {
+        self.classes.weight(TrafficClass::Restore)
+    }
+
+    /// Legacy accessor for the scrub weight.
+    #[deprecated(note = "read `classes.weight(TrafficClass::Scrub)` instead")]
+    pub fn scrub_weight(&self) -> u32 {
+        self.classes.weight(TrafficClass::Scrub)
+    }
+
+    /// Legacy accessor for the scrub enablement flag.
+    #[deprecated(note = "read `classes.is_enabled(TrafficClass::Scrub)` instead")]
+    pub fn scrub_enabled(&self) -> bool {
+        self.classes.is_enabled(TrafficClass::Scrub)
+    }
+
+    /// Legacy accessor for the rebalance weight.
+    #[deprecated(note = "read `classes.weight(TrafficClass::Rebalance)` instead")]
+    pub fn rebalance_weight(&self) -> u32 {
+        self.classes.weight(TrafficClass::Rebalance)
+    }
+
+    /// Legacy accessor for the rebalance enablement flag.
+    #[deprecated(note = "read `classes.is_enabled(TrafficClass::Rebalance)` instead")]
+    pub fn rebalance_enabled(&self) -> bool {
+        self.classes.is_enabled(TrafficClass::Rebalance)
     }
 }
 
@@ -205,6 +218,11 @@ pub struct StagingConfig {
     pub sharding: Option<crate::shard::ShardSpec>,
     /// Drain pipeline parameters.
     pub drain: DrainConfig,
+    /// Durability demand: which writes owe an asynchronous replica (and
+    /// which acks must wait for one). `None` means every write is
+    /// `local_only` — no replica tier is modelled and the replicate class
+    /// stays idle.
+    pub durability: Option<themis_core::durability::DurabilitySpec>,
 }
 
 impl Default for StagingConfig {
@@ -213,6 +231,7 @@ impl Default for StagingConfig {
             backing_device: DeviceConfig::capacity_hdd(),
             sharding: None,
             drain: DrainConfig::default(),
+            durability: None,
         }
     }
 }
@@ -685,6 +704,7 @@ impl RestorePipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::class::ClassWeights;
 
     #[test]
     fn drain_identity_is_reserved_and_per_server() {
@@ -707,37 +727,52 @@ mod tests {
             ..base
         };
         assert!(inverted.validate().is_err());
-        let zero_weight = DrainConfig {
-            drain_weight: 0,
-            ..base
-        };
-        assert!(zero_weight.validate().is_err());
-        let zero_restore = DrainConfig {
-            restore_weight: 0,
-            ..base
-        };
-        assert!(zero_restore.validate().is_err());
-        let zero_scrub = DrainConfig {
-            scrub_weight: 0,
-            ..base
-        };
-        assert!(zero_scrub.validate().is_err());
+        for class in [
+            TrafficClass::Drain,
+            TrafficClass::Restore,
+            TrafficClass::Scrub,
+        ] {
+            let zero_weight = DrainConfig {
+                classes: base.classes.with_weight(class, 0),
+                ..base
+            };
+            assert!(zero_weight.validate().is_err(), "{class}");
+        }
         let zero_inflight = DrainConfig {
             max_inflight: 0,
             ..base
         };
         assert!(zero_inflight.validate().is_err());
-        // The per-class weight mapping carries all three knobs.
+        // The per-class weight builder carries every knob.
         let weights = DrainConfig {
-            drain_weight: 6,
-            restore_weight: 3,
-            scrub_weight: 12,
+            classes: base
+                .classes
+                .with_weight(TrafficClass::Drain, 6)
+                .with_weight(TrafficClass::Restore, 3)
+                .with_weight(TrafficClass::Scrub, 12),
             ..base
         }
         .class_weights();
-        assert_eq!(weights.drain, 6);
-        assert_eq!(weights.restore, 3);
-        assert_eq!(weights.scrub, 12);
+        assert_eq!(weights.weight(TrafficClass::Drain), 6);
+        assert_eq!(weights.weight(TrafficClass::Restore), 3);
+        assert_eq!(weights.weight(TrafficClass::Scrub), 12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_field_shims_read_the_unified_weights() {
+        let config = DrainConfig {
+            classes: ClassWeights::default()
+                .enable(TrafficClass::Scrub, 12)
+                .disable(TrafficClass::Rebalance),
+            ..DrainConfig::default()
+        };
+        assert_eq!(config.drain_weight(), 8);
+        assert_eq!(config.restore_weight(), 8);
+        assert_eq!(config.scrub_weight(), 12);
+        assert!(config.scrub_enabled());
+        assert_eq!(config.rebalance_weight(), 16);
+        assert!(!config.rebalance_enabled());
     }
 
     #[test]

@@ -64,18 +64,21 @@ pub enum TraceLane {
     Restore,
     /// Background checksum verification of the capacity tier.
     Scrub,
-    /// Background rebalancing (reserved; no rebalancer exists yet).
+    /// Background shard-map rebalancing of the capacity tier.
     Rebalance,
+    /// Asynchronous durability replication (burst tier → replica tier).
+    Replicate,
 }
 
 impl TraceLane {
     /// Lanes in traffic-class index order (the class sub-range layout),
     /// foreground last.
-    pub const ALL: [TraceLane; 5] = [
+    pub const ALL: [TraceLane; 6] = [
         TraceLane::Drain,
         TraceLane::Restore,
         TraceLane::Scrub,
         TraceLane::Rebalance,
+        TraceLane::Replicate,
         TraceLane::Foreground,
     ];
 
@@ -87,6 +90,7 @@ impl TraceLane {
             1 => TraceLane::Restore,
             2 => TraceLane::Scrub,
             3 => TraceLane::Rebalance,
+            4 => TraceLane::Replicate,
             _ => panic!("unknown traffic-class index {index}"),
         }
     }
@@ -100,6 +104,7 @@ impl TraceLane {
             TraceLane::Restore => "restore",
             TraceLane::Scrub => "scrub",
             TraceLane::Rebalance => "rebalance",
+            TraceLane::Replicate => "replicate",
         }
     }
 }
@@ -194,12 +199,13 @@ impl Slot {
 /// [`TraceLane`]s indexed by discriminant (declaration order, *not*
 /// [`TraceLane::ALL`]'s class-index order), for unpacking slots.
 #[cfg(feature = "trace")]
-const LANES: [TraceLane; 5] = [
+const LANES: [TraceLane; 6] = [
     TraceLane::Foreground,
     TraceLane::Drain,
     TraceLane::Restore,
     TraceLane::Scrub,
     TraceLane::Rebalance,
+    TraceLane::Replicate,
 ];
 
 /// [`TraceKind`]s indexed by discriminant, for unpacking slots.

@@ -122,7 +122,7 @@ fn render(snapshot: &MetricsSnapshot, servers: usize) {
         "{:<8} {:>10} {:>10} {:>12}",
         "lane", "admitted", "charged", "uncharged"
     );
-    for lane in ["drain", "restore", "scrub", "rebalance"] {
+    for lane in ["drain", "restore", "scrub", "rebalance", "replicate"] {
         let admitted = snapshot.lane_counter_sum(lane, "admitted_bytes");
         let charged = snapshot.lane_counter_sum(lane, "selected_charged_bytes");
         let uncharged = snapshot.lane_counter_sum(lane, "selected_uncharged_bytes");
@@ -140,13 +140,14 @@ fn render(snapshot: &MetricsSnapshot, servers: usize) {
     for server in 0..servers {
         let s = server as u32;
         println!(
-            "srv{server}: resident={} dirty={} backing={} drained={} restored={} migrated={} parked={}",
+            "srv{server}: resident={} dirty={} backing={} drained={} restored={} migrated={} replicated={} parked={}",
             human(snapshot.gauge(s, 0, "fs", "resident_bytes").max(0) as u64),
             human(snapshot.gauge(s, 0, "fs", "dirty_bytes").max(0) as u64),
             human(snapshot.gauge(s, 0, "fs", "backing_bytes").max(0) as u64),
             human(snapshot.counter(s, 0, "drain", "drained_bytes")),
             human(snapshot.counter(s, 0, "restore", "restored_bytes")),
             human(snapshot.counter(s, 0, "rebalance", "rebalance_migrated_bytes")),
+            human(snapshot.counter(s, 0, "replicate", "replicate_replicated_bytes")),
             human(snapshot.counter(s, 0, "foreground", "parked_ops")),
         );
     }
@@ -163,11 +164,18 @@ fn main() {
                 // within a short run.
                 high_watermark_bytes: 8 << 20,
                 low_watermark_bytes: 4 << 20,
+                // The replicate lane ships disabled in the class registry;
+                // switch it on so the lane table and per-server replicated
+                // counter have traffic to show.
+                classes: ClassWeights::default().enable(TrafficClass::Replicate, 16),
                 ..DrainConfig::default()
             },
             // Single capacity device; pass a ShardSpec here to demo the
             // sharded tier instead.
             sharding: None,
+            // Every demo write is local_plus_one, so the replicate column
+            // fills in within a few ticks.
+            durability: Some(DurabilitySpec::new(DurabilityMode::LocalPlusOne)),
         }),
         ..ServerConfig::default()
     }));

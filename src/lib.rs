@@ -68,8 +68,8 @@ pub mod prelude {
         App, OpPattern, SimConfig, SimJob, SimResult, SimStagingConfig, Simulation,
     };
     pub use themis_stage::{
-        BackingStore, CapacityTier, DrainConfig, DrainStatus, ScrubPipeline, ScrubStatus,
-        StagedEngine, StagingConfig,
+        BackingStore, CapacityTier, ClassWeights, DrainConfig, DrainStatus, ReplicateStatus,
+        ScrubPipeline, ScrubStatus, StagedEngine, StagingConfig, TrafficClass,
     };
     pub use themis_telemetry::{
         DecisionTrace, MetricsRegistry, MetricsSnapshot, SeriesKey, TraceDump, TraceKind,

@@ -14,6 +14,10 @@
 //! * per-tenant sim ↔ live share agreement;
 //! * rebalance liveness (the mid-window reshard migrates every misplaced
 //!   extent checksum-verified and the placement audit converges);
+//! * replicate liveness (durable scenarios retire their whole replication
+//!   debt by quiescence, and the crash-before-replicate audit finds every
+//!   `local_plus_one` write — and no `local_only` write — byte-exact on the
+//!   replica tier);
 //! * telemetry consistency (the live cluster's metrics registry vs. the
 //!   driver's reply-derived accounting, exact to the op and byte).
 //!
@@ -140,6 +144,18 @@ fn fixed_seed_set_covers_the_feature_matrix() {
         "backend retirement under-covered: {retiring}"
     );
     assert!(adding >= 1, "backend addition under-covered: {adding}");
+    // Durable scenarios: every staged scenario runs under a durability spec
+    // that alternates tenants between local_plus_one and local_only, so the
+    // replicate class, the replicate-liveness oracle and the
+    // crash-before-replicate audit run on every CI pass. At least two pinned
+    // seeds must have a *writing* replicated tenant — otherwise copy traffic
+    // never flows and the oracles are vacuous. Derived from existing draws,
+    // like scrub, so the pinned seeds kept their shapes.
+    let durable = scenarios
+        .iter()
+        .filter(|s| s.durability_enabled() && s.durability_writes())
+        .count();
+    assert!(durable >= 2, "durability under-covered: {durable}");
     assert!(swapped >= 8, "policy swaps under-covered: {swapped}");
     assert!(
         double_swapped >= 2,

@@ -507,6 +507,239 @@ fn server_rejects_every_scrub_sub_range_id() {
     assert!(!s.fs().exists("/d"));
 }
 
+fn arb_durability_mode(rng: &mut SmallRng) -> DurabilityMode {
+    DurabilityMode::ALL[rng.gen_range(0usize..DurabilityMode::ALL.len())]
+}
+
+/// A lowercase absolute path prefix drawn from a small segment pool, so the
+/// fuzz naturally produces prefix-of-each-other and duplicate collisions.
+fn arb_durability_path(rng: &mut SmallRng) -> String {
+    const SEGMENTS: [&str; 5] = ["a", "b", "ckpt", "deep", "scratch"];
+    let depth = rng.gen_range(1usize..4);
+    let mut path = String::new();
+    for _ in 0..depth {
+        path.push('/');
+        path.push_str(SEGMENTS[rng.gen_range(0usize..SEGMENTS.len())]);
+    }
+    path
+}
+
+/// Every constructible `DurabilitySpec` round-trips
+/// `Display → FromStr → Display`: the canonical string parses back to an
+/// equal spec (default mode, rule order, every scope and mode), and printing
+/// is a fixpoint after one round — the same contract the policy DSL keeps.
+#[test]
+fn durability_dsl_round_trips() {
+    use themisio::core::entity::RESERVED_JOB_BASE;
+    cases(256, |rng, case| {
+        let mut spec = DurabilitySpec::new(arb_durability_mode(rng));
+        for _ in 0..rng.gen_range(0usize..6) {
+            let mode = arb_durability_mode(rng);
+            let attempt = match rng.gen_range(0u32..3) {
+                0 => spec
+                    .clone()
+                    .with_job(rng.gen_range(1u64..RESERVED_JOB_BASE), mode),
+                1 => spec.clone().with_user(rng.gen_range(1u32..100), mode),
+                _ => spec.clone().with_path(arb_durability_path(rng), mode),
+            };
+            match attempt {
+                Ok(s) => spec = s,
+                // The segment pool collides on purpose; a duplicate scope is
+                // the builder doing its job, not a failed case.
+                Err(DurabilityError::DuplicateScope(_)) => {}
+                Err(e) => panic!("case {case}: constructible rule rejected: {e}"),
+            }
+        }
+        let text = spec.to_string();
+        let parsed: DurabilitySpec = text
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: '{text}' failed to parse: {e}"));
+        assert_eq!(parsed, spec, "case {case}: '{text}'");
+        assert_eq!(
+            parsed.to_string(),
+            text,
+            "case {case}: display not canonical"
+        );
+    });
+}
+
+/// Every malformed durability string is rejected with a reportable error —
+/// not panicked on, not silently normalised — and the reserved system job-id
+/// sub-ranges (fuzzed across all of them) take no durability rules through
+/// either the DSL or the typed builder.
+#[test]
+fn durability_dsl_rejects_adversarial_strings() {
+    use themisio::core::entity::{reserved_job_id, RESERVED_CLASS_COUNT, RESERVED_CLASS_SPAN};
+    // (input, why it must fail)
+    let rejects: &[(&str, &str)] = &[
+        ("", "empty string"),
+        ("local_plus_one", "missing durability= head"),
+        ("user3=sync", "rules without the head"),
+        ("durability", "head without a mode"),
+        ("durability=", "empty default mode"),
+        ("durability = local_only", "space inside the head"),
+        ("durability=localonly", "unknown mode"),
+        ("durability=local", "truncated mode"),
+        ("durability=sync extra", "trailing garbage in the head"),
+        ("durability=fifo", "policy keyword is not a mode"),
+        ("durability=sync;=sync", "empty rule scope"),
+        ("durability=sync;user3", "rule without a mode"),
+        ("durability=sync;user3=", "empty rule mode"),
+        ("durability=sync;user1=atomic", "unknown rule mode"),
+        ("durability=sync;job=sync", "missing job id"),
+        ("durability=sync;jobx=sync", "non-numeric job id"),
+        ("durability=sync;job-1=sync", "negative job id"),
+        (
+            "durability=sync;job99999999999999999999=sync",
+            "job id overflows u64",
+        ),
+        ("durability=sync;user=sync", "missing user id"),
+        (
+            "durability=sync;user4294967296=sync",
+            "user id overflows u32",
+        ),
+        ("durability=sync;ckpt=sync", "relative path scope"),
+        ("durability=sync;/=sync", "bare-root prefix"),
+        ("durability=sync;/a=b=sync", "mode with an embedded ="),
+        ("durability=sync;/a", "path rule without a mode"),
+        (
+            "durability=sync;user3=sync;user3=local_only",
+            "duplicate user scope",
+        ),
+        (
+            "durability=local_only;/c=sync;/c=sync",
+            "duplicate path scope",
+        ),
+        (
+            "durability=local_only;job4=sync;job4=sync",
+            "duplicate job scope",
+        ),
+    ];
+    for (text, why) in rejects {
+        let parsed = text.parse::<DurabilitySpec>();
+        assert!(
+            parsed.is_err(),
+            "'{text}' must be rejected ({why}), got {parsed:?}"
+        );
+    }
+    // The error is also reportable (Display) without panicking.
+    for (text, _) in rejects {
+        let err = text.parse::<DurabilitySpec>().unwrap_err();
+        assert!(!err.to_string().is_empty(), "'{text}'");
+    }
+    // Reserved system ids: fuzz across every class sub-range (and both range
+    // boundaries) — internal traffic classes carry no client durability
+    // demand, so `jobN` rules naming them fail identically through the DSL
+    // and the typed builder.
+    cases(64, |rng, case| {
+        let class = rng.gen_range(0u64..RESERVED_CLASS_COUNT);
+        let instance = match rng.gen_range(0u32..3) {
+            0 => 0,
+            1 => RESERVED_CLASS_SPAN - 1,
+            _ => rng.gen_range(0u64..RESERVED_CLASS_SPAN),
+        };
+        let id = reserved_job_id(class, instance).0;
+        let text = format!("durability=sync;job{id}=sync");
+        assert!(
+            matches!(
+                text.parse::<DurabilitySpec>(),
+                Err(DurabilityError::ReservedJob(got)) if got == id
+            ),
+            "case {case}: '{text}' must hit ReservedJob({id})"
+        );
+        assert!(
+            matches!(
+                DurabilitySpec::new(DurabilityMode::LocalOnly).with_job(id, DurabilityMode::Sync),
+                Err(DurabilityError::ReservedJob(got)) if got == id
+            ),
+            "case {case}: typed builder must agree"
+        );
+    });
+}
+
+/// The typed builders and the DSL construct the same value: a random rule
+/// list assembled through `with_rule` equals the parse of the equivalent
+/// string, `any_replicated` reflects exactly the modes present, and
+/// `resolve` agrees with a naive most-specific-wins reference on random
+/// probes.
+#[test]
+fn durability_typed_construction_matches_dsl() {
+    use themisio::core::durability::DurabilityScope;
+    use themisio::core::entity::{JobId, UserId};
+    cases(128, |rng, case| {
+        // Build the rule list once, then realise it both ways in the same
+        // order.
+        let default_mode = arb_durability_mode(rng);
+        let mut rules: Vec<(DurabilityScope, DurabilityMode)> = Vec::new();
+        for _ in 0..rng.gen_range(0usize..6) {
+            let mode = arb_durability_mode(rng);
+            let scope = match rng.gen_range(0u32..3) {
+                0 => DurabilityScope::Job(rng.gen_range(1u64..1000)),
+                1 => DurabilityScope::User(rng.gen_range(1u32..50)),
+                _ => DurabilityScope::Path(arb_durability_path(rng)),
+            };
+            if rules.iter().any(|(s, _)| *s == scope) {
+                continue;
+            }
+            rules.push((scope, mode));
+        }
+        let mut typed = DurabilitySpec::new(default_mode);
+        let mut text = format!("durability={default_mode}");
+        for (scope, mode) in &rules {
+            typed = typed
+                .with_rule(scope.clone(), *mode)
+                .unwrap_or_else(|e| panic!("case {case}: deduped rule rejected: {e}"));
+            text.push_str(&format!(";{scope}={mode}"));
+        }
+        let parsed: DurabilitySpec = text
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: '{text}': {e}"));
+        assert_eq!(parsed, typed, "case {case}: '{text}'");
+        assert_eq!(
+            typed.any_replicated(),
+            default_mode.replicates() || rules.iter().any(|(_, m)| m.replicates()),
+            "case {case}"
+        );
+        // Random probes against a naive reference resolver: longest matching
+        // path prefix, else job rule, else user rule, else the default.
+        for _ in 0..8 {
+            let job = JobId(rng.gen_range(1u64..1000));
+            let user = UserId(rng.gen_range(1u32..50));
+            let path = format!("{}/file", arb_durability_path(rng));
+            let reference = rules
+                .iter()
+                .filter_map(|(s, m)| match s {
+                    DurabilityScope::Path(p) if path.starts_with(p.as_str()) => {
+                        Some((2u8, p.len(), *m))
+                    }
+                    _ => None,
+                })
+                .max_by_key(|(_, len, _)| *len)
+                .or_else(|| {
+                    rules.iter().find_map(|(s, m)| match s {
+                        DurabilityScope::Job(id) if *id == job.0 => Some((1, 0, *m)),
+                        _ => None,
+                    })
+                })
+                .or_else(|| {
+                    rules.iter().find_map(|(s, m)| match s {
+                        DurabilityScope::User(id) if *id == user.0 => Some((0, 0, *m)),
+                        _ => None,
+                    })
+                })
+                .map(|(_, _, m)| m)
+                .unwrap_or(default_mode);
+            assert_eq!(
+                typed.resolve(job, user, &path),
+                reference,
+                "case {case}: probe job{} user{} {path}",
+                job.0,
+                user.0
+            );
+        }
+    });
+}
+
 /// FIFO preserves arrival order regardless of job mix.
 #[test]
 fn fifo_preserves_order() {

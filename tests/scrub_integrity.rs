@@ -43,6 +43,7 @@ fn staged_server(
                 backing_device,
                 drain,
                 sharding: None,
+                durability: None,
             }),
             ..ServerConfig::default()
         },
@@ -443,7 +444,7 @@ fn continuous_scrubbing_runs_passes_on_its_own() {
     let drain = DrainConfig {
         high_watermark_bytes: 1 << 30,
         low_watermark_bytes: 1 << 29,
-        scrub_enabled: true,
+        classes: ClassWeights::default().enable(TrafficClass::Scrub, 16),
         scrub_interval_ns: 1_000_000,
         ..DrainConfig::default()
     };
@@ -493,6 +494,7 @@ fn scrub_through_the_deployment_control_plane() {
                 ..DrainConfig::default()
             },
             sharding: None,
+            durability: None,
         }),
         ..ServerConfig::default()
     });

@@ -345,6 +345,7 @@ fn eviction_and_stage_in_roundtrip_through_deployment() {
                 ..DrainConfig::default()
             },
             sharding: None,
+            durability: None,
         }),
         ..ServerConfig::default()
     });
@@ -414,6 +415,7 @@ fn transparent_read_after_eviction_needs_no_explicit_stage_in() {
                 ..DrainConfig::default()
             },
             sharding: None,
+            durability: None,
         }),
         ..ServerConfig::default()
     });
@@ -480,6 +482,7 @@ fn later_resident_write_parks_behind_earlier_parked_overlapping_write() {
                     ..DrainConfig::default()
                 },
                 sharding: None,
+                durability: None,
             }),
             ..ServerConfig::default()
         },
