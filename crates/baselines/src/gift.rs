@@ -14,7 +14,7 @@
 //! and higher variance in Fig. 12(b).
 
 use rand::RngCore;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use themis_core::entity::JobId;
 use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
@@ -130,7 +130,9 @@ impl GiftScheduler {
         self.interval_start_ns = now_ns - (now_ns % self.config.interval_ns.max(1));
         self.interval_initialised = true;
 
-        let backlogged = self.queues.backlogged();
+        // Set-based membership: `contains` is probed once per state row, so a
+        // Vec scan here would be O(state × backlogged).
+        let backlogged: BTreeSet<JobId> = self.queues.backlogged_unordered().collect();
         if backlogged.is_empty() {
             for st in self.state.values_mut() {
                 st.backlogged = false;
@@ -191,13 +193,17 @@ impl Scheduler for GiftScheduler {
             self.begin_interval(now_ns);
         }
         // Serve the backlogged job with the largest remaining budget
-        // fraction; skip jobs whose budget is exhausted (throttling).
+        // fraction; skip jobs whose budget is exhausted (throttling). The
+        // sorted view keeps the `max_by_key` tie-break (last maximum wins)
+        // deterministic.
+        let state = &self.state;
         let candidate = self
             .queues
-            .backlogged()
-            .into_iter()
+            .backlogged_sorted()
+            .iter()
+            .map(|&(job, _slot)| job)
             .filter_map(|job| {
-                let st = self.state.get(&job)?;
+                let st = state.get(&job)?;
                 if st.budget == 0 || st.used >= st.budget {
                     None
                 } else {
@@ -231,9 +237,11 @@ impl Scheduler for GiftScheduler {
 
     fn refresh(&mut self, table: &JobTable, _policy: &Policy) {
         // GIFT only supports job-fair sharing (§5.4); the policy argument is
-        // ignored. Drop state rows of jobs that left the system.
-        let mut active: Vec<JobId> = table.active_jobs().iter().map(|m| m.job).collect();
-        active.extend(self.queues.backlogged());
+        // ignored. Drop state rows of jobs that left the system. The active
+        // set is probed once per state row, so it must support O(log n)
+        // membership.
+        let mut active: BTreeSet<JobId> = table.active_jobs().iter().map(|m| m.job).collect();
+        active.extend(self.queues.backlogged_unordered());
         self.state.retain(|job, _| active.contains(job));
         for job in active {
             self.state.entry(job).or_default();

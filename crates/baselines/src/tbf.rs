@@ -12,7 +12,7 @@
 //! does not idle while work is queued.
 
 use rand::RngCore;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use themis_core::entity::JobId;
 use themis_core::job_table::JobTable;
 use themis_core::policy::Policy;
@@ -189,7 +189,9 @@ impl Scheduler for TbfScheduler {
         if self.queues.is_empty() {
             return None;
         }
-        let backlogged = self.queues.backlogged();
+        // Set-based membership: every bucket probes `contains` once, so a
+        // Vec scan here would be O(buckets × backlogged).
+        let backlogged: BTreeSet<JobId> = self.queues.backlogged_unordered().collect();
         // Refill every bucket first (buckets of idle jobs accrue HTC credit).
         let htc = self.config.htc;
         for (job, bucket) in self.buckets.iter_mut() {
@@ -264,8 +266,10 @@ impl Scheduler for TbfScheduler {
         }
         // Without PSSB the earliest eligibility is when the poorest bucket
         // has refilled enough for its head request.
+        // Unordered iteration is fine here: the fold is a min over times,
+        // whose value does not depend on visit order.
         let mut earliest: Option<u64> = None;
-        for job in self.queues.backlogged() {
+        for job in self.queues.backlogged_unordered() {
             let cost = self
                 .queues
                 .front(job)
@@ -286,7 +290,7 @@ impl Scheduler for TbfScheduler {
         // TBF only supports job-level token rules (§5.4); the policy argument
         // is ignored. Jobs without an explicit rate share the configured
         // default. Buckets of departed jobs are dropped.
-        let active: Vec<JobId> = table.active_jobs().iter().map(|m| m.job).collect();
+        let active: BTreeSet<JobId> = table.active_jobs().iter().map(|m| m.job).collect();
         self.buckets
             .retain(|job, _| active.contains(job) || self.queues.len_for(*job) > 0);
         self.shares = ShareMap::from_pairs(active.iter().map(|j| {

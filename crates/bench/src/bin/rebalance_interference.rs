@@ -30,7 +30,8 @@
 
 use themis_bench::experiments::{
     drain_experiment, emit_and_gate, flag_value, rebalance_numbers, replicate_experiment,
-    restore_experiment, run_rebalance, scrub_experiment, staged_select_wallclock_pair, BenchReport,
+    restore_experiment, run_rebalance, scaling_experiment, scrub_experiment,
+    staged_select_wallclock_pair, BenchReport,
 };
 use themis_core::entity::JobId;
 
@@ -88,8 +89,8 @@ fn main() {
         scrub_experiment(),
         rebalance_numbers(&baseline, &even, &weighted),
         replicate_experiment(),
-        select_ns,
-        telemetry_ns,
+        scaling_experiment(),
+        (select_ns, telemetry_ns),
     );
     std::process::exit(emit_and_gate(
         &report,

@@ -29,7 +29,8 @@
 
 use themis_bench::experiments::{
     drain_experiment, emit_and_gate, flag_value, rebalance_experiment, replicate_numbers,
-    restore_experiment, run_replicate, scrub_experiment, staged_select_wallclock_pair, BenchReport,
+    restore_experiment, run_replicate, scaling_experiment, scrub_experiment,
+    staged_select_wallclock_pair, BenchReport,
 };
 use themis_core::entity::JobId;
 
@@ -88,8 +89,8 @@ fn main() {
         scrub_experiment(),
         rebalance_experiment(),
         replicate_numbers(&baseline, &even, &weighted),
-        select_ns,
-        telemetry_ns,
+        scaling_experiment(),
+        (select_ns, telemetry_ns),
     );
     std::process::exit(emit_and_gate(
         &report,

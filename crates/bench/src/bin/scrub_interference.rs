@@ -30,7 +30,8 @@
 
 use themis_bench::experiments::{
     drain_experiment, emit_and_gate, flag_value, rebalance_experiment, replicate_experiment,
-    restore_experiment, run_scrub, scrub_numbers, staged_select_wallclock_pair, BenchReport,
+    restore_experiment, run_scrub, scaling_experiment, scrub_numbers, staged_select_wallclock_pair,
+    BenchReport,
 };
 use themis_core::entity::JobId;
 
@@ -93,8 +94,8 @@ fn main() {
         scrub_numbers(&baseline, &even, &weighted),
         rebalance_experiment(),
         replicate_experiment(),
-        select_ns,
-        telemetry_ns,
+        scaling_experiment(),
+        (select_ns, telemetry_ns),
     );
     std::process::exit(emit_and_gate(
         &report,

@@ -1,23 +1,28 @@
 //! Shared perf-trajectory experiments and their machine-readable report.
 //!
-//! Five bins consume this module: `drain_weights` (stage-out
+//! Six bins consume this module: `drain_weights` (stage-out
 //! interference), `restore_interference` (stage-in interference),
 //! `scrub_interference` (maintenance-class interference),
-//! `rebalance_interference` (shard-migration interference) and
-//! `replicate_interference` (durability-replication interference); all but
+//! `rebalance_interference` (shard-migration interference),
+//! `replicate_interference` (durability-replication interference) and
+//! `sched_scaling` (production-cardinality scheduler latency); all but
 //! the first can emit the combined [`BenchReport`] as flat JSON
-//! (`BENCH_pr9.json`) and gate themselves against a committed baseline
+//! (`BENCH_pr10.json`) and gate themselves against a committed baseline
 //! (`crates/bench/baseline.json`) — the CI `bench` job's regression check.
 //! The interference numbers are driven by the deterministic simulator, so
 //! they are bit-stable for a given code revision and a regression is
-//! attributable to a code change, not noise. The report also carries one
-//! *wall-clock* data point — the three-lane
-//! [`StagedEngine`](themis_stage::StagedEngine) select/complete hot path,
-//! measured through the vendored criterion shim
-//! ([`staged_select_wallclock_pair`]) — which is machine-dependent and
-//! therefore reported but **not** gated against the baseline (its
-//! telemetry twin is gated only against the plain number from the same
-//! run).
+//! attributable to a code change, not noise. The report also carries
+//! *wall-clock* data points measured through the vendored criterion shim:
+//! the three-lane [`StagedEngine`](themis_stage::StagedEngine)
+//! select/complete hot path ([`staged_select_wallclock_pair`]) and the
+//! per-op scheduler cost at 10³/10⁴/10⁵ backlogged jobs
+//! ([`scaling_experiment`]). Wall-clock numbers are machine-dependent, so
+//! most are reported but not gated against the baseline; the exceptions
+//! are `select_ns_1e5_jobs` (gated with an absolute-nanosecond floor wide
+//! enough for machine drift — an O(n) scan sneaking back into `next()`
+//! costs *milliseconds* at 10⁵ jobs, far beyond any host's jitter) and
+//! two same-run ratios where machine speed cancels: the telemetry twin vs
+//! its plain round, and the 10⁵-job select vs its 10³-job twin.
 
 use std::collections::HashMap;
 use themis_baselines::Algorithm;
@@ -99,36 +104,73 @@ pub struct BenchReport {
     /// ratio and the gate measures exactly the instrumentation overhead —
     /// see [`check_regression`] for the bound.
     pub staged_select_telemetry_ns: f64,
+    /// Wall-clock median of one steady-state [`ThemisScheduler`] token
+    /// draw (`next` + re-enqueue of the served request) with 10³ jobs
+    /// backlogged (ns/op). Reported for the trajectory and consumed by the
+    /// same-run cardinality-flatness gate as the small-cardinality anchor.
+    ///
+    /// [`ThemisScheduler`]: themis_core::sched::ThemisScheduler
+    pub select_ns_1e3_jobs: f64,
+    /// The same steady-state draw with 10⁴ jobs backlogged (ns/op).
+    /// Reported, never gated.
+    pub select_ns_1e4_jobs: f64,
+    /// The same steady-state draw with 10⁵ jobs backlogged (ns/op) — the
+    /// production-cardinality headline. Gated twice: against the committed
+    /// baseline (20% with a 50 ns wall-clock floor) and against
+    /// [`Self::select_ns_1e3_jobs`] *from the same run* (≤ max(4×, +250 ns
+    /// for the memory-hierarchy tax an L2-resident anchor cannot absorb),
+    /// so machine speed cancels and the ratio detects an O(jobs) scan
+    /// sneaking back into the hot path regardless of host).
+    pub select_ns_1e5_jobs: f64,
+    /// Wall-clock median of one [`Scheduler::refresh`] call with 10⁵ jobs
+    /// and an *unchanged* table and policy (ns/op) — the amortized regime
+    /// the revision cache buys: heartbeat-driven refresh storms must cost a
+    /// revision compare, not a 10⁵-share recompute. Reported, never gated
+    /// (the cached path is a few nanoseconds; the baseline floor would
+    /// dwarf it).
+    ///
+    /// [`Scheduler::refresh`]: themis_core::sched::Scheduler::refresh
+    pub refresh_ns_1e5_jobs: f64,
+    /// Wall-clock median of one enqueue onto an already-backlogged queue
+    /// with 10⁵ jobs queued (ns/op). Reported, never gated.
+    pub enqueue_ns_1e5_jobs: f64,
+    /// Wall-clock median of one five-lane
+    /// [`StagedEngine`](themis_stage::StagedEngine) select/complete/re-admit
+    /// round with 10⁵ foreground tenants behind the foreground lane
+    /// (ns/op). Reported, never gated.
+    pub staged_select_ns_1e5_jobs: f64,
 }
 
 impl BenchReport {
     /// Runs every experiment (sim-derived interference numbers plus the
     /// wall-clock scheduler micro-benchmark).
     pub fn measure() -> Self {
-        let (staged_select_ns, staged_select_telemetry_ns) = staged_select_wallclock_pair();
         Self::from_parts(
             drain_experiment(),
             restore_experiment(),
             scrub_experiment(),
             rebalance_experiment(),
             replicate_experiment(),
-            staged_select_ns,
-            staged_select_telemetry_ns,
+            scaling_experiment(),
+            staged_select_wallclock_pair(),
         )
     }
 
     /// Assembles the report from already-measured parts — for bins that ran
     /// (and printed) some experiments themselves and must not run them a
-    /// second time.
+    /// second time. `staged_wallclock` is the `(plain, telemetry)` ns/op
+    /// pair exactly as [`staged_select_wallclock_pair`] returns it — the
+    /// two halves gate against each other, so they travel together.
     pub fn from_parts(
         drain: DrainNumbers,
         restore: RestoreNumbers,
         scrub: ScrubNumbers,
         rebalance: RebalanceNumbers,
         replicate: ReplicateNumbers,
-        staged_select_ns: f64,
-        staged_select_telemetry_ns: f64,
+        scaling: ScalingNumbers,
+        staged_wallclock: (f64, f64),
     ) -> Self {
+        let (staged_select_ns, staged_select_telemetry_ns) = staged_wallclock;
         BenchReport {
             drain_fg_slowdown_pct_1_1: drain.fg_slowdown_pct_1_1,
             drain_fg_slowdown_pct_8_1: drain.fg_slowdown_pct_8_1,
@@ -149,6 +191,12 @@ impl BenchReport {
             replicate_replicated_mib_s_8_1: replicate.replicated_mib_s_8_1,
             staged_select_ns,
             staged_select_telemetry_ns,
+            select_ns_1e3_jobs: scaling.select_ns_1e3_jobs,
+            select_ns_1e4_jobs: scaling.select_ns_1e4_jobs,
+            select_ns_1e5_jobs: scaling.select_ns_1e5_jobs,
+            refresh_ns_1e5_jobs: scaling.refresh_ns_1e5_jobs,
+            enqueue_ns_1e5_jobs: scaling.enqueue_ns_1e5_jobs,
+            staged_select_ns_1e5_jobs: scaling.staged_select_ns_1e5_jobs,
         }
     }
 
@@ -204,6 +252,12 @@ impl BenchReport {
                 "staged_select_telemetry_ns",
                 self.staged_select_telemetry_ns,
             ),
+            ("select_ns_1e3_jobs", self.select_ns_1e3_jobs),
+            ("select_ns_1e4_jobs", self.select_ns_1e4_jobs),
+            ("select_ns_1e5_jobs", self.select_ns_1e5_jobs),
+            ("refresh_ns_1e5_jobs", self.refresh_ns_1e5_jobs),
+            ("enqueue_ns_1e5_jobs", self.enqueue_ns_1e5_jobs),
+            ("staged_select_ns_1e5_jobs", self.staged_select_ns_1e5_jobs),
         ]
     }
 
@@ -248,8 +302,11 @@ pub fn parse_flat_json(text: &str) -> HashMap<String, f64> {
 /// headroom stays 20%-proportional when the baseline is negative (a
 /// protected checkpointer can legitimately be *faster* than its
 /// storm-free comparison run) — with a 1-percentage-point absolute floor so
-/// a near-zero baseline does not turn numeric dust into a failure. Returns
-/// the violations (empty = pass).
+/// a near-zero baseline does not turn numeric dust into a failure. On top
+/// of the baseline-gated keys, three in-run rules apply (see the inline
+/// comments): the telemetry-overhead pair, the production-cardinality
+/// select vs its committed baseline (50 ns floor), and the same-run
+/// cardinality-flatness ratio. Returns the violations (empty = pass).
 pub fn check_regression(current: &BenchReport, baseline: &HashMap<String, f64>) -> Vec<String> {
     let mut violations = Vec::new();
     for key in [
@@ -290,6 +347,55 @@ pub fn check_regression(current: &BenchReport, baseline: &HashMap<String, f64>) 
         violations.push(format!(
             "staged_select_telemetry_ns: {telemetry:.3} ns exceeds the 10% telemetry \
              overhead limit ({limit:.3} ns over the same-run plain round {plain:.3} ns)"
+        ));
+    }
+    // Production-cardinality select gate — the one wall-clock series gated
+    // against the committed baseline. Same 20% proportional headroom as the
+    // sim-derived keys, but with a 50 ns absolute floor instead of 1: the
+    // number is machine-dependent, and ~50 ns covers host-to-host jitter on
+    // an O(log n) hot path while still catching the failure this series
+    // exists for — an O(jobs) scan at 10⁵ jobs costs *milliseconds* per op,
+    // five orders of magnitude past any floor.
+    {
+        let key = "select_ns_1e5_jobs";
+        let now = current.select_ns_1e5_jobs;
+        match baseline.get(key) {
+            Some(&base) => {
+                let limit = base + (base.abs() * 0.2).max(50.0);
+                if now > limit {
+                    violations.push(format!(
+                        "{key}: {now:.3} ns exceeds the >20% regression limit \
+                         ({limit:.3} ns, baseline {base:.3} ns)"
+                    ));
+                }
+            }
+            None => violations.push(format!("baseline is missing the gated key '{key}'")),
+        }
+    }
+    // Cardinality-flatness gate — same-run, not vs the committed baseline:
+    // the 10³- and 10⁵-job draws were measured interleaved moments apart
+    // in this process, so machine speed cancels in the ratio and the bound
+    // is machine-independent. A heap/binary-search scheduler costs ~log(n)
+    // per op, so 100× the jobs may cost at most 4× the nanoseconds, plus a
+    // 250 ns absolute floor for the memory hierarchy: the 10³ working set
+    // is L2-resident while the 10⁵ structures (segment table, slot arena,
+    // id index — ~10 MiB) are not, so each 10⁵ op pays ~3 dependent
+    // last-level-cache accesses plus TLB walks that no algorithm removes
+    // and that a ~35 ns L2-resident anchor cannot absorb into a pure
+    // ratio. The floor is calibrated to that tax (3 × ~60 ns + walk
+    // slack), keeping the gate meaningful on sub-50 ns anchors while
+    // staying five orders of magnitude below the failure this series
+    // exists to catch: a linear scan re-entering `next()` or the sampler
+    // rebuild costs *milliseconds* per op at 10⁵ jobs and shows up as a
+    // 100×+ ratio.
+    let small = current.select_ns_1e3_jobs;
+    let large = current.select_ns_1e5_jobs;
+    let limit = (small * 4.0).max(small + 250.0);
+    if large > limit {
+        violations.push(format!(
+            "select_ns_1e5_jobs: {large:.3} ns breaks the same-run cardinality-flatness \
+             bound ({limit:.3} ns = max(4x, +250 ns) of the 1e3-job draw {small:.3} ns): \
+             per-op cost is no longer ~log(jobs)"
         ));
     }
     violations
@@ -733,6 +839,285 @@ pub fn replicate_experiment() -> ReplicateNumbers {
     )
 }
 
+/// Production-cardinality scheduler numbers: wall-clock ns/op for the
+/// token-draw, enqueue and cached-refresh hot paths at 10³/10⁴/10⁵
+/// backlogged jobs, plus the five-lane staged round at 10⁵ tenants. These
+/// are the series the PR 10 scaling work is accountable to: before the
+/// heap-indexed queues and the incremental sampler rebuild, the 10⁵-job
+/// column was dominated by O(jobs) scans and sat orders of magnitude above
+/// the 10³ anchor.
+pub struct ScalingNumbers {
+    /// Steady-state `next` + re-enqueue (ns/op) with 10³ jobs backlogged.
+    pub select_ns_1e3_jobs: f64,
+    /// The same draw with 10⁴ jobs backlogged.
+    pub select_ns_1e4_jobs: f64,
+    /// The same draw with 10⁵ jobs backlogged — the gated headline.
+    pub select_ns_1e5_jobs: f64,
+    /// One `refresh` with an unchanged table/policy at 10⁵ jobs — the
+    /// revision-cached regime.
+    pub refresh_ns_1e5_jobs: f64,
+    /// One enqueue onto an already-backlogged queue at 10⁵ jobs.
+    pub enqueue_ns_1e5_jobs: f64,
+    /// One five-lane staged select/complete/re-admit round at 10⁵ tenants.
+    pub staged_select_ns_1e5_jobs: f64,
+}
+
+/// One cardinality point of the scaling sweep: per-op wall-clock numbers
+/// for a [`ThemisScheduler`](themis_core::sched::ThemisScheduler) with
+/// `jobs` heartbeated, share-holding, backlogged tenants.
+pub struct CardinalityPoint {
+    /// Steady-state `next` + re-enqueue (ns/op).
+    pub select_ns: f64,
+    /// One enqueue onto an already-backlogged queue (ns/op).
+    pub enqueue_ns: f64,
+    /// One `refresh` with the table and policy unchanged (ns/op).
+    pub refresh_ns: f64,
+}
+
+/// The shared tenant population of the scaling fixtures: `jobs` distinct
+/// jobs spread over 1024 users and 1–4 nodes. The policy is `job-fair`
+/// (single-tier), so the share computation stays O(jobs) — the sweep
+/// measures the *scheduler's* data structures, not the policy matrix.
+fn scaling_metas(jobs: usize) -> Vec<JobMeta> {
+    (0..jobs)
+        .map(|j| {
+            JobMeta::new(
+                j as u64 + 1,
+                (j % 1024) as u32 + 1,
+                1u32,
+                1 + (j % 4) as u32,
+            )
+        })
+        .collect()
+}
+
+/// A ready-to-measure scheduler at one cardinality: `jobs` tenants
+/// heartbeated and share-holding, one 4 KiB request queued per tenant,
+/// sampler refreshed, rng seeded.
+struct SchedFixture {
+    sched: themis_core::sched::ThemisScheduler,
+    table: themis_core::job_table::JobTable,
+    policy: Policy,
+    metas: Vec<JobMeta>,
+    rng: rand::rngs::SmallRng,
+    seq: u64,
+}
+
+/// Builds the [`SchedFixture`] the cardinality measurements run against.
+fn sched_fixture(jobs: usize) -> SchedFixture {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use themis_core::job_table::JobTable;
+    use themis_core::request::IoRequest;
+    use themis_core::sched::{Scheduler, ThemisScheduler};
+
+    let policy = Policy::job_fair();
+    let mut sched = ThemisScheduler::new(policy.clone());
+    let mut table = JobTable::new();
+    let metas = scaling_metas(jobs);
+    for m in &metas {
+        table.heartbeat(*m, 0);
+    }
+    let mut seq = 0u64;
+    for m in &metas {
+        sched.enqueue(IoRequest::write(seq, *m, 4096, seq));
+        seq += 1;
+    }
+    // Refresh *after* the backlog forms, as in a steady server (heartbeat
+    // refreshes fire while traffic is queued): the share sampler then mints
+    // arena-slot draw hints for every queued job, which is the state the
+    // hot path runs in. Refreshing first would mint `NO_HINT` everywhere
+    // and measure the hash-probe fallback instead.
+    sched.refresh(&table, &policy);
+    SchedFixture {
+        sched,
+        table,
+        policy,
+        metas,
+        rng: SmallRng::seed_from_u64(0x10e5),
+        seq,
+    }
+}
+
+/// Measures the **gated** select pair — the 10³-job anchor and the 10⁵-job
+/// headline — through [`criterion::measure_interleaved_min_ns`], returning
+/// `(select_ns_1e3, select_ns_1e5)`.
+///
+/// The cardinality-flatness gate divides these two numbers, so they must be
+/// measured under the same thermal and frequency conditions: two
+/// independent measurements drift apart by enough on a busy host to push a
+/// genuinely flat scheduler over a 4× ratio (or to mask a real regression).
+/// Alternating timed blocks cancel the drift out of the ratio, exactly as
+/// the telemetry-overhead gate does for its instrumented/plain pair.
+pub fn select_flatness_pair() -> (f64, f64) {
+    use themis_core::sched::Scheduler;
+
+    let mut small = sched_fixture(1_000);
+    let mut large = sched_fixture(100_000);
+    criterion::measure_interleaved_min_ns(
+        SCALING_BLOCK_ITERS,
+        SCALING_REPS,
+        || {
+            let req = small
+                .sched
+                .next(small.seq, &mut small.rng)
+                .expect("every tenant stays backlogged");
+            small.seq += 1;
+            small.sched.enqueue(req);
+        },
+        || {
+            let req = large
+                .sched
+                .next(large.seq, &mut large.rng)
+                .expect("every tenant stays backlogged");
+            large.seq += 1;
+            large.sched.enqueue(req);
+        },
+    )
+}
+
+/// Iterations per timed block for the cardinality measurements
+/// ([`criterion::measure_min_ns`]'s `iters`). Large enough that one block
+/// cycles the full 10⁵-tenant working set several times — the warm steady
+/// state a saturated server runs — rather than sampling the cold-cache
+/// transient the shim's small-batch median plan measures at this scale.
+const SCALING_BLOCK_ITERS: u32 = 20_000;
+
+/// Timed repetitions per measurement (min is kept).
+const SCALING_REPS: u32 = 7;
+
+/// Measures one [`CardinalityPoint`]: builds a `ThemisScheduler` under
+/// `job-fair`, heartbeats `jobs` tenants, refreshes once, seeds one request
+/// per job, then times the three hot paths through
+/// [`criterion::measure_min_ns`] (warm block, then min over timed blocks —
+/// the shim's default 7×64 median plan never escapes the compulsory-miss
+/// transient at 10⁵ tenants and would gate on cold-cache cost).
+///
+/// The select routine re-enqueues the request it served, so every job stays
+/// backlogged and every draw takes the fast path — the steady state a
+/// saturated server actually runs, and the regime where per-op cost must be
+/// ~log(jobs). (Draining to empty instead would rebuild the opportunity
+/// sampler once per draw — O(jobs) each — and measure the rebuild, not the
+/// draw.) The refresh routine runs with the table and policy unchanged, so
+/// it times the revision-cache hit: the cost a heartbeat-driven refresh
+/// storm pays per call.
+pub fn sched_cardinality_point(jobs: usize) -> CardinalityPoint {
+    use criterion::measure_min_ns;
+    use themis_core::request::IoRequest;
+    use themis_core::sched::Scheduler;
+
+    let SchedFixture {
+        mut sched,
+        table,
+        policy,
+        metas,
+        mut rng,
+        mut seq,
+    } = sched_fixture(jobs);
+
+    // Enqueue first, while queue depths are still uniform: each timed call
+    // lands on a non-empty queue (round-robin over the tenants), the
+    // backlog grows only by the measurement's fixed iteration count, and
+    // the select measurement below inherits a still-steady queue
+    // population.
+    let mut i = 0usize;
+    let enqueue_ns = measure_min_ns(SCALING_BLOCK_ITERS, SCALING_REPS, || {
+        sched.enqueue(IoRequest::write(seq, metas[i], 4096, seq));
+        seq += 1;
+        i = (i + 1) % metas.len();
+    });
+    let select_ns = measure_min_ns(SCALING_BLOCK_ITERS, SCALING_REPS, || {
+        let req = sched
+            .next(seq, &mut rng)
+            .expect("every tenant stays backlogged");
+        sched.enqueue(req);
+    });
+    let refresh_ns = measure_min_ns(SCALING_BLOCK_ITERS, SCALING_REPS, || {
+        sched.refresh(&table, &policy)
+    });
+    CardinalityPoint {
+        select_ns,
+        enqueue_ns,
+        refresh_ns,
+    }
+}
+
+/// Wall clock of one five-lane
+/// [`StagedEngine`](themis_stage::StagedEngine) select/complete/re-admit
+/// round (ns/op) with `jobs` foreground tenants backlogged behind the
+/// foreground lane and every background lane (drain, restore, scrub,
+/// rebalance, replicate) holding work. The served request is re-admitted,
+/// so lane depths are steady and the number isolates the arbitration cost
+/// at cardinality — the staged twin of the `select_ns_*` sweep.
+pub fn staged_select_at_cardinality(jobs: usize) -> f64 {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use themis_core::engine::PolicyEngine;
+    use themis_core::job_table::JobTable;
+    use themis_core::request::{Completion, IoRequest, OpKind};
+    use themis_stage::{
+        drain_meta, rebalance_meta, replicate_meta, restore_meta, scrub_meta, ClassWeights,
+        StagedEngine,
+    };
+
+    let policy = Policy::job_fair();
+    let mut engine = StagedEngine::with_weights(
+        Algorithm::Themis(policy.clone()).build(),
+        ClassWeights::default(),
+    );
+    let mut table = JobTable::new();
+    let metas = scaling_metas(jobs);
+    for m in &metas {
+        table.heartbeat(*m, 0);
+    }
+    engine.reconfigure(&table, &policy);
+    let mut seq = 0u64;
+    for m in &metas {
+        engine.admit(IoRequest::write(seq, *m, 1 << 20, 0));
+        seq += 1;
+    }
+    for bg in [
+        drain_meta(0),
+        restore_meta(0),
+        scrub_meta(0),
+        rebalance_meta(0),
+        replicate_meta(0),
+    ] {
+        engine.admit(IoRequest::new(seq, bg, OpKind::Read, 1 << 20, 0));
+        seq += 1;
+    }
+    let mut rng = SmallRng::seed_from_u64(0x57a6);
+    criterion::measure_min_ns(SCALING_BLOCK_ITERS, SCALING_REPS, || {
+        let request = engine.select(seq, &mut rng).expect("every lane holds work");
+        seq += 1;
+        engine.complete(&Completion {
+            request,
+            start_ns: seq,
+            finish_ns: seq + 1,
+        });
+        engine.admit(request);
+    })
+}
+
+/// The production-cardinality half of the report: the 10³/10⁴/10⁵ sweep
+/// plus the staged round at 10⁵ tenants. The gated 10³/10⁵ select pair is
+/// measured interleaved (see [`select_flatness_pair`]) so the flatness
+/// ratio is drift-free; the 10⁴ point and the enqueue/refresh columns are
+/// independent measurements.
+pub fn scaling_experiment() -> ScalingNumbers {
+    let p4 = sched_cardinality_point(10_000);
+    let p5 = sched_cardinality_point(100_000);
+    let (select_ns_1e3_jobs, select_ns_1e5_jobs) = select_flatness_pair();
+    ScalingNumbers {
+        select_ns_1e3_jobs,
+        select_ns_1e4_jobs: p4.select_ns,
+        select_ns_1e5_jobs,
+        refresh_ns_1e5_jobs: p5.refresh_ns,
+        enqueue_ns_1e5_jobs: p5.enqueue_ns,
+        staged_select_ns_1e5_jobs: staged_select_at_cardinality(100_000),
+    }
+}
+
 /// Builds the three-lane scheduler fixture the hot-path measurements run
 /// against: a [`StagedEngine`](themis_stage::StagedEngine) over a Themis
 /// foreground engine with one heartbeated foreground tenant, plus the
@@ -891,6 +1276,12 @@ mod tests {
             replicate_replicated_mib_s_8_1: 321.0,
             staged_select_ns: 350.0,
             staged_select_telemetry_ns: 360.0,
+            select_ns_1e3_jobs: 120.0,
+            select_ns_1e4_jobs: 160.0,
+            select_ns_1e5_jobs: 240.0,
+            refresh_ns_1e5_jobs: 15.0,
+            enqueue_ns_1e5_jobs: 90.0,
+            staged_select_ns_1e5_jobs: 400.0,
         }
     }
 
@@ -928,7 +1319,7 @@ mod tests {
         let negative = parse_flat_json(
             "{\"drain_fg_slowdown_pct_8_1\": 2.4, \"restore_fg_slowdown_pct_8_1\": -15.0, \
              \"scrub_fg_slowdown_pct_8_1\": 1.5, \"rebalance_fg_slowdown_pct_8_1\": 1.8, \
-             \"replicate_fg_slowdown_pct_8_1\": 2.0}",
+             \"replicate_fg_slowdown_pct_8_1\": 2.0, \"select_ns_1e5_jobs\": 240.0}",
         );
         report.restore_fg_slowdown_pct_8_1 = -12.5;
         assert!(check_regression(&report, &negative).is_empty());
@@ -940,11 +1331,12 @@ mod tests {
         let violations = check_regression(&report, &negative);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("scrub_fg_slowdown_pct_8_1"));
-        // A baseline missing a gated key is itself a failure.
+        // A baseline missing a gated key is itself a failure — five
+        // slowdown keys plus the production-cardinality select.
         report.restore_fg_slowdown_pct_8_1 = 5.0;
         report.scrub_fg_slowdown_pct_8_1 = 1.5;
         let empty = HashMap::new();
-        assert_eq!(check_regression(&report, &empty).len(), 5);
+        assert_eq!(check_regression(&report, &empty).len(), 6);
     }
 
     #[test]
@@ -968,6 +1360,41 @@ mod tests {
         assert!(check_regression(&report, &baseline).is_empty());
         report.staged_select_telemetry_ns = 64.1;
         assert_eq!(check_regression(&report, &baseline).len(), 1);
+    }
+
+    #[test]
+    fn cardinality_gates_cover_baseline_drift_and_flatness() {
+        let mut report = sample_report();
+        let baseline = parse_flat_json(&report.to_json());
+        assert!(check_regression(&report, &baseline).is_empty());
+        // At a 240 ns baseline the 50 ns wall-clock floor beats the 20%
+        // term (48 ns): limit 290 ns.
+        report.select_ns_1e5_jobs = 289.9;
+        assert!(check_regression(&report, &baseline).is_empty());
+        report.select_ns_1e5_jobs = 290.1;
+        let violations = check_regression(&report, &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("select_ns_1e5_jobs"));
+        assert!(violations[0].contains("regression limit"));
+        // The flatness bound is same-run: at an 80 ns anchor the limit is
+        // max(4×80, 80+250) = 330 ns, so a 600 ns 1e5 draw trips both the
+        // baseline gate (limit 290) and the flatness ratio.
+        report.select_ns_1e5_jobs = 600.0;
+        report.select_ns_1e3_jobs = 80.0;
+        let violations = check_regression(&report, &baseline);
+        assert_eq!(violations.len(), 2);
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("cardinality-flatness")));
+        // A fast small-cardinality anchor rides the 250 ns memory-hierarchy
+        // floor: anchor 20 ns → limit max(80, 270) = 270 ns.
+        report.select_ns_1e3_jobs = 20.0;
+        report.select_ns_1e5_jobs = 269.0;
+        assert!(check_regression(&report, &baseline).is_empty());
+        report.select_ns_1e5_jobs = 271.0;
+        let violations = check_regression(&report, &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("cardinality-flatness"));
     }
 
     #[test]

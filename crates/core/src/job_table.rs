@@ -4,6 +4,54 @@
 use crate::entity::{GroupId, JobEntry, JobId, JobMeta, JobStatus, UserId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of servers a presence mask can attribute I/O to (the width of
+/// [`JobEntry::presence_mask`]). Server indices must stay below this;
+/// [`JobTable::set_viewpoint`] rejects larger ones instead of aliasing them
+/// onto the last bit.
+pub const PRESENCE_CAPACITY: usize = 128;
+
+/// Process-global allocator of job-table revisions.
+///
+/// Revisions are unique across every table in the process, so two tables
+/// holding the same revision are guaranteed to have gone through the same
+/// last share-relevant mutation (i.e. one is an unmodified clone of the
+/// other) — equal revision implies identical share-relevant contents, which
+/// is what lets [`crate::sched::ThemisScheduler`] skip share recomputation on
+/// refresh. Starts at 1 so the freshly-constructed (empty) state keeps
+/// revision 0.
+static TABLE_REVISION: AtomicU64 = AtomicU64::new(1);
+
+fn next_revision() -> u64 {
+    TABLE_REVISION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Error returned by [`JobTable::set_viewpoint`] when the server index does
+/// not fit the presence mask.
+///
+/// Historically out-of-range indices were silently clamped to the last bit,
+/// which aliased every server ≥ [`PRESENCE_CAPACITY`] onto one presence bit
+/// and corrupted `server_span` — and with it localized shares — at exactly
+/// the deployment sizes where multi-server fairness matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewpointOutOfRange {
+    /// The rejected server index.
+    pub index: usize,
+}
+
+impl fmt::Display for ViewpointOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "server index {} does not fit the {PRESENCE_CAPACITY}-bit presence mask",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for ViewpointOutOfRange {}
 
 /// Per-server table of all jobs the server has heard about.
 ///
@@ -24,8 +72,16 @@ pub struct JobTable {
     /// The index of the server this table belongs to, when the table is one
     /// server's local view in a multi-server deployment. Used to record which
     /// servers each job issues I/O on (the "token counts" exchanged during
-    /// λ-sync, Fig. 5) and to localise globally fair shares.
+    /// λ-sync, Fig. 5) and to localise globally fair shares. Always below
+    /// [`PRESENCE_CAPACITY`].
     viewpoint: Option<u32>,
+    /// Stamp of the last *share-relevant* mutation (entry inserted/removed,
+    /// metadata or activity changed, presence bit gained, viewpoint moved),
+    /// drawn from the process-global [`TABLE_REVISION`] counter. Heartbeats
+    /// that only refresh `last_heartbeat_ns` and request counting do not
+    /// advance it, so refresh storms can be deduplicated by comparing
+    /// revisions.
+    revision: u64,
 }
 
 /// Default heartbeat timeout (5 seconds, in nanoseconds).
@@ -38,6 +94,7 @@ impl JobTable {
             entries: BTreeMap::new(),
             heartbeat_timeout_ns: DEFAULT_HEARTBEAT_TIMEOUT_NS,
             viewpoint: None,
+            revision: 0,
         }
     }
 
@@ -47,13 +104,34 @@ impl JobTable {
             entries: BTreeMap::new(),
             heartbeat_timeout_ns: timeout_ns,
             viewpoint: None,
+            revision: 0,
         }
     }
 
     /// Marks this table as the local view of server `index` so that observed
     /// requests are attributed to that server in each job's presence mask.
-    pub fn set_viewpoint(&mut self, index: usize) {
-        self.viewpoint = Some(index.min(127) as u32);
+    ///
+    /// Rejects indices that do not fit the presence mask instead of aliasing
+    /// them onto the last bit; callers on oversized deployments should run
+    /// without a viewpoint (global view) rather than corrupt `server_span`.
+    pub fn set_viewpoint(&mut self, index: usize) -> Result<(), ViewpointOutOfRange> {
+        if index >= PRESENCE_CAPACITY {
+            return Err(ViewpointOutOfRange { index });
+        }
+        let viewpoint = Some(index as u32);
+        if self.viewpoint != viewpoint {
+            self.viewpoint = viewpoint;
+            self.revision = next_revision();
+        }
+        Ok(())
+    }
+
+    /// Stamp of the last share-relevant mutation. Revisions are unique
+    /// process-wide, so equal revisions imply identical share-relevant
+    /// contents (one table is an unmodified clone of the other); an unequal
+    /// pair says nothing beyond "possibly different".
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// The server index this table is the local view of, if any.
@@ -70,10 +148,17 @@ impl JobTable {
     }
 
     /// Whether `job` has been observed issuing I/O on server `index`.
+    ///
+    /// Indices beyond the presence mask report `false` (no job can be
+    /// present on a server the mask cannot represent); they are no longer
+    /// aliased onto the last bit.
     pub fn present_on(&self, job: JobId, index: u32) -> bool {
+        if index as usize >= PRESENCE_CAPACITY {
+            return false;
+        }
         self.entries
             .get(&job)
-            .is_some_and(|e| e.presence_mask & (1u128 << index.min(127)) != 0)
+            .is_some_and(|e| e.presence_mask & (1u128 << index) != 0)
     }
 
     /// The configured heartbeat timeout in nanoseconds.
@@ -96,13 +181,25 @@ impl JobTable {
     /// Unknown jobs are inserted as new active entries — this is how a server
     /// learns about a job the first time one of its clients connects.
     pub fn heartbeat(&mut self, meta: JobMeta, now_ns: u64) {
-        let entry = self
-            .entries
-            .entry(meta.job)
-            .or_insert_with(|| JobEntry::new(meta, now_ns));
-        entry.meta = meta;
-        entry.status = JobStatus::Active;
-        entry.last_heartbeat_ns = entry.last_heartbeat_ns.max(now_ns);
+        match self.entries.entry(meta.job) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(JobEntry::new(meta, now_ns));
+                self.revision = next_revision();
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                let entry = slot.get_mut();
+                // A repeat heartbeat that only refreshes the liveness clock
+                // is not share-relevant; only metadata changes and
+                // inactive→active flips advance the revision.
+                let share_relevant = entry.meta != meta || entry.status != JobStatus::Active;
+                entry.meta = meta;
+                entry.status = JobStatus::Active;
+                entry.last_heartbeat_ns = entry.last_heartbeat_ns.max(now_ns);
+                if share_relevant {
+                    self.revision = next_revision();
+                }
+            }
+        }
     }
 
     /// Records that an I/O request from `meta.job` was observed at `now_ns`.
@@ -115,7 +212,15 @@ impl JobTable {
         if let Some(e) = self.entries.get_mut(&meta.job) {
             e.requests_seen += 1;
             if let Some(v) = viewpoint {
-                e.presence_mask |= 1u128 << v.min(127);
+                // The viewpoint is validated against PRESENCE_CAPACITY when
+                // set, so the shift cannot wrap. A newly gained presence bit
+                // widens the job's server span (share-relevant); repeat
+                // requests from an already-recorded server are not.
+                let bit = 1u128 << v;
+                if e.presence_mask & bit == 0 {
+                    e.presence_mask |= bit;
+                    self.revision = next_revision();
+                }
             }
         }
     }
@@ -124,7 +229,11 @@ impl JobTable {
     /// (§4.2: "When a client exits, it notifies the ThemisIO servers to
     /// destroy the corresponding mapping entry").
     pub fn remove(&mut self, job: JobId) -> Option<JobEntry> {
-        self.entries.remove(&job)
+        let removed = self.entries.remove(&job);
+        if removed.is_some() {
+            self.revision = next_revision();
+        }
+        removed
     }
 
     /// Marks jobs whose last heartbeat is older than the timeout as inactive
@@ -139,6 +248,9 @@ impl JobTable {
                 entry.status = JobStatus::Inactive;
                 flipped += 1;
             }
+        }
+        if flipped > 0 {
+            self.revision = next_revision();
         }
         flipped
     }
@@ -208,12 +320,15 @@ impl JobTable {
     /// *not* summed — they are per-server observations — the maximum is kept
     /// as a conservative indicator.
     pub fn merge_from(&mut self, other: &JobTable) {
+        let mut changed = false;
         for (job, remote) in other.entries.iter() {
             match self.entries.get_mut(job) {
                 None => {
                     self.entries.insert(*job, *remote);
+                    changed = true;
                 }
                 Some(local) => {
+                    let before = (local.meta, local.status, local.presence_mask);
                     if remote.last_heartbeat_ns > local.last_heartbeat_ns {
                         local.meta = remote.meta;
                         local.last_heartbeat_ns = remote.last_heartbeat_ns;
@@ -223,8 +338,12 @@ impl JobTable {
                     }
                     local.requests_seen = local.requests_seen.max(remote.requests_seen);
                     local.presence_mask |= remote.presence_mask;
+                    changed |= (local.meta, local.status, local.presence_mask) != before;
                 }
             }
+        }
+        if changed {
+            self.revision = next_revision();
         }
     }
 
@@ -319,6 +438,89 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.get(JobId(1)).unwrap().last_heartbeat_ns, 9_000);
         assert!(a.get(JobId(1)).unwrap().status.is_active());
+    }
+
+    #[test]
+    fn set_viewpoint_rejects_indices_beyond_the_presence_mask() {
+        // Regression: indices ≥ 128 used to be clamped onto bit 127, so
+        // servers 127, 128, 200… all aliased to one presence bit and
+        // server_span undercounted on large deployments.
+        let mut t = JobTable::new();
+        assert_eq!(t.set_viewpoint(0), Ok(()));
+        assert_eq!(t.viewpoint(), Some(0));
+        assert_eq!(t.set_viewpoint(PRESENCE_CAPACITY - 1), Ok(()));
+        assert_eq!(t.viewpoint(), Some(127));
+        let err = t.set_viewpoint(PRESENCE_CAPACITY).unwrap_err();
+        assert_eq!(err.index, PRESENCE_CAPACITY);
+        assert!(err.to_string().contains("128"));
+        // The rejected call leaves the previous viewpoint intact.
+        assert_eq!(t.viewpoint(), Some(127));
+    }
+
+    #[test]
+    fn present_on_does_not_alias_out_of_range_servers() {
+        let mut t = JobTable::new();
+        t.set_viewpoint(127).unwrap();
+        t.observe_request(meta(1, 10, 100, 4), 0);
+        assert!(t.present_on(JobId(1), 127));
+        // Out-of-range indices used to collapse onto bit 127 and report
+        // presence that was never observed.
+        assert!(!t.present_on(JobId(1), 128));
+        assert!(!t.present_on(JobId(1), 500));
+        assert_eq!(t.server_span(JobId(1)), 1);
+    }
+
+    #[test]
+    fn revision_tracks_share_relevant_changes_only() {
+        let mut t = JobTable::new();
+        assert_eq!(t.revision(), 0);
+        t.heartbeat(meta(1, 10, 100, 4), 1_000);
+        let after_insert = t.revision();
+        assert_ne!(after_insert, 0);
+        // Liveness-only heartbeats do not advance the revision.
+        t.heartbeat(meta(1, 10, 100, 4), 2_000);
+        assert_eq!(t.revision(), after_insert);
+        // Metadata changes do.
+        t.heartbeat(meta(1, 10, 100, 8), 3_000);
+        let after_meta = t.revision();
+        assert_ne!(after_meta, after_insert);
+        // A repeat request from an already-recorded server does not; the
+        // first presence bit on a server does.
+        t.set_viewpoint(3).unwrap();
+        let after_viewpoint = t.revision();
+        assert_ne!(after_viewpoint, after_meta);
+        t.observe_request(meta(1, 10, 100, 8), 4_000);
+        let after_presence = t.revision();
+        assert_ne!(after_presence, after_viewpoint);
+        t.observe_request(meta(1, 10, 100, 8), 5_000);
+        assert_eq!(t.revision(), after_presence);
+        // Expiry that flips nothing keeps the revision; one that flips bumps.
+        assert_eq!(t.expire(5_500), 0);
+        assert_eq!(t.revision(), after_presence);
+        assert_eq!(t.expire(u64::MAX), 1);
+        assert_ne!(t.revision(), after_presence);
+        // An unmodified clone shares its source's revision (that is the
+        // contract the scheduler's refresh cache relies on); any mutation
+        // diverges it.
+        let snapshot = t.clone();
+        assert_eq!(snapshot.revision(), t.revision());
+        t.remove(JobId(1));
+        assert_ne!(t.revision(), snapshot.revision());
+    }
+
+    #[test]
+    fn merge_bumps_revision_only_on_content_changes() {
+        let mut a = JobTable::new();
+        let mut b = JobTable::new();
+        a.heartbeat(meta(1, 10, 100, 16), 1_000);
+        b.heartbeat(meta(1, 10, 100, 16), 500);
+        let before = a.revision();
+        // b carries nothing newer: no metadata, status or presence movement.
+        a.merge_from(&b);
+        assert_eq!(a.revision(), before);
+        b.heartbeat(meta(2, 20, 100, 8), 600);
+        a.merge_from(&b);
+        assert_ne!(a.revision(), before);
     }
 
     #[test]

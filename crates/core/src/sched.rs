@@ -15,7 +15,8 @@ use crate::request::{Completion, IoRequest};
 use crate::sampler::TokenSampler;
 use crate::shares::{compute_shares, localize_shares, ShareMap};
 use rand::RngCore;
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// A pluggable I/O arbitration algorithm (implementation-side trait).
 ///
@@ -80,13 +81,129 @@ pub trait Scheduler: Send {
     }
 }
 
+/// Deterministic multiplicative hasher for the job→slot index.
+///
+/// The std default (SipHash with per-process random keys) costs more than
+/// the probe it guards on the per-request hot path, and its random keys
+/// make hash iteration order vary run to run. Job ids are already
+/// high-entropy-enough for an open workspace-internal map, so one Fibonacci
+/// multiply plus a xor-shift (to push entropy into the low bits hashbrown
+/// indexes with) replaces it. Iteration order is still never allowed to
+/// leak into scheduling decisions — see [`JobQueues::backlogged_sorted`].
+#[derive(Debug, Default, Clone)]
+pub struct JobIdHasher(u64);
+
+impl std::hash::Hasher for JobIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (FNV-1a); the job-id path below is the
+        // one that matters.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let x = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = x ^ (x >> 32);
+    }
+}
+
+type JobIdBuildHasher = std::hash::BuildHasherDefault<JobIdHasher>;
+
 /// Per-job FIFO queues used by every scheduler implementation in this
 /// workspace: arbitration picks a *job*, then requests of that job are served
 /// in arrival order (the paper's communicator groups requests "into queues
 /// based on the fair sharing policy", §4.1).
+///
+/// Layout: a slot **arena** holds one per-job FIFO per known job, split into
+/// parallel arrays by access temperature, and a hash `index` maps job id →
+/// slot. Consumers that learn a job's slot from a draw hint (see
+/// [`TokenSampler::draw_hinted`](crate::sampler::TokenSampler::draw_hinted))
+/// can pop with [`Self::pop_noting_drained_hinted`] — one bounds check and
+/// a job-id compare instead of a hash probe, which at 10⁵ tenants is the
+/// difference between one dependent cache miss and three.
 #[derive(Debug, Default, Clone)]
 pub struct JobQueues {
-    queues: BTreeMap<JobId, VecDeque<IoRequest>>,
+    /// The oldest request of each slot's job, **inline in the arena** —
+    /// `Option<IoRequest>` is exactly one cache line, so the depth-1 regime
+    /// a saturated server cycles through (pop the front, tenant re-submits)
+    /// is a single line access per op, with no dependent walk into a deque
+    /// heap buffer. `None` means the slot is drained. A drained slot is
+    /// *kept* (empty, still indexed) rather than freed, so the steady-state
+    /// pop/re-enqueue cycle reuses its slot instead of paying a remove +
+    /// reinsert per served request; drained slots are reclaimed in batch by
+    /// [`Self::maybe_compact`]. Arena iteration order is
+    /// arrival-determined, but ordered walks still go through
+    /// [`Self::backlogged_sorted`] so no incidental order leaks into
+    /// scheduling decisions.
+    ///
+    /// Invariant: `fronts[s].is_none()` implies `rest_lens[s] == 0`.
+    fronts: Vec<Option<IoRequest>>,
+    /// `rest_lens[s]` mirrors `rests[s].len()`. Kept apart from the cold
+    /// deques (the whole array is ~L2-sized at 10⁵ tenants) so a pop can
+    /// learn "no spill behind this front" — the overwhelmingly common case
+    /// — without a dependent miss on a deque header it would then ignore.
+    rest_lens: Vec<u32>,
+    /// Requests behind each front, in arrival order. Cold: touched only
+    /// when a job queues more than one request (spill) or drains one back
+    /// out, never by the depth-1 steady state.
+    rests: Vec<VecDeque<IoRequest>>,
+    /// Job id → arena slot, with a cheap deterministic hasher
+    /// ([`JobIdHasher`]). Consulted on unhinted operations and on hint
+    /// misses; the draw→pop hot path skips it entirely.
+    index: HashMap<JobId, u32, JobIdBuildHasher>,
+    /// Freed slots available for reuse.
+    free: Vec<u32>,
+    /// Memo of the most recently resolved `(job, slot)` pair. A serve is
+    /// almost always followed by a touch of the same job (the re-submit
+    /// after a completion, the enqueue burst of one client), so this turns
+    /// the *second* resolution into a register compare instead of a hash
+    /// probe into a megabyte-scale table. Validity: the memo mirrors a live
+    /// `index` entry, and index entries are only removed by
+    /// [`Self::maybe_compact`], which clears the memo — so between
+    /// compactions the memo can never name a freed or reassigned slot.
+    hot: Option<(JobId, u32)>,
+    /// Number of jobs with at least one queued request. A plain counter —
+    /// the hot path pays one increment/decrement on an idle↔backlogged
+    /// transition and nothing else; membership itself is implicit in the
+    /// slots (`front.is_some()`).
+    backlogged_count: usize,
+    /// Cached ascending `(job, slot)` snapshot of the backlogged jobs —
+    /// the deterministic iteration surface over the arena (incidental
+    /// iteration order must never leak into scheduling decisions).
+    /// Invalidated on idle↔backlogged transitions, rebuilt (walk the
+    /// arena, filter occupied, sort by job id) on demand by
+    /// [`Self::backlogged_sorted`]; steady traffic over a stable backlog
+    /// reuses it for free.
+    sorted_backlog: Vec<(JobId, u32)>,
+    /// Whether `sorted_backlog` reflects the current backlog.
+    sorted_valid: bool,
+    /// Min-heap over queue *fronts*, keyed `(arrival_ns, seq, job)`, with
+    /// lazy invalidation: an entry is pushed whenever a request becomes the
+    /// front of its job's queue, and entries whose request has since been
+    /// popped are discarded when they surface. This turns
+    /// [`JobQueues::pop_oldest`] from an `O(jobs)` min-scan into `O(log n)`
+    /// amortised — each request enters the heap at most twice (once on
+    /// arrival at an empty queue, once when its predecessor is popped).
+    /// Stale entries that never surface are reclaimed in batch by
+    /// [`Self::maybe_compact`], so the heap stays proportional to the live
+    /// backlog instead of growing by one entry per served request forever.
+    ///
+    /// Maintained **on demand** (see `front_index_live`): fair-mode
+    /// schedulers draw tokens and pop per job, so for them the heap would
+    /// be pure overhead — one `O(log n)` push with a cold parent access on
+    /// every served request, paying for a `pop_oldest` that never comes.
+    front_index: BinaryHeap<Reverse<(u64, u64, JobId)>>,
+    /// Whether `front_index` is being maintained incrementally. Starts
+    /// `false`; the first [`Self::pop_oldest`] call rebuilds the index
+    /// from the live fronts (`O(backlogged)`, once) and turns maintenance
+    /// on, after which FIFO-order consumers pay the amortised `O(log n)`
+    /// per op as before. Until then, `push`/`pop` skip the heap entirely.
+    front_index_live: bool,
     total: usize,
 }
 
@@ -96,37 +213,222 @@ impl JobQueues {
         Self::default()
     }
 
-    /// Appends a request to its job's queue.
-    pub fn push(&mut self, request: IoRequest) {
-        self.queues
-            .entry(request.meta.job)
-            .or_default()
-            .push_back(request);
+    /// Appends a request to its job's queue. Returns `true` when the job
+    /// was idle and this request became its queue front — the caller-side
+    /// signal that the backlogged set grew, reported from the same map walk
+    /// instead of costing the caller a second `len_for` probe.
+    pub fn push(&mut self, request: IoRequest) -> bool {
+        let job = request.meta.job;
+        let slot_idx = match self.hot {
+            Some((hot_job, s)) if hot_job == job => s,
+            _ => match self.index.get(&job) {
+                Some(&s) => s,
+                None => {
+                    let s = match self.free.pop() {
+                        Some(s) => s,
+                        None => {
+                            self.fronts.push(None);
+                            self.rest_lens.push(0);
+                            self.rests.push(VecDeque::new());
+                            (self.fronts.len() - 1) as u32
+                        }
+                    };
+                    debug_assert!(self.fronts[s as usize].is_none());
+                    debug_assert_eq!(self.rest_lens[s as usize], 0);
+                    self.index.insert(job, s);
+                    s
+                }
+            },
+        };
+        self.hot = Some((job, slot_idx));
+        let i = slot_idx as usize;
+        let becomes_front = if self.fronts[i].is_none() {
+            debug_assert_eq!(self.rest_lens[i], 0);
+            self.fronts[i] = Some(request);
+            true
+        } else {
+            self.rests[i].push_back(request);
+            self.rest_lens[i] += 1;
+            false
+        };
+        if becomes_front {
+            self.backlogged_count += 1;
+            self.sorted_valid = false;
+            if self.front_index_live {
+                self.front_index
+                    .push(Reverse((request.arrival_ns, request.seq, job)));
+            }
+            self.maybe_compact();
+        }
         self.total += 1;
+        becomes_front
+    }
+
+    /// Reclaims lazy-deletion garbage — stale `front_index` entries and
+    /// drained-but-retained slots — once it outnumbers the live backlog
+    /// 2:1. Rebuilding from the live fronts is `O(occupied slots)`, and at
+    /// least `backlogged` pushes must happen between two compactions, so
+    /// the cost is amortised `O(1)` per operation; without it, a FIFO-mode
+    /// consumer that pops mostly per job would leak one heap entry per
+    /// served request, and any consumer would retain one empty slot per
+    /// job that drained and never refilled, for the life of the process.
+    fn maybe_compact(&mut self) {
+        let heap_garbage = self.front_index_live
+            && self.front_index.len() > 64
+            && self.front_index.len() > 2 * self.backlogged_count;
+        let occupied = self.fronts.len() - self.free.len();
+        let slot_garbage = occupied > 64 && occupied > 2 * self.backlogged_count;
+        if !(heap_garbage || slot_garbage) {
+            return;
+        }
+        if slot_garbage {
+            let fronts = &self.fronts;
+            let free = &mut self.free;
+            self.index.retain(|_, &mut s| {
+                if fronts[s as usize].is_some() {
+                    true
+                } else {
+                    free.push(s);
+                    false
+                }
+            });
+            // Freed slots may now be reassigned; the memo must not outlive
+            // the index entries it mirrors.
+            self.hot = None;
+        }
+        if self.front_index_live {
+            self.rebuild_front_index();
+        }
+    }
+
+    /// Rebuilds `front_index` from the live queue fronts. Heap
+    /// construction order doesn't matter: keys are unique (the job id is
+    /// part of the key), so the pop sequence is fully determined by the
+    /// ordering, not the layout — incidental arena order can't leak
+    /// through.
+    fn rebuild_front_index(&mut self) {
+        self.front_index.clear();
+        let fronts = &self.fronts;
+        self.front_index.extend(
+            fronts
+                .iter()
+                .filter_map(|front| front.as_ref())
+                .map(|r| Reverse((r.arrival_ns, r.seq, r.meta.job))),
+        );
     }
 
     /// Pops the oldest request of `job`.
     pub fn pop(&mut self, job: JobId) -> Option<IoRequest> {
-        let q = self.queues.get_mut(&job)?;
-        let req = q.pop_front();
-        if req.is_some() {
-            self.total -= 1;
-            if q.is_empty() {
-                self.queues.remove(&job);
-            }
+        self.pop_noting_drained(job).map(|(req, _)| req)
+    }
+
+    /// Pops the oldest request of `job`, also reporting whether the pop
+    /// drained the job's queue (`true` = nothing left) — the signal the
+    /// fair scheduler needs to mark its opportunity sampler dirty, reported
+    /// from the same map walk instead of costing a second `len_for` probe
+    /// on the hottest path.
+    pub fn pop_noting_drained(&mut self, job: JobId) -> Option<(IoRequest, bool)> {
+        let slot_idx = match self.hot {
+            Some((hot_job, s)) if hot_job == job => s,
+            _ => *self.index.get(&job)?,
+        };
+        self.pop_slot(slot_idx)
+    }
+
+    /// [`Self::pop_noting_drained`] with a location hint (e.g. from
+    /// [`TokenSampler::draw_hinted`](crate::sampler::TokenSampler::draw_hinted)).
+    /// A valid hint — in bounds, owned by `job`, non-empty — pops straight
+    /// from the arena without touching the hash index; anything else
+    /// (including [`NO_HINT`](crate::sampler::NO_HINT), a slot that was
+    /// freed and reassigned, or a job that moved slots since the hint was
+    /// minted) falls back to the full id lookup, so a stale hint can never
+    /// change the outcome — only its cost.
+    pub fn pop_noting_drained_hinted(
+        &mut self,
+        job: JobId,
+        hint: u32,
+    ) -> Option<(IoRequest, bool)> {
+        // A front holding a request of `job` proves the hint names `job`'s
+        // one live slot: every push resolves through the index (or its
+        // memo), so a job's requests can never sit in a slot the index
+        // doesn't map it to.
+        match self.fronts.get(hint as usize) {
+            Some(Some(front)) if front.meta.job == job => self.pop_slot(hint),
+            _ => self.pop_noting_drained(job),
         }
-        req
+    }
+
+    /// Pops from a validated arena slot, maintaining the counters and (when
+    /// live) the FIFO front index.
+    fn pop_slot(&mut self, slot_idx: u32) -> Option<(IoRequest, bool)> {
+        let i = slot_idx as usize;
+        let req = self.fronts[i].take()?;
+        // The spill-length mirror keeps the common "nothing behind the
+        // front" case off the cold deque array entirely.
+        let successor = if self.rest_lens[i] > 0 {
+            self.rest_lens[i] -= 1;
+            self.rests[i].pop_front()
+        } else {
+            None
+        };
+        self.fronts[i] = successor;
+        self.hot = Some((req.meta.job, slot_idx));
+        self.total -= 1;
+        let drained = match successor {
+            // The successor is the job's new front; index it (when the
+            // index is live). The popped request's own index entry (if
+            // still present) goes stale and is discarded lazily by
+            // `pop_oldest` or `maybe_compact`.
+            Some(next) => {
+                if self.front_index_live {
+                    self.front_index
+                        .push(Reverse((next.arrival_ns, next.seq, req.meta.job)));
+                }
+                false
+            }
+            // The drained slot is retained for reuse (see the `fronts`
+            // field doc) and reclaimed in batch by `maybe_compact`.
+            None => {
+                self.backlogged_count -= 1;
+                self.sorted_valid = false;
+                true
+            }
+        };
+        Some((req, drained))
+    }
+
+    /// The arena slot currently holding `job`'s queue, if any — the
+    /// location-hint source for
+    /// [`TokenSampler::from_shares_hinted`](crate::sampler::TokenSampler::from_shares_hinted).
+    pub fn slot_of(&self, job: JobId) -> Option<u32> {
+        self.index.get(&job).copied()
     }
 
     /// Pops the globally oldest request (FIFO across all jobs).
+    ///
+    /// Ties on `(arrival_ns, seq)` break toward the lowest job id, matching
+    /// the historical first-minimal scan over the ordered queue map.
     pub fn pop_oldest(&mut self) -> Option<IoRequest> {
-        let job = self
-            .queues
-            .iter()
-            .min_by_key(|(_, q)| q.front().map(|r| (r.arrival_ns, r.seq)))?
-            .0;
-        let job = *job;
-        self.pop(job)
+        if !self.front_index_live {
+            // First FIFO-order pop on this queue set: build the index from
+            // the live fronts and keep it maintained from here on. Fair
+            // callers never reach this, so their hot path never pays for
+            // the heap.
+            self.rebuild_front_index();
+            self.front_index_live = true;
+        }
+        while let Some(Reverse((arrival, seq, job))) = self.front_index.pop() {
+            let is_live = self
+                .front(job)
+                .is_some_and(|r| r.arrival_ns == arrival && r.seq == seq);
+            if is_live {
+                // Every live front is indexed, so the minimal live entry is
+                // the globally oldest request.
+                return self.pop(job);
+            }
+            // Stale: the indexed request was already popped via `pop`.
+        }
+        None
     }
 
     /// Total queued requests.
@@ -141,29 +443,92 @@ impl JobQueues {
 
     /// Queue depth of one job.
     pub fn len_for(&self, job: JobId) -> usize {
-        self.queues.get(&job).map_or(0, VecDeque::len)
+        self.index.get(&job).map_or(0, |&s| {
+            usize::from(self.fronts[s as usize].is_some()) + self.rest_lens[s as usize] as usize
+        })
     }
 
     /// Jobs with at least one queued request, in id order.
+    ///
+    /// Allocates and sorts; hot paths should prefer
+    /// [`JobQueues::backlogged_sorted`] (cached) or
+    /// [`JobQueues::backlogged_unordered`] (no order guarantee).
     pub fn backlogged(&self) -> Vec<JobId> {
-        self.queues.keys().copied().collect()
+        let mut jobs: Vec<JobId> = self.backlogged_unordered().collect();
+        jobs.sort_unstable();
+        jobs
+    }
+
+    /// The jobs with at least one queued request as ascending
+    /// `(job, slot)` pairs, as a cached slice: membership changes
+    /// invalidate the cache and the next call re-sorts
+    /// (`O(backlogged log backlogged)`), but steady traffic over a stable
+    /// backlog — the common case between sampler rebuilds — returns the
+    /// previous snapshot for free. This is the iteration surface
+    /// order-sensitive consumers (tie-breaking argmax scans, the
+    /// opportunity-sampler rebuild) must use; see
+    /// [`Self::backlogged_unordered`] for order-insensitive folds. The
+    /// slot rides along so sampler rebuilds can mint draw hints without a
+    /// hash probe per job.
+    pub fn backlogged_sorted(&mut self) -> &[(JobId, u32)] {
+        if !self.sorted_valid {
+            self.sorted_backlog.clear();
+            let fronts = &self.fronts;
+            self.sorted_backlog.extend(
+                fronts
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, front)| front.as_ref().map(|r| (r.meta.job, i as u32))),
+            );
+            // Job ids are unique across occupied slots, so this orders by
+            // job id alone.
+            self.sorted_backlog.sort_unstable();
+            self.sorted_valid = true;
+        }
+        &self.sorted_backlog
+    }
+
+    /// Iterates over jobs with at least one queued request in
+    /// **unspecified order** (the arena's), without allocating or sorting.
+    /// Only for order-insensitive consumers: building a set, or folds
+    /// whose result is independent of visit order (a min over values, an
+    /// extend into an ordered collection). Anything that breaks ties by
+    /// position must use [`Self::backlogged_sorted`] instead, or
+    /// incidental arrival-layout order leaks into scheduling decisions.
+    pub fn backlogged_unordered(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.fronts
+            .iter()
+            .filter_map(|front| front.as_ref().map(|r| r.meta.job))
     }
 
     /// Peek at the oldest request of one job.
     pub fn front(&self, job: JobId) -> Option<&IoRequest> {
-        self.queues.get(&job).and_then(VecDeque::front)
+        self.index
+            .get(&job)
+            .and_then(|&s| self.fronts[s as usize].as_ref())
     }
 
     /// Sum of queued bytes per job (used by GIFT's progress estimation).
     pub fn queued_bytes(&self, job: JobId) -> u64 {
-        self.queues
-            .get(&job)
-            .map_or(0, |q| q.iter().map(|r| r.bytes).sum())
+        self.index.get(&job).map_or(0, |&s| {
+            self.fronts[s as usize].map_or(0, |r| r.bytes)
+                + self.rests[s as usize].iter().map(|r| r.bytes).sum::<u64>()
+        })
     }
 
-    /// Iterates over all queued requests of all jobs.
+    /// Iterates over all queued requests, grouped by job in ascending id
+    /// order (sorted on the fly, so the arena's incidental order never
+    /// shows through). Allocates the job list; diagnostic use, not a hot
+    /// path.
     pub fn iter(&self) -> impl Iterator<Item = &IoRequest> {
-        self.queues.values().flat_map(|q| q.iter())
+        self.backlogged()
+            .into_iter()
+            .filter_map(|job| self.index.get(&job))
+            .flat_map(|&s| {
+                self.fronts[s as usize]
+                    .iter()
+                    .chain(self.rests[s as usize].iter())
+            })
     }
 }
 
@@ -190,6 +555,11 @@ pub struct ThemisScheduler {
     active_sampler: TokenSampler,
     active_dirty: bool,
     policy: Policy,
+    /// `(job-table revision, policy)` of the last share recomputation.
+    /// [`Scheduler::refresh`] is a no-op while both are unchanged, so
+    /// heartbeat-driven refresh storms cost one revision compare instead of
+    /// a full `compute_shares` + sampler rebuild per call.
+    last_refresh: Option<(u64, Policy)>,
 }
 
 impl ThemisScheduler {
@@ -202,6 +572,7 @@ impl ThemisScheduler {
             active_sampler: TokenSampler::default(),
             active_dirty: true,
             policy,
+            last_refresh: None,
         }
     }
 
@@ -214,12 +585,28 @@ impl ThemisScheduler {
     /// [`refresh`](Scheduler::refresh).
     pub fn set_policy(&mut self, policy: Policy) {
         self.policy = policy;
+        self.last_refresh = None;
     }
 
+    /// Rebuilds the opportunity-fairness sampler over the currently
+    /// backlogged jobs, in place.
+    ///
+    /// `O(backlogged × log jobs)`: one ordered walk of the backlogged set
+    /// with a `BTreeMap` share lookup per job, reusing the sampler's
+    /// allocations. (The old path materialised the backlogged set as a `Vec`
+    /// and probed it with `Vec::contains` per share entry —
+    /// `O(backlogged × jobs)`, quadratic at production cardinality.) Jobs
+    /// without a share contribute weight 0 and are skipped, exactly like the
+    /// `restricted_to` + `from_shares` chain this replaces; the resulting
+    /// table is bit-identical, so RNG draw sequences are unchanged.
     fn rebuild_active_sampler(&mut self) {
-        let backlogged = self.queues.backlogged();
-        let restricted = self.shares.restricted_to(|j| backlogged.contains(&j));
-        self.active_sampler = TokenSampler::from_shares(&restricted);
+        let shares = &self.shares;
+        let backlogged = self.queues.backlogged_sorted();
+        self.active_sampler.rebuild_normalized_hinted(
+            backlogged
+                .iter()
+                .map(|&(job, slot)| (job, slot, shares.share(job))),
+        );
         self.active_dirty = false;
     }
 }
@@ -230,9 +617,7 @@ impl Scheduler for ThemisScheduler {
     }
 
     fn enqueue(&mut self, request: IoRequest) {
-        let was_empty = self.queues.len_for(request.meta.job) == 0;
-        self.queues.push(request);
-        if was_empty {
+        if self.queues.push(request) {
             self.active_dirty = true;
         }
     }
@@ -248,14 +633,16 @@ impl Scheduler for ThemisScheduler {
             return self.queues.pop_oldest();
         }
         // Fast path: draw over the full assignment; serve if the drawn job
-        // has work.
-        if let Some(job) = self.sampler.draw(rng) {
-            if self.queues.len_for(job) > 0 {
-                let req = self.queues.pop(job);
-                if self.queues.len_for(job) == 0 {
+        // has work. The draw carries the job's arena-slot hint, so the pop
+        // is a direct slot access — no hash probe — and
+        // `pop_noting_drained` folds the has-work probe, the pop and the
+        // did-it-drain check into that same walk.
+        if let Some((job, hint)) = self.sampler.draw_hinted(rng) {
+            if let Some((req, drained)) = self.queues.pop_noting_drained_hinted(job, hint) {
+                if drained {
                     self.active_dirty = true;
                 }
-                return req;
+                return Some(req);
             }
         }
         // Opportunity fairness: redistribute idle segments over backlogged
@@ -263,13 +650,12 @@ impl Scheduler for ThemisScheduler {
         if self.active_dirty {
             self.rebuild_active_sampler();
         }
-        if let Some(job) = self.active_sampler.draw(rng) {
-            if self.queues.len_for(job) > 0 {
-                let req = self.queues.pop(job);
-                if self.queues.len_for(job) == 0 {
+        if let Some((job, hint)) = self.active_sampler.draw_hinted(rng) {
+            if let Some((req, drained)) = self.queues.pop_noting_drained_hinted(job, hint) {
+                if drained {
                     self.active_dirty = true;
                 }
-                return req;
+                return Some(req);
             }
         }
         // Backlogged jobs that have no share yet (seen before the first
@@ -289,6 +675,20 @@ impl Scheduler for ThemisScheduler {
     }
 
     fn refresh(&mut self, table: &JobTable, policy: &Policy) {
+        // Refresh is driven from every heartbeat/expiry/merge site, but the
+        // share assignment only depends on the table contents and the policy.
+        // The table's revision counter is bumped exactly when a
+        // share-relevant field changes (and revisions are globally unique,
+        // so equal revision implies identical contents even across clones);
+        // when neither input moved, recomputation would reproduce the
+        // current state bit-for-bit — skip it.
+        if self
+            .last_refresh
+            .as_ref()
+            .is_some_and(|(rev, p)| *rev == table.revision() && p == policy)
+        {
+            return;
+        }
         self.policy = policy.clone();
         let jobs: Vec<JobMeta> = table.active_jobs();
         let global = compute_shares(&self.policy, &jobs);
@@ -296,8 +696,16 @@ impl Scheduler for ThemisScheduler {
         // spreads its I/O over, so that multi-server deployments converge on
         // global (not merely per-server) fairness after a λ-sync (§3.1).
         self.shares = localize_shares(&global, table);
-        self.sampler = TokenSampler::from_shares(&self.shares);
+        // Jobs already queued get their arena slot as a draw hint, so the
+        // fast path pops without a hash probe; jobs seen here before any
+        // traffic fall back to the id lookup on their first draws (hints
+        // are re-minted on the next refresh).
+        let queues = &self.queues;
+        self.sampler = TokenSampler::from_shares_hinted(&self.shares, |job| {
+            queues.slot_of(job).unwrap_or(crate::sampler::NO_HINT)
+        });
         self.active_dirty = true;
+        self.last_refresh = Some((table.revision(), policy.clone()));
     }
 
     fn queued(&self) -> usize {
@@ -335,6 +743,77 @@ mod tests {
             t.heartbeat(*m, 0);
         }
         t
+    }
+
+    #[test]
+    fn job_queues_reclaim_lazy_deletion_garbage_under_churn() {
+        // Once a FIFO-order consumer has touched `pop_oldest`, targeted
+        // pops strand one stale heap entry per drain-and-refill cycle (the
+        // heap is maintained but never popped), and every consumer strands
+        // one empty retained FIFO per drained job. The amortised compaction
+        // must keep both proportional to the live backlog across 100k
+        // served requests.
+        let mut q = JobQueues::new();
+        q.push(IoRequest::write(u64::MAX, meta(65, 1, 1), 10, 0));
+        assert_eq!(q.pop_oldest().map(|r| r.seq), Some(u64::MAX));
+        for i in 0..100_000u64 {
+            let m = meta(i % 64 + 1, 1, 1);
+            q.push(IoRequest::write(i, m, 10, i));
+            assert_eq!(q.pop(JobId(i % 64 + 1)).map(|r| r.seq), Some(i));
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.front_index.len() <= 192,
+            "front index leaked: {} stale entries survive compaction",
+            q.front_index.len()
+        );
+        let occupied = q.fronts.len() - q.free.len();
+        assert!(
+            occupied <= 192,
+            "retained drained slots leaked: {occupied} survive compaction"
+        );
+    }
+
+    #[test]
+    fn job_queues_fair_mode_never_builds_the_front_index() {
+        // Fair-mode service is draw + targeted pop; the FIFO front index
+        // must stay empty (and cost nothing) until someone actually asks
+        // for global arrival order — and the first such ask must see the
+        // exact live fronts despite arriving mid-stream.
+        let mut q = JobQueues::new();
+        for i in 0..1_000u64 {
+            q.push(IoRequest::write(i, meta(i % 16 + 1, 1, 1), 10, i));
+        }
+        for i in 0..500u64 {
+            assert!(q.pop(JobId(i % 16 + 1)).is_some());
+        }
+        assert_eq!(
+            q.front_index.len(),
+            0,
+            "heap maintained without a FIFO consumer"
+        );
+        let oldest = q.pop_oldest().expect("500 requests still queued");
+        let expected = q2_oldest_reference(&mut q, oldest);
+        assert_eq!(oldest.arrival_ns, expected);
+    }
+
+    /// The churn-free reference for the test above: after popping `oldest`,
+    /// every remaining front must be strictly younger (by the heap key), so
+    /// returning the popped arrival validates it was the global minimum.
+    fn q2_oldest_reference(q: &mut JobQueues, oldest: IoRequest) -> u64 {
+        let min_remaining = q
+            .backlogged_unordered()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|job| q.front(job).map(|r| (r.arrival_ns, r.seq)))
+            .min();
+        if let Some((arrival, seq)) = min_remaining {
+            assert!(
+                (oldest.arrival_ns, oldest.seq) < (arrival, seq),
+                "pop_oldest returned a non-minimal request"
+            );
+        }
+        oldest.arrival_ns
     }
 
     #[test]
@@ -433,6 +912,62 @@ mod tests {
         assert!((sched.shares().share(JobId(1)) - 0.8).abs() < 1e-9);
         sched.refresh(&table, &Policy::job_fair());
         assert!((sched.shares().share(JobId(1)) - 0.5).abs() < 1e-9);
+        assert_eq!(sched.policy(), &Policy::job_fair());
+    }
+
+    #[test]
+    fn job_queues_pop_oldest_interleaved_with_targeted_pops() {
+        // Targeted pops leave stale heap entries behind; pop_oldest must
+        // discard them and still return strict global FIFO order.
+        let mut q = JobQueues::new();
+        q.push(IoRequest::write(0, meta(1, 1, 1), 10, 100));
+        q.push(IoRequest::write(1, meta(1, 1, 1), 10, 150));
+        q.push(IoRequest::write(2, meta(2, 1, 1), 10, 120));
+        q.push(IoRequest::write(3, meta(3, 1, 1), 10, 110));
+        // Pop job 1's front directly: its heap entry (arrival 100) is stale.
+        assert_eq!(q.pop(JobId(1)).unwrap().arrival_ns, 100);
+        assert_eq!(q.pop_oldest().unwrap().arrival_ns, 110);
+        assert_eq!(q.pop_oldest().unwrap().arrival_ns, 120);
+        assert_eq!(q.pop_oldest().unwrap().arrival_ns, 150);
+        assert!(q.pop_oldest().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn job_queues_pop_oldest_breaks_ties_by_job_id() {
+        let mut q = JobQueues::new();
+        q.push(IoRequest::write(5, meta(9, 1, 1), 10, 100));
+        q.push(IoRequest::write(5, meta(2, 1, 1), 10, 100));
+        // Same (arrival_ns, seq): the lower job id wins, like the old
+        // first-minimal scan over the ordered map.
+        assert_eq!(q.pop_oldest().unwrap().meta.job, JobId(2));
+        assert_eq!(q.pop_oldest().unwrap().meta.job, JobId(9));
+    }
+
+    #[test]
+    fn themis_refresh_skips_recompute_for_unchanged_inputs() {
+        let jobs = [meta(1, 1, 4), meta(2, 2, 1)];
+        let mut table = table_with(&jobs);
+        let mut sched = ThemisScheduler::new(Policy::size_fair());
+        sched.refresh(&table, &Policy::size_fair());
+        let rev = table.revision();
+        // Heartbeat-only traffic (no metadata change) keeps the revision, so
+        // the refresh storm is absorbed by the cache.
+        table.heartbeat(meta(1, 1, 4), 99);
+        assert_eq!(table.revision(), rev);
+        sched.refresh(&table, &Policy::size_fair());
+        assert!((sched.shares().share(JobId(1)) - 0.8).abs() < 1e-9);
+        // A new job bumps the revision and forces a recompute.
+        table.heartbeat(meta(3, 3, 5), 100);
+        assert_ne!(table.revision(), rev);
+        sched.refresh(&table, &Policy::size_fair());
+        assert!(sched.shares().share(JobId(3)) > 0.0);
+        // A policy change alone also recomputes, table untouched.
+        sched.refresh(&table, &Policy::job_fair());
+        assert!((sched.shares().share(JobId(1)) - 1.0 / 3.0).abs() < 1e-9);
+        // set_policy invalidates the cache even for the same policy value.
+        sched.set_policy(Policy::job_fair());
+        sched.refresh(&table, &Policy::job_fair());
         assert_eq!(sched.policy(), &Policy::job_fair());
     }
 

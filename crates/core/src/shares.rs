@@ -40,6 +40,25 @@ impl ShareMap {
         ShareMap { shares }
     }
 
+    /// Builds a share map from raw `(job, weight)` pairs *without*
+    /// normalising.
+    ///
+    /// Unlike [`ShareMap::from_pairs`] the weights are stored as given (after
+    /// dropping non-finite and non-positive entries and accumulating
+    /// duplicates), so the map may sum to anything.
+    /// [`TokenSampler::from_shares`](crate::sampler::TokenSampler::from_shares)
+    /// renormalises when it builds the segment table, so raw-weight
+    /// assignments stay safe to sample from.
+    pub fn from_raw_weights(pairs: impl IntoIterator<Item = (JobId, f64)>) -> Self {
+        let mut shares: BTreeMap<JobId, f64> = BTreeMap::new();
+        for (job, s) in pairs {
+            if s.is_finite() && s > 0.0 {
+                *shares.entry(job).or_insert(0.0) += s;
+            }
+        }
+        ShareMap { shares }
+    }
+
     /// Number of jobs with a share.
     pub fn len(&self) -> usize {
         self.shares.len()
@@ -61,8 +80,16 @@ impl ShareMap {
     }
 
     /// All job ids with a positive share, in id order.
+    ///
+    /// Allocates; hot paths should prefer [`ShareMap::jobs_iter`].
     pub fn jobs(&self) -> Vec<JobId> {
         self.shares.keys().copied().collect()
+    }
+
+    /// Iterates over job ids with a positive share, in id order, without
+    /// allocating.
+    pub fn jobs_iter(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.shares.keys().copied()
     }
 
     /// Sum of all shares (1.0 or 0.0 up to rounding).

@@ -408,7 +408,11 @@ impl ServerCore {
         });
         let telemetry = CoreTelemetry::new(registry, server_index);
         let mut jobs = JobTable::with_heartbeat_timeout(config.heartbeat_timeout_ns);
-        jobs.set_viewpoint(server_index);
+        // A server index past the presence mask's capacity cannot be
+        // attributed in per-job presence masks; run with the global view
+        // (no viewpoint — localize_shares passes shares through unscaled)
+        // instead of aliasing onto the last bit and corrupting server spans.
+        let _ = jobs.set_viewpoint(server_index);
         ServerCore {
             server_index,
             policy,

@@ -455,7 +455,9 @@ impl Simulation {
         let mut servers: Vec<SimServer> = (0..n_servers)
             .map(|i| {
                 let mut s = SimServer::new(&self.config);
-                s.table.set_viewpoint(i);
+                s.table
+                    .set_viewpoint(i)
+                    .expect("simulated clusters stay within the presence-mask capacity");
                 s
             })
             .collect();

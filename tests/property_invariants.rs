@@ -760,3 +760,266 @@ fn fifo_preserves_order() {
         }
     });
 }
+
+// ---------------------------------------------------------------------------
+// Cardinality properties: the invariants above, re-checked at the population
+// sizes the heap-indexed queue and incremental sampler rebuild exist for.
+// Small-case tests would pass with O(jobs) scans too; these would not finish.
+// ---------------------------------------------------------------------------
+
+/// 10⁴ jobs, shares skewed by four orders of magnitude, one request each:
+/// `next` must serve all 10⁴ requests and then report empty. Opportunity
+/// fairness renormalises over the shrinking backlog, so light jobs cannot be
+/// stranded behind drained heavyweights, and the no-share FIFO fallback
+/// catches nothing here because every job has a share after `refresh`.
+#[test]
+fn cardinality_drain_never_starves_under_skewed_shares() {
+    let n = 10_000u64;
+    let policy = Policy::priority_fair();
+    let mut table = JobTable::new();
+    let mut sched = ThemisScheduler::new(policy.clone());
+    for j in 1..=n {
+        let prio = if j % 1000 == 0 {
+            10_000.0
+        } else {
+            1.0 + (j % 7) as f64
+        };
+        let meta = JobMeta::new(j, (j % 512) as u32 + 1, (j % 8) as u32 + 1, 1).with_priority(prio);
+        table.heartbeat(meta, 0);
+        sched.enqueue(IoRequest::write(j, meta, 4096, j));
+    }
+    sched.refresh(&table, &policy);
+    let mut rng = SmallRng::seed_from_u64(0xD0E5_0001);
+    let mut served = std::collections::HashSet::new();
+    for step in 0..n {
+        let req = sched
+            .next(0, &mut rng)
+            .unwrap_or_else(|| panic!("backlog ran dry at step {step} of {n}"));
+        assert!(
+            served.insert(req.meta.job),
+            "job {:?} served twice at queue depth 1",
+            req.meta.job
+        );
+    }
+    assert!(sched.next(0, &mut rng).is_none(), "served past the backlog");
+    assert_eq!(served.len() as u64, n);
+}
+
+/// The incremental in-place rebuild equals the allocate-and-filter chain
+/// (`restricted_to` + `from_shares`) *bit for bit* at 10⁴ jobs, for random
+/// backlogged subsets. `PartialEq` compares jobs and cumulative bounds, so
+/// equality here means RNG draw sequences are unchanged by the optimisation
+/// — the property the seed-conformance suite relies on.
+#[test]
+fn cardinality_incremental_rebuild_matches_restricted_chain_bitwise() {
+    cases(6, |rng, case| {
+        let n = 10_000u64;
+        let shares = ShareMap::from_pairs((1..=n).map(|j| {
+            (
+                JobId::from(j),
+                1.0 + ((j * 2_654_435_761) % 9973) as f64 / 7.0,
+            )
+        }));
+        let keep: Vec<bool> = (0..=n).map(|_| rng.gen_bool(0.6)).collect();
+        let direct = TokenSampler::from_shares(&shares.restricted_to(|j| keep[j.0 as usize]));
+        let mut rebuilt = TokenSampler::default();
+        rebuilt.rebuild_normalized(shares.iter().filter(|(j, _)| keep[j.0 as usize]));
+        assert_eq!(rebuilt, direct, "case {case}: tables diverge");
+        // And the two tables select identically across the unit interval.
+        for i in 0..=1000 {
+            let p = f64::from(i) / 1000.0;
+            assert_eq!(rebuilt.select(p), direct.select(p), "case {case} p={p}");
+        }
+    });
+}
+
+/// The bucketed select index is an accelerator, not an arbiter: `select(p)`
+/// must agree with a flat `partition_point` over the `(upper, job)` table
+/// reconstructed through the public `segment` API, for random points, exact
+/// segment boundaries, and out-of-range inputs.
+#[test]
+fn bucketed_select_matches_flat_partition_point() {
+    cases(24, |rng, case| {
+        let n = rng.gen_range(1usize..3_000);
+        let shares = ShareMap::from_pairs(
+            (0..n).map(|i| (JobId::from(i as u64 + 1), rng.gen::<f64>() * 10.0 + 1e-6)),
+        );
+        let sampler = TokenSampler::from_shares(&shares);
+        let mut bounds: Vec<(f64, JobId)> = shares
+            .iter()
+            .map(|(j, _)| {
+                (
+                    sampler.segment(j).expect("positive share has a segment").1,
+                    j,
+                )
+            })
+            .collect();
+        bounds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert_eq!(bounds.len(), sampler.len(), "case {case}");
+        for probe in 0..400 {
+            let p = match probe % 8 {
+                0 => 0.0,
+                1 => 1.0,
+                2 => -0.5,
+                3 => 1.5,
+                4 => bounds[rng.gen_range(0..bounds.len())].0,
+                _ => rng.gen::<f64>(),
+            };
+            let clamped = p.clamp(0.0, 1.0);
+            let idx = bounds
+                .partition_point(|&(upper, _)| upper < clamped)
+                .min(bounds.len() - 1);
+            assert_eq!(
+                sampler.select(p),
+                Some(bounds[idx].1),
+                "case {case} probe {probe} p={p}"
+            );
+        }
+    });
+}
+
+/// 10⁵ mixed operations against `JobQueues` — pushes, targeted pops (with
+/// deliberately garbage slot hints), and oldest-first pops — tracked against
+/// a naive map-of-deques reference model. The arena's slot reuse, the MRU
+/// memo, the mirrored rest lengths, the lazy front-index heap and batch
+/// compaction must never change an outcome: every pop returns exactly what
+/// the reference returns, and the accounting (`len`, `len_for`, drained
+/// flags) matches at every step.
+#[test]
+fn cardinality_queues_match_reference_through_mixed_churn() {
+    use std::collections::{HashMap, VecDeque};
+    let mut q = JobQueues::new();
+    let mut model: HashMap<u64, VecDeque<IoRequest>> = HashMap::new();
+    let mut model_total = 0usize;
+    let mut rng = SmallRng::seed_from_u64(0xC0FF_EE00);
+    let meta_of = |j: u64| JobMeta::new(j, (j % 64) as u32 + 1, 1u32, 1);
+    for step in 0..100_000u64 {
+        let job = rng.gen_range(1u64..1_500);
+        match rng.gen_range(0u32..10) {
+            // Push: the return value is the becomes-front signal the
+            // scheduler keys `active_dirty` on.
+            0..=4 => {
+                let req = IoRequest::write(step, meta_of(job), 1 + job, rng.gen_range(0u64..64));
+                let became_front = q.push(req);
+                let entry = model.entry(job).or_default();
+                assert_eq!(became_front, entry.is_empty(), "step {step}");
+                entry.push_back(req);
+                model_total += 1;
+            }
+            // Targeted pop through the hinted path with a random (usually
+            // wrong) hint: a stale hint may slow the pop, never change it.
+            5 | 6 => {
+                let garbage_hint = rng.gen_range(0u32..4_096);
+                let got = q.pop_noting_drained_hinted(JobId::from(job), garbage_hint);
+                let want = model.get_mut(&job).and_then(VecDeque::pop_front);
+                match (got, want) {
+                    (Some((req, drained)), Some(expect)) => {
+                        assert_eq!(req.seq, expect.seq, "step {step}");
+                        assert_eq!(
+                            drained,
+                            model.get(&job).is_none_or(VecDeque::is_empty),
+                            "step {step}: drained flag diverges"
+                        );
+                        model_total -= 1;
+                    }
+                    (None, None) => {}
+                    (got, want) => panic!(
+                        "step {step}: queue returned {:?}, reference {:?}",
+                        got.map(|(r, _)| r.seq),
+                        want.map(|r| r.seq)
+                    ),
+                }
+            }
+            // Plain targeted pop.
+            7 => {
+                let got = q.pop(JobId::from(job)).map(|r| r.seq);
+                let want = model.get_mut(&job).and_then(VecDeque::pop_front);
+                assert_eq!(got, want.map(|r| r.seq), "step {step}");
+                if want.is_some() {
+                    model_total -= 1;
+                }
+            }
+            // Oldest-first: the lazy heap must agree with a full scan of the
+            // reference fronts under heavy arrival-time ties (seq breaks them).
+            8 => {
+                let want = model
+                    .values()
+                    .filter_map(|dq| dq.front())
+                    .min_by_key(|r| (r.arrival_ns, r.seq))
+                    .map(|r| r.seq);
+                let got = q.pop_oldest().map(|r| r.seq);
+                assert_eq!(got, want, "step {step}: oldest diverges");
+                if let Some(seq) = want {
+                    let owner = *model
+                        .iter()
+                        .find(|(_, dq)| dq.front().is_some_and(|r| r.seq == seq))
+                        .expect("reference owner")
+                        .0;
+                    model.get_mut(&owner).unwrap().pop_front();
+                    model_total -= 1;
+                }
+            }
+            // Read-only spot checks.
+            _ => {
+                let dq = model.get(&job);
+                assert_eq!(
+                    q.len_for(JobId::from(job)),
+                    dq.map_or(0, VecDeque::len),
+                    "step {step}"
+                );
+                assert_eq!(
+                    q.front(JobId::from(job)).map(|r| r.seq),
+                    dq.and_then(VecDeque::front).map(|r| r.seq),
+                    "step {step}"
+                );
+            }
+        }
+        assert_eq!(q.len(), model_total, "step {step}: totals diverge");
+    }
+    // Drain what's left oldest-first and confirm both sides agree to the end.
+    while let Some(req) = q.pop_oldest() {
+        let want = model
+            .values_mut()
+            .filter_map(|dq| dq.front().copied())
+            .min_by_key(|r| (r.arrival_ns, r.seq))
+            .expect("reference still has work");
+        assert_eq!(req.seq, want.seq, "drain diverges");
+        model
+            .values_mut()
+            .find(|dq| dq.front().is_some_and(|r| r.seq == want.seq))
+            .unwrap()
+            .pop_front();
+        model_total -= 1;
+    }
+    assert_eq!(model_total, 0);
+    assert!(q.is_empty());
+}
+
+/// Raw (unnormalised) weights spanning six orders of magnitude still yield
+/// cumulative bounds that end within 1e-9 of 1.0, and `select` never falls
+/// off the end of the table — the guard the last-segment clamp exists for.
+#[test]
+fn raw_weight_bounds_always_end_at_one() {
+    cases(48, |rng, case| {
+        let n = rng.gen_range(1usize..2_000);
+        let shares = ShareMap::from_raw_weights((0..n).map(|i| {
+            let magnitude = 10f64.powi(rng.gen_range(-3i32..4));
+            (
+                JobId::from(i as u64 + 1),
+                rng.gen::<f64>() * magnitude + 1e-12,
+            )
+        }));
+        let sampler = TokenSampler::from_shares(&shares);
+        assert_eq!(sampler.len(), shares.len(), "case {case}");
+        let top = shares
+            .iter()
+            .map(|(j, _)| sampler.segment(j).expect("segment").1)
+            .fold(0.0f64, f64::max);
+        assert!(
+            (top - 1.0).abs() < 1e-9,
+            "case {case}: bounds end at {top}, not 1.0"
+        );
+        assert!(sampler.select(1.0).is_some(), "case {case}: p=1.0 missed");
+        assert!(sampler.select(0.0).is_some(), "case {case}: p=0.0 missed");
+    });
+}
